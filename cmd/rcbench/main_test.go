@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment driver end to end on the fastest experiments: every
+// executed row must carry an OK (or not-applicable) oracle column.
+func TestRunQuickFiltered(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-run", "E-T1-CONS"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "E-T1-CONS") {
+		t.Fatalf("missing experiment header:\n%s", s)
+	}
+	if strings.Contains(s, "FAIL") || strings.Contains(s, "ERROR") {
+		t.Fatalf("experiment failed:\n%s", s)
+	}
+	if !strings.Contains(s, "oracle=OK") {
+		t.Fatalf("no oracle-checked rows:\n%s", s)
+	}
+	// The filter must exclude everything else.
+	if strings.Contains(s, "E-T1-MINP") {
+		t.Fatalf("filter leaked other experiments:\n%s", s)
+	}
+}
+
+func TestRunUndecidableExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E-T1-UNDEC"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"RCDPs(FO)", "RCQPs(FP)", "refused"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "FAIL") {
+		t.Fatalf("refusal check failed:\n%s", s)
+	}
+}
+
+func TestRunProp31Experiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E-P31"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "oracle=OK") {
+		t.Fatalf("Prop 3.1 rows missing:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if boolStr(true) != "yes" || boolStr(false) != "no" {
+		t.Fatal("boolStr wrong")
+	}
+	if agreeStr(true, true) != "OK" || agreeStr(true, false) != "FAIL" {
+		t.Fatal("agreeStr wrong")
+	}
+}

@@ -1,0 +1,172 @@
+// Command rcheck decides relative information completeness problems
+// described by a JSON document (see internal/probjson for the format).
+//
+// Usage:
+//
+//	rcheck -problem <name> [-model strong|weak|viable] [-explain] file.json
+//	rcheck -problem consistency file.json
+//	cat file.json | rcheck -problem rcdp -model weak -
+//
+// Problems: consistency, extensibility, rcdp, rcqp, minp, certain
+// (certain answers), models (list ModAdom members).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"relcomplete/internal/core"
+	"relcomplete/internal/probjson"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rcheck", flag.ContinueOnError)
+	problem := fs.String("problem", "rcdp", "consistency | extensibility | rcdp | rcqp | minp | certain | models")
+	model := fs.String("model", "strong", "completeness model: strong | weak | viable")
+	explain := fs.Bool("explain", false, "print a counterexample when RCDP fails")
+	maxModels := fs.Int("max-models", 10, "cap for -problem models")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one input file (or - for stdin)")
+	}
+	var data []byte
+	var err error
+	if fs.Arg(0) == "-" {
+		data, err = io.ReadAll(stdin)
+	} else {
+		data, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+	p, ci, err := probjson.Decode(data)
+	if err != nil {
+		return err
+	}
+	m, err := parseModel(*model)
+	if err != nil {
+		return err
+	}
+
+	report := func(question string, answer bool) {
+		verdict := "NO"
+		if answer {
+			verdict = "YES"
+		}
+		fmt.Fprintf(stdout, "%s: %s\n", question, verdict)
+	}
+
+	switch *problem {
+	case "consistency":
+		ok, err := p.Consistent(ci)
+		if err != nil {
+			return err
+		}
+		report("Mod(T, Dm, V) non-empty", ok)
+	case "extensibility":
+		db, err := p.AnyModel(ci)
+		if err != nil {
+			return err
+		}
+		if db == nil {
+			return core.ErrInconsistent
+		}
+		ok, err := p.Extensible(db)
+		if err != nil {
+			return err
+		}
+		report("Ext(I, Dm, V) non-empty (on one model of T)", ok)
+	case "rcdp":
+		ok, cex, err := p.RCDPExplain(ci, m)
+		if err != nil {
+			return describe(err)
+		}
+		report(fmt.Sprintf("T ∈ RCQ%s(Q, Dm, V)", modelSuffix(m)), ok)
+		if !ok && *explain && cex != nil {
+			fmt.Fprintf(stdout, "counterexample: %s\n", cex)
+		}
+	case "rcqp":
+		ok, err := p.RCQP(m)
+		if err != nil {
+			return describe(err)
+		}
+		report(fmt.Sprintf("RCQ%s(Q, Dm, V) non-empty", modelSuffix(m)), ok)
+	case "minp":
+		ok, err := p.MINP(ci, m)
+		if err != nil {
+			return describe(err)
+		}
+		report(fmt.Sprintf("T minimal in RCQ%s(Q, Dm, V)", modelSuffix(m)), ok)
+	case "certain":
+		ans, err := p.CertainAnswers(ci)
+		if err != nil {
+			return describe(err)
+		}
+		fmt.Fprintf(stdout, "certain answers (%d):\n", len(ans))
+		for _, t := range ans {
+			fmt.Fprintf(stdout, "  %s\n", t)
+		}
+	case "models":
+		models, err := p.Models(ci, *maxModels)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "models (showing up to %d):\n", *maxModels)
+		for _, db := range models {
+			fmt.Fprintf(stdout, "  %s\n", db)
+		}
+	default:
+		return fmt.Errorf("unknown problem %q", *problem)
+	}
+	return nil
+}
+
+func parseModel(s string) (core.Model, error) {
+	switch s {
+	case "strong":
+		return core.Strong, nil
+	case "weak":
+		return core.Weak, nil
+	case "viable":
+		return core.Viable, nil
+	}
+	return 0, fmt.Errorf("unknown model %q", s)
+}
+
+func modelSuffix(m core.Model) string {
+	switch m {
+	case core.Strong:
+		return "s"
+	case core.Weak:
+		return "w"
+	default:
+		return "v"
+	}
+}
+
+// describe annotates the sentinel errors with actionable context.
+func describe(err error) error {
+	switch {
+	case errors.Is(err, core.ErrUndecidable):
+		return fmt.Errorf("%w\n(the paper's Table I proves this cell undecidable; restrict the query language)", err)
+	case errors.Is(err, core.ErrOpen):
+		return fmt.Errorf("%w\n(the paper leaves this cell open)", err)
+	case errors.Is(err, core.ErrInconsistent):
+		return fmt.Errorf("%w\n(run -problem consistency to inspect)", err)
+	case errors.Is(err, core.ErrInconclusive):
+		return fmt.Errorf("%w\n(raise options.rcqp_size_bound in the input document)", err)
+	}
+	return err
+}

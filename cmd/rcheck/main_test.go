@@ -1,0 +1,164 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleDoc = `{
+  "schema": {"relations": [
+    {"name": "Order", "attrs": [{"name": "item"}, {"name": "qty"}]}]},
+  "master": {
+    "relations": [{"name": "Catalog", "attrs": [{"name": "item"}]}],
+    "rows": {"Catalog": [["widget"]]}},
+  "ccs": [{"name": "item_bound",
+           "left":  "q(i) := Order(i, q)",
+           "right": "p(i) := Catalog(i)"}],
+  "query": {"calc": "Q(q) := Order('widget', q)"},
+  "cinstance": {"rows": [
+    {"rel": "Order", "terms": ["widget", "5"]}]}
+}`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "problem.json")
+	if err := os.WriteFile(path, []byte(sampleDoc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCheck(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(args, strings.NewReader(""), &out)
+	return out.String(), err
+}
+
+func TestRCheckConsistency(t *testing.T) {
+	out, err := runCheck(t, "-problem", "consistency", writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "YES") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestRCheckRCDPModels(t *testing.T) {
+	path := writeSample(t)
+	out, err := runCheck(t, "-problem", "rcdp", "-model", "weak", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "RCQw") {
+		t.Fatalf("output = %q", out)
+	}
+	// Strong: open-world quantities, incomplete; -explain shows why.
+	out, err = runCheck(t, "-problem", "rcdp", "-model", "strong", "-explain", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NO") || !strings.Contains(out, "counterexample") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestRCheckCertainAndModels(t *testing.T) {
+	path := writeSample(t)
+	out, err := runCheck(t, "-problem", "certain", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(5)") {
+		t.Fatalf("output = %q", out)
+	}
+	out, err = runCheck(t, "-problem", "models", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Order{") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestRCheckExtensibility(t *testing.T) {
+	out, err := runCheck(t, "-problem", "extensibility", writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "YES") { // quantities open-world
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestRCheckStdinAndErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-problem", "consistency", "-"},
+		strings.NewReader(sampleDoc), &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCheck(t, "-problem", "nope", writeSample(t)); err == nil {
+		t.Fatal("unknown problem should fail")
+	}
+	if _, err := runCheck(t, "-model", "nope", writeSample(t)); err == nil {
+		t.Fatal("unknown model should fail")
+	}
+	if _, err := runCheck(t); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	if _, err := runCheck(t, "/does/not/exist.json"); err == nil {
+		t.Fatal("unreadable file should fail")
+	}
+}
+
+func TestRCheckUndecidableIsDescribed(t *testing.T) {
+	doc := strings.Replace(sampleDoc,
+		`"calc": "Q(q) := Order('widget', q)"`,
+		`"calc": "Q(q) := ! Order('widget', q)"`, 1)
+	path := filepath.Join(t.TempDir(), "fo.json")
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, err := runCheck(t, "-problem", "rcdp", path)
+	if err == nil || !strings.Contains(err.Error(), "undecidable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRCheckMINPAndRCQP(t *testing.T) {
+	path := writeSample(t)
+	out, err := runCheck(t, "-problem", "minp", "-model", "weak", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "minimal") {
+		t.Fatalf("output = %q", out)
+	}
+	// RCQP weak is trivially YES for CQ.
+	out, err = runCheck(t, "-problem", "rcqp", "-model", "weak", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "YES") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestRCheckInconsistentInstance(t *testing.T) {
+	doc := strings.Replace(sampleDoc, `"terms": ["widget", "5"]`, `"terms": ["unknown-item", "5"]`, 1)
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, err := runCheck(t, "-problem", "rcdp", "-model", "weak", path)
+	if err == nil || !strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("err = %v", err)
+	}
+	// Extensibility on an inconsistent instance is also refused.
+	if _, err := runCheck(t, "-problem", "extensibility", path); err == nil {
+		t.Fatal("extensibility on inconsistent instance should fail")
+	}
+}

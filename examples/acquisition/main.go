@@ -1,0 +1,87 @@
+// Counterexample-guided data acquisition: when a database is NOT
+// relatively complete for a query, the RCDP decider's counterexample
+// names concrete tuples whose absence the answer still depends on.
+// Feeding those tuples back as acquisition targets and re-deciding
+// converges to a complete database — a practical loop the paper's
+// machinery enables for MDM curation teams.
+//
+//	go run ./examples/acquisition
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+func main() {
+	// Asset registry bounded by a master inventory; the audit query
+	// needs the full list of assets at the Edinburgh site.
+	asset := relation.MustSchema("Asset",
+		relation.Attr("id", nil), relation.Attr("site", nil))
+	schema := relation.MustDBSchema(asset)
+	assetM := relation.MustSchema("AssetM",
+		relation.Attr("id", nil), relation.Attr("site", nil))
+	masterSchema := relation.MustDBSchema(assetM)
+	dm := relation.NewDatabase(masterSchema)
+	for _, t := range []relation.Tuple{
+		{"a1", "EDI"}, {"a2", "EDI"}, {"a3", "EDI"}, {"a4", "LON"}, {"a5", "LON"},
+	} {
+		dm.MustInsert("AssetM", t)
+	}
+	ccs := cc.NewSet(cc.MustParse("asset_bound",
+		"q(i, s) := Asset(i, s)", "p(i, s) := AssetM(i, s)"))
+	q := query.MustParseQuery("Q(i) := Asset(i, 'EDI')")
+	p, err := core.NewProblem(schema, core.CalcQuery(q), dm, ccs, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The registry currently knows one Edinburgh asset.
+	db := relation.NewDatabase(schema)
+	db.MustInsert("Asset", relation.T("a1", "EDI"))
+	fmt.Println("audit query:   ", q)
+	fmt.Println("initial data:  ", db)
+	fmt.Println()
+
+	for round := 1; ; round++ {
+		ok, cex, err := p.RCDPExplain(ctable.FromDatabase(db), core.Strong)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ok {
+			fmt.Printf("round %d: COMPLETE — the answer %s can be trusted\n",
+				round, mustAnswers(p, db))
+			break
+		}
+		// The counterexample's extension names the tuples whose absence
+		// still matters: acquire exactly those.
+		fmt.Printf("round %d: incomplete — answers could still gain %v\n", round, cex.Gained)
+		acquired := 0
+		for _, loc := range cex.Extension.AllTuples() {
+			if !db.Relation(loc.Rel).Contains(loc.Tuple) {
+				fmt.Printf("         acquiring %s%v\n", loc.Rel, loc.Tuple)
+				db.MustInsert(loc.Rel, loc.Tuple)
+				acquired++
+			}
+		}
+		if acquired == 0 {
+			log.Fatal("no progress — counterexample added nothing")
+		}
+	}
+	fmt.Println("\nfinal data:    ", db)
+	fmt.Println("(only Edinburgh assets were acquired: the London rows never mattered)")
+}
+
+func mustAnswers(p *core.Problem, db *relation.Database) string {
+	ans, err := p.CertainAnswers(ctable.FromDatabase(db))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return fmt.Sprint(ans)
+}

@@ -1,0 +1,118 @@
+// Minimal database design: the paper's MINP motivation — a developer
+// wants to know the least data to collect so a query workload finds
+// complete answers. Starting from the master-saturated instance, this
+// example greedily removes tuples while preserving strong completeness
+// for every query of the workload, then certifies the result with the
+// MINP decider per query.
+//
+//	go run ./examples/minimaldesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+func main() {
+	// Reference data: a device registry bounded by master data.
+	device := relation.MustSchema("Device",
+		relation.Attr("id", nil), relation.Attr("model", nil))
+	schema := relation.MustDBSchema(device)
+	deviceM := relation.MustSchema("DeviceM",
+		relation.Attr("id", nil), relation.Attr("model", nil))
+	masterSchema := relation.MustDBSchema(deviceM)
+	dm := relation.NewDatabase(masterSchema)
+	for _, t := range []relation.Tuple{
+		{"d1", "alpha"}, {"d2", "alpha"}, {"d3", "beta"}, {"d4", "gamma"},
+	} {
+		dm.MustInsert("DeviceM", t)
+	}
+	ccs := cc.NewSet(cc.MustParse("dev_bound",
+		"q(i, m) := Device(i, m)", "p(i, m) := DeviceM(i, m)"))
+
+	// The workload the database must answer completely.
+	workload := []string{
+		"Q(i) := Device(i, 'alpha')", // which devices are alphas?
+		"Q(m) := Device('d3', m)",    // what model is d3?
+	}
+	problems := make([]*core.Problem, len(workload))
+	for i, src := range workload {
+		q, err := query.ParseQuery(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		problems[i], err = core.NewProblem(schema, core.CalcQuery(q), dm, ccs, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	completeForAll := func(db *relation.Database) (bool, error) {
+		for _, p := range problems {
+			ok, _, err := p.GroundComplete(db)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+
+	// Start from the only guaranteed-complete instance: the master
+	// image itself (saturating the CC bound).
+	db := relation.NewDatabase(schema)
+	for _, t := range dm.Relation("DeviceM").Tuples() {
+		db.MustInsert("Device", t)
+	}
+	ok, err := completeForAll(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("master-saturated instance (%d tuples) complete for the workload: %v\n", db.Size(), ok)
+
+	// Greedy minimisation: drop any tuple whose removal preserves
+	// completeness for every workload query.
+	fmt.Println("\ngreedy minimisation:")
+	for changed := true; changed; {
+		changed = false
+		for _, loc := range db.AllTuples() {
+			smaller := db.WithoutTuple(loc.Rel, loc.Tuple)
+			ok, err := completeForAll(smaller)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
+				fmt.Printf("  − %s%v is excess data\n", loc.Rel, loc.Tuple)
+				db = smaller
+				changed = true
+				break
+			}
+		}
+	}
+	fmt.Printf("\nminimal design (%d tuples): %v\n", db.Size(), db)
+
+	// Certify per query with the MINP decider on the ground result.
+	fmt.Println("\ncertification:")
+	ci := ctable.FromDatabase(db)
+	for i, p := range problems {
+		complete, err := p.RCDP(ci, core.Strong)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s complete=%v", workload[i], complete)
+		minimal, err := p.MINP(ci, core.Strong)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Per-query minimality can be false even though the set is
+		// minimal for the WORKLOAD: another query may need the tuple.
+		fmt.Printf("  minimal-for-this-query=%v\n", minimal)
+	}
+	fmt.Println("\n(the design is minimal for the workload as a whole: removing any")
+	fmt.Println(" tuple breaks completeness of at least one query)")
+}

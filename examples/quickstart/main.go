@@ -1,0 +1,101 @@
+// Quickstart: the paper's running example (Figure 1, Examples 1.1–2.4)
+// end to end — build the MVisit c-table with its missing values, bound
+// it by Patientm master data through containment constraints, and ask
+// the three completeness questions for the paper's queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/paperex"
+	"relcomplete/internal/query"
+)
+
+func main() {
+	fmt.Println("== Figure 1: the MVisit c-table (missing values x, z, w, u) ==")
+	full := paperex.Full()
+	for _, row := range full.T.Table("MVisit").Rows() {
+		fmt.Println("  ", row)
+	}
+	fmt.Println("\nMaster data (Patientm — complete for Edinburgh patients born after 1990):")
+	fmt.Println("  ", full.Dm.Relation("Patientm"))
+	fmt.Printf("\nContainment constraints: %d (Edinburgh/year bounds + the FD NHS → name, GD)\n",
+		full.CCs.Len())
+
+	// Cheap analyses run on the full eight-attribute table.
+	p, err := full.Problem(full.Q1, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	consistent, err := p.Consistent(full.T)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nIs Figure 1 consistent (Mod(T, Dm, V) ≠ ∅)?  %v\n", consistent)
+
+	// The completeness judgements of Examples 1.1–2.3, on the reduced
+	// four-attribute scenario (same verdicts, decider-sized input).
+	fmt.Println("\n== Examples 1.1–2.3 on the reduced scenario ==")
+	s := paperex.Reduced()
+
+	ask := func(label string, q *query.Query, ci *ctable.CInstance, m core.Model) {
+		prob, err := s.Problem(q, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok, cex, err := prob.RCDPExplain(ci, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-52s %v\n", label, ok)
+		if !ok && cex != nil {
+			fmt.Printf("      counterexample: extend %v\n", cex.Extension)
+			fmt.Printf("      new answers:    %v\n", cex.Gained)
+		}
+	}
+
+	fmt.Println("\nQ1 — names of patient 915-15-335 (Edinburgh, born 2000):")
+	ask("strongly complete?", s.Q1, s.T, core.Strong)
+
+	fmt.Println("\nQ2 — names of patient 915-15-321 (not yet recorded):")
+	ask("strongly complete?", s.Q2, s.T, core.Strong)
+	withAnna, err := s.WithRow(ctable.Row{Terms: []query.Term{
+		query.C("915-15-321"), query.C("Anna"), query.C("LON"), query.C("2000")}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ask("after adding the 915-15-321 tuple: complete?", s.Q2, withAnna, core.Strong)
+
+	fmt.Println("\nQ4 — all Edinburgh patients born 2000, with a row missing name and year:")
+	withVar, err := s.WithRow(ctable.Row{
+		Terms: []query.Term{query.C("915-15-336"), query.V("x"), query.C("EDI"), query.V("z")},
+		Cond:  ctable.Cond(ctable.CNeq(query.V("z"), query.C("2001"))),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ask("viably complete?  (some way to fill x, z works)", s.Q4, withVar, core.Viable)
+	ask("weakly complete?  (certain answers already present)", s.Q4, withVar, core.Weak)
+	ask("strongly complete? (every way to fill x, z works)", s.Q4, withVar, core.Strong)
+
+	// Example 2.4: minimality.
+	fmt.Println("\n== Example 2.4: minimality ==")
+	probQ1, _ := s.Problem(s.Q1, core.Options{})
+	minimal, err := probQ1.MINP(s.T, core.Strong)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  single John row minimal for Q1?                      %v\n", minimal)
+	withJack, _ := s.WithRow(ctable.Row{Terms: []query.Term{
+		query.C("915-15-358"), query.C("Jack"), query.C("LON"), query.C("2000")}})
+	minimal, err = probQ1.MINP(withJack, core.Strong)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  with the unrelated Jack row added: still minimal?    %v\n", minimal)
+}

@@ -1,0 +1,3 @@
+module relcomplete
+
+go 1.22

@@ -1,0 +1,241 @@
+// Package cc implements the containment constraints (CCs) of the paper:
+// expressions q(R) ⊆ p(Rm) where q is a conjunctive query (with = and ≠)
+// over the database schema R and p is a projection query over the master
+// data schema Rm. A ground instance I and master data Dm satisfy the CC
+// when q(I) ⊆ p(Dm).
+//
+// The package also provides the constraint classes the paper discusses
+// alongside CCs: functional dependencies and denial constraints (which
+// CCs can encode, Example 2.1), and inclusion dependencies (which CCs in
+// CQ cannot, Proposition 3.1 — they are kept as a separate type used by
+// the undecidability gadget and by the tractable RCQP case of
+// Corollary 7.2).
+package cc
+
+import (
+	"fmt"
+	"strings"
+
+	"relcomplete/internal/eval"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+// Constraint is one containment constraint q(R) ⊆ p(Rm).
+type Constraint struct {
+	Name  string
+	Left  *query.Query // q, over the data schema; must be CQ
+	Right *query.Query // p, over the master schema; must be CQ (projection queries are the paper's case)
+}
+
+// New validates and builds a CC. Both sides must be conjunctive
+// (allowing = and ≠) and have equal output arity.
+func New(name string, left, right *query.Query) (*Constraint, error) {
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("cc %s: nil side", name)
+	}
+	if cls := query.Classify(left); cls != query.ClassCQ {
+		return nil, fmt.Errorf("cc %s: left side is %v, want CQ", name, cls)
+	}
+	if cls := query.Classify(right); cls != query.ClassCQ {
+		return nil, fmt.Errorf("cc %s: right side is %v, want CQ", name, cls)
+	}
+	if left.Arity() != right.Arity() {
+		return nil, fmt.Errorf("cc %s: arity mismatch %d vs %d", name, left.Arity(), right.Arity())
+	}
+	return &Constraint{Name: name, Left: left, Right: right}, nil
+}
+
+// Must is New that panics on error.
+func Must(name string, left, right *query.Query) *Constraint {
+	c, err := New(name, left, right)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Parse builds a CC from the text forms of its two queries.
+func Parse(name, left, right string) (*Constraint, error) {
+	l, err := query.ParseQuery(left)
+	if err != nil {
+		return nil, fmt.Errorf("cc %s: left: %w", name, err)
+	}
+	r, err := query.ParseQuery(right)
+	if err != nil {
+		return nil, fmt.Errorf("cc %s: right: %w", name, err)
+	}
+	return New(name, l, r)
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(name, left, right string) *Constraint {
+	c, err := Parse(name, left, right)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Satisfied reports (I, Dm) ⊨ φ, i.e. q(I) ⊆ p(Dm).
+func (c *Constraint) Satisfied(db, master *relation.Database, opts eval.Options) (bool, error) {
+	lhs, err := eval.Answers(db, c.Left, opts)
+	if err != nil {
+		return false, fmt.Errorf("cc %s: %w", c.Name, err)
+	}
+	if len(lhs) == 0 {
+		return true, nil
+	}
+	rhs, err := eval.Answers(master, c.Right, opts)
+	if err != nil {
+		return false, fmt.Errorf("cc %s: %w", c.Name, err)
+	}
+	inRHS := make(map[string]bool, len(rhs))
+	for _, t := range rhs {
+		inRHS[t.Key()] = true
+	}
+	for _, t := range lhs {
+		if !inRHS[t.Key()] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// String renders the CC.
+func (c *Constraint) String() string {
+	return fmt.Sprintf("%s: %s ⊆ %s", c.Name, c.Left, c.Right)
+}
+
+// Set is a collection V of CCs.
+type Set struct {
+	Constraints []*Constraint
+}
+
+// NewSet builds a CC set.
+func NewSet(cs ...*Constraint) *Set { return &Set{Constraints: cs} }
+
+// Add appends constraints to the set.
+func (s *Set) Add(cs ...*Constraint) { s.Constraints = append(s.Constraints, cs...) }
+
+// Len returns the number of constraints.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Constraints)
+}
+
+// Satisfied reports (I, Dm) ⊨ V.
+func (s *Set) Satisfied(db, master *relation.Database, opts eval.Options) (bool, error) {
+	if s == nil {
+		return true, nil
+	}
+	for _, c := range s.Constraints {
+		ok, err := c.Satisfied(db, master, opts)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Violations returns the constraints violated by (db, master), in order.
+func (s *Set) Violations(db, master *relation.Database, opts eval.Options) ([]*Constraint, error) {
+	if s == nil {
+		return nil, nil
+	}
+	var out []*Constraint
+	for _, c := range s.Constraints {
+		ok, err := c.Satisfied(db, master, opts)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// Constants collects the constants mentioned by all CCs of the set.
+func (s *Set) Constants(dst *relation.ValueSet) *relation.ValueSet {
+	if dst == nil {
+		dst = relation.NewValueSet()
+	}
+	if s == nil {
+		return dst
+	}
+	for _, c := range s.Constraints {
+		query.QueryConstants(c.Left, dst)
+		query.QueryConstants(c.Right, dst)
+	}
+	return dst
+}
+
+// Vars counts the distinct variables across the left sides — used for
+// Adom sizing.
+func (s *Set) Vars() []string {
+	seen := map[string]bool{}
+	if s != nil {
+		for _, c := range s.Constraints {
+			for _, v := range query.AllVars(c.Left.Body) {
+				seen[c.Name+"/"+v] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	return out
+}
+
+// String renders the set.
+func (s *Set) String() string {
+	parts := make([]string, s.Len())
+	for i, c := range s.Constraints {
+		parts[i] = c.String()
+	}
+	return "{" + strings.Join(parts, "; ") + "}"
+}
+
+// Merge rewrites every left side for the merged single-relation schema
+// of Lemma 3.2 (the paper's fC); right sides address master data and are
+// unchanged.
+func (s *Set) Merge(m *relation.Merger) (*Set, error) {
+	out := &Set{Constraints: make([]*Constraint, s.Len())}
+	for i, c := range s.Constraints {
+		left, err := query.MergeQuery(m, c.Left)
+		if err != nil {
+			return nil, fmt.Errorf("cc %s: %w", c.Name, err)
+		}
+		out.Constraints[i] = &Constraint{Name: c.Name, Left: left, Right: c.Right}
+	}
+	return out, nil
+}
+
+// FullContainment builds the CC R ⊆ Rm stating that the whole data
+// relation is bounded by a master relation of the same arity — the
+// workhorse of the paper's reductions (e.g. R(0,1) ⊆ Rm(0,1)).
+func FullContainment(name string, dataRel *relation.Schema, masterRel *relation.Schema) (*Constraint, error) {
+	if dataRel.Arity() != masterRel.Arity() {
+		return nil, fmt.Errorf("cc %s: arity mismatch %d vs %d", name, dataRel.Arity(), masterRel.Arity())
+	}
+	head := make([]query.Term, dataRel.Arity())
+	for i := range head {
+		head[i] = query.V(fmt.Sprintf("x%d", i+1))
+	}
+	left := query.MustQuery(name+"_q", head, query.NewAtom(dataRel.Name, head...))
+	right := query.MustQuery(name+"_p", head, query.NewAtom(masterRel.Name, head...))
+	return New(name, left, right)
+}
+
+// MustFullContainment is FullContainment that panics on error.
+func MustFullContainment(name string, dataRel, masterRel *relation.Schema) *Constraint {
+	c, err := FullContainment(name, dataRel, masterRel)
+	if err != nil {
+		panic(c)
+	}
+	return c
+}

@@ -1,0 +1,275 @@
+package cc
+
+import (
+	"fmt"
+
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+// FD is a functional dependency X → Y on one relation, with X and Y
+// lists of attribute names.
+type FD struct {
+	Rel string
+	LHS []string
+	RHS []string
+}
+
+// String renders the FD.
+func (fd FD) String() string {
+	return fmt.Sprintf("%s: %v -> %v", fd.Rel, fd.LHS, fd.RHS)
+}
+
+// Holds reports whether the instance satisfies the FD.
+func (fd FD) Holds(inst *relation.Instance) (bool, error) {
+	sch := inst.Schema()
+	lhsIdx, err := attrIndexes(sch, fd.LHS)
+	if err != nil {
+		return false, err
+	}
+	rhsIdx, err := attrIndexes(sch, fd.RHS)
+	if err != nil {
+		return false, err
+	}
+	seen := map[string]relation.Tuple{}
+	for _, t := range inst.Tuples() {
+		key := projectKey(t, lhsIdx)
+		if prev, ok := seen[key]; ok {
+			for _, i := range rhsIdx {
+				if prev[i] != t[i] {
+					return false, nil
+				}
+			}
+		} else {
+			seen[key] = t
+		}
+	}
+	return true, nil
+}
+
+// AsCCs encodes the FD as containment constraints against an empty
+// master relation (Example 2.1): one CC per right-hand attribute, each
+// with a Boolean violation query that must stay empty. emptyMaster must
+// be an (always empty) relation of the master schema.
+func (fd FD) AsCCs(dataSchema *relation.DBSchema, emptyMaster *relation.Schema) ([]*Constraint, error) {
+	rel := dataSchema.Relation(fd.Rel)
+	if rel == nil {
+		return nil, fmt.Errorf("fd: unknown relation %s", fd.Rel)
+	}
+	lhsIdx, err := attrIndexes(rel, fd.LHS)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Constraint
+	for _, rhsAttr := range fd.RHS {
+		rhsI := rel.AttrIndex(rhsAttr)
+		if rhsI < 0 {
+			return nil, fmt.Errorf("fd: relation %s has no attribute %s", fd.Rel, rhsAttr)
+		}
+		// Two copies of the relation sharing the LHS variables, with
+		// distinct variables in the RHS position that must differ.
+		t1 := make([]query.Term, rel.Arity())
+		t2 := make([]query.Term, rel.Arity())
+		shared := map[int]bool{}
+		for _, i := range lhsIdx {
+			shared[i] = true
+		}
+		for i := 0; i < rel.Arity(); i++ {
+			switch {
+			case shared[i]:
+				v := query.V(fmt.Sprintf("k%d", i))
+				t1[i], t2[i] = v, v
+			case i == rhsI:
+				t1[i], t2[i] = query.V("a1"), query.V("a2")
+			default:
+				t1[i], t2[i] = query.V(fmt.Sprintf("u%d", i)), query.V(fmt.Sprintf("v%d", i))
+			}
+		}
+		body := query.Conj(
+			query.NewAtom(rel.Name, t1...),
+			query.NewAtom(rel.Name, t2...),
+			query.NeqT(query.V("a1"), query.V("a2")),
+		)
+		name := fmt.Sprintf("fd_%s_%s", fd.Rel, rhsAttr)
+		left := query.MustQuery(name+"_q", nil, body)
+		right := query.MustQuery(name+"_p", nil,
+			query.Ex(varNames(emptyMaster.Arity()), query.NewAtom(emptyMaster.Name, emptyTerms(emptyMaster.Arity())...)))
+		c, err := New(name, left, right)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func emptyTerms(arity int) []query.Term {
+	ts := make([]query.Term, arity)
+	for i := range ts {
+		ts[i] = query.V(fmt.Sprintf("w%d", i))
+	}
+	return ts
+}
+
+// DenialAsCC encodes a denial constraint — a Boolean CQ that must have
+// an empty answer — as a CC against an empty master relation.
+func DenialAsCC(name string, violation *query.Query, emptyMaster *relation.Schema) (*Constraint, error) {
+	if !violation.IsBoolean() {
+		return nil, fmt.Errorf("denial %s: violation query must be Boolean", name)
+	}
+	right := query.MustQuery(name+"_p", nil,
+		query.Ex(varNames(emptyMaster.Arity()), query.NewAtom(emptyMaster.Name, emptyTerms(emptyMaster.Arity())...)))
+	return New(name, violation, right)
+}
+
+func varNames(arity int) []string {
+	vs := make([]string, arity)
+	for i := range vs {
+		vs[i] = fmt.Sprintf("w%d", i)
+	}
+	return vs
+}
+
+// IND is an inclusion dependency R1[X] ⊆ R2[Y]. The paper shows INDs
+// are not expressible as CCs in CQ (they need FO), and that admitting
+// them as integrity constraints makes RCDP/RCQP undecidable
+// (Proposition 3.1); they are also the constraint class under which
+// RCQP becomes tractable when used *as* CCs from data to master
+// (Corollary 7.2).
+type IND struct {
+	FromRel   string
+	FromAttrs []string
+	ToRel     string
+	ToAttrs   []string
+}
+
+// String renders the IND.
+func (ind IND) String() string {
+	return fmt.Sprintf("%s%v ⊆ %s%v", ind.FromRel, ind.FromAttrs, ind.ToRel, ind.ToAttrs)
+}
+
+// Validate checks the attribute lists against the schemas holding the
+// two relations.
+func (ind IND) Validate(from, to *relation.Schema) error {
+	if len(ind.FromAttrs) != len(ind.ToAttrs) || len(ind.FromAttrs) == 0 {
+		return fmt.Errorf("ind %s: attribute lists must be non-empty and equal length", ind)
+	}
+	if _, err := attrIndexes(from, ind.FromAttrs); err != nil {
+		return err
+	}
+	if _, err := attrIndexes(to, ind.ToAttrs); err != nil {
+		return err
+	}
+	return nil
+}
+
+// HoldsWithin reports whether a single database satisfies the IND (both
+// relations in db) — used by the Proposition 3.1 gadget where INDs are
+// integrity constraints on the database itself.
+func (ind IND) HoldsWithin(db *relation.Database) (bool, error) {
+	from := db.Relation(ind.FromRel)
+	to := db.Relation(ind.ToRel)
+	if from == nil || to == nil {
+		return false, fmt.Errorf("ind %s: missing relation", ind)
+	}
+	fromIdx, err := attrIndexes(from.Schema(), ind.FromAttrs)
+	if err != nil {
+		return false, err
+	}
+	toIdx, err := attrIndexes(to.Schema(), ind.ToAttrs)
+	if err != nil {
+		return false, err
+	}
+	avail := map[string]bool{}
+	for _, t := range to.Tuples() {
+		avail[projectKey(t, toIdx)] = true
+	}
+	for _, t := range from.Tuples() {
+		if !avail[projectKey(t, fromIdx)] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// AsCC encodes the IND as a data-to-master CC (q and p both projection
+// queries): FromRel is a data relation, ToRel a master relation. This
+// is the shape Corollary 7.2 makes tractable.
+func (ind IND) AsCC(dataSchema *relation.DBSchema, masterSchema *relation.DBSchema) (*Constraint, error) {
+	from := dataSchema.Relation(ind.FromRel)
+	if from == nil {
+		return nil, fmt.Errorf("ind %s: unknown data relation %s", ind, ind.FromRel)
+	}
+	to := masterSchema.Relation(ind.ToRel)
+	if to == nil {
+		return nil, fmt.Errorf("ind %s: unknown master relation %s", ind, ind.ToRel)
+	}
+	if err := ind.Validate(from, to); err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("ind_%s_%s", ind.FromRel, ind.ToRel)
+	left := projectionQuery(name+"_q", from, ind.FromAttrs)
+	right := projectionQuery(name+"_p", to, ind.ToAttrs)
+	return New(name, left, right)
+}
+
+// IsProjectionCC reports whether the constraint has the IND shape of
+// Corollary 7.2: both sides are pure projection queries (a single atom
+// with pairwise-distinct variables, no comparisons, head a subset of
+// the atom's variables).
+func IsProjectionCC(c *Constraint) bool {
+	return isProjectionQuery(c.Left) && isProjectionQuery(c.Right)
+}
+
+func isProjectionQuery(q *query.Query) bool {
+	tab, err := query.TableauOf(q)
+	if err != nil || len(tab.Atoms) != 1 || len(tab.Compares) != 0 {
+		return false
+	}
+	seen := map[string]bool{}
+	for _, t := range tab.Atoms[0].Terms {
+		if !t.IsVar || seen[t.Name] {
+			return false
+		}
+		seen[t.Name] = true
+	}
+	for _, h := range q.Head {
+		if !h.IsVar || !seen[h.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// projectionQuery builds π_attrs(rel) as a query.
+func projectionQuery(name string, rel *relation.Schema, attrs []string) *query.Query {
+	terms := make([]query.Term, rel.Arity())
+	for i := range terms {
+		terms[i] = query.V(fmt.Sprintf("x%d", i))
+	}
+	head := make([]query.Term, len(attrs))
+	for i, a := range attrs {
+		head[i] = terms[rel.AttrIndex(a)]
+	}
+	return query.MustQuery(name, head, query.NewAtom(rel.Name, terms...))
+}
+
+func attrIndexes(sch *relation.Schema, attrs []string) ([]int, error) {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		idx := sch.AttrIndex(a)
+		if idx < 0 {
+			return nil, fmt.Errorf("relation %s has no attribute %s", sch.Name, a)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+func projectKey(t relation.Tuple, idx []int) string {
+	sub := make(relation.Tuple, len(idx))
+	for i, j := range idx {
+		sub[i] = t[j]
+	}
+	return sub.Key()
+}

@@ -1,0 +1,197 @@
+package cc
+
+import (
+	"testing"
+
+	"relcomplete/internal/eval"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+func TestFDHolds(t *testing.T) {
+	sch := relation.MustSchema("R",
+		relation.Attr("NHS", nil), relation.Attr("name", nil), relation.Attr("GD", nil))
+	fd := FD{Rel: "R", LHS: []string{"NHS"}, RHS: []string{"name", "GD"}}
+
+	ok, err := fd.Holds(relation.MustInstance(sch,
+		relation.T("1", "john", "M"), relation.T("2", "mary", "F")))
+	if err != nil || !ok {
+		t.Fatalf("FD should hold: %v %v", ok, err)
+	}
+
+	ok, _ = fd.Holds(relation.MustInstance(sch,
+		relation.T("1", "john", "M"), relation.T("1", "jack", "M")))
+	if ok {
+		t.Fatal("name differs on same NHS: FD must fail")
+	}
+
+	if _, err := (FD{Rel: "R", LHS: []string{"nope"}, RHS: []string{"name"}}).Holds(
+		relation.MustInstance(sch)); err == nil {
+		t.Fatal("unknown attribute should error")
+	}
+}
+
+// Example 2.1: the FD NHS -> name, GD encoded as CCs against an empty
+// master relation detects exactly the violating instances.
+func TestFDAsCCs(t *testing.T) {
+	data := relation.MustDBSchema(relation.MustSchema("R",
+		relation.Attr("NHS", nil), relation.Attr("name", nil), relation.Attr("GD", nil)))
+	master := relation.MustDBSchema(relation.MustSchema("Empty", relation.Attr("W", nil)))
+	dm := relation.NewDatabase(master)
+
+	fd := FD{Rel: "R", LHS: []string{"NHS"}, RHS: []string{"name", "GD"}}
+	ccs, err := fd.AsCCs(data, master.Relation("Empty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ccs) != 2 {
+		t.Fatalf("want one CC per RHS attribute, got %d", len(ccs))
+	}
+	v := NewSet(ccs...)
+
+	good := relation.NewDatabase(data)
+	good.MustInsert("R", relation.T("1", "john", "M"))
+	good.MustInsert("R", relation.T("2", "mary", "F"))
+	ok, err := v.Satisfied(good, dm, eval.Options{})
+	if err != nil || !ok {
+		t.Fatalf("satisfying instance flagged: %v %v", ok, err)
+	}
+
+	bad := good.WithTuple("R", relation.T("1", "jack", "M"))
+	ok, _ = v.Satisfied(bad, dm, eval.Options{})
+	if ok {
+		t.Fatal("violating instance accepted")
+	}
+
+	// Cross-check CC encoding against direct FD checking on random data.
+	holds, _ := fd.Holds(bad.Relation("R"))
+	if holds {
+		t.Fatal("direct check disagrees")
+	}
+}
+
+func TestFDAsCCsValidation(t *testing.T) {
+	data := relation.MustDBSchema(relation.MustSchema("R", relation.Attr("A", nil)))
+	master := relation.MustDBSchema(relation.MustSchema("Empty", relation.Attr("W", nil)))
+	if _, err := (FD{Rel: "X", LHS: []string{"A"}, RHS: []string{"A"}}).AsCCs(data, master.Relation("Empty")); err == nil {
+		t.Fatal("unknown relation should fail")
+	}
+	if _, err := (FD{Rel: "R", LHS: []string{"A"}, RHS: []string{"Z"}}).AsCCs(data, master.Relation("Empty")); err == nil {
+		t.Fatal("unknown RHS attribute should fail")
+	}
+}
+
+func TestDenialAsCC(t *testing.T) {
+	data := relation.MustDBSchema(relation.MustSchema("R", relation.Attr("A", nil), relation.Attr("B", nil)))
+	master := relation.MustDBSchema(relation.MustSchema("Empty", relation.Attr("W", nil)))
+	dm := relation.NewDatabase(master)
+
+	// Denial: no tuple may have A = B.
+	viol := query.MustParseQuery("v() := exists x: R(x, x)")
+	c, err := DenialAsCC("noloop", viol, master.Relation("Empty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := relation.NewDatabase(data)
+	db.MustInsert("R", relation.T("1", "2"))
+	ok, _ := c.Satisfied(db, dm, eval.Options{})
+	if !ok {
+		t.Fatal("no violation yet")
+	}
+	db.MustInsert("R", relation.T("3", "3"))
+	ok, _ = c.Satisfied(db, dm, eval.Options{})
+	if ok {
+		t.Fatal("loop tuple should violate the denial")
+	}
+
+	if _, err := DenialAsCC("bad", query.MustParseQuery("v(x) := R(x, x)"), master.Relation("Empty")); err == nil {
+		t.Fatal("non-Boolean violation query should fail")
+	}
+}
+
+func TestINDHoldsWithin(t *testing.T) {
+	sch := relation.MustDBSchema(
+		relation.MustSchema("R", relation.Attr("A", nil), relation.Attr("B", nil)),
+		relation.MustSchema("S", relation.Attr("X", nil)),
+	)
+	db := relation.NewDatabase(sch)
+	ind := IND{FromRel: "R", FromAttrs: []string{"B"}, ToRel: "S", ToAttrs: []string{"X"}}
+
+	db.MustInsert("R", relation.T("1", "2"))
+	ok, err := ind.HoldsWithin(db)
+	if err != nil || ok {
+		t.Fatal("2 not in S: IND must fail")
+	}
+	db.MustInsert("S", relation.T("2"))
+	ok, _ = ind.HoldsWithin(db)
+	if !ok {
+		t.Fatal("IND should hold now")
+	}
+
+	bad := IND{FromRel: "R", FromAttrs: []string{"B"}, ToRel: "Gone", ToAttrs: []string{"X"}}
+	if _, err := bad.HoldsWithin(db); err == nil {
+		t.Fatal("missing relation should error")
+	}
+}
+
+func TestINDAsCC(t *testing.T) {
+	data := relation.MustDBSchema(relation.MustSchema("R", relation.Attr("A", nil), relation.Attr("B", nil)))
+	master := relation.MustDBSchema(relation.MustSchema("M", relation.Attr("K", nil)))
+	ind := IND{FromRel: "R", FromAttrs: []string{"A"}, ToRel: "M", ToAttrs: []string{"K"}}
+	c, err := ind.AsCC(data, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsProjectionCC(c) {
+		t.Fatal("IND CC should have projection shape")
+	}
+	db := relation.NewDatabase(data)
+	dm := relation.NewDatabase(master)
+	db.MustInsert("R", relation.T("k1", "v"))
+	ok, _ := c.Satisfied(db, dm, eval.Options{})
+	if ok {
+		t.Fatal("k1 not in master")
+	}
+	dm.MustInsert("M", relation.T("k1"))
+	ok, _ = c.Satisfied(db, dm, eval.Options{})
+	if !ok {
+		t.Fatal("should hold now")
+	}
+}
+
+func TestINDValidate(t *testing.T) {
+	data := relation.MustDBSchema(relation.MustSchema("R", relation.Attr("A", nil)))
+	master := relation.MustDBSchema(relation.MustSchema("M", relation.Attr("K", nil)))
+	cases := []IND{
+		{FromRel: "R", FromAttrs: []string{"A", "A"}, ToRel: "M", ToAttrs: []string{"K"}},
+		{FromRel: "R", FromAttrs: nil, ToRel: "M", ToAttrs: nil},
+		{FromRel: "R", FromAttrs: []string{"Z"}, ToRel: "M", ToAttrs: []string{"K"}},
+		{FromRel: "R", FromAttrs: []string{"A"}, ToRel: "M", ToAttrs: []string{"Z"}},
+	}
+	for _, ind := range cases {
+		if _, err := ind.AsCC(data, master); err == nil {
+			t.Errorf("IND %v should fail validation", ind)
+		}
+	}
+	if _, err := (IND{FromRel: "X", FromAttrs: []string{"A"}, ToRel: "M", ToAttrs: []string{"K"}}).AsCC(data, master); err == nil {
+		t.Error("unknown data relation should fail")
+	}
+	if _, err := (IND{FromRel: "R", FromAttrs: []string{"A"}, ToRel: "X", ToAttrs: []string{"K"}}).AsCC(data, master); err == nil {
+		t.Error("unknown master relation should fail")
+	}
+}
+
+func TestIsProjectionCC(t *testing.T) {
+	notProj := MustParse("c", "q(x) := R(x, y) & x != y", "p(x) := exists k: M(x, k)")
+	if IsProjectionCC(notProj) {
+		t.Fatal("comparison should disqualify projection shape")
+	}
+	alsoNot := MustParse("c", "q(x) := R(x, x)", "p(x) := M(x)")
+	if IsProjectionCC(alsoNot) {
+		t.Fatal("repeated variable should disqualify projection shape")
+	}
+	constHead := MustParse("c", "q('k') := R(x, y)", "p('k') := M(z)")
+	if IsProjectionCC(constHead) {
+		t.Fatal("constant head should disqualify projection shape")
+	}
+}

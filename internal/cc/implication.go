@@ -1,0 +1,100 @@
+package cc
+
+import (
+	"fmt"
+	"sort"
+
+	"relcomplete/internal/relation"
+)
+
+// This file implements implication reasoning for functional
+// dependencies over a single relation via Armstrong's axioms
+// (attribute-set closure). FD-only implication is decidable in linear
+// time; adding INDs makes it undecidable — which is exactly why
+// Proposition 3.1 shows RCDP/RCQP undecidable under FD+IND integrity
+// constraints. The closure here serves as the ground-truth oracle for
+// the finite families the Proposition 3.1 gadget is exercised on.
+
+// FDClosure computes the closure X⁺ of an attribute set under a set of
+// FDs (all on the same relation).
+func FDClosure(fds []FD, rel string, attrs []string) []string {
+	closure := map[string]bool{}
+	for _, a := range attrs {
+		closure[a] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fds {
+			if fd.Rel != rel {
+				continue
+			}
+			all := true
+			for _, a := range fd.LHS {
+				if !closure[a] {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			for _, a := range fd.RHS {
+				if !closure[a] {
+					closure[a] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(closure))
+	for a := range closure {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FDImplies decides Θ ⊨ φ for FD sets via attribute closure: φ's RHS
+// must lie in the closure of its LHS.
+func FDImplies(theta []FD, phi FD) bool {
+	closure := FDClosure(theta, phi.Rel, phi.LHS)
+	in := map[string]bool{}
+	for _, a := range closure {
+		in[a] = true
+	}
+	for _, a := range phi.RHS {
+		if !in[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// FDCounterexample builds the classic two-tuple Armstrong witness for
+// Θ ⊭ φ: two tuples agreeing exactly on the closure of φ's LHS. It
+// returns nil when Θ ⊨ φ. The witness satisfies every FD of Θ and
+// violates φ.
+func FDCounterexample(theta []FD, phi FD, sch *relation.Schema) (*relation.Instance, error) {
+	if FDImplies(theta, phi) {
+		return nil, nil
+	}
+	closure := map[string]bool{}
+	for _, a := range FDClosure(theta, phi.Rel, phi.LHS) {
+		closure[a] = true
+	}
+	t1 := make(relation.Tuple, sch.Arity())
+	t2 := make(relation.Tuple, sch.Arity())
+	for i, a := range sch.AttrNames() {
+		t1[i] = "0"
+		if closure[a] {
+			t2[i] = "0"
+		} else {
+			t2[i] = "1"
+		}
+	}
+	inst, err := relation.InstanceOf(sch, t1, t2)
+	if err != nil {
+		return nil, fmt.Errorf("cc: counterexample construction: %w", err)
+	}
+	return inst, nil
+}

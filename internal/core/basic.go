@@ -1,0 +1,189 @@
+package core
+
+import (
+	"relcomplete/internal/adom"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/relation"
+)
+
+// This file implements the basic analyses of Section 3: partial
+// closure, the consistency problem and the extensibility problem
+// (Proposition 3.3, both Σp2-complete), plus the shared enumeration of
+// ModAdom(T, Dm, V) every decider is built on.
+
+// PartiallyClosed reports whether the ground instance satisfies V, i.e.
+// (I, Dm) ⊨ V.
+func (p *Problem) PartiallyClosed(db *relation.Database) (bool, error) {
+	return p.satisfiesCCs(db)
+}
+
+// forEachModel enumerates ModAdom(T, Dm, V): for every valuation µ of
+// T's variables over the active domain with (µ(T), Dm) ⊨ V, fn is
+// called with µ(T). Distinct valuations yielding the same ground
+// instance are deduplicated. Enumeration stops when fn returns false.
+func (p *Problem) forEachModel(ci *ctable.CInstance, d *domains,
+	fn func(db *relation.Database, mu ctable.Valuation) (bool, error)) error {
+	seen := map[string]bool{}
+	visit := func(mu ctable.Valuation) (bool, error) {
+		db, err := ci.Apply(mu)
+		if err != nil {
+			return false, err
+		}
+		key := dbKey(db)
+		if seen[key] {
+			return true, nil
+		}
+		seen[key] = true
+		ok, err := p.satisfiesCCs(db)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		return fn(db, mu)
+	}
+	if d.ty != nil {
+		return p.enumerateTyped(ci, d.a, d.ty, visit)
+	}
+	return d.a.Enumerate(ci.Vars(), ci.VarDomains(), p.Options.MaxValuations, visit)
+}
+
+// dbKey canonically serialises a ground database for deduplication.
+func dbKey(db *relation.Database) string {
+	out := ""
+	for _, r := range db.Schema().Relations() {
+		out += "|" + r.Name + ":"
+		for _, t := range db.Relation(r.Name).Sorted() {
+			out += t.Key() + ","
+		}
+	}
+	return out
+}
+
+// Consistent decides the consistency problem: is Mod(T, Dm, V)
+// non-empty? (Proposition 3.3; Σp2-complete.)
+func (p *Problem) Consistent(ci *ctable.CInstance) (bool, error) {
+	d, err := p.domainsFor(ci, false, false)
+	if err != nil {
+		return false, err
+	}
+	found := false
+	err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
+		found = true
+		return false, nil
+	})
+	return found, err
+}
+
+// AnyModel returns one member of ModAdom(T, Dm, V), or nil when the
+// c-instance is inconsistent.
+func (p *Problem) AnyModel(ci *ctable.CInstance) (*relation.Database, error) {
+	d, err := p.domainsFor(ci, false, false)
+	if err != nil {
+		return nil, err
+	}
+	var out *relation.Database
+	err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
+		out = db
+		return false, nil
+	})
+	return out, err
+}
+
+// Models materialises ModAdom(T, Dm, V) up to max instances (0 = all).
+func (p *Problem) Models(ci *ctable.CInstance, max int) ([]*relation.Database, error) {
+	d, err := p.domainsFor(ci, false, false)
+	if err != nil {
+		return nil, err
+	}
+	var out []*relation.Database
+	err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
+		out = append(out, db)
+		return max == 0 || len(out) < max, nil
+	})
+	return out, err
+}
+
+// Extensible decides the extensibility problem: is Ext(I, Dm, V)
+// non-empty? By monotonicity of the CQ queries defining CCs it
+// suffices to try single-tuple extensions over the active domain
+// (Proposition 3.3; Σp2-complete).
+func (p *Problem) Extensible(db *relation.Database) (bool, error) {
+	d, err := p.domainsFor(ctable.FromDatabase(db), false, true)
+	if err != nil {
+		return false, err
+	}
+	found := false
+	err = p.forEachSingleTupleExtension(db, d, func(ext *relation.Database, rel string, t relation.Tuple) (bool, error) {
+		found = true
+		return false, nil
+	})
+	return found, err
+}
+
+// forEachSingleTupleExtension enumerates every partially closed
+// extension I ∪ {t} of db with t a fresh tuple over the active domain
+// (respecting finite attribute domains).
+func (p *Problem) forEachSingleTupleExtension(db *relation.Database, d *domains,
+	fn func(ext *relation.Database, rel string, t relation.Tuple) (bool, error)) error {
+	for _, r := range p.Schema.Relations() {
+		cont, err := p.latticeOver(r, d, func(t relation.Tuple) (bool, error) {
+			if db.Relation(r.Name).Contains(t) {
+				return true, nil
+			}
+			ext := db.WithTuple(r.Name, t)
+			ok, err := p.satisfiesCCs(ext)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return true, nil
+			}
+			return fn(ext, r.Name, t)
+		})
+		if err != nil || !cont {
+			return err
+		}
+	}
+	return nil
+}
+
+// latticeOver enumerates the candidate lattice of one relation under
+// the typing (or the full Adom lattice when typing is off).
+func (p *Problem) latticeOver(r *relation.Schema, d *domains,
+	fn func(t relation.Tuple) (bool, error)) (bool, error) {
+	if d.ty != nil {
+		return p.typedTuplesOver(r, d.a, d.ty, fn)
+	}
+	return p.tuplesOver(r, d.a, fn)
+}
+
+// tuplesOver enumerates the tuples of the lattice L for one relation:
+// every combination of active-domain values admissible in the
+// relation's attribute domains. It reports whether enumeration ran to
+// completion.
+func (p *Problem) tuplesOver(r *relation.Schema, a *adom.Adom,
+	fn func(t relation.Tuple) (bool, error)) (bool, error) {
+	t := make(relation.Tuple, r.Arity())
+	tried := 0
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == r.Arity() {
+			tried++
+			if p.Options.MaxValuations > 0 && tried > p.Options.MaxValuations {
+				return false, ErrBudget
+			}
+			return fn(t.Clone())
+		}
+		for _, v := range a.CandidatesFor(r.DomainAt(i)) {
+			t[i] = v
+			cont, err := rec(i + 1)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	return rec(0)
+}

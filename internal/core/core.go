@@ -1,0 +1,540 @@
+// Package core implements the paper's primary contribution: deciding
+// relative information completeness for partially closed c-instances.
+//
+// It provides the two basic analyses of Proposition 3.3 (consistency
+// and extensibility), and the three decision problems RCDP, RCQP and
+// MINP in each of the paper's three completeness models — strong, weak
+// and viable — for the query languages CQ, UCQ, ∃FO+, FO and FP.
+//
+// Every decidable cell of the paper's Table I is implemented as an
+// exact procedure built on the paper's own small-model
+// characterisations (active-domain valuations, Lemmas 4.2/4.3/4.7,
+// Lemma 5.2, Lemma 5.7); every undecidable cell returns ErrUndecidable,
+// and the paper's open problem (RCQP, weak model, FO, c-instances)
+// returns ErrOpen. The procedures are exponential in the worst case —
+// they decide Πp2- to Πp4-complete problems — and polynomial in the
+// paper's tractable special cases (see internal/tractable).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"relcomplete/internal/adom"
+	"relcomplete/internal/cc"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/eval"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+// Model selects one of the paper's three completeness models.
+type Model int
+
+// The completeness models of Section 2.2.
+const (
+	Strong Model = iota
+	Weak
+	Viable
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case Strong:
+		return "strong"
+	case Weak:
+		return "weak"
+	default:
+		return "viable"
+	}
+}
+
+// Lang is the query-language parameter LQ of the decision problems.
+type Lang int
+
+// The query languages of the paper.
+const (
+	CQ Lang = iota
+	UCQ
+	EFOPlus
+	FO
+	FP
+)
+
+// String names the language as in the paper.
+func (l Lang) String() string {
+	switch l {
+	case CQ:
+		return "CQ"
+	case UCQ:
+		return "UCQ"
+	case EFOPlus:
+		return "∃FO+"
+	case FO:
+		return "FO"
+	default:
+		return "FP"
+	}
+}
+
+// Sentinel errors.
+var (
+	// ErrUndecidable marks a (problem, model, language) combination the
+	// paper proves undecidable.
+	ErrUndecidable = errors.New("relcomplete: problem undecidable for this language and model (Table I)")
+	// ErrOpen marks the paper's open problem: RCQP in the weak model
+	// for FO over c-instances.
+	ErrOpen = errors.New("relcomplete: precise status open (RCQP, weak model, FO, c-instances)")
+	// ErrInconsistent is returned when a decider requires Mod(T, Dm, V)
+	// to be non-empty (a partially closed c-instance) and it is empty.
+	ErrInconsistent = errors.New("relcomplete: c-instance is inconsistent (Mod(T, Dm, V) is empty)")
+	// ErrBudget is returned when a configured enumeration cap is hit.
+	ErrBudget = errors.New("relcomplete: search budget exceeded")
+	// ErrInconclusive is returned by the bounded RCQP search when no
+	// witness exists within the configured size bound (the general
+	// problem is NEXPTIME-complete; see Options.RCQPSizeBound).
+	ErrInconclusive = errors.New("relcomplete: no witness within the configured RCQP size bound")
+)
+
+// Qry wraps a query of any of the paper's languages: a relational
+// calculus query (CQ/UCQ/∃FO+/FO) or an FP program.
+type Qry struct {
+	Calc *query.Query
+	Prog *query.Program
+}
+
+// CalcQuery wraps a relational-calculus query.
+func CalcQuery(q *query.Query) Qry { return Qry{Calc: q} }
+
+// FPQuery wraps an FP program.
+func FPQuery(p *query.Program) Qry { return Qry{Prog: p} }
+
+// Lang returns the smallest language tier containing the query.
+func (q Qry) Lang() Lang {
+	if q.Prog != nil {
+		return FP
+	}
+	switch query.Classify(q.Calc) {
+	case query.ClassCQ:
+		return CQ
+	case query.ClassUCQ:
+		return UCQ
+	case query.ClassEFOPlus:
+		return EFOPlus
+	default:
+		return FO
+	}
+}
+
+// Monotone reports whether the query language guarantees monotonicity.
+func (q Qry) Monotone() bool { return q.Lang() != FO }
+
+// Arity returns the query's output arity.
+func (q Qry) Arity() int {
+	if q.Prog != nil {
+		return q.Prog.OutputArity()
+	}
+	return q.Calc.Arity()
+}
+
+// Name returns the query's name for diagnostics.
+func (q Qry) Name() string {
+	if q.Prog != nil {
+		return q.Prog.Name
+	}
+	return q.Calc.Name
+}
+
+// Constants collects the query's constants into dst.
+func (q Qry) Constants(dst *relation.ValueSet) *relation.ValueSet {
+	if q.Prog != nil {
+		return q.Prog.Constants(dst)
+	}
+	return query.QueryConstants(q.Calc, dst)
+}
+
+// String renders the query.
+func (q Qry) String() string {
+	if q.Prog != nil {
+		return q.Prog.String()
+	}
+	return q.Calc.String()
+}
+
+// Options tunes the deciders.
+type Options struct {
+	// MaxValuations caps each valuation enumeration (0 = unlimited).
+	// Enumerations beyond the cap fail with ErrBudget.
+	MaxValuations int
+	// MaxSubsets caps subset enumerations in the generic weak-model
+	// MINP algorithm (0 = unlimited).
+	MaxSubsets int
+	// RCQPSizeBound bounds the candidate-instance size of the general
+	// strong/viable RCQP search (default 2 when zero). The search is
+	// sound: a "yes" is always correct; when no witness of the bounded
+	// size exists the search returns ErrInconclusive (the exact bound
+	// of the paper's NEXPTIME procedure is exponential).
+	RCQPSizeBound int
+	// RCQPFreshValues is how many anonymous fresh constants the RCQP
+	// search may use when inventing instances (default 2 when zero).
+	RCQPFreshValues int
+	// MaxDerived caps FP fixpoint derivations (0 = unlimited).
+	MaxDerived int
+	// NoTypedDomains disables the typed-domain pruning (see
+	// internal/core/typing.go) and enumerates every variable and
+	// lattice column over the full Adom, as the paper's procedures are
+	// stated. The default (typed) is exact; the flag exists for the
+	// differential test-suite and the ablation benchmark.
+	NoTypedDomains bool
+}
+
+func (o Options) rcqpSizeBound() int {
+	if o.RCQPSizeBound <= 0 {
+		return 2
+	}
+	return o.RCQPSizeBound
+}
+
+func (o Options) rcqpFreshValues() int {
+	if o.RCQPFreshValues <= 0 {
+		return 2
+	}
+	return o.RCQPFreshValues
+}
+
+// Problem bundles the fixed inputs of the paper's decision problems: a
+// data schema, a query Q, master data Dm and a set V of CCs.
+type Problem struct {
+	Schema  *relation.DBSchema
+	Query   Qry
+	Master  *relation.Database
+	CCs     *cc.Set
+	Options Options
+
+	disjTabs      []*query.Tableau            // cached renamed disjunct tableaux
+	atomCandCache map[string][]relation.Tuple // constant-pinned closed lattice per atom
+	closureCache  map[string]bool             // single-tuple closure verdicts
+}
+
+// NewProblem validates and builds a problem instance.
+func NewProblem(schema *relation.DBSchema, q Qry, master *relation.Database, ccs *cc.Set, opts Options) (*Problem, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("relcomplete: nil schema")
+	}
+	if q.Calc == nil && q.Prog == nil {
+		return nil, fmt.Errorf("relcomplete: empty query")
+	}
+	if q.Calc != nil && q.Prog != nil {
+		return nil, fmt.Errorf("relcomplete: query must be calculus or FP, not both")
+	}
+	if q.Calc != nil {
+		for _, rel := range query.RelationsUsed(q.Calc) {
+			if schema.Relation(rel) == nil {
+				return nil, fmt.Errorf("relcomplete: query uses unknown relation %s", rel)
+			}
+		}
+	}
+	if q.Prog != nil {
+		for _, rel := range q.Prog.EDBRelations() {
+			if schema.Relation(rel) == nil {
+				return nil, fmt.Errorf("relcomplete: FP program reads unknown relation %s", rel)
+			}
+		}
+	}
+	if master == nil {
+		// An absent master data instance is the fully open-world case.
+		master = relation.NewDatabase(relation.MustDBSchema())
+	}
+	return &Problem{Schema: schema, Query: q, Master: master, CCs: ccs, Options: opts}, nil
+}
+
+// MustProblem is NewProblem that panics on error.
+func MustProblem(schema *relation.DBSchema, q Qry, master *relation.Database, ccs *cc.Set, opts Options) *Problem {
+	p, err := NewProblem(schema, q, master, ccs, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// evalOpts builds the evaluation options used throughout.
+func (p *Problem) evalOpts() eval.Options {
+	return eval.Options{MaxDerived: p.Options.MaxDerived}
+}
+
+// answers evaluates the problem's query on a ground database.
+func (p *Problem) answers(db *relation.Database) ([]relation.Tuple, error) {
+	if p.Query.Prog != nil {
+		return eval.FPAnswers(db, p.Query.Prog, p.evalOpts())
+	}
+	return eval.Answers(db, p.Query.Calc, p.evalOpts())
+}
+
+// sameAnswers reports whether Q agrees on two databases.
+func (p *Problem) sameAnswers(db1, db2 *relation.Database) (bool, error) {
+	a1, err := p.answers(db1)
+	if err != nil {
+		return false, err
+	}
+	a2, err := p.answers(db2)
+	if err != nil {
+		return false, err
+	}
+	return equalTupleSets(a1, a2), nil
+}
+
+func equalTupleSets(a, b []relation.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[string]bool, len(a))
+	for _, t := range a {
+		seen[t.Key()] = true
+	}
+	for _, t := range b {
+		if !seen[t.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffTuples returns the tuples of b missing from a, sorted.
+func diffTuples(a, b []relation.Tuple) []relation.Tuple {
+	seen := make(map[string]bool, len(a))
+	for _, t := range a {
+		seen[t.Key()] = true
+	}
+	var out []relation.Tuple
+	for _, t := range b {
+		if !seen[t.Key()] {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// intersectTuples intersects a (nil = universe) with b.
+func intersectTuples(a []relation.Tuple, universe bool, b []relation.Tuple) ([]relation.Tuple, bool) {
+	if universe {
+		return append([]relation.Tuple(nil), b...), false
+	}
+	seen := make(map[string]bool, len(b))
+	for _, t := range b {
+		seen[t.Key()] = true
+	}
+	var out []relation.Tuple
+	for _, t := range a {
+		if seen[t.Key()] {
+			out = append(out, t)
+		}
+	}
+	return out, false
+}
+
+// disjunctTableaux returns the tableaux of the query's CQ disjuncts,
+// with variables renamed into a reserved namespace so they cannot
+// collide with c-instance variables. Only valid for ∃FO+ and below.
+func (p *Problem) disjunctTableaux() ([]*query.Tableau, error) {
+	if p.disjTabs != nil {
+		return p.disjTabs, nil
+	}
+	if p.Query.Calc == nil {
+		return nil, fmt.Errorf("relcomplete: FP queries have no disjunct tableaux")
+	}
+	it := query.NewDisjunctIterator(p.Query.Calc)
+	if it == nil {
+		return nil, fmt.Errorf("relcomplete: query %s is not positive existential", p.Query.Name())
+	}
+	var tabs []*query.Tableau
+	for d := it.Next(); d != nil; d = it.Next() {
+		renamed := query.RenameQuery(d, "qv_")
+		tab, err := query.TableauOf(renamed)
+		if err != nil {
+			return nil, err
+		}
+		tab, alive := propagateEqualities(tab)
+		if !alive {
+			continue // contradictory conditions: the disjunct is dead
+		}
+		tabs = append(tabs, tab)
+	}
+	p.disjTabs = tabs
+	return tabs, nil
+}
+
+// propagateEqualities folds the tableau's equality conditions into its
+// atoms and head: x = 'c' pins the variable, x = y merges the
+// variables. Contradictory equalities (c = c' with distinct constants)
+// kill the disjunct. Inequalities are kept. Pinned columns shrink the
+// counterexample search space dramatically — an equality selection
+// behaves like an atom constant.
+func propagateEqualities(tab *query.Tableau) (*query.Tableau, bool) {
+	// Union-find over variable names with an optional constant per class.
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if p, ok := parent[x]; ok && p != x {
+			r := find(p)
+			parent[x] = r
+			return r
+		}
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		return x
+	}
+	pinned := map[string]relation.Value{}
+	for _, c := range tab.Compares {
+		if c.Op != query.Eq {
+			continue
+		}
+		switch {
+		case c.L.IsVar && c.R.IsVar:
+			parent[find(c.L.Name)] = find(c.R.Name)
+		case c.L.IsVar && !c.R.IsVar:
+			pinned[find(c.L.Name)] = c.R.Const
+		case !c.L.IsVar && c.R.IsVar:
+			pinned[find(c.R.Name)] = c.L.Const
+		default:
+			if c.L.Const != c.R.Const {
+				return nil, false
+			}
+		}
+	}
+	// Re-root pins (pins recorded against possibly stale roots).
+	val := map[string]relation.Value{}
+	for v, c := range pinned {
+		r := find(v)
+		if prev, ok := val[r]; ok && prev != c {
+			return nil, false
+		}
+		val[r] = c
+	}
+	subst := func(t query.Term) query.Term {
+		if !t.IsVar {
+			return t
+		}
+		r := find(t.Name)
+		if c, ok := val[r]; ok {
+			return query.C(c)
+		}
+		return query.V(r)
+	}
+	out := &query.Tableau{}
+	for _, h := range tab.Head {
+		out.Head = append(out.Head, subst(h))
+	}
+	for _, a := range tab.Atoms {
+		terms := make([]query.Term, len(a.Terms))
+		for i, t := range a.Terms {
+			terms[i] = subst(t)
+		}
+		out.Atoms = append(out.Atoms, query.NewAtom(a.Rel, terms...))
+	}
+	for _, c := range tab.Compares {
+		l, r := subst(c.L), subst(c.R)
+		if !l.IsVar && !r.IsVar {
+			if (c.Op == query.Eq) != (l.Const == r.Const) {
+				return nil, false // condition statically false
+			}
+			continue // statically true: drop
+		}
+		out.Compares = append(out.Compares, &query.Compare{Op: c.Op, L: l, R: r})
+	}
+	seen := map[string]bool{}
+	add := func(t query.Term) {
+		if t.IsVar && !seen[t.Name] {
+			seen[t.Name] = true
+			out.Vars = append(out.Vars, t.Name)
+		}
+	}
+	for _, a := range out.Atoms {
+		for _, t := range a.Terms {
+			add(t)
+		}
+	}
+	for _, c := range out.Compares {
+		add(c.L)
+		add(c.R)
+	}
+	for _, h := range out.Head {
+		add(h)
+	}
+	sort.Strings(out.Vars)
+	return out, true
+}
+
+// adomFor builds the paper's Adom for this problem and a c-instance
+// (which may be nil). withQueryVars additionally mints fresh values for
+// the query's tableau variables (the Theorem 4.1 construction); it is
+// ignored for FP and FO queries, whose procedures do not use tableaux.
+//
+// When withExtRow is set, one synthetic variable per column of the
+// widest relation is additionally contributed: they represent the
+// tuple a procedure constructs (the single-tuple extension of the
+// extensibility check and of the Lemma 5.2 weak-model stream), so
+// fresh values exist even for ground inputs. The paper obtains the
+// same effect from the New values of V's variables; the synthetic row
+// is the lean sufficient stand-in. The strong-model procedures build
+// their extensions from query tableaux instead and do not need it.
+func (p *Problem) adomFor(ci *ctable.CInstance, withQueryVars, withExtRow bool) (*adom.Adom, error) {
+	b := adom.NewBuilder().
+		AddCInstance(ci).
+		AddDatabase(p.Master).
+		AddCCs(p.CCs).
+		AddSchemaFiniteDomains(p.Schema)
+	if withExtRow {
+		maxArity := 0
+		for _, r := range p.Schema.Relations() {
+			if r.Arity() > maxArity {
+				maxArity = r.Arity()
+			}
+		}
+		rowVars := make([]string, maxArity)
+		for i := range rowVars {
+			rowVars[i] = fmt.Sprintf("xrow%d", i)
+		}
+		b.AddVars(rowVars)
+	}
+	qc := relation.NewValueSet()
+	p.Query.Constants(qc)
+	b.AddConstants(qc)
+	if withQueryVars && p.Query.Calc != nil && query.IsPositiveExistential(p.Query.Calc) {
+		tabs, err := p.disjunctTableaux()
+		if err != nil {
+			return nil, err
+		}
+		for _, tab := range tabs {
+			b.AddVars(tab.Vars)
+		}
+	}
+	return b.Build(), nil
+}
+
+// satisfiesCCs reports (I, Dm) ⊨ V.
+func (p *Problem) satisfiesCCs(db *relation.Database) (bool, error) {
+	return p.CCs.Satisfied(db, p.Master, p.evalOpts())
+}
+
+// domains bundles an active domain with its typed pruning.
+type domains struct {
+	a  *adom.Adom
+	ty *typing
+}
+
+// domainsFor builds the Adom and its typing for a c-instance.
+func (p *Problem) domainsFor(ci *ctable.CInstance, withQueryVars, withExtRow bool) (*domains, error) {
+	a, err := p.adomFor(ci, withQueryVars, withExtRow)
+	if err != nil {
+		return nil, err
+	}
+	ty, err := p.computeTyping(ci, a)
+	if err != nil {
+		return nil, err
+	}
+	return &domains{a: a, ty: ty}, nil
+}

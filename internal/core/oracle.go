@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/relation"
+)
+
+// This file contains reference implementations that follow the paper's
+// definitions literally — enumerating partially closed extensions tuple
+// set by tuple set — rather than through the small-model
+// characterisations the production deciders use (Lemmas 4.2/4.3/5.2).
+// They are exponential in one more dimension than the deciders and
+// exist as executable specifications: the test-suite cross-validates
+// every decider against them on randomised small inputs.
+
+// ReferenceGroundComplete checks Section 2.1 completeness by brute
+// force: it enumerates every partially closed extension of db obtained
+// by adding at most extra tuples over the active domain and compares
+// query answers. With extra at least the atom count of the query's
+// largest disjunct this is exact for CQ/UCQ/∃FO+ (Lemma 4.2); it is
+// also usable for FP and FO queries on small inputs, where no
+// production decider exists.
+func (p *Problem) ReferenceGroundComplete(db *relation.Database, extra int) (bool, error) {
+	closed, err := p.satisfiesCCs(db)
+	if err != nil {
+		return false, err
+	}
+	if !closed {
+		return false, nil
+	}
+	a, err := p.adomFor(ctable.FromDatabase(db), p.Query.Calc != nil && p.Query.Lang() != FO, true)
+	if err != nil {
+		return false, err
+	}
+	var lattice []relation.Located
+	for _, r := range p.Schema.Relations() {
+		done, err := p.tuplesOver(r, a, func(t relation.Tuple) (bool, error) {
+			if !db.Relation(r.Name).Contains(t) {
+				lattice = append(lattice, relation.Located{Rel: r.Name, Tuple: t})
+			}
+			return true, nil
+		})
+		if err != nil {
+			return false, err
+		}
+		if !done {
+			return false, ErrBudget
+		}
+	}
+	base, err := p.answers(db)
+	if err != nil {
+		return false, err
+	}
+	complete := true
+	var rec func(start int, cur *relation.Database, added int) error
+	rec = func(start int, cur *relation.Database, added int) error {
+		if !complete {
+			return nil
+		}
+		if added > 0 {
+			closed, err := p.satisfiesCCs(cur)
+			if err != nil {
+				return err
+			}
+			if !closed {
+				// Supersets stay violating (CC monotonicity): prune.
+				return nil
+			}
+			ans, err := p.answers(cur)
+			if err != nil {
+				return err
+			}
+			if !equalTupleSets(base, ans) {
+				complete = false
+				return nil
+			}
+		}
+		if added == extra {
+			return nil
+		}
+		for i := start; i < len(lattice); i++ {
+			if err := rec(i+1, cur.WithTuple(lattice[i].Rel, lattice[i].Tuple), added+1); err != nil {
+				return err
+			}
+			if !complete {
+				return nil
+			}
+		}
+		return nil
+	}
+	if err := rec(0, db, 0); err != nil {
+		return false, err
+	}
+	return complete, nil
+}
+
+// ReferenceRCDP mirrors RCDP through ReferenceGroundComplete.
+func (p *Problem) ReferenceRCDP(ci *ctable.CInstance, m Model, extra int) (bool, error) {
+	d, err := p.domainsFor(ci, p.Query.Calc != nil && p.Query.Lang() != FO, true)
+	if err != nil {
+		return false, err
+	}
+	switch m {
+	case Strong:
+		all := true
+		any := false
+		err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
+			any = true
+			ok, err := p.ReferenceGroundComplete(db, extra)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				all = false
+				return false, nil
+			}
+			return true, nil
+		})
+		if err != nil {
+			return false, err
+		}
+		if !any {
+			return false, ErrInconsistent
+		}
+		return all, nil
+	case Viable:
+		found := false
+		any := false
+		err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
+			any = true
+			ok, err := p.ReferenceGroundComplete(db, extra)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				found = true
+				return false, nil
+			}
+			return true, nil
+		})
+		if err != nil {
+			return false, err
+		}
+		if !any {
+			return false, ErrInconsistent
+		}
+		return found, nil
+	default:
+		return p.referenceWeakComplete(ci, extra)
+	}
+}
+
+// referenceWeakComplete computes the weak-model definition directly:
+// ∩_{I∈Mod} Q(I) versus ∩_{I∈Mod, I'∈Ext(I), |I'\I| ≤ extra} Q(I').
+func (p *Problem) referenceWeakComplete(ci *ctable.CInstance, extra int) (bool, error) {
+	dom, err := p.domainsFor(ci, false, true)
+	if err != nil {
+		return false, err
+	}
+	adm := dom.a
+	var certT []relation.Tuple
+	universeT := true
+	var certExt []relation.Tuple
+	universeExt := true
+	anyModel := false
+	anyExt := false
+	err = p.forEachModel(ci, dom, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
+		anyModel = true
+		ans, err := p.answers(db)
+		if err != nil {
+			return false, err
+		}
+		certT, universeT = intersectTuples(certT, universeT, ans)
+		// Enumerate extensions of db with up to extra added tuples.
+		var lattice []relation.Located
+		for _, r := range p.Schema.Relations() {
+			done, err := p.tuplesOver(r, adm, func(t relation.Tuple) (bool, error) {
+				if !db.Relation(r.Name).Contains(t) {
+					lattice = append(lattice, relation.Located{Rel: r.Name, Tuple: t})
+				}
+				return true, nil
+			})
+			if err != nil {
+				return false, err
+			}
+			if !done {
+				return false, ErrBudget
+			}
+		}
+		var rec func(start int, cur *relation.Database, added int) error
+		rec = func(start int, cur *relation.Database, added int) error {
+			if added > 0 {
+				closed, err := p.satisfiesCCs(cur)
+				if err != nil {
+					return err
+				}
+				if !closed {
+					return nil
+				}
+				anyExt = true
+				ans, err := p.answers(cur)
+				if err != nil {
+					return err
+				}
+				certExt, universeExt = intersectTuples(certExt, universeExt, ans)
+			}
+			if added == extra {
+				return nil
+			}
+			for i := start; i < len(lattice); i++ {
+				if err := rec(i+1, cur.WithTuple(lattice[i].Rel, lattice[i].Tuple), added+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := rec(0, db, 0); err != nil {
+			return false, err
+		}
+		return true, nil
+	})
+	if err != nil {
+		return false, err
+	}
+	if !anyModel {
+		return false, ErrInconsistent
+	}
+	if !anyExt {
+		return true, nil
+	}
+	inT := make(map[string]bool, len(certT))
+	for _, t := range certT {
+		inT[t.Key()] = true
+	}
+	for _, t := range certExt {
+		if !inT[t.Key()] {
+			return false, nil
+		}
+	}
+	// Certain answers over extensions must equal certain answers over
+	// models; by monotonicity certT ⊆ certExt always holds, so
+	// containment the other way suffices.
+	if p.Query.Monotone() {
+		return true, nil
+	}
+	return false, fmt.Errorf("reference weak completeness for FO: %w", ErrUndecidable)
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+// Cross-validation: on randomised small problems, every production
+// decider agrees with the definition-level reference implementation.
+// Finite (Boolean) attribute domains keep the extension lattice small
+// enough for the brute force to be exact.
+
+type randomProblem struct {
+	p  *Problem
+	ci *ctable.CInstance
+}
+
+func randomProblems(t testing.TB, seed int64, n int) []randomProblem {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	schema := relation.MustDBSchema(
+		relation.MustSchema("R", relation.Attr("A", relation.Bool()), relation.Attr("B", relation.Bool())),
+	)
+	masterSchema := relation.MustDBSchema(
+		relation.MustSchema("M", relation.Attr("A", relation.Bool()), relation.Attr("B", relation.Bool())),
+	)
+	queries := []string{
+		"Q(x) := R(x, y)",
+		"Q(x, y) := R(x, y)",
+		"Q(x) := R(x, x)",
+		"Q(x) := R(x, y) & x != y",
+		"Q() := exists x: R(x, x)",
+		"Q(x) := R(x, '1') | R('0', x)",
+	}
+	bools := []relation.Value{"0", "1"}
+	var out []randomProblem
+	for len(out) < n {
+		dm := relation.NewDatabase(masterSchema)
+		for _, a := range bools {
+			for _, b := range bools {
+				if r.Intn(2) == 0 {
+					dm.MustInsert("M", relation.T(a, b))
+				}
+			}
+		}
+		v := cc.NewSet(cc.MustParse("rm", "q(x, y) := R(x, y)", "p(x, y) := M(x, y)"))
+		q := CalcQuery(query.MustParseQuery(queries[r.Intn(len(queries))]))
+		p := MustProblem(schema, q, dm, v, Options{})
+
+		ci := ctable.NewCInstance(schema)
+		rows := r.Intn(3)
+		varPool := []string{"u", "v"}
+		for i := 0; i < rows; i++ {
+			terms := make([]query.Term, 2)
+			for j := range terms {
+				if r.Intn(3) == 0 {
+					terms[j] = query.V(varPool[r.Intn(len(varPool))])
+				} else {
+					terms[j] = query.C(bools[r.Intn(2)])
+				}
+			}
+			var cond ctable.Condition
+			if r.Intn(4) == 0 && terms[0].IsVar {
+				cond = ctable.Cond(ctable.CNeq(terms[0], query.C(bools[r.Intn(2)])))
+			}
+			ci.MustAddRow("R", ctable.Row{Terms: terms, Cond: cond})
+		}
+		out = append(out, randomProblem{p: p, ci: ci})
+	}
+	return out
+}
+
+func TestRCDPAgreesWithReference(t *testing.T) {
+	for i, rp := range randomProblems(t, 101, 120) {
+		for _, m := range []Model{Strong, Weak, Viable} {
+			got, errGot := rp.p.RCDP(rp.ci, m)
+			want, errWant := rp.p.ReferenceRCDP(rp.ci, m, 3)
+			if errors.Is(errGot, ErrInconsistent) || errors.Is(errWant, ErrInconsistent) {
+				if !errors.Is(errGot, ErrInconsistent) || !errors.Is(errWant, ErrInconsistent) {
+					t.Fatalf("case %d model %v: inconsistency disagreement %v vs %v", i, m, errGot, errWant)
+				}
+				continue
+			}
+			if errGot != nil || errWant != nil {
+				t.Fatalf("case %d model %v: errors %v / %v", i, m, errGot, errWant)
+			}
+			if got != want {
+				t.Fatalf("case %d model %v: decider %v vs reference %v\nquery: %s\nci: %v\nmaster: %v",
+					i, m, got, want, rp.p.Query, rp.ci, rp.p.Master)
+			}
+		}
+	}
+}
+
+func TestGroundCompleteAgreesWithReference(t *testing.T) {
+	for i, rp := range randomProblems(t, 202, 80) {
+		db, err := rp.p.AnyModel(rp.ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db == nil {
+			continue
+		}
+		got, _, errGot := rp.p.GroundComplete(db)
+		want, errWant := rp.p.ReferenceGroundComplete(db, 3)
+		if errGot != nil || errWant != nil {
+			t.Fatalf("case %d: errors %v / %v", i, errGot, errWant)
+		}
+		if got != want {
+			t.Fatalf("case %d: GroundComplete %v vs reference %v\nquery: %s\ndb: %v\nmaster: %v",
+				i, got, want, rp.p.Query, db, rp.p.Master)
+		}
+	}
+}
+
+// The weak-model decider must also agree with the reference for FP
+// queries (strong/viable are undecidable there).
+func TestWeakFPAgreesWithReference(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	schema := relation.MustDBSchema(
+		relation.MustSchema("edge", relation.Attr("A", relation.Bool()), relation.Attr("B", relation.Bool())),
+	)
+	masterSchema := relation.MustDBSchema(
+		relation.MustSchema("medge", relation.Attr("A", relation.Bool()), relation.Attr("B", relation.Bool())),
+	)
+	prog := query.MustParseProgram("reach", schema, `
+		reach(x, y) :- edge(x, y).
+		reach(x, z) :- reach(x, y), edge(y, z).
+		output reach.
+	`)
+	bools := []relation.Value{"0", "1"}
+	for trial := 0; trial < 40; trial++ {
+		dm := relation.NewDatabase(masterSchema)
+		for _, a := range bools {
+			for _, b := range bools {
+				if r.Intn(2) == 0 {
+					dm.MustInsert("medge", relation.T(a, b))
+				}
+			}
+		}
+		v := cc.NewSet(cc.MustParse("em", "q(x, y) := edge(x, y)", "p(x, y) := medge(x, y)"))
+		p := MustProblem(schema, FPQuery(prog), dm, v, Options{})
+		ci := ctable.NewCInstance(schema)
+		for i := 0; i < r.Intn(3); i++ {
+			terms := make([]query.Term, 2)
+			for j := range terms {
+				if r.Intn(4) == 0 {
+					terms[j] = query.V("w")
+				} else {
+					terms[j] = query.C(bools[r.Intn(2)])
+				}
+			}
+			ci.MustAddRow("edge", ctable.Row{Terms: terms})
+		}
+		got, errGot := p.RCDP(ci, Weak)
+		want, errWant := p.ReferenceRCDP(ci, Weak, 3)
+		if errors.Is(errGot, ErrInconsistent) && errors.Is(errWant, ErrInconsistent) {
+			continue
+		}
+		if errGot != nil || errWant != nil {
+			t.Fatalf("trial %d: errors %v / %v", trial, errGot, errWant)
+		}
+		if got != want {
+			t.Fatalf("trial %d: weak FP decider %v vs reference %v\nci: %v\nmaster: %v",
+				trial, got, want, ci, dm)
+		}
+	}
+}
+
+func TestMINPStrongAgreesWithGroundMinimal(t *testing.T) {
+	// On ground c-instances, MINP strong coincides with GroundMinimal.
+	for i, rp := range randomProblems(t, 303, 60) {
+		if !rp.ci.IsGround() {
+			continue
+		}
+		db, err := rp.ci.Apply(ctable.Valuation{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed, err := rp.p.PartiallyClosed(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !closed {
+			continue
+		}
+		viaCI, err := rp.p.MINP(rp.ci, Strong)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaGround, err := rp.p.GroundMinimal(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaCI != viaGround {
+			t.Fatalf("case %d: MINP strong %v vs GroundMinimal %v", i, viaCI, viaGround)
+		}
+	}
+}
+
+func TestMINPViableImpliedByStrongOnGround(t *testing.T) {
+	// For ground instances Mod(T) = {I}, so strong and viable MINP
+	// coincide (Section 2.2 observation (b)).
+	for i, rp := range randomProblems(t, 404, 60) {
+		if !rp.ci.IsGround() {
+			continue
+		}
+		ok, err := rp.p.Consistent(rp.ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		s, err1 := rp.p.MINP(rp.ci, Strong)
+		v, err2 := rp.p.MINP(rp.ci, Viable)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("case %d: %v / %v", i, err1, err2)
+		}
+		if s != v {
+			t.Fatalf("case %d: ground strong MINP %v != viable MINP %v", i, s, v)
+		}
+	}
+}

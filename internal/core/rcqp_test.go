@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+func rcqpFixture(t testing.TB, masterVals []relation.Value, qsrc string, projectionCCs bool) *Problem {
+	t.Helper()
+	schema := relation.MustDBSchema(
+		relation.MustSchema("R", relation.Attr("A", nil), relation.Attr("B", nil)),
+		relation.MustSchema("S", relation.Attr("C", nil)),
+	)
+	masterSchema := relation.MustDBSchema(relation.MustSchema("M", relation.Attr("K", nil)))
+	dm := relation.NewDatabase(masterSchema)
+	for _, v := range masterVals {
+		dm.MustInsert("M", relation.T(v))
+	}
+	var v *cc.Set
+	if projectionCCs {
+		ind := cc.IND{FromRel: "R", FromAttrs: []string{"A"}, ToRel: "M", ToAttrs: []string{"K"}}
+		c, err := ind.AsCC(schema, masterSchema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = cc.NewSet(c)
+	} else {
+		v = cc.NewSet(cc.MustParse("sel", "q(x) := R(x, y) & y = '1'", "p(x) := M(x)"))
+	}
+	return MustProblem(schema, CalcQuery(query.MustParseQuery(qsrc)), dm, v, Options{})
+}
+
+func TestRCQPBoundedQueryWithINDs(t *testing.T) {
+	// Head variable x appears at R.A which is covered by the IND
+	// R[A] ⊆ M[K]: the query is bounded, so a complete database exists.
+	p := rcqpFixture(t, []relation.Value{"1", "2"}, "Q(x) := R(x, y)", true)
+	for _, m := range []Model{Strong, Viable} {
+		ok, err := p.RCQP(m)
+		if err != nil {
+			t.Fatalf("RCQP(%v): %v", m, err)
+		}
+		if !ok {
+			t.Fatalf("bounded query must have a complete database (%v)", m)
+		}
+	}
+	bounded, err := p.QueryBounded()
+	if err != nil || !bounded {
+		t.Fatal("QueryBounded should hold")
+	}
+}
+
+func TestRCQPUnboundedSatisfiableWithINDs(t *testing.T) {
+	// Q(y) projects R.B, which no IND covers: unbounded; and the query
+	// is satisfiable under V, so no complete database exists.
+	p := rcqpFixture(t, []relation.Value{"1"}, "Q(y) := R(x, y)", true)
+	ok, err := p.RCQP(Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("unbounded satisfiable query has no complete database")
+	}
+}
+
+func TestRCQPUnsatisfiableWithINDs(t *testing.T) {
+	// Empty master: any R tuple violates R[A] ⊆ M[K], so the query can
+	// never produce an answer on a partially closed instance — every
+	// partially closed instance is complete.
+	p := rcqpFixture(t, nil, "Q(y) := R(x, y)", true)
+	ok, err := p.RCQP(Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("unsatisfiable-under-V query: RCQ is non-empty")
+	}
+}
+
+func TestRCQPBooleanQueryBounded(t *testing.T) {
+	// Boolean queries have no head variables: trivially bounded.
+	p := rcqpFixture(t, []relation.Value{"1"}, "Q() := exists x, y: R(x, y)", true)
+	ok, err := p.RCQP(Viable)
+	if err != nil || !ok {
+		t.Fatalf("Boolean query should have a complete database: %v %v", ok, err)
+	}
+}
+
+func TestRCQPFiniteDomainBoundsHead(t *testing.T) {
+	// A head variable over a finite attribute domain is bounded even
+	// without INDs covering it.
+	schema := relation.MustDBSchema(relation.MustSchema("B", relation.Attr("V", relation.Bool())))
+	p := MustProblem(schema, CalcQuery(query.MustParseQuery("Q(x) := B(x)")), nil, nil, Options{})
+	ok, err := p.RCQP(Strong)
+	if err != nil || !ok {
+		t.Fatalf("finite-domain head is bounded: %v %v", ok, err)
+	}
+}
+
+func TestRCQPGeneralSearchFindsWitness(t *testing.T) {
+	// Non-projection CC: σ_{B='1'}(R) projected on A must lie in M.
+	// Q(x) := R(x, '1'): master {1} pins the only answer-producing
+	// tuple; {R(1,1)} is complete (new B≠1 tuples never affect Q).
+	p := rcqpFixture(t, []relation.Value{"1"}, "Q(x) := R(x, '1')", false)
+	ok, err := p.RCQP(Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("witness {R(1,1)} of size 1 should be found")
+	}
+}
+
+func TestRCQPGeneralSearchInconclusive(t *testing.T) {
+	// No CCs at all and an unbounded head: no instance is ever
+	// complete; the bounded search must admit inconclusiveness.
+	schema := relation.MustDBSchema(relation.MustSchema("R", relation.Attr("A", nil)))
+	p := MustProblem(schema, CalcQuery(query.MustParseQuery("Q(x) := R(x) & x != 'c'")), nil,
+		cc.NewSet(cc.MustParse("nontriv", "q() := R('zzz') & 'a' = 'b'", "p() := exists x: R(x) & 'a' = 'b'")), Options{})
+	// The CC above is non-projection (has comparisons) but vacuous, so
+	// the general search runs and finds nothing.
+	_, err := p.RCQP(Strong)
+	if !errors.Is(err, ErrInconclusive) {
+		t.Fatalf("want ErrInconclusive, got %v", err)
+	}
+}
+
+func TestRCQPEmptyInstanceWitness(t *testing.T) {
+	// The empty instance is complete when the query is unsatisfiable
+	// under V (general search, size 0 witness). Non-projection CC: any
+	// R tuple at all is forbidden.
+	schema := relation.MustDBSchema(relation.MustSchema("R", relation.Attr("A", nil), relation.Attr("B", nil)))
+	masterSchema := relation.MustDBSchema(relation.MustSchema("Empty", relation.Attr("W", nil)))
+	dm := relation.NewDatabase(masterSchema)
+	v := cc.NewSet(cc.MustParse("deny", "q() := exists x, y: R(x, y) & x != y",
+		"p() := exists w: Empty(w)"))
+	v.Add(cc.MustParse("deny2", "q() := exists x: R(x, x)", "p() := exists w: Empty(w)"))
+	p := MustProblem(schema, CalcQuery(query.MustParseQuery("Q(x) := R(x, y)")), dm, v, Options{})
+	ok, err := p.RCQP(Viable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("empty instance is complete: R can never be populated")
+	}
+}
+
+func TestRCQPStrongViableCoincide(t *testing.T) {
+	// Lemma 4.4 / Corollary 6.2.
+	fixtures := []*Problem{
+		rcqpFixture(t, []relation.Value{"1", "2"}, "Q(x) := R(x, y)", true),
+		rcqpFixture(t, []relation.Value{"1"}, "Q(y) := R(x, y)", true),
+		rcqpFixture(t, nil, "Q(y) := R(x, y)", true),
+	}
+	for i, p := range fixtures {
+		s, err1 := p.RCQP(Strong)
+		v, err2 := p.RCQP(Viable)
+		if (err1 == nil) != (err2 == nil) || s != v {
+			t.Fatalf("fixture %d: strong %v/%v vs viable %v/%v", i, s, err1, v, err2)
+		}
+	}
+}

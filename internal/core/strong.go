@@ -1,0 +1,496 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"relcomplete/internal/adom"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+// This file implements the strong completeness model (Section 4):
+// RCDPs via the characterisation of Lemmas 4.2/4.3 (Theorem 4.1,
+// Πp2-complete for CQ/UCQ/∃FO+), and MINPs via Lemma 4.7 and the
+// Theorem 4.8 algorithm (Πp3-complete for c-instances, Dp2-complete for
+// ground instances). FO and FP are undecidable in this model.
+
+// Counterexample witnesses a failure of relative completeness: a model
+// I of the c-instance and a partially closed extension I' on which the
+// query answer grows.
+type Counterexample struct {
+	Model     *relation.Database
+	Extension *relation.Database
+	Gained    []relation.Tuple // answers in Q(I') \ Q(I)
+}
+
+// String renders the counterexample.
+func (c *Counterexample) String() string {
+	if c == nil {
+		return "<complete>"
+	}
+	return fmt.Sprintf("model %v extended to %v gains answers %v", c.Model, c.Extension, c.Gained)
+}
+
+// RCDP decides the relatively complete database problem for the given
+// model: is the c-instance T in RCQ(Q, Dm, V)?
+func (p *Problem) RCDP(ci *ctable.CInstance, m Model) (bool, error) {
+	ok, _, err := p.RCDPExplain(ci, m)
+	return ok, err
+}
+
+// RCDPExplain is RCDP returning a counterexample on failure (where the
+// model's procedure produces one).
+func (p *Problem) RCDPExplain(ci *ctable.CInstance, m Model) (bool, *Counterexample, error) {
+	switch m {
+	case Strong:
+		return p.rcdpStrong(ci)
+	case Weak:
+		ok, err := p.rcdpWeak(ci)
+		return ok, nil, err
+	default:
+		return p.rcdpViable(ci)
+	}
+}
+
+// rcdpStrong implements Theorem 4.1: undecidable for FO and FP;
+// for CQ/UCQ/∃FO+ it checks, per Lemmas 4.2/4.3, that every
+// I ∈ ModAdom(T) is bounded by (Dm, V).
+func (p *Problem) rcdpStrong(ci *ctable.CInstance) (bool, *Counterexample, error) {
+	switch p.Query.Lang() {
+	case FO, FP:
+		return false, nil, fmt.Errorf("RCDP(%s), strong model: %w", p.Query.Lang(), ErrUndecidable)
+	}
+	d, err := p.domainsFor(ci, true, false)
+	if err != nil {
+		return false, nil, err
+	}
+	consistent := false
+	var cex *Counterexample
+	err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
+		consistent = true
+		c, err := p.boundedCounterexample(db, d)
+		if err != nil {
+			return false, err
+		}
+		if c != nil {
+			cex = c
+			return false, nil
+		}
+		return true, nil
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	if !consistent {
+		return false, nil, ErrInconsistent
+	}
+	return cex == nil, cex, nil
+}
+
+// boundedCounterexample checks whether the ground instance I is
+// bounded by (Dm, V): for every disjunct tableau Ti of Q and every
+// valuation ν of Ti over Adom, if I ∪ ν(Ti) is partially closed then
+// Q(I) = Q(I ∪ ν(Ti)). It returns a counterexample when not.
+//
+// Rather than enumerating Adom^|vars| valuations blindly, it
+// backtracks over the tableau's atoms, drawing each atom's tuple from
+// a pre-filtered candidate set: a new tuple t can participate in a
+// partially closed extension only when ({t}, Dm) ⊨ V (CC satisfaction
+// is antimonotone in the data), which prunes the lattice down to the
+// master-bounded fragment. Variables occurring only in comparisons or
+// the head do not influence the extension and are skipped. Full
+// closure of the assembled extension is still checked, so multi-tuple
+// CC violations are caught exactly.
+func (p *Problem) boundedCounterexample(db *relation.Database, d *domains) (*Counterexample, error) {
+	baseAnswers, err := p.answers(db)
+	if err != nil {
+		return nil, err
+	}
+	tabs, err := p.disjunctTableaux()
+	if err != nil {
+		return nil, err
+	}
+	seenExt := map[string]bool{}
+	sig := p.typingSignature(d.a, d.ty)
+	for _, tab := range tabs {
+		cex, err := p.tableauCounterexample(db, tab, d, sig, baseAnswers, seenExt)
+		if err != nil {
+			return nil, err
+		}
+		if cex != nil {
+			return cex, nil
+		}
+	}
+	return nil, nil
+}
+
+// atomClosedCandidates enumerates the lattice tuples matching an
+// atom's constant positions whose singleton instance is partially
+// closed — the only tuples the atom can contribute to a partially
+// closed extension (CC antimonotonicity). Closure verdicts are
+// memoised per tuple across atoms.
+func (p *Problem) atomClosedCandidates(atom *query.Atom, d *domains) ([]relation.Tuple, error) {
+	r := p.Schema.Relation(atom.Rel)
+	pins := map[int]relation.Value{}
+	for i, t := range atom.Terms {
+		if !t.IsVar {
+			pins[i] = t.Const
+		}
+	}
+	if p.closureCache == nil {
+		p.closureCache = map[string]bool{}
+	}
+	probe := relation.NewDatabase(p.Schema)
+	var out []relation.Tuple
+	done, err := p.pinnedLatticeOver(r, d, pins, func(t relation.Tuple) (bool, error) {
+		ck := atom.Rel + "|" + t.Key()
+		closed, ok := p.closureCache[ck]
+		if !ok {
+			var err error
+			closed, err = p.satisfiesCCs(probe.WithTuple(r.Name, t))
+			if err != nil {
+				return false, err
+			}
+			p.closureCache[ck] = closed
+		}
+		if closed {
+			out = append(out, t)
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !done {
+		return nil, ErrBudget
+	}
+	return out, nil
+}
+
+// pinnedLatticeOver enumerates the candidate lattice of one relation
+// with some positions pinned to constants.
+func (p *Problem) pinnedLatticeOver(r *relation.Schema, d *domains, pins map[int]relation.Value,
+	fn func(t relation.Tuple) (bool, error)) (bool, error) {
+	cols := make([][]relation.Value, r.Arity())
+	for i := range cols {
+		if v, ok := pins[i]; ok {
+			if !r.DomainAt(i).Contains(v) {
+				return true, nil // constant outside the domain: no tuples
+			}
+			cols[i] = []relation.Value{v}
+			continue
+		}
+		if d.ty != nil {
+			cols[i] = d.ty.candidatesAt(position{rel: r.Name, col: i}, r.DomainAt(i), d.a)
+		} else {
+			cols[i] = d.a.CandidatesFor(r.DomainAt(i))
+		}
+	}
+	t := make(relation.Tuple, r.Arity())
+	tried := 0
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == r.Arity() {
+			tried++
+			if p.Options.MaxValuations > 0 && tried > p.Options.MaxValuations {
+				return false, ErrBudget
+			}
+			return fn(t.Clone())
+		}
+		for _, v := range cols[i] {
+			t[i] = v
+			cont, err := rec(i + 1)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	return rec(0)
+}
+
+// adomSignature canonically serialises an active domain's values.
+func adomSignature(a *adom.Adom) string {
+	var sb strings.Builder
+	for _, v := range a.Values() {
+		fmt.Fprintf(&sb, "%d:%s;", len(v), v)
+	}
+	return sb.String()
+}
+
+// tableauCounterexample backtracks over one disjunct tableau's atoms.
+func (p *Problem) tableauCounterexample(db *relation.Database, tab *query.Tableau,
+	d *domains, sig string, baseAnswers []relation.Tuple,
+	seenExt map[string]bool) (*Counterexample, error) {
+
+	type pick struct {
+		rel string
+		t   relation.Tuple
+	}
+	binding := ctable.Valuation{}
+	picks := make([]pick, 0, len(tab.Atoms))
+	var cex *Counterexample
+	tried := 0
+
+	// Pre-filter each atom's candidate tuples by its constant
+	// positions: instance tuples (computed per call, they are few) and
+	// lattice candidates (cached across calls — the RCQP search checks
+	// thousands of candidate instances against one lattice). Variable
+	// positions are checked during unification; lattice tuples already
+	// present in the instance are skipped during iteration.
+	matches := func(atom *query.Atom, t relation.Tuple) bool {
+		if len(t) != len(atom.Terms) {
+			return false
+		}
+		for j, term := range atom.Terms {
+			if !term.IsVar && term.Const != t[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if p.atomCandCache == nil {
+		p.atomCandCache = map[string][]relation.Tuple{}
+	}
+	instCands := make([][]relation.Tuple, len(tab.Atoms))
+	latticeCands := make([][]relation.Tuple, len(tab.Atoms))
+	for i, atom := range tab.Atoms {
+		if p.Schema.Relation(atom.Rel) == nil {
+			return nil, fmt.Errorf("relcomplete: query atom over unknown relation %s", atom.Rel)
+		}
+		for _, t := range db.Relation(atom.Rel).Tuples() {
+			if matches(atom, t) {
+				instCands[i] = append(instCands[i], t)
+			}
+		}
+		key := sig + "\u00a7" + atom.String()
+		cached, ok := p.atomCandCache[key]
+		if !ok {
+			var err error
+			cached, err = p.atomClosedCandidates(atom, d)
+			if err != nil {
+				return nil, err
+			}
+			p.atomCandCache[key] = cached
+		}
+		latticeCands[i] = cached
+	}
+
+	var process func() error
+	process = func() error {
+		ext := db
+		grew := false
+		for _, pk := range picks {
+			if !ext.Relation(pk.rel).Contains(pk.t) {
+				if !grew {
+					ext = ext.Clone()
+					grew = true
+				}
+				ext.MustInsert(pk.rel, pk.t)
+			}
+		}
+		if !grew {
+			return nil // I' = I: answers trivially agree
+		}
+		key := dbKey(ext)
+		if seenExt[key] {
+			return nil
+		}
+		seenExt[key] = true
+		tried++
+		if p.Options.MaxValuations > 0 && tried > p.Options.MaxValuations {
+			return fmt.Errorf("bounded check: %w", ErrBudget)
+		}
+		ok, err := p.satisfiesCCs(ext)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil // not a partially closed extension
+		}
+		extAnswers, err := p.answers(ext)
+		if err != nil {
+			return err
+		}
+		gained := diffTuples(baseAnswers, extAnswers)
+		if len(gained) > 0 {
+			cex = &Counterexample{Model: db, Extension: ext, Gained: gained}
+		}
+		return nil
+	}
+
+	var rec func(i int) error
+	rec = func(i int) error {
+		if cex != nil {
+			return nil
+		}
+		if i == len(tab.Atoms) {
+			return process()
+		}
+		atom := tab.Atoms[i]
+		tryTuple := func(t relation.Tuple) error {
+			assigned := make([]string, 0, len(atom.Terms))
+			ok := true
+			for j, term := range atom.Terms {
+				if !term.IsVar {
+					continue // constants pre-checked by the candidate filters
+				}
+				if v, bound := binding[term.Name]; bound {
+					if v != t[j] {
+						ok = false
+						break
+					}
+					continue
+				}
+				binding[term.Name] = t[j]
+				assigned = append(assigned, term.Name)
+			}
+			if ok {
+				picks = append(picks, pick{rel: atom.Rel, t: t})
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+				picks = picks[:len(picks)-1]
+			}
+			for _, v := range assigned {
+				delete(binding, v)
+			}
+			return nil
+		}
+		for _, t := range instCands[i] {
+			if err := tryTuple(t); err != nil {
+				return err
+			}
+			if cex != nil {
+				return nil
+			}
+		}
+		for _, t := range latticeCands[i] {
+			if db.Relation(atom.Rel).Contains(t) {
+				continue // already tried via the instance part
+			}
+			if err := tryTuple(t); err != nil {
+				return err
+			}
+			if cex != nil {
+				return nil
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return cex, nil
+}
+
+// GroundComplete decides whether a ground instance I is complete for Q
+// relative to (Dm, V) — the Section 2.1 notion. It requires I to be
+// partially closed and is available for CQ, UCQ and ∃FO+ (Πp2 by
+// Theorem 4.1 restricted to ground instances).
+func (p *Problem) GroundComplete(db *relation.Database) (bool, *Counterexample, error) {
+	switch p.Query.Lang() {
+	case FO, FP:
+		return false, nil, fmt.Errorf("ground completeness for %s: %w", p.Query.Lang(), ErrUndecidable)
+	}
+	closed, err := p.satisfiesCCs(db)
+	if err != nil {
+		return false, nil, err
+	}
+	if !closed {
+		return false, nil, nil
+	}
+	d, err := p.domainsFor(ctable.FromDatabase(db), true, false)
+	if err != nil {
+		return false, nil, err
+	}
+	cex, err := p.boundedCounterexample(db, d)
+	if err != nil {
+		return false, nil, err
+	}
+	return cex == nil, cex, nil
+}
+
+// MINP decides the minimality problem for the given model: is T a
+// minimal c-instance complete for Q relative to (Dm, V)?
+func (p *Problem) MINP(ci *ctable.CInstance, m Model) (bool, error) {
+	switch m {
+	case Strong:
+		return p.minpStrong(ci)
+	case Weak:
+		return p.minpWeak(ci)
+	default:
+		return p.minpViable(ci)
+	}
+}
+
+// minpStrong implements Theorem 4.8 for c-instances: T is minimal
+// strongly complete iff T ∈ RCQs and every I ∈ ModAdom(T) is a minimal
+// complete ground instance — by Lemma 4.7(b) it suffices to check that
+// no single-tuple removal of I stays complete.
+func (p *Problem) minpStrong(ci *ctable.CInstance) (bool, error) {
+	switch p.Query.Lang() {
+	case FO, FP:
+		return false, fmt.Errorf("MINP(%s), strong model: %w", p.Query.Lang(), ErrUndecidable)
+	}
+	complete, _, err := p.rcdpStrong(ci)
+	if err != nil {
+		return false, err
+	}
+	if !complete {
+		return false, nil
+	}
+	d, err := p.domainsFor(ci, true, false)
+	if err != nil {
+		return false, err
+	}
+	minimal := true
+	err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
+		nonMin, err := p.hasCompleteRemoval(db, d)
+		if err != nil {
+			return false, err
+		}
+		if nonMin {
+			minimal = false
+			return false, nil
+		}
+		return true, nil
+	})
+	return minimal, err
+}
+
+// hasCompleteRemoval reports whether some I \ {t} is still complete
+// (Lemma 4.7(b): I \ {t} remains partially closed automatically).
+func (p *Problem) hasCompleteRemoval(db *relation.Database, d *domains) (bool, error) {
+	for _, loc := range db.AllTuples() {
+		smaller := db.WithoutTuple(loc.Rel, loc.Tuple)
+		cex, err := p.boundedCounterexample(smaller, d)
+		if err != nil {
+			return false, err
+		}
+		if cex == nil {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// GroundMinimal decides whether a ground instance is a minimal complete
+// instance (the Dp2 case of Theorem 4.8).
+func (p *Problem) GroundMinimal(db *relation.Database) (bool, error) {
+	complete, _, err := p.GroundComplete(db)
+	if err != nil {
+		return false, err
+	}
+	if !complete {
+		return false, nil
+	}
+	d, err := p.domainsFor(ctable.FromDatabase(db), true, false)
+	if err != nil {
+		return false, err
+	}
+	nonMin, err := p.hasCompleteRemoval(db, d)
+	return !nonMin, err
+}

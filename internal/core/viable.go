@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/relation"
+)
+
+// This file implements the viable completeness model (Section 6):
+// RCDPv (Theorem 6.1, Σp3-complete for CQ/UCQ/∃FO+) asks whether SOME
+// valuation of the c-instance yields a relatively complete ground
+// instance; MINPv (Corollary 6.3) whether some valuation yields a
+// minimal complete ground instance. FO and FP are undecidable, and
+// RCQPv coincides with RCQPs (Corollary 6.2).
+
+// rcdpViable checks whether some I ∈ ModAdom(T, Dm, V) is complete for
+// Q relative to (Dm, V); on failure it reports the counterexample of
+// the last model inspected (every model fails, so any is informative).
+func (p *Problem) rcdpViable(ci *ctable.CInstance) (bool, *Counterexample, error) {
+	switch p.Query.Lang() {
+	case FO, FP:
+		return false, nil, fmt.Errorf("RCDP(%s), viable model: %w", p.Query.Lang(), ErrUndecidable)
+	}
+	d, err := p.domainsFor(ci, true, false)
+	if err != nil {
+		return false, nil, err
+	}
+	consistent := false
+	viable := false
+	var lastCex *Counterexample
+	err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
+		consistent = true
+		cex, err := p.boundedCounterexample(db, d)
+		if err != nil {
+			return false, err
+		}
+		if cex == nil {
+			viable = true
+			return false, nil
+		}
+		lastCex = cex
+		return true, nil
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	if !consistent {
+		return false, nil, ErrInconsistent
+	}
+	if viable {
+		return true, nil, nil
+	}
+	return false, lastCex, nil
+}
+
+// minpViable implements Corollary 6.3: T is a minimal viably complete
+// c-instance iff some I ∈ ModAdom(T) is a minimal complete ground
+// instance.
+func (p *Problem) minpViable(ci *ctable.CInstance) (bool, error) {
+	switch p.Query.Lang() {
+	case FO, FP:
+		return false, fmt.Errorf("MINP(%s), viable model: %w", p.Query.Lang(), ErrUndecidable)
+	}
+	d, err := p.domainsFor(ci, true, false)
+	if err != nil {
+		return false, err
+	}
+	consistent := false
+	found := false
+	err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
+		consistent = true
+		cex, err := p.boundedCounterexample(db, d)
+		if err != nil {
+			return false, err
+		}
+		if cex != nil {
+			return true, nil // this model is not even complete
+		}
+		nonMin, err := p.hasCompleteRemoval(db, d)
+		if err != nil {
+			return false, err
+		}
+		if !nonMin {
+			found = true
+			return false, nil
+		}
+		return true, nil
+	})
+	if err != nil {
+		return false, err
+	}
+	if !consistent {
+		return false, ErrInconsistent
+	}
+	return found, nil
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/relation"
+)
+
+// This file implements the weak completeness model (Section 5): the
+// certain-answer based RCDPw via the characterisation of Lemma 5.2
+// (Theorem 5.1; decidable even for FP), the trivially decidable RCQPw
+// with the constructive witness of the Theorem 5.4 proof, and MINPw
+// with the Lemma 5.7 fast path for CQ (Theorem 5.6). FO remains
+// undecidable in this model.
+
+// CertainAnswers computes ∩_{I ∈ ModAdom(T, Dm, V)} Q(I), the certain
+// answers of Q on the c-instance. ErrInconsistent when Mod is empty.
+func (p *Problem) CertainAnswers(ci *ctable.CInstance) ([]relation.Tuple, error) {
+	d, err := p.domainsFor(ci, false, false)
+	if err != nil {
+		return nil, err
+	}
+	return p.certainAnswers(ci, d)
+}
+
+func (p *Problem) certainAnswers(ci *ctable.CInstance, d *domains) ([]relation.Tuple, error) {
+	var acc []relation.Tuple
+	universe := true
+	any := false
+	err := p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
+		any = true
+		ans, err := p.answers(db)
+		if err != nil {
+			return false, err
+		}
+		acc, universe = intersectTuples(acc, universe, ans)
+		return universe || len(acc) > 0, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !any {
+		return nil, ErrInconsistent
+	}
+	return acc, nil
+}
+
+// CertainAnswersOfExtensions computes the certain answers of Q over all
+// partially closed extensions of all models of T:
+//
+//	∩_{I ∈ ModAdom(T), I' ∈ Ext(I)} Q(I').
+//
+// By the monotonicity of CQ/UCQ/∃FO+/FP and the single-tuple extension
+// property (Lemma 5.2 and Appendix A), it suffices to intersect over
+// single-tuple extensions of the models of T — and a tuple can join a
+// partially closed extension only when it is single-tuple closed
+// itself (CC antimonotonicity), so the added tuple ranges over the
+// pre-filtered candidate lattice rather than over raw valuations. The
+// second return value reports whether any extension exists at all;
+// when it is false the first value is nil and the paper's definition
+// makes T weakly complete vacuously.
+func (p *Problem) CertainAnswersOfExtensions(ci *ctable.CInstance) ([]relation.Tuple, bool, error) {
+	acc, _, anyExt, err := p.certainExtStream(ci, nil)
+	return acc, anyExt, err
+}
+
+// certainExtStream intersects Q over qualifying (model, single-tuple
+// extension) pairs. When stopWithin is non-nil, the enumeration halts
+// as soon as the running intersection is contained in stopWithin —
+// later pairs only shrink the intersection, so the containment verdict
+// is already final. It returns the intersection (meaningless when
+// contained is true), whether containment in stopWithin was
+// established, and whether any qualifying extension exists.
+func (p *Problem) certainExtStream(ci *ctable.CInstance, stopWithin map[string]bool) (
+	acc []relation.Tuple, contained bool, anyExt bool, err error) {
+	if !p.Query.Monotone() {
+		return nil, false, false, fmt.Errorf("certain answers of extensions for FO: %w", ErrUndecidable)
+	}
+	d, err := p.domainsFor(ci, false, true)
+	if err != nil {
+		return nil, false, false, err
+	}
+	universe := true
+	within := func() bool {
+		if stopWithin == nil || universe {
+			return false
+		}
+		for _, t := range acc {
+			if !stopWithin[t.Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	err = p.forEachModel(ci, d, func(base *relation.Database, mu ctable.Valuation) (bool, error) {
+		for _, r := range p.Schema.Relations() {
+			stop := false
+			done, err := p.latticeOver(r, d, func(t relation.Tuple) (bool, error) {
+				if base.Relation(r.Name).Contains(t) {
+					return true, nil
+				}
+				ext := base.WithTuple(r.Name, t)
+				closed, err := p.satisfiesCCs(ext)
+				if err != nil {
+					return false, err
+				}
+				if !closed {
+					return true, nil
+				}
+				anyExt = true
+				ans, err := p.answers(ext)
+				if err != nil {
+					return false, err
+				}
+				acc, universe = intersectTuples(acc, universe, ans)
+				if within() {
+					contained = true
+					stop = true
+					return false, nil
+				}
+				if !universe && len(acc) == 0 {
+					// Empty intersection is contained in anything.
+					if stopWithin != nil {
+						contained = true
+					}
+					stop = true
+					return false, nil
+				}
+				return true, nil
+			})
+			if err != nil {
+				return false, err
+			}
+			if !done && stop {
+				return false, nil
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, false, false, err
+	}
+	return acc, contained, anyExt, nil
+}
+
+// rcdpWeak implements Theorem 5.1: undecidable for FO; for FP, CQ, UCQ
+// and ∃FO+ the c-instance is weakly complete iff the certain answers
+// over extensions are contained in the certain answers over Mod(T)
+// (Lemma 5.2), or no extension exists at all. The certain answers over
+// Mod(T) are computed first so the extension stream can stop as soon
+// as containment is established.
+func (p *Problem) rcdpWeak(ci *ctable.CInstance) (bool, error) {
+	if p.Query.Lang() == FO {
+		return false, fmt.Errorf("RCDP(FO), weak model: %w", ErrUndecidable)
+	}
+	certT, err := p.CertainAnswers(ci) // ErrInconsistent when Mod(T) = ∅
+	if err != nil {
+		return false, err
+	}
+	inT := make(map[string]bool, len(certT))
+	for _, t := range certT {
+		inT[t.Key()] = true
+	}
+	certExt, contained, anyExt, err := p.certainExtStream(ci, inT)
+	if err != nil {
+		return false, err
+	}
+	if !anyExt {
+		// Every model of T is unextendable: weakly complete by
+		// definition.
+		return true, nil
+	}
+	if contained {
+		return true, nil
+	}
+	for _, t := range certExt {
+		if !inT[t.Key()] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// RCQP decides the relatively complete query problem for c-instances:
+// does any c-instance complete for Q relative to (Dm, V) exist?
+//
+// Weak model: trivially true for the monotone languages (Theorem 5.4);
+// ErrOpen for FO. Strong and viable models coincide with the ground
+// problem (Lemma 4.4 / Corollary 6.2) and are served by the bounded
+// search in rcqp.go; FO and FP are undecidable there.
+func (p *Problem) RCQP(m Model) (bool, error) {
+	switch m {
+	case Weak:
+		if p.Query.Lang() == FO {
+			return false, fmt.Errorf("RCQP(FO), weak model, c-instances: %w", ErrOpen)
+		}
+		return true, nil
+	default:
+		return p.rcqpStrongOrViable(m)
+	}
+}
+
+// RCQPGround is RCQP restricted to ground instances. In the weak model
+// RCQP(FO) is undecidable for ground instances (Theorem 5.4), while
+// the monotone languages remain trivially true.
+func (p *Problem) RCQPGround(m Model) (bool, error) {
+	switch m {
+	case Weak:
+		if p.Query.Lang() == FO {
+			return false, fmt.Errorf("RCQP(FO), weak model, ground instances: %w", ErrUndecidable)
+		}
+		return true, nil
+	default:
+		// Lemma 4.4 / Corollary 6.2: the c-instance and ground problems
+		// coincide in the strong and viable models.
+		return p.rcqpStrongOrViable(m)
+	}
+}
+
+// ConstructWeaklyComplete builds the constructive witness of the
+// Theorem 5.4 proof: a maximal partially closed ground instance I0
+// whose tuples draw values from the (typed) candidate lattice over the
+// active domain. Every FP (hence CQ, UCQ, ∃FO+) query is weakly
+// complete on I0 relative to (Dm, V).
+func (p *Problem) ConstructWeaklyComplete() (*relation.Database, error) {
+	if !p.Query.Monotone() {
+		return nil, fmt.Errorf("weakly complete witness for FO: %w", ErrUndecidable)
+	}
+	d, err := p.domainsFor(nil, false, true)
+	if err != nil {
+		return nil, err
+	}
+	db := relation.NewDatabase(p.Schema)
+	// Greedy maximality: a tuple rejected now stays rejected forever
+	// because CC violation is monotone in the data.
+	for _, r := range p.Schema.Relations() {
+		_, err := p.latticeOver(r, d, func(t relation.Tuple) (bool, error) {
+			ext := db.WithTuple(r.Name, t)
+			ok, err := p.satisfiesCCs(ext)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				db = ext
+			}
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// minpWeak implements Theorem 5.6. For CQ over a single-relation schema
+// it uses the coDP characterisation of Lemma 5.7; otherwise it falls
+// back to the generic algorithm (check T weakly complete, then check
+// that no proper row subset is), which matches the Πp4 upper bound for
+// UCQ/∃FO+ and coNEXPTIME for FP.
+func (p *Problem) minpWeak(ci *ctable.CInstance) (bool, error) {
+	if p.Query.Lang() == FO {
+		return false, fmt.Errorf("MINP(FO), weak model: %w", ErrUndecidable)
+	}
+	if p.Query.Lang() == CQ && p.Schema.Len() == 1 {
+		return p.minpWeakCQ(ci)
+	}
+	return p.minpWeakGeneric(ci)
+}
+
+// minpWeakCQ is the Lemma 5.7 fast path: T is a minimal weakly complete
+// instance iff either T is empty and ∅ ∈ RCQw, or ∅ ∉ RCQw, |T| = 1 and
+// Mod(T) ≠ ∅.
+func (p *Problem) minpWeakCQ(ci *ctable.CInstance) (bool, error) {
+	emptyCI := ctable.NewCInstance(p.Schema)
+	emptyComplete, err := p.rcdpWeak(emptyCI)
+	if err != nil {
+		return false, err
+	}
+	if ci.Size() == 0 {
+		return emptyComplete, nil
+	}
+	if emptyComplete || ci.Size() != 1 {
+		return false, nil
+	}
+	return p.Consistent(ci)
+}
+
+// minpWeakGeneric checks T ∈ RCQw and that no proper sub-c-instance
+// (row subset) is weakly complete.
+func (p *Problem) minpWeakGeneric(ci *ctable.CInstance) (bool, error) {
+	complete, err := p.rcdpWeak(ci)
+	if err != nil {
+		return false, err
+	}
+	if !complete {
+		return false, nil
+	}
+	rows := ci.AllRows()
+	n := len(rows)
+	if n == 0 {
+		return true, nil
+	}
+	if p.Options.MaxSubsets > 0 && (n > 62 || 1<<uint(n) > p.Options.MaxSubsets) {
+		return false, fmt.Errorf("MINP weak: 2^%d row subsets: %w", n, ErrBudget)
+	}
+	for mask := 0; mask < (1 << uint(n)); mask++ {
+		if mask == (1<<uint(n))-1 {
+			continue // the full set is T itself
+		}
+		drop := map[ctable.RowRef]bool{}
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				drop[rows[i]] = true
+			}
+		}
+		sub := ci.WithoutRows(drop)
+		subComplete, err := p.rcdpWeak(sub)
+		if errors.Is(err, ErrInconsistent) {
+			// An inconsistent sub-instance represents no database and
+			// cannot witness non-minimality.
+			continue
+		}
+		if err != nil {
+			return false, err
+		}
+		if subComplete {
+			return false, nil
+		}
+	}
+	return true, nil
+}

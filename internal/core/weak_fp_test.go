@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+// FP scenario: edge(A,B) bounded by master medge; Q = transitive
+// closure. Weak-model decisions are decidable for FP (Theorem 5.1).
+type fpScenario struct {
+	p      *Problem
+	schema *relation.DBSchema
+}
+
+func newFPScenario(t testing.TB, masterEdges ...[2]relation.Value) *fpScenario {
+	t.Helper()
+	schema := relation.MustDBSchema(relation.MustSchema("edge", relation.Attr("A", nil), relation.Attr("B", nil)))
+	masterSchema := relation.MustDBSchema(relation.MustSchema("medge", relation.Attr("A", nil), relation.Attr("B", nil)))
+	dm := relation.NewDatabase(masterSchema)
+	for _, e := range masterEdges {
+		dm.MustInsert("medge", relation.T(e[0], e[1]))
+	}
+	v := cc.NewSet(cc.MustParse("em", "q(x, y) := edge(x, y)", "p(x, y) := medge(x, y)"))
+	prog := query.MustParseProgram("reach", schema, `
+		reach(x, y) :- edge(x, y).
+		reach(x, z) :- reach(x, y), edge(y, z).
+		output reach.
+	`)
+	return &fpScenario{p: MustProblem(schema, FPQuery(prog), dm, v, Options{}), schema: schema}
+}
+
+func (s *fpScenario) ground(edges ...[2]relation.Value) *ctable.CInstance {
+	ci := ctable.NewCInstance(s.schema)
+	for _, e := range edges {
+		ci.MustAddRow("edge", ctable.Row{Terms: []query.Term{query.C(e[0]), query.C(e[1])}})
+	}
+	return ci
+}
+
+func TestRCDPWeakFP(t *testing.T) {
+	s := newFPScenario(t, [2]relation.Value{"a", "b"}, [2]relation.Value{"b", "c"})
+
+	// Saturated: no extensions, weakly complete.
+	full := s.ground([2]relation.Value{"a", "b"}, [2]relation.Value{"b", "c"})
+	ok, err := s.p.RCDP(full, Weak)
+	if err != nil || !ok {
+		t.Fatalf("saturated FP instance should be weakly complete: %v %v", ok, err)
+	}
+
+	// Missing (b,c): the unique extension adds reach facts (b,c), (a,c)
+	// that are certain but absent.
+	part := s.ground([2]relation.Value{"a", "b"})
+	ok, err = s.p.RCDP(part, Weak)
+	if err != nil || ok {
+		t.Fatal("partial FP instance should not be weakly complete")
+	}
+
+	// Strong/viable models are undecidable for FP.
+	if _, err := s.p.RCDP(full, Strong); !errors.Is(err, ErrUndecidable) {
+		t.Fatalf("RCDP(FP) strong: want ErrUndecidable, got %v", err)
+	}
+	if _, err := s.p.RCDP(full, Viable); !errors.Is(err, ErrUndecidable) {
+		t.Fatalf("RCDP(FP) viable: want ErrUndecidable, got %v", err)
+	}
+}
+
+func TestRCDPWeakFPWithVariables(t *testing.T) {
+	s := newFPScenario(t, [2]relation.Value{"a", "b"}, [2]relation.Value{"b", "c"})
+	// edge(a, x): models {(a,b)} only ((a,c), fresh values violate V...
+	// actually (a,b) is the only master edge from a).
+	ci := ctable.NewCInstance(s.schema)
+	ci.MustAddRow("edge", ctable.Row{Terms: []query.Term{query.C("a"), query.V("x")}})
+	ok, err := s.p.RCDP(ci, Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("model {(a,b)} extends by (b,c) gaining certain reach facts")
+	}
+}
+
+func TestMINPWeakFP(t *testing.T) {
+	s := newFPScenario(t, [2]relation.Value{"a", "b"})
+	// ∅: unique extension {(a,b)} yields certain reach (a,b) — not
+	// weakly complete; {(a,b)} is weakly complete (unextendable) and
+	// minimal (the only smaller instance ∅ is not weakly complete).
+	ok, err := s.p.MINP(s.ground([2]relation.Value{"a", "b"}), Weak)
+	if err != nil || !ok {
+		t.Fatalf("{(a,b)} should be minimal weakly complete for FP: %v %v", ok, err)
+	}
+
+	s2 := newFPScenario(t, [2]relation.Value{"a", "b"}, [2]relation.Value{"c", "d"})
+	// ∅ is weakly complete here (extensions disagree), so any larger
+	// instance is non-minimal.
+	ok, err = s2.p.MINP(s2.ground(), Weak)
+	if err != nil || !ok {
+		t.Fatalf("∅ should be minimal weakly complete: %v %v", ok, err)
+	}
+	ok, err = s2.p.MINP(s2.ground([2]relation.Value{"a", "b"}), Weak)
+	if err != nil || ok {
+		t.Fatal("non-empty instance is non-minimal when ∅ is weakly complete")
+	}
+}
+
+func TestRCQPWeakFPTrivial(t *testing.T) {
+	s := newFPScenario(t, [2]relation.Value{"a", "b"})
+	ok, err := s.p.RCQP(Weak)
+	if err != nil || !ok {
+		t.Fatal("RCQP weak is trivially true for FP (Theorem 5.4)")
+	}
+	ok, err = s.p.RCQPGround(Weak)
+	if err != nil || !ok {
+		t.Fatal("RCQP weak ground is trivially true for FP")
+	}
+}
+
+func TestConstructWeaklyComplete(t *testing.T) {
+	s := newFPScenario(t, [2]relation.Value{"a", "b"}, [2]relation.Value{"b", "c"})
+	witness, err := s.p.ConstructWeaklyComplete()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The witness must be partially closed and weakly complete.
+	closed, err := s.p.PartiallyClosed(witness)
+	if err != nil || !closed {
+		t.Fatal("witness must be partially closed")
+	}
+	ok, err := s.p.RCDP(ctable.FromDatabase(witness), Weak)
+	if err != nil || !ok {
+		t.Fatalf("witness must be weakly complete: %v %v", ok, err)
+	}
+	// Maximality: with edge ⊆ medge, the witness is exactly the master
+	// edges.
+	if witness.Relation("edge").Len() != 2 {
+		t.Fatalf("witness should saturate the master bound: %v", witness)
+	}
+
+	// For an FO query the construction is refused.
+	schema := s.schema
+	foP := MustProblem(schema, CalcQuery(query.MustParseQuery("Q() := ! (exists x, y: edge(x, y))")), nil, nil, Options{})
+	if _, err := foP.ConstructWeaklyComplete(); !errors.Is(err, ErrUndecidable) {
+		t.Fatalf("want ErrUndecidable, got %v", err)
+	}
+}
+
+func TestConstructWeaklyCompleteUnconstrained(t *testing.T) {
+	// With no CCs the greedy witness saturates the whole Adom lattice;
+	// it is weakly complete because every certain extension answer is
+	// already present... (Theorem 5.4's I0).
+	schema := relation.MustDBSchema(relation.MustSchema("R", relation.Attr("A", relation.Bool())))
+	p := MustProblem(schema, CalcQuery(query.MustParseQuery("Q(x) := R(x)")), nil, nil, Options{})
+	witness, err := p.ConstructWeaklyComplete()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if witness.Relation("R").Len() != 2 {
+		t.Fatalf("Boolean lattice should saturate to {0,1}: %v", witness)
+	}
+	ok, err := p.RCDP(ctable.FromDatabase(witness), Weak)
+	if err != nil || !ok {
+		t.Fatalf("saturated witness must be weakly complete: %v %v", ok, err)
+	}
+}

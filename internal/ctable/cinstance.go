@@ -1,0 +1,221 @@
+package ctable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"relcomplete/internal/relation"
+)
+
+// CInstance is a c-instance T = (T1, ..., Tn): one c-table per relation
+// of a database schema. Variables are shared across tables (a valuation
+// is global), so the same variable may correlate values in different
+// relations as long as its domains are compatible.
+type CInstance struct {
+	schema *relation.DBSchema
+	tables map[string]*CTable
+}
+
+// NewCInstance returns an empty c-instance of the schema.
+func NewCInstance(schema *relation.DBSchema) *CInstance {
+	ci := &CInstance{schema: schema, tables: make(map[string]*CTable, schema.Len())}
+	for _, r := range schema.Relations() {
+		ci.tables[r.Name] = NewCTable(r)
+	}
+	return ci
+}
+
+// Schema returns the database schema.
+func (ci *CInstance) Schema() *relation.DBSchema { return ci.schema }
+
+// Table returns the c-table of the named relation, or nil.
+func (ci *CInstance) Table(name string) *CTable {
+	if ci == nil {
+		return nil
+	}
+	return ci.tables[name]
+}
+
+// AddRow appends a row to the named relation's c-table, checking
+// cross-table domain compatibility of shared variables.
+func (ci *CInstance) AddRow(rel string, r Row) error {
+	t := ci.tables[rel]
+	if t == nil {
+		return fmt.Errorf("ctable: no relation %s", rel)
+	}
+	// Cross-table compatibility: the same variable must not be bound to
+	// incompatible domains in two tables.
+	for i, term := range r.Terms {
+		if !term.IsVar {
+			continue
+		}
+		dom := t.schema.DomainAt(i)
+		for other, ot := range ci.tables {
+			if other == rel {
+				continue
+			}
+			if prev, ok := ot.varDom[term.Name]; ok && !compatibleDomains(prev, dom) {
+				return fmt.Errorf("ctable: variable %s used at incompatible domains across %s and %s",
+					term.Name, other, rel)
+			}
+		}
+	}
+	return t.AddRow(r)
+}
+
+// MustAddRow is AddRow that panics on error.
+func (ci *CInstance) MustAddRow(rel string, r Row) {
+	if err := ci.AddRow(rel, r); err != nil {
+		panic(err)
+	}
+}
+
+// Size returns the total number of rows.
+func (ci *CInstance) Size() int {
+	n := 0
+	for _, r := range ci.schema.Relations() {
+		n += ci.tables[r.Name].Len()
+	}
+	return n
+}
+
+// Vars returns all variables across tables, sorted.
+func (ci *CInstance) Vars() []string {
+	seen := map[string]bool{}
+	for _, r := range ci.schema.Relations() {
+		for _, v := range ci.tables[r.Name].Vars() {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VarDomains returns the domain bound to each variable across tables.
+func (ci *CInstance) VarDomains() map[string]*relation.Domain {
+	out := map[string]*relation.Domain{}
+	for _, r := range ci.schema.Relations() {
+		for v, d := range ci.tables[r.Name].varDom {
+			if prev, ok := out[v]; !ok || (!prev.IsFinite() && d.IsFinite()) {
+				out[v] = d
+			}
+		}
+	}
+	return out
+}
+
+// Constants collects every constant of the c-instance.
+func (ci *CInstance) Constants(dst *relation.ValueSet) *relation.ValueSet {
+	if dst == nil {
+		dst = relation.NewValueSet()
+	}
+	for _, r := range ci.schema.Relations() {
+		ci.tables[r.Name].Constants(dst)
+	}
+	return dst
+}
+
+// IsGround reports whether no table has variables or conditions.
+func (ci *CInstance) IsGround() bool {
+	for _, r := range ci.schema.Relations() {
+		if !ci.tables[r.Name].IsGround() {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply computes µ(T) as a ground database.
+func (ci *CInstance) Apply(mu Valuation) (*relation.Database, error) {
+	db := relation.NewDatabase(ci.schema)
+	for _, r := range ci.schema.Relations() {
+		inst, err := ci.tables[r.Name].Apply(mu)
+		if err != nil {
+			return nil, err
+		}
+		db.MustSetRelation(inst)
+	}
+	return db, nil
+}
+
+// RowRef addresses one row of a c-instance.
+type RowRef struct {
+	Rel   string
+	Index int
+}
+
+// AllRows lists row references in deterministic order.
+func (ci *CInstance) AllRows() []RowRef {
+	var out []RowRef
+	for _, r := range ci.schema.Relations() {
+		for i := 0; i < ci.tables[r.Name].Len(); i++ {
+			out = append(out, RowRef{Rel: r.Name, Index: i})
+		}
+	}
+	return out
+}
+
+// WithoutRow returns a copy of the c-instance with one row removed.
+func (ci *CInstance) WithoutRow(ref RowRef) *CInstance {
+	c := NewCInstance(ci.schema)
+	for _, r := range ci.schema.Relations() {
+		t := ci.tables[r.Name]
+		for i, row := range t.Rows() {
+			if r.Name == ref.Rel && i == ref.Index {
+				continue
+			}
+			c.MustAddRow(r.Name, row)
+		}
+	}
+	return c
+}
+
+// WithoutRows returns a copy with every row in refs removed (refs is a
+// set keyed by relation and index).
+func (ci *CInstance) WithoutRows(refs map[RowRef]bool) *CInstance {
+	c := NewCInstance(ci.schema)
+	for _, r := range ci.schema.Relations() {
+		t := ci.tables[r.Name]
+		for i, row := range t.Rows() {
+			if refs[RowRef{Rel: r.Name, Index: i}] {
+				continue
+			}
+			c.MustAddRow(r.Name, row)
+		}
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (ci *CInstance) Clone() *CInstance {
+	c := NewCInstance(ci.schema)
+	for _, r := range ci.schema.Relations() {
+		for _, row := range ci.tables[r.Name].Rows() {
+			c.MustAddRow(r.Name, row)
+		}
+	}
+	return c
+}
+
+// FromDatabase lifts a ground database to a ground c-instance.
+func FromDatabase(db *relation.Database) *CInstance {
+	ci := NewCInstance(db.Schema())
+	for _, r := range db.Schema().Relations() {
+		ci.tables[r.Name] = FromInstance(db.Relation(r.Name))
+	}
+	return ci
+}
+
+// String renders the c-instance deterministically.
+func (ci *CInstance) String() string {
+	parts := make([]string, 0, ci.schema.Len())
+	for _, r := range ci.schema.Relations() {
+		parts = append(parts, ci.tables[r.Name].String())
+	}
+	return strings.Join(parts, "; ")
+}

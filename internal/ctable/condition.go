@@ -1,0 +1,282 @@
+// Package ctable implements conditional tables (c-tables) and
+// c-instances as in the paper (Section 2.2, after Imieliński & Lipski
+// and Grahne): tableaux whose entries are constants or variables, with
+// a local condition ξ(t) per row built from x=y, x≠y, x=c, x≠c under
+// conjunction. A valuation µ maps variables to constants; µ(T) keeps
+// the rows whose condition evaluates to true, yielding a ground
+// instance. Mod(T, Dm, V) — the partially closed ground instances a
+// c-instance represents — is computed in internal/adom and
+// internal/core, where the paper's active-domain construction lives.
+package ctable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+// Valuation maps c-table variables to constants.
+type Valuation map[string]relation.Value
+
+// Clone returns an independent copy.
+func (v Valuation) Clone() Valuation {
+	c := make(Valuation, len(v))
+	for k, val := range v {
+		c[k] = val
+	}
+	return c
+}
+
+// String renders the valuation deterministically.
+func (v Valuation) String() string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s↦%s", k, v[k])
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// CondAtom is one conjunct of a local condition: term op term, where
+// each term is a variable or a constant.
+type CondAtom struct {
+	Op   query.CmpOp
+	L, R query.Term
+}
+
+// String renders the atom.
+func (a CondAtom) String() string { return fmt.Sprintf("%s %s %s", a.L, a.Op, a.R) }
+
+// Condition is a conjunction of condition atoms; the empty condition is
+// true (the paper's (T, true)).
+type Condition []CondAtom
+
+// True is the empty (always true) condition.
+var True = Condition(nil)
+
+// CEq builds the condition atom l = r.
+func CEq(l, r query.Term) CondAtom { return CondAtom{Op: query.Eq, L: l, R: r} }
+
+// CNeq builds the condition atom l ≠ r.
+func CNeq(l, r query.Term) CondAtom { return CondAtom{Op: query.Neq, L: l, R: r} }
+
+// Cond builds a condition from atoms.
+func Cond(atoms ...CondAtom) Condition { return Condition(atoms) }
+
+// Eval evaluates the condition under a valuation that must cover every
+// variable of the condition.
+func (c Condition) Eval(v Valuation) (bool, error) {
+	for _, a := range c {
+		lv, ok := resolve(a.L, v)
+		if !ok {
+			return false, fmt.Errorf("ctable: condition variable %s unassigned", a.L.Name)
+		}
+		rv, ok := resolve(a.R, v)
+		if !ok {
+			return false, fmt.Errorf("ctable: condition variable %s unassigned", a.R.Name)
+		}
+		if (a.Op == query.Eq) != (lv == rv) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func resolve(t query.Term, v Valuation) (relation.Value, bool) {
+	if !t.IsVar {
+		return t.Const, true
+	}
+	val, ok := v[t.Name]
+	return val, ok
+}
+
+// Vars returns the condition's variables, sorted.
+func (c Condition) Vars() []string {
+	seen := map[string]bool{}
+	for _, a := range c {
+		if a.L.IsVar {
+			seen[a.L.Name] = true
+		}
+		if a.R.IsVar {
+			seen[a.R.Name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Constants collects the condition's constants into dst.
+func (c Condition) Constants(dst *relation.ValueSet) *relation.ValueSet {
+	if dst == nil {
+		dst = relation.NewValueSet()
+	}
+	for _, a := range c {
+		if !a.L.IsVar {
+			dst.Add(a.L.Const)
+		}
+		if !a.R.IsVar {
+			dst.Add(a.R.Const)
+		}
+	}
+	return dst
+}
+
+// And returns the conjunction of two conditions.
+func (c Condition) And(other Condition) Condition {
+	out := make(Condition, 0, len(c)+len(other))
+	out = append(out, c...)
+	out = append(out, other...)
+	return out
+}
+
+// String renders the condition; the empty condition prints as "true".
+func (c Condition) String() string {
+	if len(c) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(c))
+	for i, a := range c {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Satisfiable decides whether some valuation satisfies the conjunction,
+// with variables restricted by the optional finite domains in varDom.
+// The procedure is exact over infinite domains (the paper's default
+// setting): it unions equality classes, rejects classes holding two
+// distinct constants, and rejects inequalities within a class. For
+// finite domains it additionally intersects the domains of a class and
+// subtracts constants excluded by inequalities; var-var inequalities
+// between tiny finite domains (a graph-colouring situation) are treated
+// conservatively, so Satisfiable may answer true where exhaustive
+// valuation search (internal/adom) would answer false — never the
+// reverse.
+func (c Condition) Satisfiable(varDom map[string]*relation.Domain) bool {
+	// Union-find over variables and constants.
+	parent := map[string]string{}
+	var find func(x string) string
+	find = func(x string) string {
+		if p, ok := parent[x]; ok && p != x {
+			r := find(p)
+			parent[x] = r
+			return r
+		}
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		return parent[x]
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+	key := func(t query.Term) string {
+		if t.IsVar {
+			return "v:" + t.Name
+		}
+		return "c:" + string(t.Const)
+	}
+	for _, a := range c {
+		if a.Op == query.Eq {
+			union(key(a.L), key(a.R))
+		} else {
+			// Make sure inequality endpoints are registered.
+			find(key(a.L))
+			find(key(a.R))
+		}
+	}
+	// Each class may contain at most one constant.
+	classConst := map[string]relation.Value{}
+	for node := range parent {
+		if strings.HasPrefix(node, "c:") {
+			r := find(node)
+			v := relation.Value(node[2:])
+			if prev, ok := classConst[r]; ok && prev != v {
+				return false
+			}
+			classConst[r] = v
+		}
+	}
+	// Inequalities must not connect equal classes or equal constants.
+	excluded := map[string]map[relation.Value]bool{} // class -> excluded constants
+	for _, a := range c {
+		if a.Op != query.Neq {
+			continue
+		}
+		lr, rr := find(key(a.L)), find(key(a.R))
+		if lr == rr {
+			return false
+		}
+		lc, lok := classConst[lr]
+		rc, rok := classConst[rr]
+		if lok && rok && lc == rc {
+			return false
+		}
+		// Track constants excluded from a class for the finite-domain check.
+		if rok && !lok {
+			addExcluded(excluded, lr, rc)
+		}
+		if lok && !rok {
+			addExcluded(excluded, rr, lc)
+		}
+	}
+	// Finite domains: intersect the finite domains of every variable of
+	// a class; the intersection minus excluded constants must be
+	// non-empty, and a pinned constant must be a member.
+	classDom := map[string]*relation.ValueSet{} // class -> remaining members (nil = unrestricted)
+	for node := range parent {
+		if !strings.HasPrefix(node, "v:") {
+			continue
+		}
+		dom := varDom[node[2:]]
+		if !dom.IsFinite() {
+			continue
+		}
+		r := find(node)
+		if cur, ok := classDom[r]; !ok {
+			classDom[r] = relation.NewValueSet(dom.Values()...)
+		} else {
+			next := relation.NewValueSet()
+			for _, v := range cur.Values() {
+				if dom.Contains(v) {
+					next.Add(v)
+				}
+			}
+			classDom[r] = next
+		}
+	}
+	for r, dom := range classDom {
+		if cst, ok := classConst[r]; ok {
+			if !dom.Contains(cst) {
+				return false
+			}
+			continue
+		}
+		avail := 0
+		for _, v := range dom.Values() {
+			if !excluded[r][v] {
+				avail++
+			}
+		}
+		if avail == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func addExcluded(m map[string]map[relation.Value]bool, class string, v relation.Value) {
+	if m[class] == nil {
+		m[class] = map[relation.Value]bool{}
+	}
+	m[class][v] = true
+}

@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"testing"
+
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+// Edge cases of the positive evaluator's comparison handling and
+// disjunct padding.
+
+func TestEvalCompareBothUnbound(t *testing.T) {
+	db := mkDB(t)
+	// Both sides of the comparison are otherwise-unconstrained
+	// variables: active-domain semantics ranges both.
+	got := answersOf(t, db, "Q(x, y) := x = y")
+	// adom = {1, 2, 3}: the diagonal.
+	wantAnswers(t, got, relation.T("1", "1"), relation.T("2", "2"), relation.T("3", "3"))
+
+	got = answersOf(t, db, "Q(x, y) := x != y & x = '1'")
+	wantAnswers(t, got, relation.T("1", "2"), relation.T("1", "3"))
+}
+
+func TestEvalCompareConstConst(t *testing.T) {
+	db := mkDB(t)
+	yes, err := Bool(db, query.MustParseQuery("Q() := '1' = '1'"), Options{})
+	if err != nil || !yes {
+		t.Fatal("constant equality should hold")
+	}
+	no, err := Bool(db, query.MustParseQuery("Q() := '1' = '2'"), Options{})
+	if err != nil || no {
+		t.Fatal("constant equality should fail")
+	}
+}
+
+func TestEvalEqualityPinsBeforeAtoms(t *testing.T) {
+	// The conjunction orderer runs atoms first; the equality then
+	// filters. Semantics must be unchanged whichever side is written
+	// first.
+	db := mkDB(t)
+	a := answersOf(t, db, "Q(x) := x = '2' & S(x)")
+	b := answersOf(t, db, "Q(x) := S(x) & x = '2'")
+	if len(a) != 1 || len(b) != 1 || !a[0].Equal(b[0]) {
+		t.Fatalf("order sensitivity: %v vs %v", a, b)
+	}
+}
+
+func TestEvalNestedOrUnderExists(t *testing.T) {
+	db := mkDB(t)
+	got := answersOf(t, db, "Q(x) := exists y: (R(x, y) | R(y, x)) & S(y)")
+	// y ∈ S = {2, 3}: R(x,y) gives x ∈ {1,2,3}; R(y,x) gives x ∈ {3}.
+	wantAnswers(t, got, relation.T("1"), relation.T("2"), relation.T("3"))
+}
+
+func TestEvalForallEmptyDomain(t *testing.T) {
+	// Empty instance and constant-free query: the active domain is
+	// empty, so ∀ holds vacuously and ∃ fails.
+	sch := relation.MustDBSchema(relation.MustSchema("R", relation.Attr("A", nil)))
+	db := relation.NewDatabase(sch)
+	yes, err := Bool(db, query.MustParseQuery("Q() := forall x: R(x)"), Options{})
+	if err != nil || !yes {
+		t.Fatal("∀ over the empty domain holds vacuously")
+	}
+	no, err := Bool(db, query.MustParseQuery("Q() := exists x: x = x"), Options{})
+	if err != nil || no {
+		t.Fatal("∃ over the empty domain fails")
+	}
+}
+
+func TestEvalBooleanDisjunctionPadding(t *testing.T) {
+	// Boolean query with a disjunction where one disjunct has no free
+	// variables at all.
+	db := mkDB(t)
+	yes, err := Bool(db, query.MustParseQuery("Q() := R('9', '9') | S('2')"), Options{})
+	if err != nil || !yes {
+		t.Fatal("second disjunct holds")
+	}
+}
+
+func TestEvalRepeatedVariableAtom(t *testing.T) {
+	db := mkDB(t) // R contains (3,3)
+	got := answersOf(t, db, "Q(x) := R(x, x)")
+	wantAnswers(t, got, relation.T("3"))
+}
+
+func TestEvalConstantOnlyAtom(t *testing.T) {
+	db := mkDB(t)
+	yes, err := Bool(db, query.MustParseQuery("Q() := R('1', '2')"), Options{})
+	if err != nil || !yes {
+		t.Fatal("ground atom lookup failed")
+	}
+}
+
+func TestAnswersDeterministicOrder(t *testing.T) {
+	db := mkDB(t)
+	a := answersOf(t, db, "Q(x, y) := R(x, y)")
+	b := answersOf(t, db, "Q(x, y) := R(x, y)")
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("answer order must be deterministic")
+		}
+		if i > 0 && a[i-1].Compare(a[i]) >= 0 {
+			t.Fatal("answers must be sorted")
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package paperex materialises the paper's running example: the
+// Figure 1 c-table of UK patient visits (MVisit), the Patientm master
+// data, the containment constraints of Example 2.1 (year-range
+// containment plus the FD NHS → name, GD encoded as CCs), and the
+// queries Q1–Q4 of Examples 1.1–2.3.
+//
+// Two scenarios are provided. Full is Figure 1 verbatim — eight
+// attributes, five rows, the t2/t3 conditions — used by the quickstart
+// example and by tests of the cheap analyses (partial closure, CC
+// violation detection, query evaluation under chosen valuations).
+// Reduced keeps the four attributes the examples' queries actually
+// touch (NHS, name, city, yob), which keeps the exponential deciders
+// within unit-test budgets while preserving every judgement the paper
+// makes about Q1, Q2 and Q4.
+package paperex
+
+import (
+	"fmt"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+// Scenario bundles one instantiation of the patient example.
+type Scenario struct {
+	Data   *relation.DBSchema
+	MVisit *relation.Schema
+	Master *relation.DBSchema
+	Dm     *relation.Database
+	CCs    *cc.Set
+	T      *ctable.CInstance // the Figure 1 c-table
+	Q1     *query.Query      // Example 1.1
+	Q2     *query.Query      // Example 2.2
+	Q4     *query.Query      // Example 2.3
+}
+
+// Problem assembles a core.Problem for one of the scenario's queries.
+func (s *Scenario) Problem(q *query.Query, opts core.Options) (*core.Problem, error) {
+	return core.NewProblem(s.Data, core.CalcQuery(q), s.Dm, s.CCs, opts)
+}
+
+// Full is Figure 1 verbatim.
+func Full() *Scenario {
+	mvisit := relation.MustSchema("MVisit",
+		relation.Attr("NHS", nil), relation.Attr("name", nil), relation.Attr("city", nil),
+		relation.Attr("yob", nil), relation.Attr("GD", nil), relation.Attr("Date", nil),
+		relation.Attr("Diag", nil), relation.Attr("DrID", nil))
+	patientm := relation.MustSchema("Patientm",
+		relation.Attr("NHS", nil), relation.Attr("name", nil), relation.Attr("yob", nil),
+		relation.Attr("zip", nil), relation.Attr("GD", nil))
+	mempty := relation.MustSchema("Mempty", relation.Attr("W", nil))
+
+	data := relation.MustDBSchema(mvisit)
+	master := relation.MustDBSchema(patientm, mempty)
+	dm := relation.NewDatabase(master)
+	// The two Edinburgh patients born in 2000 of Example 2.3 plus the
+	// record behind Example 2.2's Q2.
+	dm.MustInsert("Patientm", relation.T("915-15-335", "John", "2000", "EH8 9AB", "M"))
+	dm.MustInsert("Patientm", relation.T("915-15-336", "Bob", "2000", "EH8 9AB", "M"))
+	dm.MustInsert("Patientm", relation.T("915-15-321", "Anna", "2000", "EH1 1AA", "F"))
+
+	v := cc.NewSet()
+	// Example 2.1: for each year y in range, Edinburgh visits are
+	// bounded by master data. The paper ranges over 1991–2014; the
+	// years relevant to the queries suffice for every judgement.
+	for _, year := range []relation.Value{"1999", "2000", "2001"} {
+		v.Add(yearCC(mvisit, patientm, year))
+	}
+	// The FD NHS → name, GD as CCs against the empty master relation.
+	fdCCs, err := cc.FD{Rel: "MVisit", LHS: []string{"NHS"}, RHS: []string{"name", "GD"}}.AsCCs(data, mempty)
+	if err != nil {
+		panic(err)
+	}
+	v.Add(fdCCs...)
+
+	t := ctable.NewCInstance(data)
+	row := func(vals ...query.Term) ctable.Row { return ctable.Row{Terms: vals} }
+	condRow := func(cond ctable.Condition, vals ...query.Term) ctable.Row {
+		return ctable.Row{Terms: vals, Cond: cond}
+	}
+	c := func(v relation.Value) query.Term { return query.C(v) }
+	// Figure 1, rows t1–t5.
+	t.MustAddRow("MVisit", row(c("915-15-335"), c("John"), c("EDI"), c("2000"), c("M"), c("15/03/2015"), c("Flu"), c("01")))
+	t.MustAddRow("MVisit", condRow(
+		ctable.Cond(ctable.CNeq(query.V("z"), query.C("2001"))),
+		c("915-15-356"), query.V("x"), c("EDI"), query.V("z"), c("F"), c("15/03/2015"), c("Diabetes"), c("01")))
+	t.MustAddRow("MVisit", condRow(
+		ctable.Cond(ctable.CNeq(query.V("w"), query.C("EDI"))),
+		c("915-15-357"), c("Mary"), query.V("w"), c("2000"), c("F"), c("15/03/2015"), c("Influenza"), query.V("u")))
+	t.MustAddRow("MVisit", row(c("915-15-358"), c("Jack"), c("LON"), c("2000"), c("M"), c("15/03/2015"), c("Influenza"), c("02")))
+	t.MustAddRow("MVisit", row(c("915-15-359"), c("Louis"), c("LON"), c("2000"), c("M"), c("15/03/2015"), c("Diabetes"), c("03")))
+
+	return &Scenario{
+		Data: data, MVisit: mvisit, Master: master, Dm: dm, CCs: v, T: t,
+		Q1: query.MustParseQuery(
+			"Q1(na) := exists c, g, d, di, i: MVisit('915-15-335', na, c, '2000', g, d, di, i) & c = 'EDI'"),
+		Q2: query.MustParseQuery(
+			"Q2(na) := exists c, g, d, di, i: MVisit('915-15-321', na, c, '2000', g, d, di, i)"),
+		Q4: query.MustParseQuery(
+			"Q4(na) := exists n, g, di, i: MVisit(n, na, 'EDI', '2000', g, '15/03/2015', di, i)"),
+	}
+}
+
+// yearCC is the Example 2.1 constraint for one year over the full
+// 8-attribute schema.
+func yearCC(mvisit, patientm *relation.Schema, year relation.Value) *cc.Constraint {
+	left := query.MustQuery("q"+string(year),
+		[]query.Term{query.V("n"), query.V("na"), query.V("g")},
+		query.Ex([]string{"c", "d", "di", "i"}, query.Conj(
+			query.NewAtom(mvisit.Name,
+				query.V("n"), query.V("na"), query.V("c"), query.C(year),
+				query.V("g"), query.V("d"), query.V("di"), query.V("i")),
+			query.EqT(query.V("c"), query.C("EDI")))))
+	right := query.MustQuery("p"+string(year),
+		[]query.Term{query.V("n"), query.V("na"), query.V("g")},
+		query.Ex([]string{"z"}, query.NewAtom(patientm.Name,
+			query.V("n"), query.V("na"), query.C(year), query.V("z"), query.V("g"))))
+	return cc.Must("edi_"+string(year), left, right)
+}
+
+// Reduced is the four-attribute projection of Figure 1: MVisit(NHS,
+// name, city, yob), the same master patients, the year-2000 CC and the
+// FD NHS → name. Every Example 1.1–2.4 judgement about Q1, Q2 and Q4
+// carries over; the decider inputs shrink from |Adom|^4 valuations
+// over ~40 constants to a unit-test-sized search.
+func Reduced() *Scenario {
+	mvisit := relation.MustSchema("MVisit",
+		relation.Attr("NHS", nil), relation.Attr("name", nil),
+		relation.Attr("city", nil), relation.Attr("yob", nil))
+	patientm := relation.MustSchema("Patientm",
+		relation.Attr("NHS", nil), relation.Attr("name", nil), relation.Attr("yob", nil))
+	mempty := relation.MustSchema("Mempty", relation.Attr("W", nil))
+
+	data := relation.MustDBSchema(mvisit)
+	master := relation.MustDBSchema(patientm, mempty)
+	dm := relation.NewDatabase(master)
+	dm.MustInsert("Patientm", relation.T("915-15-335", "John", "2000"))
+	dm.MustInsert("Patientm", relation.T("915-15-336", "Bob", "2000"))
+
+	v := cc.NewSet()
+	v.Add(cc.Must("edi_2000",
+		query.MustQuery("q", []query.Term{query.V("n"), query.V("na")},
+			query.Ex([]string{"c"}, query.Conj(
+				query.NewAtom("MVisit", query.V("n"), query.V("na"), query.V("c"), query.C("2000")),
+				query.EqT(query.V("c"), query.C("EDI"))))),
+		query.MustQuery("p", []query.Term{query.V("n"), query.V("na")},
+			query.NewAtom("Patientm", query.V("n"), query.V("na"), query.C("2000")))))
+	fdCCs, err := cc.FD{Rel: "MVisit", LHS: []string{"NHS"}, RHS: []string{"name"}}.AsCCs(data, mempty)
+	if err != nil {
+		panic(err)
+	}
+	v.Add(fdCCs...)
+
+	t := ctable.NewCInstance(data)
+	t.MustAddRow("MVisit", ctable.Row{Terms: []query.Term{
+		query.C("915-15-335"), query.C("John"), query.C("EDI"), query.C("2000")}})
+
+	return &Scenario{
+		Data: data, MVisit: mvisit, Master: master, Dm: dm, CCs: v, T: t,
+		Q1: query.MustParseQuery("Q1(na) := exists c: MVisit('915-15-335', na, c, '2000') & c = 'EDI'"),
+		Q2: query.MustParseQuery("Q2(na) := exists c: MVisit('915-15-321', na, c, '2000')"),
+		Q4: query.MustParseQuery("Q4(na) := exists n: MVisit(n, na, 'EDI', '2000')"),
+	}
+}
+
+// WithRow returns a copy of the scenario's c-instance extended by one
+// MVisit row; a convenience for examples.
+func (s *Scenario) WithRow(r ctable.Row) (*ctable.CInstance, error) {
+	out := s.T.Clone()
+	if err := out.AddRow("MVisit", r); err != nil {
+		return nil, fmt.Errorf("paperex: %w", err)
+	}
+	return out, nil
+}

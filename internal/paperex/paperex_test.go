@@ -1,0 +1,333 @@
+package paperex
+
+import (
+	"testing"
+
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/eval"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+// ---------------------------------------------------------------------------
+// Full Figure 1: structure and cheap analyses.
+// ---------------------------------------------------------------------------
+
+func TestFullFigure1Shape(t *testing.T) {
+	s := Full()
+	if s.T.Size() != 5 {
+		t.Fatalf("Figure 1 has 5 rows, got %d", s.T.Size())
+	}
+	vars := s.T.Vars()
+	if len(vars) != 4 { // x, z, w, u
+		t.Fatalf("Figure 1 has variables x, z, w, u; got %v", vars)
+	}
+	if s.T.IsGround() {
+		t.Fatal("Figure 1 is not ground")
+	}
+}
+
+func TestFullFigure1ValuationJudgements(t *testing.T) {
+	s := Full()
+	p, err := s.Problem(s.Q1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 1.1's reading of t2/t3 conditions: a valuation violating
+	// t2's z ≠ 2001 drops the row.
+	mu := ctable.Valuation{"x": "Grace", "z": "2001", "w": "LON", "u": "05"}
+	db, err := s.T.Apply(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Relation("MVisit").Len() != 4 {
+		t.Fatalf("t2 should be dropped under z = 2001: %d rows", db.Relation("MVisit").Len())
+	}
+	closed, err := p.PartiallyClosed(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closed {
+		t.Fatal("the valuation should be partially closed")
+	}
+	// Q1 returns John on every partially closed valuation.
+	ans, err := eval.Answers(db, s.Q1, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 || !ans[0].Equal(relation.T("John")) {
+		t.Fatalf("Q1 = %v, want {John}", ans)
+	}
+}
+
+func TestFullFigure1FDViolationDetected(t *testing.T) {
+	s := Full()
+	p, err := s.Problem(s.Q1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second name for NHS 915-15-335 violates the FD CCs.
+	mu := ctable.Valuation{"x": "Grace", "z": "2000", "w": "LON", "u": "05"}
+	db, err := s.T.Apply(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustInsert("MVisit", relation.T("915-15-335", "NotJohn", "LON", "2000", "M", "16/03/2015", "Flu", "09"))
+	closed, err := p.PartiallyClosed(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed {
+		t.Fatal("FD violation must break partial closure")
+	}
+}
+
+func TestFullFigure1EDIBoundViolationDetected(t *testing.T) {
+	s := Full()
+	p, err := s.Problem(s.Q1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := ctable.Valuation{"x": "Grace", "z": "2000", "w": "LON", "u": "05"}
+	db, _ := s.T.Apply(mu)
+	// An Edinburgh patient born 2000 missing from master data violates
+	// the Example 2.1 CC.
+	db.MustInsert("MVisit", relation.T("999-99-999", "Ghost", "EDI", "2000", "M", "16/03/2015", "Flu", "09"))
+	closed, err := p.PartiallyClosed(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed {
+		t.Fatal("master bound violation must break partial closure")
+	}
+}
+
+func TestFullFigure1Consistent(t *testing.T) {
+	// Mod(T) is non-empty: early termination finds a model without
+	// exhausting the Adom^4 valuation space.
+	s := Full()
+	p, err := s.Problem(s.Q1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.Consistent(s.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Figure 1 is consistent")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Reduced scenario: the Example 1.1–2.3 completeness judgements.
+// ---------------------------------------------------------------------------
+
+func TestReducedQ1StronglyComplete(t *testing.T) {
+	// Example 1.1/2.3: the John row makes the database complete for Q1
+	// — the FD pins the name, the CC pins Edinburgh-2000 rows to Dm.
+	s := Reduced()
+	p, err := s.Problem(s.Q1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.RCDP(s.T, core.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("T should be strongly complete for Q1")
+	}
+}
+
+func TestReducedQ2IncompleteThenCompletable(t *testing.T) {
+	// Example 2.2: T is not complete for Q2 (NHS 915-15-321 absent),
+	// and becomes complete after adding a single tuple for that NHS —
+	// the FD guarantees no second name can ever appear.
+	s := Reduced()
+	p, err := s.Problem(s.Q2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.RCDP(s.T, core.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("T should not be complete for Q2")
+	}
+	ext, err := s.WithRow(ctable.Row{Terms: []query.Term{
+		query.C("915-15-321"), query.C("Anna"), query.C("LON"), query.C("2000")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = p.RCDP(ext, core.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("adding the 915-15-321 tuple should make T complete for Q2")
+	}
+}
+
+func TestReducedQ4CompletenessAcrossModels(t *testing.T) {
+	// Example 2.3 (adapted to the reduced schema): with a missing name
+	// x and a missing year z on the Bob row, T is viably complete for
+	// Q4 (µ = {x ↦ Bob, z ↦ 2000}) and weakly complete, but not
+	// strongly complete.
+	s := Reduced()
+	withVar, err := s.WithRow(ctable.Row{
+		Terms: []query.Term{query.C("915-15-336"), query.V("x"), query.C("EDI"), query.V("z")},
+		Cond:  ctable.Cond(ctable.CNeq(query.V("z"), query.C("2001"))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Problem(s.Q4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	viable, err := p.RCDP(withVar, core.Viable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viable {
+		t.Fatal("T should be viably complete for Q4 (Example 2.3)")
+	}
+	weak, err := p.RCDP(withVar, core.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weak {
+		t.Fatal("T should be weakly complete for Q4 (Example 2.3)")
+	}
+	strong, err := p.RCDP(withVar, core.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong {
+		t.Fatal("T should NOT be strongly complete for Q4 (Example 2.3)")
+	}
+}
+
+func TestReducedQ1MinimalityExample24(t *testing.T) {
+	// Example 2.4: Figure 1's T is strongly complete for Q1 but not
+	// minimal — the John row alone suffices. In the reduced scenario
+	// T is exactly that single row, so it IS minimal; adding an
+	// unrelated row breaks minimality.
+	s := Reduced()
+	p, err := s.Problem(s.Q1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.MINP(s.T, core.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("the single John row should be minimally complete for Q1")
+	}
+	bigger, err := s.WithRow(ctable.Row{Terms: []query.Term{
+		query.C("915-15-358"), query.C("Jack"), query.C("LON"), query.C("2000")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = p.MINP(bigger, core.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("the Jack row is excess data for Q1: not minimal")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Example 5.5: in the weak model, minimality cannot be decided by
+// single-tuple removals.
+// ---------------------------------------------------------------------------
+
+func TestExample55WeakMinimality(t *testing.T) {
+	schema := relation.MustDBSchema(
+		relation.MustSchema("R1", relation.Attr("A", nil)),
+		relation.MustSchema("R2", relation.Attr("B", nil)),
+	)
+	q := query.MustParseQuery("Q(x) := exists y, z: R1(y) & R2(z) & x = 'a'")
+	p := core.MustProblem(schema, core.CalcQuery(q), nil, nil, core.Options{})
+
+	i0 := ctable.NewCInstance(schema)
+	i0.MustAddRow("R1", ctable.Row{Terms: []query.Term{query.C("0")}})
+	i0.MustAddRow("R2", ctable.Row{Terms: []query.Term{query.C("1")}})
+
+	// I0 is weakly complete: every extension answers {a} already.
+	ok, err := p.RCDP(i0, core.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("I0 should be weakly complete (Example 5.5)")
+	}
+	// The empty instance is weakly complete too (extensions disagree on
+	// emptiness of R1/R2, so certain answers over extensions are ∅).
+	empty := ctable.NewCInstance(schema)
+	ok, err = p.RCDP(empty, core.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("∅ should be weakly complete (Example 5.5)")
+	}
+	// Hence I0 is not minimal.
+	ok, err = p.MINP(i0, core.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("I0 is not minimal: ∅ is weakly complete (Example 5.5)")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Example 5.3: the FO query distinguishing I1 ⊆ I2 from I1 ⊄ I2, at
+// the evaluation level, and the RCQP dichotomy at the API level.
+// ---------------------------------------------------------------------------
+
+func TestExample53FOQueryEvaluation(t *testing.T) {
+	schema := relation.MustDBSchema(
+		relation.MustSchema("R1", relation.Attr("A", nil)),
+		relation.MustSchema("R2", relation.Attr("B", nil)),
+	)
+	// Q(v) = {(a)} if R1 ⊆ R2, {(b)} otherwise.
+	q := query.MustParseQuery(
+		"Q(v) := (v = 'a' & (forall y: (! R1(y) | R2(y)))) | (v = 'b' & ! (forall y: (! R1(y) | R2(y))))")
+	db := relation.NewDatabase(schema)
+	db.MustInsert("R1", relation.T("1"))
+	db.MustInsert("R2", relation.T("1"))
+	db.MustInsert("R2", relation.T("2"))
+	ans, err := eval.Answers(db, q, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 || !ans[0].Equal(relation.T("a")) {
+		t.Fatalf("R1 ⊆ R2: Q = %v, want {a}", ans)
+	}
+	db.MustInsert("R1", relation.T("9"))
+	ans, err = eval.Answers(db, q, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 || !ans[0].Equal(relation.T("b")) {
+		t.Fatalf("R1 ⊄ R2: Q = %v, want {b}", ans)
+	}
+
+	// The API reflects the Example 5.3 dichotomy: RCQPw(FO) is
+	// undecidable for ground instances and open for c-instances.
+	p := core.MustProblem(schema, core.CalcQuery(q), nil, nil, core.Options{})
+	if _, err := p.RCQPGround(core.Weak); err == nil {
+		t.Fatal("ground RCQPw(FO) must be refused")
+	}
+	if _, err := p.RCQP(core.Weak); err == nil {
+		t.Fatal("c-instance RCQPw(FO) must be refused (open problem)")
+	}
+}

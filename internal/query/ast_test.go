@@ -1,0 +1,151 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"relcomplete/internal/relation"
+)
+
+func TestTermEqualString(t *testing.T) {
+	if !V("x").Equal(V("x")) || V("x").Equal(V("y")) || V("x").Equal(C("x")) {
+		t.Fatal("Term.Equal wrong")
+	}
+	if V("x").String() != "x" || C("a").String() != "'a'" {
+		t.Fatal("Term.String wrong")
+	}
+}
+
+func TestConjDisjFlatten(t *testing.T) {
+	a := NewAtom("R", V("x"))
+	b := NewAtom("S", V("y"))
+	c := NewAtom("T", V("z"))
+
+	f := Conj(Conj(a, b), c)
+	and, ok := f.(*And)
+	if !ok || len(and.Kids) != 3 {
+		t.Fatalf("Conj did not flatten: %v", f)
+	}
+	if Conj(a) != Formula(a) {
+		t.Fatal("singleton Conj should elide")
+	}
+
+	g := Disj(Disj(a, b), c)
+	or, ok := g.(*Or)
+	if !ok || len(or.Kids) != 3 {
+		t.Fatalf("Disj did not flatten: %v", g)
+	}
+	if Disj(b) != Formula(b) {
+		t.Fatal("singleton Disj should elide")
+	}
+}
+
+func TestExAllElideEmpty(t *testing.T) {
+	a := NewAtom("R", V("x"))
+	if Ex(nil, a) != Formula(a) || All(nil, a) != Formula(a) {
+		t.Fatal("empty quantifier should elide")
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	// exists y: R(x, y) & y != z  — free: x, z
+	f := Ex([]string{"y"}, Conj(NewAtom("R", V("x"), V("y")), NeqT(V("y"), V("z"))))
+	free := FreeVars(f)
+	if !free["x"] || !free["z"] || free["y"] {
+		t.Fatalf("FreeVars = %v", free)
+	}
+}
+
+func TestFreeVarsShadowing(t *testing.T) {
+	// R(x) & exists x: S(x) — x free (from R), the bound x is separate.
+	f := Conj(NewAtom("R", V("x")), Ex([]string{"x"}, NewAtom("S", V("x"))))
+	free := FreeVars(f)
+	if !free["x"] || len(free) != 1 {
+		t.Fatalf("FreeVars = %v", free)
+	}
+	// forall binds too.
+	g := All([]string{"x"}, NewAtom("R", V("x")))
+	if len(FreeVars(g)) != 0 {
+		t.Fatal("forall should bind")
+	}
+}
+
+func TestAllVars(t *testing.T) {
+	f := Ex([]string{"y"}, Conj(NewAtom("R", V("x"), V("y")), EqT(V("z"), C("c"))))
+	if got := AllVars(f); !reflect.DeepEqual(got, []string{"x", "y", "z"}) {
+		t.Fatalf("AllVars = %v", got)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	f := Conj(NewAtom("R", C("a"), V("x")), NeqT(V("x"), C("b")), Neg(NewAtom("S", C("c"))))
+	got := Constants(f, nil).Values()
+	want := []relation.Value{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Constants = %v", got)
+	}
+}
+
+func TestQueryConstantsIncludesHead(t *testing.T) {
+	q := MustQuery("Q", []Term{C("h"), V("x")}, NewAtom("R", V("x")))
+	got := QueryConstants(q, nil)
+	if !got.Contains("h") {
+		t.Fatal("head constant missing")
+	}
+}
+
+func TestNewQueryRejectsUnboundHead(t *testing.T) {
+	if _, err := NewQuery("Q", []Term{V("y")}, NewAtom("R", V("x"))); err == nil {
+		t.Fatal("head variable not free in body should fail")
+	}
+	if _, err := NewQuery("Q", []Term{V("x")}, Ex([]string{"x"}, NewAtom("R", V("x")))); err == nil {
+		t.Fatal("head variable bound in body should fail")
+	}
+	if _, err := NewQuery("Q", nil, nil); err == nil {
+		t.Fatal("nil body should fail")
+	}
+}
+
+func TestQueryBasics(t *testing.T) {
+	q := MustQuery("Q", []Term{V("x")}, NewAtom("R", V("x")))
+	if q.Arity() != 1 || q.IsBoolean() {
+		t.Fatal("arity wrong")
+	}
+	b := MustQuery("B", nil, NewAtom("R", C("a")))
+	if !b.IsBoolean() {
+		t.Fatal("Boolean query misdetected")
+	}
+	if q.String() != "Q(x) := R(x)" {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func TestAtomsOrder(t *testing.T) {
+	f := Conj(NewAtom("A", V("x")), Disj(NewAtom("B", V("x")), NewAtom("C", V("x"))))
+	atoms := Atoms(f)
+	if len(atoms) != 3 || atoms[0].Rel != "A" || atoms[1].Rel != "B" || atoms[2].Rel != "C" {
+		t.Fatalf("Atoms = %v", atoms)
+	}
+}
+
+func TestRelationsUsed(t *testing.T) {
+	q := MustQuery("Q", nil, Conj(NewAtom("B", C("1")), NewAtom("A", C("2")), NewAtom("B", C("3"))))
+	if got := RelationsUsed(q); !reflect.DeepEqual(got, []string{"A", "B"}) {
+		t.Fatalf("RelationsUsed = %v", got)
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	f := Conj(NewAtom("R", V("x"), C("a")), NeqT(V("x"), C("b")))
+	if f.String() != "(R(x, 'a') & x != 'b')" {
+		t.Fatalf("String = %q", f.String())
+	}
+	g := Neg(Ex([]string{"x"}, NewAtom("R", V("x"))))
+	if g.String() != "!exists x: R(x)" {
+		t.Fatalf("String = %q", g.String())
+	}
+	h := All([]string{"x", "y"}, Disj(NewAtom("R", V("x")), NewAtom("S", V("y"))))
+	if h.String() != "forall x, y: (R(x) | S(y))" {
+		t.Fatalf("String = %q", h.String())
+	}
+}

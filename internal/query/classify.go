@@ -1,0 +1,280 @@
+package query
+
+// Class identifies the smallest language tier of the paper a query
+// belongs to, by syntax: CQ ⊆ UCQ ⊆ ∃FO+ ⊆ FO. FP programs are a
+// separate type (Program).
+type Class int
+
+// The language tiers, ordered by inclusion.
+const (
+	ClassCQ Class = iota
+	ClassUCQ
+	ClassEFOPlus
+	ClassFO
+)
+
+// String names the class as in the paper.
+func (c Class) String() string {
+	switch c {
+	case ClassCQ:
+		return "CQ"
+	case ClassUCQ:
+		return "UCQ"
+	case ClassEFOPlus:
+		return "∃FO+"
+	default:
+		return "FO"
+	}
+}
+
+// Includes reports whether language c contains language d.
+func (c Class) Includes(d Class) bool { return d <= c }
+
+// Monotone reports whether every query of the class is monotone
+// (preserved under instance extension). CQ, UCQ and ∃FO+ are; FO is not.
+func (c Class) Monotone() bool { return c != ClassFO }
+
+// Classify returns the smallest tier containing the query.
+func Classify(q *Query) Class { return classifyFormula(q.Body) }
+
+func classifyFormula(f Formula) Class {
+	switch x := f.(type) {
+	case *Atom, *Compare:
+		return ClassCQ
+	case *And:
+		c := ClassCQ
+		for _, k := range x.Kids {
+			if kc := classifyFormula(k); kc > c {
+				c = kc
+			}
+		}
+		// A conjunction containing a disjunction is ∃FO+, not UCQ,
+		// until it is normalised.
+		if c == ClassUCQ {
+			c = ClassEFOPlus
+		}
+		return c
+	case *Or:
+		c := ClassCQ
+		for _, k := range x.Kids {
+			kc := classifyFormula(k)
+			if kc > c {
+				c = kc
+			}
+		}
+		switch c {
+		case ClassCQ:
+			return ClassUCQ
+		case ClassUCQ, ClassEFOPlus:
+			return ClassEFOPlus
+		default:
+			return ClassFO
+		}
+	case *Exists:
+		c := classifyFormula(x.Sub)
+		if c == ClassUCQ {
+			// ∃ over a union is ∃FO+ syntactically; Disjuncts can
+			// normalise it back to UCQ.
+			return ClassEFOPlus
+		}
+		return c
+	case *Not, *Forall:
+		return ClassFO
+	}
+	return ClassFO
+}
+
+// IsPositiveExistential reports whether the query is in ∃FO+
+// (equivalently: no negation and no universal quantification).
+func IsPositiveExistential(q *Query) bool { return Classify(q) <= ClassEFOPlus }
+
+// Disjuncts converts an ∃FO+ query into its union-of-conjunctive-queries
+// form: a slice of CQ queries with the same head whose union is
+// equivalent. For a CQ it returns the query itself (normalised); for a
+// UCQ its disjuncts; for general ∃FO+ it distributes ∧ over ∨ and pushes
+// ∃ inward, which may grow the query exponentially — exactly the blowup
+// the paper avoids in its Πp2 algorithms. Callers that must avoid the
+// blowup (the RCDP deciders) should use DisjunctIterator instead.
+//
+// Disjuncts returns nil when the query is not in ∃FO+.
+func Disjuncts(q *Query) []*Query {
+	if !IsPositiveExistential(q) {
+		return nil
+	}
+	bodies := dnf(q.Body)
+	out := make([]*Query, 0, len(bodies))
+	for i, b := range bodies {
+		name := q.Name
+		if len(bodies) > 1 {
+			name = q.Name + "#" + string(rune('0'+i%10))
+		}
+		out = append(out, &Query{Name: name, Head: q.Head, Body: b})
+	}
+	return out
+}
+
+// dnf rewrites a positive existential formula into a list of
+// disjunction-free formulas whose union is equivalent.
+func dnf(f Formula) []Formula {
+	switch x := f.(type) {
+	case *Atom, *Compare:
+		return []Formula{f}
+	case *Or:
+		var out []Formula
+		for _, k := range x.Kids {
+			out = append(out, dnf(k)...)
+		}
+		return out
+	case *And:
+		// Cartesian product of the kids' disjunct lists.
+		acc := []([]Formula){nil}
+		for _, k := range x.Kids {
+			kd := dnf(k)
+			next := make([][]Formula, 0, len(acc)*len(kd))
+			for _, pre := range acc {
+				for _, d := range kd {
+					row := make([]Formula, len(pre), len(pre)+1)
+					copy(row, pre)
+					next = append(next, append(row, d))
+				}
+			}
+			acc = next
+		}
+		out := make([]Formula, len(acc))
+		for i, row := range acc {
+			out[i] = Conj(row...)
+		}
+		return out
+	case *Exists:
+		sub := dnf(x.Sub)
+		out := make([]Formula, len(sub))
+		for i, s := range sub {
+			out[i] = Ex(x.Vars, s)
+		}
+		return out
+	default:
+		// Not / Forall: caller guarantees ∃FO+; be defensive.
+		return []Formula{f}
+	}
+}
+
+// CountDisjuncts returns how many CQ disjuncts Disjuncts would produce,
+// without materialising them.
+func CountDisjuncts(f Formula) int {
+	switch x := f.(type) {
+	case *Atom, *Compare:
+		return 1
+	case *Or:
+		n := 0
+		for _, k := range x.Kids {
+			n += CountDisjuncts(k)
+		}
+		return n
+	case *And:
+		n := 1
+		for _, k := range x.Kids {
+			n *= CountDisjuncts(k)
+		}
+		return n
+	case *Exists:
+		return CountDisjuncts(x.Sub)
+	default:
+		return 1
+	}
+}
+
+// DisjunctIterator enumerates the CQ disjuncts of an ∃FO+ query one at
+// a time without materialising the full DNF: it mirrors the paper's
+// "guess one of the component queries / guess disjunctions in Q" step
+// in the Πp2 algorithms of Theorem 4.1. Next returns nil when the
+// enumeration is exhausted.
+type DisjunctIterator struct {
+	head   []Term
+	name   string
+	bodies []Formula // lazily expanded frontier, depth-first
+}
+
+// NewDisjunctIterator prepares the enumeration; it returns nil when the
+// query is not positive existential.
+func NewDisjunctIterator(q *Query) *DisjunctIterator {
+	if !IsPositiveExistential(q) {
+		return nil
+	}
+	return &DisjunctIterator{head: q.Head, name: q.Name, bodies: []Formula{q.Body}}
+}
+
+// Next returns the next CQ disjunct, or nil when done.
+func (it *DisjunctIterator) Next() *Query {
+	for len(it.bodies) > 0 {
+		f := it.bodies[len(it.bodies)-1]
+		it.bodies = it.bodies[:len(it.bodies)-1]
+		expanded, done := stepDNF(f)
+		if done {
+			return &Query{Name: it.name, Head: it.head, Body: f}
+		}
+		it.bodies = append(it.bodies, expanded...)
+	}
+	return nil
+}
+
+// stepDNF performs a single outermost Or-elimination step; done is true
+// when f contains no Or and is therefore a CQ body.
+func stepDNF(f Formula) ([]Formula, bool) {
+	if !containsOr(f) {
+		return nil, true
+	}
+	switch x := f.(type) {
+	case *Or:
+		return append([]Formula(nil), x.Kids...), false
+	case *And:
+		for i, k := range x.Kids {
+			if containsOr(k) {
+				kd, done := stepDNF(k)
+				if done {
+					continue
+				}
+				out := make([]Formula, 0, len(kd))
+				for _, d := range kd {
+					kids := make([]Formula, len(x.Kids))
+					copy(kids, x.Kids)
+					kids[i] = d
+					out = append(out, Conj(kids...))
+				}
+				return out, false
+			}
+		}
+		return nil, true
+	case *Exists:
+		kd, done := stepDNF(x.Sub)
+		if done {
+			return nil, true
+		}
+		out := make([]Formula, 0, len(kd))
+		for _, d := range kd {
+			out = append(out, Ex(x.Vars, d))
+		}
+		return out, false
+	default:
+		return nil, true
+	}
+}
+
+func containsOr(f Formula) bool {
+	switch x := f.(type) {
+	case *Or:
+		return true
+	case *And:
+		for _, k := range x.Kids {
+			if containsOr(k) {
+				return true
+			}
+		}
+	case *Exists:
+		return containsOr(x.Sub)
+	case *Not:
+		return containsOr(x.Sub)
+	case *Forall:
+		return containsOr(x.Sub)
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package query
+
+import (
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Class
+	}{
+		{"Q(x) := R(x, y)", ClassCQ},
+		{"Q(x) := R(x, y) & x != y", ClassCQ},
+		{"Q(x) := exists y: R(x, y) & S(y)", ClassCQ},
+		{"Q(x) := R(x) | S(x)", ClassUCQ},
+		{"Q(x) := (R(x) & T(x)) | S(x)", ClassUCQ},
+		{"Q(x) := T(x) & (R(x) | S(x))", ClassEFOPlus},
+		{"Q(x) := exists y: (R(x, y) | S(x, y))", ClassEFOPlus},
+		{"Q(x) := R(x) & ! S(x)", ClassFO},
+		{"Q(x) := R(x) & (forall y: S(y))", ClassFO},
+		{"Q(x) := R(x) | ! S(x)", ClassFO},
+	}
+	for _, c := range cases {
+		q := MustParseQuery(c.src)
+		if got := Classify(q); got != c.want {
+			t.Errorf("Classify(%s) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if ClassCQ.String() != "CQ" || ClassUCQ.String() != "UCQ" ||
+		ClassEFOPlus.String() != "∃FO+" || ClassFO.String() != "FO" {
+		t.Fatal("Class.String wrong")
+	}
+}
+
+func TestClassIncludesMonotone(t *testing.T) {
+	if !ClassFO.Includes(ClassCQ) || ClassCQ.Includes(ClassUCQ) {
+		t.Fatal("Includes wrong")
+	}
+	if !ClassCQ.Monotone() || !ClassEFOPlus.Monotone() || ClassFO.Monotone() {
+		t.Fatal("Monotone wrong")
+	}
+}
+
+func TestDisjunctsCQ(t *testing.T) {
+	q := MustParseQuery("Q(x) := R(x, y)")
+	ds := Disjuncts(q)
+	if len(ds) != 1 || Classify(ds[0]) != ClassCQ {
+		t.Fatalf("Disjuncts of CQ = %v", ds)
+	}
+}
+
+func TestDisjunctsUCQ(t *testing.T) {
+	q := MustParseQuery("Q(x) := R(x) | S(x) | T(x)")
+	ds := Disjuncts(q)
+	if len(ds) != 3 {
+		t.Fatalf("want 3 disjuncts, got %d", len(ds))
+	}
+	for _, d := range ds {
+		if Classify(d) != ClassCQ {
+			t.Fatalf("disjunct %v not CQ", d)
+		}
+	}
+}
+
+func TestDisjunctsDistributes(t *testing.T) {
+	// (A|B) & (C|D) has 4 disjuncts.
+	q := MustParseQuery("Q(x) := (A(x) | B(x)) & (C(x) | D(x))")
+	ds := Disjuncts(q)
+	if len(ds) != 4 {
+		t.Fatalf("want 4 disjuncts, got %d", len(ds))
+	}
+	if n := CountDisjuncts(q.Body); n != 4 {
+		t.Fatalf("CountDisjuncts = %d", n)
+	}
+}
+
+func TestDisjunctsUnderExists(t *testing.T) {
+	q := MustParseQuery("Q(x) := exists y: (R(x, y) | S(x, y))")
+	ds := Disjuncts(q)
+	if len(ds) != 2 {
+		t.Fatalf("want 2 disjuncts, got %d", len(ds))
+	}
+	for _, d := range ds {
+		if _, ok := d.Body.(*Exists); !ok {
+			t.Fatalf("exists not preserved on disjunct %v", d)
+		}
+	}
+}
+
+func TestDisjunctsFOIsNil(t *testing.T) {
+	q := MustParseQuery("Q(x) := ! R(x)")
+	if Disjuncts(q) != nil {
+		t.Fatal("FO query has no UCQ form")
+	}
+}
+
+func TestDisjunctIteratorMatchesDisjuncts(t *testing.T) {
+	srcs := []string{
+		"Q(x) := R(x, y)",
+		"Q(x) := R(x) | S(x)",
+		"Q(x) := (A(x) | B(x)) & (C(x) | D(x))",
+		"Q(x) := exists y: ((A(x,y) | B(x,y)) & C(y))",
+	}
+	for _, src := range srcs {
+		q := MustParseQuery(src)
+		want := map[string]bool{}
+		for _, d := range Disjuncts(q) {
+			want[d.Body.String()] = true
+		}
+		it := NewDisjunctIterator(q)
+		got := map[string]bool{}
+		n := 0
+		for d := it.Next(); d != nil; d = it.Next() {
+			got[d.Body.String()] = true
+			n++
+		}
+		if n != len(want) {
+			t.Fatalf("%s: iterator yielded %d, Disjuncts %d", src, n, len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("%s: iterator missed disjunct %s", src, k)
+			}
+		}
+	}
+}
+
+func TestDisjunctIteratorRejectsFO(t *testing.T) {
+	if NewDisjunctIterator(MustParseQuery("Q(x) := ! R(x)")) != nil {
+		t.Fatal("iterator should reject FO")
+	}
+}
+
+func TestCountDisjunctsExponentialShape(t *testing.T) {
+	// n binary disjunctions conjoined => 2^n disjuncts.
+	q := MustParseQuery("Q(x) := (A(x)|B(x)) & (A(x)|B(x)) & (A(x)|B(x)) & (A(x)|B(x)) & (A(x)|B(x))")
+	if n := CountDisjuncts(q.Body); n != 32 {
+		t.Fatalf("CountDisjuncts = %d, want 32", n)
+	}
+}

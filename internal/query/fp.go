@@ -1,0 +1,253 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"relcomplete/internal/relation"
+)
+
+// This file defines FP, the paper's extension of ∃FO+ with an
+// inflational fixpoint operator: a query is a collection of rules
+//
+//	p(x⃗) ← p1(x⃗1), ..., pm(x⃗m)
+//
+// where each pi is an atomic formula (over the database schema), an IDB
+// predicate, or a comparison (= / ≠). Evaluation (in internal/eval) is
+// the inflational fixpoint: facts are only ever added, so FP is
+// monotone in the EDB — the property the weak-model results rely on.
+
+// Literal is one body element of an FP rule: exactly one of Atom or Cmp
+// is set.
+type Literal struct {
+	Atom *Atom
+	Cmp  *Compare
+}
+
+// LitAtom wraps an atom as a literal.
+func LitAtom(a *Atom) Literal { return Literal{Atom: a} }
+
+// LitCmp wraps a comparison as a literal.
+func LitCmp(c *Compare) Literal { return Literal{Cmp: c} }
+
+// String renders the literal.
+func (l Literal) String() string {
+	if l.Atom != nil {
+		return l.Atom.String()
+	}
+	return l.Cmp.String()
+}
+
+// Rule is head ← body.
+type Rule struct {
+	Head Atom
+	Body []Literal
+}
+
+// String renders the rule in datalog syntax.
+func (r Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, l := range r.Body {
+		parts[i] = l.String()
+	}
+	return fmt.Sprintf("%s :- %s", r.Head.String(), strings.Join(parts, ", "))
+}
+
+// Program is an FP query: rules plus a distinguished output IDB
+// predicate. The answer of the program on an instance I is the value of
+// Output in the inflational fixpoint.
+type Program struct {
+	Name   string
+	Rules  []Rule
+	Output string
+}
+
+// NewProgram validates and builds an FP program: every rule head must
+// be an IDB predicate (it may not name an EDB relation of schema),
+// every head variable must occur in a positive body atom (safety), and
+// the output predicate must be an IDB with consistent arity.
+func NewProgram(name string, schema *relation.DBSchema, output string, rules ...Rule) (*Program, error) {
+	p := &Program{Name: name, Rules: rules, Output: output}
+	arity := map[string]int{}
+	for i, r := range rules {
+		if schema != nil && schema.Relation(r.Head.Rel) != nil {
+			return nil, fmt.Errorf("fp %s: rule %d: head %s is an EDB relation", name, i, r.Head.Rel)
+		}
+		if a, ok := arity[r.Head.Rel]; ok && a != len(r.Head.Terms) {
+			return nil, fmt.Errorf("fp %s: IDB %s used with arities %d and %d", name, r.Head.Rel, a, len(r.Head.Terms))
+		}
+		arity[r.Head.Rel] = len(r.Head.Terms)
+		// Safety: a variable is safe when it occurs in a positive body
+		// atom, or is equated (transitively) to a safe variable or a
+		// constant. Equality propagation admits the paper's gate rules
+		// of the form Gi(B, x⃗) ← RX(x⃗), B = xi.
+		safe := map[string]bool{}
+		for _, l := range r.Body {
+			if l.Atom == nil && l.Cmp == nil {
+				return nil, fmt.Errorf("fp %s: rule %d: empty literal", name, i)
+			}
+			if l.Atom != nil {
+				for _, t := range l.Atom.Terms {
+					if t.IsVar {
+						safe[t.Name] = true
+					}
+				}
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, l := range r.Body {
+				if l.Cmp == nil || l.Cmp.Op != Eq {
+					continue
+				}
+				lSafe := !l.Cmp.L.IsVar || safe[l.Cmp.L.Name]
+				rSafe := !l.Cmp.R.IsVar || safe[l.Cmp.R.Name]
+				if lSafe && l.Cmp.R.IsVar && !safe[l.Cmp.R.Name] {
+					safe[l.Cmp.R.Name] = true
+					changed = true
+				}
+				if rSafe && l.Cmp.L.IsVar && !safe[l.Cmp.L.Name] {
+					safe[l.Cmp.L.Name] = true
+					changed = true
+				}
+			}
+		}
+		for _, t := range r.Head.Terms {
+			if t.IsVar && !safe[t.Name] {
+				return nil, fmt.Errorf("fp %s: rule %d: head variable %s not bound by a body atom or equality", name, i, t.Name)
+			}
+		}
+		for _, l := range r.Body {
+			if l.Cmp == nil {
+				continue
+			}
+			for _, t := range []Term{l.Cmp.L, l.Cmp.R} {
+				if t.IsVar && !safe[t.Name] {
+					return nil, fmt.Errorf("fp %s: rule %d: comparison variable %s not bound by a body atom or equality", name, i, t.Name)
+				}
+			}
+		}
+	}
+	if _, ok := arity[output]; !ok {
+		return nil, fmt.Errorf("fp %s: output predicate %s has no rule", name, output)
+	}
+	return p, nil
+}
+
+// MustProgram is NewProgram that panics on error.
+func MustProgram(name string, schema *relation.DBSchema, output string, rules ...Rule) *Program {
+	p, err := NewProgram(name, schema, output, rules...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// IDBArity returns the arity of each IDB predicate.
+func (p *Program) IDBArity() map[string]int {
+	arity := map[string]int{}
+	for _, r := range p.Rules {
+		arity[r.Head.Rel] = len(r.Head.Terms)
+	}
+	return arity
+}
+
+// OutputArity returns the arity of the program's answer relation.
+func (p *Program) OutputArity() int { return p.IDBArity()[p.Output] }
+
+// IsIDB reports whether the predicate is defined by some rule.
+func (p *Program) IsIDB(rel string) bool {
+	_, ok := p.IDBArity()[rel]
+	return ok
+}
+
+// EDBRelations returns the names of the (extensional) relations the
+// program reads, sorted.
+func (p *Program) EDBRelations() []string {
+	idb := p.IDBArity()
+	seen := map[string]bool{}
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Atom != nil {
+				if _, isIDB := idb[l.Atom.Rel]; !isIDB {
+					seen[l.Atom.Rel] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Constants collects the constants mentioned by the program.
+func (p *Program) Constants(dst *relation.ValueSet) *relation.ValueSet {
+	if dst == nil {
+		dst = relation.NewValueSet()
+	}
+	addTerm := func(t Term) {
+		if !t.IsVar {
+			dst.Add(t.Const)
+		}
+	}
+	for _, r := range p.Rules {
+		for _, t := range r.Head.Terms {
+			addTerm(t)
+		}
+		for _, l := range r.Body {
+			if l.Atom != nil {
+				for _, t := range l.Atom.Terms {
+					addTerm(t)
+				}
+			}
+			if l.Cmp != nil {
+				addTerm(l.Cmp.L)
+				addTerm(l.Cmp.R)
+			}
+		}
+	}
+	return dst
+}
+
+// String renders the program as datalog rules plus an output directive.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteString(".\n")
+	}
+	fmt.Fprintf(&b, "output %s/%d.", p.Output, p.OutputArity())
+	return b.String()
+}
+
+// MergeProgram rewrites an FP program for the merged single-relation
+// schema of Lemma 3.2 (fQ for FP): every EDB atom Ri(x⃗) becomes
+// R_merged('Ri', x⃗, ⊥, ..., ⊥); IDB atoms are untouched.
+func MergeProgram(m *relation.Merger, p *Program) (*Program, error) {
+	idb := p.IDBArity()
+	rules := make([]Rule, len(p.Rules))
+	for i, r := range p.Rules {
+		body := make([]Literal, len(r.Body))
+		for j, l := range r.Body {
+			if l.Atom == nil {
+				body[j] = l
+				continue
+			}
+			if _, isIDB := idb[l.Atom.Rel]; isIDB {
+				body[j] = l
+				continue
+			}
+			ma, err := mergeAtom(m, l.Atom)
+			if err != nil {
+				return nil, fmt.Errorf("fp %s: rule %d: %w", p.Name, i, err)
+			}
+			body[j] = LitAtom(ma)
+		}
+		rules[i] = Rule{Head: r.Head, Body: body}
+	}
+	return &Program{Name: p.Name, Rules: rules, Output: p.Output}, nil
+}

@@ -1,0 +1,95 @@
+package query
+
+import (
+	"fmt"
+
+	"relcomplete/internal/relation"
+)
+
+// This file is the query half fQ of Lemma 3.2: rewriting a query over a
+// multi-relation schema R = (R1, ..., Rn) into an equivalent query over
+// the merged single-relation schema, substituting
+// R_merged('Ri', x⃗, ⊥, ..., ⊥) for every occurrence of Ri(x⃗).
+//
+// The test Q(I) = fQ(Q)(fD(I)) of Lemma 3.2(a) is verified in
+// merge_test.go against the evaluation engine.
+
+// mergeAtom rewrites a single source atom.
+func mergeAtom(m *relation.Merger, a *Atom) (*Atom, error) {
+	src := m.Source().Relation(a.Rel)
+	if src == nil {
+		return nil, fmt.Errorf("merge: unknown relation %s", a.Rel)
+	}
+	if len(a.Terms) != src.Arity() {
+		return nil, fmt.Errorf("merge: atom %s has arity %d, want %d", a, len(a.Terms), src.Arity())
+	}
+	pad, err := m.PadWidth(a.Rel)
+	if err != nil {
+		return nil, err
+	}
+	terms := make([]Term, 0, 1+len(a.Terms)+pad)
+	terms = append(terms, C(relation.Value(a.Rel)))
+	terms = append(terms, a.Terms...)
+	for i := 0; i < pad; i++ {
+		terms = append(terms, C(relation.Pad))
+	}
+	return &Atom{Rel: m.Merged().Name, Terms: terms}, nil
+}
+
+// MergeFormula rewrites every atom of the formula for the merged schema.
+func MergeFormula(m *relation.Merger, f Formula) (Formula, error) {
+	switch x := f.(type) {
+	case *Atom:
+		return mergeAtom(m, x)
+	case *Compare:
+		return x, nil
+	case *And:
+		kids := make([]Formula, len(x.Kids))
+		for i, k := range x.Kids {
+			mk, err := MergeFormula(m, k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = mk
+		}
+		return &And{Kids: kids}, nil
+	case *Or:
+		kids := make([]Formula, len(x.Kids))
+		for i, k := range x.Kids {
+			mk, err := MergeFormula(m, k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = mk
+		}
+		return &Or{Kids: kids}, nil
+	case *Not:
+		sub, err := MergeFormula(m, x.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Sub: sub}, nil
+	case *Exists:
+		sub, err := MergeFormula(m, x.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return &Exists{Vars: x.Vars, Sub: sub}, nil
+	case *Forall:
+		sub, err := MergeFormula(m, x.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return &Forall{Vars: x.Vars, Sub: sub}, nil
+	}
+	return nil, fmt.Errorf("merge: unknown formula node %T", f)
+}
+
+// MergeQuery rewrites a query for the merged schema (the paper's fQ).
+func MergeQuery(m *relation.Merger, q *Query) (*Query, error) {
+	body, err := MergeFormula(m, q.Body)
+	if err != nil {
+		return nil, fmt.Errorf("merge query %s: %w", q.Name, err)
+	}
+	return &Query{Name: q.Name, Head: q.Head, Body: body}, nil
+}

@@ -1,0 +1,525 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"relcomplete/internal/relation"
+)
+
+// This file implements a text syntax for the paper's query languages.
+//
+// Queries:
+//
+//	Q(x, y) := R(x, z) & S(z, 'EDI') & x != y
+//	Q2(n)   := exists c, y: MVisit(n, c, y) & y = '2000'
+//	Q3()    := ! (exists x: R(x, x))            -- FO
+//	Q4(x)   := R(x) | S(x)                      -- UCQ
+//
+// Conventions: identifiers beginning with a lowercase letter or '_'
+// are variables; quoted tokens ('...'), numbers and identifiers
+// beginning with an uppercase letter are constants. Relation names in
+// atom position may be any identifier. '&' and ',' both mean ∧; '|'
+// means ∨; '!' and 'not' mean ¬; 'exists v1, v2: F' and
+// 'forall v: F' quantify (their scope extends as far right as
+// possible).
+//
+// FP programs (ParseProgram):
+//
+//	reach(x, y) :- edge(x, y).
+//	reach(x, z) :- reach(x, y), edge(y, z).
+//	output reach.
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokConst // quoted string or number
+	tokLParen
+	tokRParen
+	tokComma
+	tokColon
+	tokPipe
+	tokAmp
+	tokBang
+	tokEq
+	tokNeq
+	tokAssign // :=
+	tokArrow  // :-
+	tokDot
+	tokSlash
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '%' || (c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-'):
+			// Comment to end of line.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == '|':
+			l.emit(tokPipe, "|")
+		case c == '&':
+			l.emit(tokAmp, "&")
+		case c == '.':
+			l.emit(tokDot, ".")
+		case c == '/':
+			l.emit(tokSlash, "/")
+		case c == '=':
+			l.emit(tokEq, "=")
+		case c == '!':
+			if l.peek(1) == '=' {
+				l.emitN(tokNeq, "!=", 2)
+			} else {
+				l.emit(tokBang, "!")
+			}
+		case c == ':':
+			switch l.peek(1) {
+			case '=':
+				l.emitN(tokAssign, ":=", 2)
+			case '-':
+				l.emitN(tokArrow, ":-", 2)
+			default:
+				l.emit(tokColon, ":")
+			}
+		case c == '\'':
+			end := l.pos + 1
+			for end < len(l.src) && l.src[end] != '\'' {
+				end++
+			}
+			if end >= len(l.src) {
+				return nil, fmt.Errorf("query: unterminated string at %d", l.pos)
+			}
+			l.toks = append(l.toks, token{kind: tokConst, text: l.src[l.pos+1 : end], pos: l.pos})
+			l.pos = end + 1
+		case isIdentStart(rune(c)) || unicode.IsDigit(rune(c)):
+			end := l.pos
+			for end < len(l.src) && isIdentPart(rune(l.src[end])) {
+				end++
+			}
+			word := l.src[l.pos:end]
+			l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: l.pos})
+			l.pos = end
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: len(src)})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, text string) { l.emitN(k, text, 1) }
+func (l *lexer) emitN(k tokKind, text string, n int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+	l.pos += n
+}
+
+func (l *lexer) peek(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+// isVariableName implements the variable/constant convention.
+func isVariableName(word string) bool {
+	r := rune(word[0])
+	return unicode.IsLower(r) || r == '_'
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if p.cur().kind != k {
+		return token{}, fmt.Errorf("query: expected %s at %d, got %q", what, p.cur().pos, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) keyword(word string) bool {
+	if p.cur().kind == tokIdent && p.cur().text == word {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// ParseQuery parses "Name(t1, ..., tk) := formula".
+func ParseQuery(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	nameTok, err := p.expect(tokIdent, "query name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	var head []Term
+	if p.cur().kind != tokRParen {
+		for {
+			t, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			head = append(head, t)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign, ":="); err != nil {
+		return nil, err
+	}
+	body, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokDot {
+		p.next()
+	}
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input at %d: %q", p.cur().pos, p.cur().text)
+	}
+	return NewQuery(nameTok.text, head, body)
+}
+
+// MustParseQuery is ParseQuery that panics on error.
+func MustParseQuery(src string) *Query {
+	q, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// parseFormula = disjunction.
+func (p *parser) parseFormula() (Formula, error) {
+	left, err := p.parseConjunction()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Formula{left}
+	for p.cur().kind == tokPipe || (p.cur().kind == tokIdent && p.cur().text == "or") {
+		p.next()
+		k, err := p.parseConjunction()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	return Disj(kids...), nil
+}
+
+func (p *parser) parseConjunction() (Formula, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Formula{left}
+	for {
+		switch {
+		case p.cur().kind == tokAmp || p.cur().kind == tokComma:
+			p.next()
+		case p.cur().kind == tokIdent && p.cur().text == "and":
+			p.next()
+		default:
+			return Conj(kids...), nil
+		}
+		k, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	switch {
+	case p.cur().kind == tokBang:
+		p.next()
+		sub, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Neg(sub), nil
+	case p.cur().kind == tokIdent && p.cur().text == "not":
+		p.next()
+		sub, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Neg(sub), nil
+	case p.cur().kind == tokIdent && (p.cur().text == "exists" || p.cur().text == "forall"):
+		word := p.next().text
+		vars, err := p.parseVarList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon, ":"); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if word == "exists" {
+			return Ex(vars, sub), nil
+		}
+		return All(vars, sub), nil
+	case p.cur().kind == tokLParen:
+		p.next()
+		sub, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return sub, nil
+	default:
+		return p.parseAtomOrCompare()
+	}
+}
+
+func (p *parser) parseVarList() ([]string, error) {
+	var vars []string
+	for {
+		t, err := p.expect(tokIdent, "variable")
+		if err != nil {
+			return nil, err
+		}
+		if !isVariableName(t.text) {
+			return nil, fmt.Errorf("query: %q at %d is not a variable (variables start lowercase)", t.text, t.pos)
+		}
+		vars = append(vars, t.text)
+		if p.cur().kind != tokComma {
+			return vars, nil
+		}
+		p.next()
+	}
+}
+
+// parseAtomOrCompare handles R(t, ...), t = t and t != t.
+func (p *parser) parseAtomOrCompare() (Formula, error) {
+	// An atom starts with IDENT '('.
+	if p.cur().kind == tokIdent && p.toks[p.i+1].kind == tokLParen {
+		rel := p.next().text
+		p.next() // (
+		var terms []Term
+		if p.cur().kind != tokRParen {
+			for {
+				t, err := p.parseTerm()
+				if err != nil {
+					return nil, err
+				}
+				terms = append(terms, t)
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.next()
+			}
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return &Atom{Rel: rel, Terms: terms}, nil
+	}
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	var op CmpOp
+	switch p.cur().kind {
+	case tokEq:
+		op = Eq
+	case tokNeq:
+		op = Neq
+	default:
+		return nil, fmt.Errorf("query: expected = or != at %d, got %q", p.cur().pos, p.cur().text)
+	}
+	p.next()
+	r, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return &Compare{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokConst:
+		p.next()
+		return C(relation.Value(t.text)), nil
+	case tokIdent:
+		p.next()
+		if isVariableName(t.text) && !isNumeric(t.text) {
+			return V(t.text), nil
+		}
+		return C(relation.Value(t.text)), nil
+	default:
+		return Term{}, fmt.Errorf("query: expected term at %d, got %q", t.pos, t.text)
+	}
+}
+
+func isNumeric(s string) bool {
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// ParseProgram parses an FP program: datalog rules terminated by '.'
+// and a final "output NAME." directive (an optional "/arity" suffix is
+// checked against the rules). schema may be nil to skip EDB validation.
+func ParseProgram(name string, schema *relation.DBSchema, src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var rules []Rule
+	output := ""
+	declaredArity := -1
+	for p.cur().kind != tokEOF {
+		if p.keyword("output") {
+			t, err := p.expect(tokIdent, "output predicate")
+			if err != nil {
+				return nil, err
+			}
+			output = t.text
+			if p.cur().kind == tokSlash {
+				p.next()
+				a, err := p.expect(tokIdent, "arity")
+				if err != nil {
+					return nil, err
+				}
+				declaredArity = 0
+				for _, r := range a.text {
+					declaredArity = declaredArity*10 + int(r-'0')
+				}
+			}
+			if _, err := p.expect(tokDot, "."); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if output == "" {
+		return nil, fmt.Errorf("fp %s: missing output directive", name)
+	}
+	prog, err := NewProgram(name, schema, output, rules...)
+	if err != nil {
+		return nil, err
+	}
+	if declaredArity >= 0 && prog.OutputArity() != declaredArity {
+		return nil, fmt.Errorf("fp %s: output %s has arity %d, declared %d", name, output, prog.OutputArity(), declaredArity)
+	}
+	return prog, nil
+}
+
+// MustParseProgram is ParseProgram that panics on error.
+func MustParseProgram(name string, schema *relation.DBSchema, src string) *Program {
+	p, err := ParseProgram(name, schema, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) parseRule() (Rule, error) {
+	headF, err := p.parseAtomOrCompare()
+	if err != nil {
+		return Rule{}, err
+	}
+	head, ok := headF.(*Atom)
+	if !ok {
+		return Rule{}, fmt.Errorf("fp: rule head must be an atom, got %s", headF)
+	}
+	if _, err := p.expect(tokArrow, ":-"); err != nil {
+		return Rule{}, err
+	}
+	var body []Literal
+	for {
+		lit, err := p.parseAtomOrCompare()
+		if err != nil {
+			return Rule{}, err
+		}
+		switch x := lit.(type) {
+		case *Atom:
+			body = append(body, LitAtom(x))
+		case *Compare:
+			body = append(body, LitCmp(x))
+		}
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokDot, "."); err != nil {
+		return Rule{}, err
+	}
+	return Rule{Head: *head, Body: body}, nil
+}
+
+// FormatTuples renders a set of answer tuples deterministically, one
+// per line; a convenience for examples and golden tests.
+func FormatTuples(ts []relation.Tuple) string {
+	lines := make([]string, len(ts))
+	for i, t := range ts {
+		lines[i] = t.String()
+	}
+	return strings.Join(lines, "\n")
+}

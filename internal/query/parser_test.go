@@ -1,0 +1,235 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"relcomplete/internal/relation"
+)
+
+func TestParseQuerySimple(t *testing.T) {
+	q, err := ParseQuery("Q(x, y) := R(x, z), S(z, 'lit'), x != y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "Q" || q.Arity() != 2 {
+		t.Fatalf("head wrong: %v", q)
+	}
+	tab, err := TableauOf(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Atoms) != 2 || len(tab.Compares) != 1 {
+		t.Fatalf("body shape wrong")
+	}
+	if !tab.Atoms[1].Terms[1].Equal(C("lit")) {
+		t.Fatalf("quoted constant wrong: %v", tab.Atoms[1])
+	}
+}
+
+func TestParseVariableConstantConvention(t *testing.T) {
+	q := MustParseQuery("Q(x) := R(x, EDI, 2000, '915-15-335')")
+	a := Atoms(q.Body)[0]
+	if !a.Terms[0].IsVar {
+		t.Fatal("lowercase should be a variable")
+	}
+	if a.Terms[1].IsVar || a.Terms[1].Const != "EDI" {
+		t.Fatal("uppercase should be a constant")
+	}
+	if a.Terms[2].IsVar || a.Terms[2].Const != "2000" {
+		t.Fatal("number should be a constant")
+	}
+	if a.Terms[3].IsVar || a.Terms[3].Const != "915-15-335" {
+		t.Fatal("quoted should be a constant")
+	}
+}
+
+func TestParseQuantifiersAndBooleans(t *testing.T) {
+	q := MustParseQuery("Q() := exists x, y: R(x, y) & x != y")
+	if !q.IsBoolean() {
+		t.Fatal("empty head should be Boolean")
+	}
+	ex, ok := q.Body.(*Exists)
+	if !ok || len(ex.Vars) != 2 {
+		t.Fatalf("exists parse wrong: %v", q.Body)
+	}
+	q2 := MustParseQuery("Q() := forall x: (R(x) | ! S(x))")
+	if Classify(q2) != ClassFO {
+		t.Fatal("forall/negation should classify FO")
+	}
+}
+
+func TestParsePrecedenceAndOr(t *testing.T) {
+	// & binds tighter than |.
+	q := MustParseQuery("Q(x) := A(x) & B(x) | C(x)")
+	or, ok := q.Body.(*Or)
+	if !ok || len(or.Kids) != 2 {
+		t.Fatalf("precedence wrong: %v", q.Body)
+	}
+	if _, ok := or.Kids[0].(*And); !ok {
+		t.Fatalf("left disjunct should be conjunction: %v", or.Kids[0])
+	}
+}
+
+func TestParseParenGrouping(t *testing.T) {
+	q := MustParseQuery("Q(x) := A(x) & (B(x) | C(x))")
+	and, ok := q.Body.(*And)
+	if !ok {
+		t.Fatalf("grouping wrong: %v", q.Body)
+	}
+	if _, ok := and.Kids[1].(*Or); !ok {
+		t.Fatalf("parenthesised disjunction lost: %v", and.Kids[1])
+	}
+}
+
+func TestParseWordOperators(t *testing.T) {
+	q := MustParseQuery("Q(x) := A(x) and B(x) or not C(x)")
+	if Classify(q) != ClassFO {
+		t.Fatalf("word operators misparsed: %v", q.Body)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q := MustParseQuery("Q(x) := -- leading comment\n A(x) % trailing\n & B(x)")
+	if len(Atoms(q.Body)) != 2 {
+		t.Fatalf("comments broke parse: %v", q.Body)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Q(x)",
+		"Q(x) := ",
+		"Q(x) := R(x",
+		"Q(x) := R(x) extra",
+		"Q(x) := 'unterminated",
+		"Q(x) := x !",
+		"Q(x) := exists X: R(X)", // uppercase cannot be quantified
+		"Q(y) := R(x)",           // head var not free in body
+		"Q(x) := R(x) ?",
+	}
+	for _, src := range bad {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	srcs := []string{
+		"Q(x, y) := (R(x, z) & S(z, 'lit') & x != y)",
+		"Q(x) := (R(x) | S(x))",
+		"Q() := !exists x: R(x, x)",
+	}
+	for _, src := range srcs {
+		q := MustParseQuery(src)
+		again := MustParseQuery(q.String())
+		if q.Body.String() != again.Body.String() {
+			t.Errorf("round trip changed %q -> %q", q.Body, again.Body)
+		}
+	}
+}
+
+func TestParseProgram(t *testing.T) {
+	sch := relation.MustDBSchema(relation.MustSchema("edge", relation.Attr("A", nil), relation.Attr("B", nil)))
+	p, err := ParseProgram("reach", sch, `
+		reach(x, y) :- edge(x, y).
+		reach(x, z) :- reach(x, y), edge(y, z).
+		output reach/2.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Output != "reach" || p.OutputArity() != 2 {
+		t.Fatalf("program head wrong: %v", p)
+	}
+	if got := p.EDBRelations(); len(got) != 1 || got[0] != "edge" {
+		t.Fatalf("EDBRelations = %v", got)
+	}
+	if !p.IsIDB("reach") || p.IsIDB("edge") {
+		t.Fatal("IDB detection wrong")
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	sch := relation.MustDBSchema(relation.MustSchema("edge", relation.Attr("A", nil), relation.Attr("B", nil)))
+	bad := []string{
+		"output reach.",                                        // no rules
+		"reach(x) :- edge(x, y).",                              // missing output
+		"edge(x, y) :- edge(x, y). output edge.",               // head is EDB
+		"r(x) :- edge(x, y). r(x, y) :- edge(x, y). output r.", // arity clash
+		"r(x) :- x != y, edge(y, z). output r.",                // unsafe head var
+		"r(x) :- edge(x, y). output r/3.",                      // arity mismatch
+		"r(x) :- edge(x, y) output r.",                         // missing dot
+	}
+	for _, src := range bad {
+		if _, err := ParseProgram("p", sch, src); err == nil {
+			t.Errorf("ParseProgram(%q) should fail", src)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	sch := relation.MustDBSchema(relation.MustSchema("e", relation.Attr("A", nil), relation.Attr("B", nil)))
+	p := MustParseProgram("p", sch, "r(x, y) :- e(x, y), x != y. output r.")
+	s := p.String()
+	if !strings.Contains(s, "r(x, y) :- e(x, y), x != y.") || !strings.Contains(s, "output r/2.") {
+		t.Fatalf("Program.String = %q", s)
+	}
+}
+
+func TestProgramConstants(t *testing.T) {
+	sch := relation.MustDBSchema(relation.MustSchema("e", relation.Attr("A", nil), relation.Attr("B", nil)))
+	p := MustParseProgram("p", sch, "r(x) :- e(x, '1'), x != Zero. output r.")
+	cs := p.Constants(nil)
+	if !cs.Contains("1") || !cs.Contains("Zero") {
+		t.Fatalf("Constants = %v", cs)
+	}
+}
+
+func TestFormatTuples(t *testing.T) {
+	got := FormatTuples([]relation.Tuple{relation.T("a", "b"), relation.T("c")})
+	if got != "(a, b)\n(c)" {
+		t.Fatalf("FormatTuples = %q", got)
+	}
+}
+
+// Robustness sweep: the parser must never panic, whatever the input.
+func TestParserNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	alphabet := []byte("Qq(),:=!&|'xyzRS exists forall not 0123?§\\n\t")
+	for trial := 0; trial < 2000; trial++ {
+		n := r.Intn(40)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		src := string(buf)
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("ParseQuery(%q) panicked: %v", src, rec)
+				}
+			}()
+			_, _ = ParseQuery(src)
+			_, _ = ParseProgram("p", nil, src)
+		}()
+	}
+	// Mutations of valid inputs.
+	valid := "Q(x) := R(x, y) & S(y, 'lit') & x != y"
+	for trial := 0; trial < 2000; trial++ {
+		b := []byte(valid)
+		b[r.Intn(len(b))] = alphabet[r.Intn(len(alphabet))]
+		src := string(b)
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("ParseQuery(%q) panicked: %v", src, rec)
+				}
+			}()
+			_, _ = ParseQuery(src)
+		}()
+	}
+}

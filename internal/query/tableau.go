@@ -1,0 +1,296 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"relcomplete/internal/relation"
+)
+
+// Tableau is the tableau representation (TQ, uQ) of a conjunctive
+// query: the relation atoms of the body (rows that may contain
+// variables), the comparison conditions, and the output summary uQ.
+// The paper treats TQ as a c-table without local conditions; the
+// comparisons are carried alongside so queries with ≠ keep their exact
+// semantics.
+type Tableau struct {
+	Head     []Term
+	Atoms    []*Atom
+	Compares []*Compare
+	Vars     []string // every variable of the atoms/compares/head, sorted
+}
+
+// TableauOf extracts the tableau of a CQ. The query body must be
+// disjunction- and negation-free (quantifiers are stripped: under
+// set semantics a CQ's existential variables and free variables are
+// handled uniformly by valuations).
+func TableauOf(q *Query) (*Tableau, error) {
+	t := &Tableau{Head: q.Head}
+	if err := t.collect(q.Body); err != nil {
+		return nil, fmt.Errorf("tableau of %s: %w", q.Name, err)
+	}
+	seen := map[string]bool{}
+	add := func(tm Term) {
+		if tm.IsVar {
+			seen[tm.Name] = true
+		}
+	}
+	for _, a := range t.Atoms {
+		for _, tm := range a.Terms {
+			add(tm)
+		}
+	}
+	for _, c := range t.Compares {
+		add(c.L)
+		add(c.R)
+	}
+	for _, h := range t.Head {
+		add(h)
+	}
+	for v := range seen {
+		t.Vars = append(t.Vars, v)
+	}
+	sort.Strings(t.Vars)
+	return t, nil
+}
+
+func (t *Tableau) collect(f Formula) error {
+	switch x := f.(type) {
+	case *Atom:
+		t.Atoms = append(t.Atoms, x)
+	case *Compare:
+		t.Compares = append(t.Compares, x)
+	case *And:
+		for _, k := range x.Kids {
+			if err := t.collect(k); err != nil {
+				return err
+			}
+		}
+	case *Exists:
+		return t.collect(x.Sub)
+	default:
+		return fmt.Errorf("formula %s is not conjunctive", f)
+	}
+	return nil
+}
+
+// SatisfiedBy reports whether a total valuation of the tableau's
+// variables satisfies every comparison condition.
+func (t *Tableau) SatisfiedBy(val map[string]relation.Value) bool {
+	for _, c := range t.Compares {
+		l, okL := termValue(c.L, val)
+		r, okR := termValue(c.R, val)
+		if !okL || !okR {
+			return false
+		}
+		if (c.Op == Eq) != (l == r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Instantiate applies a total valuation to the tableau's atoms and
+// returns the resulting facts as (relation, tuple) pairs. It fails when
+// a variable is unassigned.
+func (t *Tableau) Instantiate(val map[string]relation.Value) ([]relation.Located, error) {
+	out := make([]relation.Located, 0, len(t.Atoms))
+	for _, a := range t.Atoms {
+		tup := make(relation.Tuple, len(a.Terms))
+		for i, tm := range a.Terms {
+			v, ok := termValue(tm, val)
+			if !ok {
+				return nil, fmt.Errorf("tableau: variable %s unassigned", tm.Name)
+			}
+			tup[i] = v
+		}
+		out = append(out, relation.Located{Rel: a.Rel, Tuple: tup})
+	}
+	return out, nil
+}
+
+// HeadTuple applies a total valuation to the output summary uQ.
+func (t *Tableau) HeadTuple(val map[string]relation.Value) (relation.Tuple, error) {
+	out := make(relation.Tuple, len(t.Head))
+	for i, tm := range t.Head {
+		v, ok := termValue(tm, val)
+		if !ok {
+			return nil, fmt.Errorf("tableau: head variable %s unassigned", tm.Name)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func termValue(t Term, val map[string]relation.Value) (relation.Value, bool) {
+	if !t.IsVar {
+		return t.Const, true
+	}
+	v, ok := val[t.Name]
+	return v, ok
+}
+
+// RenameVars returns a copy of the formula with every variable x
+// (free and bound) renamed to prefix+x, guaranteeing disjointness from
+// any namespace not using the prefix.
+func RenameVars(f Formula, prefix string) Formula {
+	ren := func(t Term) Term {
+		if t.IsVar {
+			return V(prefix + t.Name)
+		}
+		return t
+	}
+	switch x := f.(type) {
+	case *Atom:
+		terms := make([]Term, len(x.Terms))
+		for i, tm := range x.Terms {
+			terms[i] = ren(tm)
+		}
+		return &Atom{Rel: x.Rel, Terms: terms}
+	case *Compare:
+		return &Compare{Op: x.Op, L: ren(x.L), R: ren(x.R)}
+	case *And:
+		kids := make([]Formula, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = RenameVars(k, prefix)
+		}
+		return &And{Kids: kids}
+	case *Or:
+		kids := make([]Formula, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = RenameVars(k, prefix)
+		}
+		return &Or{Kids: kids}
+	case *Not:
+		return &Not{Sub: RenameVars(x.Sub, prefix)}
+	case *Exists:
+		vars := make([]string, len(x.Vars))
+		for i, v := range x.Vars {
+			vars[i] = prefix + v
+		}
+		return &Exists{Vars: vars, Sub: RenameVars(x.Sub, prefix)}
+	case *Forall:
+		vars := make([]string, len(x.Vars))
+		for i, v := range x.Vars {
+			vars[i] = prefix + v
+		}
+		return &Forall{Vars: vars, Sub: RenameVars(x.Sub, prefix)}
+	}
+	return f
+}
+
+// RenameQuery renames every variable of the query (head and body) with
+// the prefix.
+func RenameQuery(q *Query, prefix string) *Query {
+	head := make([]Term, len(q.Head))
+	for i, t := range q.Head {
+		if t.IsVar {
+			head[i] = V(prefix + t.Name)
+		} else {
+			head[i] = t
+		}
+	}
+	return &Query{Name: q.Name, Head: head, Body: RenameVars(q.Body, prefix)}
+}
+
+// Substitute replaces free occurrences of variables by constants
+// according to the (partial) valuation. Bound variables are untouched.
+func Substitute(f Formula, val map[string]relation.Value) Formula {
+	sub := func(t Term, bound map[string]bool) Term {
+		if t.IsVar && !bound[t.Name] {
+			if v, ok := val[t.Name]; ok {
+				return C(v)
+			}
+		}
+		return t
+	}
+	var walk func(Formula, map[string]bool) Formula
+	walk = func(g Formula, bound map[string]bool) Formula {
+		switch x := g.(type) {
+		case *Atom:
+			terms := make([]Term, len(x.Terms))
+			for i, tm := range x.Terms {
+				terms[i] = sub(tm, bound)
+			}
+			return &Atom{Rel: x.Rel, Terms: terms}
+		case *Compare:
+			return &Compare{Op: x.Op, L: sub(x.L, bound), R: sub(x.R, bound)}
+		case *And:
+			kids := make([]Formula, len(x.Kids))
+			for i, k := range x.Kids {
+				kids[i] = walk(k, bound)
+			}
+			return &And{Kids: kids}
+		case *Or:
+			kids := make([]Formula, len(x.Kids))
+			for i, k := range x.Kids {
+				kids[i] = walk(k, bound)
+			}
+			return &Or{Kids: kids}
+		case *Not:
+			return &Not{Sub: walk(x.Sub, bound)}
+		case *Exists:
+			return &Exists{Vars: x.Vars, Sub: walk(x.Sub, withBound(bound, x.Vars))}
+		case *Forall:
+			return &Forall{Vars: x.Vars, Sub: walk(x.Sub, withBound(bound, x.Vars))}
+		}
+		return g
+	}
+	return walk(f, map[string]bool{})
+}
+
+// RenameSpecific renames every occurrence (term positions and binder
+// lists) of the listed variable names throughout the formula. Because
+// binders of a renamed name are renamed consistently, the rewriting
+// preserves semantics whenever the listed names are bound at the point
+// the caller strips (e.g. alpha-renaming an Exists binder).
+func RenameSpecific(f Formula, ren map[string]string) Formula {
+	sub := func(t Term) Term {
+		if t.IsVar {
+			if n, ok := ren[t.Name]; ok {
+				return V(n)
+			}
+		}
+		return t
+	}
+	subVars := func(vars []string) []string {
+		out := make([]string, len(vars))
+		for i, v := range vars {
+			if n, ok := ren[v]; ok {
+				out[i] = n
+			} else {
+				out[i] = v
+			}
+		}
+		return out
+	}
+	switch x := f.(type) {
+	case *Atom:
+		terms := make([]Term, len(x.Terms))
+		for i, tm := range x.Terms {
+			terms[i] = sub(tm)
+		}
+		return &Atom{Rel: x.Rel, Terms: terms}
+	case *Compare:
+		return &Compare{Op: x.Op, L: sub(x.L), R: sub(x.R)}
+	case *And:
+		kids := make([]Formula, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = RenameSpecific(k, ren)
+		}
+		return &And{Kids: kids}
+	case *Or:
+		kids := make([]Formula, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = RenameSpecific(k, ren)
+		}
+		return &Or{Kids: kids}
+	case *Not:
+		return &Not{Sub: RenameSpecific(x.Sub, ren)}
+	case *Exists:
+		return &Exists{Vars: subVars(x.Vars), Sub: RenameSpecific(x.Sub, ren)}
+	case *Forall:
+		return &Forall{Vars: subVars(x.Vars), Sub: RenameSpecific(x.Sub, ren)}
+	}
+	return f
+}

@@ -1,0 +1,126 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"relcomplete/internal/relation"
+)
+
+func TestTableauOf(t *testing.T) {
+	q := MustParseQuery("Q(x) := exists y: R(x, y) & S(y, 'c') & x != y")
+	tab, err := TableauOf(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Atoms) != 2 || len(tab.Compares) != 1 {
+		t.Fatalf("tableau shape wrong: %d atoms, %d compares", len(tab.Atoms), len(tab.Compares))
+	}
+	if !reflect.DeepEqual(tab.Vars, []string{"x", "y"}) {
+		t.Fatalf("Vars = %v", tab.Vars)
+	}
+}
+
+func TestTableauRejectsNonCQ(t *testing.T) {
+	if _, err := TableauOf(MustParseQuery("Q(x) := R(x) | S(x)")); err == nil {
+		t.Fatal("UCQ should be rejected")
+	}
+	if _, err := TableauOf(MustParseQuery("Q(x) := R(x) & ! S(x)")); err == nil {
+		t.Fatal("negation should be rejected")
+	}
+}
+
+func TestTableauSatisfiedBy(t *testing.T) {
+	q := MustParseQuery("Q(x) := R(x, y) & x != y & y = 'a'")
+	tab, _ := TableauOf(q)
+	if !tab.SatisfiedBy(map[string]relation.Value{"x": "b", "y": "a"}) {
+		t.Fatal("satisfying valuation rejected")
+	}
+	if tab.SatisfiedBy(map[string]relation.Value{"x": "a", "y": "a"}) {
+		t.Fatal("x != y violated but accepted")
+	}
+	if tab.SatisfiedBy(map[string]relation.Value{"x": "b", "y": "c"}) {
+		t.Fatal("y = 'a' violated but accepted")
+	}
+	if tab.SatisfiedBy(map[string]relation.Value{"x": "b"}) {
+		t.Fatal("partial valuation must not satisfy")
+	}
+}
+
+func TestTableauInstantiateAndHead(t *testing.T) {
+	q := MustParseQuery("Q(x) := R(x, y) & S(y)")
+	tab, _ := TableauOf(q)
+	val := map[string]relation.Value{"x": "1", "y": "2"}
+	facts, err := tab.Instantiate(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []relation.Located{
+		{Rel: "R", Tuple: relation.T("1", "2")},
+		{Rel: "S", Tuple: relation.T("2")},
+	}
+	if !reflect.DeepEqual(facts, want) {
+		t.Fatalf("Instantiate = %v", facts)
+	}
+	h, err := tab.HeadTuple(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Equal(relation.T("1")) {
+		t.Fatalf("HeadTuple = %v", h)
+	}
+	if _, err := tab.Instantiate(map[string]relation.Value{"x": "1"}); err == nil {
+		t.Fatal("unassigned variable should fail")
+	}
+}
+
+func TestRenameVars(t *testing.T) {
+	f := Ex([]string{"y"}, Conj(NewAtom("R", V("x"), V("y")), NeqT(V("x"), C("c"))))
+	g := RenameVars(f, "q_")
+	free := FreeVars(g)
+	if !free["q_x"] || free["x"] {
+		t.Fatalf("rename failed: free = %v", free)
+	}
+	vars := AllVars(g)
+	for _, v := range vars {
+		if v[:2] != "q_" {
+			t.Fatalf("variable %s not renamed", v)
+		}
+	}
+	// Constants untouched.
+	if !Constants(g, nil).Contains("c") {
+		t.Fatal("constant lost in rename")
+	}
+}
+
+func TestRenameQuery(t *testing.T) {
+	q := MustParseQuery("Q(x, 'k') := R(x, y)")
+	r := RenameQuery(q, "p_")
+	if !r.Head[0].Equal(V("p_x")) || !r.Head[1].Equal(C("k")) {
+		t.Fatalf("head rename wrong: %v", r.Head)
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	f := Conj(NewAtom("R", V("x"), V("y")), NeqT(V("x"), V("z")))
+	g := Substitute(f, map[string]relation.Value{"x": "1", "z": "2"})
+	want := "(R('1', y) & '1' != '2')"
+	if g.String() != want {
+		t.Fatalf("Substitute = %s, want %s", g, want)
+	}
+}
+
+func TestSubstituteRespectsBinding(t *testing.T) {
+	// exists x: R(x) — the bound x must not be substituted.
+	f := Conj(NewAtom("S", V("x")), Ex([]string{"x"}, NewAtom("R", V("x"))))
+	g := Substitute(f, map[string]relation.Value{"x": "1"})
+	want := "(S('1') & exists x: R(x))"
+	if g.String() != want {
+		t.Fatalf("Substitute = %s, want %s", g, want)
+	}
+	// Forall binding as well.
+	h := Substitute(All([]string{"x"}, NewAtom("R", V("x"))), map[string]relation.Value{"x": "1"})
+	if h.String() != "forall x: R(x)" {
+		t.Fatalf("Substitute under forall = %s", h)
+	}
+}

@@ -1,0 +1,158 @@
+// Package reduction implements the reductions used in the paper's
+// lower-bound proofs as executable constructions:
+//
+//   - the Figure 2 ground relations encoding Boolean logic in CQ;
+//   - ∀*∃*3SAT → consistency and → extensibility (Proposition 3.3);
+//   - ∃*∀*∃*3SAT → MINPs (Theorem 4.8), → RCDPv (Theorem 6.1),
+//     → MINPv (Corollary 6.3) and → RCDPw (Theorem 5.1(3));
+//   - SAT-UNSAT → MINPw(CQ) (Theorem 5.6(4));
+//   - Boolean circuits → FP queries (SUCCINCT-TAUT, Theorem 5.1(2));
+//   - the FD+IND gadget of Proposition 3.1.
+//
+// Each gadget records the iff-statement of its theorem; the test-suite
+// validates the statement against the brute-force oracles of
+// internal/sat, and the benchmark harness scales the gadgets to
+// reproduce the shape of the paper's Table I.
+package reduction
+
+import (
+	"relcomplete/internal/cc"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+// BoolRels bundles the Figure 2 apparatus: data-side relation schemas
+// R(0,1), R¬, R∨, R∧, their master-side copies, the empty master
+// relation Rm∅, and the containment CCs fixing the data side to the
+// Figure 2 contents.
+type BoolRels struct {
+	R01, Rneg, Ror, Rand *relation.Schema // data side
+	M01, Mneg, Mor, Mand *relation.Schema // master side
+	Mempty               *relation.Schema // the empty master relation
+}
+
+// NewBoolRels builds the schemas. The paper gives every attribute an
+// abstract domain and pins values by CCs; we give the truth-value
+// columns the finite Boolean domain {0, 1} as well (the paper's df),
+// which leaves every gadget's semantics unchanged while keeping the
+// valuation space of the deciders at its information-theoretic size.
+func NewBoolRels() *BoolRels {
+	b := func(name string) relation.Attribute { return relation.Attr(name, relation.Bool()) }
+	return &BoolRels{
+		R01:    relation.MustSchema("R01", b("X")),
+		Rneg:   relation.MustSchema("Rneg", b("A"), b("NA")),
+		Ror:    relation.MustSchema("Ror", b("A1"), b("A2"), b("B")),
+		Rand:   relation.MustSchema("Rand", b("A1"), b("A2"), b("B")),
+		M01:    relation.MustSchema("M01", b("X")),
+		Mneg:   relation.MustSchema("Mneg", b("A"), b("NA")),
+		Mor:    relation.MustSchema("Mor", b("A1"), b("A2"), b("B")),
+		Mand:   relation.MustSchema("Mand", b("A1"), b("A2"), b("B")),
+		Mempty: relation.MustSchema("Mempty", relation.Attr("W", nil)),
+	}
+}
+
+// DataSchemas returns the data-side schemas in declaration order.
+func (b *BoolRels) DataSchemas() []*relation.Schema {
+	return []*relation.Schema{b.R01, b.Rneg, b.Ror, b.Rand}
+}
+
+// MasterSchemas returns the master-side schemas (including Rm∅).
+func (b *BoolRels) MasterSchemas() []*relation.Schema {
+	return []*relation.Schema{b.M01, b.Mneg, b.Mor, b.Mand, b.Mempty}
+}
+
+// orTuples is the truth table of ∨ (Figure 2's I∨).
+func orTuples() []relation.Tuple {
+	return []relation.Tuple{
+		relation.T("0", "0", "0"), relation.T("0", "1", "1"),
+		relation.T("1", "0", "1"), relation.T("1", "1", "1"),
+	}
+}
+
+// andTuples is the truth table of ∧ (Figure 2's I∧).
+func andTuples() []relation.Tuple {
+	return []relation.Tuple{
+		relation.T("0", "0", "0"), relation.T("0", "1", "0"),
+		relation.T("1", "0", "0"), relation.T("1", "1", "1"),
+	}
+}
+
+// negTuples is the truth table of ¬ (Figure 2's I¬).
+func negTuples() []relation.Tuple {
+	return []relation.Tuple{relation.T("0", "1"), relation.T("1", "0")}
+}
+
+// boolTuples is Figure 2's I(0,1).
+func boolTuples() []relation.Tuple {
+	return []relation.Tuple{relation.T("0"), relation.T("1")}
+}
+
+// PopulateData adds the Figure 2 ground rows to a c-instance whose
+// schema includes the data-side relations.
+func (b *BoolRels) PopulateData(ci *ctable.CInstance) {
+	add := func(rel string, tuples []relation.Tuple) {
+		for _, t := range tuples {
+			terms := make([]query.Term, len(t))
+			for i, v := range t {
+				terms[i] = query.C(v)
+			}
+			ci.MustAddRow(rel, ctable.Row{Terms: terms})
+		}
+	}
+	add(b.R01.Name, boolTuples())
+	add(b.Rneg.Name, negTuples())
+	add(b.Ror.Name, orTuples())
+	add(b.Rand.Name, andTuples())
+}
+
+// PopulateDatabase adds the Figure 2 ground rows to a ground database.
+func (b *BoolRels) PopulateDatabase(db *relation.Database) {
+	add := func(rel string, tuples []relation.Tuple) {
+		for _, t := range tuples {
+			db.MustInsert(rel, t)
+		}
+	}
+	add(b.R01.Name, boolTuples())
+	add(b.Rneg.Name, negTuples())
+	add(b.Ror.Name, orTuples())
+	add(b.Rand.Name, andTuples())
+}
+
+// PopulateMaster adds the master copies Im(0,1), Im¬, Im∨, Im∧ (and
+// leaves Rm∅ empty) to a master database.
+func (b *BoolRels) PopulateMaster(dm *relation.Database) {
+	add := func(rel string, tuples []relation.Tuple) {
+		for _, t := range tuples {
+			dm.MustInsert(rel, t)
+		}
+	}
+	add(b.M01.Name, boolTuples())
+	add(b.Mneg.Name, negTuples())
+	add(b.Mor.Name, orTuples())
+	add(b.Mand.Name, andTuples())
+}
+
+// ContainmentCCs builds the CCs R(0,1) ⊆ Rm(0,1), R¬ ⊆ Rm¬, R∨ ⊆ Rm∨,
+// R∧ ⊆ Rm∧ fixing the Boolean apparatus.
+func (b *BoolRels) ContainmentCCs() []*cc.Constraint {
+	pairs := [][2]*relation.Schema{
+		{b.R01, b.M01}, {b.Rneg, b.Mneg}, {b.Ror, b.Mor}, {b.Rand, b.Mand},
+	}
+	out := make([]*cc.Constraint, 0, len(pairs))
+	for _, pr := range pairs {
+		out = append(out, cc.MustFullContainment("fix_"+pr[0].Name, pr[0], pr[1]))
+	}
+	return out
+}
+
+// AssignmentAtoms builds the CQ formula R(0,1)(v1) ∧ ... ∧ R(0,1)(vk)
+// generating all truth assignments of the given variables (the paper's
+// QY / QZ Cartesian products of I(0,1)).
+func (b *BoolRels) AssignmentAtoms(vars []string) []query.Formula {
+	out := make([]query.Formula, len(vars))
+	for i, v := range vars {
+		out[i] = query.NewAtom(b.R01.Name, query.V(v))
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package reduction
+
+import (
+	"fmt"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+	"relcomplete/internal/sat"
+)
+
+// ConsistencyGadget is the Proposition 3.3 construction: from a
+// ∀X∃Y ψ sentence it builds a schema R = (R01, R¬, R∨, R∧, RX),
+// master data, a CC set V and
+//
+//   - a c-instance T (Figure 2 relations plus the single all-variable
+//     row TX) such that   ϕ is false  ⟺  Mod(T, Dm, V) ≠ ∅;
+//   - a ground instance I0 (Figure 2 relations, empty RX) such that
+//     ϕ is true  ⟺  Ext(I0, Dm, V) = ∅.
+type ConsistencyGadget struct {
+	QBF     *sat.QBF
+	Bool    *BoolRels
+	RX      *relation.Schema
+	Problem *core.Problem
+	T       *ctable.CInstance  // consistency input
+	I0      *relation.Database // extensibility input
+}
+
+// NewConsistencyGadget builds the gadget; the QBF must have exactly
+// two blocks, ∀ then ∃.
+func NewConsistencyGadget(q *sat.QBF) (*ConsistencyGadget, error) {
+	if len(q.Blocks) != 2 || q.Blocks[0].Q != sat.ForAll || q.Blocks[1].Q != sat.Exists {
+		return nil, fmt.Errorf("reduction: consistency gadget needs a ∀*∃* prefix, got %v", q.Blocks)
+	}
+	n := q.Blocks[0].To - q.Blocks[0].From + 1
+	if n == 0 {
+		return nil, fmt.Errorf("reduction: need at least one ∀ variable")
+	}
+	b := NewBoolRels()
+
+	// RX(X1, ..., Xn) holds one candidate truth assignment of X.
+	attrs := make([]relation.Attribute, n)
+	for i := range attrs {
+		attrs[i] = relation.Attr(fmt.Sprintf("X%d", i+1), relation.Bool())
+	}
+	rx := relation.MustSchema("RX", attrs...)
+
+	dataSchema := relation.MustDBSchema(append(b.DataSchemas(), rx)...)
+	masterSchema := relation.MustDBSchema(b.MasterSchemas()...)
+	dm := relation.NewDatabase(masterSchema)
+	b.PopulateMaster(dm)
+
+	v := cc.NewSet(b.ContainmentCCs()...)
+	// For each i: ∃ other columns RX(x1..xn) ⊆ Rm(0,1)(xi), asserting
+	// every stored assignment is over {0, 1}. (Redundant with the Bool
+	// attribute domains we give RX, but kept for fidelity to the
+	// construction — the CC is what pins the values in the paper.)
+	for i := 0; i < n; i++ {
+		xTerms := make([]query.Term, n)
+		for j := range xTerms {
+			xTerms[j] = query.V(fmt.Sprintf("x%d", j+1))
+		}
+		left := query.MustQuery(fmt.Sprintf("qx%d", i+1), []query.Term{xTerms[i]},
+			query.NewAtom(rx.Name, xTerms...))
+		right := query.MustQuery("p01", []query.Term{query.V("x")}, query.NewAtom(b.M01.Name, query.V("x")))
+		cst, err := cc.New(fmt.Sprintf("assign%d", i+1), left, right)
+		if err != nil {
+			return nil, err
+		}
+		v.Add(cst)
+	}
+	// q(w) ⊆ Rm∅(w): whenever the stored assignment µX admits a µY
+	// with ψ(µX, µY) = 1, the CC is violated.
+	sel, err := satisfactionQuery(b, rx, q, "c_")
+	if err != nil {
+		return nil, err
+	}
+	right := query.MustQuery("pempty", []query.Term{query.V("w")},
+		query.NewAtom(b.Mempty.Name, query.V("w")))
+	noSat, err := cc.New("no_satisfying_Y", sel, right)
+	if err != nil {
+		return nil, err
+	}
+	v.Add(noSat)
+
+	// A decision-problem query is not part of Proposition 3.3; any CQ
+	// over the schema completes the Problem value.
+	dummy := core.CalcQuery(query.MustQuery("Qdummy", nil, query.NewAtom(b.R01.Name, query.C("1"))))
+	p, err := core.NewProblem(dataSchema, dummy, dm, v, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	// T: Figure 2 rows plus TX = {(x1, ..., xn)}.
+	t := ctable.NewCInstance(dataSchema)
+	b.PopulateData(t)
+	xTerms := make([]query.Term, n)
+	for i := range xTerms {
+		xTerms[i] = query.V(fmt.Sprintf("x%d", i+1))
+	}
+	t.MustAddRow(rx.Name, ctable.Row{Terms: xTerms})
+
+	// I0: Figure 2 rows, empty RX.
+	i0 := relation.NewDatabase(dataSchema)
+	b.PopulateDatabase(i0)
+
+	return &ConsistencyGadget{QBF: q, Bool: b, RX: rx, Problem: p, T: t, I0: i0}, nil
+}
+
+// satisfactionQuery builds the paper's q(w) = ∃x⃗, y⃗ (QX ∧ QY ∧
+// Qψ(x⃗, y⃗, w) ∧ w = 1): it returns (1) iff the assignment stored in
+// RX extends to a satisfying assignment of ψ.
+func satisfactionQuery(b *BoolRels, rx *relation.Schema, q *sat.QBF, prefix string) (*query.Query, error) {
+	n := q.Blocks[0].To - q.Blocks[0].From + 1
+	xVar := func(i int) string { return fmt.Sprintf("%sx%d", prefix, i) }
+	yVar := func(i int) string { return fmt.Sprintf("%sy%d", prefix, i) }
+
+	xTerms := make([]query.Term, n)
+	for i := range xTerms {
+		xTerms[i] = query.V(xVar(i + 1))
+	}
+	var kids []query.Formula
+	kids = append(kids, query.NewAtom(rx.Name, xTerms...)) // QX
+	var yNames []string
+	for v := q.Blocks[1].From; v <= q.Blocks[1].To; v++ {
+		yNames = append(yNames, yVar(v))
+	}
+	kids = append(kids, b.AssignmentAtoms(yNames)...) // QY
+
+	varTerm := func(v int) query.Term {
+		if v <= n {
+			return query.V(xVar(v))
+		}
+		return query.V(yVar(v))
+	}
+	atoms, w, err := EncodeCNF(b, q.Matrix, varTerm, prefix+"e_")
+	if err != nil {
+		return nil, err
+	}
+	kids = append(kids, atoms...)
+	kids = append(kids, query.EqT(query.V(w), query.C("1")))
+	return query.NewQuery("q_sat", []query.Term{query.V(w)}, query.Conj(kids...))
+}
+
+// ConsistencyHolds runs the decider on T. Per Proposition 3.3:
+// the c-instance is consistent iff the QBF is FALSE.
+func (g *ConsistencyGadget) ConsistencyHolds() (bool, error) {
+	return g.Problem.Consistent(g.T)
+}
+
+// ExtensibilityHolds runs the decider on I0. Per Proposition 3.3:
+// I0 is extensible iff the QBF is FALSE.
+func (g *ConsistencyGadget) ExtensibilityHolds() (bool, error) {
+	return g.Problem.Extensible(g.I0)
+}

@@ -1,0 +1,144 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"relcomplete/internal/sat"
+)
+
+// randomForallExists generates a small random ∀*∃*3SAT instance.
+func randomForallExists(r *rand.Rand, nX, nY, clauses int) *sat.QBF {
+	total := nX + nY
+	var cls []sat.Clause
+	for i := 0; i < clauses; i++ {
+		c := make(sat.Clause, 3)
+		for j := range c {
+			v := r.Intn(total) + 1
+			if r.Intn(2) == 0 {
+				c[j] = sat.Literal(v)
+			} else {
+				c[j] = sat.Literal(-v)
+			}
+		}
+		cls = append(cls, c)
+	}
+	q, err := sat.ForallExists(nX, nY, cls)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func TestConsistencyGadgetKnownInstances(t *testing.T) {
+	// ∀x ∃y: y ↔ x — true, so Mod(T) must be EMPTY.
+	qTrue, _ := sat.ForallExists(1, 1, []sat.Clause{{-1, 2}, {1, -2}})
+	g, err := NewConsistencyGadget(qTrue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qTrue.Eval() {
+		t.Fatal("oracle: formula should be true")
+	}
+	ok, err := g.ConsistencyHolds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("true QBF: Mod(T) must be empty (Proposition 3.3)")
+	}
+
+	// ∀x ∃y: x — false (x = 0 refutes), so Mod(T) must be non-empty.
+	qFalse, _ := sat.ForallExists(1, 1, []sat.Clause{{1, 1, 1}, {2, -2}})
+	g2, err := NewConsistencyGadget(qFalse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qFalse.Eval() {
+		t.Fatal("oracle: formula should be false")
+	}
+	ok, err = g2.ConsistencyHolds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("false QBF: Mod(T) must be non-empty (Proposition 3.3)")
+	}
+}
+
+// The iff of Proposition 3.3 on random instances, against the
+// brute-force QBF oracle.
+func TestConsistencyGadgetRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 12; trial++ {
+		q := randomForallExists(r, 1+r.Intn(2), 1+r.Intn(2), 2+r.Intn(3))
+		g, err := NewConsistencyGadget(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := !q.Eval()
+		got, err := g.ConsistencyHolds()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: consistency %v, oracle(¬ϕ) %v for %s", trial, got, want, q)
+		}
+	}
+}
+
+func TestExtensibilityGadgetKnownInstances(t *testing.T) {
+	// True QBF → Ext(I0) empty.
+	qTrue, _ := sat.ForallExists(1, 1, []sat.Clause{{-1, 2}, {1, -2}})
+	g, _ := NewConsistencyGadget(qTrue)
+	ok, err := g.ExtensibilityHolds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("true QBF: I0 must be unextendable")
+	}
+	// False QBF → Ext(I0) non-empty.
+	qFalse, _ := sat.ForallExists(1, 1, []sat.Clause{{1, 1, 1}, {2, -2}})
+	g2, _ := NewConsistencyGadget(qFalse)
+	ok, err = g2.ExtensibilityHolds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("false QBF: I0 must be extensible")
+	}
+}
+
+func TestExtensibilityGadgetRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 10; trial++ {
+		q := randomForallExists(r, 1+r.Intn(2), 1+r.Intn(2), 2+r.Intn(3))
+		g, err := NewConsistencyGadget(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := !q.Eval()
+		got, err := g.ExtensibilityHolds()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: extensibility %v, oracle(¬ϕ) %v for %s", trial, got, want, q)
+		}
+	}
+}
+
+func TestConsistencyGadgetValidation(t *testing.T) {
+	// Wrong prefix shape.
+	m := &sat.CNF{Vars: 1, Clauses: []sat.Clause{{1}}}
+	q := sat.MustQBF(m, sat.Block{Q: sat.Exists, From: 1, To: 1})
+	if _, err := NewConsistencyGadget(q); err == nil {
+		t.Fatal("∃-only prefix should be rejected")
+	}
+	q2 := sat.MustQBF(&sat.CNF{Vars: 2, Clauses: []sat.Clause{{1, 2}}},
+		sat.Block{Q: sat.ForAll, From: 1, To: 0}, sat.Block{Q: sat.Exists, From: 1, To: 2})
+	if _, err := NewConsistencyGadget(q2); err == nil {
+		t.Fatal("empty ∀ block should be rejected")
+	}
+}

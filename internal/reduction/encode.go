@@ -1,0 +1,81 @@
+package reduction
+
+import (
+	"fmt"
+
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+	"relcomplete/internal/sat"
+)
+
+// EncodeCNF compiles a CNF ψ into the paper's Qψ: a conjunction of
+// R¬/R∨/R∧ atoms whose variables compute the truth value of ψ bottom
+// up, given a term per propositional variable. It returns the atom
+// list and the name of the output variable w holding ψ's value; every
+// auxiliary variable is prefixed to keep namespaces disjoint.
+//
+// CQ supports neither ∨ nor ¬ directly; exactly as in the proof of
+// Proposition 3.3, the Figure 2 relations turn both into joins.
+func EncodeCNF(b *BoolRels, f *sat.CNF, varTerm func(v int) query.Term, prefix string) ([]query.Formula, string, error) {
+	if err := f.Validate(); err != nil {
+		return nil, "", err
+	}
+	if len(f.Clauses) == 0 {
+		return nil, "", fmt.Errorf("reduction: cannot encode an empty CNF")
+	}
+	var atoms []query.Formula
+	aux := 0
+	fresh := func() string {
+		aux++
+		return fmt.Sprintf("%st%d", prefix, aux)
+	}
+	// litTerm yields a term carrying the literal's truth value.
+	litTerm := func(l sat.Literal) query.Term {
+		base := varTerm(l.Var())
+		if l.Positive() {
+			return base
+		}
+		neg := query.V(fresh())
+		atoms = append(atoms, query.NewAtom(b.Rneg.Name, base, neg))
+		return neg
+	}
+	// fold combines a list of terms with a binary truth-table relation.
+	fold := func(rel string, terms []query.Term) query.Term {
+		cur := terms[0]
+		for _, t := range terms[1:] {
+			out := query.V(fresh())
+			atoms = append(atoms, query.NewAtom(rel, cur, t, out))
+			cur = out
+		}
+		return cur
+	}
+	clauseOuts := make([]query.Term, 0, len(f.Clauses))
+	for _, cl := range f.Clauses {
+		lits := make([]query.Term, len(cl))
+		for i, l := range cl {
+			lits[i] = litTerm(l)
+		}
+		clauseOuts = append(clauseOuts, fold(b.Ror.Name, lits))
+	}
+	out := fold(b.Rand.Name, clauseOuts)
+	if !out.IsVar {
+		// Degenerate single positive literal bound to a constant term;
+		// route it through a conjunction with itself to expose a
+		// variable output.
+		w := query.V(fresh())
+		atoms = append(atoms, query.NewAtom(b.Rand.Name, out, out, w))
+		out = w
+	}
+	return atoms, out.Name, nil
+}
+
+// EncodeCNFValue is EncodeCNF plus a pinned output: it appends the
+// comparison w = value ('1' to assert ψ, '0' to refute it).
+func EncodeCNFValue(b *BoolRels, f *sat.CNF, varTerm func(v int) query.Term, prefix string, value relation.Value) ([]query.Formula, error) {
+	atoms, w, err := EncodeCNF(b, f, varTerm, prefix)
+	if err != nil {
+		return nil, err
+	}
+	atoms = append(atoms, query.EqT(query.V(w), query.C(value)))
+	return atoms, nil
+}

@@ -1,0 +1,221 @@
+package reduction
+
+import (
+	"fmt"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+	"relcomplete/internal/sat"
+)
+
+// CircuitFPGadget is the Theorem 5.1(2) construction reducing
+// SUCCINCT-TAUT to RCDPw(FP): a single wide relation
+// R(A0, A1, ..., A30) whose one-and-only data tuple juxtaposes the
+// Figure 2 relations (A1..A30) behind a flag A0 = 1; the only
+// partially closed extension adds the same tuple with A0 = 0. The FP
+// program evaluates the circuit gate by gate against the in-tuple
+// truth tables and dumps *all* input vectors into the answer whenever
+// a flag-0 tuple exists. Then
+//
+//	C is a tautology  ⟺  I ∈ RCQw(Q, Dm, V).
+type CircuitFPGadget struct {
+	Circuit *sat.Circuit
+	R       *relation.Schema
+	Problem *core.Problem
+	I       *ctable.CInstance
+}
+
+// encodingValues returns the A1..A30 payload: I(0,1), I∨, I∧, I¬
+// flattened in the paper's layout.
+func encodingValues() []relation.Value {
+	vals := []relation.Value{"1", "0"} // A1, A2: I(0,1)
+	for _, t := range orTuples() {     // A3..A14
+		vals = append(vals, t...)
+	}
+	for _, t := range andTuples() { // A15..A26
+		vals = append(vals, t...)
+	}
+	for _, t := range negTuples() { // A27..A30
+		vals = append(vals, t...)
+	}
+	return vals
+}
+
+// NewCircuitFPGadget builds the gadget; the circuit must have at least
+// one input gate.
+func NewCircuitFPGadget(circ *sat.Circuit) (*CircuitFPGadget, error) {
+	if circ.Inputs == 0 {
+		return nil, fmt.Errorf("reduction: circuit gadget needs at least one input gate")
+	}
+	enc := encodingValues()
+	attrs := make([]relation.Attribute, 0, len(enc)+1)
+	attrs = append(attrs, relation.Attr("A0", relation.Bool()))
+	for i, v := range enc {
+		name := fmt.Sprintf("A%d", i+1)
+		attrs = append(attrs, relation.Attr(name, relation.Finite("pin"+name, v)))
+	}
+	r := relation.MustSchema("R", attrs...)
+
+	dataSchema := relation.MustDBSchema(r)
+	// Master: the pinned payload (redundant with the singleton domains,
+	// kept for fidelity to the CC-based construction) and a Boolean
+	// bound for A0.
+	menc := relation.MustSchema("Menc", attrs[1:]...)
+	m01 := relation.MustSchema("M01", relation.Attr("X", relation.Bool()))
+	masterSchema := relation.MustDBSchema(menc, m01)
+	dm := relation.NewDatabase(masterSchema)
+	dm.MustInsert("Menc", relation.Tuple(enc))
+	dm.MustInsert("M01", relation.T("0"))
+	dm.MustInsert("M01", relation.T("1"))
+
+	payloadTerms := func(prefix string) []query.Term {
+		out := make([]query.Term, len(enc))
+		for i := range out {
+			out[i] = query.V(fmt.Sprintf("%s%d", prefix, i+1))
+		}
+		return out
+	}
+	pt := payloadTerms("a")
+	v := cc.NewSet(
+		cc.Must("payload",
+			query.MustQuery("q", pt, query.NewAtom(r.Name, append([]query.Term{query.V("a0")}, pt...)...)),
+			query.MustQuery("p", pt, query.NewAtom(menc.Name, pt...))),
+		cc.Must("flag01",
+			query.MustQuery("q", []query.Term{query.V("a0")},
+				query.NewAtom(r.Name, append([]query.Term{query.V("a0")}, pt...)...)),
+			query.MustQuery("p", []query.Term{query.V("x")}, query.NewAtom(m01.Name, query.V("x")))),
+	)
+
+	prog, err := circuitProgram(circ, r)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewProblem(dataSchema, core.FPQuery(prog), dm, v, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	db := relation.NewDatabase(dataSchema)
+	db.MustInsert(r.Name, append(relation.Tuple{"1"}, enc...))
+	return &CircuitFPGadget{Circuit: circ, R: r, Problem: p, I: ctable.FromDatabase(db)}, nil
+}
+
+// circuitProgram compiles the circuit into the paper's FP query.
+func circuitProgram(circ *sat.Circuit, r *relation.Schema) (*query.Program, error) {
+	arity := r.Arity() // 31
+	// wideAtom builds R(t0, ..., t30) with the given pinned positions
+	// and anonymous variables elsewhere.
+	var freshCounter int
+	wideAtom := func(pins map[int]query.Term) *query.Atom {
+		terms := make([]query.Term, arity)
+		for i := range terms {
+			if t, ok := pins[i]; ok {
+				terms[i] = t
+			} else {
+				freshCounter++
+				terms[i] = query.V(fmt.Sprintf("f%d", freshCounter))
+			}
+		}
+		return query.NewAtom(r.Name, terms...)
+	}
+
+	var rules []query.Rule
+	// I(x) ← R(_, x, _, ...) and I(x) ← R(_, _, x, ...): the Boolean
+	// domain read off positions A1 and A2.
+	for _, pos := range []int{1, 2} {
+		rules = append(rules, query.Rule{
+			Head: *query.NewAtom("ival", query.V("x")),
+			Body: []query.Literal{query.LitAtom(wideAtom(map[int]query.Term{pos: query.V("x")}))},
+		})
+	}
+	// RX(x1..xn) ← I(x1), ..., I(xn).
+	n := circ.Inputs
+	xTerms := make([]query.Term, n)
+	rxBody := make([]query.Literal, n)
+	for i := 0; i < n; i++ {
+		xTerms[i] = query.V(fmt.Sprintf("x%d", i+1))
+		rxBody[i] = query.LitAtom(query.NewAtom("ival", xTerms[i]))
+	}
+	rules = append(rules, query.Rule{Head: *query.NewAtom("rx", xTerms...), Body: rxBody})
+
+	gatePred := func(i int) string { return fmt.Sprintf("g%d", i) }
+	gateHead := func(i int) query.Atom {
+		return *query.NewAtom(gatePred(i), append([]query.Term{query.V("b")}, xTerms...)...)
+	}
+	inputIndex := 0
+	for gi, g := range circ.Gates {
+		switch g.Kind {
+		case sat.GateIn:
+			idx := inputIndex
+			inputIndex++
+			rules = append(rules, query.Rule{
+				Head: gateHead(gi),
+				Body: []query.Literal{
+					query.LitAtom(query.NewAtom("rx", xTerms...)),
+					query.LitCmp(query.EqT(query.V("b"), xTerms[idx])),
+				},
+			})
+		case sat.GateOr, sat.GateAnd:
+			base := 3 // first ∨ column (A3)
+			if g.Kind == sat.GateAnd {
+				base = 15
+			}
+			for row := 0; row < 4; row++ {
+				pins := map[int]query.Term{
+					base + 3*row:     query.V("b1"),
+					base + 3*row + 1: query.V("b2"),
+					base + 3*row + 2: query.V("b"),
+				}
+				rules = append(rules, query.Rule{
+					Head: gateHead(gi),
+					Body: []query.Literal{
+						query.LitAtom(query.NewAtom(gatePred(g.L), append([]query.Term{query.V("b1")}, xTerms...)...)),
+						query.LitAtom(query.NewAtom(gatePred(g.R), append([]query.Term{query.V("b2")}, xTerms...)...)),
+						query.LitAtom(wideAtom(pins)),
+					},
+				})
+			}
+		case sat.GateNot:
+			for row := 0; row < 2; row++ {
+				pins := map[int]query.Term{
+					27 + 2*row:     query.V("b1"),
+					27 + 2*row + 1: query.V("b"),
+				}
+				rules = append(rules, query.Rule{
+					Head: gateHead(gi),
+					Body: []query.Literal{
+						query.LitAtom(query.NewAtom(gatePred(g.L), append([]query.Term{query.V("b1")}, xTerms...)...)),
+						query.LitAtom(wideAtom(pins)),
+					},
+				})
+			}
+		}
+	}
+	out := len(circ.Gates) - 1
+	// G(x⃗) ← GM(b, x⃗), R('0', ...): a flag-0 tuple floods the answer.
+	rules = append(rules, query.Rule{
+		Head: *query.NewAtom("gout", xTerms...),
+		Body: []query.Literal{
+			query.LitAtom(query.NewAtom(gatePred(out), append([]query.Term{query.V("b")}, xTerms...)...)),
+			query.LitAtom(wideAtom(map[int]query.Term{0: query.C("0")})),
+		},
+	})
+	// G(x⃗) ← GM(b, x⃗), b = 1.
+	rules = append(rules, query.Rule{
+		Head: *query.NewAtom("gout", xTerms...),
+		Body: []query.Literal{
+			query.LitAtom(query.NewAtom(gatePred(out), append([]query.Term{query.V("b")}, xTerms...)...)),
+			query.LitCmp(query.EqT(query.V("b"), query.C("1"))),
+		},
+	})
+	return query.NewProgram("circuit", nil, "gout", rules...)
+}
+
+// WeaklyComplete decides RCDPw(I). Per Theorem 5.1(2): true iff the
+// circuit is a tautology.
+func (g *CircuitFPGadget) WeaklyComplete() (bool, error) {
+	return g.Problem.RCDP(g.I, core.Weak)
+}

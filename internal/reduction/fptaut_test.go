@@ -1,0 +1,90 @@
+package reduction
+
+import (
+	"testing"
+
+	"relcomplete/internal/sat"
+)
+
+func TestCircuitFPGadgetKnown(t *testing.T) {
+	// Tautology: in0 ∨ ¬in0.
+	taut := sat.MustCircuit(
+		sat.Gate{Kind: sat.GateIn},
+		sat.Gate{Kind: sat.GateNot, L: 0},
+		sat.Gate{Kind: sat.GateOr, L: 0, R: 1},
+	)
+	if ok, _ := taut.Tautology(); !ok {
+		t.Fatal("oracle: should be a tautology")
+	}
+	g, err := NewCircuitFPGadget(taut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.WeaklyComplete()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("tautology: I must be weakly complete (Theorem 5.1(2))")
+	}
+
+	// Non-tautology: in0 ∧ in1.
+	notTaut := sat.MustCircuit(
+		sat.Gate{Kind: sat.GateIn},
+		sat.Gate{Kind: sat.GateIn},
+		sat.Gate{Kind: sat.GateAnd, L: 0, R: 1},
+	)
+	g2, err := NewCircuitFPGadget(notTaut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = g2.WeaklyComplete()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("non-tautology: I must not be weakly complete")
+	}
+}
+
+func TestCircuitFPGadgetRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exponential decider on reduction gadgets")
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		f := sat.RandomCNF(3, 4, seed)
+		base := sat.FromCNF(f)
+		circ := sat.OrNot(base, seed%2 == 0) // half are forced tautologies
+		want, err := circ.Tautology()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewCircuitFPGadget(circ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.WeaklyComplete()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: RCDPw %v, tautology oracle %v", seed, got, want)
+		}
+	}
+}
+
+func TestCircuitFPGadgetValidation(t *testing.T) {
+	noInput := sat.MustCircuit(sat.Gate{Kind: sat.GateIn}) // has an input; build a truly inputless one manually
+	_ = noInput
+	c, err := sat.NewCircuit([]sat.Gate{{Kind: sat.GateIn}, {Kind: sat.GateNot, L: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCircuitFPGadget(c); err != nil {
+		t.Fatal("valid circuit should build")
+	}
+	inputless := &sat.Circuit{Gates: []sat.Gate{{Kind: sat.GateNot, L: 0}}}
+	if _, err := NewCircuitFPGadget(inputless); err == nil {
+		t.Fatal("inputless circuit should be rejected")
+	}
+}

@@ -1,0 +1,188 @@
+package reduction
+
+import (
+	"fmt"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/eval"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+// Prop31Gadget is the Proposition 3.1 construction: in the presence of
+// a set Θ of FDs and INDs as integrity constraints (master data and
+// CCs both empty!), the empty instance I∅ is complete for the CQ
+//
+//	Q() = ∃x⃗, y⃗1, y⃗2, w, w' (R(x⃗, w, y⃗1) ∧ R(x⃗, w', y⃗2) ∧ w ≠ w')
+//
+// relative to (∅, ∅, Θ) iff Θ ⊨ φ, where φ: X → A is the FD under
+// test. Because FD+IND implication is undecidable, so are RCDP and
+// RCQP in this setting — there is no exact decider to call; the gadget
+// instead exposes CompleteUpTo(k, pool), the definition checked over
+// all Θ-satisfying extensions with at most k tuples over the given
+// value pool. For FD-only Θ, k = 2 with a binary pool is exact
+// (Armstrong's two-tuple witness), which the tests verify against the
+// closure-based oracle.
+type Prop31Gadget struct {
+	Schema *relation.Schema
+	FDs    []cc.FD
+	INDs   []cc.IND
+	Phi    cc.FD
+	Query  *query.Query
+}
+
+// NewProp31Gadget builds the gadget for constraints over a single
+// relation schema; phi must be an FD on that relation with a single
+// RHS attribute.
+func NewProp31Gadget(sch *relation.Schema, fds []cc.FD, inds []cc.IND, phi cc.FD) (*Prop31Gadget, error) {
+	if len(phi.RHS) != 1 {
+		return nil, fmt.Errorf("reduction: φ must have a single RHS attribute")
+	}
+	if sch.AttrIndex(phi.RHS[0]) < 0 {
+		return nil, fmt.Errorf("reduction: φ's RHS %s not in schema", phi.RHS[0])
+	}
+	for _, a := range phi.LHS {
+		if sch.AttrIndex(a) < 0 {
+			return nil, fmt.Errorf("reduction: φ's LHS attribute %s not in schema", a)
+		}
+	}
+	q, err := violationQuery(sch, phi)
+	if err != nil {
+		return nil, err
+	}
+	return &Prop31Gadget{Schema: sch, FDs: fds, INDs: inds, Phi: phi, Query: q}, nil
+}
+
+// violationQuery builds the Boolean CQ detecting a violation of φ.
+func violationQuery(sch *relation.Schema, phi cc.FD) (*query.Query, error) {
+	onLHS := map[string]bool{}
+	for _, a := range phi.LHS {
+		onLHS[a] = true
+	}
+	rhs := phi.RHS[0]
+	t1 := make([]query.Term, sch.Arity())
+	t2 := make([]query.Term, sch.Arity())
+	// When the RHS attribute also occurs in the LHS, the two copies
+	// share its variable and the final inequality becomes v ≠ v:
+	// exactly the (unsatisfiable) violation condition of a trivial FD.
+	wTerm, wpTerm := query.V("w"), query.V("wp")
+	for i, a := range sch.AttrNames() {
+		switch {
+		case onLHS[a]:
+			v := query.V(fmt.Sprintf("x%d", i))
+			t1[i], t2[i] = v, v
+			if a == rhs {
+				wTerm, wpTerm = v, v
+			}
+		case a == rhs:
+			t1[i], t2[i] = wTerm, wpTerm
+		default:
+			t1[i], t2[i] = query.V(fmt.Sprintf("u%d", i)), query.V(fmt.Sprintf("v%d", i))
+		}
+	}
+	return query.NewQuery("Qviol", nil, query.Conj(
+		query.NewAtom(sch.Name, t1...),
+		query.NewAtom(sch.Name, t2...),
+		query.NeqT(wTerm, wpTerm),
+	))
+}
+
+// SatisfiesTheta reports whether an instance satisfies every FD and
+// IND of Θ (INDs are checked within the single-relation database).
+func (g *Prop31Gadget) SatisfiesTheta(inst *relation.Instance) (bool, error) {
+	for _, fd := range g.FDs {
+		ok, err := fd.Holds(inst)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	if len(g.INDs) > 0 {
+		db := relation.NewDatabase(relation.MustDBSchema(g.Schema))
+		for _, t := range inst.Tuples() {
+			db.MustInsert(g.Schema.Name, t)
+		}
+		for _, ind := range g.INDs {
+			ok, err := ind.HoldsWithin(db)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// CompleteUpTo checks whether I∅ is complete for Q relative to
+// (∅, ∅, Θ) over all Θ-satisfying extensions of at most k tuples
+// drawn from pool — i.e. whether no such extension makes Q true.
+// It is exact whenever a smallest Θ-satisfying φ-violation (if any)
+// fits in k tuples over pool; for FD-only Θ that holds at k = 2 with
+// |pool| = 2.
+func (g *Prop31Gadget) CompleteUpTo(k int, pool []relation.Value) (bool, error) {
+	// Materialise the tuple lattice over the pool.
+	var lattice []relation.Tuple
+	t := make(relation.Tuple, g.Schema.Arity())
+	var build func(i int)
+	build = func(i int) {
+		if i == g.Schema.Arity() {
+			lattice = append(lattice, t.Clone())
+			return
+		}
+		for _, v := range pool {
+			t[i] = v
+			build(i + 1)
+		}
+	}
+	build(0)
+
+	complete := true
+	cur := relation.NewInstance(g.Schema)
+	var rec func(start, remaining int) error
+	rec = func(start, remaining int) error {
+		if !complete {
+			return nil
+		}
+		if cur.Len() > 0 {
+			ok, err := g.SatisfiesTheta(cur)
+			if err != nil {
+				return err
+			}
+			if ok {
+				db := relation.NewDatabase(relation.MustDBSchema(g.Schema))
+				for _, tt := range cur.Tuples() {
+					db.MustInsert(g.Schema.Name, tt)
+				}
+				violated, err := eval.Bool(db, g.Query, eval.Options{})
+				if err != nil {
+					return err
+				}
+				if violated {
+					complete = false
+					return nil
+				}
+			}
+		}
+		if remaining == 0 {
+			return nil
+		}
+		for i := start; i < len(lattice); i++ {
+			if cur.Contains(lattice[i]) {
+				continue
+			}
+			next := cur.WithTuple(lattice[i])
+			saved := cur
+			cur = next
+			if err := rec(i+1, remaining-1); err != nil {
+				return err
+			}
+			cur = saved
+			if !complete {
+				return nil
+			}
+		}
+		return nil
+	}
+	if err := rec(0, k); err != nil {
+		return false, err
+	}
+	return complete, nil
+}

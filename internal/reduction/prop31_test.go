@@ -1,0 +1,126 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/relation"
+)
+
+func prop31Schema() *relation.Schema {
+	return relation.MustSchema("R",
+		relation.Attr("A", nil), relation.Attr("B", nil),
+		relation.Attr("C", nil), relation.Attr("D", nil))
+}
+
+func TestFDImplicationClosure(t *testing.T) {
+	fds := []cc.FD{
+		{Rel: "R", LHS: []string{"A"}, RHS: []string{"B"}},
+		{Rel: "R", LHS: []string{"B"}, RHS: []string{"C"}},
+	}
+	if !cc.FDImplies(fds, cc.FD{Rel: "R", LHS: []string{"A"}, RHS: []string{"C"}}) {
+		t.Fatal("transitivity: A→B, B→C ⊨ A→C")
+	}
+	if cc.FDImplies(fds, cc.FD{Rel: "R", LHS: []string{"C"}, RHS: []string{"A"}}) {
+		t.Fatal("C→A is not implied")
+	}
+	got := cc.FDClosure(fds, "R", []string{"A"})
+	if len(got) != 3 { // A, B, C
+		t.Fatalf("closure(A) = %v", got)
+	}
+}
+
+func TestFDCounterexample(t *testing.T) {
+	sch := prop31Schema()
+	theta := []cc.FD{{Rel: "R", LHS: []string{"A"}, RHS: []string{"B"}}}
+	phi := cc.FD{Rel: "R", LHS: []string{"A"}, RHS: []string{"C"}}
+	wit, err := cc.FDCounterexample(theta, phi, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wit == nil {
+		t.Fatal("Θ ⊭ φ: witness expected")
+	}
+	for _, fd := range theta {
+		ok, _ := fd.Holds(wit)
+		if !ok {
+			t.Fatal("witness must satisfy Θ")
+		}
+	}
+	ok, _ := phi.Holds(wit)
+	if ok {
+		t.Fatal("witness must violate φ")
+	}
+	// Implied FD: no witness.
+	wit2, err := cc.FDCounterexample(theta, cc.FD{Rel: "R", LHS: []string{"A"}, RHS: []string{"B"}}, sch)
+	if err != nil || wit2 != nil {
+		t.Fatal("implied FD must have no witness")
+	}
+}
+
+// Proposition 3.1 iff on FD-only Θ, where the bounded check is exact:
+// I∅ is complete for the violation query iff Θ ⊨ φ.
+func TestProp31GadgetFDOnly(t *testing.T) {
+	sch := prop31Schema()
+	attrs := sch.AttrNames()
+	r := rand.New(rand.NewSource(17))
+	pool := []relation.Value{"0", "1"}
+	for trial := 0; trial < 40; trial++ {
+		var theta []cc.FD
+		for i := 0; i < 1+r.Intn(3); i++ {
+			lhs := []string{attrs[r.Intn(4)]}
+			rhs := []string{attrs[r.Intn(4)]}
+			theta = append(theta, cc.FD{Rel: "R", LHS: lhs, RHS: rhs})
+		}
+		phi := cc.FD{Rel: "R", LHS: []string{attrs[r.Intn(4)]}, RHS: []string{attrs[r.Intn(4)]}}
+		g, err := NewProp31Gadget(sch, theta, nil, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cc.FDImplies(theta, phi)
+		got, err := g.CompleteUpTo(2, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: complete %v, FDImplies %v\nΘ = %v\nφ = %v", trial, got, want, theta, phi)
+		}
+	}
+}
+
+// With an IND in Θ the bounded check still agrees with hand-computed
+// cases: the IND R[B] ⊆ R[A] plus A→B forces chains; on a binary pool
+// two tuples still witness non-implication when present.
+func TestProp31GadgetWithIND(t *testing.T) {
+	sch := prop31Schema()
+	theta := []cc.FD{{Rel: "R", LHS: []string{"A"}, RHS: []string{"B"}}}
+	inds := []cc.IND{{FromRel: "R", FromAttrs: []string{"B"}, ToRel: "R", ToAttrs: []string{"A"}}}
+	phi := cc.FD{Rel: "R", LHS: []string{"A"}, RHS: []string{"C"}}
+	g, err := NewProp31Gadget(sch, theta, inds, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A→C is not implied even with the IND: the Armstrong witness
+	// {(0,0,0,0),(0,0,1,0)} satisfies A→B and B ⊆ A.
+	got, err := g.CompleteUpTo(2, []relation.Value{"0", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("a Θ-satisfying φ-violation of 2 tuples exists")
+	}
+}
+
+func TestProp31GadgetValidation(t *testing.T) {
+	sch := prop31Schema()
+	if _, err := NewProp31Gadget(sch, nil, nil, cc.FD{Rel: "R", LHS: []string{"A"}, RHS: []string{"B", "C"}}); err == nil {
+		t.Fatal("multi-attribute RHS should be rejected")
+	}
+	if _, err := NewProp31Gadget(sch, nil, nil, cc.FD{Rel: "R", LHS: []string{"Z"}, RHS: []string{"B"}}); err == nil {
+		t.Fatal("unknown LHS attribute should be rejected")
+	}
+	if _, err := NewProp31Gadget(sch, nil, nil, cc.FD{Rel: "R", LHS: []string{"A"}, RHS: []string{"Z"}}); err == nil {
+		t.Fatal("unknown RHS attribute should be rejected")
+	}
+}

@@ -1,0 +1,195 @@
+package reduction
+
+import (
+	"fmt"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+	"relcomplete/internal/sat"
+)
+
+// ExistsForallExistsGadget is the shared ∃X ∀Y ∃Z ψ construction of
+// Theorem 4.8 (MINPs), Theorem 6.1 (RCDPv) and Corollary 6.3 (MINPv):
+// schema R = (R01, R¬, R∨, R∧, RX(id, X), Rs(W)), the c-instance
+// holding the Figure 2 relations, the keyed assignment tableau TX with
+// one variable per X variable, and the answer-inspection relation Rs.
+//
+// With Is = {(0), (1)} (Theorem 4.8):
+//
+//	ϕ is false  ⟺  T is a minimal c-instance in RCQs.
+//
+// With Is = {(1)} (Theorem 6.1 / Corollary 6.3):
+//
+//	ϕ is true   ⟺  T ∈ RCQv  ⟺  T is a minimal c-instance in RCQv.
+type ExistsForallExistsGadget struct {
+	QBF     *sat.QBF
+	Bool    *BoolRels
+	RX, Rs  *relation.Schema
+	Problem *core.Problem
+	T       *ctable.CInstance
+}
+
+// NewExistsForallExistsGadget builds the gadget. The QBF must have an
+// ∃∀∃ prefix with non-empty blocks; rsBoth selects Is = {(0), (1)}
+// (Theorem 4.8) versus Is = {(1)} (Theorem 6.1, Corollary 6.3).
+func NewExistsForallExistsGadget(q *sat.QBF, rsBoth bool) (*ExistsForallExistsGadget, error) {
+	if len(q.Blocks) != 3 ||
+		q.Blocks[0].Q != sat.Exists || q.Blocks[1].Q != sat.ForAll || q.Blocks[2].Q != sat.Exists {
+		return nil, fmt.Errorf("reduction: gadget needs an ∃*∀*∃* prefix, got %v", q.Blocks)
+	}
+	nX := q.Blocks[0].To - q.Blocks[0].From + 1
+	nY := q.Blocks[1].To - q.Blocks[1].From + 1
+	nZ := q.Blocks[2].To - q.Blocks[2].From + 1
+	if nX == 0 || nY == 0 || nZ == 0 {
+		return nil, fmt.Errorf("reduction: all three blocks must be non-empty")
+	}
+	b := NewBoolRels()
+
+	// RX(id, X): id ranges over the finite domain {1..nX} (the paper
+	// uses an abstract domain plus a key CC; the finite domain removes
+	// only query-neutral extensions and keeps the key CC below).
+	ids := make([]relation.Value, nX)
+	for i := range ids {
+		ids[i] = relation.Value(fmt.Sprintf("%d", i+1))
+	}
+	rx := relation.MustSchema("RX",
+		relation.Attr("id", relation.Finite("id", ids...)),
+		relation.Attr("X", relation.Bool()))
+	rs := relation.MustSchema("Rs", relation.Attr("W", relation.Bool()))
+
+	dataSchema := relation.MustDBSchema(append(b.DataSchemas(), rx, rs)...)
+	masterSchema := relation.MustDBSchema(b.MasterSchemas()...)
+	dm := relation.NewDatabase(masterSchema)
+	b.PopulateMaster(dm)
+
+	v := cc.NewSet(b.ContainmentCCs()...)
+	v.Add(cc.MustFullContainment("fix_Rs", rs, b.M01))
+	// ∃id RX(id, x) ⊆ Rm(0,1)(x).
+	v.Add(cc.Must("assign01",
+		query.MustQuery("qa", []query.Term{query.V("x")},
+			query.Ex([]string{"i"}, query.NewAtom(rx.Name, query.V("i"), query.V("x")))),
+		query.MustQuery("pa", []query.Term{query.V("x")}, query.NewAtom(b.M01.Name, query.V("x")))))
+	// qid(i) := ∃x, x' RX(i, x) ∧ RX(i, x') ∧ x ≠ x' ⊆ Rm∅: id is a key.
+	v.Add(cc.Must("key_id",
+		query.MustQuery("qk", []query.Term{query.V("i")},
+			query.Ex([]string{"x", "xp"}, query.Conj(
+				query.NewAtom(rx.Name, query.V("i"), query.V("x")),
+				query.NewAtom(rx.Name, query.V("i"), query.V("xp")),
+				query.NeqT(query.V("x"), query.V("xp"))))),
+		query.MustQuery("pk", []query.Term{query.V("w")}, query.NewAtom(b.Mempty.Name, query.V("w")))))
+
+	qry, err := efeQuery(b, rx, rs, q)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewProblem(dataSchema, core.CalcQuery(qry), dm, v, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	t := ctable.NewCInstance(dataSchema)
+	b.PopulateData(t)
+	for i := 0; i < nX; i++ {
+		t.MustAddRow(rx.Name, ctable.Row{Terms: []query.Term{
+			query.C(ids[i]), query.V(fmt.Sprintf("x%d", i+1)),
+		}})
+	}
+	t.MustAddRow(rs.Name, ctable.Row{Terms: []query.Term{query.C("1")}})
+	if rsBoth {
+		t.MustAddRow(rs.Name, ctable.Row{Terms: []query.Term{query.C("0")}})
+	}
+
+	return &ExistsForallExistsGadget{QBF: q, Bool: b, RX: rx, Rs: rs, Problem: p, T: t}, nil
+}
+
+// efeQuery builds the Theorem 4.8 query
+//
+//	Q(y⃗) = ∃x⃗, z⃗ (QX(x⃗) ∧ QY(y⃗) ∧ QZ(z⃗) ∧ Qψ(x⃗, y⃗, z⃗, w) ∧ Rs(w) ∧ Qall)
+func efeQuery(b *BoolRels, rx, rs *relation.Schema, q *sat.QBF) (*query.Query, error) {
+	nX := q.Blocks[0].To - q.Blocks[0].From + 1
+	nY := q.Blocks[1].To - q.Blocks[1].From + 1
+
+	varName := func(v int) string {
+		switch {
+		case v <= q.Blocks[0].To:
+			return fmt.Sprintf("x%d", v)
+		case v <= q.Blocks[1].To:
+			return fmt.Sprintf("y%d", v-nX)
+		default:
+			return fmt.Sprintf("z%d", v-nX-nY)
+		}
+	}
+	var kids []query.Formula
+	// QX: ⋀i RX(i, xi).
+	for i := 1; i <= nX; i++ {
+		kids = append(kids, query.NewAtom(rx.Name,
+			query.C(relation.Value(fmt.Sprintf("%d", i))), query.V(fmt.Sprintf("x%d", i))))
+	}
+	// QY, QZ: assignment atoms.
+	var yNames, zNames []string
+	for i := 1; i <= nY; i++ {
+		yNames = append(yNames, fmt.Sprintf("y%d", i))
+	}
+	for v := q.Blocks[2].From; v <= q.Blocks[2].To; v++ {
+		zNames = append(zNames, varName(v))
+	}
+	kids = append(kids, b.AssignmentAtoms(yNames)...)
+	kids = append(kids, b.AssignmentAtoms(zNames)...)
+	// Qψ with output inspected through Rs.
+	atoms, w, err := EncodeCNF(b, q.Matrix, func(v int) query.Term { return query.V(varName(v)) }, "e_")
+	if err != nil {
+		return nil, err
+	}
+	kids = append(kids, atoms...)
+	kids = append(kids, query.NewAtom(rs.Name, query.V(w)))
+	// Qall: every Figure 2 tuple and Rs(1) must be present.
+	kids = append(kids, allTuplesAtoms(b)...)
+	kids = append(kids, query.NewAtom(rs.Name, query.C("1")))
+
+	head := make([]query.Term, nY)
+	for i := range head {
+		head[i] = query.V(yNames[i])
+	}
+	return query.NewQuery("Qefe", head, query.Conj(kids...))
+}
+
+// allTuplesAtoms asserts the presence of every Figure 2 tuple (the
+// paper's Qall components Q(0,1), Q¬, Q∨, Q∧).
+func allTuplesAtoms(b *BoolRels) []query.Formula {
+	var out []query.Formula
+	add := func(rel string, tuples []relation.Tuple) {
+		for _, t := range tuples {
+			terms := make([]query.Term, len(t))
+			for i, v := range t {
+				terms[i] = query.C(v)
+			}
+			out = append(out, query.NewAtom(rel, terms...))
+		}
+	}
+	add(b.R01.Name, boolTuples())
+	add(b.Rneg.Name, negTuples())
+	add(b.Ror.Name, orTuples())
+	add(b.Rand.Name, andTuples())
+	return out
+}
+
+// MINPStrongHolds decides MINPs(T). Per Theorem 4.8 (rsBoth = true):
+// true iff the QBF is FALSE.
+func (g *ExistsForallExistsGadget) MINPStrongHolds() (bool, error) {
+	return g.Problem.MINP(g.T, core.Strong)
+}
+
+// RCDPViableHolds decides RCDPv(T). Per Theorem 6.1 (rsBoth = false):
+// true iff the QBF is TRUE.
+func (g *ExistsForallExistsGadget) RCDPViableHolds() (bool, error) {
+	return g.Problem.RCDP(g.T, core.Viable)
+}
+
+// MINPViableHolds decides MINPv(T). Per Corollary 6.3 (rsBoth =
+// false): true iff the QBF is TRUE.
+func (g *ExistsForallExistsGadget) MINPViableHolds() (bool, error) {
+	return g.Problem.MINP(g.T, core.Viable)
+}

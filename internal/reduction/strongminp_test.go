@@ -1,0 +1,174 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"relcomplete/internal/sat"
+)
+
+func randomEFE(r *rand.Rand, nX, nY, nZ, clauses int) *sat.QBF {
+	total := nX + nY + nZ
+	var cls []sat.Clause
+	for i := 0; i < clauses; i++ {
+		c := make(sat.Clause, 3)
+		for j := range c {
+			v := r.Intn(total) + 1
+			if r.Intn(2) == 0 {
+				c[j] = sat.Literal(v)
+			} else {
+				c[j] = sat.Literal(-v)
+			}
+		}
+		cls = append(cls, c)
+	}
+	q, err := sat.ExistsForallExists(nX, nY, nZ, cls)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func TestEFEGadgetValidation(t *testing.T) {
+	m := &sat.CNF{Vars: 1, Clauses: []sat.Clause{{1}}}
+	q := sat.MustQBF(m, sat.Block{Q: sat.ForAll, From: 1, To: 1})
+	if _, err := NewExistsForallExistsGadget(q, true); err == nil {
+		t.Fatal("wrong prefix should be rejected")
+	}
+	empty := sat.MustQBF(&sat.CNF{Vars: 2, Clauses: []sat.Clause{{1, 2}}},
+		sat.Block{Q: sat.Exists, From: 1, To: 1},
+		sat.Block{Q: sat.ForAll, From: 2, To: 1},
+		sat.Block{Q: sat.Exists, From: 2, To: 2})
+	if _, err := NewExistsForallExistsGadget(empty, true); err == nil {
+		t.Fatal("empty ∀ block should be rejected")
+	}
+}
+
+// Theorem 4.8: ϕ false ⟺ T minimal strongly complete.
+func TestMINPStrongGadgetKnown(t *testing.T) {
+	// ∃x ∀y ∃z: (x) ∧ (y ∨ z) ∧ (¬y ∨ ¬z) — true (x=1, z=¬y).
+	qTrue, _ := sat.ExistsForallExists(1, 1, 1, []sat.Clause{{1}, {2, 3}, {-2, -3}})
+	if !qTrue.Eval() {
+		t.Fatal("oracle: should be true")
+	}
+	g, err := NewExistsForallExistsGadget(qTrue, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.MINPStrongHolds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("true QBF: T must NOT be minimal (Theorem 4.8)")
+	}
+
+	// ∃x ∀y ∃z: (x) ∧ (y) — false (y = 0 refutes for every x).
+	qFalse, _ := sat.ExistsForallExists(1, 1, 1, []sat.Clause{{1}, {2}, {3, -3}})
+	if qFalse.Eval() {
+		t.Fatal("oracle: should be false")
+	}
+	g2, err := NewExistsForallExistsGadget(qFalse, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = g2.MINPStrongHolds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("false QBF: T must be minimal (Theorem 4.8)")
+	}
+}
+
+func TestMINPStrongGadgetRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exponential decider on reduction gadgets")
+	}
+	r := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 6; trial++ {
+		q := randomEFE(r, 1, 1, 1, 2+r.Intn(2))
+		g, err := NewExistsForallExistsGadget(q, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := !q.Eval()
+		got, err := g.MINPStrongHolds()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: MINPs %v, oracle(¬ϕ) %v for %s", trial, got, want, q)
+		}
+	}
+}
+
+// Theorem 6.1: ϕ true ⟺ T viably complete (Is = {(1)}).
+func TestRCDPViableGadgetKnown(t *testing.T) {
+	qTrue, _ := sat.ExistsForallExists(1, 1, 1, []sat.Clause{{1}, {2, 3}, {-2, -3}})
+	g, err := NewExistsForallExistsGadget(qTrue, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.RCDPViableHolds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("true QBF: T must be viably complete (Theorem 6.1)")
+	}
+
+	qFalse, _ := sat.ExistsForallExists(1, 1, 1, []sat.Clause{{1}, {2}, {3, -3}})
+	g2, _ := NewExistsForallExistsGadget(qFalse, false)
+	ok, err = g2.RCDPViableHolds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("false QBF: T must not be viably complete (Theorem 6.1)")
+	}
+}
+
+func TestRCDPViableGadgetRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exponential decider on reduction gadgets")
+	}
+	r := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 6; trial++ {
+		q := randomEFE(r, 1, 1, 1, 2+r.Intn(2))
+		g, err := NewExistsForallExistsGadget(q, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := q.Eval()
+		got, err := g.RCDPViableHolds()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: RCDPv %v, oracle(ϕ) %v for %s", trial, got, want, q)
+		}
+	}
+}
+
+// Corollary 6.3: ϕ true ⟺ T minimal viably complete (Is = {(1)}).
+func TestMINPViableGadgetKnown(t *testing.T) {
+	qTrue, _ := sat.ExistsForallExists(1, 1, 1, []sat.Clause{{1}, {2, 3}, {-2, -3}})
+	g, _ := NewExistsForallExistsGadget(qTrue, false)
+	ok, err := g.MINPViableHolds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("true QBF: T must be minimal viably complete (Corollary 6.3)")
+	}
+	qFalse, _ := sat.ExistsForallExists(1, 1, 1, []sat.Clause{{1}, {2}, {3, -3}})
+	g2, _ := NewExistsForallExistsGadget(qFalse, false)
+	ok, err = g2.MINPViableHolds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("false QBF: T must not be minimal viably complete (Corollary 6.3)")
+	}
+}

@@ -1,0 +1,155 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"relcomplete/internal/sat"
+)
+
+// Theorem 5.1(3): ϕ true ⟺ I not weakly complete.
+func TestWeakRCDPGadgetKnown(t *testing.T) {
+	qTrue, _ := sat.ExistsForallExists(1, 1, 1, []sat.Clause{{1}, {2, 3}, {-2, -3}})
+	g, err := NewWeakRCDPGadget(qTrue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.WeaklyComplete()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("true QBF: I must NOT be weakly complete (Theorem 5.1(3))")
+	}
+
+	qFalse, _ := sat.ExistsForallExists(1, 1, 1, []sat.Clause{{1}, {2}, {3, -3}})
+	g2, err := NewWeakRCDPGadget(qFalse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = g2.WeaklyComplete()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("false QBF: I must be weakly complete (Theorem 5.1(3))")
+	}
+}
+
+func TestWeakRCDPGadgetRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exponential decider on reduction gadgets")
+	}
+	r := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 8; trial++ {
+		q := randomEFE(r, 1+r.Intn(2), 1, 1, 2+r.Intn(2))
+		g, err := NewWeakRCDPGadget(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := !q.Eval()
+		got, err := g.WeaklyComplete()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: RCDPw %v, oracle(¬ϕ) %v for %s", trial, got, want, q)
+		}
+	}
+}
+
+func TestWeakRCDPGadgetValidation(t *testing.T) {
+	m := &sat.CNF{Vars: 1, Clauses: []sat.Clause{{1}}}
+	q := sat.MustQBF(m, sat.Block{Q: sat.Exists, From: 1, To: 1})
+	if _, err := NewWeakRCDPGadget(q); err == nil {
+		t.Fatal("wrong prefix should be rejected")
+	}
+}
+
+// Theorem 5.6(4): ∅ minimal weakly complete ⟺ ¬SAT-UNSAT.
+func TestWeakMINPGadgetKnown(t *testing.T) {
+	satF := &sat.CNF{Vars: 2, Clauses: []sat.Clause{{1, 2, 2}}}
+	unsatF := &sat.CNF{Vars: 2, Clauses: []sat.Clause{{1, 1, 1}, {-1, -1, -1}}}
+
+	cases := []struct {
+		inst sat.SATUNSAT
+		want bool // expected MINPw(∅)
+	}{
+		{sat.SATUNSAT{Phi: satF, Psi: unsatF}, false},  // yes-instance
+		{sat.SATUNSAT{Phi: satF, Psi: satF}, true},     // ϕ' satisfiable
+		{sat.SATUNSAT{Phi: unsatF, Psi: unsatF}, true}, // ϕ unsatisfiable
+		{sat.SATUNSAT{Phi: unsatF, Psi: satF}, true},
+	}
+	for i, c := range cases {
+		g, err := NewWeakMINPGadget(c.inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.MinimalWeaklyComplete()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("case %d: MINPw(∅) = %v, want %v (oracle SAT-UNSAT = %v)",
+				i, got, c.want, c.inst.Eval())
+		}
+		if got == c.inst.Eval() {
+			t.Fatalf("case %d: MINPw(∅) must be the complement of SAT-UNSAT", i)
+		}
+	}
+}
+
+func TestWeakMINPGadgetRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exponential decider on reduction gadgets")
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		inst := sat.SATUNSAT{
+			Phi: sat.RandomCNF(2, 2+int(seed%3), seed),
+			Psi: sat.RandomCNF(2, 2+int(seed%4), seed+100),
+		}
+		g, err := NewWeakMINPGadget(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := !inst.Eval()
+		got, err := g.MinimalWeaklyComplete()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: MINPw(∅) %v, oracle(¬SAT-UNSAT) %v\nϕ: %s\nϕ': %s",
+				seed, got, want, inst.Phi, inst.Psi)
+		}
+	}
+}
+
+func TestWeakMINPGadgetValidation(t *testing.T) {
+	if _, err := NewWeakMINPGadget(sat.SATUNSAT{}); err == nil {
+		t.Fatal("nil CNFs should be rejected")
+	}
+	bad := &sat.CNF{Vars: 1, Clauses: []sat.Clause{{}}}
+	good := &sat.CNF{Vars: 1, Clauses: []sat.Clause{{1}}}
+	if _, err := NewWeakMINPGadget(sat.SATUNSAT{Phi: bad, Psi: good}); err == nil {
+		t.Fatal("invalid CNF should be rejected")
+	}
+}
+
+// A tautological clause (x ∨ ¬x ∨ x) has no falsifying assignment and
+// must be dropped, not mis-encoded.
+func TestWeakMINPGadgetTautologicalClause(t *testing.T) {
+	phi := &sat.CNF{Vars: 1, Clauses: []sat.Clause{{1, -1, 1}}} // tautology: satisfiable
+	psi := &sat.CNF{Vars: 1, Clauses: []sat.Clause{{1, 1, 1}, {-1, -1, -1}}}
+	g, err := NewWeakMINPGadget(sat.SATUNSAT{Phi: phi, Psi: psi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ϕ sat ∧ ϕ' unsat → yes-instance → ∅ not minimal weakly complete.
+	got, err := g.MinimalWeaklyComplete()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("yes-instance: ∅ must not be minimal weakly complete")
+	}
+}

@@ -1,0 +1,154 @@
+package reduction
+
+import (
+	"fmt"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+	"relcomplete/internal/sat"
+)
+
+// WeakMINPGadget is the Theorem 5.6(4) construction reducing the
+// DP-complete SAT-UNSAT problem to MINPw(CQ): a single relation
+// R(X1..Xn, X'1..Xn', Y), the empty instance I, master data (Rm(0,1)
+// and Rm∅) and CCs such that a single tuple t may enter a partially
+// closed instance only when its X columns satisfy ϕ and, whenever
+// t[Y] = 1, its X' columns satisfy ϕ'; the query is πY(R). Then
+//
+//	I = ∅ is a minimal weakly complete instance ⟺ NOT (ϕ sat ∧ ϕ' unsat).
+type WeakMINPGadget struct {
+	Instance *sat.SATUNSAT
+	R        *relation.Schema
+	Problem  *core.Problem
+	I        *ctable.CInstance // the empty instance
+}
+
+// NewWeakMINPGadget builds the gadget. Both CNFs must be non-empty;
+// tautological clauses (a variable and its negation) are dropped, as
+// they induce no falsifying assignment.
+func NewWeakMINPGadget(inst sat.SATUNSAT) (*WeakMINPGadget, error) {
+	if inst.Phi == nil || inst.Psi == nil || inst.Phi.Vars == 0 || inst.Psi.Vars == 0 {
+		return nil, fmt.Errorf("reduction: SAT-UNSAT gadget needs two non-trivial CNFs")
+	}
+	if err := inst.Phi.Validate(); err != nil {
+		return nil, err
+	}
+	if err := inst.Psi.Validate(); err != nil {
+		return nil, err
+	}
+	n, n2 := inst.Phi.Vars, inst.Psi.Vars
+
+	attrs := make([]relation.Attribute, 0, n+n2+1)
+	for i := 1; i <= n; i++ {
+		attrs = append(attrs, relation.Attr(fmt.Sprintf("X%d", i), relation.Bool()))
+	}
+	for i := 1; i <= n2; i++ {
+		attrs = append(attrs, relation.Attr(fmt.Sprintf("XP%d", i), relation.Bool()))
+	}
+	attrs = append(attrs, relation.Attr("Y", relation.Bool()))
+	r := relation.MustSchema("R", attrs...)
+	arity := r.Arity()
+	yPos := arity - 1
+
+	dataSchema := relation.MustDBSchema(r)
+	masterSchema := relation.MustDBSchema(
+		relation.MustSchema("M01", relation.Attr("X", relation.Bool())),
+		relation.MustSchema("Mempty", relation.Attr("W", nil)),
+	)
+	dm := relation.NewDatabase(masterSchema)
+	dm.MustInsert("M01", relation.T("0"))
+	dm.MustInsert("M01", relation.T("1"))
+
+	v := cc.NewSet()
+	// (i) Every column draws from {0, 1}.
+	for i := 0; i < arity; i++ {
+		terms := make([]query.Term, arity)
+		for j := range terms {
+			terms[j] = query.V(fmt.Sprintf("v%d", j))
+		}
+		v.Add(cc.Must(fmt.Sprintf("col01_%d", i),
+			query.MustQuery("q", []query.Term{terms[i]}, query.NewAtom(r.Name, terms...)),
+			query.MustQuery("p", []query.Term{query.V("x")}, query.NewAtom("M01", query.V("x")))))
+	}
+	// (ii) Per clause of ϕ: the falsifying selection over the X
+	// columns must be empty.
+	addDenials := func(f *sat.CNF, offset int, pinY bool, label string) error {
+		for ci, clause := range f.Clauses {
+			pin := map[int]relation.Value{}
+			tautological := false
+			for _, lit := range clause {
+				// The clause is false when every literal is false.
+				want := relation.Value("0")
+				if !lit.Positive() {
+					want = "1"
+				}
+				pos := offset + lit.Var() - 1
+				if prev, ok := pin[pos]; ok && prev != want {
+					tautological = true
+					break
+				}
+				pin[pos] = want
+			}
+			if tautological {
+				continue
+			}
+			if pinY {
+				pin[yPos] = "1"
+			}
+			terms := make([]query.Term, arity)
+			var exVars []string
+			for j := range terms {
+				if val, ok := pin[j]; ok {
+					terms[j] = query.C(val)
+				} else {
+					name := fmt.Sprintf("u%d", j)
+					terms[j] = query.V(name)
+					exVars = append(exVars, name)
+				}
+			}
+			left := query.MustQuery("q", nil,
+				query.Ex(exVars, query.NewAtom(r.Name, terms...)))
+			right := query.MustQuery("p", nil,
+				query.Ex([]string{"w"}, query.NewAtom("Mempty", query.V("w"))))
+			cst, err := cc.New(fmt.Sprintf("%s_clause%d", label, ci), left, right)
+			if err != nil {
+				return err
+			}
+			v.Add(cst)
+		}
+		return nil
+	}
+	if err := addDenials(inst.Phi, 0, false, "phi"); err != nil {
+		return nil, err
+	}
+	if err := addDenials(inst.Psi, n, true, "psi"); err != nil {
+		return nil, err
+	}
+
+	// Q(y) := πY(R).
+	terms := make([]query.Term, arity)
+	var exVars []string
+	for j := 0; j < arity-1; j++ {
+		name := fmt.Sprintf("h%d", j)
+		terms[j] = query.V(name)
+		exVars = append(exVars, name)
+	}
+	terms[yPos] = query.V("y")
+	qry := query.MustQuery("Qy", []query.Term{query.V("y")},
+		query.Ex(exVars, query.NewAtom(r.Name, terms...)))
+
+	p, err := core.NewProblem(dataSchema, core.CalcQuery(qry), dm, v, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &WeakMINPGadget{Instance: &inst, R: r, Problem: p, I: ctable.NewCInstance(dataSchema)}, nil
+}
+
+// MinimalWeaklyComplete decides MINPw(∅). Per Theorem 5.6(4): true iff
+// the SAT-UNSAT instance is a NO-instance (ϕ unsat or ϕ' sat).
+func (g *WeakMINPGadget) MinimalWeaklyComplete() (bool, error) {
+	return g.Problem.MINP(g.I, core.Weak)
+}

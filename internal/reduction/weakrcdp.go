@@ -1,0 +1,141 @@
+package reduction
+
+import (
+	"fmt"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+	"relcomplete/internal/sat"
+)
+
+// WeakRCDPGadget is the Theorem 5.1(3) construction: from ∃X ∀Y ∃Z ψ
+// it builds schema R = (R01, R¬, R∨, R∧, RY(Y1..Ym)), the ground
+// instance I holding the Figure 2 relations with RY empty, master data
+// and CCs forcing every partially closed extension of I to store
+// exactly one truth assignment of Y, and the CQ
+//
+//	Q(x⃗) = ∃y⃗, z⃗ (QX(x⃗) ∧ RY(y⃗) ∧ QZ(z⃗) ∧ Qψ(x⃗, y⃗, z⃗, w) ∧ w = 1)
+//
+// such that   ϕ is true  ⟺  I is NOT weakly complete.
+type WeakRCDPGadget struct {
+	QBF     *sat.QBF
+	Bool    *BoolRels
+	RY      *relation.Schema
+	Problem *core.Problem
+	I       *ctable.CInstance // ground instance (as a c-instance)
+}
+
+// NewWeakRCDPGadget builds the gadget from an ∃∀∃ QBF with non-empty
+// blocks.
+func NewWeakRCDPGadget(q *sat.QBF) (*WeakRCDPGadget, error) {
+	if len(q.Blocks) != 3 ||
+		q.Blocks[0].Q != sat.Exists || q.Blocks[1].Q != sat.ForAll || q.Blocks[2].Q != sat.Exists {
+		return nil, fmt.Errorf("reduction: weak RCDP gadget needs an ∃*∀*∃* prefix, got %v", q.Blocks)
+	}
+	nX := q.Blocks[0].To - q.Blocks[0].From + 1
+	nY := q.Blocks[1].To - q.Blocks[1].From + 1
+	nZ := q.Blocks[2].To - q.Blocks[2].From + 1
+	if nX == 0 || nY == 0 || nZ == 0 {
+		return nil, fmt.Errorf("reduction: all three blocks must be non-empty")
+	}
+	b := NewBoolRels()
+
+	attrs := make([]relation.Attribute, nY)
+	for i := range attrs {
+		attrs[i] = relation.Attr(fmt.Sprintf("Y%d", i+1), relation.Bool())
+	}
+	ry := relation.MustSchema("RY", attrs...)
+
+	dataSchema := relation.MustDBSchema(append(b.DataSchemas(), ry)...)
+	// Master: Figure 2 copies, the empty unary Rm∅ and the empty binary
+	// Rm∅2 used by the singleton constraint.
+	mempty2 := relation.MustSchema("Mempty2", relation.Attr("W", nil), relation.Attr("W2", nil))
+	masterSchema := relation.MustDBSchema(append(b.MasterSchemas(), mempty2)...)
+	dm := relation.NewDatabase(masterSchema)
+	b.PopulateMaster(dm)
+
+	v := cc.NewSet(b.ContainmentCCs()...)
+	// φi: ∃ other columns RY(y1..ym) ⊆ R(0,1)(yi).
+	for i := 0; i < nY; i++ {
+		terms := make([]query.Term, nY)
+		for j := range terms {
+			terms[j] = query.V(fmt.Sprintf("y%d", j+1))
+		}
+		v.Add(cc.Must(fmt.Sprintf("y01_%d", i+1),
+			query.MustQuery("q", []query.Term{terms[i]}, query.NewAtom(ry.Name, terms...)),
+			query.MustQuery("p", []query.Term{query.V("y")}, query.NewAtom(b.M01.Name, query.V("y")))))
+	}
+	// φ'i: two RY rows differing at column i ⊆ Rm∅2 — RY is a
+	// singleton in every partially closed instance.
+	for i := 0; i < nY; i++ {
+		t1 := make([]query.Term, nY)
+		t2 := make([]query.Term, nY)
+		for j := range t1 {
+			t1[j] = query.V(fmt.Sprintf("a%d", j+1))
+			t2[j] = query.V(fmt.Sprintf("b%d", j+1))
+		}
+		v.Add(cc.Must(fmt.Sprintf("ysingle_%d", i+1),
+			query.MustQuery("q", []query.Term{t1[i], t2[i]},
+				query.Conj(query.NewAtom(ry.Name, t1...), query.NewAtom(ry.Name, t2...),
+					query.NeqT(t1[i], t2[i]))),
+			query.MustQuery("p", []query.Term{query.V("w"), query.V("w2")},
+				query.NewAtom(mempty2.Name, query.V("w"), query.V("w2")))))
+	}
+
+	// The query.
+	varName := func(v int) string {
+		switch {
+		case v <= q.Blocks[0].To:
+			return fmt.Sprintf("x%d", v)
+		case v <= q.Blocks[1].To:
+			return fmt.Sprintf("y%d", v-nX)
+		default:
+			return fmt.Sprintf("z%d", v-nX-nY)
+		}
+	}
+	var kids []query.Formula
+	var xNames, zNames []string
+	for i := 1; i <= nX; i++ {
+		xNames = append(xNames, fmt.Sprintf("x%d", i))
+	}
+	for i := 1; i <= nZ; i++ {
+		zNames = append(zNames, fmt.Sprintf("z%d", i))
+	}
+	kids = append(kids, b.AssignmentAtoms(xNames)...)
+	yTerms := make([]query.Term, nY)
+	for i := range yTerms {
+		yTerms[i] = query.V(fmt.Sprintf("y%d", i+1))
+	}
+	kids = append(kids, query.NewAtom(ry.Name, yTerms...))
+	kids = append(kids, b.AssignmentAtoms(zNames)...)
+	atoms, err := EncodeCNFValue(b, q.Matrix, func(v int) query.Term { return query.V(varName(v)) }, "e_", "1")
+	if err != nil {
+		return nil, err
+	}
+	kids = append(kids, atoms...)
+	head := make([]query.Term, nX)
+	for i := range head {
+		head[i] = query.V(xNames[i])
+	}
+	qry, err := query.NewQuery("Qweak", head, query.Conj(kids...))
+	if err != nil {
+		return nil, err
+	}
+
+	p, err := core.NewProblem(dataSchema, core.CalcQuery(qry), dm, v, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	inst := ctable.NewCInstance(dataSchema)
+	b.PopulateData(inst) // RY stays empty
+	return &WeakRCDPGadget{QBF: q, Bool: b, RY: ry, Problem: p, I: inst}, nil
+}
+
+// WeaklyComplete decides RCDPw(I). Per Theorem 5.1(3): true iff the
+// QBF is FALSE.
+func (g *WeakRCDPGadget) WeaklyComplete() (bool, error) {
+	return g.Problem.RCDP(g.I, core.Weak)
+}

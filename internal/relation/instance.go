@@ -1,0 +1,269 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is a row of constants; position i belongs to attribute i of the
+// owning schema.
+type Tuple []Value
+
+// Key encodes the tuple as a collision-free string, used for set
+// membership. Values are length-prefixed so no separator can collide.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t {
+		fmt.Fprintf(&b, "%d:", len(v))
+		b.WriteString(string(v))
+	}
+	return b.String()
+}
+
+// Equal reports component-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Compare orders tuples lexicographically (shorter first on prefix tie).
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := CompareValues(t[i], u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// String renders the tuple as (a, b, c).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = string(v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// T builds a tuple from string literals; convenience for tests and
+// reductions.
+func T(vals ...Value) Tuple { return Tuple(vals) }
+
+// Instance is a set-semantics instance of a single relation schema.
+// Iteration order is insertion order, which makes every derived
+// computation deterministic.
+type Instance struct {
+	schema *Schema
+	rows   []Tuple
+	seen   map[string]int // tuple key -> index in rows
+}
+
+// NewInstance returns an empty instance of the given schema.
+func NewInstance(schema *Schema) *Instance {
+	return &Instance{schema: schema, seen: make(map[string]int)}
+}
+
+// InstanceOf builds an instance of schema containing the given tuples;
+// it returns an error if a tuple does not fit the schema.
+func InstanceOf(schema *Schema, tuples ...Tuple) (*Instance, error) {
+	inst := NewInstance(schema)
+	for _, t := range tuples {
+		if err := inst.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return inst, nil
+}
+
+// MustInstance is InstanceOf that panics on error.
+func MustInstance(schema *Schema, tuples ...Tuple) *Instance {
+	inst, err := InstanceOf(schema, tuples...)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// Schema returns the instance's relation schema.
+func (in *Instance) Schema() *Schema { return in.schema }
+
+// Len returns the number of tuples.
+func (in *Instance) Len() int {
+	if in == nil {
+		return 0
+	}
+	return len(in.rows)
+}
+
+// IsEmpty reports whether the instance has no tuples.
+func (in *Instance) IsEmpty() bool { return in.Len() == 0 }
+
+// Insert adds t (validated against the schema); duplicates are ignored.
+func (in *Instance) Insert(t Tuple) error {
+	if !in.schema.Admits(t) {
+		return fmt.Errorf("relation: tuple %v does not fit schema %s", t, in.schema)
+	}
+	in.insertUnchecked(t)
+	return nil
+}
+
+// MustInsert is Insert that panics on error.
+func (in *Instance) MustInsert(t Tuple) {
+	if err := in.Insert(t); err != nil {
+		panic(err)
+	}
+}
+
+func (in *Instance) insertUnchecked(t Tuple) bool {
+	k := t.Key()
+	if _, ok := in.seen[k]; ok {
+		return false
+	}
+	in.seen[k] = len(in.rows)
+	in.rows = append(in.rows, t.Clone())
+	return true
+}
+
+// Contains reports whether the instance holds t.
+func (in *Instance) Contains(t Tuple) bool {
+	if in == nil {
+		return false
+	}
+	_, ok := in.seen[t.Key()]
+	return ok
+}
+
+// Tuples returns the tuples in insertion order. The returned slice is
+// shared with the instance; callers must not mutate it.
+func (in *Instance) Tuples() []Tuple {
+	if in == nil {
+		return nil
+	}
+	return in.rows
+}
+
+// Clone returns an independent copy.
+func (in *Instance) Clone() *Instance {
+	c := NewInstance(in.schema)
+	for _, t := range in.rows {
+		c.insertUnchecked(t)
+	}
+	return c
+}
+
+// Union returns a new instance holding the tuples of both operands.
+func (in *Instance) Union(other *Instance) *Instance {
+	c := in.Clone()
+	if other != nil {
+		for _, t := range other.rows {
+			c.insertUnchecked(t)
+		}
+	}
+	return c
+}
+
+// WithTuple returns a copy of the instance with t added.
+func (in *Instance) WithTuple(t Tuple) *Instance {
+	c := in.Clone()
+	c.insertUnchecked(t)
+	return c
+}
+
+// WithoutTuple returns a copy of the instance with t removed.
+func (in *Instance) WithoutTuple(t Tuple) *Instance {
+	c := NewInstance(in.schema)
+	k := t.Key()
+	for _, u := range in.rows {
+		if u.Key() != k {
+			c.insertUnchecked(u)
+		}
+	}
+	return c
+}
+
+// SubsetOf reports in ⊆ other.
+func (in *Instance) SubsetOf(other *Instance) bool {
+	if in == nil {
+		return true
+	}
+	for _, t := range in.rows {
+		if !other.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality with other.
+func (in *Instance) Equal(other *Instance) bool {
+	return in.Len() == other.Len() && in.SubsetOf(other)
+}
+
+// ProperSubsetOf reports in ⊊ other.
+func (in *Instance) ProperSubsetOf(other *Instance) bool {
+	return in.Len() < other.Len() && in.SubsetOf(other)
+}
+
+// ActiveDomain collects every constant appearing in the instance into dst
+// (allocating it when nil) and returns dst.
+func (in *Instance) ActiveDomain(dst *ValueSet) *ValueSet {
+	if dst == nil {
+		dst = NewValueSet()
+	}
+	if in == nil {
+		return dst
+	}
+	for _, t := range in.rows {
+		for _, v := range t {
+			dst.Add(v)
+		}
+	}
+	return dst
+}
+
+// Sorted returns the tuples in lexicographic order (a fresh slice).
+func (in *Instance) Sorted() []Tuple {
+	out := make([]Tuple, len(in.rows))
+	copy(out, in.rows)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Compare(out[j-1]) < 0; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// String renders the instance deterministically.
+func (in *Instance) String() string {
+	var b strings.Builder
+	b.WriteString(in.schema.Name)
+	b.WriteByte('{')
+	for i, t := range in.Sorted() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMergerRoundTrip(t *testing.T) {
+	sch := MustDBSchema(
+		MustSchema("R", Attr("A", nil), Attr("B", nil), Attr("C", nil)),
+		MustSchema("S", Attr("X", nil)),
+	)
+	m, err := NewMerger(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Merged().Arity() != 4 { // tag + max arity 3
+		t.Fatalf("merged arity = %d", m.Merged().Arity())
+	}
+
+	db := NewDatabase(sch)
+	db.MustInsert("R", T("1", "2", "3"))
+	db.MustInsert("S", T("x"))
+
+	enc, err := m.Encode(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Len() != 2 {
+		t.Fatalf("encoded Len = %d", enc.Len())
+	}
+	dec, err := m.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(db) {
+		t.Fatalf("round trip mismatch: %v vs %v", dec, db)
+	}
+}
+
+func TestMergerPadWidth(t *testing.T) {
+	sch := MustDBSchema(
+		MustSchema("R", Attr("A", nil), Attr("B", nil)),
+		MustSchema("S", Attr("X", nil)),
+	)
+	m, _ := NewMerger(sch)
+	if w, _ := m.PadWidth("R"); w != 0 {
+		t.Fatalf("PadWidth(R) = %d", w)
+	}
+	if w, _ := m.PadWidth("S"); w != 1 {
+		t.Fatalf("PadWidth(S) = %d", w)
+	}
+	if _, err := m.PadWidth("nope"); err == nil {
+		t.Fatal("unknown relation should fail")
+	}
+}
+
+func TestMergerRejectsPadConstant(t *testing.T) {
+	sch := MustDBSchema(MustSchema("R", Attr("A", nil)))
+	m, _ := NewMerger(sch)
+	if _, err := m.EncodeTuple("R", T(Pad)); err == nil {
+		t.Fatal("pad constant in source data should be rejected")
+	}
+}
+
+func TestMergerDecodeValidation(t *testing.T) {
+	sch := MustDBSchema(
+		MustSchema("R", Attr("A", nil), Attr("B", nil)),
+		MustSchema("S", Attr("X", nil)),
+	)
+	m, _ := NewMerger(sch)
+	if _, _, err := m.DecodeTuple(T("R", "1")); err == nil {
+		t.Fatal("short merged tuple should fail")
+	}
+	if _, _, err := m.DecodeTuple(T("nope", "1", "2")); err == nil {
+		t.Fatal("unknown tag should fail")
+	}
+	// Non-pad value in a pad column of the shorter relation S.
+	if _, _, err := m.DecodeTuple(T("S", "x", "junk")); err == nil {
+		t.Fatal("non-pad value in pad column should fail")
+	}
+}
+
+func TestMergerEmptySchema(t *testing.T) {
+	if _, err := NewMerger(MustDBSchema()); err == nil {
+		t.Fatal("empty schema should fail to merge")
+	}
+}
+
+func TestMergerTagDomainIsFinite(t *testing.T) {
+	sch := MustDBSchema(MustSchema("R", Attr("A", nil)), MustSchema("S", Attr("B", nil)))
+	m, _ := NewMerger(sch)
+	tag := m.Merged().Attrs[0]
+	if tag.Name != TagAttr || !tag.Domain.IsFinite() {
+		t.Fatal("tag attribute must be finite over relation names")
+	}
+	if !tag.Domain.Contains("R") || !tag.Domain.Contains("S") || tag.Domain.Contains("T") {
+		t.Fatal("tag domain members wrong")
+	}
+}
+
+// Property: Encode is a bijection on random databases — Decode∘Encode
+// is the identity and sizes are preserved.
+func TestMergerRoundTripRandom(t *testing.T) {
+	sch := MustDBSchema(
+		MustSchema("R", Attr("A", nil), Attr("B", nil)),
+		MustSchema("S", Attr("X", nil)),
+		MustSchema("U", Attr("P", nil), Attr("Q", nil), Attr("Z", nil)),
+	)
+	m, _ := NewMerger(sch)
+	r := rand.New(rand.NewSource(99))
+	vals := []Value{"a", "b", "c", "d"}
+	pick := func() Value { return vals[r.Intn(len(vals))] }
+	for trial := 0; trial < 100; trial++ {
+		db := NewDatabase(sch)
+		for i := 0; i < r.Intn(8); i++ {
+			db.MustInsert("R", T(pick(), pick()))
+		}
+		for i := 0; i < r.Intn(8); i++ {
+			db.MustInsert("S", T(pick()))
+		}
+		for i := 0; i < r.Intn(8); i++ {
+			db.MustInsert("U", T(pick(), pick(), pick()))
+		}
+		enc, err := m.Encode(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc.Len() != db.Size() {
+			t.Fatalf("size not preserved: %d vs %d", enc.Len(), db.Size())
+		}
+		dec, err := m.Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Equal(db) {
+			t.Fatalf("round trip mismatch at trial %d", trial)
+		}
+	}
+}

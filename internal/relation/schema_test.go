@@ -1,0 +1,88 @@
+package relation
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(""); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if _, err := NewSchema("R", Attr("A", nil), Attr("A", nil)); err == nil {
+		t.Fatal("duplicate attribute should fail")
+	}
+	if _, err := NewSchema("R", Attr("", nil)); err == nil {
+		t.Fatal("unnamed attribute should fail")
+	}
+}
+
+func TestSchemaDefaultsInfiniteDomain(t *testing.T) {
+	s := MustSchema("R", Attr("A", nil), Attr("B", Bool()))
+	if s.DomainAt(0).IsFinite() {
+		t.Fatal("nil domain should default to infinite")
+	}
+	if !s.DomainAt(1).IsFinite() {
+		t.Fatal("explicit finite domain lost")
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := MustSchema("R", Attr("A", nil), Attr("B", nil), Attr("C", nil))
+	if s.Arity() != 3 {
+		t.Fatalf("Arity = %d", s.Arity())
+	}
+	if s.AttrIndex("B") != 1 || s.AttrIndex("Z") != -1 {
+		t.Fatal("AttrIndex wrong")
+	}
+	if got := s.AttrNames(); !reflect.DeepEqual(got, []string{"A", "B", "C"}) {
+		t.Fatalf("AttrNames = %v", got)
+	}
+	if got := s.String(); got != "R(A, B, C)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestSchemaAdmits(t *testing.T) {
+	s := MustSchema("R", Attr("A", Bool()), Attr("B", nil))
+	if !s.Admits(T("0", "anything")) {
+		t.Fatal("valid tuple rejected")
+	}
+	if s.Admits(T("2", "x")) {
+		t.Fatal("out-of-domain value accepted")
+	}
+	if s.Admits(T("0")) {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestDBSchema(t *testing.T) {
+	r1 := MustSchema("R1", Attr("A", nil))
+	r2 := MustSchema("R2", Attr("A", nil), Attr("B", nil))
+	db := MustDBSchema(r1, r2)
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if db.Relation("R1") != r1 || db.Relation("R2") != r2 {
+		t.Fatal("lookup failed")
+	}
+	if db.Relation("nope") != nil {
+		t.Fatal("missing relation should be nil")
+	}
+	if got := db.Names(); !reflect.DeepEqual(got, []string{"R1", "R2"}) {
+		t.Fatalf("Names = %v", got)
+	}
+	if err := db.Add(r1); err == nil {
+		t.Fatal("duplicate relation should fail")
+	}
+	if err := db.Add(nil); err == nil {
+		t.Fatal("nil schema should fail")
+	}
+}
+
+func TestDBSchemaString(t *testing.T) {
+	db := MustDBSchema(MustSchema("B", Attr("X", nil)), MustSchema("A", Attr("Y", nil)))
+	if got := db.String(); got != "A(Y); B(X)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,202 @@
+// Package relation implements the relational substrate of the paper
+// "Capturing Missing Tuples and Missing Values" (Deng, Fan, Geerts;
+// PODS 2010 / TODS 2016): attributes with finite or infinite domains,
+// relation schemas, tuples, set-semantics instances and multi-relation
+// databases, together with the schema-merging construction of Lemma 3.2.
+//
+// All collections iterate deterministically so that the decision
+// procedures built on top are reproducible.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a constant drawn from some attribute domain. The paper works
+// over uninterpreted constants with equality and inequality only, so a
+// string representation is both sufficient and convenient.
+type Value string
+
+// CompareValues orders two values lexicographically. It exists so that
+// callers sort values the same way everywhere.
+func CompareValues(a, b Value) int { return strings.Compare(string(a), string(b)) }
+
+// SortValues sorts a slice of values in place and returns it.
+func SortValues(vs []Value) []Value {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// DedupValues sorts and removes duplicates from vs, returning the result.
+func DedupValues(vs []Value) []Value {
+	SortValues(vs)
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || vs[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ValueSet is a deterministic set of values.
+type ValueSet struct {
+	m map[Value]struct{}
+}
+
+// NewValueSet returns a set containing the given values.
+func NewValueSet(vs ...Value) *ValueSet {
+	s := &ValueSet{m: make(map[Value]struct{}, len(vs))}
+	for _, v := range vs {
+		s.m[v] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts v and reports whether it was absent.
+func (s *ValueSet) Add(v Value) bool {
+	if _, ok := s.m[v]; ok {
+		return false
+	}
+	s.m[v] = struct{}{}
+	return true
+}
+
+// AddAll inserts every value of other into s.
+func (s *ValueSet) AddAll(other *ValueSet) {
+	if other == nil {
+		return
+	}
+	for v := range other.m {
+		s.m[v] = struct{}{}
+	}
+}
+
+// Contains reports whether v is in the set.
+func (s *ValueSet) Contains(v Value) bool {
+	if s == nil {
+		return false
+	}
+	_, ok := s.m[v]
+	return ok
+}
+
+// Len returns the number of values in the set.
+func (s *ValueSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.m)
+}
+
+// Values returns the members in sorted order.
+func (s *ValueSet) Values() []Value {
+	if s == nil {
+		return nil
+	}
+	out := make([]Value, 0, len(s.m))
+	for v := range s.m {
+		out = append(out, v)
+	}
+	return SortValues(out)
+}
+
+// Clone returns an independent copy of the set.
+func (s *ValueSet) Clone() *ValueSet {
+	c := &ValueSet{m: make(map[Value]struct{}, s.Len())}
+	if s != nil {
+		for v := range s.m {
+			c.m[v] = struct{}{}
+		}
+	}
+	return c
+}
+
+// String renders the set as {a, b, c}.
+func (s *ValueSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range s.Values() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(string(v))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Domain describes the set of constants an attribute may take. A finite
+// domain enumerates its members (e.g. the Boolean domain {0, 1}); an
+// infinite domain admits every constant. The distinction matters for the
+// active-domain construction Adom = S ∪ New ∪ df of Proposition 3.3:
+// variables ranging over a finite-domain attribute may only be valuated
+// inside that finite domain.
+type Domain struct {
+	name   string
+	finite bool
+	values []Value
+	member map[Value]struct{}
+}
+
+// Infinite returns a fresh infinite domain with the given name.
+func Infinite(name string) *Domain {
+	return &Domain{name: name}
+}
+
+// Finite returns a finite domain with the given name and members.
+// Members are deduplicated and kept in sorted order.
+func Finite(name string, values ...Value) *Domain {
+	vs := DedupValues(append([]Value(nil), values...))
+	m := make(map[Value]struct{}, len(vs))
+	for _, v := range vs {
+		m[v] = struct{}{}
+	}
+	return &Domain{name: name, finite: true, values: vs, member: m}
+}
+
+// Bool is the Boolean domain {0, 1} used throughout the paper's
+// reductions (Figure 2).
+func Bool() *Domain { return Finite("bool", "0", "1") }
+
+// Name returns the domain's name.
+func (d *Domain) Name() string { return d.name }
+
+// IsFinite reports whether the domain enumerates its members.
+func (d *Domain) IsFinite() bool { return d != nil && d.finite }
+
+// Values returns the members of a finite domain in sorted order, or nil
+// for an infinite domain.
+func (d *Domain) Values() []Value {
+	if d == nil || !d.finite {
+		return nil
+	}
+	return append([]Value(nil), d.values...)
+}
+
+// Contains reports whether v belongs to the domain. Every value belongs
+// to an infinite domain.
+func (d *Domain) Contains(v Value) bool {
+	if d == nil || !d.finite {
+		return true
+	}
+	_, ok := d.member[v]
+	return ok
+}
+
+// String renders the domain for diagnostics.
+func (d *Domain) String() string {
+	if d == nil {
+		return "⊤"
+	}
+	if !d.finite {
+		return fmt.Sprintf("%s(∞)", d.name)
+	}
+	parts := make([]string, len(d.values))
+	for i, v := range d.values {
+		parts[i] = string(v)
+	}
+	return fmt.Sprintf("%s{%s}", d.name, strings.Join(parts, ","))
+}

@@ -1,0 +1,174 @@
+package sat
+
+import "fmt"
+
+// Boolean circuits as in the SUCCINCT-TAUT problem of Theorem 5.1(2):
+// a circuit C is a sequence of gates g1..gM; gate i is an input gate,
+// or ∧/∨ over two earlier gates, or ¬ over one earlier gate. C defines
+// fC : {0,1}^n → {0,1} where n is the number of input gates;
+// SUCCINCT-TAUT asks whether fC ≡ 1.
+
+// GateKind is the type of a circuit gate.
+type GateKind int
+
+// The gate kinds.
+const (
+	GateIn GateKind = iota
+	GateAnd
+	GateOr
+	GateNot
+)
+
+// String names the gate kind.
+func (k GateKind) String() string {
+	switch k {
+	case GateIn:
+		return "in"
+	case GateAnd:
+		return "∧"
+	case GateOr:
+		return "∨"
+	default:
+		return "¬"
+	}
+}
+
+// Gate is one circuit gate; L and R are 0-based indices of earlier
+// gates (R unused for ¬, both unused for inputs).
+type Gate struct {
+	Kind GateKind
+	L, R int
+}
+
+// Circuit is a gate list; the last gate is the output.
+type Circuit struct {
+	Gates  []Gate
+	Inputs int // number of GateIn gates, in order of appearance
+}
+
+// NewCircuit validates gate wiring.
+func NewCircuit(gates []Gate) (*Circuit, error) {
+	c := &Circuit{Gates: gates}
+	if len(gates) == 0 {
+		return nil, fmt.Errorf("sat: empty circuit")
+	}
+	for i, g := range gates {
+		switch g.Kind {
+		case GateIn:
+			c.Inputs++
+		case GateNot:
+			if g.L >= i || g.L < 0 {
+				return nil, fmt.Errorf("sat: gate %d: ¬ wires to %d", i, g.L)
+			}
+		case GateAnd, GateOr:
+			if g.L >= i || g.R >= i || g.L < 0 || g.R < 0 {
+				return nil, fmt.Errorf("sat: gate %d: wires to %d, %d", i, g.L, g.R)
+			}
+		default:
+			return nil, fmt.Errorf("sat: gate %d: unknown kind", i)
+		}
+	}
+	return c, nil
+}
+
+// MustCircuit is NewCircuit that panics on error.
+func MustCircuit(gates ...Gate) *Circuit {
+	c, err := NewCircuit(gates)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Eval computes fC(input); input length must equal the input count.
+func (c *Circuit) Eval(input []bool) (bool, error) {
+	if len(input) != c.Inputs {
+		return false, fmt.Errorf("sat: circuit wants %d inputs, got %d", c.Inputs, len(input))
+	}
+	vals := make([]bool, len(c.Gates))
+	in := 0
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case GateIn:
+			vals[i] = input[in]
+			in++
+		case GateAnd:
+			vals[i] = vals[g.L] && vals[g.R]
+		case GateOr:
+			vals[i] = vals[g.L] || vals[g.R]
+		case GateNot:
+			vals[i] = !vals[g.L]
+		}
+	}
+	return vals[len(vals)-1], nil
+}
+
+// Tautology decides SUCCINCT-TAUT by brute force over all 2^n inputs.
+func (c *Circuit) Tautology() (bool, error) {
+	n := c.Inputs
+	input := make([]bool, n)
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == n {
+			return c.Eval(input)
+		}
+		for _, v := range []bool{false, true} {
+			input[i] = v
+			ok, err := rec(i + 1)
+			if err != nil || !ok {
+				return ok, err
+			}
+		}
+		return true, nil
+	}
+	return rec(0)
+}
+
+// FromCNF compiles a CNF into an equivalent circuit (useful to generate
+// non-trivial tautology instances: a CNF ∨ its negation is one).
+func FromCNF(f *CNF) *Circuit {
+	gates := make([]Gate, 0, f.Vars+len(f.Clauses)*4)
+	varGate := make([]int, f.Vars+1)
+	for v := 1; v <= f.Vars; v++ {
+		varGate[v] = len(gates)
+		gates = append(gates, Gate{Kind: GateIn})
+	}
+	litGate := func(l Literal) int {
+		g := varGate[l.Var()]
+		if l.Positive() {
+			return g
+		}
+		gates = append(gates, Gate{Kind: GateNot, L: g})
+		return len(gates) - 1
+	}
+	clauseOut := make([]int, 0, len(f.Clauses))
+	for _, cl := range f.Clauses {
+		cur := litGate(cl[0])
+		for _, l := range cl[1:] {
+			g := litGate(l)
+			gates = append(gates, Gate{Kind: GateOr, L: cur, R: g})
+			cur = len(gates) - 1
+		}
+		clauseOut = append(clauseOut, cur)
+	}
+	cur := clauseOut[0]
+	for _, g := range clauseOut[1:] {
+		gates = append(gates, Gate{Kind: GateAnd, L: cur, R: g})
+		cur = len(gates) - 1
+	}
+	return MustCircuit(gates...)
+}
+
+// OrNot returns the circuit C ∨ ¬C' where C and C' both compute c —
+// a guaranteed tautology with non-trivial structure — when taut is
+// true; otherwise it returns c unchanged (generally not a tautology).
+func OrNot(c *Circuit, taut bool) *Circuit {
+	if !taut {
+		return c
+	}
+	gates := append([]Gate(nil), c.Gates...)
+	out := len(gates) - 1
+	gates = append(gates, Gate{Kind: GateNot, L: out})
+	gates = append(gates, Gate{Kind: GateOr, L: out, R: len(gates) - 1})
+	return MustCircuit(gates...)
+}

@@ -1,0 +1,150 @@
+package sat
+
+import "fmt"
+
+// QBF is a quantified Boolean formula in prenex normal form with a CNF
+// matrix. Blocks alternate; Blocks[i] owns a contiguous range of the
+// matrix's variables.
+type QBF struct {
+	Blocks []Block
+	Matrix *CNF
+}
+
+// Quantifier is ∀ or ∃.
+type Quantifier int
+
+// The two quantifiers.
+const (
+	ForAll Quantifier = iota
+	Exists
+)
+
+// String renders the quantifier.
+func (q Quantifier) String() string {
+	if q == ForAll {
+		return "∀"
+	}
+	return "∃"
+}
+
+// Block is one quantifier block over variables [From, To] (1-based,
+// inclusive).
+type Block struct {
+	Q        Quantifier
+	From, To int
+}
+
+// NewQBF builds a prenex QBF and validates that the blocks partition
+// the matrix's variables in order.
+func NewQBF(matrix *CNF, blocks ...Block) (*QBF, error) {
+	if err := matrix.Validate(); err != nil {
+		return nil, err
+	}
+	next := 1
+	for i, b := range blocks {
+		if b.From != next || b.To < b.From-1 {
+			return nil, fmt.Errorf("sat: block %d covers [%d,%d], expected to start at %d", i, b.From, b.To, next)
+		}
+		next = b.To + 1
+	}
+	if next != matrix.Vars+1 {
+		return nil, fmt.Errorf("sat: blocks cover %d variables, matrix has %d", next-1, matrix.Vars)
+	}
+	return &QBF{Blocks: blocks, Matrix: matrix}, nil
+}
+
+// MustQBF is NewQBF that panics on error.
+func MustQBF(matrix *CNF, blocks ...Block) *QBF {
+	q, err := NewQBF(matrix, blocks...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Eval decides the QBF by brute force — the oracle for the paper's
+// reductions. Exponential in the variable count; intended for small
+// instances only.
+func (q *QBF) Eval() bool {
+	a := make(Assignment, q.Matrix.Vars+1)
+	return q.evalBlock(0, a)
+}
+
+func (q *QBF) evalBlock(bi int, a Assignment) bool {
+	if bi == len(q.Blocks) {
+		return q.Matrix.Eval(a)
+	}
+	b := q.Blocks[bi]
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v > b.To {
+			return q.evalBlock(bi+1, a)
+		}
+		a[v] = false
+		first := rec(v + 1)
+		if b.Q == Exists && first {
+			return true
+		}
+		if b.Q == ForAll && !first {
+			return false
+		}
+		a[v] = true
+		return rec(v + 1)
+	}
+	return rec(b.From)
+}
+
+// String renders the QBF.
+func (q *QBF) String() string {
+	out := ""
+	for _, b := range q.Blocks {
+		out += fmt.Sprintf("%sx%d..x%d ", b.Q, b.From, b.To)
+	}
+	return out + q.Matrix.String()
+}
+
+// ForallExists builds ∀x1..xn ∃y1..ym ψ — the Πp2-complete ∀*∃*3SAT
+// form of Proposition 3.3.
+func ForallExists(nForall, nExists int, clauses []Clause) (*QBF, error) {
+	matrix := &CNF{Vars: nForall + nExists, Clauses: clauses}
+	return NewQBF(matrix,
+		Block{Q: ForAll, From: 1, To: nForall},
+		Block{Q: Exists, From: nForall + 1, To: nForall + nExists},
+	)
+}
+
+// ExistsForallExists builds ∃X ∀Y ∃Z ψ — the Σp3-complete ∃*∀*∃*3SAT
+// form of Theorems 4.8, 5.1 and 6.1.
+func ExistsForallExists(nX, nY, nZ int, clauses []Clause) (*QBF, error) {
+	matrix := &CNF{Vars: nX + nY + nZ, Clauses: clauses}
+	return NewQBF(matrix,
+		Block{Q: Exists, From: 1, To: nX},
+		Block{Q: ForAll, From: nX + 1, To: nX + nY},
+		Block{Q: Exists, From: nX + nY + 1, To: nX + nY + nZ},
+	)
+}
+
+// ForallExistsForallExists builds ∀X ∃Y ∀Z ∃W ψ — the Πp4-complete
+// form of Theorem 5.6.
+func ForallExistsForallExists(nX, nY, nZ, nW int, clauses []Clause) (*QBF, error) {
+	matrix := &CNF{Vars: nX + nY + nZ + nW, Clauses: clauses}
+	return NewQBF(matrix,
+		Block{Q: ForAll, From: 1, To: nX},
+		Block{Q: Exists, From: nX + 1, To: nX + nY},
+		Block{Q: ForAll, From: nX + nY + 1, To: nX + nY + nZ},
+		Block{Q: Exists, From: nX + nY + nZ + 1, To: nX + nY + nZ + nW},
+	)
+}
+
+// SATUNSAT is an instance of the DP-complete SAT-UNSAT problem of
+// Theorem 5.6(4): decide whether Phi is satisfiable AND Psi is not.
+type SATUNSAT struct {
+	Phi, Psi *CNF
+}
+
+// Eval decides the instance by DPLL.
+func (s SATUNSAT) Eval() bool {
+	_, sat1 := s.Phi.Solve()
+	_, sat2 := s.Psi.Solve()
+	return sat1 && !sat2
+}

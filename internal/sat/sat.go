@@ -1,0 +1,233 @@
+// Package sat provides the propositional-logic substrate for the
+// paper's reductions: 3SAT/CNF structures, a DPLL solver, brute-force
+// evaluators for the quantified Boolean formula classes the paper
+// reduces from (∀*∃*3SAT — Πp2, ∃*∀*∃*3SAT — Σp3, ∀*∃*∀*∃*3SAT — Πp4,
+// SAT-UNSAT — DP), and Boolean circuits for the SUCCINCT-TAUT gadget
+// (coNEXPTIME). These serve as independent oracles when the test-suite
+// validates the iff-statements of the paper's reduction proofs.
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Literal is a propositional literal: a 1-based variable index, negated
+// when the value is negative. Variable numbering is global across the
+// quantifier blocks of a QBF.
+type Literal int
+
+// Var returns the literal's variable (1-based).
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Positive reports whether the literal is positive.
+func (l Literal) Positive() bool { return l > 0 }
+
+// String renders the literal as x3 or ¬x3.
+func (l Literal) String() string {
+	if l < 0 {
+		return fmt.Sprintf("¬x%d", -l)
+	}
+	return fmt.Sprintf("x%d", l)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// String renders the clause.
+func (c Clause) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+// CNF is a conjunction of clauses over variables 1..Vars.
+type CNF struct {
+	Vars    int
+	Clauses []Clause
+}
+
+// String renders the formula.
+func (f *CNF) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Validate checks that every literal references a declared variable and
+// no clause is empty.
+func (f *CNF) Validate() error {
+	for i, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("sat: clause %d is empty", i)
+		}
+		for _, l := range c {
+			if l == 0 || l.Var() > f.Vars {
+				return fmt.Errorf("sat: clause %d: literal %d out of range", i, l)
+			}
+		}
+	}
+	return nil
+}
+
+// Assignment maps variable index (1-based) to truth value. Index 0 is
+// unused.
+type Assignment []bool
+
+// Eval evaluates the CNF under a total assignment.
+func (f *CNF) Eval(a Assignment) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if a[l.Var()] == l.Positive() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// BruteForceSAT decides satisfiability by exhaustive enumeration; the
+// independent oracle against which DPLL is validated.
+func (f *CNF) BruteForceSAT() bool {
+	a := make(Assignment, f.Vars+1)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i > f.Vars {
+			return f.Eval(a)
+		}
+		a[i] = false
+		if rec(i + 1) {
+			return true
+		}
+		a[i] = true
+		return rec(i + 1)
+	}
+	return rec(1)
+}
+
+// Solve decides satisfiability with DPLL (unit propagation + pure
+// literal elimination + splitting) and returns a satisfying assignment
+// when one exists.
+func (f *CNF) Solve() (Assignment, bool) {
+	clauses := make([]Clause, len(f.Clauses))
+	copy(clauses, f.Clauses)
+	assign := make(map[int]bool)
+	if !dpll(clauses, assign) {
+		return nil, false
+	}
+	out := make(Assignment, f.Vars+1)
+	for v, val := range assign {
+		if v <= f.Vars {
+			out[v] = val
+		}
+	}
+	return out, true
+}
+
+// dpll runs the classic procedure on a clause set, accumulating the
+// satisfying assignment.
+func dpll(clauses []Clause, assign map[int]bool) bool {
+	// Simplify under the current assignment.
+	var live []Clause
+	for _, c := range clauses {
+		satisfied := false
+		var rest Clause
+		for _, l := range c {
+			if val, ok := assign[l.Var()]; ok {
+				if val == l.Positive() {
+					satisfied = true
+					break
+				}
+				continue // literal is false; drop it
+			}
+			rest = append(rest, l)
+		}
+		if satisfied {
+			continue
+		}
+		if len(rest) == 0 {
+			return false // empty clause: conflict
+		}
+		live = append(live, rest)
+	}
+	if len(live) == 0 {
+		return true
+	}
+	// Unit propagation.
+	for _, c := range live {
+		if len(c) == 1 {
+			assign[c[0].Var()] = c[0].Positive()
+			if dpll(live, assign) {
+				return true
+			}
+			delete(assign, c[0].Var())
+			return false
+		}
+	}
+	// Pure literal elimination.
+	polarity := map[int]int{} // 1 pos, 2 neg, 3 both
+	for _, c := range live {
+		for _, l := range c {
+			if l.Positive() {
+				polarity[l.Var()] |= 1
+			} else {
+				polarity[l.Var()] |= 2
+			}
+		}
+	}
+	for v, pol := range polarity {
+		if pol == 1 || pol == 2 {
+			assign[v] = pol == 1
+			if dpll(live, assign) {
+				return true
+			}
+			delete(assign, v)
+			return false
+		}
+	}
+	// Split on the first variable of the first clause.
+	v := live[0][0].Var()
+	for _, val := range []bool{true, false} {
+		assign[v] = val
+		if dpll(live, assign) {
+			return true
+		}
+		delete(assign, v)
+	}
+	return false
+}
+
+// RandomCNF generates a random 3-CNF with the given variable and
+// clause counts, seeded deterministically.
+func RandomCNF(vars, clauses int, seed int64) *CNF {
+	r := rand.New(rand.NewSource(seed))
+	f := &CNF{Vars: vars}
+	for i := 0; i < clauses; i++ {
+		c := make(Clause, 3)
+		for j := range c {
+			v := r.Intn(vars) + 1
+			if r.Intn(2) == 0 {
+				c[j] = Literal(v)
+			} else {
+				c[j] = Literal(-v)
+			}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}

@@ -1,0 +1,264 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+func c(lits ...Literal) Clause { return Clause(lits) }
+
+func TestLiteral(t *testing.T) {
+	if Literal(3).Var() != 3 || Literal(-3).Var() != 3 {
+		t.Fatal("Var wrong")
+	}
+	if !Literal(3).Positive() || Literal(-3).Positive() {
+		t.Fatal("Positive wrong")
+	}
+	if Literal(-2).String() != "¬x2" || Literal(2).String() != "x2" {
+		t.Fatal("String wrong")
+	}
+}
+
+func TestCNFEval(t *testing.T) {
+	// (x1 ∨ ¬x2) ∧ (x2 ∨ x3)
+	f := &CNF{Vars: 3, Clauses: []Clause{c(1, -2), c(2, 3)}}
+	if !f.Eval(Assignment{false, true, true, false}) {
+		t.Fatal("x1 ∧ x2 satisfies")
+	}
+	if f.Eval(Assignment{false, false, true, false}) {
+		t.Fatal("¬x1 ∧ x2 ∧ ¬x3 falsifies first clause")
+	}
+}
+
+func TestCNFValidate(t *testing.T) {
+	if err := (&CNF{Vars: 1, Clauses: []Clause{{}}}).Validate(); err == nil {
+		t.Fatal("empty clause should fail")
+	}
+	if err := (&CNF{Vars: 1, Clauses: []Clause{c(2)}}).Validate(); err == nil {
+		t.Fatal("out-of-range variable should fail")
+	}
+	if err := (&CNF{Vars: 2, Clauses: []Clause{c(1, -2)}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDPLLKnownInstances(t *testing.T) {
+	sat := &CNF{Vars: 3, Clauses: []Clause{c(1, 2, 3), c(-1, -2), c(-3, 1)}}
+	a, ok := sat.Solve()
+	if !ok {
+		t.Fatal("satisfiable instance reported unsat")
+	}
+	if !sat.Eval(a) {
+		t.Fatalf("returned assignment %v does not satisfy", a)
+	}
+
+	unsat := &CNF{Vars: 1, Clauses: []Clause{c(1), c(-1)}}
+	if _, ok := unsat.Solve(); ok {
+		t.Fatal("x ∧ ¬x reported sat")
+	}
+
+	// Pigeonhole-ish: 2 vars, all 4 sign patterns.
+	unsat2 := &CNF{Vars: 2, Clauses: []Clause{c(1, 2), c(1, -2), c(-1, 2), c(-1, -2)}}
+	if _, ok := unsat2.Solve(); ok {
+		t.Fatal("all sign patterns reported sat")
+	}
+}
+
+func TestDPLLAgreesWithBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		f := RandomCNF(5, 3+int(seed%15), seed)
+		a, got := f.Solve()
+		want := f.BruteForceSAT()
+		if got != want {
+			t.Fatalf("seed %d: DPLL %v vs brute force %v on %s", seed, got, want, f)
+		}
+		if got && !f.Eval(a) {
+			t.Fatalf("seed %d: assignment does not satisfy", seed)
+		}
+	}
+}
+
+func TestQBFValidation(t *testing.T) {
+	m := &CNF{Vars: 2, Clauses: []Clause{c(1, 2)}}
+	if _, err := NewQBF(m, Block{Q: ForAll, From: 1, To: 1}); err == nil {
+		t.Fatal("uncovered variable should fail")
+	}
+	if _, err := NewQBF(m, Block{Q: ForAll, From: 2, To: 2}, Block{Q: Exists, From: 1, To: 1}); err == nil {
+		t.Fatal("out-of-order blocks should fail")
+	}
+	if _, err := NewQBF(&CNF{Vars: 1, Clauses: []Clause{{}}}, Block{Q: ForAll, From: 1, To: 1}); err == nil {
+		t.Fatal("invalid matrix should fail")
+	}
+}
+
+func TestQBFKnownInstances(t *testing.T) {
+	// ∀x ∃y (x ∨ y) ∧ (¬x ∨ ¬y): y = ¬x works — true.
+	q := MustQBF(&CNF{Vars: 2, Clauses: []Clause{c(1, 2), c(-1, -2)}},
+		Block{Q: ForAll, From: 1, To: 1}, Block{Q: Exists, From: 2, To: 2})
+	if !q.Eval() {
+		t.Fatal("∀x∃y (x∨y)∧(¬x∨¬y) is true")
+	}
+	// ∃y ∀x (x ∨ y) ∧ (¬x ∨ ¬y): no single y works — false.
+	q2 := MustQBF(&CNF{Vars: 2, Clauses: []Clause{c(2, 1), c(-2, -1)}},
+		Block{Q: Exists, From: 1, To: 1}, Block{Q: ForAll, From: 2, To: 2})
+	if q2.Eval() {
+		t.Fatal("∃y∀x (x∨y)∧(¬x∨¬y) is false")
+	}
+	if !strings.Contains(q.String(), "∀") {
+		t.Fatal("String should show quantifiers")
+	}
+}
+
+func TestQBFBlockEdgeCases(t *testing.T) {
+	// Empty ∀ block (From > To) then all-∃ — equivalent to SAT.
+	f := &CNF{Vars: 2, Clauses: []Clause{c(1), c(2)}}
+	q := MustQBF(f, Block{Q: ForAll, From: 1, To: 0}, Block{Q: Exists, From: 1, To: 2})
+	if !q.Eval() {
+		t.Fatal("x1 ∧ x2 is satisfiable")
+	}
+}
+
+func TestForallExistsConstructor(t *testing.T) {
+	// ∀x1 ∃x2: x2 ↔ x1 i.e. (¬x1∨x2)∧(x1∨¬x2) — true.
+	q, err := ForallExists(1, 1, []Clause{c(-1, 2), c(1, -2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Eval() {
+		t.Fatal("should be true")
+	}
+	// ∀x1 ∃x2: x1 alone — false (x1 = false kills it).
+	q2, _ := ForallExists(1, 1, []Clause{c(1), c(2, -2)})
+	if q2.Eval() {
+		t.Fatal("should be false")
+	}
+}
+
+func TestExistsForallExistsConstructor(t *testing.T) {
+	// ∃x ∀y ∃z: (x) ∧ (y ∨ z) ∧ (¬y ∨ ¬z): x=1; z=¬y — true.
+	q, err := ExistsForallExists(1, 1, 1, []Clause{c(1), c(2, 3), c(-2, -3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Eval() {
+		t.Fatal("should be true")
+	}
+	// ∃x ∀y: (x ∨ y) ∧ (¬x ∨ ¬y) with dummy z — false.
+	q2, _ := ExistsForallExists(1, 1, 1, []Clause{c(1, 2), c(-1, -2), c(3, -3)})
+	if q2.Eval() {
+		t.Fatal("should be false")
+	}
+}
+
+func TestForallExistsForallExistsConstructor(t *testing.T) {
+	// ∀x ∃y ∀z ∃w: (y ↔ x) ∧ (w ↔ z) — true.
+	q, err := ForallExistsForallExists(1, 1, 1, 1, []Clause{
+		c(-1, 2), c(1, -2), c(-3, 4), c(3, -4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Eval() {
+		t.Fatal("should be true")
+	}
+	// ∀x ∃y ∀z ∃w: (w ↔ z) ∧ x — false.
+	q2, _ := ForallExistsForallExists(1, 1, 1, 1, []Clause{
+		c(-3, 4), c(3, -4), c(1),
+	})
+	if q2.Eval() {
+		t.Fatal("should be false")
+	}
+}
+
+func TestSATUNSAT(t *testing.T) {
+	sat := &CNF{Vars: 1, Clauses: []Clause{c(1)}}
+	unsat := &CNF{Vars: 1, Clauses: []Clause{c(1), c(-1)}}
+	if !(SATUNSAT{Phi: sat, Psi: unsat}).Eval() {
+		t.Fatal("(sat, unsat) should be a yes-instance")
+	}
+	if (SATUNSAT{Phi: sat, Psi: sat}).Eval() {
+		t.Fatal("(sat, sat) should be a no-instance")
+	}
+	if (SATUNSAT{Phi: unsat, Psi: unsat}).Eval() {
+		t.Fatal("(unsat, unsat) should be a no-instance")
+	}
+}
+
+func TestCircuitEval(t *testing.T) {
+	// (in0 ∧ in1) ∨ ¬in0
+	circ := MustCircuit(
+		Gate{Kind: GateIn},              // 0
+		Gate{Kind: GateIn},              // 1
+		Gate{Kind: GateAnd, L: 0, R: 1}, // 2
+		Gate{Kind: GateNot, L: 0},       // 3
+		Gate{Kind: GateOr, L: 2, R: 3},  // 4
+	)
+	cases := map[[2]bool]bool{
+		{false, false}: true,
+		{false, true}:  true,
+		{true, false}:  false,
+		{true, true}:   true,
+	}
+	for in, want := range cases {
+		got, err := circ.Eval([]bool{in[0], in[1]})
+		if err != nil || got != want {
+			t.Fatalf("Eval(%v) = %v, want %v", in, got, want)
+		}
+	}
+	taut, err := circ.Tautology()
+	if err != nil || taut {
+		t.Fatal("not a tautology (fails on 1,0)")
+	}
+	if _, err := circ.Eval([]bool{true}); err == nil {
+		t.Fatal("wrong input arity should fail")
+	}
+}
+
+func TestCircuitValidation(t *testing.T) {
+	if _, err := NewCircuit(nil); err == nil {
+		t.Fatal("empty circuit should fail")
+	}
+	if _, err := NewCircuit([]Gate{{Kind: GateNot, L: 0}}); err == nil {
+		t.Fatal("forward wire should fail")
+	}
+	if _, err := NewCircuit([]Gate{{Kind: GateIn}, {Kind: GateAnd, L: 0, R: 1}}); err == nil {
+		t.Fatal("self wire should fail")
+	}
+}
+
+func TestFromCNFMatchesEval(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		f := RandomCNF(4, 5, seed)
+		circ := FromCNF(f)
+		// Exhaustively compare on all 16 inputs.
+		for bits := 0; bits < 16; bits++ {
+			in := make([]bool, 4)
+			a := make(Assignment, 5)
+			for i := 0; i < 4; i++ {
+				in[i] = bits&(1<<uint(i)) != 0
+				a[i+1] = in[i]
+			}
+			got, err := circ.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != f.Eval(a) {
+				t.Fatalf("seed %d bits %d: circuit %v vs CNF %v", seed, bits, got, f.Eval(a))
+			}
+		}
+	}
+}
+
+func TestOrNotTautology(t *testing.T) {
+	f := RandomCNF(4, 6, 9)
+	base := FromCNF(f)
+	taut := OrNot(base, true)
+	ok, err := taut.Tautology()
+	if err != nil || !ok {
+		t.Fatal("C ∨ ¬C must be a tautology")
+	}
+	same := OrNot(base, false)
+	if len(same.Gates) != len(base.Gates) {
+		t.Fatal("OrNot(false) should return the circuit unchanged")
+	}
+}

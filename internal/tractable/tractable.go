@@ -1,0 +1,137 @@
+// Package tractable exposes the paper's Section 7 special cases with
+// polynomial data complexity, as guarded entry points over the exact
+// deciders of internal/core:
+//
+//   - Corollary 7.1 — RCDPs/RCDPv in PTIME for CQ, UCQ and ∃FO+, and
+//     RCDPw additionally for FP, on c-instances with a constant number
+//     of variables when the query Q and the CC set V are fixed;
+//   - Corollary 7.2 — RCQPs/RCQPv in PTIME for fixed queries when all
+//     CCs are INDs (projection-shaped), and RCQPw in O(1);
+//   - Corollary 7.3 — MINPs/MINPv in PTIME under the Corollary 7.1
+//     conditions, and MINPw for CQ.
+//
+// The guards make the tractability contract explicit: a call outside
+// the corollary's conditions fails with ErrNotTractable rather than
+// silently running the exponential general case. Under the conditions,
+// the general algorithms ARE the PTIME algorithms — the number of
+// valuations is |Adom|^k for constant k, and |Adom| is linear in the
+// input — which the benchmark harness demonstrates by scaling the
+// instance size at fixed (Q, V).
+package tractable
+
+import (
+	"errors"
+	"fmt"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+)
+
+// ErrNotTractable flags a call outside the conditions of the
+// corollary backing the entry point.
+var ErrNotTractable = errors.New("tractable: input outside the corollary's tractable conditions")
+
+// DefaultMaxVars is the default bound on c-instance variables for the
+// "constant number of variables" conditions of Corollaries 7.1/7.3.
+const DefaultMaxVars = 3
+
+// checkVarBudget enforces the constant-variable condition.
+func checkVarBudget(ci *ctable.CInstance, maxVars int) error {
+	if maxVars <= 0 {
+		maxVars = DefaultMaxVars
+	}
+	if n := len(ci.Vars()); n > maxVars {
+		return fmt.Errorf("%w: c-instance has %d variables, bound is %d (Corollary 7.1/7.3)",
+			ErrNotTractable, n, maxVars)
+	}
+	return nil
+}
+
+// checkLangRCDP enforces the language conditions of Corollary 7.1.
+func checkLangRCDP(p *core.Problem, m core.Model) error {
+	lang := p.Query.Lang()
+	switch m {
+	case core.Strong, core.Viable:
+		if lang == core.FO || lang == core.FP {
+			return fmt.Errorf("%w: RCDP %s model supports CQ/UCQ/∃FO+, got %s", ErrNotTractable, m, lang)
+		}
+	case core.Weak:
+		if lang == core.FO {
+			return fmt.Errorf("%w: RCDP weak model supports CQ/UCQ/∃FO+/FP, got FO", ErrNotTractable)
+		}
+	}
+	return nil
+}
+
+// RCDP is the Corollary 7.1 entry point: decide RCDP for a c-instance
+// with at most maxVars variables (0 = DefaultMaxVars). PTIME in the
+// size of the c-instance and master data at fixed (Q, V).
+func RCDP(p *core.Problem, ci *ctable.CInstance, m core.Model, maxVars int) (bool, error) {
+	if err := checkLangRCDP(p, m); err != nil {
+		return false, err
+	}
+	if err := checkVarBudget(ci, maxVars); err != nil {
+		return false, err
+	}
+	return p.RCDP(ci, m)
+}
+
+// MINP is the Corollary 7.3 entry point: decide MINP for a c-instance
+// with at most maxVars variables. The weak model is tractable for CQ
+// only (the paper's coDP fragment); strong/viable follow Corollary 7.1
+// languages.
+func MINP(p *core.Problem, ci *ctable.CInstance, m core.Model, maxVars int) (bool, error) {
+	lang := p.Query.Lang()
+	switch m {
+	case core.Strong, core.Viable:
+		if lang == core.FO || lang == core.FP {
+			return false, fmt.Errorf("%w: MINP %s model supports CQ/UCQ/∃FO+, got %s", ErrNotTractable, m, lang)
+		}
+	case core.Weak:
+		if lang != core.CQ {
+			return false, fmt.Errorf("%w: MINP weak model is tractable for CQ only, got %s", ErrNotTractable, lang)
+		}
+	}
+	if err := checkVarBudget(ci, maxVars); err != nil {
+		return false, err
+	}
+	return p.MINP(ci, m)
+}
+
+// RCQP is the Corollary 7.2 entry point. In the weak model it is O(1)
+// for the monotone languages; in the strong/viable models every CC
+// must be an IND (projection-shaped), in which case the boundedness
+// characterisation decides the problem without any witness search.
+func RCQP(p *core.Problem, m core.Model) (bool, error) {
+	lang := p.Query.Lang()
+	switch m {
+	case core.Weak:
+		if lang == core.FO {
+			return false, fmt.Errorf("%w: RCQP weak model supports CQ/UCQ/∃FO+/FP, got FO", ErrNotTractable)
+		}
+		return p.RCQP(core.Weak)
+	default:
+		if lang == core.FO || lang == core.FP {
+			return false, fmt.Errorf("%w: RCQP %s model supports CQ/UCQ/∃FO+, got %s", ErrNotTractable, m, lang)
+		}
+		if p.CCs != nil {
+			for _, c := range p.CCs.Constraints {
+				if !cc.IsProjectionCC(c) {
+					return false, fmt.Errorf("%w: CC %s is not an IND (Corollary 7.2 needs projection CCs)",
+						ErrNotTractable, c.Name)
+				}
+			}
+		}
+		return p.RCQP(m)
+	}
+}
+
+// Consistent guards the Σp2 consistency check of Proposition 3.3 under
+// the constant-variable condition, where it becomes PTIME.
+func Consistent(p *core.Problem, ci *ctable.CInstance, maxVars int) (bool, error) {
+	if err := checkVarBudget(ci, maxVars); err != nil {
+		return false, err
+	}
+	return p.Consistent(ci)
+}

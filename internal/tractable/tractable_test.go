@@ -1,0 +1,163 @@
+package tractable
+
+import (
+	"errors"
+	"testing"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+func fixture(t testing.TB, qsrc string) (*core.Problem, *relation.DBSchema) {
+	t.Helper()
+	schema := relation.MustDBSchema(relation.MustSchema("R", relation.Attr("A", nil)))
+	masterSchema := relation.MustDBSchema(relation.MustSchema("M", relation.Attr("A", nil)))
+	dm := relation.NewDatabase(masterSchema)
+	dm.MustInsert("M", relation.T("1"))
+	dm.MustInsert("M", relation.T("2"))
+	v := cc.NewSet(cc.MustParse("rm", "q(x) := R(x)", "p(x) := M(x)"))
+	p := core.MustProblem(schema, core.CalcQuery(query.MustParseQuery(qsrc)), dm, v, core.Options{})
+	return p, schema
+}
+
+func ci(schema *relation.DBSchema, terms ...query.Term) *ctable.CInstance {
+	out := ctable.NewCInstance(schema)
+	for _, tm := range terms {
+		out.MustAddRow("R", ctable.Row{Terms: []query.Term{tm}})
+	}
+	return out
+}
+
+func TestRCDPTractableAgreesWithCore(t *testing.T) {
+	p, schema := fixture(t, "Q(x) := R(x)")
+	inst := ci(schema, query.C("1"), query.C("2"))
+	for _, m := range []core.Model{core.Strong, core.Weak, core.Viable} {
+		want, err := p.RCDP(inst, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RCDP(p, inst, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("model %v: tractable %v vs core %v", m, got, want)
+		}
+	}
+}
+
+func TestRCDPVarBudget(t *testing.T) {
+	p, schema := fixture(t, "Q(x) := R(x)")
+	many := ci(schema, query.V("a"), query.V("b"), query.V("c"), query.V("d"))
+	if _, err := RCDP(p, many, core.Strong, 3); !errors.Is(err, ErrNotTractable) {
+		t.Fatalf("4 variables over a bound of 3: want ErrNotTractable, got %v", err)
+	}
+	if _, err := RCDP(p, many, core.Strong, 4); err != nil {
+		t.Fatalf("4 variables within a bound of 4 should run: %v", err)
+	}
+}
+
+func TestRCDPLanguageGuards(t *testing.T) {
+	foP, schema := fixture(t, "Q(x) := ! R(x)")
+	inst := ci(schema)
+	for _, m := range []core.Model{core.Strong, core.Weak, core.Viable} {
+		if _, err := RCDP(foP, inst, m, 0); !errors.Is(err, ErrNotTractable) {
+			t.Fatalf("FO model %v: want ErrNotTractable, got %v", m, err)
+		}
+	}
+	// FP: tractable in the weak model only.
+	fpSchema := relation.MustDBSchema(relation.MustSchema("R", relation.Attr("A", nil)))
+	prog := query.MustParseProgram("p", fpSchema, "r(x) :- R(x). output r.")
+	fpP := core.MustProblem(fpSchema, core.FPQuery(prog), nil, nil, core.Options{})
+	fpInst := ctable.NewCInstance(fpSchema)
+	if _, err := RCDP(fpP, fpInst, core.Weak, 0); err != nil {
+		t.Fatalf("FP weak should be tractable: %v", err)
+	}
+	if _, err := RCDP(fpP, fpInst, core.Strong, 0); !errors.Is(err, ErrNotTractable) {
+		t.Fatal("FP strong should be rejected")
+	}
+}
+
+func TestMINPGuards(t *testing.T) {
+	p, schema := fixture(t, "Q(x) := R(x)")
+	inst := ci(schema, query.C("1"), query.C("2"))
+	ok, err := MINP(p, inst, core.Strong, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := p.MINP(inst, core.Strong)
+	if ok != want {
+		t.Fatal("tractable MINP disagrees with core")
+	}
+	// Weak MINP only for CQ.
+	ucqP, _ := fixture(t, "Q(x) := R(x) | R(x)")
+	if _, err := MINP(ucqP, inst, core.Weak, 0); !errors.Is(err, ErrNotTractable) {
+		t.Fatal("weak MINP beyond CQ should be rejected")
+	}
+	if _, err := MINP(p, inst, core.Weak, 0); err != nil {
+		t.Fatalf("weak MINP for CQ should run: %v", err)
+	}
+	foP, _ := fixture(t, "Q(x) := ! R(x)")
+	if _, err := MINP(foP, inst, core.Viable, 0); !errors.Is(err, ErrNotTractable) {
+		t.Fatal("FO viable MINP should be rejected")
+	}
+}
+
+func TestRCQPGuards(t *testing.T) {
+	// Projection CCs: tractable in all models.
+	schema := relation.MustDBSchema(relation.MustSchema("R", relation.Attr("A", nil), relation.Attr("B", nil)))
+	masterSchema := relation.MustDBSchema(relation.MustSchema("M", relation.Attr("K", nil)))
+	dm := relation.NewDatabase(masterSchema)
+	dm.MustInsert("M", relation.T("1"))
+	ind := cc.IND{FromRel: "R", FromAttrs: []string{"A"}, ToRel: "M", ToAttrs: []string{"K"}}
+	c, err := ind.AsCC(schema, masterSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.MustProblem(schema, core.CalcQuery(query.MustParseQuery("Q(x) := R(x, y)")), dm, cc.NewSet(c), core.Options{})
+	ok, err := RCQP(p, core.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("bounded query under INDs: complete database exists")
+	}
+	if _, err := RCQP(p, core.Weak); err != nil {
+		t.Fatal("weak RCQP should be O(1)")
+	}
+
+	// Non-projection CC: rejected in strong/viable models.
+	sel := cc.MustParse("sel", "q(x) := R(x, y) & y = '1'", "p(x) := M(x)")
+	p2 := core.MustProblem(schema, core.CalcQuery(query.MustParseQuery("Q(x) := R(x, y)")), dm, cc.NewSet(sel), core.Options{})
+	if _, err := RCQP(p2, core.Strong); !errors.Is(err, ErrNotTractable) {
+		t.Fatalf("selection CC should be rejected: %v", err)
+	}
+	if _, err := RCQP(p2, core.Weak); err != nil {
+		t.Fatal("weak RCQP is O(1) regardless of CC shape")
+	}
+
+	// FO is rejected everywhere; FP in strong/viable.
+	foP := core.MustProblem(schema, core.CalcQuery(query.MustParseQuery("Q(x) := ! R(x, x)")), dm, nil, core.Options{})
+	if _, err := RCQP(foP, core.Weak); !errors.Is(err, ErrNotTractable) {
+		t.Fatal("FO weak RCQP should be rejected")
+	}
+	if _, err := RCQP(foP, core.Strong); !errors.Is(err, ErrNotTractable) {
+		t.Fatal("FO strong RCQP should be rejected")
+	}
+}
+
+func TestConsistentGuard(t *testing.T) {
+	p, schema := fixture(t, "Q(x) := R(x)")
+	inst := ci(schema, query.V("a"))
+	ok, err := Consistent(p, inst, 0)
+	if err != nil || !ok {
+		t.Fatalf("consistent instance: %v %v", ok, err)
+	}
+	many := ci(schema, query.V("a"), query.V("b"), query.V("c"), query.V("d"))
+	if _, err := Consistent(p, many, 2); !errors.Is(err, ErrNotTractable) {
+		t.Fatal("variable budget should be enforced")
+	}
+}

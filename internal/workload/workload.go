@@ -1,0 +1,187 @@
+// Package workload generates the deterministic, seeded inputs the
+// benchmark harness and property tests run on: scaling families of QBF
+// instances for the reduction-based experiments (Table I cells), and
+// scaling partially closed databases with fixed queries and CCs for
+// the data-complexity experiments (Section 7).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"relcomplete/internal/cc"
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+	"relcomplete/internal/sat"
+)
+
+// ForallExistsFamily returns a ∀*∃*3SAT instance with the given block
+// sizes, deterministically derived from the seed.
+func ForallExistsFamily(nX, nY, clauses int, seed int64) *sat.QBF {
+	cls := randomClauses(nX+nY, clauses, seed)
+	q, err := sat.ForallExists(nX, nY, cls)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ExistsForallExistsFamily returns an ∃*∀*∃*3SAT instance.
+func ExistsForallExistsFamily(nX, nY, nZ, clauses int, seed int64) *sat.QBF {
+	cls := randomClauses(nX+nY+nZ, clauses, seed)
+	q, err := sat.ExistsForallExists(nX, nY, nZ, cls)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// SATUNSATFamily returns a SAT-UNSAT instance over the given variable
+// counts.
+func SATUNSATFamily(vars, clauses int, seed int64) sat.SATUNSAT {
+	return sat.SATUNSAT{
+		Phi: sat.RandomCNF(vars, clauses, seed),
+		Psi: sat.RandomCNF(vars, clauses+1, seed+7919),
+	}
+}
+
+// CircuitFamily returns a circuit with roughly `size` gates over
+// `inputs` input gates; taut forces a tautology (C ∨ ¬C).
+func CircuitFamily(inputs, size int, taut bool, seed int64) *sat.Circuit {
+	clauses := size/4 + 1
+	base := sat.FromCNF(sat.RandomCNF(inputs, clauses, seed))
+	return sat.OrNot(base, taut)
+}
+
+func randomClauses(vars, clauses int, seed int64) []sat.Clause {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]sat.Clause, clauses)
+	for i := range out {
+		c := make(sat.Clause, 3)
+		for j := range c {
+			v := r.Intn(vars) + 1
+			if r.Intn(2) == 0 {
+				c[j] = sat.Literal(v)
+			} else {
+				c[j] = sat.Literal(-v)
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// BoundedScenario is a fixed-query, fixed-CC "orders bounded by master
+// catalogue" setting whose instance size scales: data relation
+// Order(item, qty) is constrained by item ⊆ Catalog(item), and the
+// query asks for quantities of one item. It drives the Section 7
+// data-complexity experiments: the c-instance grows while Q and V stay
+// fixed.
+type BoundedScenario struct {
+	Schema  *relation.DBSchema
+	Master  *relation.DBSchema
+	Dm      *relation.Database
+	CCs     *cc.Set
+	Query   *query.Query
+	Problem *core.Problem
+}
+
+// NewBoundedScenario builds the scenario with a master catalogue of
+// the given size.
+func NewBoundedScenario(catalogue int, opts core.Options) *BoundedScenario {
+	order := relation.MustSchema("Order", relation.Attr("item", nil), relation.Attr("qty", nil))
+	catalog := relation.MustSchema("Catalog", relation.Attr("item", nil))
+	schema := relation.MustDBSchema(order)
+	masterSchema := relation.MustDBSchema(catalog)
+	dm := relation.NewDatabase(masterSchema)
+	for i := 0; i < catalogue; i++ {
+		dm.MustInsert("Catalog", relation.T(itemName(i)))
+	}
+	v := cc.NewSet(cc.MustParse("item_bound",
+		"q(i) := Order(i, q)", "p(i) := Catalog(i)"))
+	q := query.MustParseQuery("Q(q) := Order('item0', q)")
+	p := core.MustProblem(schema, core.CalcQuery(q), dm, v, opts)
+	return &BoundedScenario{Schema: schema, Master: masterSchema, Dm: dm, CCs: v, Query: q, Problem: p}
+}
+
+func itemName(i int) relation.Value { return relation.Value(fmt.Sprintf("item%d", i)) }
+
+// Instance builds a c-instance with `rows` ground rows over the
+// catalogue and `vars` variable rows (variables in the qty column so
+// the variable count is the knob of Corollary 7.1).
+func (s *BoundedScenario) Instance(rows, vars int, seed int64) *ctable.CInstance {
+	r := rand.New(rand.NewSource(seed))
+	catalogue := s.Dm.Relation("Catalog").Len()
+	ci := ctable.NewCInstance(s.Schema)
+	for i := 0; i < rows; i++ {
+		ci.MustAddRow("Order", ctable.Row{Terms: []query.Term{
+			query.C(itemName(r.Intn(catalogue))),
+			query.C(relation.Value(fmt.Sprintf("q%d", r.Intn(5)))),
+		}})
+	}
+	for i := 0; i < vars; i++ {
+		ci.MustAddRow("Order", ctable.Row{Terms: []query.Term{
+			query.C(itemName(r.Intn(catalogue))),
+			query.V(fmt.Sprintf("v%d", i)),
+		}})
+	}
+	return ci
+}
+
+// RandomProblemCase is one randomised (problem, c-instance) pair over
+// Boolean-domain relations, small enough for the reference oracles —
+// the shared shape of the cross-validation suites.
+type RandomProblemCase struct {
+	Problem *core.Problem
+	CI      *ctable.CInstance
+}
+
+// RandomBooleanCases generates n randomised cases over R(A, B) with a
+// full-containment CC against a random master relation, mirroring the
+// core cross-validation fixtures so other packages can reuse them.
+func RandomBooleanCases(n int, seed int64, queries []string) []RandomProblemCase {
+	r := rand.New(rand.NewSource(seed))
+	if len(queries) == 0 {
+		queries = []string{
+			"Q(x) := R(x, y)",
+			"Q(x, y) := R(x, y)",
+			"Q(x) := R(x, y) & x != y",
+			"Q() := exists x: R(x, x)",
+		}
+	}
+	schema := relation.MustDBSchema(
+		relation.MustSchema("R", relation.Attr("A", relation.Bool()), relation.Attr("B", relation.Bool())))
+	masterSchema := relation.MustDBSchema(
+		relation.MustSchema("M", relation.Attr("A", relation.Bool()), relation.Attr("B", relation.Bool())))
+	bools := []relation.Value{"0", "1"}
+	var out []RandomProblemCase
+	for len(out) < n {
+		dm := relation.NewDatabase(masterSchema)
+		for _, a := range bools {
+			for _, b := range bools {
+				if r.Intn(2) == 0 {
+					dm.MustInsert("M", relation.T(a, b))
+				}
+			}
+		}
+		v := cc.NewSet(cc.MustParse("rm", "q(x, y) := R(x, y)", "p(x, y) := M(x, y)"))
+		q := core.CalcQuery(query.MustParseQuery(queries[r.Intn(len(queries))]))
+		p := core.MustProblem(schema, q, dm, v, core.Options{})
+		ci := ctable.NewCInstance(schema)
+		for i := 0; i < r.Intn(3); i++ {
+			terms := make([]query.Term, 2)
+			for j := range terms {
+				if r.Intn(3) == 0 {
+					terms[j] = query.V(fmt.Sprintf("w%d", r.Intn(2)))
+				} else {
+					terms[j] = query.C(bools[r.Intn(2)])
+				}
+			}
+			ci.MustAddRow("R", ctable.Row{Terms: terms})
+		}
+		out = append(out, RandomProblemCase{Problem: p, CI: ci})
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"testing"
+
+	"relcomplete/internal/core"
+	"relcomplete/internal/sat"
+)
+
+func TestQBFFamiliesDeterministic(t *testing.T) {
+	a := ForallExistsFamily(2, 2, 4, 7)
+	b := ForallExistsFamily(2, 2, 4, 7)
+	if a.String() != b.String() {
+		t.Fatal("same seed must give the same instance")
+	}
+	c := ForallExistsFamily(2, 2, 4, 8)
+	if a.String() == c.String() {
+		t.Fatal("different seeds should give different instances")
+	}
+	if a.Eval() != b.Eval() {
+		t.Fatal("evaluation must be deterministic")
+	}
+}
+
+func TestEFEFamilyShape(t *testing.T) {
+	q := ExistsForallExistsFamily(1, 2, 1, 3, 5)
+	if len(q.Blocks) != 3 || q.Blocks[0].Q != sat.Exists || q.Blocks[1].Q != sat.ForAll {
+		t.Fatalf("blocks wrong: %v", q.Blocks)
+	}
+	if q.Matrix.Vars != 4 || len(q.Matrix.Clauses) != 3 {
+		t.Fatalf("matrix wrong: %v", q.Matrix)
+	}
+}
+
+func TestSATUNSATFamily(t *testing.T) {
+	inst := SATUNSATFamily(3, 4, 11)
+	if inst.Phi == nil || inst.Psi == nil || inst.Phi.Vars != 3 {
+		t.Fatal("family shape wrong")
+	}
+	// Deterministic.
+	if SATUNSATFamily(3, 4, 11).Eval() != inst.Eval() {
+		t.Fatal("evaluation must be deterministic")
+	}
+}
+
+func TestCircuitFamily(t *testing.T) {
+	taut := CircuitFamily(3, 12, true, 3)
+	ok, err := taut.Tautology()
+	if err != nil || !ok {
+		t.Fatal("forced tautology must be a tautology")
+	}
+	if taut.Inputs != 3 {
+		t.Fatalf("inputs = %d", taut.Inputs)
+	}
+}
+
+func TestBoundedScenarioInstance(t *testing.T) {
+	s := NewBoundedScenario(4, core.Options{})
+	ci := s.Instance(6, 2, 1)
+	if ci.Size() != 8 {
+		t.Fatalf("Size = %d", ci.Size())
+	}
+	if len(ci.Vars()) != 2 {
+		t.Fatalf("Vars = %v", ci.Vars())
+	}
+	// Every generated instance is consistent: items come from the
+	// catalogue and quantities are unconstrained.
+	ok, err := s.Problem.Consistent(ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("generated instance should be consistent")
+	}
+}
+
+func TestBoundedScenarioDecidersRun(t *testing.T) {
+	s := NewBoundedScenario(3, core.Options{})
+	ci := s.Instance(4, 1, 2)
+	for _, m := range []core.Model{core.Strong, core.Weak, core.Viable} {
+		if _, err := s.Problem.RCDP(ci, m); err != nil {
+			t.Fatalf("RCDP(%v): %v", m, err)
+		}
+	}
+}
+
+func TestRandomBooleanCases(t *testing.T) {
+	cases := RandomBooleanCases(10, 3, nil)
+	if len(cases) != 10 {
+		t.Fatalf("want 10 cases, got %d", len(cases))
+	}
+	for i, c := range cases {
+		if c.Problem == nil || c.CI == nil {
+			t.Fatalf("case %d incomplete", i)
+		}
+		if _, err := c.Problem.Consistent(c.CI); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}

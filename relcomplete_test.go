@@ -1,0 +1,152 @@
+package relcomplete_test
+
+import (
+	"errors"
+	"testing"
+
+	rc "relcomplete"
+)
+
+// End-to-end smoke test of the public facade: the bounded-by-master
+// scenario, exercised purely through the root package.
+func TestFacadeEndToEnd(t *testing.T) {
+	order, err := rc.NewSchema("Order", rc.Attr("item", nil), rc.Attr("qty", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := rc.NewSchema("Catalog", rc.Attr("item", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := rc.NewDBSchema(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterSchema, err := rc.NewDBSchema(catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := rc.NewDatabase(masterSchema)
+	dm.MustInsert("Catalog", rc.T("widget"))
+
+	constraint, err := rc.ParseConstraint("item_bound",
+		"q(i) := Order(i, q)", "p(i) := Catalog(i)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := rc.ParseQuery("Q(q) := Order('widget', q)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rc.NewProblem(schema, rc.CalcQuery(q), dm, rc.NewConstraintSet(constraint), rc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ci := rc.NewCInstance(schema)
+	ci.MustAddRow("Order", rc.Row{Terms: []rc.Term{rc.C("widget"), rc.V("x")},
+		Cond: rc.Cond(rc.Neq(rc.V("x"), rc.C("0")))})
+
+	ok, err := p.Consistent(ci)
+	if err != nil || !ok {
+		t.Fatalf("Consistent: %v %v", ok, err)
+	}
+	// Quantities are open-world: no valuation makes the instance
+	// strongly or viably complete; but because no answer is ever
+	// CERTAIN (the missing quantity ranges over an infinite domain),
+	// the c-instance is weakly complete.
+	for _, m := range []rc.Model{rc.Strong, rc.Viable} {
+		complete, err := p.RCDP(ci, m)
+		if err != nil {
+			t.Fatalf("RCDP(%v): %v", m, err)
+		}
+		if complete {
+			t.Fatalf("open-world quantities cannot be %v complete", m)
+		}
+	}
+	weak, err := p.RCDP(ci, rc.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weak {
+		t.Fatal("no certain answers: weakly complete")
+	}
+
+	// A ground instance pins the quantity. It is still weakly
+	// complete: extensions only add answers that are never certain
+	// (each extension adds a different quantity). It is not strongly
+	// complete: more quantities can always arrive.
+	db := rc.NewDatabase(schema)
+	db.MustInsert("Order", rc.T("widget", "5"))
+	ground := rc.GroundCInstance(db)
+	weak, err = p.RCDP(ground, rc.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weak {
+		t.Fatal("ground instance: added quantities are never certain, so weakly complete")
+	}
+	strong, err := p.RCDP(ground, rc.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong {
+		t.Fatal("ground instance is not strongly complete: quantities can still arrive")
+	}
+	// Weak RCQP is trivially true.
+	ok, err = p.RCQP(rc.Weak)
+	if err != nil || !ok {
+		t.Fatal("weak RCQP should hold")
+	}
+}
+
+func TestFacadeFPAndErrors(t *testing.T) {
+	edge, _ := rc.NewSchema("edge", rc.Attr("A", nil), rc.Attr("B", nil))
+	schema, _ := rc.NewDBSchema(edge)
+	prog, err := rc.ParseProgram("reach", schema, `
+		reach(x, y) :- edge(x, y).
+		reach(x, z) :- reach(x, y), edge(y, z).
+		output reach.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rc.NewProblem(schema, rc.FPQuery(prog), nil, nil, rc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := rc.NewCInstance(schema)
+	if _, err := p.RCDP(ci, rc.Strong); !errors.Is(err, rc.ErrUndecidable) {
+		t.Fatalf("RCDPs(FP) must be undecidable: %v", err)
+	}
+	if _, err := p.RCDP(ci, rc.Weak); err != nil {
+		t.Fatalf("RCDPw(FP) must be decidable: %v", err)
+	}
+}
+
+func TestFacadeDomains(t *testing.T) {
+	d := rc.FiniteDomain("rgb", "r", "g", "b")
+	if !d.Contains("g") || d.Contains("x") {
+		t.Fatal("finite domain wrong")
+	}
+	if got := rc.BoolDomain().Values(); len(got) != 2 {
+		t.Fatal("bool domain wrong")
+	}
+	if !rc.V("x").IsVar || rc.C("k").IsVar {
+		t.Fatal("term constructors wrong")
+	}
+	if rc.T("a", "b").Key() == rc.T("ab").Key() {
+		t.Fatal("tuple keys must be injective")
+	}
+}
+
+func TestFacadeGroundCInstance(t *testing.T) {
+	r, _ := rc.NewSchema("R", rc.Attr("A", nil))
+	schema, _ := rc.NewDBSchema(r)
+	db := rc.NewDatabase(schema)
+	db.MustInsert("R", rc.T("1"))
+	ci := rc.GroundCInstance(db)
+	if !ci.IsGround() || ci.Size() != 1 {
+		t.Fatal("GroundCInstance wrong")
+	}
+}
