@@ -457,6 +457,61 @@ func BenchmarkTractableMINP(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel search engine — the same deciders at Parallelism 1 (the
+// exact sequential path) and N. Verdicts are bit-identical at every
+// worker count by construction (see internal/search); only wall-clock
+// varies with the host's core count. internal/search's latency-bound
+// benchmarks isolate the engine's speed-up; these measure it
+// end-to-end on CPU-bound deciders.
+// ---------------------------------------------------------------------------
+
+func BenchmarkParallelWorkers(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("rcdp_weak_3sat/workers=%d", workers), func(b *testing.B) {
+			q := workload.ExistsForallExistsFamily(1, 2, 1, 3, 2)
+			g, err := reduction.NewWeakRCDPGadget(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.Problem.Options.Parallelism = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.WeaklyComplete(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("rcdp_strong_patient/workers=%d", workers), func(b *testing.B) {
+			s := paperex.Reduced()
+			p, err := s.Problem(s.Q1, core.Options{Parallelism: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ok, err := p.RCDP(s.T, core.Strong); err != nil || !ok {
+					b.Fatal(ok, err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("consistency_3sat/workers=%d", workers), func(b *testing.B) {
+			q := workload.ForallExistsFamily(2, 2, 4, 2)
+			g, err := reduction.NewConsistencyGadget(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.Problem.Options.Parallelism = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.ConsistencyHolds(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // E-P31 — the Proposition 3.1 FD(+IND) gadget.
 // ---------------------------------------------------------------------------
 

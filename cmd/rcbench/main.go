@@ -12,6 +12,7 @@
 //	rcbench            # full sweep (~a few minutes)
 //	rcbench -quick     # reduced sizes
 //	rcbench -run MINP  # only experiments whose id contains "MINP"
+//	rcbench -workers 8 # worker count for the candidate searches
 package main
 
 import (
@@ -53,13 +54,25 @@ type experiment struct {
 	runFn func(quick bool) ([]row, error)
 }
 
+// workersFlag holds the -workers value for the current run; every
+// experiment builds its Problem from benchOpts so the setting reaches
+// the deciders.
+var workersFlag int
+
+// benchOpts is the Options value each experiment starts from.
+func benchOpts() core.Options {
+	return core.Options{Parallelism: workersFlag}
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rcbench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced sizes")
 	filter := fs.String("run", "", "only experiments whose id contains this substring")
+	workers := fs.Int("workers", 0, "worker count for the parallel candidate searches (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	workersFlag = *workers
 
 	fmt.Fprintln(out, "relcomplete — empirical reproduction of Table I (Deng, Fan, Geerts; PODS'10/TODS'16)")
 	fmt.Fprintln(out, strings.Repeat("=", 96))
@@ -135,15 +148,15 @@ func runFigure1(quick bool) ([]row, error) {
 		want  bool
 	}{
 		{"Q1 strongly complete", func() (bool, error) {
-			p, _ := s.Problem(s.Q1, core.Options{})
+			p, _ := s.Problem(s.Q1, benchOpts())
 			return p.RCDP(s.T, core.Strong)
 		}, true},
 		{"Q2 incomplete", func() (bool, error) {
-			p, _ := s.Problem(s.Q2, core.Options{})
+			p, _ := s.Problem(s.Q2, benchOpts())
 			return p.RCDP(s.T, core.Strong)
 		}, false},
 		{"Q4 weakly complete", func() (bool, error) {
-			p, _ := s.Problem(s.Q4, core.Options{})
+			p, _ := s.Problem(s.Q4, benchOpts())
 			withVar, err := s.WithRow(ctable.Row{
 				Terms: []query.Term{query.C("915-15-336"), query.V("x"), query.C("EDI"), query.V("z")},
 			})
@@ -153,7 +166,7 @@ func runFigure1(quick bool) ([]row, error) {
 			return p.RCDP(withVar, core.Weak)
 		}, true},
 		{"Q4 not strongly complete", func() (bool, error) {
-			p, _ := s.Problem(s.Q4, core.Options{})
+			p, _ := s.Problem(s.Q4, benchOpts())
 			withVar, err := s.WithRow(ctable.Row{
 				Terms: []query.Term{query.C("915-15-336"), query.V("x"), query.C("EDI"), query.V("z")},
 			})
@@ -196,6 +209,7 @@ func runConsistency(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
+		g.Problem.Options.Parallelism = workersFlag
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.ConsistencyHolds()
@@ -221,6 +235,7 @@ func runExtensibility(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
+		g.Problem.Options.Parallelism = workersFlag
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.ExtensibilityHolds()
@@ -254,7 +269,7 @@ func runRCDPStrong(quick bool) ([]row, error) {
 				query.C("LON"), query.C("2000"),
 			}})
 		}
-		p, err := s.Problem(s.Q1, core.Options{})
+		p, err := s.Problem(s.Q1, benchOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -289,6 +304,7 @@ func runRCDPWeak(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
+		g.Problem.Options.Parallelism = workersFlag
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.WeaklyComplete()
@@ -314,6 +330,7 @@ func runRCDPViable(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
+		g.Problem.Options.Parallelism = workersFlag
 		want := q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.RCDPViableHolds()
@@ -347,6 +364,7 @@ func runRCDPWeakFP(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
+		g.Problem.Options.Parallelism = workersFlag
 		r, err := timed(func() (string, string, error) {
 			got, err := g.WeaklyComplete()
 			if err != nil {
@@ -371,6 +389,7 @@ func runMINPStrong(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
+		g.Problem.Options.Parallelism = workersFlag
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.MINPStrongHolds()
@@ -418,6 +437,7 @@ func runMINPWeakCQ(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
+		g.Problem.Options.Parallelism = workersFlag
 		want := !inst.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.MinimalWeaklyComplete()
@@ -437,9 +457,9 @@ func runMINPWeakCQ(quick bool) ([]row, error) {
 
 func runMINPWeakUCQ(quick bool) ([]row, error) {
 	var rows []row
-	s := workload.NewBoundedScenario(3, core.Options{})
+	s := workload.NewBoundedScenario(3, benchOpts())
 	q := query.MustParseQuery("Q(i) := Order(i, '1') | Order(i, '2')")
-	p := core.MustProblem(s.Schema, core.CalcQuery(q), s.Dm, s.CCs, core.Options{})
+	p := core.MustProblem(s.Schema, core.CalcQuery(q), s.Dm, s.CCs, benchOpts())
 	sizes := []int{1, 2, 3}
 	if quick {
 		sizes = []int{1, 2}
@@ -470,6 +490,7 @@ func runMINPViable(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
+		g.Problem.Options.Parallelism = workersFlag
 		want := q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.MINPViableHolds()
@@ -497,7 +518,7 @@ func runRCQPStrong(quick bool) ([]row, error) {
 	if err != nil {
 		return nil, err
 	}
-	pInd := core.MustProblem(s.Data, core.CalcQuery(s.Q1), s.Dm, ccSet, core.Options{})
+	pInd := core.MustProblem(s.Data, core.CalcQuery(s.Q1), s.Dm, ccSet, benchOpts())
 	r, err := timed(func() (string, string, error) {
 		got, err := pInd.RCQP(core.Strong)
 		if err != nil {
@@ -512,7 +533,7 @@ func runRCQPStrong(quick bool) ([]row, error) {
 	rows = append(rows, r)
 
 	// Bounded witness search with the Figure 1 CC set.
-	pSearch, err := s.Problem(s.Q1, core.Options{RCQPSizeBound: 1})
+	pSearch, err := s.Problem(s.Q1, core.Options{RCQPSizeBound: 1, Parallelism: workersFlag})
 	if err != nil {
 		return nil, err
 	}
@@ -538,7 +559,7 @@ func runRCQPWeak(quick bool) ([]row, error) {
 		sizes = []int{2, 4}
 	}
 	for _, catalogue := range sizes {
-		s := workload.NewBoundedScenario(catalogue, core.Options{})
+		s := workload.NewBoundedScenario(catalogue, benchOpts())
 		r, err := timed(func() (string, string, error) {
 			witness, err := s.Problem.ConstructWeaklyComplete()
 			if err != nil {
@@ -562,9 +583,9 @@ func runRCQPWeak(quick bool) ([]row, error) {
 func runUndecidable(quick bool) ([]row, error) {
 	schema := relation.MustDBSchema(relation.MustSchema("R", relation.Attr("A", nil)))
 	fo := core.MustProblem(schema,
-		core.CalcQuery(query.MustParseQuery("Q(x) := ! R(x)")), nil, nil, core.Options{})
+		core.CalcQuery(query.MustParseQuery("Q(x) := ! R(x)")), nil, nil, benchOpts())
 	fp := core.MustProblem(schema,
-		core.FPQuery(query.MustParseProgram("p", schema, "r(x) :- R(x). output r.")), nil, nil, core.Options{})
+		core.FPQuery(query.MustParseProgram("p", schema, "r(x) :- R(x). output r.")), nil, nil, benchOpts())
 	ci := ctable.NewCInstance(schema)
 
 	var rows []row
@@ -607,7 +628,7 @@ func tractableSizes(quick bool) []int {
 
 func runTractableRCDP(quick bool) ([]row, error) {
 	var rows []row
-	s := workload.NewBoundedScenario(4, core.Options{})
+	s := workload.NewBoundedScenario(4, benchOpts())
 	for _, n := range tractableSizes(quick) {
 		ci := s.Instance(n, 1, int64(n))
 		r, err := timed(func() (string, string, error) {
@@ -634,7 +655,7 @@ func runTractableRCQP(quick bool) ([]row, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := core.MustProblem(s.Data, core.CalcQuery(s.Q1), s.Dm, ccSet, core.Options{})
+	p := core.MustProblem(s.Data, core.CalcQuery(s.Q1), s.Dm, ccSet, benchOpts())
 	r, err := timed(func() (string, string, error) {
 		got, err := tractable.RCQP(p, core.Strong)
 		if err != nil {
@@ -651,7 +672,7 @@ func runTractableRCQP(quick bool) ([]row, error) {
 
 func runTractableMINP(quick bool) ([]row, error) {
 	var rows []row
-	s := workload.NewBoundedScenario(3, core.Options{})
+	s := workload.NewBoundedScenario(3, benchOpts())
 	sizes := []int{2, 4, 8}
 	if quick {
 		sizes = []int{2, 4}

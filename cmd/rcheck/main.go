@@ -35,6 +35,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	model := fs.String("model", "strong", "completeness model: strong | weak | viable")
 	explain := fs.Bool("explain", false, "print a counterexample when RCDP fails")
 	maxModels := fs.Int("max-models", 10, "cap for -problem models")
+	workers := fs.Int("workers", 0, "worker count for the parallel searches (0 = keep the document's options.parallelism, or GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +55,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	p, ci, err := probjson.Decode(data)
 	if err != nil {
 		return err
+	}
+	if *workers != 0 {
+		p.Options.Parallelism = *workers
 	}
 	m, err := parseModel(*model)
 	if err != nil {

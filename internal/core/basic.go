@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+
 	"relcomplete/internal/adom"
 	"relcomplete/internal/ctable"
 	"relcomplete/internal/relation"
+	"relcomplete/internal/search"
 )
 
 // This file implements the basic analyses of Section 3: partial
@@ -49,6 +52,50 @@ func (p *Problem) forEachModel(ci *ctable.CInstance, d *domains,
 	return d.a.Enumerate(ci.Vars(), ci.VarDomains(), p.Options.MaxValuations, visit)
 }
 
+// modelCandidates adapts the ModAdom candidate enumeration to a
+// search.Generator for the parallel deciders. Valuations are applied
+// and deduplicated on the generator goroutine — the enumerators reuse
+// one mutable valuation map, so ci.Apply must not escape to workers —
+// and each yielded database is fresh and immutable thereafter. The CC
+// check of forEachModel moves into the probes (it is part of the
+// per-candidate work worth parallelising), so candidates here are
+// "potential models": deduplicated ground instances not yet filtered
+// by V.
+//
+// Enumeration failures (ErrBudget, condition errors) are reported
+// through genErr, which the caller must read only after the search
+// returns (the search joins its goroutines, establishing the needed
+// happens-before edge). A decisive search outcome takes precedence
+// over genErr: the sequential loop would have stopped at the decisive
+// candidate before ever reaching the enumeration failure, since the
+// generator outruns the probes only in the parallel schedule.
+func (p *Problem) modelCandidates(ci *ctable.CInstance, d *domains, genErr *error) search.Generator[*relation.Database] {
+	return func(yield func(*relation.Database) bool) {
+		seen := map[string]bool{}
+		visit := func(mu ctable.Valuation) (bool, error) {
+			db, err := ci.Apply(mu)
+			if err != nil {
+				return false, err
+			}
+			key := dbKey(db)
+			if seen[key] {
+				return true, nil
+			}
+			seen[key] = true
+			return yield(db), nil
+		}
+		var err error
+		if d.ty != nil {
+			err = p.enumerateTyped(ci, d.a, d.ty, visit)
+		} else {
+			err = d.a.Enumerate(ci.Vars(), ci.VarDomains(), p.Options.MaxValuations, visit)
+		}
+		if err != nil {
+			*genErr = err
+		}
+	}
+}
+
 // dbKey canonically serialises a ground database for deduplication.
 func dbKey(db *relation.Database) string {
 	out := ""
@@ -62,18 +109,27 @@ func dbKey(db *relation.Database) string {
 }
 
 // Consistent decides the consistency problem: is Mod(T, Dm, V)
-// non-empty? (Proposition 3.3; Σp2-complete.)
+// non-empty? (Proposition 3.3; Σp2-complete.) The CC checks of the
+// candidate valuations fan out over Options.Parallelism workers.
 func (p *Problem) Consistent(ci *ctable.CInstance) (bool, error) {
 	d, err := p.domainsFor(ci, false, false)
 	if err != nil {
 		return false, err
 	}
-	found := false
-	err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
-		found = true
-		return false, nil
-	})
-	return found, err
+	var genErr error
+	probe := func(ctx context.Context, idx int, db *relation.Database) (struct{}, bool, error) {
+		ok, err := p.satisfiesCCs(db)
+		return struct{}{}, ok, err
+	}
+	_, found, err := search.FirstHit(context.Background(), p.Options.workers(),
+		p.modelCandidates(ci, d, &genErr), probe)
+	if err != nil {
+		return false, err
+	}
+	if !found && genErr != nil {
+		return false, genErr
+	}
+	return found, nil
 }
 
 // AnyModel returns one member of ModAdom(T, Dm, V), or nil when the

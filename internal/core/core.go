@@ -19,7 +19,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"relcomplete/internal/adom"
 	"relcomplete/internal/cc"
@@ -188,6 +190,21 @@ type Options struct {
 	// stated. The default (typed) is exact; the flag exists for the
 	// differential test-suite and the ablation benchmark.
 	NoTypedDomains bool
+	// Parallelism is the worker count for the candidate searches
+	// (counterexample, witness and certain-answer enumerations). 0
+	// defaults to runtime.GOMAXPROCS(0); 1 forces the exact sequential
+	// code path. Verdicts, counterexamples and certain answers are
+	// identical at every setting (see internal/search); only the
+	// point at which a search budget triggers may shift by at most the
+	// dispatch window when MaxValuations is set.
+	Parallelism int
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) rcqpSizeBound() int {
@@ -213,6 +230,12 @@ type Problem struct {
 	CCs     *cc.Set
 	Options Options
 
+	// cacheMu guards the three lazy caches below. Search probes run on
+	// worker goroutines (internal/search) and share the Problem; every
+	// cache access goes through a compute-under-lock accessor, and the
+	// computations never touch another cache, so the single mutex
+	// cannot recurse.
+	cacheMu       sync.Mutex
 	disjTabs      []*query.Tableau            // cached renamed disjunct tableaux
 	atomCandCache map[string][]relation.Tuple // constant-pinned closed lattice per atom
 	closureCache  map[string]bool             // single-tuple closure verdicts
@@ -338,7 +361,10 @@ func intersectTuples(a []relation.Tuple, universe bool, b []relation.Tuple) ([]r
 // disjunctTableaux returns the tableaux of the query's CQ disjuncts,
 // with variables renamed into a reserved namespace so they cannot
 // collide with c-instance variables. Only valid for ∃FO+ and below.
+// Safe for concurrent use: the first caller computes under cacheMu.
 func (p *Problem) disjunctTableaux() ([]*query.Tableau, error) {
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
 	if p.disjTabs != nil {
 		return p.disjTabs, nil
 	}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"relcomplete/internal/ctable"
 	"relcomplete/internal/relation"
+	"relcomplete/internal/search"
 )
 
 // This file contains reference implementations that follow the paper's
@@ -96,64 +99,58 @@ func (p *Problem) ReferenceGroundComplete(db *relation.Database, extra int) (boo
 	return complete, nil
 }
 
-// ReferenceRCDP mirrors RCDP through ReferenceGroundComplete.
+// ReferenceRCDP mirrors RCDP through ReferenceGroundComplete. Like the
+// production deciders it fans the per-model brute-force checks out
+// over Options.Parallelism workers: strong looks for the first
+// incomplete model, viable for the first complete one.
 func (p *Problem) ReferenceRCDP(ci *ctable.CInstance, m Model, extra int) (bool, error) {
 	d, err := p.domainsFor(ci, p.Query.Calc != nil && p.Query.Lang() != FO, true)
 	if err != nil {
 		return false, err
 	}
-	switch m {
-	case Strong:
-		all := true
-		any := false
-		err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
-			any = true
-			ok, err := p.ReferenceGroundComplete(db, extra)
-			if err != nil {
-				return false, err
-			}
-			if !ok {
-				all = false
-				return false, nil
-			}
-			return true, nil
-		})
-		if err != nil {
-			return false, err
-		}
-		if !any {
-			return false, ErrInconsistent
-		}
-		return all, nil
-	case Viable:
-		found := false
-		any := false
-		err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
-			any = true
-			ok, err := p.ReferenceGroundComplete(db, extra)
-			if err != nil {
-				return false, err
-			}
-			if ok {
-				found = true
-				return false, nil
-			}
-			return true, nil
-		})
-		if err != nil {
-			return false, err
-		}
-		if !any {
-			return false, ErrInconsistent
-		}
-		return found, nil
-	default:
+	if m == Weak {
 		return p.referenceWeakComplete(ci, extra)
 	}
+	var any atomic.Bool
+	var genErr error
+	probe := func(ctx context.Context, idx int, db *relation.Database) (struct{}, bool, error) {
+		ok, err := p.satisfiesCCs(db)
+		if err != nil || !ok {
+			return struct{}{}, false, err
+		}
+		any.Store(true)
+		complete, err := p.ReferenceGroundComplete(db, extra)
+		if err != nil {
+			return struct{}{}, false, err
+		}
+		if m == Strong {
+			return struct{}{}, !complete, nil // hit = refutation
+		}
+		return struct{}{}, complete, nil // hit = witness
+	}
+	_, found, err := search.FirstHit(context.Background(), p.Options.workers(),
+		p.modelCandidates(ci, d, &genErr), probe)
+	if err != nil {
+		return false, err
+	}
+	if !found && genErr != nil {
+		return false, genErr
+	}
+	if !any.Load() {
+		return false, ErrInconsistent
+	}
+	if m == Strong {
+		return !found, nil
+	}
+	return found, nil
 }
 
 // referenceWeakComplete computes the weak-model definition directly:
 // ∩_{I∈Mod} Q(I) versus ∩_{I∈Mod, I'∈Ext(I), |I'\I| ≤ extra} Q(I').
+// The per-model extension sweeps — the expensive dimension — run on
+// the worker pool; each produces the model's answers and its local
+// extension-answer intersection, merged in enumeration order so the
+// reference stays bit-deterministic.
 func (p *Problem) referenceWeakComplete(ci *ctable.CInstance, extra int) (bool, error) {
 	dom, err := p.domainsFor(ci, false, true)
 	if err != nil {
@@ -166,13 +163,24 @@ func (p *Problem) referenceWeakComplete(ci *ctable.CInstance, extra int) (bool, 
 	universeExt := true
 	anyModel := false
 	anyExt := false
-	err = p.forEachModel(ci, dom, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
-		anyModel = true
-		ans, err := p.answers(db)
-		if err != nil {
-			return false, err
+	type modelSweep struct {
+		isModel     bool
+		ans         []relation.Tuple
+		ext         []relation.Tuple
+		universeExt bool
+		anyExt      bool
+	}
+	probe := func(ctx context.Context, idx int, db *relation.Database) (modelSweep, error) {
+		s := modelSweep{universeExt: true}
+		ok, err := p.satisfiesCCs(db)
+		if err != nil || !ok {
+			return s, err
 		}
-		certT, universeT = intersectTuples(certT, universeT, ans)
+		s.isModel = true
+		s.ans, err = p.answers(db)
+		if err != nil {
+			return s, err
+		}
 		// Enumerate extensions of db with up to extra added tuples.
 		var lattice []relation.Located
 		for _, r := range p.Schema.Relations() {
@@ -183,10 +191,10 @@ func (p *Problem) referenceWeakComplete(ci *ctable.CInstance, extra int) (bool, 
 				return true, nil
 			})
 			if err != nil {
-				return false, err
+				return s, err
 			}
 			if !done {
-				return false, ErrBudget
+				return s, ErrBudget
 			}
 		}
 		var rec func(start int, cur *relation.Database, added int) error
@@ -199,12 +207,12 @@ func (p *Problem) referenceWeakComplete(ci *ctable.CInstance, extra int) (bool, 
 				if !closed {
 					return nil
 				}
-				anyExt = true
+				s.anyExt = true
 				ans, err := p.answers(cur)
 				if err != nil {
 					return err
 				}
-				certExt, universeExt = intersectTuples(certExt, universeExt, ans)
+				s.ext, s.universeExt = intersectTuples(s.ext, s.universeExt, ans)
 			}
 			if added == extra {
 				return nil
@@ -217,12 +225,32 @@ func (p *Problem) referenceWeakComplete(ci *ctable.CInstance, extra int) (bool, 
 			return nil
 		}
 		if err := rec(0, db, 0); err != nil {
-			return false, err
+			return s, err
 		}
-		return true, nil
-	})
+		return s, nil
+	}
+	var genErr error
+	_, err = search.ForEachOrdered(context.Background(), p.Options.workers(),
+		p.modelCandidates(ci, dom, &genErr), probe,
+		func(idx int, s modelSweep) (bool, error) {
+			if !s.isModel {
+				return true, nil
+			}
+			anyModel = true
+			certT, universeT = intersectTuples(certT, universeT, s.ans)
+			if s.anyExt {
+				anyExt = true
+			}
+			if !s.universeExt {
+				certExt, universeExt = intersectTuples(certExt, universeExt, s.ext)
+			}
+			return true, nil
+		})
 	if err != nil {
 		return false, err
+	}
+	if genErr != nil {
+		return false, genErr
 	}
 	if !anyModel {
 		return false, ErrInconsistent

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"relcomplete/internal/adom"
 	"relcomplete/internal/cc"
 	"relcomplete/internal/ctable"
 	"relcomplete/internal/query"
 	"relcomplete/internal/relation"
+	"relcomplete/internal/search"
 )
 
 // This file implements RCQP in the strong and viable models (they
@@ -264,13 +267,14 @@ func (p *Problem) rcqpBoundedSearch() (bool, error) {
 		}
 	}
 
-	tried := 0
-	var found bool
-	current := relation.NewDatabase(p.Schema)
-	var search func(start, remaining int) error
+	// The DFS over candidate instances fans out at its first level: each
+	// choice of lowest lattice tuple roots an independent subtree, probed
+	// in parallel with its own local instance. The check budget is a
+	// shared atomic so the total work stays capped; at workers=1 the
+	// inline first-hit loop replays the exact sequential DFS pre-order.
+	var tried atomic.Int64
 	check := func(db *relation.Database) (bool, error) {
-		tried++
-		if p.Options.MaxValuations > 0 && tried > p.Options.MaxValuations {
+		if p.Options.MaxValuations > 0 && tried.Add(1) > int64(p.Options.MaxValuations) {
 			return false, fmt.Errorf("RCQP search: %w", ErrBudget)
 		}
 		closed, err := p.satisfiesCCs(db)
@@ -286,38 +290,49 @@ func (p *Problem) rcqpBoundedSearch() (bool, error) {
 		}
 		return cex == nil, nil
 	}
-	search = func(start, remaining int) error {
-		ok, err := check(current)
-		if err != nil {
-			return err
-		}
-		if ok {
-			found = true
-			return nil
+	var subtree func(cur *relation.Database, start, remaining int) (bool, error)
+	subtree = func(cur *relation.Database, start, remaining int) (bool, error) {
+		ok, err := check(cur)
+		if err != nil || ok {
+			return ok, err
 		}
 		if remaining == 0 {
-			return nil
+			return false, nil
 		}
 		for i := start; i < len(lattice); i++ {
 			loc := lattice[i]
-			if current.Relation(loc.Rel).Contains(loc.Tuple) {
+			if cur.Relation(loc.Rel).Contains(loc.Tuple) {
 				continue
 			}
-			next := current.WithTuple(loc.Rel, loc.Tuple)
-			saved := current
-			current = next
-			if err := search(i+1, remaining-1); err != nil {
-				return err
-			}
-			current = saved
-			if found {
-				return nil
+			ok, err := subtree(cur.WithTuple(loc.Rel, loc.Tuple), i+1, remaining-1)
+			if err != nil || ok {
+				return ok, err
 			}
 		}
-		return nil
+		return false, nil
 	}
-	if err := search(0, bound); err != nil {
+	empty := relation.NewDatabase(p.Schema)
+	ok, err := check(empty)
+	if err != nil {
 		return false, err
+	}
+	found := ok
+	if !found && bound > 0 {
+		gen := func(yield func(int) bool) {
+			for i := range lattice {
+				if !yield(i) {
+					return
+				}
+			}
+		}
+		probe := func(ctx context.Context, idx int, first int) (struct{}, bool, error) {
+			ok, err := subtree(empty.WithTuple(lattice[first].Rel, lattice[first].Tuple), first+1, bound-1)
+			return struct{}{}, ok, err
+		}
+		_, found, err = search.FirstHit(context.Background(), p.Options.workers(), gen, probe)
+		if err != nil {
+			return false, err
+		}
 	}
 	if found {
 		return true, nil

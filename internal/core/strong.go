@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"relcomplete/internal/adom"
 	"relcomplete/internal/ctable"
 	"relcomplete/internal/query"
 	"relcomplete/internal/relation"
+	"relcomplete/internal/search"
 )
 
 // This file implements the strong completeness model (Section 4):
@@ -56,7 +59,10 @@ func (p *Problem) RCDPExplain(ci *ctable.CInstance, m Model) (bool, *Counterexam
 
 // rcdpStrong implements Theorem 4.1: undecidable for FO and FP;
 // for CQ/UCQ/∃FO+ it checks, per Lemmas 4.2/4.3, that every
-// I ∈ ModAdom(T) is bounded by (Dm, V).
+// I ∈ ModAdom(T) is bounded by (Dm, V). The per-model bounded checks
+// are independent and fan out over Options.Parallelism workers; the
+// first-hit engine returns the counterexample of the lowest-index
+// failing model, which is exactly the one the sequential scan reports.
 func (p *Problem) rcdpStrong(ci *ctable.CInstance) (bool, *Counterexample, error) {
 	switch p.Query.Lang() {
 	case FO, FP:
@@ -66,27 +72,38 @@ func (p *Problem) rcdpStrong(ci *ctable.CInstance) (bool, *Counterexample, error
 	if err != nil {
 		return false, nil, err
 	}
-	consistent := false
-	var cex *Counterexample
-	err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
-		consistent = true
+	var consistent atomic.Bool
+	var genErr error
+	probe := func(ctx context.Context, idx int, db *relation.Database) (*Counterexample, bool, error) {
+		ok, err := p.satisfiesCCs(db)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		consistent.Store(true)
 		c, err := p.boundedCounterexample(db, d)
 		if err != nil {
-			return false, err
+			return nil, false, err
 		}
-		if c != nil {
-			cex = c
-			return false, nil
-		}
-		return true, nil
-	})
+		return c, c != nil, nil
+	}
+	hit, found, err := search.FirstHit(context.Background(), p.Options.workers(),
+		p.modelCandidates(ci, d, &genErr), probe)
 	if err != nil {
 		return false, nil, err
 	}
-	if !consistent {
+	if !found && genErr != nil {
+		return false, nil, genErr
+	}
+	if !consistent.Load() {
 		return false, nil, ErrInconsistent
 	}
-	return cex == nil, cex, nil
+	if found {
+		return false, hit.Value, nil
+	}
+	return true, nil, nil
 }
 
 // boundedCounterexample checks whether the ground instance I is
@@ -126,11 +143,35 @@ func (p *Problem) boundedCounterexample(db *relation.Database, d *domains) (*Cou
 	return nil, nil
 }
 
+// atomCandidates returns the constant-pinned closed lattice for one
+// atom, memoised per typing signature. Concurrent probes share the
+// cache: the first caller computes under cacheMu, later callers reuse
+// the cached slice (read-only by convention).
+func (p *Problem) atomCandidates(sig string, atom *query.Atom, d *domains) ([]relation.Tuple, error) {
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	if p.atomCandCache == nil {
+		p.atomCandCache = map[string][]relation.Tuple{}
+	}
+	key := sig + "§" + atom.String()
+	if cached, ok := p.atomCandCache[key]; ok {
+		return cached, nil
+	}
+	cands, err := p.atomClosedCandidates(atom, d)
+	if err != nil {
+		return nil, err
+	}
+	p.atomCandCache[key] = cands
+	return cands, nil
+}
+
 // atomClosedCandidates enumerates the lattice tuples matching an
 // atom's constant positions whose singleton instance is partially
 // closed — the only tuples the atom can contribute to a partially
 // closed extension (CC antimonotonicity). Closure verdicts are
-// memoised per tuple across atoms.
+// memoised per tuple across atoms. Callers must hold cacheMu (it
+// reads and writes closureCache); the CC evaluation below never
+// touches a Problem cache, so the lock cannot recurse.
 func (p *Problem) atomClosedCandidates(atom *query.Atom, d *domains) ([]relation.Tuple, error) {
 	r := p.Schema.Relation(atom.Rel)
 	pins := map[int]relation.Value{}
@@ -251,9 +292,6 @@ func (p *Problem) tableauCounterexample(db *relation.Database, tab *query.Tablea
 		}
 		return true
 	}
-	if p.atomCandCache == nil {
-		p.atomCandCache = map[string][]relation.Tuple{}
-	}
 	instCands := make([][]relation.Tuple, len(tab.Atoms))
 	latticeCands := make([][]relation.Tuple, len(tab.Atoms))
 	for i, atom := range tab.Atoms {
@@ -265,15 +303,9 @@ func (p *Problem) tableauCounterexample(db *relation.Database, tab *query.Tablea
 				instCands[i] = append(instCands[i], t)
 			}
 		}
-		key := sig + "\u00a7" + atom.String()
-		cached, ok := p.atomCandCache[key]
-		if !ok {
-			var err error
-			cached, err = p.atomClosedCandidates(atom, d)
-			if err != nil {
-				return nil, err
-			}
-			p.atomCandCache[key] = cached
+		cached, err := p.atomCandidates(sig, atom, d)
+		if err != nil {
+			return nil, err
 		}
 		latticeCands[i] = cached
 	}
@@ -446,19 +478,26 @@ func (p *Problem) minpStrong(ci *ctable.CInstance) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	minimal := true
-	err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
+	// First hit = some model with a complete single-tuple removal,
+	// which refutes minimality; the models fan out over the workers.
+	var genErr error
+	probe := func(ctx context.Context, idx int, db *relation.Database) (struct{}, bool, error) {
+		ok, err := p.satisfiesCCs(db)
+		if err != nil || !ok {
+			return struct{}{}, false, err
+		}
 		nonMin, err := p.hasCompleteRemoval(db, d)
-		if err != nil {
-			return false, err
-		}
-		if nonMin {
-			minimal = false
-			return false, nil
-		}
-		return true, nil
-	})
-	return minimal, err
+		return struct{}{}, nonMin, err
+	}
+	_, found, err := search.FirstHit(context.Background(), p.Options.workers(),
+		p.modelCandidates(ci, d, &genErr), probe)
+	if err != nil {
+		return false, err
+	}
+	if !found && genErr != nil {
+		return false, genErr
+	}
+	return !found, nil
 }
 
 // hasCompleteRemoval reports whether some I \ {t} is still complete

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"relcomplete/internal/ctable"
 	"relcomplete/internal/relation"
+	"relcomplete/internal/search"
 )
 
 // This file implements the viable completeness model (Section 6):
@@ -12,11 +16,16 @@ import (
 // valuation of the c-instance yields a relatively complete ground
 // instance; MINPv (Corollary 6.3) whether some valuation yields a
 // minimal complete ground instance. FO and FP are undecidable, and
-// RCQPv coincides with RCQPs (Corollary 6.2).
+// RCQPv coincides with RCQPs (Corollary 6.2). Both deciders fan the
+// per-model checks out over Options.Parallelism workers; the first-hit
+// engine keeps the verdicts identical to the sequential scan.
 
 // rcdpViable checks whether some I ∈ ModAdom(T, Dm, V) is complete for
 // Q relative to (Dm, V); on failure it reports the counterexample of
-// the last model inspected (every model fails, so any is informative).
+// the last model inspected (every model fails, so any is informative —
+// the highest-index one is what the sequential scan ends on, and the
+// failure path probes every model in either schedule, so the choice is
+// deterministic).
 func (p *Problem) rcdpViable(ci *ctable.CInstance) (bool, *Counterexample, error) {
 	switch p.Query.Lang() {
 	case FO, FP:
@@ -26,26 +35,43 @@ func (p *Problem) rcdpViable(ci *ctable.CInstance) (bool, *Counterexample, error
 	if err != nil {
 		return false, nil, err
 	}
-	consistent := false
-	viable := false
+	var consistent atomic.Bool
+	var genErr error
+	var mu sync.Mutex
+	lastIdx := -1
 	var lastCex *Counterexample
-	err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
-		consistent = true
+	probe := func(ctx context.Context, idx int, db *relation.Database) (struct{}, bool, error) {
+		ok, err := p.satisfiesCCs(db)
+		if err != nil {
+			return struct{}{}, false, err
+		}
+		if !ok {
+			return struct{}{}, false, nil
+		}
+		consistent.Store(true)
 		cex, err := p.boundedCounterexample(db, d)
 		if err != nil {
-			return false, err
+			return struct{}{}, false, err
 		}
 		if cex == nil {
-			viable = true
-			return false, nil
+			return struct{}{}, true, nil
 		}
-		lastCex = cex
-		return true, nil
-	})
+		mu.Lock()
+		if idx > lastIdx {
+			lastIdx, lastCex = idx, cex
+		}
+		mu.Unlock()
+		return struct{}{}, false, nil
+	}
+	_, viable, err := search.FirstHit(context.Background(), p.Options.workers(),
+		p.modelCandidates(ci, d, &genErr), probe)
 	if err != nil {
 		return false, nil, err
 	}
-	if !consistent {
+	if !viable && genErr != nil {
+		return false, nil, genErr
+	}
+	if !consistent.Load() {
 		return false, nil, ErrInconsistent
 	}
 	if viable {
@@ -66,31 +92,39 @@ func (p *Problem) minpViable(ci *ctable.CInstance) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	consistent := false
-	found := false
-	err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
-		consistent = true
+	var consistent atomic.Bool
+	var genErr error
+	probe := func(ctx context.Context, idx int, db *relation.Database) (struct{}, bool, error) {
+		ok, err := p.satisfiesCCs(db)
+		if err != nil {
+			return struct{}{}, false, err
+		}
+		if !ok {
+			return struct{}{}, false, nil
+		}
+		consistent.Store(true)
 		cex, err := p.boundedCounterexample(db, d)
 		if err != nil {
-			return false, err
+			return struct{}{}, false, err
 		}
 		if cex != nil {
-			return true, nil // this model is not even complete
+			return struct{}{}, false, nil // this model is not even complete
 		}
 		nonMin, err := p.hasCompleteRemoval(db, d)
 		if err != nil {
-			return false, err
+			return struct{}{}, false, err
 		}
-		if !nonMin {
-			found = true
-			return false, nil
-		}
-		return true, nil
-	})
+		return struct{}{}, !nonMin, nil
+	}
+	_, found, err := search.FirstHit(context.Background(), p.Options.workers(),
+		p.modelCandidates(ci, d, &genErr), probe)
 	if err != nil {
 		return false, err
 	}
-	if !consistent {
+	if !found && genErr != nil {
+		return false, genErr
+	}
+	if !consistent.Load() {
 		return false, ErrInconsistent
 	}
 	return found, nil

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"relcomplete/internal/ctable"
 	"relcomplete/internal/relation"
+	"relcomplete/internal/search"
 )
 
 // This file implements the weak completeness model (Section 5): the
@@ -25,21 +27,47 @@ func (p *Problem) CertainAnswers(ci *ctable.CInstance) ([]relation.Tuple, error)
 	return p.certainAnswers(ci, d)
 }
 
+// certainAnswers intersects Q over the models. Query evaluation fans
+// out over the workers; the results are folded into the intersection
+// strictly in enumeration order (search.ForEachOrdered), so the
+// accumulated slice — its order included — matches the sequential fold
+// bit for bit, and the early stop on an empty intersection fires at
+// the same model.
 func (p *Problem) certainAnswers(ci *ctable.CInstance, d *domains) ([]relation.Tuple, error) {
+	type modelAnswers struct {
+		ans     []relation.Tuple
+		isModel bool
+	}
 	var acc []relation.Tuple
 	universe := true
 	any := false
-	err := p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
-		any = true
-		ans, err := p.answers(db)
-		if err != nil {
-			return false, err
-		}
-		acc, universe = intersectTuples(acc, universe, ans)
-		return universe || len(acc) > 0, nil
-	})
+	var genErr error
+	stopped, err := search.ForEachOrdered(context.Background(), p.Options.workers(),
+		p.modelCandidates(ci, d, &genErr),
+		func(ctx context.Context, idx int, db *relation.Database) (modelAnswers, error) {
+			ok, err := p.satisfiesCCs(db)
+			if err != nil || !ok {
+				return modelAnswers{}, err
+			}
+			ans, err := p.answers(db)
+			if err != nil {
+				return modelAnswers{}, err
+			}
+			return modelAnswers{ans: ans, isModel: true}, nil
+		},
+		func(idx int, r modelAnswers) (bool, error) {
+			if !r.isModel {
+				return true, nil
+			}
+			any = true
+			acc, universe = intersectTuples(acc, universe, r.ans)
+			return universe || len(acc) > 0, nil
+		})
 	if err != nil {
 		return nil, err
+	}
+	if !stopped && genErr != nil {
+		return nil, genErr
 	}
 	if !any {
 		return nil, ErrInconsistent
@@ -73,6 +101,15 @@ func (p *Problem) CertainAnswersOfExtensions(ci *ctable.CInstance) ([]relation.T
 // is already final. It returns the intersection (meaningless when
 // contained is true), whether containment in stopWithin was
 // established, and whether any qualifying extension exists.
+//
+// With several workers the per-model extension scans run concurrently,
+// each folding a model-local intersection that the consumer merges in
+// enumeration order (certainExtStreamPar); the early stops stay sound
+// because the global intersection is contained in every model-local
+// one. At workers <= 1 the original single-loop scan runs unchanged —
+// its interleaved early stops inspect the global accumulator after
+// every single extension, a schedule the parallel decomposition cannot
+// reproduce pair-for-pair (the verdicts still agree).
 func (p *Problem) certainExtStream(ci *ctable.CInstance, stopWithin map[string]bool) (
 	acc []relation.Tuple, contained bool, anyExt bool, err error) {
 	if !p.Query.Monotone() {
@@ -81,6 +118,9 @@ func (p *Problem) certainExtStream(ci *ctable.CInstance, stopWithin map[string]b
 	d, err := p.domainsFor(ci, false, true)
 	if err != nil {
 		return nil, false, false, err
+	}
+	if p.Options.workers() > 1 {
+		return p.certainExtStreamPar(ci, d, stopWithin)
 	}
 	universe := true
 	within := func() bool {
@@ -141,6 +181,133 @@ func (p *Problem) certainExtStream(ci *ctable.CInstance, stopWithin map[string]b
 	})
 	if err != nil {
 		return nil, false, false, err
+	}
+	return acc, contained, anyExt, nil
+}
+
+// modelExtScan is one model's contribution to the extension stream: the
+// intersection of Q over the model's qualifying single-tuple
+// extensions (universe when none qualifies), plus the local early-stop
+// verdicts.
+type modelExtScan struct {
+	isModel   bool
+	universe  bool
+	acc       []relation.Tuple
+	anyExt    bool
+	contained bool // the local scan alone established containment
+}
+
+// certainExtStreamPar is the parallel decomposition of the extension
+// stream: each model's extensions are scanned by a worker into a local
+// intersection, and the consumer folds the locals in enumeration
+// order. Every local intersection contains the global one, so a local
+// early stop (local acc ⊆ stopWithin, or a local empty intersection)
+// already decides the global verdict.
+func (p *Problem) certainExtStreamPar(ci *ctable.CInstance, d *domains, stopWithin map[string]bool) (
+	acc []relation.Tuple, contained bool, anyExt bool, err error) {
+	universe := true
+	within := func() bool {
+		if stopWithin == nil || universe {
+			return false
+		}
+		for _, t := range acc {
+			if !stopWithin[t.Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	probe := func(ctx context.Context, idx int, base *relation.Database) (modelExtScan, error) {
+		s := modelExtScan{universe: true}
+		ok, err := p.satisfiesCCs(base)
+		if err != nil || !ok {
+			return s, err
+		}
+		s.isModel = true
+		localWithin := func() bool {
+			if stopWithin == nil || s.universe {
+				return false
+			}
+			for _, t := range s.acc {
+				if !stopWithin[t.Key()] {
+					return false
+				}
+			}
+			return true
+		}
+		for _, r := range p.Schema.Relations() {
+			stop := false
+			done, err := p.latticeOver(r, d, func(t relation.Tuple) (bool, error) {
+				if base.Relation(r.Name).Contains(t) {
+					return true, nil
+				}
+				ext := base.WithTuple(r.Name, t)
+				closed, err := p.satisfiesCCs(ext)
+				if err != nil {
+					return false, err
+				}
+				if !closed {
+					return true, nil
+				}
+				s.anyExt = true
+				ans, err := p.answers(ext)
+				if err != nil {
+					return false, err
+				}
+				s.acc, s.universe = intersectTuples(s.acc, s.universe, ans)
+				if localWithin() {
+					s.contained = true
+					stop = true
+					return false, nil
+				}
+				if !s.universe && len(s.acc) == 0 {
+					if stopWithin != nil {
+						s.contained = true
+					}
+					stop = true
+					return false, nil
+				}
+				return true, nil
+			})
+			if err != nil {
+				return s, err
+			}
+			if !done && stop {
+				return s, nil
+			}
+		}
+		return s, nil
+	}
+	var genErr error
+	stopped, err := search.ForEachOrdered(context.Background(), p.Options.workers(),
+		p.modelCandidates(ci, d, &genErr), probe,
+		func(idx int, s modelExtScan) (bool, error) {
+			if !s.isModel {
+				return true, nil
+			}
+			if s.anyExt {
+				anyExt = true
+			}
+			if !s.universe {
+				acc, universe = intersectTuples(acc, universe, s.acc)
+			}
+			if s.contained || within() {
+				contained = true
+				return false, nil
+			}
+			if !universe && len(acc) == 0 {
+				if stopWithin != nil {
+					contained = true
+				}
+				return false, nil
+			}
+			return true, nil
+		})
+	if err != nil {
+		return nil, false, false, err
+	}
+	if !stopped && genErr != nil {
+		return nil, false, false, genErr
 	}
 	return acc, contained, anyExt, nil
 }

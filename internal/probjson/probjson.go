@@ -101,6 +101,7 @@ type OptionsDoc struct {
 	MaxSubsets    int `json:"max_subsets,omitempty"`
 	RCQPSizeBound int `json:"rcqp_size_bound,omitempty"`
 	MaxDerived    int `json:"max_derived,omitempty"`
+	Parallelism   int `json:"parallelism,omitempty"`
 }
 
 // Decode parses the JSON document and builds the problem and
@@ -169,6 +170,7 @@ func Build(doc *Document) (*core.Problem, *ctable.CInstance, error) {
 		MaxSubsets:    doc.Options.MaxSubsets,
 		RCQPSizeBound: doc.Options.RCQPSizeBound,
 		MaxDerived:    doc.Options.MaxDerived,
+		Parallelism:   doc.Options.Parallelism,
 	}
 	problem, err := core.NewProblem(schema, qry, master, ccSet, opts)
 	if err != nil {

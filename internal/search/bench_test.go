@@ -1,0 +1,85 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkFirstHitLatencyBound models probes dominated by waiting
+// (I/O, lock contention): fan-out overlaps the waits, so the speedup
+// shows even on a single CPU.
+func BenchmarkFirstHitLatencyBound(b *testing.B) {
+	const (
+		candidates = 64
+		hitAt      = 63
+		probeDelay = 200 * time.Microsecond
+	)
+	probe := func(ctx context.Context, idx int, item int) (int, bool, error) {
+		time.Sleep(probeDelay)
+		return item, item == hitAt, nil
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hit, found, err := FirstHit(context.Background(), workers, intRange(candidates), probe)
+				if err != nil || !found || hit.Index != hitAt {
+					b.Fatal(hit, found, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFirstHitCPUBound exercises compute-heavy probes; the
+// speedup here scales with available cores.
+func BenchmarkFirstHitCPUBound(b *testing.B) {
+	const (
+		candidates = 64
+		hitAt      = 63
+	)
+	probe := func(ctx context.Context, idx int, item int) (uint64, bool, error) {
+		h := uint64(item) + 0x9e3779b97f4a7c15
+		for i := 0; i < 20000; i++ {
+			h ^= h >> 33
+			h *= 0xff51afd7ed558ccd
+		}
+		return h, item == hitAt, nil
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, found, err := FirstHit(context.Background(), workers, intRange(candidates), probe)
+				if err != nil || !found {
+					b.Fatal(found, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkForEachOrderedLatencyBound measures the ordered fan-out
+// pipeline against the inline sequential loop.
+func BenchmarkForEachOrderedLatencyBound(b *testing.B) {
+	const (
+		candidates = 64
+		probeDelay = 200 * time.Microsecond
+	)
+	probe := func(ctx context.Context, idx int, item int) (int, error) {
+		time.Sleep(probeDelay)
+		return item, nil
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sum := 0
+				stopped, err := ForEachOrdered(context.Background(), workers, intRange(candidates), probe,
+					func(idx int, v int) (bool, error) { sum += v; return true, nil })
+				if err != nil || stopped || sum != candidates*(candidates-1)/2 {
+					b.Fatal(stopped, err, sum)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,353 @@
+// Package search provides the parallel candidate-search engine the
+// deciders are built on. The paper's procedures are small-model
+// searches: they enumerate bounded candidate instances, valuations and
+// extensions until a counterexample or witness is found, and the
+// candidates are independent of one another — an embarrassingly
+// parallel workload. This package fans those enumerations out over a
+// bounded worker pool while keeping every observable result exactly
+// what the sequential enumeration would produce.
+//
+// The determinism contract, shared by both entry points:
+//
+//   - Candidates are numbered by generation order. FirstHit returns the
+//     outcome of the lowest-index decisive candidate (a hit or a probe
+//     error), regardless of goroutine scheduling: every candidate with
+//     a smaller index is fully probed before a decisive outcome is
+//     accepted, so repeated runs — and runs at different worker counts
+//     — return bit-identical results.
+//   - ForEachOrdered probes candidates concurrently but delivers the
+//     results to the consumer strictly in generation order, so stateful
+//     reductions (certain-answer intersections) observe the sequential
+//     order.
+//   - workers <= 1 short-circuits to a plain inline loop: generation,
+//     probing and early exit interleave exactly as a hand-written
+//     sequential search would, with no goroutines at all.
+//
+// Probe panics are captured and surface as a *PanicError carrying the
+// candidate index and stack; with several workers in flight, the
+// engine still reports the lowest-index failure only, exactly as the
+// sequential loop would have.
+package search
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Generator enumerates candidates in a canonical order, calling yield
+// for each; it must stop when yield returns false. Generators run on a
+// single goroutine: they may close over mutable state (deduplication
+// sets, budgets) without synchronisation, but must not touch state the
+// probes mutate.
+type Generator[T any] func(yield func(T) bool)
+
+// Probe evaluates one candidate. hit marks the candidate decisive (the
+// search stops dispatching new work); a non-nil error is decisive too.
+// Probes run concurrently with one another and with the generator: they
+// must only use shared state that is safe for concurrent use.
+type Probe[T, R any] func(ctx context.Context, idx int, item T) (R, bool, error)
+
+// Hit is a decisive probe result and the candidate index it came from.
+type Hit[R any] struct {
+	Index int
+	Value R
+}
+
+// PanicError wraps a panic recovered from a probe.
+type PanicError struct {
+	Index     int
+	Recovered any
+	Stack     []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("search: probe panicked on candidate %d: %v\n%s", e.Index, e.Recovered, e.Stack)
+}
+
+// outcome is one probed candidate's result.
+type outcome[R any] struct {
+	idx int
+	val R
+	hit bool
+	err error
+}
+
+func (o outcome[R]) decisive() bool { return o.hit || o.err != nil }
+
+// runProbe invokes the probe with panic capture.
+func runProbe[T, R any](ctx context.Context, probe Probe[T, R], idx int, item T) (o outcome[R]) {
+	o.idx = idx
+	defer func() {
+		if r := recover(); r != nil {
+			o.hit = false
+			o.err = &PanicError{Index: idx, Recovered: r, Stack: debug.Stack()}
+		}
+	}()
+	o.val, o.hit, o.err = probe(ctx, idx, item)
+	return o
+}
+
+// FirstHit probes the generator's candidates on up to workers
+// goroutines and returns the lowest-index decisive outcome — the same
+// one a sequential loop with early exit would return. found is false
+// when no candidate hit. A decisive candidate cancels further
+// generation; candidates already dispatched are probed to completion
+// (so a lower-index hit still in flight can win), and all goroutines
+// have exited before FirstHit returns.
+//
+// When ctx is cancelled before a decisive outcome, ctx.Err() is
+// returned. A probe error wins over a later (higher-index) hit and
+// loses to an earlier one, exactly as in the sequential loop.
+func FirstHit[T, R any](ctx context.Context, workers int, gen Generator[T], probe Probe[T, R]) (Hit[R], bool, error) {
+	var zero Hit[R]
+	if workers <= 1 {
+		best := outcome[R]{idx: -1}
+		idx := 0
+		gen(func(item T) bool {
+			if ctx.Err() != nil {
+				best = outcome[R]{idx: idx, err: ctx.Err()}
+				return false
+			}
+			o := runProbe(ctx, probe, idx, item)
+			idx++
+			if o.decisive() {
+				best = o
+				return false
+			}
+			return true
+		})
+		if best.idx < 0 {
+			return zero, false, nil
+		}
+		if best.err != nil {
+			return zero, false, best.err
+		}
+		return Hit[R]{Index: best.idx, Value: best.val}, true, nil
+	}
+
+	type task struct {
+		idx  int
+		item T
+	}
+	dispatch := make(chan task)
+	results := make(chan outcome[R])
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	// Dispatcher: runs the generator, numbering candidates. It stops
+	// when a decisive outcome halts the search or ctx is cancelled;
+	// candidates already handed to a worker are always probed.
+	go func() {
+		defer close(dispatch)
+		idx := 0
+		gen(func(item T) bool {
+			select {
+			case <-stop:
+				return false
+			case <-ctx.Done():
+				return false
+			case dispatch <- task{idx: idx, item: item}:
+				idx++
+				return true
+			}
+		})
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range dispatch {
+				o := runProbe(ctx, probe, t.idx, t.item)
+				if o.decisive() {
+					halt()
+				}
+				results <- o
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collect every probed outcome and keep the lowest-index decisive
+	// one. All candidates below any dispatched index were dispatched
+	// (dispatch is in order) and all dispatched candidates are probed,
+	// so the minimum over decisive outcomes equals the sequential
+	// first-exit point.
+	best := outcome[R]{idx: -1}
+	for o := range results {
+		if o.decisive() && (best.idx < 0 || o.idx < best.idx) {
+			best = o
+		}
+	}
+	if best.idx < 0 {
+		if err := ctx.Err(); err != nil {
+			return zero, false, err
+		}
+		return zero, false, nil
+	}
+	if best.err != nil {
+		return zero, false, best.err
+	}
+	return Hit[R]{Index: best.idx, Value: best.val}, true, nil
+}
+
+// ReduceProbe evaluates one candidate for ForEachOrdered; unlike Probe
+// it carries no hit flag — stopping is the consumer's decision.
+type ReduceProbe[T, R any] func(ctx context.Context, idx int, item T) (R, error)
+
+// Consumer receives probe results strictly in generation order; it
+// returns false to stop the search (candidates beyond the current
+// index may already have been probed speculatively, but their results
+// are discarded, so the consumer observes a strict sequential prefix).
+type Consumer[R any] func(idx int, r R) (bool, error)
+
+// ForEachOrdered probes the generator's candidates on up to workers
+// goroutines and feeds the results to consume in generation order:
+// the consumer sees exactly the prefix a sequential probe-then-consume
+// loop would see, in the same order. The error returned is the
+// sequentially-first failure: a probe error for candidate k is
+// reported only after candidates 0..k-1 were consumed without
+// stopping. stopped reports whether consume ended the search (as
+// opposed to the generator running dry), so callers can distinguish
+// "early verdict" from "exhausted" — the sequential loop's two exits.
+func ForEachOrdered[T, R any](ctx context.Context, workers int, gen Generator[T], probe ReduceProbe[T, R], consume Consumer[R]) (stopped bool, err error) {
+	if workers <= 1 {
+		idx := 0
+		var loopErr error
+		stopped := false
+		gen(func(item T) bool {
+			if ctx.Err() != nil {
+				loopErr = ctx.Err()
+				return false
+			}
+			o := runProbe(ctx, func(ctx context.Context, i int, it T) (R, bool, error) {
+				r, err := probe(ctx, i, it)
+				return r, false, err
+			}, idx, item)
+			if o.err != nil {
+				loopErr = o.err
+				return false
+			}
+			cont, err := consume(idx, o.val)
+			idx++
+			if err != nil {
+				loopErr = err
+				return false
+			}
+			if !cont {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		return stopped, loopErr
+	}
+
+	type task struct {
+		idx  int
+		item T
+	}
+	// The window bounds how far probing may run ahead of consumption,
+	// so the pending reorder buffer stays small.
+	window := 4 * workers
+	tokens := make(chan struct{}, window)
+	dispatch := make(chan task)
+	results := make(chan outcome[R])
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	go func() {
+		defer close(dispatch)
+		idx := 0
+		gen(func(item T) bool {
+			select {
+			case <-stop:
+				return false
+			case <-ctx.Done():
+				return false
+			case tokens <- struct{}{}:
+			}
+			select {
+			case <-stop:
+				return false
+			case <-ctx.Done():
+				return false
+			case dispatch <- task{idx: idx, item: item}:
+				idx++
+				return true
+			}
+		})
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range dispatch {
+				results <- runProbe(ctx, func(ctx context.Context, i int, it T) (R, bool, error) {
+					r, err := probe(ctx, i, it)
+					return r, false, err
+				}, t.idx, t.item)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	pending := map[int]outcome[R]{}
+	next := 0
+	var firstErr error
+	consuming := true
+	for o := range results {
+		select {
+		case <-tokens:
+		default:
+		}
+		pending[o.idx] = o
+		for consuming {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if cur.err != nil {
+				firstErr = cur.err
+				consuming = false
+				halt()
+				break
+			}
+			cont, err := consume(next, cur.val)
+			next++
+			if err != nil {
+				firstErr = err
+				consuming = false
+				halt()
+				break
+			}
+			if !cont {
+				stopped = true
+				consuming = false
+				halt()
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return false, firstErr
+	}
+	if !stopped && ctx.Err() != nil {
+		return false, ctx.Err()
+	}
+	return stopped, nil
+}
