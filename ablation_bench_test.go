@@ -57,38 +57,51 @@ func BenchmarkAblationDisjuncts(b *testing.B) {
 }
 
 func BenchmarkAblationEvaluators(b *testing.B) {
-	// Same positive query, evaluated by the join-based positive path
-	// (what eval uses for CQ/UCQ/∃FO+) versus forced through the FO
-	// model checker (what a naive implementation would do): wrap the
-	// body in a double negation to push classification to FO without
-	// changing the answers.
-	schema := relation.MustDBSchema(
-		relation.MustSchema("R", relation.Attr("A", nil), relation.Attr("B", nil)),
-	)
-	db := relation.NewDatabase(schema)
-	for i := 0; i < 12; i++ {
-		db.MustInsert("R", relation.T(
-			relation.Value(fmt.Sprintf("n%d", i)),
-			relation.Value(fmt.Sprintf("n%d", (i+1)%12))))
-	}
-	positive := query.MustParseQuery("Q(x, z) := R(x, y) & R(y, z)")
-	// ¬¬(body): semantically identical, classified FO.
-	fo := query.MustQuery("Q", positive.Head, query.Neg(query.Neg(positive.Body)))
+	// Same positive query across the three evaluator tiers: the compiled
+	// indexed-join plans (the default), the original nested-loop
+	// map-binding evaluator (Options.NaiveJoin), and the body forced
+	// through the FO model checker (wrapped in a double negation:
+	// semantically identical, classified FO). The indexed run compiles
+	// once, as core.Problem does for the decision searches.
+	for _, n := range []int{12, 48} {
+		schema := relation.MustDBSchema(
+			relation.MustSchema("R", relation.Attr("A", nil), relation.Attr("B", nil)),
+		)
+		db := relation.NewDatabase(schema)
+		for i := 0; i < n; i++ {
+			db.MustInsert("R", relation.T(
+				relation.Value(fmt.Sprintf("n%d", i)),
+				relation.Value(fmt.Sprintf("n%d", (i+1)%n))))
+		}
+		positive := query.MustParseQuery("Q(x, z) := R(x, y) & R(y, z)")
+		fo := query.MustQuery("Q", positive.Head, query.Neg(query.Neg(positive.Body)))
 
-	b.Run("join_positive", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := eval.Answers(db, positive, eval.Options{}); err != nil {
-				b.Fatal(err)
+		b.Run(fmt.Sprintf("indexed/n=%d", n), func(b *testing.B) {
+			plan := eval.MustCompile(positive)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Answers(db, eval.Options{}); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
-	b.Run("fo_model_checking", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := eval.Answers(db, fo, eval.Options{}); err != nil {
-				b.Fatal(err)
+		})
+		b.Run(fmt.Sprintf("naive_join/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Answers(db, positive, eval.Options{NaiveJoin: true}); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
+		})
+		b.Run(fmt.Sprintf("fo_model_checking/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Answers(db, fo, eval.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkAblationCandidateCache(b *testing.B) {

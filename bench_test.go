@@ -12,6 +12,7 @@ package relcomplete_test
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"relcomplete/internal/cc"
@@ -27,6 +28,17 @@ import (
 	"relcomplete/internal/workload"
 )
 
+// naiveJoinEnv mirrors rcbench's -naivejoin ablation for the benchmark
+// trajectory: RELCOMPLETE_NAIVEJOIN=1 re-times the suite on the
+// nested-loop evaluator, and cmd/benchjson merges the two runs into
+// BENCH_eval.json to report the indexed-engine speedup.
+var naiveJoinEnv = os.Getenv("RELCOMPLETE_NAIVEJOIN") != ""
+
+// benchCoreOpts is the Options value benchmarks start from.
+func benchCoreOpts() core.Options {
+	return core.Options{NaiveJoin: naiveJoinEnv}
+}
+
 // ---------------------------------------------------------------------------
 // E-F1 — Figure 1 and the Examples 1.1–2.3 judgements.
 // ---------------------------------------------------------------------------
@@ -34,7 +46,7 @@ import (
 func BenchmarkFigure1Scenario(b *testing.B) {
 	b.Run("consistency_full", func(b *testing.B) {
 		s := paperex.Full()
-		p, err := s.Problem(s.Q1, core.Options{})
+		p, err := s.Problem(s.Q1, benchCoreOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,7 +59,7 @@ func BenchmarkFigure1Scenario(b *testing.B) {
 	})
 	b.Run("rcdp_strong_Q1_reduced", func(b *testing.B) {
 		s := paperex.Reduced()
-		p, err := s.Problem(s.Q1, core.Options{})
+		p, err := s.Problem(s.Q1, benchCoreOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +98,7 @@ func BenchmarkFigure2SATEncoding(b *testing.B) {
 				}
 				kids := append(br.AssignmentAtoms(varNames), atoms...)
 				q := query.MustQuery("Qpsi", []query.Term{query.V(w)}, query.Conj(kids...))
-				if _, err := eval.Answers(db, q, eval.Options{}); err != nil {
+				if _, err := eval.Answers(db, q, eval.Options{NaiveJoin: naiveJoinEnv}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -107,6 +119,7 @@ func BenchmarkConsistency3SAT(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			g.Problem.Options.NaiveJoin = naiveJoinEnv
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := g.ConsistencyHolds(); err != nil {
@@ -125,6 +138,7 @@ func BenchmarkExtensibility3SAT(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			g.Problem.Options.NaiveJoin = naiveJoinEnv
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := g.ExtensibilityHolds(); err != nil {
@@ -147,6 +161,7 @@ func benchEFEGadget(b *testing.B, nY int, run func(g *reduction.WeakRCDPGadget) 
 	if err != nil {
 		b.Fatal(err)
 	}
+	g.Problem.Options.NaiveJoin = naiveJoinEnv
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := run(g); err != nil {
@@ -174,6 +189,7 @@ func BenchmarkRCDPViable3SAT(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			g.Problem.Options.NaiveJoin = naiveJoinEnv
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := g.RCDPViableHolds(); err != nil {
@@ -198,7 +214,7 @@ func BenchmarkRCDPStrongPatient(b *testing.B) {
 					query.C("LON"), query.C("2000"),
 				}})
 			}
-			p, err := s.Problem(s.Q1, core.Options{})
+			p, err := s.Problem(s.Q1, benchCoreOpts())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -225,6 +241,7 @@ func BenchmarkRCDPWeakFP(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			g.Problem.Options.NaiveJoin = naiveJoinEnv
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ok, err := g.WeaklyComplete()
@@ -249,6 +266,7 @@ func BenchmarkMINPStrong3SAT(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			g.Problem.Options.NaiveJoin = naiveJoinEnv
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := g.MINPStrongHolds(); err != nil {
@@ -262,6 +280,7 @@ func BenchmarkMINPStrong3SAT(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			g.Problem.Options.NaiveJoin = naiveJoinEnv
 			// Ground the c-instance at one model: the Dp2 case.
 			db, err := g.Problem.AnyModel(g.T)
 			if err != nil || db == nil {
@@ -289,6 +308,7 @@ func BenchmarkMINPWeakCQ(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			g.Problem.Options.NaiveJoin = naiveJoinEnv
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := g.MinimalWeaklyComplete(); err != nil {
@@ -302,9 +322,9 @@ func BenchmarkMINPWeakCQ(b *testing.B) {
 func BenchmarkMINPWeakUCQ(b *testing.B) {
 	// Generic weak MINP (2^rows subset checks, each a Πp3 weak check)
 	// on a UCQ over the bounded-order scenario.
-	s := workload.NewBoundedScenario(3, core.Options{})
+	s := workload.NewBoundedScenario(3, benchCoreOpts())
 	q := query.MustParseQuery("Q(i) := Order(i, '1') | Order(i, '2')")
-	p := core.MustProblem(s.Schema, core.CalcQuery(q), s.Dm, s.CCs, core.Options{})
+	p := core.MustProblem(s.Schema, core.CalcQuery(q), s.Dm, s.CCs, benchCoreOpts())
 	for _, rows := range []int{1, 2, 3} {
 		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
 			ci := s.Instance(rows, 0, int64(rows))
@@ -324,6 +344,7 @@ func BenchmarkMINPViable3SAT(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	g.Problem.Options.NaiveJoin = naiveJoinEnv
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := g.MINPViableHolds(); err != nil {
@@ -348,7 +369,7 @@ func BenchmarkRCQPStrong(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		p := core.MustProblem(s.Data, core.CalcQuery(s.Q1), s.Dm, c, core.Options{})
+		p := core.MustProblem(s.Data, core.CalcQuery(s.Q1), s.Dm, c, benchCoreOpts())
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := p.RCQP(core.Strong); err != nil {
@@ -374,7 +395,7 @@ func BenchmarkRCQPStrong(b *testing.B) {
 func BenchmarkRCQPWeakConstruct(b *testing.B) {
 	for _, catalogue := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("catalogue=%d", catalogue), func(b *testing.B) {
-			s := workload.NewBoundedScenario(catalogue, core.Options{})
+			s := workload.NewBoundedScenario(catalogue, benchCoreOpts())
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.Problem.ConstructWeaklyComplete(); err != nil {
@@ -392,7 +413,7 @@ func BenchmarkRCQPWeakConstruct(b *testing.B) {
 func BenchmarkUndecidableDispatch(b *testing.B) {
 	schema := relation.MustDBSchema(relation.MustSchema("R", relation.Attr("A", nil)))
 	p := core.MustProblem(schema,
-		core.CalcQuery(query.MustParseQuery("Q(x) := ! R(x)")), nil, nil, core.Options{})
+		core.CalcQuery(query.MustParseQuery("Q(x) := ! R(x)")), nil, nil, benchCoreOpts())
 	ci := ctable.NewCInstance(schema)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -408,7 +429,7 @@ func BenchmarkUndecidableDispatch(b *testing.B) {
 // ---------------------------------------------------------------------------
 
 func BenchmarkTractableRCDP(b *testing.B) {
-	s := workload.NewBoundedScenario(4, core.Options{})
+	s := workload.NewBoundedScenario(4, benchCoreOpts())
 	for _, m := range []core.Model{core.Strong, core.Weak, core.Viable} {
 		for _, rows := range []int{4, 8, 16, 32} {
 			b.Run(fmt.Sprintf("%v/rows=%d", m, rows), func(b *testing.B) {
@@ -432,7 +453,7 @@ func BenchmarkTractableRCQPIND(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := core.MustProblem(s.Data, core.CalcQuery(s.Q1), s.Dm, ccSet, core.Options{})
+	p := core.MustProblem(s.Data, core.CalcQuery(s.Q1), s.Dm, ccSet, benchCoreOpts())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tractable.RCQP(p, core.Strong); err != nil {
@@ -442,7 +463,7 @@ func BenchmarkTractableRCQPIND(b *testing.B) {
 }
 
 func BenchmarkTractableMINP(b *testing.B) {
-	s := workload.NewBoundedScenario(3, core.Options{})
+	s := workload.NewBoundedScenario(3, benchCoreOpts())
 	for _, rows := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
 			ci := s.Instance(rows, 1, int64(rows))

@@ -1,0 +1,176 @@
+// Command benchjson converts `go test -bench -benchmem` output into the
+// committed benchmark-trajectory artifact BENCH_eval.json: ns/op,
+// B/op and allocs/op per benchmark, for one or more labelled runs of
+// the same suite. When both an "indexed" and a "naive_join" run are
+// given, each benchmark additionally reports the speedup of the
+// compiled indexed-join engine over the nested-loop baseline.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem . > indexed.txt
+//	RELCOMPLETE_NAIVEJOIN=1 go test -run xxx -bench . -benchmem . > naive.txt
+//	go run ./cmd/benchjson -o BENCH_eval.json indexed=indexed.txt naive_join=naive.txt
+//
+// Absolute numbers are machine-specific; the artifact's claim is the
+// trajectory — the ratios between labelled runs and between commits.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics is one benchmark measurement.
+type metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// entry groups the labelled runs of one benchmark.
+type entry struct {
+	Runs map[string]*metrics `json:"runs"`
+	// Speedup is naive_join ns/op over indexed ns/op, when both runs
+	// are present.
+	Speedup float64 `json:"speedup_naive_over_indexed,omitempty"`
+}
+
+type report struct {
+	Format     string            `json:"format"`
+	Note       string            `json:"note"`
+	Benchmarks map[string]*entry `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: benchjson [-o out.json] label=benchoutput.txt ...")
+	}
+	rep := &report{
+		Format:     "relcomplete-bench-trajectory-v1",
+		Note:       "ns/op, B/op, allocs/op per benchmark and labelled run; absolute numbers are machine-specific, ratios are the artifact",
+		Benchmarks: map[string]*entry{},
+	}
+	for _, arg := range fs.Args() {
+		label, file, ok := strings.Cut(arg, "=")
+		if !ok {
+			return fmt.Errorf("argument %q is not label=file", arg)
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		parsed, err := parseBench(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		if len(parsed) == 0 {
+			return fmt.Errorf("%s: no benchmark lines found", file)
+		}
+		for name, m := range parsed {
+			e := rep.Benchmarks[name]
+			if e == nil {
+				e = &entry{Runs: map[string]*metrics{}}
+				rep.Benchmarks[name] = e
+			}
+			e.Runs[label] = m
+		}
+	}
+	for _, e := range rep.Benchmarks {
+		idx, naive := e.Runs["indexed"], e.Runs["naive_join"]
+		if idx != nil && naive != nil && idx.NsPerOp > 0 {
+			e.Speedup = math.Round(naive.NsPerOp/idx.NsPerOp*100) / 100
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, err = stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(*out, buf, 0o644)
+}
+
+// parseBench extracts benchmark results from `go test -bench` output.
+// The trailing -N GOMAXPROCS suffix is stripped from names so runs from
+// different machines merge onto the same key.
+func parseBench(r io.Reader) (map[string]*metrics, error) {
+	out := map[string]*metrics{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		m := &metrics{}
+		// fields[1] is the iteration count; after it come value/unit
+		// pairs: 123.4 ns/op, 56 B/op, 7 allocs/op.
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+				seen = true
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		if seen {
+			out[name] = m
+		}
+	}
+	return out, sc.Err()
+}
+
+// trimProcSuffix removes the -N GOMAXPROCS suffix go test appends.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// sortedNames is used by the tests to assert deterministic content.
+func sortedNames(m map[string]*metrics) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleIndexed = `goos: linux
+goarch: amd64
+pkg: relcomplete
+cpu: Intel(R) Xeon(R)
+BenchmarkConsistency3SAT/forall=1-8         	    2000	    500000 ns/op	  120000 B/op	    1500 allocs/op
+BenchmarkConsistency3SAT/forall=2-8         	    1000	   1200000 ns/op	  250000 B/op	    3200 allocs/op
+BenchmarkTupleKeyAppend-8                   	50000000	        22.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	relcomplete	3.141s
+`
+
+const sampleNaive = `BenchmarkConsistency3SAT/forall=1-8         	     200	   5000000 ns/op	 2400000 B/op	   45000 allocs/op
+BenchmarkConsistency3SAT/forall=2-8         	     100	  12000000 ns/op	 5000000 B/op	   90000 allocs/op
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleIndexed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := sortedNames(got)
+	want := []string{
+		"BenchmarkConsistency3SAT/forall=1",
+		"BenchmarkConsistency3SAT/forall=2",
+		"BenchmarkTupleKeyAppend",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("parsed %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("parsed %v, want %v", names, want)
+		}
+	}
+	m := got["BenchmarkConsistency3SAT/forall=1"]
+	if m.NsPerOp != 500000 || m.BytesPerOp != 120000 || m.AllocsPerOp != 1500 {
+		t.Fatalf("bad metrics: %+v", m)
+	}
+	if k := got["BenchmarkTupleKeyAppend"]; k.NsPerOp != 22.5 || k.AllocsPerOp != 0 {
+		t.Fatalf("bad fractional metrics: %+v", k)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":            "BenchmarkX",
+		"BenchmarkX/n=3-16":       "BenchmarkX/n=3",
+		"BenchmarkX/rows=2":       "BenchmarkX/rows=2",
+		"BenchmarkX/forall=1-8-8": "BenchmarkX/forall=1-8",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunMergesAndComputesSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	idx := filepath.Join(dir, "indexed.txt")
+	nv := filepath.Join(dir, "naive.txt")
+	out := filepath.Join(dir, "BENCH_eval.json")
+	if err := os.WriteFile(idx, []byte(sampleIndexed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(nv, []byte(sampleNaive), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-o", out, "indexed=" + idx, "naive_join=" + nv}, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	e := rep.Benchmarks["BenchmarkConsistency3SAT/forall=1"]
+	if e == nil || e.Runs["indexed"] == nil || e.Runs["naive_join"] == nil {
+		t.Fatalf("missing merged entry: %+v", rep.Benchmarks)
+	}
+	if e.Speedup != 10 {
+		t.Fatalf("speedup = %v, want 10", e.Speedup)
+	}
+	// The key-encoder benchmark has no naive run: no speedup reported.
+	if k := rep.Benchmarks["BenchmarkTupleKeyAppend"]; k.Speedup != 0 {
+		t.Fatalf("unexpected speedup on single-run benchmark: %v", k.Speedup)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"no-equals-sign"}, nil); err == nil {
+		t.Fatal("label without file must error")
+	}
+	if err := run(nil, nil); err == nil {
+		t.Fatal("no args must error")
+	}
+}

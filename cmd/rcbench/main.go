@@ -9,10 +9,13 @@
 //
 // Usage:
 //
-//	rcbench            # full sweep (~a few minutes)
-//	rcbench -quick     # reduced sizes
-//	rcbench -run MINP  # only experiments whose id contains "MINP"
-//	rcbench -workers 8 # worker count for the candidate searches
+//	rcbench                     # full sweep (~a few minutes)
+//	rcbench -quick              # reduced sizes
+//	rcbench -run MINP           # only experiments whose id contains "MINP"
+//	rcbench -workers 8          # worker count for the candidate searches
+//	rcbench -naivejoin          # ablation: nested-loop joins instead of compiled plans
+//	rcbench -cpuprofile cpu.pb  # write a pprof CPU profile of the sweep
+//	rcbench -memprofile mem.pb  # write a pprof heap profile at exit
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,14 +59,17 @@ type experiment struct {
 	runFn func(quick bool) ([]row, error)
 }
 
-// workersFlag holds the -workers value for the current run; every
-// experiment builds its Problem from benchOpts so the setting reaches
-// the deciders.
-var workersFlag int
+// workersFlag and naiveJoinFlag hold the -workers and -naivejoin values
+// for the current run; every experiment builds its Problem from
+// benchOpts so the settings reach the deciders.
+var (
+	workersFlag   int
+	naiveJoinFlag bool
+)
 
 // benchOpts is the Options value each experiment starts from.
 func benchOpts() core.Options {
-	return core.Options{Parallelism: workersFlag}
+	return core.Options{Parallelism: workersFlag, NaiveJoin: naiveJoinFlag}
 }
 
 func run(args []string, out io.Writer) error {
@@ -69,10 +77,40 @@ func run(args []string, out io.Writer) error {
 	quick := fs.Bool("quick", false, "reduced sizes")
 	filter := fs.String("run", "", "only experiments whose id contains this substring")
 	workers := fs.Int("workers", 0, "worker count for the parallel candidate searches (0 = GOMAXPROCS, 1 = sequential)")
+	naiveJoin := fs.Bool("naivejoin", false, "ablation: evaluate with the nested-loop evaluator instead of compiled indexed plans")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	workersFlag = *workers
+	naiveJoinFlag = *naiveJoin
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rcbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rcbench: memprofile:", err)
+			}
+		}()
+	}
 
 	fmt.Fprintln(out, "relcomplete — empirical reproduction of Table I (Deng, Fan, Geerts; PODS'10/TODS'16)")
 	fmt.Fprintln(out, strings.Repeat("=", 96))
@@ -210,6 +248,7 @@ func runConsistency(quick bool) ([]row, error) {
 			return nil, err
 		}
 		g.Problem.Options.Parallelism = workersFlag
+		g.Problem.Options.NaiveJoin = naiveJoinFlag
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.ConsistencyHolds()
@@ -236,6 +275,7 @@ func runExtensibility(quick bool) ([]row, error) {
 			return nil, err
 		}
 		g.Problem.Options.Parallelism = workersFlag
+		g.Problem.Options.NaiveJoin = naiveJoinFlag
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.ExtensibilityHolds()
@@ -305,6 +345,7 @@ func runRCDPWeak(quick bool) ([]row, error) {
 			return nil, err
 		}
 		g.Problem.Options.Parallelism = workersFlag
+		g.Problem.Options.NaiveJoin = naiveJoinFlag
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.WeaklyComplete()
@@ -331,6 +372,7 @@ func runRCDPViable(quick bool) ([]row, error) {
 			return nil, err
 		}
 		g.Problem.Options.Parallelism = workersFlag
+		g.Problem.Options.NaiveJoin = naiveJoinFlag
 		want := q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.RCDPViableHolds()
@@ -365,6 +407,7 @@ func runRCDPWeakFP(quick bool) ([]row, error) {
 			return nil, err
 		}
 		g.Problem.Options.Parallelism = workersFlag
+		g.Problem.Options.NaiveJoin = naiveJoinFlag
 		r, err := timed(func() (string, string, error) {
 			got, err := g.WeaklyComplete()
 			if err != nil {
@@ -390,6 +433,7 @@ func runMINPStrong(quick bool) ([]row, error) {
 			return nil, err
 		}
 		g.Problem.Options.Parallelism = workersFlag
+		g.Problem.Options.NaiveJoin = naiveJoinFlag
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.MINPStrongHolds()
@@ -438,6 +482,7 @@ func runMINPWeakCQ(quick bool) ([]row, error) {
 			return nil, err
 		}
 		g.Problem.Options.Parallelism = workersFlag
+		g.Problem.Options.NaiveJoin = naiveJoinFlag
 		want := !inst.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.MinimalWeaklyComplete()
@@ -491,6 +536,7 @@ func runMINPViable(quick bool) ([]row, error) {
 			return nil, err
 		}
 		g.Problem.Options.Parallelism = workersFlag
+		g.Problem.Options.NaiveJoin = naiveJoinFlag
 		want := q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.MINPViableHolds()
@@ -533,7 +579,7 @@ func runRCQPStrong(quick bool) ([]row, error) {
 	rows = append(rows, r)
 
 	// Bounded witness search with the Figure 1 CC set.
-	pSearch, err := s.Problem(s.Q1, core.Options{RCQPSizeBound: 1, Parallelism: workersFlag})
+	pSearch, err := s.Problem(s.Q1, core.Options{RCQPSizeBound: 1, Parallelism: workersFlag, NaiveJoin: naiveJoinFlag})
 	if err != nil {
 		return nil, err
 	}

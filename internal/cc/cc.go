@@ -15,6 +15,7 @@ package cc
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"relcomplete/internal/eval"
 	"relcomplete/internal/query"
@@ -26,6 +27,52 @@ type Constraint struct {
 	Name  string
 	Left  *query.Query // q, over the data schema; must be CQ
 	Right *query.Query // p, over the master schema; must be CQ (projection queries are the paper's case)
+
+	// planMu guards the lazily compiled plans and the per-master RHS
+	// answer cache. The deciders check the same CC against thousands of
+	// candidate instances from worker goroutines while Dm stays fixed,
+	// so both sides compile once and p(Dm) is keyed by the master
+	// database identity.
+	planMu    sync.Mutex
+	planTried bool
+	leftPlan  *eval.Plan
+	rightPlan *eval.Plan
+	rhsCache  map[*relation.Database]*rhsEntry
+}
+
+// rhsEntry memoises p(Dm) for one master database. Databases mutate in
+// place only by growing (inserts and SetRelation; deletion always
+// copies), so the snapshot of instance identities and row counts
+// detects every stale entry.
+type rhsEntry struct {
+	insts []*relation.Instance
+	lens  []int
+	set   map[string]bool
+}
+
+func (e *rhsEntry) fresh(db *relation.Database) bool {
+	rels := db.Schema().Relations()
+	if len(rels) != len(e.insts) {
+		return false
+	}
+	for i, r := range rels {
+		inst := db.Relation(r.Name)
+		if inst != e.insts[i] || inst.Len() != e.lens[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func snapshotEntry(db *relation.Database, set map[string]bool) *rhsEntry {
+	rels := db.Schema().Relations()
+	e := &rhsEntry{insts: make([]*relation.Instance, len(rels)), lens: make([]int, len(rels)), set: set}
+	for i, r := range rels {
+		inst := db.Relation(r.Name)
+		e.insts[i] = inst
+		e.lens[i] = inst.Len()
+	}
+	return e
 }
 
 // New validates and builds a CC. Both sides must be conjunctive
@@ -77,8 +124,46 @@ func MustParse(name, left, right string) *Constraint {
 	return c
 }
 
-// Satisfied reports (I, Dm) ⊨ φ, i.e. q(I) ⊆ p(Dm).
+// Satisfied reports (I, Dm) ⊨ φ, i.e. q(I) ⊆ p(Dm). The compiled path
+// streams q(I) and stops at the first tuple outside p(Dm) instead of
+// materialising and sorting both answer sets.
 func (c *Constraint) Satisfied(db, master *relation.Database, opts eval.Options) (bool, error) {
+	lp, rp := c.plans()
+	if opts.NaiveJoin || lp == nil || rp == nil {
+		return c.satisfiedNaive(db, master, opts)
+	}
+	// p(Dm) is materialised lazily, on the first q-tuple: an empty left
+	// side must not evaluate (or demand relations of) the right side,
+	// exactly as the two-phase check behaved.
+	var inRHS map[string]bool
+	var rhsErr error
+	ok := true
+	keyBuf := make([]byte, 0, 64)
+	err := lp.ForEach(db, opts, func(t relation.Tuple) error {
+		if inRHS == nil {
+			if inRHS, rhsErr = c.rhsSet(rp, master, opts); rhsErr != nil {
+				return eval.Stop
+			}
+		}
+		keyBuf = t.AppendKey(keyBuf[:0])
+		if !inRHS[string(keyBuf)] {
+			ok = false
+			return eval.Stop
+		}
+		return nil
+	})
+	if err == nil {
+		err = rhsErr
+	}
+	if err != nil {
+		return false, fmt.Errorf("cc %s: %w", c.Name, err)
+	}
+	return ok, nil
+}
+
+// satisfiedNaive is the original materialise-both-sides check, kept as
+// the NaiveJoin oracle and the fallback for uncompilable sides.
+func (c *Constraint) satisfiedNaive(db, master *relation.Database, opts eval.Options) (bool, error) {
 	lhs, err := eval.Answers(db, c.Left, opts)
 	if err != nil {
 		return false, fmt.Errorf("cc %s: %w", c.Name, err)
@@ -100,6 +185,60 @@ func (c *Constraint) Satisfied(db, master *relation.Database, opts eval.Options)
 		}
 	}
 	return true, nil
+}
+
+// plans compiles both sides once. Compilation of a validated CC (both
+// sides CQ) cannot fail; a nil result routes to the naive path anyway.
+func (c *Constraint) plans() (*eval.Plan, *eval.Plan) {
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+	if !c.planTried {
+		c.planTried = true
+		c.leftPlan, _ = eval.Compile(c.Left)
+		c.rightPlan, _ = eval.Compile(c.Right)
+	}
+	return c.leftPlan, c.rightPlan
+}
+
+// rhsCacheMax bounds the number of distinct master databases memoised
+// per constraint; a decision run uses one.
+const rhsCacheMax = 8
+
+// rhsSet returns the key set of p(Dm), memoised per master database.
+// ExtraDomain can change answer sets (via ≠ and unbound comparisons
+// ranging over the active domain), so runs that set it bypass the memo.
+func (c *Constraint) rhsSet(rp *eval.Plan, master *relation.Database, opts eval.Options) (map[string]bool, error) {
+	cacheable := opts.ExtraDomain == nil
+	if cacheable {
+		c.planMu.Lock()
+		if e, ok := c.rhsCache[master]; ok && e.fresh(master) {
+			c.planMu.Unlock()
+			return e.set, nil
+		}
+		c.planMu.Unlock()
+	}
+	set := make(map[string]bool)
+	keyBuf := make([]byte, 0, 64)
+	err := rp.ForEach(master, opts, func(t relation.Tuple) error {
+		keyBuf = t.AppendKey(keyBuf[:0])
+		set[string(keyBuf)] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		c.planMu.Lock()
+		if len(c.rhsCache) >= rhsCacheMax {
+			c.rhsCache = nil
+		}
+		if c.rhsCache == nil {
+			c.rhsCache = make(map[*relation.Database]*rhsEntry, 1)
+		}
+		c.rhsCache[master] = snapshotEntry(master, set)
+		c.planMu.Unlock()
+	}
+	return set, nil
 }
 
 // String renders the CC.

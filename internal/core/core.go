@@ -190,6 +190,11 @@ type Options struct {
 	// stated. The default (typed) is exact; the flag exists for the
 	// differential test-suite and the ablation benchmark.
 	NoTypedDomains bool
+	// NaiveJoin evaluates queries and CCs with the original
+	// nested-loop map-binding evaluator instead of the compiled
+	// indexed-join plans. It is the differential-testing oracle and the
+	// ablation baseline; verdicts are identical either way.
+	NaiveJoin bool
 	// Parallelism is the worker count for the candidate searches
 	// (counterexample, witness and certain-answer enumerations). 0
 	// defaults to runtime.GOMAXPROCS(0); 1 forces the exact sequential
@@ -239,6 +244,8 @@ type Problem struct {
 	disjTabs      []*query.Tableau            // cached renamed disjunct tableaux
 	atomCandCache map[string][]relation.Tuple // constant-pinned closed lattice per atom
 	closureCache  map[string]bool             // single-tuple closure verdicts
+	plan          *eval.Plan                  // compiled query plan (positive existential only)
+	planTried     bool                        // whether plan compilation was attempted
 }
 
 // NewProblem validates and builds a problem instance.
@@ -284,13 +291,35 @@ func MustProblem(schema *relation.DBSchema, q Qry, master *relation.Database, cc
 
 // evalOpts builds the evaluation options used throughout.
 func (p *Problem) evalOpts() eval.Options {
-	return eval.Options{MaxDerived: p.Options.MaxDerived}
+	return eval.Options{MaxDerived: p.Options.MaxDerived, NaiveJoin: p.Options.NaiveJoin}
+}
+
+// queryPlan returns the compiled plan for the problem's calculus query,
+// compiling it on first use. It returns nil when the query is outside
+// the compiled fragment (FP, full FO) or NaiveJoin is requested; the
+// caller then takes the generic eval path. Safe for concurrent use: the
+// deciders evaluate the same query on thousands of candidate databases
+// from worker goroutines, and compiling once is the point of plans.
+func (p *Problem) queryPlan() *eval.Plan {
+	if p.Options.NaiveJoin || p.Query.Calc == nil || !query.IsPositiveExistential(p.Query.Calc) {
+		return nil
+	}
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	if !p.planTried {
+		p.planTried = true
+		p.plan, _ = eval.Compile(p.Query.Calc) // nil on error: generic path
+	}
+	return p.plan
 }
 
 // answers evaluates the problem's query on a ground database.
 func (p *Problem) answers(db *relation.Database) ([]relation.Tuple, error) {
 	if p.Query.Prog != nil {
 		return eval.FPAnswers(db, p.Query.Prog, p.evalOpts())
+	}
+	if plan := p.queryPlan(); plan != nil {
+		return plan.Answers(db, p.evalOpts())
 	}
 	return eval.Answers(db, p.Query.Calc, p.evalOpts())
 }

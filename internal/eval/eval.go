@@ -50,6 +50,12 @@ type Options struct {
 	// the default semi-naive evaluation (used by the ablation benchmark
 	// and the differential-testing oracle).
 	NaiveFP bool
+	// NaiveJoin disables the compiled indexed-join engine (plan.go) for
+	// positive-existential queries and evaluates with the original
+	// nested-loop map-binding evaluator instead. It is the
+	// differential-testing oracle and the ablation baseline, mirroring
+	// NaiveFP.
+	NaiveJoin bool
 }
 
 // ErrBudget is returned when a configured resource cap is exceeded.
@@ -84,23 +90,47 @@ type env struct {
 }
 
 // Answers evaluates q on db and returns the set of answer tuples in
-// deterministic order.
+// deterministic order. Positive-existential queries go through the
+// compiled indexed-join engine (see plan.go) unless Options.NaiveJoin
+// asks for the original evaluator; callers that evaluate the same query
+// against many databases should Compile once and reuse the Plan.
 func Answers(db *relation.Database, q *query.Query, opts Options) ([]relation.Tuple, error) {
+	if !opts.NaiveJoin && query.IsPositiveExistential(q) {
+		plan, err := Compile(q)
+		if err == nil {
+			return plan.Answers(db, opts)
+		}
+	}
 	e := &env{src: dbSource{db}, opts: opts}
 	e.adom = evalDomain(db, q, opts)
 	return e.answers(q)
 }
 
 // Bool evaluates a Boolean query, reporting whether the answer is {()}.
+// The compiled engine stops at the first witness; the naive oracle path
+// still joins level by level but skips materialising, projecting and
+// sorting the answer set.
 func Bool(db *relation.Database, q *query.Query, opts Options) (bool, error) {
 	if !q.IsBoolean() {
 		return false, fmt.Errorf("eval: query %s is not Boolean", q.Name)
 	}
-	ans, err := Answers(db, q, opts)
-	if err != nil {
-		return false, err
+	if !opts.NaiveJoin && query.IsPositiveExistential(q) {
+		plan, err := Compile(q)
+		if err == nil {
+			return plan.Bool(db, opts)
+		}
 	}
-	return len(ans) > 0, nil
+	e := &env{src: dbSource{db}, opts: opts}
+	e.adom = evalDomain(db, q, opts)
+	if query.Classify(q) <= query.ClassEFOPlus {
+		rows, err := e.extend([]binding{{}}, q.Body)
+		if err != nil {
+			return false, err
+		}
+		return len(rows) > 0, nil
+	}
+	// Full FO with an empty head: a single model check.
+	return e.check(q.Body, binding{})
 }
 
 // evalDomain collects the quantification domain: active domain of the

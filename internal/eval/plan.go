@@ -1,0 +1,945 @@
+package eval
+
+// This file is the compiled evaluation path for the positive-existential
+// fragment (CQ, UCQ, ∃FO+): a one-shot query→plan compiler plus an
+// executor that joins through the per-relation hash indexes of
+// relation.Instance.
+//
+// The compiler assigns every variable a fixed slot, so a partial
+// assignment is a flat frame ([]relation.Value plus a bound bitmap)
+// instead of the map[string]relation.Value the naive evaluator carries;
+// quantifier shadowing is resolved at compile time by scoping names to
+// slots, so no runtime alpha-renaming is needed. The executor is a
+// backtracking depth-first search in continuation-passing style: a node
+// extends the frame and calls its continuation once per satisfying
+// extension, which gives Boolean evaluation a genuine first-witness
+// short circuit. Conjunctions are ordered greedily at run time by bound
+// -variable coverage and relation cardinality (replacing the naive
+// evaluator's static syntactic rank); the order depends only on the
+// database and the plan, so evaluation stays deterministic.
+//
+// A Plan is immutable after Compile and safe for concurrent Run/Answers
+// /Bool calls: all execution state lives in a per-call planRun.
+//
+// Options.NaiveJoin bypasses this path entirely and keeps the original
+// evaluator as a differential-testing oracle, mirroring Options.NaiveFP.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+// Stop, returned from a ForEach callback, ends the enumeration early
+// without error.
+var Stop = fmt.Errorf("eval: stop enumeration")
+
+// errFound is the internal first-witness sentinel of Bool and of the
+// semi-join short circuits.
+var errFound = fmt.Errorf("eval: witness found")
+
+// planTerm is a compiled query.Term: a constant or a frame slot.
+type planTerm struct {
+	isConst bool
+	c       relation.Value
+	slot    int
+}
+
+// planNode is one operator of a compiled plan. exec extends the frame
+// of rt with every satisfying extension, calling k once per extension
+// with the bindings in place, and restores the frame before returning.
+type planNode interface {
+	exec(rt *planRun, k cont) error
+	explain(b *strings.Builder, indent string, slotNames []string)
+}
+
+type cont func() error
+
+// Plan is a compiled query: slot layout, head recipe and operator tree.
+type Plan struct {
+	q         *query.Query
+	nSlots    int
+	slotNames []string   // slot -> variable name (diagnostics)
+	head      []planTerm // compiled head terms
+	relNames  []string   // relIdx -> relation name
+	root      planNode
+}
+
+// compiler carries the scope and slot state of one Compile call.
+type compiler struct {
+	slotNames []string
+	scope     map[string][]int // variable name -> slot stack (shadowing)
+	relIdx    map[string]int
+	relNames  []string
+}
+
+func (c *compiler) pushVar(name string) int {
+	s := len(c.slotNames)
+	c.slotNames = append(c.slotNames, name)
+	c.scope[name] = append(c.scope[name], s)
+	return s
+}
+
+func (c *compiler) popVar(name string) {
+	st := c.scope[name]
+	c.scope[name] = st[:len(st)-1]
+}
+
+func (c *compiler) slotOf(name string) (int, error) {
+	st := c.scope[name]
+	if len(st) == 0 {
+		return 0, fmt.Errorf("eval: variable %s out of scope", name)
+	}
+	return st[len(st)-1], nil
+}
+
+func (c *compiler) term(t query.Term) (planTerm, error) {
+	if !t.IsVar {
+		return planTerm{isConst: true, c: t.Const}, nil
+	}
+	s, err := c.slotOf(t.Name)
+	if err != nil {
+		return planTerm{}, err
+	}
+	return planTerm{slot: s}, nil
+}
+
+func (c *compiler) relation(name string) int {
+	if i, ok := c.relIdx[name]; ok {
+		return i
+	}
+	i := len(c.relNames)
+	c.relIdx[name] = i
+	c.relNames = append(c.relNames, name)
+	return i
+}
+
+// freeSlots maps the free variables of f to their current slots, in
+// sorted variable order (deterministic plan shape).
+func (c *compiler) freeSlots(f query.Formula) ([]int, error) {
+	names := sortedVars(query.FreeVars(f))
+	out := make([]int, len(names))
+	for i, n := range names {
+		s, err := c.slotOf(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Compile builds the indexed-join plan for a positive-existential
+// query. Queries outside ∃FO+ are rejected; callers fall back to the
+// active-domain model checker.
+func Compile(q *query.Query) (*Plan, error) {
+	if query.Classify(q) > query.ClassEFOPlus {
+		return nil, fmt.Errorf("eval: query %s is not positive existential; no plan", q.Name)
+	}
+	c := &compiler{scope: map[string][]int{}, relIdx: map[string]int{}}
+	// Free variables of the body get the first slots, in sorted order.
+	for _, v := range sortedVars(query.FreeVars(q.Body)) {
+		c.pushVar(v)
+	}
+	root, err := c.compile(q.Body)
+	if err != nil {
+		return nil, err
+	}
+	head := make([]planTerm, len(q.Head))
+	for i, h := range q.Head {
+		head[i], err = c.term(h)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Plan{
+		q:         q,
+		nSlots:    len(c.slotNames),
+		slotNames: c.slotNames,
+		head:      head,
+		relNames:  c.relNames,
+		root:      root,
+	}, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(q *query.Query) *Plan {
+	p, err := Compile(q)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (c *compiler) compile(f query.Formula) (planNode, error) {
+	switch x := f.(type) {
+	case *query.Atom:
+		terms := make([]planTerm, len(x.Terms))
+		var err error
+		for i, t := range x.Terms {
+			terms[i], err = c.term(t)
+			if err != nil {
+				return nil, err
+			}
+		}
+		free, err := c.freeSlots(x)
+		if err != nil {
+			return nil, err
+		}
+		return &atomNode{rel: x.Rel, relIdx: c.relation(x.Rel), terms: terms, free: free}, nil
+	case *query.Compare:
+		l, err := c.term(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.term(x.R)
+		if err != nil {
+			return nil, err
+		}
+		free, err := c.freeSlots(x)
+		if err != nil {
+			return nil, err
+		}
+		return &cmpNode{op: x.Op, l: l, r: r, free: free}, nil
+	case *query.And:
+		kids := make([]planNode, len(x.Kids))
+		for i, k := range x.Kids {
+			n, err := c.compile(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = n
+		}
+		free, err := c.freeSlots(x)
+		if err != nil {
+			return nil, err
+		}
+		return &andNode{kids: kids, free: free}, nil
+	case *query.Or:
+		kids := make([]planNode, len(x.Kids))
+		for i, k := range x.Kids {
+			n, err := c.compile(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = n
+		}
+		free, err := c.freeSlots(x)
+		if err != nil {
+			return nil, err
+		}
+		return &orNode{kids: kids, free: free}, nil
+	case *query.Exists:
+		free, err := c.freeSlots(x)
+		if err != nil {
+			return nil, err
+		}
+		varSlots := make([]int, len(x.Vars))
+		for i, v := range x.Vars {
+			varSlots[i] = c.pushVar(v)
+		}
+		sub, err := c.compile(x.Sub)
+		for i := len(x.Vars) - 1; i >= 0; i-- {
+			c.popVar(x.Vars[i])
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &existsNode{varSlots: varSlots, sub: sub, free: free}, nil
+	default:
+		return nil, fmt.Errorf("eval: %T in positive plan compilation", f)
+	}
+}
+
+// freeOf reports the slots a node binds when it succeeds (its free
+// variables' slots): the unit the greedy conjunct ordering reasons in.
+func freeOf(n planNode) []int {
+	switch x := n.(type) {
+	case *atomNode:
+		return x.free
+	case *cmpNode:
+		return x.free
+	case *andNode:
+		return x.free
+	case *orNode:
+		return x.free
+	case *existsNode:
+		return x.free
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Runtime state.
+// ---------------------------------------------------------------------------
+
+// planRun is the per-evaluation state of one Plan execution. It is
+// single-goroutine; concurrent evaluations each build their own.
+type planRun struct {
+	frame []relation.Value
+	bound []bool
+	adom  []relation.Value
+	insts []*relation.Instance // by relIdx; nil for unknown relations
+
+	// Derived decisions, computed on the first frame that reaches a node
+	// and reused for the rest of the run. The set of bound slots at any
+	// node is invariant across the frames of one run (every operator
+	// binds exactly its unbound free slots), so these are run constants.
+	orders     map[*andNode][]int
+	targets    map[planNode][]int
+	strategies map[*atomNode]*atomStrategy
+
+	keyBuf []byte
+	tupBuf relation.Tuple
+	valBuf []relation.Value
+}
+
+func (p *Plan) newRun(db *relation.Database, opts Options) (*planRun, error) {
+	insts := make([]*relation.Instance, len(p.relNames))
+	for i, name := range p.relNames {
+		inst := db.Relation(name)
+		if inst == nil {
+			return nil, fmt.Errorf("eval: unknown relation %s", name)
+		}
+		insts[i] = inst
+	}
+	return &planRun{
+		frame:      make([]relation.Value, p.nSlots),
+		bound:      make([]bool, p.nSlots),
+		adom:       evalDomain(db, p.q, opts),
+		insts:      insts,
+		orders:     make(map[*andNode][]int, 4),
+		targets:    make(map[planNode][]int, 4),
+		strategies: make(map[*atomNode]*atomStrategy, 8),
+		keyBuf:     make([]byte, 0, 64),
+	}, nil
+}
+
+// unboundOf filters slots down to the ones not bound in rt.
+func (rt *planRun) unboundOf(slots []int) []int {
+	out := make([]int, 0, len(slots))
+	for _, s := range slots {
+		if !rt.bound[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// targetsFor returns (and caches) the slots a padding node must bind:
+// its free slots that are unbound on entry.
+func (rt *planRun) targetsFor(n planNode) []int {
+	if t, ok := rt.targets[n]; ok {
+		return t
+	}
+	t := rt.unboundOf(freeOf(n))
+	rt.targets[n] = t
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Atoms.
+// ---------------------------------------------------------------------------
+
+type atomNode struct {
+	rel    string
+	relIdx int
+	terms  []planTerm
+	free   []int
+}
+
+// atomStrategy is the per-run join strategy of one atom: which
+// positions carry values known before a row is chosen (constants and
+// bound slots — the index key), and whether every position does (a pure
+// membership test).
+type atomStrategy struct {
+	boundPos  []int // ascending positions with entry-known values
+	fullBound bool
+	arity     int
+}
+
+func (rt *planRun) strategyFor(a *atomNode) *atomStrategy {
+	if s, ok := rt.strategies[a]; ok {
+		return s
+	}
+	s := &atomStrategy{arity: len(a.terms)}
+	seen := make(map[int]bool, len(a.terms))
+	full := true
+	for i, t := range a.terms {
+		known := t.isConst || rt.bound[t.slot]
+		if !t.isConst && !rt.bound[t.slot] {
+			// A repeated unbound variable's later occurrences are not
+			// entry-known either: the row itself supplies the value.
+			if seen[t.slot] {
+				full = false
+				continue
+			}
+			seen[t.slot] = true
+		}
+		if known {
+			s.boundPos = append(s.boundPos, i)
+		} else {
+			full = false
+		}
+	}
+	s.fullBound = full && len(s.boundPos) == len(a.terms)
+	rt.strategies[a] = s
+	return s
+}
+
+func (a *atomNode) exec(rt *planRun, k cont) error {
+	inst := rt.insts[a.relIdx]
+	if inst.Schema().Arity() != len(a.terms) {
+		return nil // arity mismatch matches nothing, as in the naive path
+	}
+	s := rt.strategyFor(a)
+	if s.fullBound {
+		// Every position is known: a pure membership test against the
+		// instance's tuple set.
+		if cap(rt.tupBuf) < len(a.terms) {
+			rt.tupBuf = make(relation.Tuple, len(a.terms))
+		}
+		tup := rt.tupBuf[:len(a.terms)]
+		for i, t := range a.terms {
+			if t.isConst {
+				tup[i] = t.c
+			} else {
+				tup[i] = rt.frame[t.slot]
+			}
+		}
+		if inst.Contains(tup) {
+			return k()
+		}
+		return nil
+	}
+	var candidates []relation.Tuple
+	if len(s.boundPos) > 0 {
+		rt.valBuf = rt.valBuf[:0]
+		for _, p := range s.boundPos {
+			t := a.terms[p]
+			if t.isConst {
+				rt.valBuf = append(rt.valBuf, t.c)
+			} else {
+				rt.valBuf = append(rt.valBuf, rt.frame[t.slot])
+			}
+		}
+		var ok bool
+		candidates, ok = inst.LookupIndexed(s.boundPos, rt.valBuf)
+		if !ok {
+			candidates = inst.Tuples()
+		}
+	} else {
+		candidates = inst.Tuples()
+	}
+	var newly [8]int
+	for _, row := range candidates {
+		nb := newly[:0]
+		match := true
+		for i, t := range a.terms {
+			switch {
+			case t.isConst:
+				if t.c != row[i] {
+					match = false
+				}
+			case rt.bound[t.slot]:
+				if rt.frame[t.slot] != row[i] {
+					match = false
+				}
+			default:
+				rt.frame[t.slot] = row[i]
+				rt.bound[t.slot] = true
+				nb = append(nb, t.slot)
+			}
+			if !match {
+				break
+			}
+		}
+		var err error
+		if match {
+			err = k()
+		}
+		for _, sl := range nb {
+			rt.bound[sl] = false
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *atomNode) explain(b *strings.Builder, indent string, slotNames []string) {
+	fmt.Fprintf(b, "%satom %s(", indent, a.rel)
+	for i, t := range a.terms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writeTerm(b, t, slotNames)
+	}
+	b.WriteString(")\n")
+}
+
+func writeTerm(b *strings.Builder, t planTerm, slotNames []string) {
+	if t.isConst {
+		fmt.Fprintf(b, "'%s'", string(t.c))
+	} else {
+		fmt.Fprintf(b, "%s#%d", slotNames[t.slot], t.slot)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons.
+// ---------------------------------------------------------------------------
+
+type cmpNode struct {
+	op   query.CmpOp
+	l, r planTerm
+	free []int
+}
+
+func (c *cmpNode) resolve(rt *planRun, t planTerm) (relation.Value, bool) {
+	if t.isConst {
+		return t.c, true
+	}
+	if rt.bound[t.slot] {
+		return rt.frame[t.slot], true
+	}
+	return "", false
+}
+
+func (c *cmpNode) exec(rt *planRun, k cont) error {
+	lv, lok := c.resolve(rt, c.l)
+	rv, rok := c.resolve(rt, c.r)
+	switch {
+	case lok && rok:
+		if (c.op == query.Eq) == (lv == rv) {
+			return k()
+		}
+		return nil
+	case lok:
+		return c.bindAgainst(rt, c.r.slot, lv, k)
+	case rok:
+		return c.bindAgainst(rt, c.l.slot, rv, k)
+	default:
+		// Both sides unbound variables: range the left over the domain,
+		// then bind the right against it (the naive evaluator's rule).
+		for _, v := range rt.adom {
+			rt.frame[c.l.slot] = v
+			rt.bound[c.l.slot] = true
+			err := c.bindAgainst(rt, c.r.slot, v, k)
+			rt.bound[c.l.slot] = false
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// bindAgainst assigns slot so that (slot op val) holds: pinned for =,
+// ranging over the active domain for ≠.
+func (c *cmpNode) bindAgainst(rt *planRun, slot int, val relation.Value, k cont) error {
+	if c.op == query.Eq {
+		rt.frame[slot] = val
+		rt.bound[slot] = true
+		err := k()
+		rt.bound[slot] = false
+		return err
+	}
+	for _, v := range rt.adom {
+		if v == val {
+			continue
+		}
+		rt.frame[slot] = v
+		rt.bound[slot] = true
+		err := k()
+		rt.bound[slot] = false
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *cmpNode) explain(b *strings.Builder, indent string, slotNames []string) {
+	b.WriteString(indent)
+	b.WriteString("cmp ")
+	writeTerm(b, c.l, slotNames)
+	fmt.Fprintf(b, " %s ", c.op)
+	writeTerm(b, c.r, slotNames)
+	b.WriteString("\n")
+}
+
+// ---------------------------------------------------------------------------
+// Conjunction with greedy runtime ordering.
+// ---------------------------------------------------------------------------
+
+type andNode struct {
+	kids []planNode
+	free []int
+}
+
+// orderFor computes (once per run) the execution order of the
+// conjuncts: repeatedly pick the cheapest conjunct under the simulated
+// bound set, estimating atoms by cardinality discounted per bound
+// column and scheduling unbound comparisons and padding operators last.
+// Ties break on syntactic position, so the order is deterministic.
+func (rt *planRun) orderFor(a *andNode) []int {
+	if o, ok := rt.orders[a]; ok {
+		return o
+	}
+	boundSim := make([]bool, len(rt.bound))
+	copy(boundSim, rt.bound)
+	order := make([]int, 0, len(a.kids))
+	picked := make([]bool, len(a.kids))
+	for len(order) < len(a.kids) {
+		best, bestCost := -1, 0.0
+		for i, kid := range a.kids {
+			if picked[i] {
+				continue
+			}
+			cost := conjCost(rt, kid, boundSim)
+			if best < 0 || cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		picked[best] = true
+		order = append(order, best)
+		for _, s := range freeOf(a.kids[best]) {
+			boundSim[s] = true
+		}
+	}
+	rt.orders[a] = order
+	return order
+}
+
+// conjCost estimates the fan-out of executing kid under the simulated
+// bound set: 0 for pure filters, cardinality-scaled for atoms, and
+// large penalties for operators that enumerate the active domain.
+func conjCost(rt *planRun, kid planNode, boundSim []bool) float64 {
+	known := func(t planTerm) bool { return t.isConst || boundSim[t.slot] }
+	unboundFree := func(slots []int) int {
+		n := 0
+		for _, s := range slots {
+			if !boundSim[s] {
+				n++
+			}
+		}
+		return n
+	}
+	switch n := kid.(type) {
+	case *atomNode:
+		b := 0
+		for _, t := range n.terms {
+			if known(t) {
+				b++
+			}
+		}
+		if b == len(n.terms) {
+			return 0 // membership filter
+		}
+		est := float64(rt.insts[n.relIdx].Len())
+		for i := 0; i < b; i++ {
+			est /= 8
+		}
+		return 2 + est
+	case *cmpNode:
+		lb, rb := known(n.l), known(n.r)
+		switch {
+		case lb && rb:
+			return 0
+		case lb || rb:
+			if n.op == query.Eq {
+				return 1 // pins one variable
+			}
+			return 50000 + float64(len(rt.adom)) // ≠ ranges the domain
+		default:
+			return 100000 + float64(len(rt.adom))*float64(len(rt.adom))
+		}
+	case *existsNode:
+		if u := unboundFree(n.free); u > 0 {
+			return 10000 + float64(u)
+		}
+		return 1 // semi-join filter
+	case *orNode:
+		if u := unboundFree(n.free); u > 0 {
+			return 20000 + float64(u)
+		}
+		return 1
+	case *andNode:
+		if u := unboundFree(n.free); u > 0 {
+			return 30000 + float64(u)
+		}
+		return 1
+	}
+	return 1e9
+}
+
+func (a *andNode) exec(rt *planRun, k cont) error {
+	order := rt.orderFor(a)
+	var step func(i int) error
+	step = func(i int) error {
+		if i == len(order) {
+			return k()
+		}
+		return a.kids[order[i]].exec(rt, func() error { return step(i + 1) })
+	}
+	return step(0)
+}
+
+func (a *andNode) explain(b *strings.Builder, indent string, slotNames []string) {
+	b.WriteString(indent)
+	b.WriteString("and\n")
+	for _, kid := range a.kids {
+		kid.explain(b, indent+"  ", slotNames)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Disjunction and existential quantification: per-frame deduplicated
+// extension sets, with a first-witness short circuit when the operator
+// binds nothing new.
+// ---------------------------------------------------------------------------
+
+type orNode struct {
+	kids []planNode
+	free []int
+}
+
+func (o *orNode) exec(rt *planRun, k cont) error {
+	targets := rt.targetsFor(o)
+	if len(targets) == 0 {
+		// Pure filter: succeed once if any disjunct matches.
+		for _, kid := range o.kids {
+			found, err := probe(rt, kid)
+			if err != nil {
+				return err
+			}
+			if found {
+				return k()
+			}
+		}
+		return nil
+	}
+	col := collector{rt: rt, targets: targets, seen: map[string]struct{}{}}
+	for _, kid := range o.kids {
+		if err := kid.exec(rt, col.collect); err != nil {
+			return err
+		}
+	}
+	return col.emit(k)
+}
+
+func (o *orNode) explain(b *strings.Builder, indent string, slotNames []string) {
+	b.WriteString(indent)
+	b.WriteString("or\n")
+	for _, kid := range o.kids {
+		kid.explain(b, indent+"  ", slotNames)
+	}
+}
+
+type existsNode struct {
+	varSlots []int
+	sub      planNode
+	free     []int
+}
+
+func (e *existsNode) exec(rt *planRun, k cont) error {
+	targets := rt.targetsFor(e)
+	if len(targets) == 0 {
+		// Semi-join: one witness of the subformula suffices.
+		found, err := probe(rt, e.sub)
+		if err != nil {
+			return err
+		}
+		if found {
+			return k()
+		}
+		return nil
+	}
+	col := collector{rt: rt, targets: targets, seen: map[string]struct{}{}}
+	if err := e.sub.exec(rt, col.collect); err != nil {
+		return err
+	}
+	return col.emit(k)
+}
+
+func (e *existsNode) explain(b *strings.Builder, indent string, slotNames []string) {
+	b.WriteString(indent)
+	b.WriteString("exists")
+	for _, s := range e.varSlots {
+		fmt.Fprintf(b, " %s#%d", slotNames[s], s)
+	}
+	b.WriteString("\n")
+	e.sub.explain(b, indent+"  ", slotNames)
+}
+
+// probe reports whether n has at least one satisfying extension,
+// stopping at the first.
+func probe(rt *planRun, n planNode) (bool, error) {
+	err := n.exec(rt, func() error { return errFound })
+	if err == errFound {
+		return true, nil
+	}
+	return false, err
+}
+
+// collector deduplicates the extensions an Or or Exists contributes
+// over its target slots; target slots the subformula left unbound are
+// padded over the active domain, as in the naive evaluator.
+type collector struct {
+	rt      *planRun
+	targets []int
+	seen    map[string]struct{}
+	exts    []relation.Value // flattened rows of len(targets)
+}
+
+func (c *collector) collect() error {
+	return c.pad(0)
+}
+
+func (c *collector) pad(i int) error {
+	rt := c.rt
+	if i == len(c.targets) {
+		rt.keyBuf = rt.keyBuf[:0]
+		for _, s := range c.targets {
+			rt.keyBuf = relation.AppendValueKey(rt.keyBuf, rt.frame[s])
+		}
+		if _, dup := c.seen[string(rt.keyBuf)]; dup {
+			return nil
+		}
+		c.seen[string(rt.keyBuf)] = struct{}{}
+		for _, s := range c.targets {
+			c.exts = append(c.exts, rt.frame[s])
+		}
+		return nil
+	}
+	s := c.targets[i]
+	if rt.bound[s] {
+		return c.pad(i + 1)
+	}
+	for _, v := range rt.adom {
+		rt.frame[s] = v
+		rt.bound[s] = true
+		err := c.pad(i + 1)
+		rt.bound[s] = false
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit replays the distinct extensions through the continuation.
+func (c *collector) emit(k cont) error {
+	rt := c.rt
+	w := len(c.targets)
+	for i := 0; i < len(c.exts); i += w {
+		for j, s := range c.targets {
+			rt.frame[s] = c.exts[i+j]
+			rt.bound[s] = true
+		}
+		err := k()
+		for _, s := range c.targets {
+			rt.bound[s] = false
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Plan entry points.
+// ---------------------------------------------------------------------------
+
+// ForEach runs the plan on db and calls fn once per distinct answer
+// tuple, in first-derivation order (not sorted). fn may return Stop to
+// end the enumeration early. The tuple passed to fn is fresh and may be
+// retained.
+func (p *Plan) ForEach(db *relation.Database, opts Options, fn func(relation.Tuple) error) error {
+	rt, err := p.newRun(db, opts)
+	if err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	err = p.root.exec(rt, func() error {
+		t := make(relation.Tuple, len(p.head))
+		for i, h := range p.head {
+			if h.isConst {
+				t[i] = h.c
+				continue
+			}
+			if !rt.bound[h.slot] {
+				return nil // defensively skip, as the naive path does
+			}
+			t[i] = rt.frame[h.slot]
+		}
+		rt.keyBuf = t.AppendKey(rt.keyBuf[:0])
+		if seen[string(rt.keyBuf)] {
+			return nil
+		}
+		seen[string(rt.keyBuf)] = true
+		return fn(t)
+	})
+	if err == Stop {
+		return nil
+	}
+	return err
+}
+
+// Answers runs the plan on db and returns the answer set in the same
+// deterministic order as Answers.
+func (p *Plan) Answers(db *relation.Database, opts Options) ([]relation.Tuple, error) {
+	var out []relation.Tuple
+	err := p.ForEach(db, opts, func(t relation.Tuple) error {
+		out = append(out, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}
+
+// Bool evaluates a Boolean query with a first-witness short circuit.
+func (p *Plan) Bool(db *relation.Database, opts Options) (bool, error) {
+	if !p.q.IsBoolean() {
+		return false, fmt.Errorf("eval: query %s is not Boolean", p.q.Name)
+	}
+	rt, err := p.newRun(db, opts)
+	if err != nil {
+		return false, err
+	}
+	found, err := probe(rt, p.root)
+	return found, err
+}
+
+// Explain renders the compiled plan: the slot table and operator tree.
+// The rendering is deterministic for a given query, which the plan
+// stability test relies on.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s: %d slots [", p.q.Name, p.nSlots)
+	for i, n := range p.slotNames {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%d=%s", i, n)
+	}
+	b.WriteString("] head(")
+	for i, h := range p.head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writeTerm(&b, h, p.slotNames)
+	}
+	b.WriteString(")\n")
+	p.root.explain(&b, "  ", p.slotNames)
+	return b.String()
+}

@@ -3,22 +3,12 @@ package relation
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Tuple is a row of constants; position i belongs to attribute i of the
 // owning schema.
 type Tuple []Value
-
-// Key encodes the tuple as a collision-free string, used for set
-// membership. Values are length-prefixed so no separator can collide.
-func (t Tuple) Key() string {
-	var b strings.Builder
-	for _, v := range t {
-		fmt.Fprintf(&b, "%d:", len(v))
-		b.WriteString(string(v))
-	}
-	return b.String()
-}
 
 // Equal reports component-wise equality.
 func (t Tuple) Equal(u Tuple) bool {
@@ -76,6 +66,81 @@ type Instance struct {
 	schema *Schema
 	rows   []Tuple
 	seen   map[string]int // tuple key -> index in rows
+
+	// idxMu guards indexes. Indexes are built lazily by the first query
+	// that joins on a given position set and maintained incrementally on
+	// insert, so concurrent READERS (the parallel candidate searches
+	// evaluate queries against shared instances) may race to build one;
+	// the mutex serialises them. Concurrent mutation with reads remains
+	// unsupported, as it always was for rows and seen.
+	idxMu   sync.Mutex
+	indexes map[uint64]*posIndex // bitmask of key positions -> index
+}
+
+// posIndex is a hash index of the instance on a fixed set of column
+// positions: the encoded values at those positions map to the rows that
+// carry them, in insertion order.
+type posIndex struct {
+	positions []int // ascending
+	buckets   map[string][]Tuple
+}
+
+func (ix *posIndex) add(t Tuple) {
+	key := make([]byte, 0, 8*len(ix.positions)+16)
+	for _, p := range ix.positions {
+		key = AppendValueKey(key, t[p])
+	}
+	ix.buckets[string(key)] = append(ix.buckets[string(key)], t)
+}
+
+// maxIndexedArity bounds the position bitmask; wider relations (which
+// the paper never produces) fall back to scans.
+const maxIndexedArity = 64
+
+// posMask folds ascending positions into a bitmask key.
+func posMask(positions []int) uint64 {
+	var m uint64
+	for _, p := range positions {
+		m |= 1 << uint(p)
+	}
+	return m
+}
+
+// LookupIndexed returns the rows whose columns at positions (ascending)
+// equal vals, using a lazily built hash index. The second result is
+// false when the instance cannot serve the lookup from an index (no
+// positions, or arity beyond the bitmask width) and the caller must
+// scan. The returned slice is shared with the index; callers must not
+// mutate it.
+func (in *Instance) LookupIndexed(positions []int, vals []Value) ([]Tuple, bool) {
+	if in == nil {
+		return nil, true // vacuously indexable: no rows match
+	}
+	if len(positions) == 0 || in.schema.Arity() > maxIndexedArity {
+		return nil, false
+	}
+	mask := posMask(positions)
+	in.idxMu.Lock()
+	ix := in.indexes[mask]
+	if ix == nil {
+		ix = &posIndex{
+			positions: append([]int(nil), positions...),
+			buckets:   make(map[string][]Tuple, len(in.rows)),
+		}
+		for _, t := range in.rows {
+			ix.add(t)
+		}
+		if in.indexes == nil {
+			in.indexes = make(map[uint64]*posIndex, 4)
+		}
+		in.indexes[mask] = ix
+	}
+	in.idxMu.Unlock()
+	key := make([]byte, 0, 8*len(vals)+16)
+	for _, v := range vals {
+		key = AppendValueKey(key, v)
+	}
+	return ix.buckets[string(key)], true
 }
 
 // NewInstance returns an empty instance of the given schema.
@@ -140,7 +205,15 @@ func (in *Instance) insertUnchecked(t Tuple) bool {
 		return false
 	}
 	in.seen[k] = len(in.rows)
-	in.rows = append(in.rows, t.Clone())
+	row := t.Clone()
+	in.rows = append(in.rows, row)
+	// Keep live indexes exact: appending to each bucket is cheaper than
+	// invalidating and re-scanning on the next lookup.
+	in.idxMu.Lock()
+	for _, ix := range in.indexes {
+		ix.add(row)
+	}
+	in.idxMu.Unlock()
 	return true
 }
 

@@ -1,0 +1,202 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Distinct tuples must encode to distinct keys, including the
+// separator-shaped values and prefix/suffix shifts that broke naive
+// concatenation schemes.
+func TestKeyCollisionFree(t *testing.T) {
+	tuples := []Tuple{
+		{},
+		{""},
+		{"", ""},
+		{"a"},
+		{"a", ""},
+		{"", "a"},
+		{"ab"},
+		{"a", "b"},
+		{"1:a"},
+		{"1", ":a"},
+		{"a;b"},
+		{"a;", "b"},
+		{"\x00"},
+		{"\x00", "\x00"},
+		{"\x01\x00"},
+		{Value(strings.Repeat("x", 127))},
+		{Value(strings.Repeat("x", 128))},
+		{Value(strings.Repeat("x", 127)), "y"},
+		{Value(strings.Repeat("x", 126)), "xy"},
+	}
+	seen := map[string]Tuple{}
+	for _, tu := range tuples {
+		k := tu.Key()
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("key collision: %v and %v both encode to %q", prev, tu, k)
+		}
+		seen[k] = tu
+	}
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	tu := Tuple{"a", "", "long-value-with-separators:;", "b"}
+	buf := make([]byte, 0, 64)
+	if got := string(tu.AppendKey(buf)); got != tu.Key() {
+		t.Fatalf("AppendKey %q != Key %q", got, tu.Key())
+	}
+	// Reusing the buffer must not corrupt earlier keys.
+	k1 := string(Tuple{"x", "y"}.AppendKey(buf[:0]))
+	k2 := string(Tuple{"z"}.AppendKey(buf[:0]))
+	if k1 == k2 {
+		t.Fatal("reused buffer produced equal keys for distinct tuples")
+	}
+}
+
+func TestLookupIndexed(t *testing.T) {
+	sch := MustSchema("R", Attr("A", nil), Attr("B", nil), Attr("C", nil))
+	in := NewInstance(sch)
+	for i := 0; i < 20; i++ {
+		in.MustInsert(T(
+			Value(fmt.Sprintf("a%d", i%4)),
+			Value(fmt.Sprintf("b%d", i%5)),
+			Value(fmt.Sprintf("c%d", i)),
+		))
+	}
+	rows, ok := in.LookupIndexed([]int{0}, []Value{"a2"})
+	if !ok {
+		t.Fatal("single-column lookup must be indexable")
+	}
+	if len(rows) != 5 {
+		t.Fatalf("a2 appears in 5 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r[0] != "a2" {
+			t.Fatalf("index returned non-matching row %v", r)
+		}
+	}
+	rows, ok = in.LookupIndexed([]int{0, 1}, []Value{"a1", "b2"})
+	if !ok {
+		t.Fatal("two-column lookup must be indexable")
+	}
+	for _, r := range rows {
+		if r[0] != "a1" || r[1] != "b2" {
+			t.Fatalf("index returned non-matching row %v", r)
+		}
+	}
+	var scan int
+	for _, r := range in.Tuples() {
+		if r[0] == "a1" && r[1] == "b2" {
+			scan++
+		}
+	}
+	if len(rows) != scan {
+		t.Fatalf("index found %d rows, scan found %d", len(rows), scan)
+	}
+	// No positions: the caller must scan.
+	if _, ok := in.LookupIndexed(nil, nil); ok {
+		t.Fatal("empty position set must refuse an index")
+	}
+	// Missing key: empty result, still indexed.
+	rows, ok = in.LookupIndexed([]int{2}, []Value{"nope"})
+	if !ok || len(rows) != 0 {
+		t.Fatalf("missing key: got %v ok=%v", rows, ok)
+	}
+}
+
+// Inserts after an index is built must be visible through it.
+func TestLookupIndexedSeesInserts(t *testing.T) {
+	sch := MustSchema("R", Attr("A", nil), Attr("B", nil))
+	in := NewInstance(sch)
+	in.MustInsert(T("k", "1"))
+	rows, ok := in.LookupIndexed([]int{0}, []Value{"k"})
+	if !ok || len(rows) != 1 {
+		t.Fatalf("warmup lookup: %v ok=%v", rows, ok)
+	}
+	in.MustInsert(T("k", "2"))
+	in.MustInsert(T("j", "3"))
+	in.MustInsert(T("k", "2")) // duplicate: must not double-count
+	rows, _ = in.LookupIndexed([]int{0}, []Value{"k"})
+	if len(rows) != 2 {
+		t.Fatalf("index stale after insert: got %d rows, want 2", len(rows))
+	}
+	rows, _ = in.LookupIndexed([]int{0}, []Value{"j"})
+	if len(rows) != 1 {
+		t.Fatalf("index missed new key: got %d rows, want 1", len(rows))
+	}
+}
+
+// Concurrent readers may race to build the same index.
+func TestLookupIndexedConcurrentReaders(t *testing.T) {
+	sch := MustSchema("R", Attr("A", nil), Attr("B", nil))
+	in := NewInstance(sch)
+	for i := 0; i < 64; i++ {
+		in.MustInsert(T(Value(fmt.Sprintf("a%d", i%8)), Value(fmt.Sprintf("b%d", i))))
+	}
+	done := make(chan int, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			total := 0
+			for i := 0; i < 100; i++ {
+				rows, ok := in.LookupIndexed([]int{0}, []Value{Value(fmt.Sprintf("a%d", i%8))})
+				if !ok {
+					t.Error("lookup refused")
+				}
+				total += len(rows)
+			}
+			done <- total
+		}(g)
+	}
+	first := <-done
+	for g := 1; g < 8; g++ {
+		if got := <-done; got != first {
+			t.Fatalf("reader disagreement: %d vs %d", got, first)
+		}
+	}
+}
+
+// fmtKey is the fmt.Fprintf-based encoder the append encoder replaced;
+// the benchmark below documents the win.
+func fmtKey(t Tuple) string {
+	var b strings.Builder
+	for _, v := range t {
+		fmt.Fprintf(&b, "%d:", len(v))
+		b.WriteString(string(v))
+	}
+	return b.String()
+}
+
+func benchTuple() Tuple {
+	return Tuple{"915-15-336", "John Doe", "EDI", "2007"}
+}
+
+func BenchmarkTupleKeyAppend(b *testing.B) {
+	tu := benchTuple()
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tu.AppendKey(buf[:0])
+	}
+	_ = buf
+}
+
+func BenchmarkTupleKeyString(b *testing.B) {
+	tu := benchTuple()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tu.Key()
+	}
+}
+
+func BenchmarkTupleKeyFmt(b *testing.B) {
+	tu := benchTuple()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fmtKey(tu)
+	}
+}
