@@ -16,21 +16,31 @@
 //	rcbench -naivejoin          # ablation: nested-loop joins instead of compiled plans
 //	rcbench -cpuprofile cpu.pb  # write a pprof CPU profile of the sweep
 //	rcbench -memprofile mem.pb  # write a pprof heap profile at exit
+//	rcbench -trace              # stream the decision trace to stderr
+//	rcbench -stats              # print aggregated solver counters after the sweep
+//	rcbench -http :8080         # expvar solver counters + net/http/pprof while running
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"relcomplete/internal/cc"
 	"relcomplete/internal/core"
 	"relcomplete/internal/ctable"
+	"relcomplete/internal/obs"
 	"relcomplete/internal/paperex"
 	"relcomplete/internal/query"
 	"relcomplete/internal/reduction"
@@ -61,15 +71,31 @@ type experiment struct {
 
 // workersFlag and naiveJoinFlag hold the -workers and -naivejoin values
 // for the current run; every experiment builds its Problem from
-// benchOpts so the settings reach the deciders.
+// benchOpts so the settings reach the deciders. benchMetrics is always
+// attached (the counters are cheap); benchTracer is non-nil only under
+// -trace.
 var (
 	workersFlag   int
 	naiveJoinFlag bool
+	benchMetrics  = obs.NewMetrics()
+	benchTracer   *obs.Tracer
+	publishOnce   sync.Once
 )
 
 // benchOpts is the Options value each experiment starts from.
 func benchOpts() core.Options {
-	return core.Options{Parallelism: workersFlag, NaiveJoin: naiveJoinFlag}
+	return core.Options{
+		Parallelism: workersFlag, NaiveJoin: naiveJoinFlag,
+		Obs: benchMetrics, Trace: benchTracer,
+	}
+}
+
+// applyBenchOpts pushes the run-wide flags into a gadget-built Problem.
+func applyBenchOpts(o *core.Options) {
+	o.Parallelism = workersFlag
+	o.NaiveJoin = naiveJoinFlag
+	o.Obs = benchMetrics
+	o.Trace = benchTracer
 }
 
 func run(args []string, out io.Writer) error {
@@ -80,11 +106,42 @@ func run(args []string, out io.Writer) error {
 	naiveJoin := fs.Bool("naivejoin", false, "ablation: evaluate with the nested-loop evaluator instead of compiled indexed plans")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	trace := fs.Bool("trace", false, "stream the decision trace of every experiment to stderr")
+	httpAddr := fs.String("http", "", "serve /debug/vars (solver counters) and /debug/pprof on this address during the sweep")
+	statsOut := fs.Bool("stats", false, "print the aggregated solver counters after the sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	workersFlag = *workers
 	naiveJoinFlag = *naiveJoin
+	if *trace {
+		benchTracer = obs.NewTracer(obs.NewTextSink(os.Stderr))
+	}
+	if *httpAddr != "" {
+		ln, err := serveDebug(*httpAddr)
+		if err != nil {
+			return fmt.Errorf("http: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "rcbench: debug endpoint on http://%s/debug/vars and /debug/pprof/\n", ln.Addr())
+	}
+	if *statsOut {
+		defer func() {
+			st := benchMetrics.Snapshot()
+			fmt.Fprintln(out, "solver counters:")
+			names := make([]string, 0, len(st.Counters))
+			for name := range st.Counters {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Fprintf(out, "  %-28s %d\n", name, st.Counters[name])
+			}
+			for _, ph := range st.Phases {
+				fmt.Fprintf(out, "  phase %-22s count=%d %0.1fms\n", ph.Name, ph.Count, ph.Ms)
+			}
+		}()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -132,6 +189,31 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out)
 	return nil
+}
+
+// serveDebug starts the opt-in runtime introspection endpoint: the
+// solver counters under /debug/vars (expvar) and the Go profiler under
+// /debug/pprof/. It binds eagerly so a bad address fails the run, then
+// serves in the background until the sweep exits.
+func serveDebug(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	// expvar.Publish panics on duplicate names; guard against a second
+	// run() in the same process (tests).
+	publishOnce.Do(func() {
+		expvar.Publish("solver", expvar.Func(func() any { return benchMetrics.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	go http.Serve(ln, mux)
+	return ln, nil
 }
 
 func timed(fn func() (string, string, error)) (row, error) {
@@ -247,8 +329,7 @@ func runConsistency(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
-		g.Problem.Options.Parallelism = workersFlag
-		g.Problem.Options.NaiveJoin = naiveJoinFlag
+		applyBenchOpts(&g.Problem.Options)
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.ConsistencyHolds()
@@ -274,8 +355,7 @@ func runExtensibility(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
-		g.Problem.Options.Parallelism = workersFlag
-		g.Problem.Options.NaiveJoin = naiveJoinFlag
+		applyBenchOpts(&g.Problem.Options)
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.ExtensibilityHolds()
@@ -344,8 +424,7 @@ func runRCDPWeak(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
-		g.Problem.Options.Parallelism = workersFlag
-		g.Problem.Options.NaiveJoin = naiveJoinFlag
+		applyBenchOpts(&g.Problem.Options)
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.WeaklyComplete()
@@ -371,8 +450,7 @@ func runRCDPViable(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
-		g.Problem.Options.Parallelism = workersFlag
-		g.Problem.Options.NaiveJoin = naiveJoinFlag
+		applyBenchOpts(&g.Problem.Options)
 		want := q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.RCDPViableHolds()
@@ -406,8 +484,7 @@ func runRCDPWeakFP(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
-		g.Problem.Options.Parallelism = workersFlag
-		g.Problem.Options.NaiveJoin = naiveJoinFlag
+		applyBenchOpts(&g.Problem.Options)
 		r, err := timed(func() (string, string, error) {
 			got, err := g.WeaklyComplete()
 			if err != nil {
@@ -432,8 +509,7 @@ func runMINPStrong(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
-		g.Problem.Options.Parallelism = workersFlag
-		g.Problem.Options.NaiveJoin = naiveJoinFlag
+		applyBenchOpts(&g.Problem.Options)
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.MINPStrongHolds()
@@ -481,8 +557,7 @@ func runMINPWeakCQ(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
-		g.Problem.Options.Parallelism = workersFlag
-		g.Problem.Options.NaiveJoin = naiveJoinFlag
+		applyBenchOpts(&g.Problem.Options)
 		want := !inst.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.MinimalWeaklyComplete()
@@ -535,8 +610,7 @@ func runMINPViable(quick bool) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
-		g.Problem.Options.Parallelism = workersFlag
-		g.Problem.Options.NaiveJoin = naiveJoinFlag
+		applyBenchOpts(&g.Problem.Options)
 		want := q.Eval()
 		r, err := timed(func() (string, string, error) {
 			got, err := g.MINPViableHolds()

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
 	"strings"
 	"testing"
+
+	"relcomplete/internal/obs"
 )
 
 // The experiment driver end to end on the fastest experiments: every
@@ -67,5 +71,56 @@ func TestHelpers(t *testing.T) {
 	}
 	if agreeStr(true, true) != "OK" || agreeStr(true, false) != "FAIL" {
 		t.Fatal("agreeStr wrong")
+	}
+}
+
+// TestServeDebug hits the opt-in introspection endpoint: /debug/vars
+// must expose the solver counters as JSON, /debug/pprof/ must answer.
+func TestServeDebug(t *testing.T) {
+	ln, err := serveDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	benchMetrics.Inc(obs.ModelsChecked)
+	resp, err := http.Get("http://" + ln.Addr().String() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Solver struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"solver"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Solver.Counters["models_checked"] == 0 {
+		t.Fatalf("solver counters missing from expvar: %+v", vars)
+	}
+	resp2, err := http.Get("http://" + ln.Addr().String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp2.StatusCode)
+	}
+}
+
+// TestRunTraceAndStats drives a quick filtered sweep with tracing and
+// the counter dump enabled.
+func TestRunTraceAndStats(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-run", "E-F1", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "solver counters:") || !strings.Contains(s, "models_checked") {
+		t.Fatalf("counter dump missing:\n%s", s)
+	}
+	if !strings.Contains(s, "phase rcdp_strong") {
+		t.Fatalf("phase timings missing:\n%s", s)
 	}
 }

@@ -5,28 +5,71 @@
 //
 //	rcheck -problem <name> [-model strong|weak|viable] [-explain] file.json
 //	rcheck -problem consistency file.json
+//	rcheck -problem rcdp -json file.json        # machine-readable verdict + stats
+//	rcheck -problem rcdp -trace file.json       # decision trace of the search tree
 //	cat file.json | rcheck -problem rcdp -model weak -
 //
 // Problems: consistency, extensibility, rcdp, rcqp, minp, certain
 // (certain answers), models (list ModAdom members).
+//
+// Exit codes: 0 success, 2 when a search budget was exhausted
+// (ErrBudget / ErrInconclusive — the verdict is unknown, not "no"),
+// 1 for every other error.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"relcomplete/internal/adom"
 	"relcomplete/internal/core"
+	"relcomplete/internal/eval"
+	"relcomplete/internal/obs"
 	"relcomplete/internal/probjson"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rcheck:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode distinguishes "the search ran out of budget" (2: the
+// verdict is unknown, retry with larger caps) from genuine failures
+// (1). adom and eval carry their own budget sentinels.
+func exitCode(err error) int {
+	if errors.Is(err, core.ErrBudget) || errors.Is(err, core.ErrInconclusive) ||
+		errors.Is(err, adom.ErrBudget) || errors.Is(err, eval.ErrBudget) {
+		return 2
+	}
+	return 1
+}
+
+// result is the single JSON object -json prints: the verdict (absent
+// on error), any problem-specific payload, and the solver stats.
+type result struct {
+	Problem        string    `json:"problem"`
+	Model          string    `json:"model,omitempty"`
+	Verdict        *bool     `json:"verdict,omitempty"`
+	Counterexample string    `json:"counterexample,omitempty"`
+	CertainAnswers []string  `json:"certain_answers,omitempty"`
+	Models         []string  `json:"models,omitempty"`
+	Error          string    `json:"error,omitempty"`
+	Budget         *capInfo  `json:"budget,omitempty"`
+	Stats          obs.Stats `json:"stats"`
+}
+
+// capInfo mirrors core.BudgetError for the JSON output.
+type capInfo struct {
+	Op       string `json:"op"`
+	Cap      string `json:"cap"`
+	Limit    int64  `json:"limit"`
+	Consumed int64  `json:"consumed"`
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
@@ -34,8 +77,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	problem := fs.String("problem", "rcdp", "consistency | extensibility | rcdp | rcqp | minp | certain | models")
 	model := fs.String("model", "strong", "completeness model: strong | weak | viable")
 	explain := fs.Bool("explain", false, "print a counterexample when RCDP fails")
+	jsonOut := fs.Bool("json", false, "print one JSON object (verdict + solver stats) instead of text")
+	trace := fs.Bool("trace", false, "stream the decision trace (candidate models, CC violations, counterexamples)")
 	maxModels := fs.Int("max-models", 10, "cap for -problem models")
-	workers := fs.Int("workers", 0, "worker count for the parallel searches (0 = keep the document's options.parallelism, or GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "worker count for the parallel searches (0 = keep the document's options.parallelism, or GOMAXPROCS; -trace defaults to 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,7 +109,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
+	metrics := obs.NewMetrics()
+	p.Options.Obs = metrics
+	if *trace {
+		p.Options.Trace = obs.NewTracer(obs.NewTextSink(stdout))
+		if *workers == 0 && p.Options.Parallelism == 0 {
+			// A sequential search keeps the trace's tree shape intact;
+			// -workers overrides for tracing parallel schedules.
+			p.Options.Parallelism = 1
+		}
+	}
+
+	res := result{Problem: *problem, Model: *model}
 	report := func(question string, answer bool) {
+		res.Verdict = &answer
+		if *jsonOut {
+			return
+		}
 		verdict := "NO"
 		if answer {
 			verdict = "YES"
@@ -72,69 +133,111 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%s: %s\n", question, verdict)
 	}
 
+	emit := func(runErr error) error {
+		if runErr != nil {
+			runErr = describe(runErr)
+		}
+		if !*jsonOut {
+			return runErr
+		}
+		if runErr != nil {
+			res.Error = runErr.Error()
+			var be *core.BudgetError
+			if errors.As(runErr, &be) {
+				res.Budget = &capInfo{Op: be.Op, Cap: be.Cap, Limit: be.Limit, Consumed: be.Consumed}
+			}
+		}
+		res.Stats = metrics.Snapshot()
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		return runErr
+	}
+
 	switch *problem {
 	case "consistency":
+		res.Model = ""
 		ok, err := p.Consistent(ci)
 		if err != nil {
-			return err
+			return emit(err)
 		}
 		report("Mod(T, Dm, V) non-empty", ok)
 	case "extensibility":
+		res.Model = ""
 		db, err := p.AnyModel(ci)
 		if err != nil {
-			return err
+			return emit(err)
 		}
 		if db == nil {
-			return core.ErrInconsistent
+			return emit(core.ErrInconsistent)
 		}
 		ok, err := p.Extensible(db)
 		if err != nil {
-			return err
+			return emit(err)
 		}
 		report("Ext(I, Dm, V) non-empty (on one model of T)", ok)
 	case "rcdp":
 		ok, cex, err := p.RCDPExplain(ci, m)
 		if err != nil {
-			return describe(err)
+			return emit(err)
 		}
 		report(fmt.Sprintf("T ∈ RCQ%s(Q, Dm, V)", modelSuffix(m)), ok)
-		if !ok && *explain && cex != nil {
-			fmt.Fprintf(stdout, "counterexample: %s\n", cex)
+		if !ok && cex != nil {
+			res.Counterexample = cex.String()
+			if *explain && !*jsonOut {
+				fmt.Fprintf(stdout, "counterexample: %s\n", cex)
+			}
 		}
 	case "rcqp":
 		ok, err := p.RCQP(m)
 		if err != nil {
-			return describe(err)
+			return emit(err)
 		}
 		report(fmt.Sprintf("RCQ%s(Q, Dm, V) non-empty", modelSuffix(m)), ok)
 	case "minp":
 		ok, err := p.MINP(ci, m)
 		if err != nil {
-			return describe(err)
+			return emit(err)
 		}
 		report(fmt.Sprintf("T minimal in RCQ%s(Q, Dm, V)", modelSuffix(m)), ok)
 	case "certain":
+		res.Model = ""
 		ans, err := p.CertainAnswers(ci)
 		if err != nil {
-			return describe(err)
+			return emit(err)
 		}
-		fmt.Fprintf(stdout, "certain answers (%d):\n", len(ans))
+		res.CertainAnswers = []string{}
 		for _, t := range ans {
-			fmt.Fprintf(stdout, "  %s\n", t)
+			res.CertainAnswers = append(res.CertainAnswers, t.String())
+		}
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "certain answers (%d):\n", len(ans))
+			for _, t := range ans {
+				fmt.Fprintf(stdout, "  %s\n", t)
+			}
 		}
 	case "models":
+		res.Model = ""
 		models, err := p.Models(ci, *maxModels)
 		if err != nil {
-			return err
+			return emit(err)
 		}
-		fmt.Fprintf(stdout, "models (showing up to %d):\n", *maxModels)
+		res.Models = []string{}
 		for _, db := range models {
-			fmt.Fprintf(stdout, "  %s\n", db)
+			res.Models = append(res.Models, db.String())
+		}
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "models (showing up to %d):\n", *maxModels)
+			for _, db := range models {
+				fmt.Fprintf(stdout, "  %s\n", db)
+			}
 		}
 	default:
 		return fmt.Errorf("unknown problem %q", *problem)
 	}
-	return nil
+	return emit(nil)
 }
 
 func parseModel(s string) (core.Model, error) {
@@ -162,6 +265,7 @@ func modelSuffix(m core.Model) string {
 
 // describe annotates the sentinel errors with actionable context.
 func describe(err error) error {
+	var be *core.BudgetError
 	switch {
 	case errors.Is(err, core.ErrUndecidable):
 		return fmt.Errorf("%w\n(the paper's Table I proves this cell undecidable; restrict the query language)", err)
@@ -169,8 +273,12 @@ func describe(err error) error {
 		return fmt.Errorf("%w\n(the paper leaves this cell open)", err)
 	case errors.Is(err, core.ErrInconsistent):
 		return fmt.Errorf("%w\n(run -problem consistency to inspect)", err)
+	case errors.As(err, &be) && errors.Is(err, core.ErrInconclusive):
+		return fmt.Errorf("%w\n(raise options.rcqp_size_bound in the input document; consumed %d candidates)", err, be.Consumed)
 	case errors.Is(err, core.ErrInconclusive):
 		return fmt.Errorf("%w\n(raise options.rcqp_size_bound in the input document)", err)
+	case errors.As(err, &be):
+		return fmt.Errorf("%w\n(raise the %s option in the input document)", err, be.Cap)
 	}
 	return err
 }

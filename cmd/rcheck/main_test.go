@@ -1,10 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"relcomplete/internal/adom"
+	"relcomplete/internal/core"
+	"relcomplete/internal/eval"
 )
 
 const sampleDoc = `{
@@ -160,5 +166,117 @@ func TestRCheckInconsistentInstance(t *testing.T) {
 	// Extensibility on an inconsistent instance is also refused.
 	if _, err := runCheck(t, "-problem", "extensibility", path); err == nil {
 		t.Fatal("extensibility on inconsistent instance should fail")
+	}
+}
+
+func TestRCheckJSONOutput(t *testing.T) {
+	path := writeSample(t)
+	out, err := runCheck(t, "-problem", "rcdp", "-model", "strong", "-json", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("output is not one JSON object: %v\n%s", err, out)
+	}
+	if res.Problem != "rcdp" || res.Model != "strong" {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Verdict == nil || *res.Verdict {
+		t.Fatalf("verdict = %v, want false", res.Verdict)
+	}
+	if res.Counterexample == "" {
+		t.Fatal("counterexample missing from JSON output")
+	}
+	if res.Stats.Counters["models_checked"] == 0 {
+		t.Fatalf("stats missing models_checked: %v", res.Stats.Counters)
+	}
+	if res.Stats.Counters["cc_checks"] == 0 {
+		t.Fatalf("stats missing cc_checks: %v", res.Stats.Counters)
+	}
+	if len(res.Stats.Phases) == 0 {
+		t.Fatal("stats missing phase timings")
+	}
+	// The JSON object must round-trip.
+	re, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res2 result
+	if err := json.Unmarshal(re, &res2); err != nil {
+		t.Fatal(err)
+	}
+	if *res2.Verdict != *res.Verdict || res2.Stats.Counters["models_checked"] != res.Stats.Counters["models_checked"] {
+		t.Fatalf("round trip changed the result: %+v vs %+v", res, res2)
+	}
+}
+
+func TestRCheckTrace(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "orders_rcdp.json")
+	out, err := runCheck(t, "-problem", "rcdp", "-model", "strong", "-trace", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"decide", "model", "counterexample", "extension=", "gained=", "verdict"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "NO") {
+		t.Errorf("verdict line missing:\n%s", out)
+	}
+}
+
+func TestRCheckBudgetExitCode(t *testing.T) {
+	doc := strings.Replace(sampleDoc, `"cinstance"`,
+		`"options": {"max_valuations": 1}, "cinstance"`, 1)
+	doc = strings.Replace(doc, `["widget", "5"]`, `["widget", "?q"]`, 1)
+	path := filepath.Join(t.TempDir(), "budget.json")
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, err := runCheck(t, "-problem", "rcdp", "-model", "strong", path)
+	if err == nil {
+		t.Fatal("expected a budget error")
+	}
+	if got := exitCode(err); got != 2 {
+		t.Fatalf("exitCode(%v) = %d, want 2", err, got)
+	}
+	var be *core.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err %v does not carry a BudgetError", err)
+	}
+	if be.Cap != "MaxValuations" || be.Limit != 1 {
+		t.Fatalf("BudgetError = %+v", be)
+	}
+	// -json still emits the object (with the error embedded).
+	out, jerr := runCheck(t, "-problem", "rcdp", "-model", "strong", "-json", path)
+	if jerr == nil {
+		t.Fatal("expected a budget error with -json too")
+	}
+	var res result
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("JSON error output invalid: %v\n%s", err, out)
+	}
+	if res.Error == "" || res.Budget == nil || res.Budget.Cap != "MaxValuations" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRCheckExitCodeMapping(t *testing.T) {
+	if got := exitCode(core.ErrBudget); got != 2 {
+		t.Fatalf("exitCode(ErrBudget) = %d", got)
+	}
+	if got := exitCode(core.ErrInconclusive); got != 2 {
+		t.Fatalf("exitCode(ErrInconclusive) = %d", got)
+	}
+	if got := exitCode(core.ErrUndecidable); got != 1 {
+		t.Fatalf("exitCode(ErrUndecidable) = %d", got)
+	}
+	if got := exitCode(adom.ErrBudget); got != 2 {
+		t.Fatalf("exitCode(adom.ErrBudget) = %d", got)
+	}
+	if got := exitCode(eval.ErrBudget); got != 2 {
+		t.Fatalf("exitCode(eval.ErrBudget) = %d", got)
 	}
 }

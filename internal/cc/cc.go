@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"relcomplete/internal/eval"
+	"relcomplete/internal/obs"
 	"relcomplete/internal/query"
 	"relcomplete/internal/relation"
 )
@@ -128,7 +129,7 @@ func MustParse(name, left, right string) *Constraint {
 // streams q(I) and stops at the first tuple outside p(Dm) instead of
 // materialising and sorting both answer sets.
 func (c *Constraint) Satisfied(db, master *relation.Database, opts eval.Options) (bool, error) {
-	lp, rp := c.plans()
+	lp, rp := c.plans(opts)
 	if opts.NaiveJoin || lp == nil || rp == nil {
 		return c.satisfiedNaive(db, master, opts)
 	}
@@ -189,13 +190,21 @@ func (c *Constraint) satisfiedNaive(db, master *relation.Database, opts eval.Opt
 
 // plans compiles both sides once. Compilation of a validated CC (both
 // sides CQ) cannot fail; a nil result routes to the naive path anyway.
-func (c *Constraint) plans() (*eval.Plan, *eval.Plan) {
+func (c *Constraint) plans(opts eval.Options) (*eval.Plan, *eval.Plan) {
 	c.planMu.Lock()
 	defer c.planMu.Unlock()
 	if !c.planTried {
 		c.planTried = true
 		c.leftPlan, _ = eval.Compile(c.Left)
 		c.rightPlan, _ = eval.Compile(c.Right)
+		if c.leftPlan != nil {
+			opts.Obs.Inc(obs.PlanCompilations)
+		}
+		if c.rightPlan != nil {
+			opts.Obs.Inc(obs.PlanCompilations)
+		}
+	} else if c.leftPlan != nil || c.rightPlan != nil {
+		opts.Obs.Inc(obs.PlanCacheHits)
 	}
 	return c.leftPlan, c.rightPlan
 }
@@ -211,11 +220,16 @@ func (c *Constraint) rhsSet(rp *eval.Plan, master *relation.Database, opts eval.
 	cacheable := opts.ExtraDomain == nil
 	if cacheable {
 		c.planMu.Lock()
-		if e, ok := c.rhsCache[master]; ok && e.fresh(master) {
-			c.planMu.Unlock()
-			return e.set, nil
+		if e, ok := c.rhsCache[master]; ok {
+			if e.fresh(master) {
+				c.planMu.Unlock()
+				opts.Obs.Inc(obs.RHSCacheHits)
+				return e.set, nil
+			}
+			opts.Obs.Inc(obs.RHSCacheInvalidations)
 		}
 		c.planMu.Unlock()
+		opts.Obs.Inc(obs.RHSCacheMisses)
 	}
 	set := make(map[string]bool)
 	keyBuf := make([]byte, 0, 64)

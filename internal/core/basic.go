@@ -5,6 +5,7 @@ import (
 
 	"relcomplete/internal/adom"
 	"relcomplete/internal/ctable"
+	"relcomplete/internal/obs"
 	"relcomplete/internal/relation"
 	"relcomplete/internal/search"
 )
@@ -28,6 +29,7 @@ func (p *Problem) forEachModel(ci *ctable.CInstance, d *domains,
 	fn func(db *relation.Database, mu ctable.Valuation) (bool, error)) error {
 	seen := map[string]bool{}
 	visit := func(mu ctable.Valuation) (bool, error) {
+		p.Options.Obs.Inc(obs.ValuationsEnumerated)
 		db, err := ci.Apply(mu)
 		if err != nil {
 			return false, err
@@ -37,7 +39,7 @@ func (p *Problem) forEachModel(ci *ctable.CInstance, d *domains,
 			return true, nil
 		}
 		seen[key] = true
-		ok, err := p.satisfiesCCs(db)
+		ok, err := p.checkModel(db)
 		if err != nil {
 			return false, err
 		}
@@ -73,6 +75,7 @@ func (p *Problem) modelCandidates(ci *ctable.CInstance, d *domains, genErr *erro
 	return func(yield func(*relation.Database) bool) {
 		seen := map[string]bool{}
 		visit := func(mu ctable.Valuation) (bool, error) {
+			p.Options.Obs.Inc(obs.ValuationsEnumerated)
 			db, err := ci.Apply(mu)
 			if err != nil {
 				return false, err
@@ -112,16 +115,17 @@ func dbKey(db *relation.Database) string {
 // non-empty? (Proposition 3.3; Σp2-complete.) The CC checks of the
 // candidate valuations fan out over Options.Parallelism workers.
 func (p *Problem) Consistent(ci *ctable.CInstance) (bool, error) {
+	defer p.Options.Obs.StartPhase("consistency")()
 	d, err := p.domainsFor(ci, false, false)
 	if err != nil {
 		return false, err
 	}
 	var genErr error
 	probe := func(ctx context.Context, idx int, db *relation.Database) (struct{}, bool, error) {
-		ok, err := p.satisfiesCCs(db)
+		ok, err := p.checkModel(db)
 		return struct{}{}, ok, err
 	}
-	_, found, err := search.FirstHit(context.Background(), p.Options.workers(),
+	_, found, err := search.FirstHit(context.Background(), p.Options.workers(), p.Options.Obs,
 		p.modelCandidates(ci, d, &genErr), probe)
 	if err != nil {
 		return false, err
@@ -166,6 +170,7 @@ func (p *Problem) Models(ci *ctable.CInstance, max int) ([]*relation.Database, e
 // suffices to try single-tuple extensions over the active domain
 // (Proposition 3.3; Σp2-complete).
 func (p *Problem) Extensible(db *relation.Database) (bool, error) {
+	defer p.Options.Obs.StartPhase("extensibility")()
 	d, err := p.domainsFor(ctable.FromDatabase(db), false, true)
 	if err != nil {
 		return false, err
@@ -188,6 +193,7 @@ func (p *Problem) forEachSingleTupleExtension(db *relation.Database, d *domains,
 			if db.Relation(r.Name).Contains(t) {
 				return true, nil
 			}
+			p.Options.Obs.Inc(obs.ExtensionsTested)
 			ext := db.WithTuple(r.Name, t)
 			ok, err := p.satisfiesCCs(ext)
 			if err != nil {
@@ -228,7 +234,8 @@ func (p *Problem) tuplesOver(r *relation.Schema, a *adom.Adom,
 		if i == r.Arity() {
 			tried++
 			if p.Options.MaxValuations > 0 && tried > p.Options.MaxValuations {
-				return false, ErrBudget
+				return false, p.budgetErr("tuple lattice over "+r.Name, "MaxValuations",
+					int64(p.Options.MaxValuations), int64(tried))
 			}
 			return fn(t.Clone())
 		}

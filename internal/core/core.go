@@ -27,6 +27,7 @@ import (
 	"relcomplete/internal/cc"
 	"relcomplete/internal/ctable"
 	"relcomplete/internal/eval"
+	"relcomplete/internal/obs"
 	"relcomplete/internal/query"
 	"relcomplete/internal/relation"
 )
@@ -203,6 +204,18 @@ type Options struct {
 	// point at which a search budget triggers may shift by at most the
 	// dispatch window when MaxValuations is set.
 	Parallelism int
+	// Obs receives solver metrics: valuation/model/extension counts,
+	// plan and index statistics, search engine activity and per-phase
+	// timings. nil (the default) disables collection; every
+	// instrumentation site is nil-safe and the disabled path costs a
+	// single pointer test.
+	Obs *obs.Metrics
+	// Trace receives structured decision events (candidate valuations,
+	// CC violations, counterexamples, verdicts) rendering the decider's
+	// search tree. nil disables tracing. Tracing re-checks CCs on the
+	// violation path to name the violated constraint, so it is for
+	// diagnosis, not benchmarking.
+	Trace *obs.Tracer
 }
 
 func (o Options) workers() int {
@@ -291,7 +304,7 @@ func MustProblem(schema *relation.DBSchema, q Qry, master *relation.Database, cc
 
 // evalOpts builds the evaluation options used throughout.
 func (p *Problem) evalOpts() eval.Options {
-	return eval.Options{MaxDerived: p.Options.MaxDerived, NaiveJoin: p.Options.NaiveJoin}
+	return eval.Options{MaxDerived: p.Options.MaxDerived, NaiveJoin: p.Options.NaiveJoin, Obs: p.Options.Obs}
 }
 
 // queryPlan returns the compiled plan for the problem's calculus query,
@@ -309,6 +322,11 @@ func (p *Problem) queryPlan() *eval.Plan {
 	if !p.planTried {
 		p.planTried = true
 		p.plan, _ = eval.Compile(p.Query.Calc) // nil on error: generic path
+		if p.plan != nil {
+			p.Options.Obs.Inc(obs.PlanCompilations)
+		}
+	} else if p.plan != nil {
+		p.Options.Obs.Inc(obs.PlanCacheHits)
 	}
 	return p.plan
 }
@@ -572,7 +590,55 @@ func (p *Problem) adomFor(ci *ctable.CInstance, withQueryVars, withExtRow bool) 
 
 // satisfiesCCs reports (I, Dm) ⊨ V.
 func (p *Problem) satisfiesCCs(db *relation.Database) (bool, error) {
-	return p.CCs.Satisfied(db, p.Master, p.evalOpts())
+	m := p.Options.Obs
+	m.Inc(obs.CCChecks)
+	ok, err := p.CCs.Satisfied(db, p.Master, p.evalOpts())
+	if err == nil && !ok {
+		m.Inc(obs.CCViolations)
+	}
+	return ok, err
+}
+
+// traceCCViolation re-runs the CC check constraint by constraint to
+// name the one that pruned db, emitting a cc_violation event. Only
+// called when tracing is enabled; the extra evaluation is the price of
+// the diagnosis.
+func (p *Problem) traceCCViolation(db *relation.Database) {
+	tr := p.Options.Trace
+	if !tr.Enabled() || p.CCs == nil {
+		return
+	}
+	for _, c := range p.CCs.Constraints {
+		ok, err := c.Satisfied(db, p.Master, p.evalOpts())
+		if err == nil && !ok {
+			tr.Emit("cc_violation", obs.F("cc", c.String()))
+			return
+		}
+	}
+}
+
+// checkModel is satisfiesCCs applied to a candidate model of the
+// c-instance: the same verdict, with the candidate-level counters and
+// decision-trace events attached. Every decider probe routes its
+// model admission through here.
+func (p *Problem) checkModel(db *relation.Database) (bool, error) {
+	m := p.Options.Obs
+	tr := p.Options.Trace
+	m.Inc(obs.ModelsChecked)
+	ok, err := p.satisfiesCCs(db)
+	if err != nil {
+		return false, err
+	}
+	if ok {
+		m.Inc(obs.ModelsAdmitted)
+		if tr.Enabled() {
+			tr.Emit("model", obs.F("db", db.String()))
+		}
+	} else if tr.Enabled() {
+		tr.Emit("model_pruned", obs.F("db", db.String()))
+		p.traceCCViolation(db)
+	}
+	return ok, nil
 }
 
 // domains bundles an active domain with its typed pruning.

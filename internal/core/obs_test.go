@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"relcomplete/internal/obs"
+)
+
+// TestObsCountersRCDP checks that a strong RCDP run populates the
+// solver counters and phase timings through Options.Obs.
+func TestObsCountersRCDP(t *testing.T) {
+	s := newBoundedScenario(t, "1", "2")
+	m := obs.NewMetrics()
+	s.p.Options.Obs = m
+	ok, err := s.p.RCDP(s.ground("1"), Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("{(1)} is not strongly complete")
+	}
+	st := m.Snapshot()
+	for _, c := range []string{
+		"valuations_enumerated", "models_checked", "models_admitted",
+		"cc_checks", "extensions_tested", "counterexamples_found",
+	} {
+		if st.Counters[c] == 0 {
+			t.Errorf("counter %s = 0, want > 0 (%v)", c, st.Counters)
+		}
+	}
+	found := false
+	for _, ph := range st.Phases {
+		if ph.Name == "rcdp_strong" && ph.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("phase rcdp_strong missing: %v", st.Phases)
+	}
+}
+
+// TestObsNilMetricsSafe runs a decider with no Obs/Trace attached —
+// the nil receivers must be inert, not panic.
+func TestObsNilMetricsSafe(t *testing.T) {
+	s := newBoundedScenario(t, "1", "2")
+	if s.p.Options.Obs != nil || s.p.Options.Trace != nil {
+		t.Fatal("scenario should start uninstrumented")
+	}
+	if _, err := s.p.RCDP(s.withVar("x"), Viable); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObsTraceEvents checks the decision trace of a failing strong
+// RCDP run: it must record the decide/verdict bracket, the admitted
+// model, and the counterexample extension.
+func TestObsTraceEvents(t *testing.T) {
+	s := newBoundedScenario(t, "1", "2")
+	sink := &obs.CollectSink{}
+	s.p.Options.Trace = obs.NewTracer(sink)
+	s.p.Options.Parallelism = 1
+	ok, cex, err := s.p.RCDPExplain(s.ground("1"), Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || cex == nil {
+		t.Fatalf("ok=%v cex=%v, want failing run with counterexample", ok, cex)
+	}
+	kinds := sink.Kinds()
+	has := func(k string) bool {
+		for _, got := range kinds {
+			if got == k {
+				return true
+			}
+		}
+		return false
+	}
+	for _, k := range []string{"decide", "model", "counterexample", "verdict"} {
+		if !has(k) {
+			t.Errorf("trace missing %q event: %v", k, kinds)
+		}
+	}
+}
+
+// TestObsTraceCCViolation checks that pruned models name the violated
+// constraint in the trace.
+func TestObsTraceCCViolation(t *testing.T) {
+	s := newBoundedScenario(t, "1") // master admits only (1)
+	sink := &obs.CollectSink{}
+	s.p.Options.Trace = obs.NewTracer(sink)
+	s.p.Options.Parallelism = 1
+	// {(2)} forces a candidate model outside the master bound → pruned.
+	ok, err := s.p.Consistent(s.ground("2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("{(2)} with master {1} should be inconsistent")
+	}
+	var pruned, violation bool
+	for _, k := range sink.Kinds() {
+		switch k {
+		case "model_pruned":
+			pruned = true
+		case "cc_violation":
+			violation = true
+		}
+	}
+	if !pruned || !violation {
+		t.Errorf("kinds = %v, want model_pruned and cc_violation", sink.Kinds())
+	}
+}
+
+// TestBudgetErrorDetail checks the BudgetError chain: errors.Is keeps
+// matching the sentinel, errors.As surfaces the cap detail.
+func TestBudgetErrorDetail(t *testing.T) {
+	s := newBoundedScenario(t, "1", "2")
+	s.p.Options.MaxValuations = 1
+	m := obs.NewMetrics()
+	s.p.Options.Obs = m
+	_, err := s.p.RCDP(s.withVar("x", "y"), Strong)
+	if err == nil {
+		t.Fatal("expected a budget error under MaxValuations=1")
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("errors.Is(err, ErrBudget) = false for %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("errors.As BudgetError = false for %v", err)
+	}
+	if be.Cap != "MaxValuations" || be.Limit != 1 || be.Op == "" {
+		t.Fatalf("BudgetError = %+v", be)
+	}
+	if m.Snapshot().Counters["budget_errors"] == 0 {
+		t.Error("budget_errors counter not incremented")
+	}
+}

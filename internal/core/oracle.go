@@ -49,7 +49,8 @@ func (p *Problem) ReferenceGroundComplete(db *relation.Database, extra int) (boo
 			return false, err
 		}
 		if !done {
-			return false, ErrBudget
+			return false, p.budgetErr("reference lattice over "+r.Name, "MaxValuations",
+				int64(p.Options.MaxValuations), int64(p.Options.MaxValuations))
 		}
 	}
 	base, err := p.answers(db)
@@ -128,7 +129,7 @@ func (p *Problem) ReferenceRCDP(ci *ctable.CInstance, m Model, extra int) (bool,
 		}
 		return struct{}{}, complete, nil // hit = witness
 	}
-	_, found, err := search.FirstHit(context.Background(), p.Options.workers(),
+	_, found, err := search.FirstHit(context.Background(), p.Options.workers(), p.Options.Obs,
 		p.modelCandidates(ci, d, &genErr), probe)
 	if err != nil {
 		return false, err
@@ -194,7 +195,8 @@ func (p *Problem) referenceWeakComplete(ci *ctable.CInstance, extra int) (bool, 
 				return s, err
 			}
 			if !done {
-				return s, ErrBudget
+				return s, p.budgetErr("reference lattice over "+r.Name, "MaxValuations",
+					int64(p.Options.MaxValuations), int64(p.Options.MaxValuations))
 			}
 		}
 		var rec func(start int, cur *relation.Database, added int) error
@@ -230,7 +232,7 @@ func (p *Problem) referenceWeakComplete(ci *ctable.CInstance, extra int) (bool, 
 		return s, nil
 	}
 	var genErr error
-	_, err = search.ForEachOrdered(context.Background(), p.Options.workers(),
+	_, err = search.ForEachOrdered(context.Background(), p.Options.workers(), p.Options.Obs,
 		p.modelCandidates(ci, dom, &genErr), probe,
 		func(idx int, s modelSweep) (bool, error) {
 			if !s.isModel {

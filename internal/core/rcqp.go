@@ -29,6 +29,7 @@ import (
 // FO and FP are undecidable (Theorem 4.5).
 
 func (p *Problem) rcqpStrongOrViable(m Model) (bool, error) {
+	defer p.Options.Obs.StartPhase("rcqp")()
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, fmt.Errorf("RCQP(%s), %s model: %w", p.Query.Lang(), m, ErrUndecidable)
@@ -263,7 +264,8 @@ func (p *Problem) rcqpBoundedSearch() (bool, error) {
 			return false, err
 		}
 		if !done {
-			return false, ErrBudget
+			return false, p.budgetErr("RCQP lattice over "+r.Name, "MaxValuations",
+				int64(p.Options.MaxValuations), int64(p.Options.MaxValuations))
 		}
 	}
 
@@ -274,8 +276,9 @@ func (p *Problem) rcqpBoundedSearch() (bool, error) {
 	// inline first-hit loop replays the exact sequential DFS pre-order.
 	var tried atomic.Int64
 	check := func(db *relation.Database) (bool, error) {
-		if p.Options.MaxValuations > 0 && tried.Add(1) > int64(p.Options.MaxValuations) {
-			return false, fmt.Errorf("RCQP search: %w", ErrBudget)
+		if n := tried.Add(1); p.Options.MaxValuations > 0 && n > int64(p.Options.MaxValuations) {
+			return false, p.budgetErr("RCQP search", "MaxValuations",
+				int64(p.Options.MaxValuations), n)
 		}
 		closed, err := p.satisfiesCCs(db)
 		if err != nil || !closed {
@@ -329,7 +332,7 @@ func (p *Problem) rcqpBoundedSearch() (bool, error) {
 			ok, err := subtree(empty.WithTuple(lattice[first].Rel, lattice[first].Tuple), first+1, bound-1)
 			return struct{}{}, ok, err
 		}
-		_, found, err = search.FirstHit(context.Background(), p.Options.workers(), gen, probe)
+		_, found, err = search.FirstHit(context.Background(), p.Options.workers(), p.Options.Obs, gen, probe)
 		if err != nil {
 			return false, err
 		}
@@ -337,5 +340,6 @@ func (p *Problem) rcqpBoundedSearch() (bool, error) {
 	if found {
 		return true, nil
 	}
-	return false, fmt.Errorf("RCQP: searched instances of size ≤ %d: %w", bound, ErrInconclusive)
+	return false, p.inconclusiveErr(fmt.Sprintf("RCQP: searched instances of size ≤ %d", bound),
+		"RCQPSizeBound", int64(bound), tried.Load())
 }

@@ -8,6 +8,7 @@ import (
 
 	"relcomplete/internal/adom"
 	"relcomplete/internal/ctable"
+	"relcomplete/internal/obs"
 	"relcomplete/internal/query"
 	"relcomplete/internal/relation"
 	"relcomplete/internal/search"
@@ -45,7 +46,18 @@ func (p *Problem) RCDP(ci *ctable.CInstance, m Model) (bool, error) {
 
 // RCDPExplain is RCDP returning a counterexample on failure (where the
 // model's procedure produces one).
-func (p *Problem) RCDPExplain(ci *ctable.CInstance, m Model) (bool, *Counterexample, error) {
+func (p *Problem) RCDPExplain(ci *ctable.CInstance, m Model) (ok bool, cex *Counterexample, err error) {
+	if tr := p.Options.Trace; tr.Enabled() {
+		pop := tr.Push("decide", obs.F("problem", "rcdp"), obs.F("model", m.String()), obs.F("query", p.Query.Name()))
+		defer func() {
+			if err == nil {
+				tr.Emit("verdict", obs.F("complete", ok))
+			} else {
+				tr.Emit("verdict", obs.F("error", err.Error()))
+			}
+			pop()
+		}()
+	}
 	switch m {
 	case Strong:
 		return p.rcdpStrong(ci)
@@ -64,6 +76,7 @@ func (p *Problem) RCDPExplain(ci *ctable.CInstance, m Model) (bool, *Counterexam
 // first-hit engine returns the counterexample of the lowest-index
 // failing model, which is exactly the one the sequential scan reports.
 func (p *Problem) rcdpStrong(ci *ctable.CInstance) (bool, *Counterexample, error) {
+	defer p.Options.Obs.StartPhase("rcdp_strong")()
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, nil, fmt.Errorf("RCDP(%s), strong model: %w", p.Query.Lang(), ErrUndecidable)
@@ -75,7 +88,7 @@ func (p *Problem) rcdpStrong(ci *ctable.CInstance) (bool, *Counterexample, error
 	var consistent atomic.Bool
 	var genErr error
 	probe := func(ctx context.Context, idx int, db *relation.Database) (*Counterexample, bool, error) {
-		ok, err := p.satisfiesCCs(db)
+		ok, err := p.checkModel(db)
 		if err != nil {
 			return nil, false, err
 		}
@@ -89,7 +102,7 @@ func (p *Problem) rcdpStrong(ci *ctable.CInstance) (bool, *Counterexample, error
 		}
 		return c, c != nil, nil
 	}
-	hit, found, err := search.FirstHit(context.Background(), p.Options.workers(),
+	hit, found, err := search.FirstHit(context.Background(), p.Options.workers(), p.Options.Obs,
 		p.modelCandidates(ci, d, &genErr), probe)
 	if err != nil {
 		return false, nil, err
@@ -205,7 +218,8 @@ func (p *Problem) atomClosedCandidates(atom *query.Atom, d *domains) ([]relation
 		return nil, err
 	}
 	if !done {
-		return nil, ErrBudget
+		return nil, p.budgetErr("atom candidate lattice for "+atom.String(), "MaxValuations",
+			int64(p.Options.MaxValuations), int64(p.Options.MaxValuations))
 	}
 	return out, nil
 }
@@ -236,7 +250,8 @@ func (p *Problem) pinnedLatticeOver(r *relation.Schema, d *domains, pins map[int
 		if i == r.Arity() {
 			tried++
 			if p.Options.MaxValuations > 0 && tried > p.Options.MaxValuations {
-				return false, ErrBudget
+				return false, p.budgetErr("pinned tuple lattice over "+r.Name, "MaxValuations",
+					int64(p.Options.MaxValuations), int64(tried))
 			}
 			return fn(t.Clone())
 		}
@@ -333,13 +348,19 @@ func (p *Problem) tableauCounterexample(db *relation.Database, tab *query.Tablea
 		seenExt[key] = true
 		tried++
 		if p.Options.MaxValuations > 0 && tried > p.Options.MaxValuations {
-			return fmt.Errorf("bounded check: %w", ErrBudget)
+			return p.budgetErr("bounded check", "MaxValuations",
+				int64(p.Options.MaxValuations), int64(tried))
 		}
+		p.Options.Obs.Inc(obs.ExtensionsTested)
 		ok, err := p.satisfiesCCs(ext)
 		if err != nil {
 			return err
 		}
 		if !ok {
+			if tr := p.Options.Trace; tr.Enabled() {
+				tr.Emit("extension_pruned", obs.F("extension", ext.String()))
+				p.traceCCViolation(ext)
+			}
 			return nil // not a partially closed extension
 		}
 		extAnswers, err := p.answers(ext)
@@ -349,6 +370,15 @@ func (p *Problem) tableauCounterexample(db *relation.Database, tab *query.Tablea
 		gained := diffTuples(baseAnswers, extAnswers)
 		if len(gained) > 0 {
 			cex = &Counterexample{Model: db, Extension: ext, Gained: gained}
+			p.Options.Obs.Inc(obs.CounterexamplesFound)
+			if tr := p.Options.Trace; tr.Enabled() {
+				tr.Emit("counterexample",
+					obs.F("model", db.String()),
+					obs.F("extension", ext.String()),
+					obs.F("gained", fmt.Sprint(gained)))
+			}
+		} else if tr := p.Options.Trace; tr.Enabled() {
+			tr.Emit("extension_agrees", obs.F("extension", ext.String()))
 		}
 		return nil
 	}
@@ -423,6 +453,7 @@ func (p *Problem) tableauCounterexample(db *relation.Database, tab *query.Tablea
 // partially closed and is available for CQ, UCQ and ∃FO+ (Πp2 by
 // Theorem 4.1 restricted to ground instances).
 func (p *Problem) GroundComplete(db *relation.Database) (bool, *Counterexample, error) {
+	defer p.Options.Obs.StartPhase("ground_complete")()
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, nil, fmt.Errorf("ground completeness for %s: %w", p.Query.Lang(), ErrUndecidable)
@@ -463,6 +494,7 @@ func (p *Problem) MINP(ci *ctable.CInstance, m Model) (bool, error) {
 // complete ground instance — by Lemma 4.7(b) it suffices to check that
 // no single-tuple removal of I stays complete.
 func (p *Problem) minpStrong(ci *ctable.CInstance) (bool, error) {
+	defer p.Options.Obs.StartPhase("minp_strong")()
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, fmt.Errorf("MINP(%s), strong model: %w", p.Query.Lang(), ErrUndecidable)
@@ -482,14 +514,14 @@ func (p *Problem) minpStrong(ci *ctable.CInstance) (bool, error) {
 	// which refutes minimality; the models fan out over the workers.
 	var genErr error
 	probe := func(ctx context.Context, idx int, db *relation.Database) (struct{}, bool, error) {
-		ok, err := p.satisfiesCCs(db)
+		ok, err := p.checkModel(db)
 		if err != nil || !ok {
 			return struct{}{}, false, err
 		}
 		nonMin, err := p.hasCompleteRemoval(db, d)
 		return struct{}{}, nonMin, err
 	}
-	_, found, err := search.FirstHit(context.Background(), p.Options.workers(),
+	_, found, err := search.FirstHit(context.Background(), p.Options.workers(), p.Options.Obs,
 		p.modelCandidates(ci, d, &genErr), probe)
 	if err != nil {
 		return false, err

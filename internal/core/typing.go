@@ -522,7 +522,8 @@ func (p *Problem) enumerateTyped(ci *ctable.CInstance, a *adom.Adom, ty *typing,
 		if i == len(vars) {
 			tried++
 			if p.Options.MaxValuations > 0 && tried > p.Options.MaxValuations {
-				return false, fmt.Errorf("%w (> %d valuations)", ErrBudget, p.Options.MaxValuations)
+				return false, p.budgetErr("typed valuation enumeration", "MaxValuations",
+					int64(p.Options.MaxValuations), int64(tried))
 			}
 			return fn(mu)
 		}
@@ -555,7 +556,8 @@ func (p *Problem) typedTuplesOver(r *relation.Schema, a *adom.Adom, ty *typing,
 		if i == r.Arity() {
 			tried++
 			if p.Options.MaxValuations > 0 && tried > p.Options.MaxValuations {
-				return false, ErrBudget
+				return false, p.budgetErr("typed tuple lattice over "+r.Name, "MaxValuations",
+					int64(p.Options.MaxValuations), int64(tried))
 			}
 			return fn(t.Clone())
 		}

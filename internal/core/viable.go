@@ -27,6 +27,7 @@ import (
 // failure path probes every model in either schedule, so the choice is
 // deterministic).
 func (p *Problem) rcdpViable(ci *ctable.CInstance) (bool, *Counterexample, error) {
+	defer p.Options.Obs.StartPhase("rcdp_viable")()
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, nil, fmt.Errorf("RCDP(%s), viable model: %w", p.Query.Lang(), ErrUndecidable)
@@ -41,7 +42,7 @@ func (p *Problem) rcdpViable(ci *ctable.CInstance) (bool, *Counterexample, error
 	lastIdx := -1
 	var lastCex *Counterexample
 	probe := func(ctx context.Context, idx int, db *relation.Database) (struct{}, bool, error) {
-		ok, err := p.satisfiesCCs(db)
+		ok, err := p.checkModel(db)
 		if err != nil {
 			return struct{}{}, false, err
 		}
@@ -63,7 +64,7 @@ func (p *Problem) rcdpViable(ci *ctable.CInstance) (bool, *Counterexample, error
 		mu.Unlock()
 		return struct{}{}, false, nil
 	}
-	_, viable, err := search.FirstHit(context.Background(), p.Options.workers(),
+	_, viable, err := search.FirstHit(context.Background(), p.Options.workers(), p.Options.Obs,
 		p.modelCandidates(ci, d, &genErr), probe)
 	if err != nil {
 		return false, nil, err
@@ -84,6 +85,7 @@ func (p *Problem) rcdpViable(ci *ctable.CInstance) (bool, *Counterexample, error
 // c-instance iff some I ∈ ModAdom(T) is a minimal complete ground
 // instance.
 func (p *Problem) minpViable(ci *ctable.CInstance) (bool, error) {
+	defer p.Options.Obs.StartPhase("minp_viable")()
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, fmt.Errorf("MINP(%s), viable model: %w", p.Query.Lang(), ErrUndecidable)
@@ -95,7 +97,7 @@ func (p *Problem) minpViable(ci *ctable.CInstance) (bool, error) {
 	var consistent atomic.Bool
 	var genErr error
 	probe := func(ctx context.Context, idx int, db *relation.Database) (struct{}, bool, error) {
-		ok, err := p.satisfiesCCs(db)
+		ok, err := p.checkModel(db)
 		if err != nil {
 			return struct{}{}, false, err
 		}
@@ -116,7 +118,7 @@ func (p *Problem) minpViable(ci *ctable.CInstance) (bool, error) {
 		}
 		return struct{}{}, !nonMin, nil
 	}
-	_, found, err := search.FirstHit(context.Background(), p.Options.workers(),
+	_, found, err := search.FirstHit(context.Background(), p.Options.workers(), p.Options.Obs,
 		p.modelCandidates(ci, d, &genErr), probe)
 	if err != nil {
 		return false, err

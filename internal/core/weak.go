@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"relcomplete/internal/ctable"
+	"relcomplete/internal/obs"
 	"relcomplete/internal/relation"
 	"relcomplete/internal/search"
 )
@@ -20,6 +21,7 @@ import (
 // CertainAnswers computes ∩_{I ∈ ModAdom(T, Dm, V)} Q(I), the certain
 // answers of Q on the c-instance. ErrInconsistent when Mod is empty.
 func (p *Problem) CertainAnswers(ci *ctable.CInstance) ([]relation.Tuple, error) {
+	defer p.Options.Obs.StartPhase("certain_answers")()
 	d, err := p.domainsFor(ci, false, false)
 	if err != nil {
 		return nil, err
@@ -42,10 +44,10 @@ func (p *Problem) certainAnswers(ci *ctable.CInstance, d *domains) ([]relation.T
 	universe := true
 	any := false
 	var genErr error
-	stopped, err := search.ForEachOrdered(context.Background(), p.Options.workers(),
+	stopped, err := search.ForEachOrdered(context.Background(), p.Options.workers(), p.Options.Obs,
 		p.modelCandidates(ci, d, &genErr),
 		func(ctx context.Context, idx int, db *relation.Database) (modelAnswers, error) {
-			ok, err := p.satisfiesCCs(db)
+			ok, err := p.checkModel(db)
 			if err != nil || !ok {
 				return modelAnswers{}, err
 			}
@@ -141,6 +143,7 @@ func (p *Problem) certainExtStream(ci *ctable.CInstance, stopWithin map[string]b
 				if base.Relation(r.Name).Contains(t) {
 					return true, nil
 				}
+				p.Options.Obs.Inc(obs.ExtensionsTested)
 				ext := base.WithTuple(r.Name, t)
 				closed, err := p.satisfiesCCs(ext)
 				if err != nil {
@@ -219,7 +222,7 @@ func (p *Problem) certainExtStreamPar(ci *ctable.CInstance, d *domains, stopWith
 	}
 	probe := func(ctx context.Context, idx int, base *relation.Database) (modelExtScan, error) {
 		s := modelExtScan{universe: true}
-		ok, err := p.satisfiesCCs(base)
+		ok, err := p.checkModel(base)
 		if err != nil || !ok {
 			return s, err
 		}
@@ -241,6 +244,7 @@ func (p *Problem) certainExtStreamPar(ci *ctable.CInstance, d *domains, stopWith
 				if base.Relation(r.Name).Contains(t) {
 					return true, nil
 				}
+				p.Options.Obs.Inc(obs.ExtensionsTested)
 				ext := base.WithTuple(r.Name, t)
 				closed, err := p.satisfiesCCs(ext)
 				if err != nil {
@@ -279,7 +283,7 @@ func (p *Problem) certainExtStreamPar(ci *ctable.CInstance, d *domains, stopWith
 		return s, nil
 	}
 	var genErr error
-	stopped, err := search.ForEachOrdered(context.Background(), p.Options.workers(),
+	stopped, err := search.ForEachOrdered(context.Background(), p.Options.workers(), p.Options.Obs,
 		p.modelCandidates(ci, d, &genErr), probe,
 		func(idx int, s modelExtScan) (bool, error) {
 			if !s.isModel {
@@ -319,6 +323,7 @@ func (p *Problem) certainExtStreamPar(ci *ctable.CInstance, d *domains, stopWith
 // Mod(T) are computed first so the extension stream can stop as soon
 // as containment is established.
 func (p *Problem) rcdpWeak(ci *ctable.CInstance) (bool, error) {
+	defer p.Options.Obs.StartPhase("rcdp_weak")()
 	if p.Query.Lang() == FO {
 		return false, fmt.Errorf("RCDP(FO), weak model: %w", ErrUndecidable)
 	}
@@ -427,6 +432,7 @@ func (p *Problem) ConstructWeaklyComplete() (*relation.Database, error) {
 // that no proper row subset is), which matches the Πp4 upper bound for
 // UCQ/∃FO+ and coNEXPTIME for FP.
 func (p *Problem) minpWeak(ci *ctable.CInstance) (bool, error) {
+	defer p.Options.Obs.StartPhase("minp_weak")()
 	if p.Query.Lang() == FO {
 		return false, fmt.Errorf("MINP(FO), weak model: %w", ErrUndecidable)
 	}
@@ -470,7 +476,12 @@ func (p *Problem) minpWeakGeneric(ci *ctable.CInstance) (bool, error) {
 		return true, nil
 	}
 	if p.Options.MaxSubsets > 0 && (n > 62 || 1<<uint(n) > p.Options.MaxSubsets) {
-		return false, fmt.Errorf("MINP weak: 2^%d row subsets: %w", n, ErrBudget)
+		subsets := int64(-1) // 2^n overflows past n = 62
+		if n <= 62 {
+			subsets = int64(1) << uint(n)
+		}
+		return false, p.budgetErr(fmt.Sprintf("MINP weak: 2^%d row subsets", n), "MaxSubsets",
+			int64(p.Options.MaxSubsets), subsets)
 	}
 	for mask := 0; mask < (1 << uint(n)); mask++ {
 		if mask == (1<<uint(n))-1 {

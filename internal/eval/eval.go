@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"relcomplete/internal/obs"
 	"relcomplete/internal/query"
 	"relcomplete/internal/relation"
 )
@@ -56,6 +57,10 @@ type Options struct {
 	// differential-testing oracle and the ablation baseline, mirroring
 	// NaiveFP.
 	NaiveJoin bool
+	// Obs receives evaluation metrics (plan compilations and runs, rows
+	// probed/emitted, short circuits, derived FP facts). nil disables
+	// collection at negligible cost.
+	Obs *obs.Metrics
 }
 
 // ErrBudget is returned when a configured resource cap is exceeded.
@@ -98,9 +103,11 @@ func Answers(db *relation.Database, q *query.Query, opts Options) ([]relation.Tu
 	if !opts.NaiveJoin && query.IsPositiveExistential(q) {
 		plan, err := Compile(q)
 		if err == nil {
+			opts.Obs.Inc(obs.PlanCompilations)
 			return plan.Answers(db, opts)
 		}
 	}
+	opts.Obs.Inc(obs.NaiveEvaluations)
 	e := &env{src: dbSource{db}, opts: opts}
 	e.adom = evalDomain(db, q, opts)
 	return e.answers(q)
@@ -117,9 +124,11 @@ func Bool(db *relation.Database, q *query.Query, opts Options) (bool, error) {
 	if !opts.NaiveJoin && query.IsPositiveExistential(q) {
 		plan, err := Compile(q)
 		if err == nil {
+			opts.Obs.Inc(obs.PlanCompilations)
 			return plan.Bool(db, opts)
 		}
 	}
+	opts.Obs.Inc(obs.NaiveEvaluations)
 	e := &env{src: dbSource{db}, opts: opts}
 	e.adom = evalDomain(db, q, opts)
 	if query.Classify(q) <= query.ClassEFOPlus {

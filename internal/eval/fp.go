@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"relcomplete/internal/obs"
 	"relcomplete/internal/query"
 	"relcomplete/internal/relation"
 )
@@ -118,8 +119,11 @@ func deriveRule(e *env, idb *idbStore, delta *idbStore, r *query.Rule, opts Opti
 			}
 			t[i] = v
 		}
-		if idb.add(r.Head.Rel, t) && delta != nil {
-			delta.add(r.Head.Rel, t)
+		if idb.add(r.Head.Rel, t) {
+			opts.Obs.Inc(obs.DerivedTuples)
+			if delta != nil {
+				delta.add(r.Head.Rel, t)
+			}
 		}
 		if opts.MaxDerived > 0 && idb.count > opts.MaxDerived {
 			return fmt.Errorf("fp %s: %w (derived > %d facts)", progName, ErrBudget, opts.MaxDerived)

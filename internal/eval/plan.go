@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 
+	"relcomplete/internal/obs"
 	"relcomplete/internal/query"
 	"relcomplete/internal/relation"
 )
@@ -53,7 +54,9 @@ type planTerm struct {
 // with the bindings in place, and restores the frame before returning.
 type planNode interface {
 	exec(rt *planRun, k cont) error
-	explain(b *strings.Builder, indent string, slotNames []string)
+	// explain renders the node; rt is nil for the static rendering and
+	// carries per-node statistics after an ExplainRun execution.
+	explain(b *strings.Builder, indent string, slotNames []string, rt *planRun)
 }
 
 type cont func() error
@@ -295,6 +298,45 @@ type planRun struct {
 	keyBuf []byte
 	tupBuf relation.Tuple
 	valBuf []relation.Value
+
+	// Run-local counters flushed once by finish(): plain ints keep the
+	// hot row loop free of atomic operations when metrics are enabled
+	// and of everything but dead stores when they are not.
+	m             *obs.Metrics
+	rowsProbed    int64
+	rowsEmitted   int64
+	shortCircuits int64
+
+	// stats, when non-nil, collects per-node runtime statistics for the
+	// annotated rendering of ExplainRun. nil on ordinary runs.
+	stats map[planNode]*nodeStat
+}
+
+// nodeStat is one operator's runtime tally in an ExplainRun execution.
+type nodeStat struct {
+	execs int64 // times the operator was entered
+	rows  int64 // candidate rows probed (atoms only)
+	emits int64 // satisfying extensions passed to the continuation
+}
+
+func (rt *planRun) statFor(n planNode) *nodeStat {
+	st := rt.stats[n]
+	if st == nil {
+		st = &nodeStat{}
+		rt.stats[n] = st
+	}
+	return st
+}
+
+// finish flushes the run-local counters to the metrics sink.
+func (rt *planRun) finish() {
+	if rt.m == nil {
+		return
+	}
+	rt.m.Inc(obs.PlanRuns)
+	rt.m.Add(obs.RowsProbed, rt.rowsProbed)
+	rt.m.Add(obs.RowsEmitted, rt.rowsEmitted)
+	rt.m.Add(obs.ShortCircuits, rt.shortCircuits)
 }
 
 func (p *Plan) newRun(db *relation.Database, opts Options) (*planRun, error) {
@@ -315,6 +357,7 @@ func (p *Plan) newRun(db *relation.Database, opts Options) (*planRun, error) {
 		targets:    make(map[planNode][]int, 4),
 		strategies: make(map[*atomNode]*atomStrategy, 8),
 		keyBuf:     make([]byte, 0, 64),
+		m:          opts.Obs,
 	}, nil
 }
 
@@ -410,8 +453,16 @@ func (a *atomNode) exec(rt *planRun, k cont) error {
 				tup[i] = rt.frame[t.slot]
 			}
 		}
+		rt.rowsProbed++
 		if inst.Contains(tup) {
+			rt.rowsEmitted++
+			if rt.stats != nil {
+				rt.statFor(a).note(1, 1)
+			}
 			return k()
+		}
+		if rt.stats != nil {
+			rt.statFor(a).note(1, 0)
 		}
 		return nil
 	}
@@ -435,7 +486,10 @@ func (a *atomNode) exec(rt *planRun, k cont) error {
 		candidates = inst.Tuples()
 	}
 	var newly [8]int
+	var probed, emitted int64
+	var retErr error
 	for _, row := range candidates {
+		probed++
 		nb := newly[:0]
 		match := true
 		for i, t := range a.terms {
@@ -459,19 +513,33 @@ func (a *atomNode) exec(rt *planRun, k cont) error {
 		}
 		var err error
 		if match {
+			emitted++
 			err = k()
 		}
 		for _, sl := range nb {
 			rt.bound[sl] = false
 		}
 		if err != nil {
-			return err
+			retErr = err
+			break
 		}
 	}
-	return nil
+	rt.rowsProbed += probed
+	rt.rowsEmitted += emitted
+	if rt.stats != nil {
+		rt.statFor(a).note(probed, emitted)
+	}
+	return retErr
 }
 
-func (a *atomNode) explain(b *strings.Builder, indent string, slotNames []string) {
+// note accumulates one exec call's tallies.
+func (st *nodeStat) note(rows, emits int64) {
+	st.execs++
+	st.rows += rows
+	st.emits += emits
+}
+
+func (a *atomNode) explain(b *strings.Builder, indent string, slotNames []string, rt *planRun) {
 	fmt.Fprintf(b, "%satom %s(", indent, a.rel)
 	for i, t := range a.terms {
 		if i > 0 {
@@ -479,7 +547,23 @@ func (a *atomNode) explain(b *strings.Builder, indent string, slotNames []string
 		}
 		writeTerm(b, t, slotNames)
 	}
-	b.WriteString(")\n")
+	b.WriteString(")")
+	if rt != nil {
+		if s := rt.strategies[a]; s != nil {
+			switch {
+			case s.fullBound:
+				b.WriteString(" via=member")
+			case len(s.boundPos) > 0:
+				fmt.Fprintf(b, " via=index%v", s.boundPos)
+			default:
+				b.WriteString(" via=scan")
+			}
+		}
+		if st := rt.stats[a]; st != nil {
+			fmt.Fprintf(b, " [execs=%d rows=%d emits=%d]", st.execs, st.rows, st.emits)
+		}
+	}
+	b.WriteString("\n")
 }
 
 func writeTerm(b *strings.Builder, t planTerm, slotNames []string) {
@@ -511,6 +595,7 @@ func (c *cmpNode) resolve(rt *planRun, t planTerm) (relation.Value, bool) {
 }
 
 func (c *cmpNode) exec(rt *planRun, k cont) error {
+	k = countEmits(rt, c, k)
 	lv, lok := c.resolve(rt, c.l)
 	rv, rok := c.resolve(rt, c.r)
 	switch {
@@ -564,13 +649,24 @@ func (c *cmpNode) bindAgainst(rt *planRun, slot int, val relation.Value, k cont)
 	return nil
 }
 
-func (c *cmpNode) explain(b *strings.Builder, indent string, slotNames []string) {
+func (c *cmpNode) explain(b *strings.Builder, indent string, slotNames []string, rt *planRun) {
 	b.WriteString(indent)
 	b.WriteString("cmp ")
 	writeTerm(b, c.l, slotNames)
 	fmt.Fprintf(b, " %s ", c.op)
 	writeTerm(b, c.r, slotNames)
+	writeStat(b, rt, c)
 	b.WriteString("\n")
+}
+
+// writeStat appends an operator's runtime tally when one was collected.
+func writeStat(b *strings.Builder, rt *planRun, n planNode) {
+	if rt == nil {
+		return
+	}
+	if st := rt.stats[n]; st != nil {
+		fmt.Fprintf(b, " [execs=%d emits=%d]", st.execs, st.emits)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -679,6 +775,7 @@ func conjCost(rt *planRun, kid planNode, boundSim []bool) float64 {
 }
 
 func (a *andNode) exec(rt *planRun, k cont) error {
+	k = countEmits(rt, a, k)
 	order := rt.orderFor(a)
 	var step func(i int) error
 	step = func(i int) error {
@@ -690,11 +787,27 @@ func (a *andNode) exec(rt *planRun, k cont) error {
 	return step(0)
 }
 
-func (a *andNode) explain(b *strings.Builder, indent string, slotNames []string) {
+func (a *andNode) explain(b *strings.Builder, indent string, slotNames []string, rt *planRun) {
 	b.WriteString(indent)
-	b.WriteString("and\n")
+	b.WriteString("and")
+	order := []int(nil)
+	if rt != nil {
+		if o, ok := rt.orders[a]; ok {
+			fmt.Fprintf(b, " order=%v", o)
+			order = o
+		}
+		writeStat(b, rt, a)
+	}
+	b.WriteString("\n")
+	if order != nil {
+		// Render the conjuncts in the order the run executed them.
+		for _, i := range order {
+			a.kids[i].explain(b, indent+"  ", slotNames, rt)
+		}
+		return
+	}
 	for _, kid := range a.kids {
-		kid.explain(b, indent+"  ", slotNames)
+		kid.explain(b, indent+"  ", slotNames, rt)
 	}
 }
 
@@ -710,6 +823,7 @@ type orNode struct {
 }
 
 func (o *orNode) exec(rt *planRun, k cont) error {
+	k = countEmits(rt, o, k)
 	targets := rt.targetsFor(o)
 	if len(targets) == 0 {
 		// Pure filter: succeed once if any disjunct matches.
@@ -733,11 +847,13 @@ func (o *orNode) exec(rt *planRun, k cont) error {
 	return col.emit(k)
 }
 
-func (o *orNode) explain(b *strings.Builder, indent string, slotNames []string) {
+func (o *orNode) explain(b *strings.Builder, indent string, slotNames []string, rt *planRun) {
 	b.WriteString(indent)
-	b.WriteString("or\n")
+	b.WriteString("or")
+	writeStat(b, rt, o)
+	b.WriteString("\n")
 	for _, kid := range o.kids {
-		kid.explain(b, indent+"  ", slotNames)
+		kid.explain(b, indent+"  ", slotNames, rt)
 	}
 }
 
@@ -748,6 +864,7 @@ type existsNode struct {
 }
 
 func (e *existsNode) exec(rt *planRun, k cont) error {
+	k = countEmits(rt, e, k)
 	targets := rt.targetsFor(e)
 	if len(targets) == 0 {
 		// Semi-join: one witness of the subformula suffices.
@@ -767,14 +884,15 @@ func (e *existsNode) exec(rt *planRun, k cont) error {
 	return col.emit(k)
 }
 
-func (e *existsNode) explain(b *strings.Builder, indent string, slotNames []string) {
+func (e *existsNode) explain(b *strings.Builder, indent string, slotNames []string, rt *planRun) {
 	b.WriteString(indent)
 	b.WriteString("exists")
 	for _, s := range e.varSlots {
 		fmt.Fprintf(b, " %s#%d", slotNames[s], s)
 	}
+	writeStat(b, rt, e)
 	b.WriteString("\n")
-	e.sub.explain(b, indent+"  ", slotNames)
+	e.sub.explain(b, indent+"  ", slotNames, rt)
 }
 
 // probe reports whether n has at least one satisfying extension,
@@ -782,9 +900,21 @@ func (e *existsNode) explain(b *strings.Builder, indent string, slotNames []stri
 func probe(rt *planRun, n planNode) (bool, error) {
 	err := n.exec(rt, func() error { return errFound })
 	if err == errFound {
+		rt.shortCircuits++
 		return true, nil
 	}
 	return false, err
+}
+
+// countEmits instruments an operator's continuation for ExplainRun; on
+// ordinary runs (rt.stats == nil) it returns k unchanged.
+func countEmits(rt *planRun, n planNode, k cont) cont {
+	if rt.stats == nil {
+		return k
+	}
+	st := rt.statFor(n)
+	st.execs++
+	return func() error { st.emits++; return k() }
 }
 
 // collector deduplicates the extensions an Or or Exists contributes
@@ -866,8 +996,14 @@ func (p *Plan) ForEach(db *relation.Database, opts Options, fn func(relation.Tup
 	if err != nil {
 		return err
 	}
+	return p.forEach(rt, fn)
+}
+
+// forEach enumerates distinct answers on a caller-built run (shared by
+// ForEach and ExplainRun) and flushes the run's counters.
+func (p *Plan) forEach(rt *planRun, fn func(relation.Tuple) error) error {
 	seen := map[string]bool{}
-	err = p.root.exec(rt, func() error {
+	err := p.root.exec(rt, func() error {
 		t := make(relation.Tuple, len(p.head))
 		for i, h := range p.head {
 			if h.isConst {
@@ -886,6 +1022,7 @@ func (p *Plan) ForEach(db *relation.Database, opts Options, fn func(relation.Tup
 		seen[string(rt.keyBuf)] = true
 		return fn(t)
 	})
+	rt.finish()
 	if err == Stop {
 		return nil
 	}
@@ -917,13 +1054,41 @@ func (p *Plan) Bool(db *relation.Database, opts Options) (bool, error) {
 		return false, err
 	}
 	found, err := probe(rt, p.root)
+	rt.finish()
 	return found, err
 }
 
 // Explain renders the compiled plan: the slot table and operator tree.
 // The rendering is deterministic for a given query, which the plan
-// stability test relies on.
-func (p *Plan) Explain() string {
+// stability test and the golden test rely on.
+func (p *Plan) Explain() string { return p.render(nil) }
+
+// ExplainRun executes the plan on db to completion and renders the
+// operator tree annotated with runtime decisions and statistics: the
+// conjunct order each and-node chose, every atom's access path
+// (index probe, membership test or scan) and per-operator probe/emit
+// tallies. This is the runtime counterpart of Explain, used by the
+// -trace mode of the CLIs.
+func (p *Plan) ExplainRun(db *relation.Database, opts Options) (string, error) {
+	rt, err := p.newRun(db, opts)
+	if err != nil {
+		return "", err
+	}
+	rt.stats = map[planNode]*nodeStat{}
+	answers := 0
+	if err := p.forEach(rt, func(relation.Tuple) error { answers++; return nil }); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(p.render(rt))
+	fmt.Fprintf(&b, "  run: answers=%d rows_probed=%d rows_emitted=%d short_circuits=%d adom=%d\n",
+		answers, rt.rowsProbed, rt.rowsEmitted, rt.shortCircuits, len(rt.adom))
+	return b.String(), nil
+}
+
+// render writes the slot table header and operator tree; a non-nil rt
+// annotates the tree with that run's statistics.
+func (p *Plan) render(rt *planRun) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan %s: %d slots [", p.q.Name, p.nSlots)
 	for i, n := range p.slotNames {
@@ -940,6 +1105,6 @@ func (p *Plan) Explain() string {
 		writeTerm(&b, h, p.slotNames)
 	}
 	b.WriteString(")\n")
-	p.root.explain(&b, "  ", p.slotNames)
+	p.root.explain(&b, "  ", p.slotNames, rt)
 	return b.String()
 }

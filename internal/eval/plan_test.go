@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 
 	"relcomplete/internal/query"
@@ -321,6 +322,60 @@ func TestBoolAgreesWithAnswers(t *testing.T) {
 			if got != want {
 				t.Fatalf("%s naive=%v: Bool=%v, answers say %v", src, naive, got, want)
 			}
+		}
+	}
+}
+
+// TestPlanExplainGolden pins the exact static rendering of a fixed
+// 3-atom CQ. The slot table, head and operator tree are part of the
+// observability surface (rcheck/rcbench -trace builds on them), so a
+// change here is an intentional format change, not noise.
+func TestPlanExplainGolden(t *testing.T) {
+	q := query.MustParseQuery("Q(x, z) := R(x, y) & S(y, z) & T(z)")
+	plan, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `plan Q: 3 slots [0=x 1=y 2=z] head(x#0, z#2)
+  and
+    atom R(x#0, y#1)
+    atom S(y#1, z#2)
+    atom T(z#2)
+`
+	if got := plan.Explain(); got != golden {
+		t.Errorf("Explain drifted from golden output.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestPlanExplainRunStats checks the runtime rendering: ExplainRun must
+// report the chosen conjunct order, each atom's access path, and a
+// final tally line consistent with the actual answer count.
+func TestPlanExplainRunStats(t *testing.T) {
+	q := query.MustParseQuery("Q(x, z) := R(x, y) & S(y, z) & T(z)")
+	plan, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := relation.MustDBSchema(
+		relation.MustSchema("R", relation.Attr("A", nil), relation.Attr("B", nil)),
+		relation.MustSchema("S", relation.Attr("B", nil), relation.Attr("C", nil)),
+		relation.MustSchema("T", relation.Attr("C", nil)),
+	)
+	db := relation.NewDatabase(schema)
+	db.MustInsert("R", relation.T("1", "2"))
+	db.MustInsert("R", relation.T("3", "2"))
+	db.MustInsert("S", relation.T("2", "4"))
+	db.MustInsert("T", relation.T("4"))
+	out, err := plan.ExplainRun(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"and order=", "via=scan", "via=index[1]", "via=member",
+		"run: answers=2", "rows_probed=", "rows_emitted=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainRun missing %q:\n%s", want, out)
 		}
 	}
 }

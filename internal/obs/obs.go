@@ -1,0 +1,234 @@
+// Package obs is the solver's observability layer: cheap atomic
+// counters, per-phase wall-clock timings and a structured decision
+// trace, shared by core, eval, relation, cc, search and the CLIs.
+//
+// The package is built around one invariant: a nil *Metrics (and a nil
+// *Tracer) is a valid, fully inert instance. Every method nil-checks
+// its receiver, so instrumented code paths never branch on "is
+// observability on?" — they unconditionally call m.Add(...) and pay a
+// single predictable nil test when disabled. Hot loops go one step
+// further and accumulate into plain local integers, flushing once per
+// run; the disabled-path overhead budget (≤2% on the headline
+// benchmarks) is enforced by BenchmarkObsOverhead at the repo root.
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one monotonic counter in a Metrics instance. The
+// inventory below is the single source of truth: Stats field names,
+// expvar keys and DESIGN.md §5.9 all derive from it.
+type Counter int
+
+const (
+	// core: enumeration-shaped decision procedures.
+	ValuationsEnumerated Counter = iota // total valuations of c-table variables tried
+	ModelsChecked                       // candidate models tested against the CCs
+	ModelsAdmitted                      // candidates that satisfied every CC
+	ExtensionsTested                    // candidate extensions tested (RCDP/MINP searches)
+	CounterexamplesFound                // witnesses of relative incompleteness found
+	CCChecks                            // containment-constraint evaluations
+	CCViolations                        // CC evaluations that failed
+	BudgetErrors                        // searches aborted by a budget cap
+
+	// eval: compiled query plans.
+	PlanCompilations // query plans compiled
+	PlanCacheHits    // plan reuses from a problem- or CC-level cache
+	PlanRuns         // executions of a compiled plan
+	RowsProbed       // rows fetched by atom nodes (scan or index probe)
+	RowsEmitted      // rows that survived an atom node's binding checks
+	ShortCircuits    // first-witness short-circuits (Bool / ∃ / ∨)
+	NaiveEvaluations // evaluations through the naive (non-plan) evaluator
+	DerivedTuples    // tuples derived by FP fixpoint evaluation
+
+	// relation: lazy per-position hash indexes.
+	IndexBuilds      // hash indexes built from scratch
+	IndexInserts     // incremental index maintenance inserts
+	IndexProbes      // LookupIndexed probes answered from an index
+	IndexProbeHits   // probes that found at least one row
+	IndexProbeMisses // probes that found none
+
+	// cc: memoised RHS answer sets.
+	RHSCacheHits          // RHS answer-set reuses
+	RHSCacheMisses        // RHS answer sets computed fresh
+	RHSCacheInvalidations // cached RHS answer sets dropped as stale
+
+	// search: parallel first-hit engine.
+	SearchItems         // items handed to workers
+	SearchRacesResolved // hits discarded for a lower-index winner
+	SearchCancellations // early-stop signals issued
+	SearchCancelNs      // total ns between stop signal and worker drain
+
+	numCounters
+)
+
+// counterNames maps counters to their snake_case JSON / expvar names.
+var counterNames = [numCounters]string{
+	ValuationsEnumerated:  "valuations_enumerated",
+	ModelsChecked:         "models_checked",
+	ModelsAdmitted:        "models_admitted",
+	ExtensionsTested:      "extensions_tested",
+	CounterexamplesFound:  "counterexamples_found",
+	CCChecks:              "cc_checks",
+	CCViolations:          "cc_violations",
+	BudgetErrors:          "budget_errors",
+	PlanCompilations:      "plan_compilations",
+	PlanCacheHits:         "plan_cache_hits",
+	PlanRuns:              "plan_runs",
+	RowsProbed:            "rows_probed",
+	RowsEmitted:           "rows_emitted",
+	ShortCircuits:         "short_circuits",
+	NaiveEvaluations:      "naive_evaluations",
+	DerivedTuples:         "derived_tuples",
+	IndexBuilds:           "index_builds",
+	IndexInserts:          "index_inserts",
+	IndexProbes:           "index_probes",
+	IndexProbeHits:        "index_probe_hits",
+	IndexProbeMisses:      "index_probe_misses",
+	RHSCacheHits:          "rhs_cache_hits",
+	RHSCacheMisses:        "rhs_cache_misses",
+	RHSCacheInvalidations: "rhs_cache_invalidations",
+	SearchItems:           "search_items",
+	SearchRacesResolved:   "search_races_resolved",
+	SearchCancellations:   "search_cancellations",
+	SearchCancelNs:        "search_cancel_ns",
+}
+
+// String returns the counter's canonical snake_case name.
+func (c Counter) String() string {
+	if c < 0 || c >= numCounters {
+		return "unknown"
+	}
+	return counterNames[c]
+}
+
+// Metrics is a set of atomic counters plus named phase timings. The
+// zero value is ready to use; a nil *Metrics is inert. All methods are
+// safe for concurrent use.
+type Metrics struct {
+	counters [numCounters]atomic.Int64
+
+	phaseMu sync.Mutex
+	phases  map[string]*phaseAgg
+}
+
+type phaseAgg struct {
+	count int64
+	ns    int64
+}
+
+// NewMetrics returns an empty metrics instance.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Add increments counter c by n. No-op on a nil receiver.
+func (m *Metrics) Add(c Counter, n int64) {
+	if m == nil {
+		return
+	}
+	m.counters[c].Add(n)
+}
+
+// Inc increments counter c by one. No-op on a nil receiver.
+func (m *Metrics) Inc(c Counter) {
+	if m == nil {
+		return
+	}
+	m.counters[c].Add(1)
+}
+
+// Get returns the current value of counter c (0 on a nil receiver).
+func (m *Metrics) Get(c Counter) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.counters[c].Load()
+}
+
+// StartPhase begins timing a named solver phase and returns the
+// function that ends it. On a nil receiver both halves are no-ops.
+//
+//	defer m.StartPhase("rcdp/strong")()
+func (m *Metrics) StartPhase(name string) func() {
+	if m == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		m.phaseMu.Lock()
+		if m.phases == nil {
+			m.phases = map[string]*phaseAgg{}
+		}
+		agg := m.phases[name]
+		if agg == nil {
+			agg = &phaseAgg{}
+			m.phases[name] = agg
+		}
+		agg.count++
+		agg.ns += d.Nanoseconds()
+		m.phaseMu.Unlock()
+	}
+}
+
+// PhaseStat is one named phase's aggregate in a Stats snapshot.
+type PhaseStat struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	Ms    float64 `json:"ms"`
+}
+
+// Stats is a point-in-time snapshot of a Metrics instance, shaped for
+// encoding/json (rcheck -json, the rcbench debug endpoint) and for
+// human summaries.
+type Stats struct {
+	Counters map[string]int64 `json:"counters"`
+	Phases   []PhaseStat      `json:"phases,omitempty"`
+}
+
+// Snapshot captures the current counter and phase values. Zero-valued
+// counters are omitted so the JSON stays readable. A nil receiver
+// yields an empty (but non-nil-map) snapshot.
+func (m *Metrics) Snapshot() Stats {
+	s := Stats{Counters: map[string]int64{}}
+	if m == nil {
+		return s
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if v := m.counters[c].Load(); v != 0 {
+			s.Counters[c.String()] = v
+		}
+	}
+	m.phaseMu.Lock()
+	for name, agg := range m.phases {
+		s.Phases = append(s.Phases, PhaseStat{
+			Name:  name,
+			Count: agg.count,
+			Ms:    float64(agg.ns) / 1e6,
+		})
+	}
+	m.phaseMu.Unlock()
+	sort.Slice(s.Phases, func(i, j int) bool { return s.Phases[i].Name < s.Phases[j].Name })
+	return s
+}
+
+// MarshalJSON serialises the snapshot of m, making a *Metrics directly
+// usable as an expvar.Var-style JSON value.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Snapshot())
+}
+
+// String renders the snapshot as JSON; together with MarshalJSON this
+// makes *Metrics implement expvar.Var, so a live instance can be
+// published under /debug/vars directly.
+func (m *Metrics) String() string {
+	b, err := m.MarshalJSON()
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}

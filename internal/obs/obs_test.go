@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilMetricsInert(t *testing.T) {
+	var m *Metrics
+	m.Inc(ValuationsEnumerated)
+	m.Add(RowsProbed, 42)
+	if got := m.Get(RowsProbed); got != 0 {
+		t.Fatalf("nil Get = %d, want 0", got)
+	}
+	done := m.StartPhase("x")
+	done()
+	s := m.Snapshot()
+	if s.Counters == nil || len(s.Counters) != 0 || len(s.Phases) != 0 {
+		t.Fatalf("nil Snapshot = %+v, want empty", s)
+	}
+}
+
+func TestMetricsCountersAndSnapshot(t *testing.T) {
+	m := NewMetrics()
+	m.Inc(ValuationsEnumerated)
+	m.Add(ValuationsEnumerated, 2)
+	m.Add(CCChecks, 7)
+	done := m.StartPhase("rcdp/strong")
+	time.Sleep(time.Millisecond)
+	done()
+	m.StartPhase("rcdp/strong")()
+
+	s := m.Snapshot()
+	if got := s.Counters["valuations_enumerated"]; got != 3 {
+		t.Errorf("valuations_enumerated = %d, want 3", got)
+	}
+	if got := s.Counters["cc_checks"]; got != 7 {
+		t.Errorf("cc_checks = %d, want 7", got)
+	}
+	if _, ok := s.Counters["rows_probed"]; ok {
+		t.Errorf("zero counter rows_probed should be omitted")
+	}
+	if len(s.Phases) != 1 || s.Phases[0].Name != "rcdp/strong" || s.Phases[0].Count != 2 {
+		t.Errorf("phases = %+v, want one rcdp/strong with count 2", s.Phases)
+	}
+	if s.Phases[0].Ms <= 0 {
+		t.Errorf("phase ms = %v, want > 0", s.Phases[0].Ms)
+	}
+}
+
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	m := NewMetrics()
+	m.Add(PlanRuns, 5)
+	m.StartPhase("eval")()
+	buf, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Stats
+	if err := json.Unmarshal(buf, &s); err != nil {
+		t.Fatalf("unmarshal %s: %v", buf, err)
+	}
+	if s.Counters["plan_runs"] != 5 {
+		t.Errorf("round-trip plan_runs = %d, want 5", s.Counters["plan_runs"])
+	}
+	if len(s.Phases) != 1 || s.Phases[0].Name != "eval" {
+		t.Errorf("round-trip phases = %+v", s.Phases)
+	}
+}
+
+func TestCounterNamesComplete(t *testing.T) {
+	for c := Counter(0); c < numCounters; c++ {
+		if counterNames[c] == "" {
+			t.Errorf("counter %d has no name", c)
+		}
+	}
+	if Counter(-1).String() != "unknown" || numCounters.String() != "unknown" {
+		t.Errorf("out-of-range counters should stringify as unknown")
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Inc(SearchItems)
+				m.StartPhase("p")()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Get(SearchItems); got != 8000 {
+		t.Fatalf("SearchItems = %d, want 8000", got)
+	}
+	s := m.Snapshot()
+	if s.Phases[0].Count != 8000 {
+		t.Fatalf("phase count = %d, want 8000", s.Phases[0].Count)
+	}
+}
+
+func TestNilTracerInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit("x", F("k", 1))
+	pop := tr.Push("y")
+	pop()
+	if NewTracer(nil) != nil {
+		t.Fatal("NewTracer(nil) should be nil")
+	}
+}
+
+func TestTextSinkRendering(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewTextSink(&buf))
+	pop := tr.Push("search.start", F("problem", "rcdp"))
+	tr.Emit("cc.violation", F("cc", "onlyStocked"), F("gained", "a b"))
+	pop()
+	tr.Emit("verdict", F("complete", false))
+
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "search.start problem=rcdp") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	// Nested event is indented; quoted value with a space.
+	if !strings.Contains(lines[1], "  cc.violation cc=onlyStocked gained=\"a b\"") {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+	if strings.Contains(lines[2], "  verdict") || !strings.Contains(lines[2], "verdict complete=false") {
+		t.Errorf("line 2 = %q", lines[2])
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	sink := &CollectSink{}
+	tr := NewTracer(sink)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tr.Emit("e", F("i", j))
+			}
+		}()
+	}
+	wg.Wait()
+	if len(sink.Kinds()) != 1600 {
+		t.Fatalf("events = %d, want 1600", len(sink.Kinds()))
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one structured entry in a decision trace. Kind is a stable
+// slug ("model.candidate", "cc.violation", "counterexample", ...);
+// Fields carry the event's key/value payload in insertion order.
+type Event struct {
+	Time   time.Duration // elapsed since the tracer started
+	Depth  int           // search-tree depth, for indentation
+	Kind   string
+	Fields []Field
+}
+
+// Field is one key/value pair of an Event.
+type Field struct {
+	Key   string
+	Value string
+}
+
+// F builds a Field, formatting the value with %v.
+func F(key string, value any) Field {
+	return Field{Key: key, Value: fmt.Sprint(value)}
+}
+
+// Sink consumes trace events. Emit is called under the tracer's lock,
+// so implementations need not synchronise among themselves.
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer serialises decision-trace events to a Sink. A nil *Tracer is
+// inert, and every method nil-checks its receiver, so instrumented
+// code traces unconditionally. Enabled() lets hot paths skip building
+// expensive field payloads when no one is listening.
+type Tracer struct {
+	mu    sync.Mutex
+	sink  Sink
+	start time.Time
+	depth int
+}
+
+// NewTracer returns a tracer writing to sink (nil sink → nil tracer).
+func NewTracer(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink, start: time.Now()}
+}
+
+// Enabled reports whether events will reach a sink. Use it to guard
+// field construction that allocates:
+//
+//	if tr.Enabled() {
+//	    tr.Emit("model.candidate", obs.F("valuation", mu))
+//	}
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records one event at the tracer's current depth.
+func (t *Tracer) Emit(kind string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ev := Event{
+		Time:   time.Since(t.start),
+		Depth:  t.depth,
+		Kind:   kind,
+		Fields: fields,
+	}
+	t.sink.Emit(ev)
+	t.mu.Unlock()
+}
+
+// Push emits an event and indents subsequent events one level; the
+// returned function pops the level. Used to render the search tree.
+func (t *Tracer) Push(kind string, fields ...Field) func() {
+	if t == nil {
+		return func() {}
+	}
+	t.Emit(kind, fields...)
+	t.mu.Lock()
+	t.depth++
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		if t.depth > 0 {
+			t.depth--
+		}
+		t.mu.Unlock()
+	}
+}
+
+// TextSink renders events as indented human-readable lines:
+//
+//	[  12.3ms]   cc.violation cc=onlyStocked violations=1
+type TextSink struct {
+	w io.Writer
+}
+
+// NewTextSink returns a sink writing one line per event to w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Emit implements Sink.
+func (s *TextSink) Emit(ev Event) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%8.1fms] ", float64(ev.Time.Microseconds())/1000)
+	b.WriteString(strings.Repeat("  ", ev.Depth))
+	b.WriteString(ev.Kind)
+	for _, f := range ev.Fields {
+		b.WriteByte(' ')
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		if strings.ContainsAny(f.Value, " \t\n") {
+			fmt.Fprintf(&b, "%q", f.Value)
+		} else {
+			b.WriteString(f.Value)
+		}
+	}
+	b.WriteByte('\n')
+	io.WriteString(s.w, b.String())
+}
+
+// CollectSink buffers events in memory; used by tests.
+type CollectSink struct {
+	mu     sync.Mutex
+	Events []Event
+}
+
+// Emit implements Sink.
+func (s *CollectSink) Emit(ev Event) {
+	s.mu.Lock()
+	s.Events = append(s.Events, ev)
+	s.mu.Unlock()
+}
+
+// Kinds returns the kinds of all buffered events, in order.
+func (s *CollectSink) Kinds() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.Events))
+	for i, ev := range s.Events {
+		out[i] = ev.Kind
+	}
+	return out
+}

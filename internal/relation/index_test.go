@@ -1,0 +1,42 @@
+package relation
+
+import (
+	"testing"
+
+	"relcomplete/internal/obs"
+)
+
+func TestIndexMetrics(t *testing.T) {
+	m := obs.NewMetrics()
+	SetMetrics(m)
+	defer SetMetrics(nil)
+
+	s, err := NewSchema("R", Attr("a", nil), Attr("b", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := MustInstance(s, T("1", "x"), T("2", "y"))
+	if _, ok := in.LookupIndexed([]int{0}, []Value{"1"}); !ok {
+		t.Fatal("lookup not indexable")
+	}
+	if _, ok := in.LookupIndexed([]int{0}, []Value{"zzz"}); !ok {
+		t.Fatal("lookup not indexable")
+	}
+	in.MustInsert(T("3", "z"))
+
+	if got := m.Get(obs.IndexBuilds); got != 1 {
+		t.Errorf("IndexBuilds = %d, want 1", got)
+	}
+	if got := m.Get(obs.IndexProbes); got != 2 {
+		t.Errorf("IndexProbes = %d, want 2", got)
+	}
+	if got := m.Get(obs.IndexProbeHits); got != 1 {
+		t.Errorf("IndexProbeHits = %d, want 1", got)
+	}
+	if got := m.Get(obs.IndexProbeMisses); got != 1 {
+		t.Errorf("IndexProbeMisses = %d, want 1", got)
+	}
+	if got := m.Get(obs.IndexInserts); got != 1 {
+		t.Errorf("IndexInserts = %d, want 1", got)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"relcomplete/internal/obs"
 )
 
 // Tuple is a row of constants; position i belongs to attribute i of the
@@ -119,6 +121,7 @@ func (in *Instance) LookupIndexed(positions []int, vals []Value) ([]Tuple, bool)
 	if len(positions) == 0 || in.schema.Arity() > maxIndexedArity {
 		return nil, false
 	}
+	m := metrics.Load()
 	mask := posMask(positions)
 	in.idxMu.Lock()
 	ix := in.indexes[mask]
@@ -134,13 +137,23 @@ func (in *Instance) LookupIndexed(positions []int, vals []Value) ([]Tuple, bool)
 			in.indexes = make(map[uint64]*posIndex, 4)
 		}
 		in.indexes[mask] = ix
+		m.Inc(obs.IndexBuilds)
 	}
 	in.idxMu.Unlock()
 	key := make([]byte, 0, 8*len(vals)+16)
 	for _, v := range vals {
 		key = AppendValueKey(key, v)
 	}
-	return ix.buckets[string(key)], true
+	rows := ix.buckets[string(key)]
+	if m != nil {
+		m.Inc(obs.IndexProbes)
+		if len(rows) > 0 {
+			m.Inc(obs.IndexProbeHits)
+		} else {
+			m.Inc(obs.IndexProbeMisses)
+		}
+	}
+	return rows, true
 }
 
 // NewInstance returns an empty instance of the given schema.
@@ -210,8 +223,11 @@ func (in *Instance) insertUnchecked(t Tuple) bool {
 	// Keep live indexes exact: appending to each bucket is cheaper than
 	// invalidating and re-scanning on the next lookup.
 	in.idxMu.Lock()
-	for _, ix := range in.indexes {
-		ix.add(row)
+	if len(in.indexes) > 0 {
+		for _, ix := range in.indexes {
+			ix.add(row)
+		}
+		metrics.Load().Add(obs.IndexInserts, int64(len(in.indexes)))
 	}
 	in.idxMu.Unlock()
 	return true

@@ -1,0 +1,25 @@
+package relation
+
+import (
+	"sync/atomic"
+
+	"relcomplete/internal/obs"
+)
+
+// metrics is the package-wide observability hook. Instances are
+// created ubiquitously and threading a per-instance metrics reference
+// through every constructor would bloat the relational substrate's
+// API, so the index instrumentation reports to one process-global
+// *obs.Metrics instead. An atomic pointer keeps concurrent
+// SetMetrics/readers race-clean; the nil default costs one atomic
+// load on the instrumented paths.
+var metrics atomic.Pointer[obs.Metrics]
+
+// SetMetrics installs m (nil to disable) as the sink for index-build,
+// index-maintenance and index-probe counters. Safe to call
+// concurrently with readers; typically called once by a CLI or test
+// before solving starts.
+func SetMetrics(m *obs.Metrics) { metrics.Store(m) }
+
+// Metrics returns the currently installed sink (nil when disabled).
+func Metrics() *obs.Metrics { return metrics.Load() }

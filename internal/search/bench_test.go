@@ -23,7 +23,7 @@ func BenchmarkFirstHitLatencyBound(b *testing.B) {
 	for _, workers := range []int{1, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				hit, found, err := FirstHit(context.Background(), workers, intRange(candidates), probe)
+				hit, found, err := FirstHit(context.Background(), workers, nil, intRange(candidates), probe)
 				if err != nil || !found || hit.Index != hitAt {
 					b.Fatal(hit, found, err)
 				}
@@ -50,7 +50,7 @@ func BenchmarkFirstHitCPUBound(b *testing.B) {
 	for _, workers := range []int{1, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, found, err := FirstHit(context.Background(), workers, intRange(candidates), probe)
+				_, found, err := FirstHit(context.Background(), workers, nil, intRange(candidates), probe)
 				if err != nil || !found {
 					b.Fatal(found, err)
 				}
@@ -74,7 +74,7 @@ func BenchmarkForEachOrderedLatencyBound(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sum := 0
-				stopped, err := ForEachOrdered(context.Background(), workers, intRange(candidates), probe,
+				stopped, err := ForEachOrdered(context.Background(), workers, nil, intRange(candidates), probe,
 					func(idx int, v int) (bool, error) { sum += v; return true, nil })
 				if err != nil || stopped || sum != candidates*(candidates-1)/2 {
 					b.Fatal(stopped, err, sum)

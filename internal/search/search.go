@@ -34,6 +34,9 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
+
+	"relcomplete/internal/obs"
 )
 
 // Generator enumerates candidates in a canonical order, calling yield
@@ -100,7 +103,11 @@ func runProbe[T, R any](ctx context.Context, probe Probe[T, R], idx int, item T)
 // When ctx is cancelled before a decisive outcome, ctx.Err() is
 // returned. A probe error wins over a later (higher-index) hit and
 // loses to an earlier one, exactly as in the sequential loop.
-func FirstHit[T, R any](ctx context.Context, workers int, gen Generator[T], probe Probe[T, R]) (Hit[R], bool, error) {
+//
+// m (nil allowed) receives engine metrics: items probed, early-stop
+// signals, decisive-outcome races resolved by the lowest-index rule
+// and the latency between the stop signal and full worker drain.
+func FirstHit[T, R any](ctx context.Context, workers int, m *obs.Metrics, gen Generator[T], probe Probe[T, R]) (Hit[R], bool, error) {
 	var zero Hit[R]
 	if workers <= 1 {
 		best := outcome[R]{idx: -1}
@@ -118,6 +125,7 @@ func FirstHit[T, R any](ctx context.Context, workers int, gen Generator[T], prob
 			}
 			return true
 		})
+		m.Add(obs.SearchItems, int64(idx))
 		if best.idx < 0 {
 			return zero, false, nil
 		}
@@ -135,7 +143,14 @@ func FirstHit[T, R any](ctx context.Context, workers int, gen Generator[T], prob
 	results := make(chan outcome[R])
 	stop := make(chan struct{})
 	var stopOnce sync.Once
-	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	var haltedAt time.Time
+	halt := func() {
+		stopOnce.Do(func() {
+			haltedAt = time.Now()
+			close(stop)
+			m.Inc(obs.SearchCancellations)
+		})
+	}
 
 	// Dispatcher: runs the generator, numbering candidates. It stops
 	// when a decisive outcome halts the search or ctx is cancelled;
@@ -181,10 +196,25 @@ func FirstHit[T, R any](ctx context.Context, workers int, gen Generator[T], prob
 	// so the minimum over decisive outcomes equals the sequential
 	// first-exit point.
 	best := outcome[R]{idx: -1}
+	probed := int64(0)
+	races := int64(0)
 	for o := range results {
-		if o.decisive() && (best.idx < 0 || o.idx < best.idx) {
-			best = o
+		probed++
+		if o.decisive() {
+			if best.idx >= 0 {
+				// Two decisive outcomes raced; the lowest index wins.
+				races++
+			}
+			if best.idx < 0 || o.idx < best.idx {
+				best = o
+			}
 		}
+	}
+	m.Add(obs.SearchItems, probed)
+	m.Add(obs.SearchRacesResolved, races)
+	if !haltedAt.IsZero() {
+		// results is closed, so every worker has drained.
+		m.Add(obs.SearchCancelNs, time.Since(haltedAt).Nanoseconds())
 	}
 	if best.idx < 0 {
 		if err := ctx.Err(); err != nil {
@@ -217,7 +247,7 @@ type Consumer[R any] func(idx int, r R) (bool, error)
 // stopping. stopped reports whether consume ended the search (as
 // opposed to the generator running dry), so callers can distinguish
 // "early verdict" from "exhausted" — the sequential loop's two exits.
-func ForEachOrdered[T, R any](ctx context.Context, workers int, gen Generator[T], probe ReduceProbe[T, R], consume Consumer[R]) (stopped bool, err error) {
+func ForEachOrdered[T, R any](ctx context.Context, workers int, m *obs.Metrics, gen Generator[T], probe ReduceProbe[T, R], consume Consumer[R]) (stopped bool, err error) {
 	if workers <= 1 {
 		idx := 0
 		var loopErr error
@@ -247,6 +277,7 @@ func ForEachOrdered[T, R any](ctx context.Context, workers int, gen Generator[T]
 			}
 			return true
 		})
+		m.Add(obs.SearchItems, int64(idx))
 		return stopped, loopErr
 	}
 
@@ -262,7 +293,14 @@ func ForEachOrdered[T, R any](ctx context.Context, workers int, gen Generator[T]
 	results := make(chan outcome[R])
 	stop := make(chan struct{})
 	var stopOnce sync.Once
-	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	var haltedAt time.Time
+	halt := func() {
+		stopOnce.Do(func() {
+			haltedAt = time.Now()
+			close(stop)
+			m.Inc(obs.SearchCancellations)
+		})
+	}
 
 	go func() {
 		defer close(dispatch)
@@ -309,7 +347,9 @@ func ForEachOrdered[T, R any](ctx context.Context, workers int, gen Generator[T]
 	next := 0
 	var firstErr error
 	consuming := true
+	probed := int64(0)
 	for o := range results {
+		probed++
 		select {
 		case <-tokens:
 		default:
@@ -342,6 +382,10 @@ func ForEachOrdered[T, R any](ctx context.Context, workers int, gen Generator[T]
 				break
 			}
 		}
+	}
+	m.Add(obs.SearchItems, probed)
+	if !haltedAt.IsZero() {
+		m.Add(obs.SearchCancelNs, time.Since(haltedAt).Nanoseconds())
 	}
 	if firstErr != nil {
 		return false, firstErr

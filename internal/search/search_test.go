@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"relcomplete/internal/obs"
 )
 
 // intRange yields 0..n-1.
@@ -42,12 +44,12 @@ func TestFirstHitMatchesSequentialOnRandomInstances(t *testing.T) {
 		probe := func(ctx context.Context, idx int, item int) (string, bool, error) {
 			return fmt.Sprintf("r%d", item), hits[item], nil
 		}
-		seqHit, seqFound, seqErr := FirstHit(context.Background(), 1, intRange(n), probe)
+		seqHit, seqFound, seqErr := FirstHit(context.Background(), 1, nil, intRange(n), probe)
 		if seqErr != nil {
 			t.Fatal(seqErr)
 		}
 		for _, workers := range []int{2, 4, 8} {
-			got, found, err := FirstHit(context.Background(), workers, intRange(n), probe)
+			got, found, err := FirstHit(context.Background(), workers, nil, intRange(n), probe)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -70,7 +72,7 @@ func TestFirstHitDeterministicUnderScheduling(t *testing.T) {
 			jitter()
 			return item * 10, hits[item], nil
 		}
-		hit, found, err := FirstHit(context.Background(), 8, intRange(64), probe)
+		hit, found, err := FirstHit(context.Background(), 8, nil, intRange(64), probe)
 		if err != nil || !found {
 			t.Fatal(found, err)
 		}
@@ -100,7 +102,7 @@ func TestFirstHitStopsGeneratorOnHit(t *testing.T) {
 		probe := func(ctx context.Context, idx int, item int) (struct{}, bool, error) {
 			return struct{}{}, item == 10, nil
 		}
-		hit, found, err := FirstHit(context.Background(), workers, gen, probe)
+		hit, found, err := FirstHit(context.Background(), workers, nil, gen, probe)
 		if err != nil || !found || hit.Index != 10 {
 			t.Fatalf("workers=%d: %+v %v %v", workers, hit, found, err)
 		}
@@ -120,7 +122,7 @@ func TestFirstHitPanicPropagation(t *testing.T) {
 			}
 			return 0, false, nil
 		}
-		_, found, err := FirstHit(context.Background(), workers, intRange(40), probe)
+		_, found, err := FirstHit(context.Background(), workers, nil, intRange(40), probe)
 		if found {
 			t.Fatalf("workers=%d: unexpected hit", workers)
 		}
@@ -154,7 +156,7 @@ func TestFirstHitLowestIndexOutcomeWins(t *testing.T) {
 				}
 				return item, item == tc.hitAt, nil
 			}
-			hit, found, err := FirstHit(context.Background(), workers, intRange(64), probe)
+			hit, found, err := FirstHit(context.Background(), workers, nil, intRange(64), probe)
 			if tc.wantHit {
 				if !found || hit.Index != tc.hitAt || err != nil {
 					t.Fatalf("%s workers=%d: %+v %v %v", tc.name, workers, hit, found, err)
@@ -186,7 +188,7 @@ func TestFirstHitContextCancellation(t *testing.T) {
 			}
 			return struct{}{}, false, nil
 		}
-		_, found, err := FirstHit(ctx, workers, gen, probe)
+		_, found, err := FirstHit(ctx, workers, nil, gen, probe)
 		cancel()
 		if found || !errors.Is(err, context.Canceled) {
 			t.Fatalf("workers=%d: found=%v err=%v, want context.Canceled", workers, found, err)
@@ -196,7 +198,7 @@ func TestFirstHitContextCancellation(t *testing.T) {
 
 func TestFirstHitNoCandidates(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		_, found, err := FirstHit(context.Background(), workers, intRange(0),
+		_, found, err := FirstHit(context.Background(), workers, nil, intRange(0),
 			func(ctx context.Context, idx int, item int) (int, bool, error) { return 0, true, nil })
 		if found || err != nil {
 			t.Fatalf("workers=%d: %v %v", workers, found, err)
@@ -207,7 +209,7 @@ func TestFirstHitNoCandidates(t *testing.T) {
 func TestForEachOrderedDeliversInOrder(t *testing.T) {
 	for _, workers := range []int{1, 2, 8} {
 		var got []int
-		stopped, err := ForEachOrdered(context.Background(), workers, intRange(100),
+		stopped, err := ForEachOrdered(context.Background(), workers, nil, intRange(100),
 			func(ctx context.Context, idx int, item int) (int, error) {
 				jitter()
 				return item * 2, nil
@@ -233,7 +235,7 @@ func TestForEachOrderedDeliversInOrder(t *testing.T) {
 func TestForEachOrderedEarlyStopSeesSequentialPrefix(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		var got []int
-		stopped, err := ForEachOrdered(context.Background(), workers, intRange(1000),
+		stopped, err := ForEachOrdered(context.Background(), workers, nil, intRange(1000),
 			func(ctx context.Context, idx int, item int) (int, error) { return item, nil },
 			func(idx int, v int) (bool, error) {
 				got = append(got, v)
@@ -253,7 +255,7 @@ func TestForEachOrderedErrorAtIndexAfterCleanPrefix(t *testing.T) {
 	sentinel := errors.New("probe failed")
 	for _, workers := range []int{1, 4} {
 		consumed := 0
-		stopped, err := ForEachOrdered(context.Background(), workers, intRange(64),
+		stopped, err := ForEachOrdered(context.Background(), workers, nil, intRange(64),
 			func(ctx context.Context, idx int, item int) (int, error) {
 				if item == 9 {
 					return 0, sentinel
@@ -275,7 +277,7 @@ func TestForEachOrderedErrorAtIndexAfterCleanPrefix(t *testing.T) {
 
 func TestForEachOrderedPanicCaptured(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		_, err := ForEachOrdered(context.Background(), workers, intRange(32),
+		_, err := ForEachOrdered(context.Background(), workers, nil, intRange(32),
 			func(ctx context.Context, idx int, item int) (int, error) {
 				if item == 4 {
 					panic("reduce boom")
@@ -298,9 +300,51 @@ func TestFirstHitStressRace(t *testing.T) {
 		return item, item%37 == 36, nil // lowest hit at 36
 	}
 	for i := 0; i < 30; i++ {
-		hit, found, err := FirstHit(context.Background(), 8, gen, probe)
+		hit, found, err := FirstHit(context.Background(), 8, nil, gen, probe)
 		if err != nil || !found || hit.Index != 36 {
 			t.Fatalf("iteration %d: %+v %v %v", i, hit, found, err)
 		}
+	}
+}
+
+func TestFirstHitMetrics(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		m := obs.NewMetrics()
+		hit, found, err := FirstHit(context.Background(), workers, m, intRange(64),
+			func(ctx context.Context, idx int, item int) (int, bool, error) {
+				return item, item == 20, nil
+			})
+		if err != nil || !found || hit.Index != 20 {
+			t.Fatalf("workers=%d: hit=%v found=%v err=%v", workers, hit, found, err)
+		}
+		// At least candidates 0..20 were probed; the engine may probe a
+		// few more speculatively before the stop signal lands.
+		if got := m.Get(obs.SearchItems); got < 21 || got > 64 {
+			t.Errorf("workers=%d: SearchItems = %d, want in [21, 64]", workers, got)
+		}
+		if workers > 1 {
+			if got := m.Get(obs.SearchCancellations); got != 1 {
+				t.Errorf("workers=%d: SearchCancellations = %d, want 1", workers, got)
+			}
+			if got := m.Get(obs.SearchCancelNs); got <= 0 {
+				t.Errorf("workers=%d: SearchCancelNs = %d, want > 0", workers, got)
+			}
+		}
+	}
+}
+
+func TestForEachOrderedMetrics(t *testing.T) {
+	m := obs.NewMetrics()
+	stopped, err := ForEachOrdered(context.Background(), 4, m, intRange(100),
+		func(ctx context.Context, idx int, item int) (int, error) { return item, nil },
+		func(idx int, r int) (bool, error) { return r < 10, nil })
+	if err != nil || !stopped {
+		t.Fatalf("stopped=%v err=%v", stopped, err)
+	}
+	if got := m.Get(obs.SearchItems); got < 11 {
+		t.Errorf("SearchItems = %d, want >= 11", got)
+	}
+	if got := m.Get(obs.SearchCancellations); got != 1 {
+		t.Errorf("SearchCancellations = %d, want 1", got)
 	}
 }

@@ -1,0 +1,59 @@
+package relcomplete_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	relcomplete "relcomplete"
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/paperex"
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+// BenchmarkObsOverhead times the same strong-RCDP decision three ways:
+// uninstrumented (the default every other benchmark runs in), with the
+// atomic counters attached, and with counters plus a decision trace
+// rendered to io.Discard. The disabled case is the overhead contract —
+// nil Obs/Trace must stay within noise of the seed (≤2%, see
+// DESIGN.md §5.9); the other two cases price the opt-ins.
+func BenchmarkObsOverhead(b *testing.B) {
+	s := paperex.Reduced()
+	ci := s.T.Clone()
+	for i := 0; i < 2; i++ {
+		ci.MustAddRow("MVisit", ctable.Row{Terms: []query.Term{
+			query.C(relation.Value(fmt.Sprintf("999-00-%03d", i))),
+			query.C(relation.Value(fmt.Sprintf("P%d", i))),
+			query.C("LON"), query.C("2000"),
+		}})
+	}
+	run := func(b *testing.B, opts core.Options) {
+		p, err := s.Problem(s.Q1, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.RCDP(ci, core.Strong); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		run(b, benchCoreOpts())
+	})
+	b.Run("counters", func(b *testing.B) {
+		opts := benchCoreOpts()
+		opts.Obs = relcomplete.NewMetrics()
+		run(b, opts)
+	})
+	b.Run("traced", func(b *testing.B) {
+		opts := benchCoreOpts()
+		opts.Obs = relcomplete.NewMetrics()
+		opts.Trace = relcomplete.NewTextTracer(io.Discard)
+		opts.Parallelism = 1
+		run(b, opts)
+	})
+}

@@ -23,9 +23,12 @@
 package relcomplete
 
 import (
+	"io"
+
 	"relcomplete/internal/cc"
 	"relcomplete/internal/core"
 	"relcomplete/internal/ctable"
+	"relcomplete/internal/obs"
 	"relcomplete/internal/query"
 	"relcomplete/internal/relation"
 )
@@ -97,6 +100,29 @@ type (
 	// Counterexample witnesses relative incompleteness.
 	Counterexample = core.Counterexample
 )
+
+// Observability (see DESIGN.md §5.9).
+type (
+	// Metrics collects solver counters and phase timings; set it as
+	// Options.Obs. A nil *Metrics disables collection.
+	Metrics = obs.Metrics
+	// Stats is a JSON-ready snapshot of a Metrics instance.
+	Stats = obs.Stats
+	// Tracer streams structured decision-trace events; set it as
+	// Options.Trace. A nil *Tracer disables tracing.
+	Tracer = obs.Tracer
+	// BudgetError carries the cap detail (option name, limit, consumed)
+	// of an exhausted search budget; it unwraps to ErrBudget or
+	// ErrInconclusive, so errors.Is checks keep working.
+	BudgetError = core.BudgetError
+)
+
+// NewMetrics returns an empty metrics instance for Options.Obs.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewTextTracer returns a tracer for Options.Trace rendering each
+// decision event as one indented text line on w.
+func NewTextTracer(w io.Writer) *Tracer { return obs.NewTracer(obs.NewTextSink(w)) }
 
 // The three completeness models of Section 2.2.
 const (
