@@ -18,10 +18,12 @@
 //	rcbench -memprofile mem.pb  # write a pprof heap profile at exit
 //	rcbench -trace              # stream the decision trace to stderr
 //	rcbench -stats              # print aggregated solver counters after the sweep
-//	rcbench -http :8080         # expvar solver counters + net/http/pprof while running
+//	rcbench -http :8080         # /metrics (Prometheus), expvar + net/http/pprof while running
+//	rcbench -slowlog 250ms      # dump the flight recorder when a decider call stalls
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -71,14 +73,17 @@ type experiment struct {
 
 // workersFlag and naiveJoinFlag hold the -workers and -naivejoin values
 // for the current run; every experiment builds its Problem from
-// benchOpts so the settings reach the deciders. benchMetrics is always
-// attached (the counters are cheap); benchTracer is non-nil only under
-// -trace.
+// benchOpts so the settings reach the deciders. benchMetrics and the
+// benchRing flight recorder are always attached (both are cheap);
+// benchTracer is the flight-recorder tracer, upgraded to a verbose
+// teed tracer under -trace.
 var (
 	workersFlag   int
 	naiveJoinFlag bool
+	slowOpFlag    time.Duration
 	benchMetrics  = obs.NewMetrics()
-	benchTracer   *obs.Tracer
+	benchRing     = obs.NewRingSink(obs.DefaultRingSize)
+	benchTracer   = obs.NewFlightTracer(benchRing)
 	publishOnce   sync.Once
 )
 
@@ -87,6 +92,7 @@ func benchOpts() core.Options {
 	return core.Options{
 		Parallelism: workersFlag, NaiveJoin: naiveJoinFlag,
 		Obs: benchMetrics, Trace: benchTracer,
+		FlightRecorder: benchRing, SlowOpThreshold: slowOpFlag,
 	}
 }
 
@@ -96,6 +102,8 @@ func applyBenchOpts(o *core.Options) {
 	o.NaiveJoin = naiveJoinFlag
 	o.Obs = benchMetrics
 	o.Trace = benchTracer
+	o.FlightRecorder = benchRing
+	o.SlowOpThreshold = slowOpFlag
 }
 
 func run(args []string, out io.Writer) error {
@@ -107,23 +115,29 @@ func run(args []string, out io.Writer) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	trace := fs.Bool("trace", false, "stream the decision trace of every experiment to stderr")
-	httpAddr := fs.String("http", "", "serve /debug/vars (solver counters) and /debug/pprof on this address during the sweep")
+	httpAddr := fs.String("http", "", "serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address during the sweep")
 	statsOut := fs.Bool("stats", false, "print the aggregated solver counters after the sweep")
+	slowlog := fs.Duration("slowlog", 0, "dump the flight recorder and histograms to stderr when a decider call exceeds this duration (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	workersFlag = *workers
 	naiveJoinFlag = *naiveJoin
+	slowOpFlag = *slowlog
+	relation.SetMetrics(benchMetrics) // index counters live behind a process-global hook
 	if *trace {
-		benchTracer = obs.NewTracer(obs.NewTextSink(os.Stderr))
+		// Verbose tracer teed into the flight recorder, so the slow-op
+		// log still has the ring even while the text stream is on.
+		benchTracer = obs.NewTracer(obs.Tee(obs.NewTextSink(os.Stderr), benchRing))
+		defer func() { benchTracer = obs.NewFlightTracer(benchRing) }()
 	}
 	if *httpAddr != "" {
-		ln, err := serveDebug(*httpAddr)
+		ds, err := serveDebug(*httpAddr)
 		if err != nil {
 			return fmt.Errorf("http: %w", err)
 		}
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "rcbench: debug endpoint on http://%s/debug/vars and /debug/pprof/\n", ln.Addr())
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "rcbench: debug endpoint on http://%s/metrics, /debug/vars and /debug/pprof/\n", ds.Addr())
 	}
 	if *statsOut {
 		defer func() {
@@ -139,6 +153,9 @@ func run(args []string, out io.Writer) error {
 			}
 			for _, ph := range st.Phases {
 				fmt.Fprintf(out, "  phase %-22s count=%d %0.1fms\n", ph.Name, ph.Count, ph.Ms)
+			}
+			for _, h := range st.Histograms {
+				fmt.Fprintf(out, "  histogram %-18s count=%d\n", h.Name, h.Count)
 			}
 		}()
 	}
@@ -191,11 +208,21 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// serveDebug starts the opt-in runtime introspection endpoint: the
-// solver counters under /debug/vars (expvar) and the Go profiler under
-// /debug/pprof/. It binds eagerly so a bad address fails the run, then
-// serves in the background until the sweep exits.
-func serveDebug(addr string) (net.Listener, error) {
+// debugServer is the opt-in runtime introspection endpoint with a
+// graceful shutdown path: Close drains in-flight scrapes before the
+// process moves on, so a scrape racing the sweep's end is not cut
+// mid-response.
+type debugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when Serve returns
+}
+
+// serveDebug starts the debug endpoint: the Prometheus exposition
+// under /metrics, the solver counters under /debug/vars (expvar) and
+// the Go profiler under /debug/pprof/. It binds eagerly so a bad
+// address fails the run, then serves in the background until Close.
+func serveDebug(addr string) (*debugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -206,14 +233,38 @@ func serveDebug(addr string) (net.Listener, error) {
 		expvar.Publish("solver", expvar.Func(func() any { return benchMetrics.Snapshot() }))
 	})
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentTypePrometheus)
+		benchMetrics.WritePrometheus(w)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
-	go http.Serve(ln, mux)
-	return ln, nil
+	ds := &debugServer{ln: ln, srv: &http.Server{Handler: mux}, done: make(chan struct{})}
+	go func() {
+		ds.srv.Serve(ln)
+		close(ds.done)
+	}()
+	return ds, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (ds *debugServer) Addr() net.Addr { return ds.ln.Addr() }
+
+// Close gracefully shuts the server down: no new connections, up to a
+// short deadline for in-flight requests to finish, then hard close.
+func (ds *debugServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := ds.srv.Shutdown(ctx)
+	if err != nil {
+		ds.srv.Close()
+	}
+	<-ds.done
+	return err
 }
 
 func timed(fn func() (string, string, error)) (row, error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"strings"
 	"testing"
@@ -75,15 +76,17 @@ func TestHelpers(t *testing.T) {
 }
 
 // TestServeDebug hits the opt-in introspection endpoint: /debug/vars
-// must expose the solver counters as JSON, /debug/pprof/ must answer.
+// must expose the solver counters as JSON, /metrics must pass the
+// in-repo Prometheus grammar check, /debug/pprof/ must answer, and
+// Close must shut the server down for good.
 func TestServeDebug(t *testing.T) {
-	ln, err := serveDebug("127.0.0.1:0")
+	ds, err := serveDebug("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
+	addr := ds.Addr().String()
 	benchMetrics.Inc(obs.ModelsChecked)
-	resp, err := http.Get("http://" + ln.Addr().String() + "/debug/vars")
+	resp, err := http.Get("http://" + addr + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,13 +102,58 @@ func TestServeDebug(t *testing.T) {
 	if vars.Solver.Counters["models_checked"] == 0 {
 		t.Fatalf("solver counters missing from expvar: %+v", vars)
 	}
-	resp2, err := http.Get("http://" + ln.Addr().String() + "/debug/pprof/")
+
+	respM, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := respM.Header.Get("Content-Type"); got != obs.ContentTypePrometheus {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	body, err := io.ReadAll(respM.Body)
+	respM.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidatePrometheusText(body); err != nil {
+		t.Fatalf("/metrics failed the exposition grammar: %v", err)
+	}
+	if !strings.Contains(string(body), "relcomplete_models_checked_total") {
+		t.Fatalf("/metrics missing counter family:\n%s", body)
+	}
+
+	resp2, err := http.Get("http://" + addr + "/debug/pprof/")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("pprof index status = %d", resp2.StatusCode)
+	}
+
+	if err := ds.Close(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still answering after Close")
+	}
+}
+
+// TestServeDebugBindFailure covers the error path: a second bind on an
+// already-taken address must fail the run rather than silently serve
+// nothing.
+func TestServeDebugBindFailure(t *testing.T) {
+	ds, err := serveDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if _, err := serveDebug(ds.Addr().String()); err == nil {
+		t.Fatal("bind on a taken address should fail")
+	}
+	var out strings.Builder
+	if err := run([]string{"-quick", "-run", "E-F1", "-http", ds.Addr().String()}, &out); err == nil {
+		t.Fatal("run with an unbindable -http address should fail")
 	}
 }
 

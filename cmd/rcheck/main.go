@@ -12,6 +12,13 @@
 // Problems: consistency, extensibility, rcdp, rcqp, minp, certain
 // (certain answers), models (list ModAdom members).
 //
+// Observability: every run keeps an always-on flight recorder (the
+// last 256 decision events) and latency/size histograms.
+// -metrics-out <file> dumps the final counters and histograms in
+// Prometheus text exposition format ("-" for stdout); -slowlog <dur>
+// dumps the flight recorder and histogram snapshot to stderr whenever
+// one decider call exceeds the duration.
+//
 // Exit codes: 0 success, 2 when a search budget was exhausted
 // (ErrBudget / ErrInconclusive — the verdict is unknown, not "no"),
 // 1 for every other error.
@@ -30,10 +37,11 @@ import (
 	"relcomplete/internal/eval"
 	"relcomplete/internal/obs"
 	"relcomplete/internal/probjson"
+	"relcomplete/internal/relation"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "rcheck:", err)
 		os.Exit(exitCode(err))
 	}
@@ -72,7 +80,7 @@ type capInfo struct {
 	Consumed int64  `json:"consumed"`
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("rcheck", flag.ContinueOnError)
 	problem := fs.String("problem", "rcdp", "consistency | extensibility | rcdp | rcqp | minp | certain | models")
 	model := fs.String("model", "strong", "completeness model: strong | weak | viable")
@@ -81,6 +89,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	trace := fs.Bool("trace", false, "stream the decision trace (candidate models, CC violations, counterexamples)")
 	maxModels := fs.Int("max-models", 10, "cap for -problem models")
 	workers := fs.Int("workers", 0, "worker count for the parallel searches (0 = keep the document's options.parallelism, or GOMAXPROCS; -trace defaults to 1)")
+	metricsOut := fs.String("metrics-out", "", "write the final metrics in Prometheus text format to this file (- for stdout)")
+	slowlog := fs.Duration("slowlog", 0, "dump the flight recorder and histograms to stderr when a decider call exceeds this duration (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,13 +121,35 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	metrics := obs.NewMetrics()
 	p.Options.Obs = metrics
+	relation.SetMetrics(metrics) // index counters live behind a process-global hook
+
+	// The flight recorder is always on: a bounded ring of the most
+	// recent decision events, retained even without -trace, dumped by
+	// the slow-op log. -trace adds the verbose text stream on top.
+	ring := obs.NewRingSink(obs.DefaultRingSize)
+	p.Options.FlightRecorder = ring
 	if *trace {
-		p.Options.Trace = obs.NewTracer(obs.NewTextSink(stdout))
+		// Verbose tracer: full diagnosis, teed into the ring.
+		p.Options.Trace = obs.NewTracer(obs.Tee(obs.NewTextSink(stdout), ring))
 		if *workers == 0 && p.Options.Parallelism == 0 {
 			// A sequential search keeps the trace's tree shape intact;
 			// -workers overrides for tracing parallel schedules.
 			p.Options.Parallelism = 1
 		}
+	} else {
+		p.Options.Trace = obs.NewFlightTracer(ring)
+	}
+	if *slowlog > 0 {
+		p.Options.SlowOpThreshold = *slowlog
+		p.Options.SlowOpSink = stderr
+	}
+	if *metricsOut != "" {
+		// Deferred so a budget error still leaves a scrape-able dump.
+		defer func() {
+			if werr := writeMetrics(*metricsOut, metrics, stdout); werr != nil {
+				fmt.Fprintln(stderr, "rcheck: metrics-out:", werr)
+			}
+		}()
 	}
 
 	res := result{Problem: *problem, Model: *model}
@@ -238,6 +270,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("unknown problem %q", *problem)
 	}
 	return emit(nil)
+}
+
+// writeMetrics renders m's Prometheus text exposition to path
+// ("-" meaning stdout).
+func writeMetrics(path string, m *obs.Metrics, stdout io.Writer) error {
+	if path == "-" {
+		return m.WritePrometheus(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseModel(s string) (core.Model, error) {

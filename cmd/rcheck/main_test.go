@@ -11,6 +11,7 @@ import (
 	"relcomplete/internal/adom"
 	"relcomplete/internal/core"
 	"relcomplete/internal/eval"
+	"relcomplete/internal/obs"
 )
 
 const sampleDoc = `{
@@ -38,9 +39,17 @@ func writeSample(t *testing.T) string {
 
 func runCheck(t *testing.T, args ...string) (string, error) {
 	t.Helper()
-	var out strings.Builder
-	err := run(args, strings.NewReader(""), &out)
-	return out.String(), err
+	out, _, err := runCheck2(t, args...)
+	return out, err
+}
+
+// runCheck2 additionally returns what the command wrote to stderr
+// (the slow-op log's destination).
+func runCheck2(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errOut strings.Builder
+	err := run(args, strings.NewReader(""), &out, &errOut)
+	return out.String(), errOut.String(), err
 }
 
 func TestRCheckConsistency(t *testing.T) {
@@ -101,9 +110,9 @@ func TestRCheckExtensibility(t *testing.T) {
 }
 
 func TestRCheckStdinAndErrors(t *testing.T) {
-	var out strings.Builder
+	var out, errOut strings.Builder
 	if err := run([]string{"-problem", "consistency", "-"},
-		strings.NewReader(sampleDoc), &out); err != nil {
+		strings.NewReader(sampleDoc), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := runCheck(t, "-problem", "nope", writeSample(t)); err == nil {
@@ -278,5 +287,97 @@ func TestRCheckExitCodeMapping(t *testing.T) {
 	}
 	if got := exitCode(eval.ErrBudget); got != 2 {
 		t.Fatalf("exitCode(eval.ErrBudget) = %d", got)
+	}
+}
+
+// TestRCheckMetricsOut dumps the final metrics in Prometheus text
+// format and validates them against the in-repo exposition grammar.
+func TestRCheckMetricsOut(t *testing.T) {
+	mpath := filepath.Join(t.TempDir(), "metrics.prom")
+	if _, err := runCheck(t, "-problem", "rcdp", "-metrics-out", mpath, writeSample(t)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidatePrometheusText(data); err != nil {
+		t.Fatalf("metrics-out fails the exposition grammar: %v\n%s", err, data)
+	}
+	for _, want := range []string{
+		"relcomplete_models_checked_total",
+		`relcomplete_decider_wall_seconds_bucket{le="+Inf"} 1`,
+		`relcomplete_phase_calls_total{phase="rcdp_strong"} 1`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics-out missing %q", want)
+		}
+	}
+
+	// "-" writes the exposition to stdout after the verdict.
+	out, err := runCheck(t, "-problem", "rcdp", "-metrics-out", "-", writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "relcomplete_models_checked_total") {
+		t.Fatalf("stdout exposition missing:\n%s", out)
+	}
+}
+
+// TestRCheckMetricsOutOnBudgetError: the deferred dump must still fire
+// when the run dies on a budget error, so the failed run is scrapeable.
+func TestRCheckMetricsOutOnBudgetError(t *testing.T) {
+	doc := strings.Replace(sampleDoc, `"cinstance"`,
+		`"options": {"max_valuations": 1}, "cinstance"`, 1)
+	doc = strings.Replace(doc, `["widget", "5"]`, `["widget", "?q"]`, 1)
+	path := filepath.Join(t.TempDir(), "budget.json")
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	mpath := filepath.Join(t.TempDir(), "metrics.prom")
+	if _, err := runCheck(t, "-problem", "rcdp", "-metrics-out", mpath, path); err == nil {
+		t.Fatal("expected a budget error")
+	}
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidatePrometheusText(data); err != nil {
+		t.Fatalf("metrics after budget error invalid: %v", err)
+	}
+	if !strings.Contains(string(data), "relcomplete_budget_errors_total 1") {
+		t.Fatalf("budget error not visible in the exposition:\n%s", data)
+	}
+}
+
+// TestRCheckSlowlog exercises the slow-op path on the orders example
+// with a 1ns threshold: every decider call is "slow", so the stderr
+// stream must carry the dump with the flight recorder's events even
+// though -trace is off.
+func TestRCheckSlowlog(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "orders_rcdp.json")
+	out, errOut, err := runCheck2(t, "-problem", "rcdp", "-model", "strong", "-slowlog", "1ns", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NO") {
+		t.Fatalf("verdict missing:\n%s", out)
+	}
+	for _, want := range []string{
+		"=== SLOW OP op=rcdp_strong",
+		"threshold=1ns ===",
+		"flight recorder:",
+		"event(s) retained",
+		"decide",
+		"histograms:",
+		"decider_wall_seconds",
+		"=== END SLOW OP op=rcdp_strong ===",
+	} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("slow-op dump missing %q:\n%s", want, errOut)
+		}
+	}
+	if strings.Contains(out, "=== SLOW OP") {
+		t.Error("slow-op dump leaked to stdout")
 	}
 }

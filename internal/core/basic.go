@@ -115,7 +115,7 @@ func dbKey(db *relation.Database) string {
 // non-empty? (Proposition 3.3; Σp2-complete.) The CC checks of the
 // candidate valuations fan out over Options.Parallelism workers.
 func (p *Problem) Consistent(ci *ctable.CInstance) (bool, error) {
-	defer p.Options.Obs.StartPhase("consistency")()
+	defer p.span("consistency")()
 	d, err := p.domainsFor(ci, false, false)
 	if err != nil {
 		return false, err
@@ -170,7 +170,7 @@ func (p *Problem) Models(ci *ctable.CInstance, max int) ([]*relation.Database, e
 // suffices to try single-tuple extensions over the active domain
 // (Proposition 3.3; Σp2-complete).
 func (p *Problem) Extensible(db *relation.Database) (bool, error) {
-	defer p.Options.Obs.StartPhase("extensibility")()
+	defer p.span("extensibility")()
 	d, err := p.domainsFor(ctable.FromDatabase(db), false, true)
 	if err != nil {
 		return false, err

@@ -19,9 +19,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"relcomplete/internal/adom"
 	"relcomplete/internal/cc"
@@ -212,10 +215,23 @@ type Options struct {
 	Obs *obs.Metrics
 	// Trace receives structured decision events (candidate valuations,
 	// CC violations, counterexamples, verdicts) rendering the decider's
-	// search tree. nil disables tracing. Tracing re-checks CCs on the
-	// violation path to name the violated constraint, so it is for
-	// diagnosis, not benchmarking.
+	// search tree. nil disables tracing. A verbose tracer (obs.NewTracer)
+	// re-checks CCs on the violation path to name the violated
+	// constraint, so it is for diagnosis, not benchmarking; a flight
+	// tracer (obs.NewFlightTracer) skips that re-derivation and is
+	// cheap enough to leave attached.
 	Trace *obs.Tracer
+	// FlightRecorder is the always-on ring of recent decision events
+	// dumped by the slow-op log. Typically the same obs.RingSink that
+	// Trace's sink feeds (directly or via obs.Tee); the deciders never
+	// write to it — they only read it when dumping a slow op.
+	FlightRecorder *obs.RingSink
+	// SlowOpThreshold, when > 0, turns on the slow-op log: any decider
+	// entry-point call whose wall time meets the threshold dumps the
+	// flight recorder and the histogram snapshot to SlowOpSink.
+	SlowOpThreshold time.Duration
+	// SlowOpSink receives slow-op dumps (nil → os.Stderr).
+	SlowOpSink io.Writer
 }
 
 func (o Options) workers() int {
@@ -305,6 +321,51 @@ func MustProblem(schema *relation.DBSchema, q Qry, master *relation.Database, cc
 // evalOpts builds the evaluation options used throughout.
 func (p *Problem) evalOpts() eval.Options {
 	return eval.Options{MaxDerived: p.Options.MaxDerived, NaiveJoin: p.Options.NaiveJoin, Obs: p.Options.Obs}
+}
+
+// nopSpan is the shared no-op closer for uninstrumented spans.
+var nopSpan = func() {}
+
+// span brackets one decider entry-point call. It subsumes the phase
+// timing (obs.Metrics.StartPhase) and adds the distribution layer:
+// the call's wall time lands in the decider_wall_seconds histogram,
+// the candidate models it admitted/pruned land in the per-call
+// histograms, and — when Options.SlowOpThreshold is set — a call that
+// exceeds the threshold dumps the flight recorder and the histogram
+// snapshot to Options.SlowOpSink. With Obs nil and no threshold the
+// returned closer is a shared no-op, so the disabled path stays one
+// branch (the overhead contract of BenchmarkObsOverhead).
+func (p *Problem) span(name string) func() {
+	o := &p.Options
+	if o.Obs == nil && o.SlowOpThreshold <= 0 {
+		return nopSpan
+	}
+	m := o.Obs
+	start := time.Now()
+	endPhase := m.StartPhase(name)
+	checked0 := m.Get(obs.ModelsChecked)
+	admitted0 := m.Get(obs.ModelsAdmitted)
+	return func() {
+		endPhase()
+		elapsed := time.Since(start)
+		m.Observe(obs.DeciderWallNs, elapsed.Nanoseconds())
+		// Per-call admission distribution. Deltas over the shared
+		// counters: nested or concurrent decider calls may attribute
+		// each other's models — the histogram is a distribution sketch,
+		// not an exact ledger.
+		if checked := m.Get(obs.ModelsChecked) - checked0; checked > 0 {
+			admitted := m.Get(obs.ModelsAdmitted) - admitted0
+			m.Observe(obs.ModelsAdmittedPerCall, admitted)
+			m.Observe(obs.ModelsPrunedPerCall, checked-admitted)
+		}
+		if o.SlowOpThreshold > 0 && elapsed >= o.SlowOpThreshold {
+			w := o.SlowOpSink
+			if w == nil {
+				w = os.Stderr
+			}
+			obs.WriteSlowOp(w, name, elapsed, o.SlowOpThreshold, o.FlightRecorder, m)
+		}
+	}
 }
 
 // queryPlan returns the compiled plan for the problem's calculus query,
@@ -601,11 +662,11 @@ func (p *Problem) satisfiesCCs(db *relation.Database) (bool, error) {
 
 // traceCCViolation re-runs the CC check constraint by constraint to
 // name the one that pruned db, emitting a cc_violation event. Only
-// called when tracing is enabled; the extra evaluation is the price of
-// the diagnosis.
+// done for verbose tracers; the extra evaluation is the price of the
+// diagnosis, and the always-on flight recorder must not pay it.
 func (p *Problem) traceCCViolation(db *relation.Database) {
 	tr := p.Options.Trace
-	if !tr.Enabled() || p.CCs == nil {
+	if !tr.Verbose() || p.CCs == nil {
 		return
 	}
 	for _, c := range p.CCs.Constraints {

@@ -2,7 +2,9 @@ package core
 
 import (
 	"errors"
+	"strings"
 	"testing"
+	"time"
 
 	"relcomplete/internal/obs"
 )
@@ -109,6 +111,93 @@ func TestObsTraceCCViolation(t *testing.T) {
 	}
 	if !pruned || !violation {
 		t.Errorf("kinds = %v, want model_pruned and cc_violation", sink.Kinds())
+	}
+}
+
+// TestObsHistogramsRCDP checks that the decider span feeds the
+// distribution layer: one RCDP call must land in the decider wall-time
+// histogram and the per-call admitted/pruned histograms.
+func TestObsHistogramsRCDP(t *testing.T) {
+	s := newBoundedScenario(t, "1", "2")
+	m := obs.NewMetrics()
+	s.p.Options.Obs = m
+	if _, err := s.p.RCDP(s.ground("1"), Strong); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.HistoCount(obs.DeciderWallNs); got == 0 {
+		t.Error("decider wall-time histogram empty")
+	}
+	if got := m.HistoCount(obs.ModelsAdmittedPerCall); got == 0 {
+		t.Error("models-admitted-per-call histogram empty")
+	}
+	if m.HistoCount(obs.ModelsAdmittedPerCall) != m.HistoCount(obs.ModelsPrunedPerCall) {
+		t.Error("admitted and pruned per-call histograms should record together")
+	}
+}
+
+// TestObsFlightRecorderAndSlowOp runs a decider with the always-on
+// flight recorder and a threshold of 1ns: the call must trip the
+// slow-op log, and the dump must carry the ring's retained events.
+func TestObsFlightRecorderAndSlowOp(t *testing.T) {
+	s := newBoundedScenario(t, "1", "2")
+	m := obs.NewMetrics()
+	ring := obs.NewRingSink(32)
+	var slow strings.Builder
+	s.p.Options.Obs = m
+	s.p.Options.Trace = obs.NewFlightTracer(ring)
+	s.p.Options.FlightRecorder = ring
+	s.p.Options.SlowOpThreshold = time.Nanosecond
+	s.p.Options.SlowOpSink = &slow
+	s.p.Options.Parallelism = 1
+
+	if _, err := s.p.RCDP(s.ground("1"), Strong); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() == 0 {
+		t.Fatal("flight recorder retained no events")
+	}
+	dump := slow.String()
+	if !strings.Contains(dump, "=== SLOW OP op=rcdp_strong") ||
+		!strings.Contains(dump, "=== END SLOW OP op=rcdp_strong ===") {
+		t.Fatalf("slow-op markers missing:\n%s", dump)
+	}
+	if !strings.Contains(dump, "flight recorder:") || !strings.Contains(dump, "decide") {
+		t.Fatalf("slow-op dump missing ring events:\n%s", dump)
+	}
+	if !strings.Contains(dump, "decider_wall_seconds") {
+		t.Fatalf("slow-op dump missing histogram snapshot:\n%s", dump)
+	}
+}
+
+// TestObsFlightTracerSkipsDiagnosis: the non-verbose flight tracer
+// must record prune events but skip the per-constraint cc_violation
+// re-derivation that only verbose tracers pay for.
+func TestObsFlightTracerSkipsDiagnosis(t *testing.T) {
+	s := newBoundedScenario(t, "1")
+	sink := &obs.CollectSink{}
+	s.p.Options.Trace = obs.NewFlightTracer(sink)
+	s.p.Options.Parallelism = 1
+	ok, err := s.p.Consistent(s.ground("2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("{(2)} with master {1} should be inconsistent")
+	}
+	var pruned, violation bool
+	for _, k := range sink.Kinds() {
+		switch k {
+		case "model_pruned":
+			pruned = true
+		case "cc_violation":
+			violation = true
+		}
+	}
+	if !pruned {
+		t.Errorf("flight tracer missed model_pruned: %v", sink.Kinds())
+	}
+	if violation {
+		t.Errorf("flight tracer paid for cc_violation diagnosis: %v", sink.Kinds())
 	}
 }
 

@@ -29,7 +29,7 @@ import (
 // FO and FP are undecidable (Theorem 4.5).
 
 func (p *Problem) rcqpStrongOrViable(m Model) (bool, error) {
-	defer p.Options.Obs.StartPhase("rcqp")()
+	defer p.span("rcqp")()
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, fmt.Errorf("RCQP(%s), %s model: %w", p.Query.Lang(), m, ErrUndecidable)

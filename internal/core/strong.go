@@ -76,7 +76,7 @@ func (p *Problem) RCDPExplain(ci *ctable.CInstance, m Model) (ok bool, cex *Coun
 // first-hit engine returns the counterexample of the lowest-index
 // failing model, which is exactly the one the sequential scan reports.
 func (p *Problem) rcdpStrong(ci *ctable.CInstance) (bool, *Counterexample, error) {
-	defer p.Options.Obs.StartPhase("rcdp_strong")()
+	defer p.span("rcdp_strong")()
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, nil, fmt.Errorf("RCDP(%s), strong model: %w", p.Query.Lang(), ErrUndecidable)
@@ -453,7 +453,7 @@ func (p *Problem) tableauCounterexample(db *relation.Database, tab *query.Tablea
 // partially closed and is available for CQ, UCQ and ∃FO+ (Πp2 by
 // Theorem 4.1 restricted to ground instances).
 func (p *Problem) GroundComplete(db *relation.Database) (bool, *Counterexample, error) {
-	defer p.Options.Obs.StartPhase("ground_complete")()
+	defer p.span("ground_complete")()
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, nil, fmt.Errorf("ground completeness for %s: %w", p.Query.Lang(), ErrUndecidable)
@@ -494,7 +494,7 @@ func (p *Problem) MINP(ci *ctable.CInstance, m Model) (bool, error) {
 // complete ground instance — by Lemma 4.7(b) it suffices to check that
 // no single-tuple removal of I stays complete.
 func (p *Problem) minpStrong(ci *ctable.CInstance) (bool, error) {
-	defer p.Options.Obs.StartPhase("minp_strong")()
+	defer p.span("minp_strong")()
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, fmt.Errorf("MINP(%s), strong model: %w", p.Query.Lang(), ErrUndecidable)

@@ -27,7 +27,7 @@ import (
 // failure path probes every model in either schedule, so the choice is
 // deterministic).
 func (p *Problem) rcdpViable(ci *ctable.CInstance) (bool, *Counterexample, error) {
-	defer p.Options.Obs.StartPhase("rcdp_viable")()
+	defer p.span("rcdp_viable")()
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, nil, fmt.Errorf("RCDP(%s), viable model: %w", p.Query.Lang(), ErrUndecidable)
@@ -85,7 +85,7 @@ func (p *Problem) rcdpViable(ci *ctable.CInstance) (bool, *Counterexample, error
 // c-instance iff some I ∈ ModAdom(T) is a minimal complete ground
 // instance.
 func (p *Problem) minpViable(ci *ctable.CInstance) (bool, error) {
-	defer p.Options.Obs.StartPhase("minp_viable")()
+	defer p.span("minp_viable")()
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, fmt.Errorf("MINP(%s), viable model: %w", p.Query.Lang(), ErrUndecidable)

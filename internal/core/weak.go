@@ -21,7 +21,7 @@ import (
 // CertainAnswers computes ∩_{I ∈ ModAdom(T, Dm, V)} Q(I), the certain
 // answers of Q on the c-instance. ErrInconsistent when Mod is empty.
 func (p *Problem) CertainAnswers(ci *ctable.CInstance) ([]relation.Tuple, error) {
-	defer p.Options.Obs.StartPhase("certain_answers")()
+	defer p.span("certain_answers")()
 	d, err := p.domainsFor(ci, false, false)
 	if err != nil {
 		return nil, err
@@ -323,7 +323,7 @@ func (p *Problem) certainExtStreamPar(ci *ctable.CInstance, d *domains, stopWith
 // Mod(T) are computed first so the extension stream can stop as soon
 // as containment is established.
 func (p *Problem) rcdpWeak(ci *ctable.CInstance) (bool, error) {
-	defer p.Options.Obs.StartPhase("rcdp_weak")()
+	defer p.span("rcdp_weak")()
 	if p.Query.Lang() == FO {
 		return false, fmt.Errorf("RCDP(FO), weak model: %w", ErrUndecidable)
 	}
@@ -432,7 +432,7 @@ func (p *Problem) ConstructWeaklyComplete() (*relation.Database, error) {
 // that no proper row subset is), which matches the Πp4 upper bound for
 // UCQ/∃FO+ and coNEXPTIME for FP.
 func (p *Problem) minpWeak(ci *ctable.CInstance) (bool, error) {
-	defer p.Options.Obs.StartPhase("minp_weak")()
+	defer p.span("minp_weak")()
 	if p.Query.Lang() == FO {
 		return false, fmt.Errorf("MINP(FO), weak model: %w", ErrUndecidable)
 	}

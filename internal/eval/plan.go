@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"relcomplete/internal/obs"
 	"relcomplete/internal/query"
@@ -303,6 +304,7 @@ type planRun struct {
 	// hot row loop free of atomic operations when metrics are enabled
 	// and of everything but dead stores when they are not.
 	m             *obs.Metrics
+	started       time.Time // set only when m != nil; feeds PlanExecNs
 	rowsProbed    int64
 	rowsEmitted   int64
 	shortCircuits int64
@@ -337,6 +339,7 @@ func (rt *planRun) finish() {
 	rt.m.Add(obs.RowsProbed, rt.rowsProbed)
 	rt.m.Add(obs.RowsEmitted, rt.rowsEmitted)
 	rt.m.Add(obs.ShortCircuits, rt.shortCircuits)
+	rt.m.Observe(obs.PlanExecNs, time.Since(rt.started).Nanoseconds())
 }
 
 func (p *Plan) newRun(db *relation.Database, opts Options) (*planRun, error) {
@@ -348,7 +351,7 @@ func (p *Plan) newRun(db *relation.Database, opts Options) (*planRun, error) {
 		}
 		insts[i] = inst
 	}
-	return &planRun{
+	rt := &planRun{
 		frame:      make([]relation.Value, p.nSlots),
 		bound:      make([]bool, p.nSlots),
 		adom:       evalDomain(db, p.q, opts),
@@ -358,7 +361,11 @@ func (p *Plan) newRun(db *relation.Database, opts Options) (*planRun, error) {
 		strategies: make(map[*atomNode]*atomStrategy, 8),
 		keyBuf:     make([]byte, 0, 64),
 		m:          opts.Obs,
-	}, nil
+	}
+	if rt.m != nil {
+		rt.started = time.Now() // clock read only on instrumented runs
+	}
+	return rt, nil
 }
 
 // unboundOf filters slots down to the ones not bound in rt.

@@ -107,14 +107,34 @@ func (c Counter) String() string {
 	return counterNames[c]
 }
 
-// Metrics is a set of atomic counters plus named phase timings. The
-// zero value is ready to use; a nil *Metrics is inert. All methods are
-// safe for concurrent use.
+// CounterByName is the inverse of Counter.String.
+func CounterByName(name string) (Counter, bool) {
+	for c := Counter(0); c < numCounters; c++ {
+		if counterNames[c] == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Metrics is a set of atomic counters, fixed-boundary histograms and
+// named phase timings. The zero value is ready to use; a nil *Metrics
+// is inert. All methods are safe for concurrent use.
 type Metrics struct {
 	counters [numCounters]atomic.Int64
+	histos   [numHistos]histo
 
 	phaseMu sync.Mutex
 	phases  map[string]*phaseAgg
+}
+
+// histo is one histogram's storage: per-bucket observation counts
+// (bucket i counts values ≤ bounds[i]; the bucket after the last bound
+// is +Inf) and the running sum of observed values. Bounds live in
+// histoDefs, so the storage is a flat array of atomics.
+type histo struct {
+	counts [maxHistoBuckets]atomic.Int64
+	sum    atomic.Int64
 }
 
 type phaseAgg struct {
@@ -186,13 +206,15 @@ type PhaseStat struct {
 // encoding/json (rcheck -json, the rcbench debug endpoint) and for
 // human summaries.
 type Stats struct {
-	Counters map[string]int64 `json:"counters"`
-	Phases   []PhaseStat      `json:"phases,omitempty"`
+	Counters   map[string]int64 `json:"counters"`
+	Phases     []PhaseStat      `json:"phases,omitempty"`
+	Histograms []HistogramStat  `json:"histograms,omitempty"`
 }
 
-// Snapshot captures the current counter and phase values. Zero-valued
-// counters are omitted so the JSON stays readable. A nil receiver
-// yields an empty (but non-nil-map) snapshot.
+// Snapshot captures the current counter, histogram and phase values.
+// Zero-valued counters and observation-free histograms are omitted so
+// the JSON stays readable. A nil receiver yields an empty (but
+// non-nil-map) snapshot.
 func (m *Metrics) Snapshot() Stats {
 	s := Stats{Counters: map[string]int64{}}
 	if m == nil {
@@ -201,6 +223,11 @@ func (m *Metrics) Snapshot() Stats {
 	for c := Counter(0); c < numCounters; c++ {
 		if v := m.counters[c].Load(); v != 0 {
 			s.Counters[c.String()] = v
+		}
+	}
+	for h := Histo(0); h < numHistos; h++ {
+		if st, ok := m.histoStat(h); ok {
+			s.Histograms = append(s.Histograms, st)
 		}
 	}
 	m.phaseMu.Lock()

@@ -72,14 +72,35 @@ func TestMetricsJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCounterNamesComplete round-trips every counter constant through
+// String and CounterByName. Adding a counter without a (unique) name
+// entry fails here, so the inventory cannot silently drift from the
+// exposition.
 func TestCounterNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
 	for c := Counter(0); c < numCounters; c++ {
-		if counterNames[c] == "" {
+		name := c.String()
+		if counterNames[c] == "" || name == "unknown" {
 			t.Errorf("counter %d has no name", c)
+			continue
+		}
+		if seen[name] {
+			t.Errorf("duplicate counter name %q", name)
+		}
+		seen[name] = true
+		back, ok := CounterByName(name)
+		if !ok || back != c {
+			t.Errorf("CounterByName(%q) = %v,%v, want %v", name, back, ok, c)
 		}
 	}
 	if Counter(-1).String() != "unknown" || numCounters.String() != "unknown" {
 		t.Errorf("out-of-range counters should stringify as unknown")
+	}
+	if _, ok := CounterByName("unknown"); ok {
+		t.Error("CounterByName should reject the unknown placeholder")
+	}
+	if _, ok := CounterByName("nope"); ok {
+		t.Error("CounterByName should reject unknown names")
 	}
 }
 

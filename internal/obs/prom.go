@@ -1,0 +1,149 @@
+package obs
+
+// This file is the Prometheus text exposition (format version 0.0.4)
+// for Metrics. The encoder is hand-rolled on the stdlib — no client
+// library — and emits one stable, grep-able document: every counter
+// (zero or not, so scrape series never appear and disappear), the
+// per-phase wall-clock totals as labelled counters, and every
+// histogram in the standard _bucket/_sum/_count shape.
+// ValidatePrometheusText (promvalidate.go) is the in-repo grammar
+// check CI runs against this output.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// MetricPrefix namespaces every exposed metric.
+const MetricPrefix = "relcomplete_"
+
+// ContentTypePrometheus is the Content-Type of the text exposition
+// format, for HTTP handlers serving WritePrometheus output.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the current counters, phase timings and
+// histograms in the Prometheus text exposition format. A nil receiver
+// renders the full (all-zero) counter inventory, so a scrape endpoint
+// stays well-formed before solving starts.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	bw := &errWriter{w: w}
+	for c := Counter(0); c < numCounters; c++ {
+		name := MetricPrefix + c.String() + "_total"
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, counterHelp[c])
+		fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+		fmt.Fprintf(bw, "%s %d\n", name, m.Get(c))
+	}
+
+	// Phase timings: two labelled counter families, mirroring the
+	// _sum/_count halves of a summary without quantiles.
+	var phases []PhaseStat
+	if m != nil {
+		phases = m.Snapshot().Phases // sorted by name
+	}
+	secs := MetricPrefix + "phase_seconds_total"
+	fmt.Fprintf(bw, "# HELP %s accumulated wall time per solver phase\n", secs)
+	fmt.Fprintf(bw, "# TYPE %s counter\n", secs)
+	for _, ph := range phases {
+		fmt.Fprintf(bw, "%s{phase=%q} %s\n", secs, ph.Name, formatBound(ph.Ms/1e3))
+	}
+	calls := MetricPrefix + "phase_calls_total"
+	fmt.Fprintf(bw, "# HELP %s calls per solver phase\n", calls)
+	fmt.Fprintf(bw, "# TYPE %s counter\n", calls)
+	for _, ph := range phases {
+		fmt.Fprintf(bw, "%s{phase=%q} %d\n", calls, ph.Name, ph.Count)
+	}
+
+	for h := Histo(0); h < numHistos; h++ {
+		d := &histoDefs[h]
+		name := MetricPrefix + d.name
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, d.help)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		st := histoExposition(m, h)
+		for _, b := range st.Buckets {
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, b.LE, b.Count)
+		}
+		fmt.Fprintf(bw, "%s_sum %s\n", name, formatBound(st.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", name, st.Count)
+	}
+	return bw.err
+}
+
+// PrometheusText is WritePrometheus into a string.
+func (m *Metrics) PrometheusText() string {
+	var b strings.Builder
+	m.WritePrometheus(&b)
+	return b.String()
+}
+
+// histoExposition is histoStat without the emptiness filter: scrape
+// output exposes every histogram, observed or not.
+func histoExposition(m *Metrics, h Histo) HistogramStat {
+	if m != nil {
+		st, _ := m.histoStat(h)
+		return st
+	}
+	d := &histoDefs[h]
+	st := HistogramStat{Name: d.name}
+	for i := 0; i <= len(d.bounds); i++ {
+		le := "+Inf"
+		if i < len(d.bounds) {
+			le = formatBound(float64(d.bounds[i]) / d.div)
+		}
+		st.Buckets = append(st.Buckets, HistogramBucket{LE: le})
+	}
+	return st
+}
+
+// counterHelp carries the HELP text per counter, kept alongside the
+// name table so the round-trip test catches a counter added without
+// documentation.
+var counterHelp = [numCounters]string{
+	ValuationsEnumerated:  "total valuations of c-table variables tried",
+	ModelsChecked:         "candidate models tested against the CCs",
+	ModelsAdmitted:        "candidates that satisfied every CC",
+	ExtensionsTested:      "candidate extensions tested (RCDP/MINP searches)",
+	CounterexamplesFound:  "witnesses of relative incompleteness found",
+	CCChecks:              "containment-constraint evaluations",
+	CCViolations:          "CC evaluations that failed",
+	BudgetErrors:          "searches aborted by a budget cap",
+	PlanCompilations:      "query plans compiled",
+	PlanCacheHits:         "plan reuses from a problem- or CC-level cache",
+	PlanRuns:              "executions of a compiled plan",
+	RowsProbed:            "rows fetched by atom nodes (scan or index probe)",
+	RowsEmitted:           "rows that survived an atom node's binding checks",
+	ShortCircuits:         "first-witness short-circuits (Bool / exists / or)",
+	NaiveEvaluations:      "evaluations through the naive (non-plan) evaluator",
+	DerivedTuples:         "tuples derived by FP fixpoint evaluation",
+	IndexBuilds:           "hash indexes built from scratch",
+	IndexInserts:          "incremental index maintenance inserts",
+	IndexProbes:           "LookupIndexed probes answered from an index",
+	IndexProbeHits:        "probes that found at least one row",
+	IndexProbeMisses:      "probes that found none",
+	RHSCacheHits:          "RHS answer-set reuses",
+	RHSCacheMisses:        "RHS answer sets computed fresh",
+	RHSCacheInvalidations: "cached RHS answer sets dropped as stale",
+	SearchItems:           "items handed to search workers",
+	SearchRacesResolved:   "hits discarded for a lower-index winner",
+	SearchCancellations:   "early-stop signals issued",
+	SearchCancelNs:        "total ns between stop signal and worker drain",
+}
+
+// errWriter latches the first write error so the exposition loop stays
+// unconditional.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return len(p), nil
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+		return len(p), nil
+	}
+	return n, nil
+}

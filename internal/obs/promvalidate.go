@@ -1,0 +1,312 @@
+package obs
+
+// This file is a small in-repo validator for the Prometheus text
+// exposition format (0.0.4): enough grammar to catch a malformed
+// /metrics document in CI without importing a client library. It
+// checks line syntax (HELP/TYPE comments, sample lines with optional
+// labels and timestamps), metric and label name grammar, float
+// parsability, family grouping (one TYPE per family, declared before
+// its samples, samples not interleaved across families), and the
+// histogram invariants (cumulative non-decreasing buckets, a +Inf
+// bucket, _count equal to the +Inf bucket).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidatePrometheusText checks data against the Prometheus text
+// exposition grammar and the histogram consistency rules. It returns
+// nil when the document would be accepted by a Prometheus scraper.
+func ValidatePrometheusText(data []byte) error {
+	v := &promValidator{
+		types:    map[string]string{},
+		finished: map[string]bool{},
+		hists:    map[string]*histCheck{},
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if err := v.line(line); err != nil {
+			return fmt.Errorf("line %d: %w (%q)", i+1, err, line)
+		}
+	}
+	return v.finish()
+}
+
+// histCheck accumulates one histogram family's samples for the final
+// consistency check.
+type histCheck struct {
+	prev     float64 // last cumulative bucket value
+	prevLE   float64 // last bucket bound
+	hasInf   bool
+	infCount float64
+	count    float64
+	hasCount bool
+	buckets  int
+}
+
+type promValidator struct {
+	types    map[string]string // family → declared TYPE
+	finished map[string]bool   // families whose sample block has ended
+	current  string            // family currently emitting samples
+	hists    map[string]*histCheck
+}
+
+func (v *promValidator) line(line string) error {
+	if strings.TrimSpace(line) == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return v.comment(line)
+	}
+	return v.sample(line)
+}
+
+func (v *promValidator) comment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("HELP needs a valid metric name")
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("TYPE needs a metric name and a type")
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if _, dup := v.types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if v.finished[name] || v.current == name {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		v.types[name] = typ
+		if typ == "histogram" {
+			v.hists[name] = &histCheck{}
+		}
+	}
+	return nil
+}
+
+func (v *promValidator) sample(line string) error {
+	name, labels, rest, err := splitSample(line)
+	if err != nil {
+		return err
+	}
+	valStr, _, hasTS := strings.Cut(strings.TrimSpace(rest), " ")
+	val, err := parsePromFloat(valStr)
+	if err != nil {
+		return fmt.Errorf("bad sample value %q", valStr)
+	}
+	if hasTS {
+		ts := strings.TrimSpace(rest[len(valStr):])
+		if _, err := strconv.ParseInt(strings.TrimSpace(ts), 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", ts)
+		}
+	}
+
+	fam := v.familyOf(name)
+	if v.finished[fam] {
+		return fmt.Errorf("samples of family %s are not contiguous", fam)
+	}
+	if v.current != fam {
+		if v.current != "" {
+			v.finished[v.current] = true
+		}
+		v.current = fam
+	}
+	if hc := v.hists[fam]; hc != nil {
+		return v.histSample(fam, hc, name, labels, val)
+	}
+	return nil
+}
+
+func (v *promValidator) histSample(fam string, hc *histCheck, name string, labels map[string]string, val float64) error {
+	switch name {
+	case fam + "_bucket":
+		le, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("histogram bucket without le label")
+		}
+		bound, err := parsePromFloat(le)
+		if err != nil {
+			return fmt.Errorf("bad le bound %q", le)
+		}
+		if hc.buckets > 0 && bound <= hc.prevLE {
+			return fmt.Errorf("bucket bounds not increasing (%q after %v)", le, hc.prevLE)
+		}
+		if val < hc.prev {
+			return fmt.Errorf("bucket counts not cumulative (%v after %v)", val, hc.prev)
+		}
+		if le == "+Inf" {
+			hc.hasInf = true
+			hc.infCount = val
+		}
+		hc.prev, hc.prevLE = val, bound
+		hc.buckets++
+	case fam + "_sum":
+		// Any float is fine.
+	case fam + "_count":
+		hc.count, hc.hasCount = val, true
+	case fam:
+		return fmt.Errorf("histogram family %s exposes a bare sample", fam)
+	}
+	return nil
+}
+
+func (v *promValidator) finish() error {
+	for fam, hc := range v.hists {
+		if hc.buckets == 0 && !hc.hasCount {
+			continue // declared but never sampled
+		}
+		if !hc.hasInf {
+			return fmt.Errorf("histogram %s has no +Inf bucket", fam)
+		}
+		if hc.hasCount && hc.count != hc.infCount {
+			return fmt.Errorf("histogram %s: count %v != +Inf bucket %v", fam, hc.count, hc.infCount)
+		}
+	}
+	return nil
+}
+
+// familyOf maps a sample name to its metric family: histogram and
+// summary component suffixes fold into the declared family name.
+func (v *promValidator) familyOf(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if t := v.types[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// splitSample parses `name{labels} value [ts]` into its parts; labels
+// is nil when absent.
+func splitSample(line string) (name string, labels map[string]string, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, "", fmt.Errorf("sample has no value")
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if line[i] == ' ' {
+		return name, nil, line[i+1:], nil
+	}
+	labels = map[string]string{}
+	pos := i + 1
+	for {
+		for pos < len(line) && (line[pos] == ' ' || line[pos] == ',') {
+			pos++
+		}
+		if pos < len(line) && line[pos] == '}' {
+			pos++
+			break
+		}
+		eq := strings.Index(line[pos:], "=")
+		if eq < 0 {
+			return "", nil, "", fmt.Errorf("label without =")
+		}
+		lname := strings.TrimSpace(line[pos : pos+eq])
+		if !validLabelName(lname) {
+			return "", nil, "", fmt.Errorf("invalid label name %q", lname)
+		}
+		pos += eq + 1
+		if pos >= len(line) || line[pos] != '"' {
+			return "", nil, "", fmt.Errorf("label value not quoted")
+		}
+		val, n, err := scanQuoted(line[pos:])
+		if err != nil {
+			return "", nil, "", err
+		}
+		labels[lname] = val
+		pos += n
+	}
+	if pos >= len(line) || line[pos] != ' ' {
+		return "", nil, "", fmt.Errorf("missing value after labels")
+	}
+	return name, labels, line[pos+1:], nil
+}
+
+// scanQuoted reads a double-quoted, backslash-escaped string starting
+// at s[0] == '"'; n is the number of bytes consumed including quotes.
+func scanQuoted(s string) (val string, n int, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\', '"':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), i + 1, nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// parsePromFloat accepts the exposition format's float syntax,
+// including the +Inf/-Inf/NaN spellings.
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return float64(1 << 62), nil // only compared for order; magnitude is moot
+	case "-Inf":
+		return -float64(1 << 62), nil
+	case "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "__name__" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

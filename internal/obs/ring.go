@@ -1,0 +1,110 @@
+package obs
+
+// This file is the flight recorder's storage: a bounded,
+// overwrite-oldest ring of decision-trace events that is cheap enough
+// to leave attached on every run, plus the Tee fan-out that lets one
+// tracer feed the ring and a human-readable sink at the same time.
+// When a decider call blows past Options.SlowOpThreshold, the ring is
+// what the slow-op log dumps — the last N decisions before the stall,
+// retained even though -trace was never turned on.
+
+import "sync"
+
+// DefaultRingSize is the event capacity a CLI flight recorder uses
+// when no explicit size is configured.
+const DefaultRingSize = 256
+
+// RingSink retains the most recent events emitted to it, overwriting
+// the oldest once full. All methods are safe for concurrent use; Emit
+// takes one short mutex-protected copy, so the sink is cheap enough to
+// stay attached permanently ("always-on").
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event // len(buf) grows to cap(buf), then stays
+	next  int     // overwrite position once full
+	total int64   // events ever emitted
+}
+
+// NewRingSink returns a ring retaining the last n events
+// (n <= 0 → DefaultRingSize).
+func NewRingSink(n int) *RingSink {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &RingSink{buf: make([]Event, 0, n)}
+}
+
+// Emit implements Sink.
+func (s *RingSink) Emit(ev Event) {
+	s.mu.Lock()
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, ev)
+	} else {
+		s.buf[s.next] = ev
+		s.next = (s.next + 1) % len(s.buf)
+	}
+	s.total++
+	s.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Len returns the number of retained events.
+func (s *RingSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Cap returns the ring's capacity.
+func (s *RingSink) Cap() int { return cap(s.buf) }
+
+// Total returns the number of events ever emitted.
+func (s *RingSink) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Dropped returns how many events have been overwritten.
+func (s *RingSink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total - int64(len(s.buf))
+}
+
+// Tee fans one event stream out to several sinks; nil sinks are
+// skipped. It returns nil when no sink remains and the sole sink
+// itself when only one does, so Tee(ring) costs nothing extra.
+func Tee(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeSink(live)
+}
+
+type teeSink []Sink
+
+// Emit implements Sink.
+func (t teeSink) Emit(ev Event) {
+	for _, s := range t {
+		s.Emit(ev)
+	}
+}

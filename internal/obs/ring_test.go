@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ev(kind string) Event { return Event{Kind: kind} }
+
+func TestRingSinkOverwritesOldest(t *testing.T) {
+	r := NewRingSink(4)
+	if r.Cap() != 4 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	for _, k := range []string{"a", "b", "c", "d", "e", "f"} {
+		r.Emit(ev(k))
+	}
+	var kinds []string
+	for _, e := range r.Events() {
+		kinds = append(kinds, e.Kind)
+	}
+	if got := strings.Join(kinds, ""); got != "cdef" {
+		t.Fatalf("retained = %q, want oldest-first cdef", got)
+	}
+	if r.Len() != 4 || r.Total() != 6 || r.Dropped() != 2 {
+		t.Fatalf("len=%d total=%d dropped=%d", r.Len(), r.Total(), r.Dropped())
+	}
+}
+
+func TestRingSinkDefaultSize(t *testing.T) {
+	if got := NewRingSink(0).Cap(); got != DefaultRingSize {
+		t.Fatalf("default cap = %d, want %d", got, DefaultRingSize)
+	}
+}
+
+func TestRingSinkConcurrent(t *testing.T) {
+	r := NewRingSink(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Emit(ev("x"))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 1600 || r.Len() != 16 {
+		t.Fatalf("total=%d len=%d", r.Total(), r.Len())
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Fatal("empty tee should be nil")
+	}
+	r := NewRingSink(4)
+	if got := Tee(nil, r); got != Sink(r) {
+		t.Fatal("single-sink tee should return the sink itself")
+	}
+	c := &CollectSink{}
+	Tee(r, c).Emit(ev("both"))
+	if r.Len() != 1 || len(c.Kinds()) != 1 {
+		t.Fatal("tee did not fan out")
+	}
+}
+
+func TestFlightTracerVerbosity(t *testing.T) {
+	if NewFlightTracer(nil) != nil || NewTracer(nil) != nil {
+		t.Fatal("nil sink should yield a nil tracer")
+	}
+	ring := NewRingSink(8)
+	ft := NewFlightTracer(ring)
+	if !ft.Enabled() || ft.Verbose() {
+		t.Fatal("flight tracer must be enabled but not verbose")
+	}
+	vt := NewTracer(ring)
+	if !vt.Enabled() || !vt.Verbose() {
+		t.Fatal("NewTracer must be verbose")
+	}
+	var nilT *Tracer
+	if nilT.Enabled() || nilT.Verbose() {
+		t.Fatal("nil tracer must report disabled")
+	}
+	ft.Emit("model", F("n", 1))
+	if ring.Len() != 1 {
+		t.Fatal("flight tracer did not record")
+	}
+}
+
+func TestCollectSinkCap(t *testing.T) {
+	s := &CollectSink{Cap: 2}
+	for i := 0; i < 5; i++ {
+		s.Emit(ev("e"))
+	}
+	if len(s.Events) != 2 || s.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d, want 2/3", len(s.Events), s.Dropped())
+	}
+
+	// The zero value applies the documented default cap.
+	d := &CollectSink{}
+	d.Emit(ev("one"))
+	if d.Dropped() != 0 || len(d.Events) != 1 {
+		t.Fatal("default-cap sink dropped too early")
+	}
+	d.Events = make([]Event, DefaultCollectCap)
+	d.Emit(ev("overflow"))
+	if d.Dropped() != 1 {
+		t.Fatalf("dropped = %d at the default cap, want 1", d.Dropped())
+	}
+}
+
+func TestWriteSlowOpDisabled(t *testing.T) {
+	var b strings.Builder
+	WriteSlowOp(&b, "rcdp_strong", 2*time.Second, time.Second, nil, nil)
+	out := b.String()
+	for _, want := range []string{
+		"=== SLOW OP op=rcdp_strong elapsed=2s threshold=1s ===",
+		"flight recorder: disabled",
+		"histograms: disabled",
+		"=== END SLOW OP op=rcdp_strong ===",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

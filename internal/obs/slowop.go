@@ -1,0 +1,47 @@
+package obs
+
+// This file renders the slow-op dump: the post-hoc incident record a
+// decider writes when one call exceeds the configured threshold. The
+// dump is the flight recorder's payoff — the last N decision events
+// before the stall plus the histogram distributions at that moment —
+// and its format is pinned by a golden test (testdata/slowop.golden),
+// because operators grep these out of service logs.
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteSlowOp writes the incident dump for one slow decider call: a
+// header naming the operation, its elapsed time and the threshold it
+// crossed; the flight-recorder contents (oldest first, TextSink
+// format); and the non-empty histogram snapshots of m. ring and m may
+// each be nil (rendered as "disabled"). The dump is bracketed by
+// grep-able "=== SLOW OP" / "=== END SLOW OP" markers.
+func WriteSlowOp(w io.Writer, op string, elapsed, threshold time.Duration, ring *RingSink, m *Metrics) {
+	fmt.Fprintf(w, "=== SLOW OP op=%s elapsed=%v threshold=%v ===\n", op, elapsed, threshold)
+	if ring == nil {
+		fmt.Fprintln(w, "flight recorder: disabled")
+	} else {
+		evs := ring.Events()
+		fmt.Fprintf(w, "flight recorder: %d event(s) retained, %d overwritten\n", len(evs), ring.Dropped())
+		ts := NewTextSink(w)
+		for _, ev := range evs {
+			ts.Emit(ev)
+		}
+	}
+	if m == nil {
+		fmt.Fprintln(w, "histograms: disabled")
+	} else {
+		hists := m.Snapshot().Histograms
+		fmt.Fprintf(w, "histograms: %d with observations\n", len(hists))
+		for _, h := range hists {
+			fmt.Fprintf(w, "  %s count=%d sum=%s\n", h.Name, h.Count, formatBound(h.Sum))
+			for _, b := range h.Buckets {
+				fmt.Fprintf(w, "    le=%s %d\n", b.LE, b.Count)
+			}
+		}
+	}
+	fmt.Fprintf(w, "=== END SLOW OP op=%s ===\n", op)
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// The slow-op dump is an operator-facing format that gets grepped out
+// of service logs, so its exact rendering is pinned by a golden file.
+func TestWriteSlowOpGolden(t *testing.T) {
+	ring := NewRingSink(3)
+	// One more event than capacity, so the dump shows an overwrite.
+	ring.Emit(Event{Time: 1200 * time.Microsecond, Kind: "model", Fields: []Field{F("idx", 0)}})
+	ring.Emit(Event{Time: 2500 * time.Microsecond, Depth: 1, Kind: "model_pruned", Fields: []Field{F("cc", "onlyStocked")}})
+	ring.Emit(Event{Time: 4000 * time.Microsecond, Kind: "verdict", Fields: []Field{F("holds", false)}})
+	ring.Emit(Event{Time: 5250 * time.Microsecond, Kind: "counterexample", Fields: []Field{F("tuple", "Order(a1, 23)")}})
+
+	m := NewMetrics()
+	m.ObserveDuration(DeciderWallNs, 250*time.Millisecond)
+	m.ObserveDuration(DeciderWallNs, 2*time.Second)
+	m.Observe(ModelsAdmittedPerCall, 3)
+
+	var b strings.Builder
+	WriteSlowOp(&b, "rcdp_strong", 2*time.Second, 100*time.Millisecond, ring, m)
+	got := b.String()
+
+	path := filepath.Join("testdata", "slowop.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("slow-op dump drifted from golden (rerun with -update):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -38,16 +38,33 @@ type Sink interface {
 // Tracer serialises decision-trace events to a Sink. A nil *Tracer is
 // inert, and every method nil-checks its receiver, so instrumented
 // code traces unconditionally. Enabled() lets hot paths skip building
-// expensive field payloads when no one is listening.
+// expensive field payloads when no one is listening; Verbose()
+// additionally gates the diagnosis-only re-derivations (naming the
+// violated CC) that a flight-recorder tracer must not pay for.
 type Tracer struct {
-	mu    sync.Mutex
-	sink  Sink
-	start time.Time
-	depth int
+	mu      sync.Mutex
+	sink    Sink
+	start   time.Time
+	depth   int
+	verbose bool
 }
 
-// NewTracer returns a tracer writing to sink (nil sink → nil tracer).
+// NewTracer returns a verbose tracer writing to sink (nil sink → nil
+// tracer): the full diagnostic trace, including the re-derived detail
+// events guarded by Verbose().
 func NewTracer(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink, start: time.Now(), verbose: true}
+}
+
+// NewFlightTracer returns a non-verbose tracer for the always-on
+// flight recorder: events flow to sink (typically a RingSink), but
+// Verbose() stays false, so instrumented code skips the expensive
+// diagnosis-only work (e.g. re-checking CCs constraint by constraint
+// to name a violation).
+func NewFlightTracer(sink Sink) *Tracer {
 	if sink == nil {
 		return nil
 	}
@@ -61,6 +78,11 @@ func NewTracer(sink Sink) *Tracer {
 //	    tr.Emit("model.candidate", obs.F("valuation", mu))
 //	}
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// Verbose reports whether the tracer wants diagnosis-only detail that
+// requires extra computation to produce (beyond formatting). False for
+// flight-recorder tracers, which must stay cheap enough to leave on.
+func (t *Tracer) Verbose() bool { return t != nil && t.verbose }
 
 // Emit records one event at the tracer's current depth.
 func (t *Tracer) Emit(kind string, fields ...Field) {
@@ -127,17 +149,46 @@ func (s *TextSink) Emit(ev Event) {
 	io.WriteString(s.w, b.String())
 }
 
-// CollectSink buffers events in memory; used by tests.
+// DefaultCollectCap is the buffered-event cap a zero-valued
+// CollectSink applies. Long traced runs emit one event per candidate
+// model, so an unbounded collector is a memory leak by construction;
+// callers that genuinely need more raise Cap explicitly.
+const DefaultCollectCap = 4096
+
+// CollectSink buffers events in memory, up to a cap; used by tests and
+// short diagnostic captures. Events beyond the cap are counted in
+// Dropped() and discarded (the prefix is kept — for a "last N" window
+// use RingSink instead).
 type CollectSink struct {
-	mu     sync.Mutex
-	Events []Event
+	mu      sync.Mutex
+	Events  []Event
+	dropped int64
+
+	// Cap bounds len(Events); 0 means DefaultCollectCap.
+	Cap int
 }
 
 // Emit implements Sink.
 func (s *CollectSink) Emit(ev Event) {
 	s.mu.Lock()
-	s.Events = append(s.Events, ev)
+	limit := s.Cap
+	if limit <= 0 {
+		limit = DefaultCollectCap
+	}
+	if len(s.Events) >= limit {
+		s.dropped++
+	} else {
+		s.Events = append(s.Events, ev)
+	}
 	s.mu.Unlock()
+}
+
+// Dropped returns the number of events discarded because the cap was
+// reached.
+func (s *CollectSink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // Kinds returns the kinds of all buffered events, in order.

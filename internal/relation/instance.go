@@ -152,6 +152,7 @@ func (in *Instance) LookupIndexed(positions []int, vals []Value) ([]Tuple, bool)
 		} else {
 			m.Inc(obs.IndexProbeMisses)
 		}
+		m.Observe(obs.IndexProbeRows, int64(len(rows)))
 	}
 	return rows, true
 }

@@ -132,6 +132,7 @@ func FirstHit[T, R any](ctx context.Context, workers int, m *obs.Metrics, gen Ge
 		if best.err != nil {
 			return zero, false, best.err
 		}
+		m.Observe(obs.SearchItemsPerHit, int64(idx))
 		return Hit[R]{Index: best.idx, Value: best.val}, true, nil
 	}
 
@@ -225,6 +226,7 @@ func FirstHit[T, R any](ctx context.Context, workers int, m *obs.Metrics, gen Ge
 	if best.err != nil {
 		return zero, false, best.err
 	}
+	m.Observe(obs.SearchItemsPerHit, probed)
 	return Hit[R]{Index: best.idx, Value: best.val}, true, nil
 }
 

@@ -56,4 +56,39 @@ func BenchmarkObsOverhead(b *testing.B) {
 		opts.Parallelism = 1
 		run(b, opts)
 	})
+	b.Run("ring", func(b *testing.B) {
+		// The always-on configuration the CLIs ship: metrics +
+		// histograms + non-verbose flight recorder.
+		opts := benchCoreOpts()
+		opts.Obs = relcomplete.NewMetrics()
+		ring := relcomplete.NewRingSink(0)
+		opts.Trace = relcomplete.NewFlightTracer(ring)
+		opts.FlightRecorder = ring
+		run(b, opts)
+	})
+}
+
+// BenchmarkObsHistogram prices one histogram observation: an atomic
+// bucket increment plus a sum add after a short linear bound scan.
+func BenchmarkObsHistogram(b *testing.B) {
+	m := relcomplete.NewMetrics()
+	b.Run("observe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Observe(0, int64(i)) // Histo 0 = decider wall time
+		}
+	})
+	b.Run("nil", func(b *testing.B) {
+		var nm *relcomplete.Metrics
+		for i := 0; i < b.N; i++ {
+			nm.Observe(0, int64(i))
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		m.Observe(0, 1)
+		for i := 0; i < b.N; i++ {
+			if st := m.Snapshot(); len(st.Histograms) == 0 {
+				b.Fatal("missing histograms")
+			}
+		}
+	})
 }

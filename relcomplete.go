@@ -111,6 +111,12 @@ type (
 	// Tracer streams structured decision-trace events; set it as
 	// Options.Trace. A nil *Tracer disables tracing.
 	Tracer = obs.Tracer
+	// HistogramStat is one latency/size histogram in a Stats snapshot.
+	HistogramStat = obs.HistogramStat
+	// RingSink is the bounded overwrite-oldest flight recorder; set it
+	// as Options.FlightRecorder (fed by a NewFlightTracer) to retain
+	// the last N decision events for slow-op dumps.
+	RingSink = obs.RingSink
 	// BudgetError carries the cap detail (option name, limit, consumed)
 	// of an exhausted search budget; it unwraps to ErrBudget or
 	// ErrInconclusive, so errors.Is checks keep working.
@@ -123,6 +129,16 @@ func NewMetrics() *Metrics { return obs.NewMetrics() }
 // NewTextTracer returns a tracer for Options.Trace rendering each
 // decision event as one indented text line on w.
 func NewTextTracer(w io.Writer) *Tracer { return obs.NewTracer(obs.NewTextSink(w)) }
+
+// NewRingSink returns a flight-recorder ring retaining the last n
+// events (n <= 0 uses the package default).
+func NewRingSink(n int) *RingSink { return obs.NewRingSink(n) }
+
+// NewFlightTracer returns a non-verbose tracer for Options.Trace that
+// feeds the always-on flight recorder: events reach sink (typically a
+// *RingSink), but the diagnosis-only re-derivations that make verbose
+// tracing expensive stay off.
+func NewFlightTracer(sink obs.Sink) *Tracer { return obs.NewFlightTracer(sink) }
 
 // The three completeness models of Section 2.2.
 const (
