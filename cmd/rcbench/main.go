@@ -85,6 +85,10 @@ var (
 	benchRing     = obs.NewRingSink(obs.DefaultRingSize)
 	benchTracer   = obs.NewFlightTracer(benchRing)
 	publishOnce   sync.Once
+
+	// benchCtx bounds every experiment's decider calls; -timeout
+	// replaces it with a deadline context for the whole sweep.
+	benchCtx = context.Background()
 )
 
 // benchOpts is the Options value each experiment starts from.
@@ -118,12 +122,19 @@ func run(args []string, out io.Writer) error {
 	httpAddr := fs.String("http", "", "serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address during the sweep")
 	statsOut := fs.Bool("stats", false, "print the aggregated solver counters after the sweep")
 	slowlog := fs.Duration("slowlog", 0, "dump the flight recorder and histograms to stderr when a decider call exceeds this duration (0 disables)")
+	timeout := fs.Duration("timeout", 0, "abort the whole sweep after this duration (experiments report the deadline error; 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	workersFlag = *workers
 	naiveJoinFlag = *naiveJoin
 	slowOpFlag = *slowlog
+	benchCtx = context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		benchCtx, cancel = context.WithTimeout(benchCtx, *timeout)
+		defer cancel()
+	}
 	relation.SetMetrics(benchMetrics) // index counters live behind a process-global hook
 	if *trace {
 		// Verbose tracer teed into the flight recorder, so the slow-op
@@ -320,11 +331,11 @@ func runFigure1(quick bool) ([]row, error) {
 	}{
 		{"Q1 strongly complete", func() (bool, error) {
 			p, _ := s.Problem(s.Q1, benchOpts())
-			return p.RCDP(s.T, core.Strong)
+			return p.RCDPCtx(benchCtx, s.T, core.Strong)
 		}, true},
 		{"Q2 incomplete", func() (bool, error) {
 			p, _ := s.Problem(s.Q2, benchOpts())
-			return p.RCDP(s.T, core.Strong)
+			return p.RCDPCtx(benchCtx, s.T, core.Strong)
 		}, false},
 		{"Q4 weakly complete", func() (bool, error) {
 			p, _ := s.Problem(s.Q4, benchOpts())
@@ -334,7 +345,7 @@ func runFigure1(quick bool) ([]row, error) {
 			if err != nil {
 				return false, err
 			}
-			return p.RCDP(withVar, core.Weak)
+			return p.RCDPCtx(benchCtx, withVar, core.Weak)
 		}, true},
 		{"Q4 not strongly complete", func() (bool, error) {
 			p, _ := s.Problem(s.Q4, benchOpts())
@@ -344,7 +355,7 @@ func runFigure1(quick bool) ([]row, error) {
 			if err != nil {
 				return false, err
 			}
-			return p.RCDP(withVar, core.Strong)
+			return p.RCDPCtx(benchCtx, withVar, core.Strong)
 		}, false},
 	}
 	for _, c := range cases {
@@ -383,7 +394,7 @@ func runConsistency(quick bool) ([]row, error) {
 		applyBenchOpts(&g.Problem.Options)
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
-			got, err := g.ConsistencyHolds()
+			got, err := g.ConsistencyHoldsCtx(benchCtx)
 			if err != nil {
 				return "", "", err
 			}
@@ -409,7 +420,7 @@ func runExtensibility(quick bool) ([]row, error) {
 		applyBenchOpts(&g.Problem.Options)
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
-			got, err := g.ExtensibilityHolds()
+			got, err := g.ExtensibilityHoldsCtx(benchCtx)
 			if err != nil {
 				return "", "", err
 			}
@@ -445,7 +456,7 @@ func runRCDPStrong(quick bool) ([]row, error) {
 			return nil, err
 		}
 		r, err := timed(func() (string, string, error) {
-			got, err := p.RCDP(ci, core.Strong)
+			got, err := p.RCDPCtx(benchCtx, ci, core.Strong)
 			if err != nil {
 				return "", "", err
 			}
@@ -478,7 +489,7 @@ func runRCDPWeak(quick bool) ([]row, error) {
 		applyBenchOpts(&g.Problem.Options)
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
-			got, err := g.WeaklyComplete()
+			got, err := g.WeaklyCompleteCtx(benchCtx)
 			if err != nil {
 				return "", "", err
 			}
@@ -504,7 +515,7 @@ func runRCDPViable(quick bool) ([]row, error) {
 		applyBenchOpts(&g.Problem.Options)
 		want := q.Eval()
 		r, err := timed(func() (string, string, error) {
-			got, err := g.RCDPViableHolds()
+			got, err := g.RCDPViableHoldsCtx(benchCtx)
 			if err != nil {
 				return "", "", err
 			}
@@ -537,7 +548,7 @@ func runRCDPWeakFP(quick bool) ([]row, error) {
 		}
 		applyBenchOpts(&g.Problem.Options)
 		r, err := timed(func() (string, string, error) {
-			got, err := g.WeaklyComplete()
+			got, err := g.WeaklyCompleteCtx(benchCtx)
 			if err != nil {
 				return "", "", err
 			}
@@ -563,7 +574,7 @@ func runMINPStrong(quick bool) ([]row, error) {
 		applyBenchOpts(&g.Problem.Options)
 		want := !q.Eval()
 		r, err := timed(func() (string, string, error) {
-			got, err := g.MINPStrongHolds()
+			got, err := g.MINPStrongHoldsCtx(benchCtx)
 			if err != nil {
 				return "", "", err
 			}
@@ -611,7 +622,7 @@ func runMINPWeakCQ(quick bool) ([]row, error) {
 		applyBenchOpts(&g.Problem.Options)
 		want := !inst.Eval()
 		r, err := timed(func() (string, string, error) {
-			got, err := g.MinimalWeaklyComplete()
+			got, err := g.MinimalWeaklyCompleteCtx(benchCtx)
 			if err != nil {
 				return "", "", err
 			}
@@ -638,7 +649,7 @@ func runMINPWeakUCQ(quick bool) ([]row, error) {
 	for _, n := range sizes {
 		ci := s.Instance(n, 0, int64(n))
 		r, err := timed(func() (string, string, error) {
-			got, err := p.MINP(ci, core.Weak)
+			got, err := p.MINPCtx(benchCtx, ci, core.Weak)
 			if err != nil {
 				return "", "", err
 			}
@@ -664,7 +675,7 @@ func runMINPViable(quick bool) ([]row, error) {
 		applyBenchOpts(&g.Problem.Options)
 		want := q.Eval()
 		r, err := timed(func() (string, string, error) {
-			got, err := g.MINPViableHolds()
+			got, err := g.MINPViableHoldsCtx(benchCtx)
 			if err != nil {
 				return "", "", err
 			}
@@ -691,7 +702,7 @@ func runRCQPStrong(quick bool) ([]row, error) {
 	}
 	pInd := core.MustProblem(s.Data, core.CalcQuery(s.Q1), s.Dm, ccSet, benchOpts())
 	r, err := timed(func() (string, string, error) {
-		got, err := pInd.RCQP(core.Strong)
+		got, err := pInd.RCQPCtx(benchCtx, core.Strong)
 		if err != nil {
 			return "", "", err
 		}
@@ -709,7 +720,7 @@ func runRCQPStrong(quick bool) ([]row, error) {
 		return nil, err
 	}
 	r2, err := timed(func() (string, string, error) {
-		got, err := pSearch.RCQP(core.Strong)
+		got, err := pSearch.RCQPCtx(benchCtx, core.Strong)
 		if err != nil {
 			return "", "", err
 		}
@@ -732,11 +743,11 @@ func runRCQPWeak(quick bool) ([]row, error) {
 	for _, catalogue := range sizes {
 		s := workload.NewBoundedScenario(catalogue, benchOpts())
 		r, err := timed(func() (string, string, error) {
-			witness, err := s.Problem.ConstructWeaklyComplete()
+			witness, err := s.Problem.ConstructWeaklyCompleteCtx(benchCtx)
 			if err != nil {
 				return "", "", err
 			}
-			ok, err := s.Problem.RCDP(ctable.FromDatabase(witness), core.Weak)
+			ok, err := s.Problem.RCDPCtx(benchCtx, ctable.FromDatabase(witness), core.Weak)
 			if err != nil {
 				return "", "", err
 			}
@@ -767,8 +778,8 @@ func runUndecidable(quick bool) ([]row, error) {
 	cases := []c{
 		{"RCDPs(FO)", func() error { _, err := fo.RCDP(ci, core.Strong); return err }},
 		{"RCDPw(FO)", func() error { _, err := fo.RCDP(ci, core.Weak); return err }},
-		{"RCDPs(FP)", func() error { _, err := fp.RCDP(ci, core.Strong); return err }},
-		{"RCQPs(FP)", func() error { _, err := fp.RCQP(core.Strong); return err }},
+		{"RCDPs(FP)", func() error { _, err := fp.RCDPCtx(benchCtx, ci, core.Strong); return err }},
+		{"RCQPs(FP)", func() error { _, err := fp.RCQPCtx(benchCtx, core.Strong); return err }},
 		{"MINPv(FO)", func() error { _, err := fo.MINP(ci, core.Viable); return err }},
 		{"RCQPw(FO) c-inst (open)", func() error { _, err := fo.RCQP(core.Weak); return err }},
 	}

@@ -172,3 +172,16 @@ func TestRunTraceAndStats(t *testing.T) {
 		t.Fatalf("phase timings missing:\n%s", s)
 	}
 }
+
+func TestRunTimeoutExpired(t *testing.T) {
+	// A 1ns sweep deadline has fired before the first decider call; the
+	// experiment reports the deadline error and the driver keeps going.
+	var out strings.Builder
+	if err := run([]string{"-quick", "-run", "E-T1-CONS", "-timeout", "1ns"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "ERROR") || !strings.Contains(s, "deadline") {
+		t.Fatalf("want a deadline error row:\n%s", s)
+	}
+}

@@ -19,12 +19,18 @@
 // dumps the flight recorder and histogram snapshot to stderr whenever
 // one decider call exceeds the duration.
 //
-// Exit codes: 0 success, 2 when a search budget was exhausted
-// (ErrBudget / ErrInconclusive — the verdict is unknown, not "no"),
-// 1 for every other error.
+// Deadlines: -timeout <dur> bounds the whole decision with a context
+// deadline. An expired deadline exits 3 and, with -json, reports the
+// interrupted operation, elapsed time and progress snapshot in the
+// "deadline" field — the verdict is unknown, not "no".
+//
+// Exit codes: 0 success, 3 when -timeout expired, 2 when a search
+// budget was exhausted (ErrBudget / ErrInconclusive — the verdict is
+// unknown, not "no"), 1 for every other error.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -47,10 +53,16 @@ func main() {
 	}
 }
 
-// exitCode distinguishes "the search ran out of budget" (2: the
-// verdict is unknown, retry with larger caps) from genuine failures
-// (1). adom and eval carry their own budget sentinels.
+// exitCode distinguishes "the deadline expired" (3) and "the search
+// ran out of budget" (2) — both mean the verdict is unknown, retry
+// with more time or larger caps — from genuine failures (1). adom and
+// eval carry their own budget sentinels. The deadline check comes
+// first: a cancelled search may trip a budget on the way out, and the
+// deadline is the root cause.
 func exitCode(err error) int {
+	if errors.Is(err, core.ErrDeadline) {
+		return 3
+	}
 	if errors.Is(err, core.ErrBudget) || errors.Is(err, core.ErrInconclusive) ||
 		errors.Is(err, adom.ErrBudget) || errors.Is(err, eval.ErrBudget) {
 		return 2
@@ -61,15 +73,16 @@ func exitCode(err error) int {
 // result is the single JSON object -json prints: the verdict (absent
 // on error), any problem-specific payload, and the solver stats.
 type result struct {
-	Problem        string    `json:"problem"`
-	Model          string    `json:"model,omitempty"`
-	Verdict        *bool     `json:"verdict,omitempty"`
-	Counterexample string    `json:"counterexample,omitempty"`
-	CertainAnswers []string  `json:"certain_answers,omitempty"`
-	Models         []string  `json:"models,omitempty"`
-	Error          string    `json:"error,omitempty"`
-	Budget         *capInfo  `json:"budget,omitempty"`
-	Stats          obs.Stats `json:"stats"`
+	Problem        string        `json:"problem"`
+	Model          string        `json:"model,omitempty"`
+	Verdict        *bool         `json:"verdict,omitempty"`
+	Counterexample string        `json:"counterexample,omitempty"`
+	CertainAnswers []string      `json:"certain_answers,omitempty"`
+	Models         []string      `json:"models,omitempty"`
+	Error          string        `json:"error,omitempty"`
+	Budget         *capInfo      `json:"budget,omitempty"`
+	Deadline       *deadlineInfo `json:"deadline,omitempty"`
+	Stats          obs.Stats     `json:"stats"`
 }
 
 // capInfo mirrors core.BudgetError for the JSON output.
@@ -78,6 +91,18 @@ type capInfo struct {
 	Cap      string `json:"cap"`
 	Limit    int64  `json:"limit"`
 	Consumed int64  `json:"consumed"`
+}
+
+// deadlineInfo mirrors core.DeadlineError for the JSON output.
+type deadlineInfo struct {
+	Op                   string `json:"op"`
+	Elapsed              string `json:"elapsed"`
+	Partial              string `json:"partial,omitempty"`
+	ModelsChecked        int64  `json:"models_checked"`
+	ModelsAdmitted       int64  `json:"models_admitted"`
+	ModelsPruned         int64  `json:"models_pruned"`
+	ValuationsEnumerated int64  `json:"valuations_enumerated"`
+	ExtensionsTested     int64  `json:"extensions_tested"`
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
@@ -91,6 +116,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 0, "worker count for the parallel searches (0 = keep the document's options.parallelism, or GOMAXPROCS; -trace defaults to 1)")
 	metricsOut := fs.String("metrics-out", "", "write the final metrics in Prometheus text format to this file (- for stdout)")
 	slowlog := fs.Duration("slowlog", 0, "dump the flight recorder and histograms to stderr when a decider call exceeds this duration (0 disables)")
+	timeout := fs.Duration("timeout", 0, "abort the decision after this duration (exit 3; 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -117,6 +143,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	m, err := parseModel(*model)
 	if err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	metrics := obs.NewMetrics()
@@ -178,6 +210,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			if errors.As(runErr, &be) {
 				res.Budget = &capInfo{Op: be.Op, Cap: be.Cap, Limit: be.Limit, Consumed: be.Consumed}
 			}
+			var de *core.DeadlineError
+			if errors.As(runErr, &de) {
+				res.Deadline = &deadlineInfo{
+					Op:                   de.Op,
+					Elapsed:              de.Elapsed.String(),
+					Partial:              de.Partial,
+					ModelsChecked:        de.Progress.ModelsChecked,
+					ModelsAdmitted:       de.Progress.ModelsAdmitted,
+					ModelsPruned:         de.Progress.ModelsPruned,
+					ValuationsEnumerated: de.Progress.ValuationsEnumerated,
+					ExtensionsTested:     de.Progress.ExtensionsTested,
+				}
+			}
 		}
 		res.Stats = metrics.Snapshot()
 		enc := json.NewEncoder(stdout)
@@ -191,27 +236,27 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	switch *problem {
 	case "consistency":
 		res.Model = ""
-		ok, err := p.Consistent(ci)
+		ok, err := p.ConsistentCtx(ctx, ci)
 		if err != nil {
 			return emit(err)
 		}
 		report("Mod(T, Dm, V) non-empty", ok)
 	case "extensibility":
 		res.Model = ""
-		db, err := p.AnyModel(ci)
+		db, err := p.AnyModelCtx(ctx, ci)
 		if err != nil {
 			return emit(err)
 		}
 		if db == nil {
 			return emit(core.ErrInconsistent)
 		}
-		ok, err := p.Extensible(db)
+		ok, err := p.ExtensibleCtx(ctx, db)
 		if err != nil {
 			return emit(err)
 		}
 		report("Ext(I, Dm, V) non-empty (on one model of T)", ok)
 	case "rcdp":
-		ok, cex, err := p.RCDPExplain(ci, m)
+		ok, cex, err := p.RCDPExplainCtx(ctx, ci, m)
 		if err != nil {
 			return emit(err)
 		}
@@ -223,20 +268,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			}
 		}
 	case "rcqp":
-		ok, err := p.RCQP(m)
+		ok, err := p.RCQPCtx(ctx, m)
 		if err != nil {
 			return emit(err)
 		}
 		report(fmt.Sprintf("RCQ%s(Q, Dm, V) non-empty", modelSuffix(m)), ok)
 	case "minp":
-		ok, err := p.MINP(ci, m)
+		ok, err := p.MINPCtx(ctx, ci, m)
 		if err != nil {
 			return emit(err)
 		}
 		report(fmt.Sprintf("T minimal in RCQ%s(Q, Dm, V)", modelSuffix(m)), ok)
 	case "certain":
 		res.Model = ""
-		ans, err := p.CertainAnswers(ci)
+		ans, err := p.CertainAnswersCtx(ctx, ci)
 		if err != nil {
 			return emit(err)
 		}
@@ -252,7 +297,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 	case "models":
 		res.Model = ""
-		models, err := p.Models(ci, *maxModels)
+		models, err := p.ModelsCtx(ctx, ci, *maxModels)
 		if err != nil {
 			return emit(err)
 		}
@@ -320,6 +365,8 @@ func describe(err error) error {
 		return fmt.Errorf("%w\n(the paper's Table I proves this cell undecidable; restrict the query language)", err)
 	case errors.Is(err, core.ErrOpen):
 		return fmt.Errorf("%w\n(the paper leaves this cell open)", err)
+	case errors.Is(err, core.ErrDeadline):
+		return fmt.Errorf("%w\n(the -timeout deadline expired; the verdict is unknown — raise -timeout)", err)
 	case errors.Is(err, core.ErrInconsistent):
 		return fmt.Errorf("%w\n(run -problem consistency to inspect)", err)
 	case errors.As(err, &be) && errors.Is(err, core.ErrInconclusive):

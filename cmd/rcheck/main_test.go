@@ -381,3 +381,52 @@ func TestRCheckSlowlog(t *testing.T) {
 		t.Error("slow-op dump leaked to stdout")
 	}
 }
+
+func TestRCheckTimeoutExpired(t *testing.T) {
+	// A 1ns deadline has fired before the decider starts: deterministic
+	// deadline error, exit code 3, "deadline" detail in -json.
+	path := writeSample(t)
+	out, err := runCheck(t, "-problem", "rcdp", "-model", "weak", "-timeout", "1ns", "-json", path)
+	if err == nil {
+		t.Fatal("want a deadline error, got nil")
+	}
+	if !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	if got := exitCode(err); got != 3 {
+		t.Fatalf("exit code = %d, want 3", got)
+	}
+	var res result
+	if jerr := json.Unmarshal([]byte(out), &res); jerr != nil {
+		t.Fatalf("bad JSON: %v\n%s", jerr, out)
+	}
+	if res.Deadline == nil {
+		t.Fatalf("no deadline detail in %s", out)
+	}
+	if res.Deadline.Op == "" || res.Deadline.Elapsed == "" {
+		t.Fatalf("incomplete deadline detail: %+v", res.Deadline)
+	}
+	if res.Verdict != nil {
+		t.Fatalf("verdict must be absent on deadline, got %v", *res.Verdict)
+	}
+}
+
+func TestRCheckTimeoutGenerous(t *testing.T) {
+	// A generous deadline changes nothing: same verdict, no deadline
+	// detail, exit path clean.
+	path := writeSample(t)
+	out, err := runCheck(t, "-problem", "rcdp", "-model", "weak", "-timeout", "1h", "-json", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if jerr := json.Unmarshal([]byte(out), &res); jerr != nil {
+		t.Fatalf("bad JSON: %v\n%s", jerr, out)
+	}
+	if res.Deadline != nil {
+		t.Fatalf("unexpected deadline detail: %+v", res.Deadline)
+	}
+	if res.Verdict == nil || !*res.Verdict {
+		t.Fatalf("want verdict true, got %v", res.Verdict)
+	}
+}

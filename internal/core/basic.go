@@ -18,17 +18,30 @@ import (
 // PartiallyClosed reports whether the ground instance satisfies V, i.e.
 // (I, Dm) ⊨ V.
 func (p *Problem) PartiallyClosed(db *relation.Database) (bool, error) {
-	return p.satisfiesCCs(db)
+	return p.PartiallyClosedCtx(context.Background(), db)
+}
+
+// PartiallyClosedCtx is PartiallyClosed honoring the context's deadline
+// and cancellation; an abort surfaces as a *DeadlineError.
+func (p *Problem) PartiallyClosedCtx(ctx context.Context, db *relation.Database) (bool, error) {
+	g := p.beginOp(ctx, "partial_closure", "check interrupted")
+	ok, err := p.satisfiesCCs(ctx, db)
+	return ok, g.wrap(err)
 }
 
 // forEachModel enumerates ModAdom(T, Dm, V): for every valuation µ of
 // T's variables over the active domain with (µ(T), Dm) ⊨ V, fn is
 // called with µ(T). Distinct valuations yielding the same ground
 // instance are deduplicated. Enumeration stops when fn returns false.
-func (p *Problem) forEachModel(ci *ctable.CInstance, d *domains,
+// The context is consulted per valuation, so a deadline interrupts the
+// enumeration itself, not just the work between candidates.
+func (p *Problem) forEachModel(ctx context.Context, ci *ctable.CInstance, d *domains,
 	fn func(db *relation.Database, mu ctable.Valuation) (bool, error)) error {
 	seen := map[string]bool{}
 	visit := func(mu ctable.Valuation) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		p.Options.Obs.Inc(obs.ValuationsEnumerated)
 		db, err := ci.Apply(mu)
 		if err != nil {
@@ -39,7 +52,7 @@ func (p *Problem) forEachModel(ci *ctable.CInstance, d *domains,
 			return true, nil
 		}
 		seen[key] = true
-		ok, err := p.checkModel(db)
+		ok, err := p.checkModel(ctx, db)
 		if err != nil {
 			return false, err
 		}
@@ -71,10 +84,13 @@ func (p *Problem) forEachModel(ci *ctable.CInstance, d *domains,
 // over genErr: the sequential loop would have stopped at the decisive
 // candidate before ever reaching the enumeration failure, since the
 // generator outruns the probes only in the parallel schedule.
-func (p *Problem) modelCandidates(ci *ctable.CInstance, d *domains, genErr *error) search.Generator[*relation.Database] {
+func (p *Problem) modelCandidates(ctx context.Context, ci *ctable.CInstance, d *domains, genErr *error) search.Generator[*relation.Database] {
 	return func(yield func(*relation.Database) bool) {
 		seen := map[string]bool{}
 		visit := func(mu ctable.Valuation) (bool, error) {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
 			p.Options.Obs.Inc(obs.ValuationsEnumerated)
 			db, err := ci.Apply(mu)
 			if err != nil {
@@ -115,23 +131,30 @@ func dbKey(db *relation.Database) string {
 // non-empty? (Proposition 3.3; Σp2-complete.) The CC checks of the
 // candidate valuations fan out over Options.Parallelism workers.
 func (p *Problem) Consistent(ci *ctable.CInstance) (bool, error) {
+	return p.ConsistentCtx(context.Background(), ci)
+}
+
+// ConsistentCtx is Consistent honoring the context's deadline and
+// cancellation; an abort surfaces as a *DeadlineError.
+func (p *Problem) ConsistentCtx(ctx context.Context, ci *ctable.CInstance) (bool, error) {
 	defer p.span("consistency")()
+	g := p.beginOp(ctx, "consistency", "no model found among %d candidates checked")
 	d, err := p.domainsFor(ci, false, false)
 	if err != nil {
 		return false, err
 	}
 	var genErr error
 	probe := func(ctx context.Context, idx int, db *relation.Database) (struct{}, bool, error) {
-		ok, err := p.checkModel(db)
+		ok, err := p.checkModel(ctx, db)
 		return struct{}{}, ok, err
 	}
-	_, found, err := search.FirstHit(context.Background(), p.Options.workers(), p.Options.Obs,
-		p.modelCandidates(ci, d, &genErr), probe)
+	_, found, err := search.FirstHit(ctx, p.Options.workers(), p.Options.Obs,
+		p.modelCandidates(ctx, ci, d, &genErr), probe)
 	if err != nil {
-		return false, err
+		return false, g.wrap(err)
 	}
 	if !found && genErr != nil {
-		return false, genErr
+		return false, g.wrap(genErr)
 	}
 	return found, nil
 }
@@ -139,30 +162,42 @@ func (p *Problem) Consistent(ci *ctable.CInstance) (bool, error) {
 // AnyModel returns one member of ModAdom(T, Dm, V), or nil when the
 // c-instance is inconsistent.
 func (p *Problem) AnyModel(ci *ctable.CInstance) (*relation.Database, error) {
+	return p.AnyModelCtx(context.Background(), ci)
+}
+
+// AnyModelCtx is AnyModel honoring the context's deadline.
+func (p *Problem) AnyModelCtx(ctx context.Context, ci *ctable.CInstance) (*relation.Database, error) {
+	g := p.beginOp(ctx, "any_model", "no model found among %d candidates checked")
 	d, err := p.domainsFor(ci, false, false)
 	if err != nil {
 		return nil, err
 	}
 	var out *relation.Database
-	err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
+	err = p.forEachModel(ctx, ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
 		out = db
 		return false, nil
 	})
-	return out, err
+	return out, g.wrap(err)
 }
 
 // Models materialises ModAdom(T, Dm, V) up to max instances (0 = all).
 func (p *Problem) Models(ci *ctable.CInstance, max int) ([]*relation.Database, error) {
+	return p.ModelsCtx(context.Background(), ci, max)
+}
+
+// ModelsCtx is Models honoring the context's deadline.
+func (p *Problem) ModelsCtx(ctx context.Context, ci *ctable.CInstance, max int) ([]*relation.Database, error) {
+	g := p.beginOp(ctx, "models", "%d candidates checked")
 	d, err := p.domainsFor(ci, false, false)
 	if err != nil {
 		return nil, err
 	}
 	var out []*relation.Database
-	err = p.forEachModel(ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
+	err = p.forEachModel(ctx, ci, d, func(db *relation.Database, mu ctable.Valuation) (bool, error) {
 		out = append(out, db)
 		return max == 0 || len(out) < max, nil
 	})
-	return out, err
+	return out, g.wrap(err)
 }
 
 // Extensible decides the extensibility problem: is Ext(I, Dm, V)
@@ -170,32 +205,38 @@ func (p *Problem) Models(ci *ctable.CInstance, max int) ([]*relation.Database, e
 // suffices to try single-tuple extensions over the active domain
 // (Proposition 3.3; Σp2-complete).
 func (p *Problem) Extensible(db *relation.Database) (bool, error) {
+	return p.ExtensibleCtx(context.Background(), db)
+}
+
+// ExtensibleCtx is Extensible honoring the context's deadline.
+func (p *Problem) ExtensibleCtx(ctx context.Context, db *relation.Database) (bool, error) {
 	defer p.span("extensibility")()
+	g := p.beginOp(ctx, "extensibility", "no admissible extension among %d candidates checked")
 	d, err := p.domainsFor(ctable.FromDatabase(db), false, true)
 	if err != nil {
 		return false, err
 	}
 	found := false
-	err = p.forEachSingleTupleExtension(db, d, func(ext *relation.Database, rel string, t relation.Tuple) (bool, error) {
+	err = p.forEachSingleTupleExtension(ctx, db, d, func(ext *relation.Database, rel string, t relation.Tuple) (bool, error) {
 		found = true
 		return false, nil
 	})
-	return found, err
+	return found, g.wrap(err)
 }
 
 // forEachSingleTupleExtension enumerates every partially closed
 // extension I ∪ {t} of db with t a fresh tuple over the active domain
 // (respecting finite attribute domains).
-func (p *Problem) forEachSingleTupleExtension(db *relation.Database, d *domains,
+func (p *Problem) forEachSingleTupleExtension(ctx context.Context, db *relation.Database, d *domains,
 	fn func(ext *relation.Database, rel string, t relation.Tuple) (bool, error)) error {
 	for _, r := range p.Schema.Relations() {
-		cont, err := p.latticeOver(r, d, func(t relation.Tuple) (bool, error) {
+		cont, err := p.latticeOver(ctx, r, d, func(t relation.Tuple) (bool, error) {
 			if db.Relation(r.Name).Contains(t) {
 				return true, nil
 			}
 			p.Options.Obs.Inc(obs.ExtensionsTested)
 			ext := db.WithTuple(r.Name, t)
-			ok, err := p.satisfiesCCs(ext)
+			ok, err := p.satisfiesCCs(ctx, ext)
 			if err != nil {
 				return false, err
 			}
@@ -213,25 +254,29 @@ func (p *Problem) forEachSingleTupleExtension(db *relation.Database, d *domains,
 
 // latticeOver enumerates the candidate lattice of one relation under
 // the typing (or the full Adom lattice when typing is off).
-func (p *Problem) latticeOver(r *relation.Schema, d *domains,
+func (p *Problem) latticeOver(ctx context.Context, r *relation.Schema, d *domains,
 	fn func(t relation.Tuple) (bool, error)) (bool, error) {
 	if d.ty != nil {
-		return p.typedTuplesOver(r, d.a, d.ty, fn)
+		return p.typedTuplesOver(ctx, r, d.a, d.ty, fn)
 	}
-	return p.tuplesOver(r, d.a, fn)
+	return p.tuplesOver(ctx, r, d.a, fn)
 }
 
 // tuplesOver enumerates the tuples of the lattice L for one relation:
 // every combination of active-domain values admissible in the
 // relation's attribute domains. It reports whether enumeration ran to
-// completion.
-func (p *Problem) tuplesOver(r *relation.Schema, a *adom.Adom,
+// completion. The context is consulted per leaf, so a deadline
+// interrupts even a lattice whose callback never stops it.
+func (p *Problem) tuplesOver(ctx context.Context, r *relation.Schema, a *adom.Adom,
 	fn func(t relation.Tuple) (bool, error)) (bool, error) {
 	t := make(relation.Tuple, r.Arity())
 	tried := 0
 	var rec func(i int) (bool, error)
 	rec = func(i int) (bool, error) {
 		if i == r.Arity() {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
 			tried++
 			if p.Options.MaxValuations > 0 && tried > p.Options.MaxValuations {
 				return false, p.budgetErr("tuple lattice over "+r.Name, "MaxValuations",

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"relcomplete/internal/cc"
 	"relcomplete/internal/ctable"
 	"relcomplete/internal/eval"
+	"relcomplete/internal/fault"
 	"relcomplete/internal/obs"
 	"relcomplete/internal/query"
 	"relcomplete/internal/relation"
@@ -232,6 +234,11 @@ type Options struct {
 	SlowOpThreshold time.Duration
 	// SlowOpSink receives slow-op dumps (nil → os.Stderr).
 	SlowOpSink io.Writer
+	// FaultPlan arms the deterministic fault-injection harness at the
+	// deciders' instrumented sites (internal/fault) — tests only. nil
+	// (the default, always in production) is inert and costs one nil
+	// test per site.
+	FaultPlan *fault.Plan
 }
 
 func (o Options) workers() int {
@@ -320,7 +327,21 @@ func MustProblem(schema *relation.DBSchema, q Qry, master *relation.Database, cc
 
 // evalOpts builds the evaluation options used throughout.
 func (p *Problem) evalOpts() eval.Options {
-	return eval.Options{MaxDerived: p.Options.MaxDerived, NaiveJoin: p.Options.NaiveJoin, Obs: p.Options.Obs}
+	return eval.Options{MaxDerived: p.Options.MaxDerived, NaiveJoin: p.Options.NaiveJoin,
+		Obs: p.Options.Obs, Fault: p.Options.FaultPlan}
+}
+
+// evalOptsCtx is evalOpts with the context's cancellation wired into
+// the evaluator's Interrupt hook, so that a deadline interrupts even a
+// single long evaluation (an FP fixpoint on a large model) instead of
+// waiting for it to finish. The Background fast path (no Done channel)
+// leaves the hook nil and costs nothing.
+func (p *Problem) evalOptsCtx(ctx context.Context) eval.Options {
+	o := p.evalOpts()
+	if ctx != nil && ctx.Done() != nil {
+		o.Interrupt = ctx.Err
+	}
+	return o
 }
 
 // nopSpan is the shared no-op closer for uninstrumented spans.
@@ -393,23 +414,23 @@ func (p *Problem) queryPlan() *eval.Plan {
 }
 
 // answers evaluates the problem's query on a ground database.
-func (p *Problem) answers(db *relation.Database) ([]relation.Tuple, error) {
+func (p *Problem) answers(ctx context.Context, db *relation.Database) ([]relation.Tuple, error) {
 	if p.Query.Prog != nil {
-		return eval.FPAnswers(db, p.Query.Prog, p.evalOpts())
+		return eval.FPAnswers(db, p.Query.Prog, p.evalOptsCtx(ctx))
 	}
 	if plan := p.queryPlan(); plan != nil {
-		return plan.Answers(db, p.evalOpts())
+		return plan.Answers(db, p.evalOptsCtx(ctx))
 	}
-	return eval.Answers(db, p.Query.Calc, p.evalOpts())
+	return eval.Answers(db, p.Query.Calc, p.evalOptsCtx(ctx))
 }
 
 // sameAnswers reports whether Q agrees on two databases.
-func (p *Problem) sameAnswers(db1, db2 *relation.Database) (bool, error) {
-	a1, err := p.answers(db1)
+func (p *Problem) sameAnswers(ctx context.Context, db1, db2 *relation.Database) (bool, error) {
+	a1, err := p.answers(ctx, db1)
 	if err != nil {
 		return false, err
 	}
-	a2, err := p.answers(db2)
+	a2, err := p.answers(ctx, db2)
 	if err != nil {
 		return false, err
 	}
@@ -650,10 +671,10 @@ func (p *Problem) adomFor(ci *ctable.CInstance, withQueryVars, withExtRow bool) 
 }
 
 // satisfiesCCs reports (I, Dm) ⊨ V.
-func (p *Problem) satisfiesCCs(db *relation.Database) (bool, error) {
+func (p *Problem) satisfiesCCs(ctx context.Context, db *relation.Database) (bool, error) {
 	m := p.Options.Obs
 	m.Inc(obs.CCChecks)
-	ok, err := p.CCs.Satisfied(db, p.Master, p.evalOpts())
+	ok, err := p.CCs.Satisfied(db, p.Master, p.evalOptsCtx(ctx))
 	if err == nil && !ok {
 		m.Inc(obs.CCViolations)
 	}
@@ -664,13 +685,13 @@ func (p *Problem) satisfiesCCs(db *relation.Database) (bool, error) {
 // name the one that pruned db, emitting a cc_violation event. Only
 // done for verbose tracers; the extra evaluation is the price of the
 // diagnosis, and the always-on flight recorder must not pay it.
-func (p *Problem) traceCCViolation(db *relation.Database) {
+func (p *Problem) traceCCViolation(ctx context.Context, db *relation.Database) {
 	tr := p.Options.Trace
 	if !tr.Verbose() || p.CCs == nil {
 		return
 	}
 	for _, c := range p.CCs.Constraints {
-		ok, err := c.Satisfied(db, p.Master, p.evalOpts())
+		ok, err := c.Satisfied(db, p.Master, p.evalOptsCtx(ctx))
 		if err == nil && !ok {
 			tr.Emit("cc_violation", obs.F("cc", c.String()))
 			return
@@ -682,11 +703,14 @@ func (p *Problem) traceCCViolation(db *relation.Database) {
 // c-instance: the same verdict, with the candidate-level counters and
 // decision-trace events attached. Every decider probe routes its
 // model admission through here.
-func (p *Problem) checkModel(db *relation.Database) (bool, error) {
+func (p *Problem) checkModel(ctx context.Context, db *relation.Database) (bool, error) {
+	if err := p.Options.FaultPlan.Visit(fault.SiteSearchWorker); err != nil {
+		return false, err
+	}
 	m := p.Options.Obs
 	tr := p.Options.Trace
 	m.Inc(obs.ModelsChecked)
-	ok, err := p.satisfiesCCs(db)
+	ok, err := p.satisfiesCCs(ctx, db)
 	if err != nil {
 		return false, err
 	}
@@ -697,7 +721,7 @@ func (p *Problem) checkModel(db *relation.Database) (bool, error) {
 		}
 	} else if tr.Enabled() {
 		tr.Emit("model_pruned", obs.F("db", db.String()))
-		p.traceCCViolation(db)
+		p.traceCCViolation(ctx, db)
 	}
 	return ok, nil
 }

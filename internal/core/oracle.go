@@ -26,7 +26,14 @@ import (
 // also usable for FP and FO queries on small inputs, where no
 // production decider exists.
 func (p *Problem) ReferenceGroundComplete(db *relation.Database, extra int) (bool, error) {
-	closed, err := p.satisfiesCCs(db)
+	return p.ReferenceGroundCompleteCtx(context.Background(), db, extra)
+}
+
+// ReferenceGroundCompleteCtx is ReferenceGroundComplete honoring the
+// context's deadline.
+func (p *Problem) ReferenceGroundCompleteCtx(ctx context.Context, db *relation.Database, extra int) (bool, error) {
+	g := p.beginOp(ctx, "reference_ground_complete", "no counterexample found in %d models")
+	closed, err := p.satisfiesCCs(ctx, db)
 	if err != nil {
 		return false, err
 	}
@@ -39,21 +46,21 @@ func (p *Problem) ReferenceGroundComplete(db *relation.Database, extra int) (boo
 	}
 	var lattice []relation.Located
 	for _, r := range p.Schema.Relations() {
-		done, err := p.tuplesOver(r, a, func(t relation.Tuple) (bool, error) {
+		done, err := p.tuplesOver(ctx, r, a, func(t relation.Tuple) (bool, error) {
 			if !db.Relation(r.Name).Contains(t) {
 				lattice = append(lattice, relation.Located{Rel: r.Name, Tuple: t})
 			}
 			return true, nil
 		})
 		if err != nil {
-			return false, err
+			return false, g.wrap(err)
 		}
 		if !done {
 			return false, p.budgetErr("reference lattice over "+r.Name, "MaxValuations",
 				int64(p.Options.MaxValuations), int64(p.Options.MaxValuations))
 		}
 	}
-	base, err := p.answers(db)
+	base, err := p.answers(ctx, db)
 	if err != nil {
 		return false, err
 	}
@@ -63,8 +70,11 @@ func (p *Problem) ReferenceGroundComplete(db *relation.Database, extra int) (boo
 		if !complete {
 			return nil
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if added > 0 {
-			closed, err := p.satisfiesCCs(cur)
+			closed, err := p.satisfiesCCs(ctx, cur)
 			if err != nil {
 				return err
 			}
@@ -72,7 +82,7 @@ func (p *Problem) ReferenceGroundComplete(db *relation.Database, extra int) (boo
 				// Supersets stay violating (CC monotonicity): prune.
 				return nil
 			}
-			ans, err := p.answers(cur)
+			ans, err := p.answers(ctx, cur)
 			if err != nil {
 				return err
 			}
@@ -95,7 +105,7 @@ func (p *Problem) ReferenceGroundComplete(db *relation.Database, extra int) (boo
 		return nil
 	}
 	if err := rec(0, db, 0); err != nil {
-		return false, err
+		return false, g.wrap(err)
 	}
 	return complete, nil
 }
@@ -105,22 +115,29 @@ func (p *Problem) ReferenceGroundComplete(db *relation.Database, extra int) (boo
 // over Options.Parallelism workers: strong looks for the first
 // incomplete model, viable for the first complete one.
 func (p *Problem) ReferenceRCDP(ci *ctable.CInstance, m Model, extra int) (bool, error) {
+	return p.ReferenceRCDPCtx(context.Background(), ci, m, extra)
+}
+
+// ReferenceRCDPCtx is ReferenceRCDP honoring the context's deadline.
+func (p *Problem) ReferenceRCDPCtx(ctx context.Context, ci *ctable.CInstance, m Model, extra int) (bool, error) {
+	g := p.beginOp(ctx, "reference_rcdp_"+m.String(), "verdict undecided after %d models")
 	d, err := p.domainsFor(ci, p.Query.Calc != nil && p.Query.Lang() != FO, true)
 	if err != nil {
 		return false, err
 	}
 	if m == Weak {
-		return p.referenceWeakComplete(ci, extra)
+		ok, err := p.referenceWeakComplete(ctx, ci, extra)
+		return ok, g.wrap(err)
 	}
 	var any atomic.Bool
 	var genErr error
 	probe := func(ctx context.Context, idx int, db *relation.Database) (struct{}, bool, error) {
-		ok, err := p.satisfiesCCs(db)
+		ok, err := p.satisfiesCCs(ctx, db)
 		if err != nil || !ok {
 			return struct{}{}, false, err
 		}
 		any.Store(true)
-		complete, err := p.ReferenceGroundComplete(db, extra)
+		complete, err := p.ReferenceGroundCompleteCtx(ctx, db, extra)
 		if err != nil {
 			return struct{}{}, false, err
 		}
@@ -129,13 +146,13 @@ func (p *Problem) ReferenceRCDP(ci *ctable.CInstance, m Model, extra int) (bool,
 		}
 		return struct{}{}, complete, nil // hit = witness
 	}
-	_, found, err := search.FirstHit(context.Background(), p.Options.workers(), p.Options.Obs,
-		p.modelCandidates(ci, d, &genErr), probe)
+	_, found, err := search.FirstHit(ctx, p.Options.workers(), p.Options.Obs,
+		p.modelCandidates(ctx, ci, d, &genErr), probe)
 	if err != nil {
-		return false, err
+		return false, g.wrap(err)
 	}
 	if !found && genErr != nil {
-		return false, genErr
+		return false, g.wrap(genErr)
 	}
 	if !any.Load() {
 		return false, ErrInconsistent
@@ -152,7 +169,7 @@ func (p *Problem) ReferenceRCDP(ci *ctable.CInstance, m Model, extra int) (bool,
 // the worker pool; each produces the model's answers and its local
 // extension-answer intersection, merged in enumeration order so the
 // reference stays bit-deterministic.
-func (p *Problem) referenceWeakComplete(ci *ctable.CInstance, extra int) (bool, error) {
+func (p *Problem) referenceWeakComplete(ctx context.Context, ci *ctable.CInstance, extra int) (bool, error) {
 	dom, err := p.domainsFor(ci, false, true)
 	if err != nil {
 		return false, err
@@ -173,19 +190,19 @@ func (p *Problem) referenceWeakComplete(ci *ctable.CInstance, extra int) (bool, 
 	}
 	probe := func(ctx context.Context, idx int, db *relation.Database) (modelSweep, error) {
 		s := modelSweep{universeExt: true}
-		ok, err := p.satisfiesCCs(db)
+		ok, err := p.satisfiesCCs(ctx, db)
 		if err != nil || !ok {
 			return s, err
 		}
 		s.isModel = true
-		s.ans, err = p.answers(db)
+		s.ans, err = p.answers(ctx, db)
 		if err != nil {
 			return s, err
 		}
 		// Enumerate extensions of db with up to extra added tuples.
 		var lattice []relation.Located
 		for _, r := range p.Schema.Relations() {
-			done, err := p.tuplesOver(r, adm, func(t relation.Tuple) (bool, error) {
+			done, err := p.tuplesOver(ctx, r, adm, func(t relation.Tuple) (bool, error) {
 				if !db.Relation(r.Name).Contains(t) {
 					lattice = append(lattice, relation.Located{Rel: r.Name, Tuple: t})
 				}
@@ -201,8 +218,11 @@ func (p *Problem) referenceWeakComplete(ci *ctable.CInstance, extra int) (bool, 
 		}
 		var rec func(start int, cur *relation.Database, added int) error
 		rec = func(start int, cur *relation.Database, added int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if added > 0 {
-				closed, err := p.satisfiesCCs(cur)
+				closed, err := p.satisfiesCCs(ctx, cur)
 				if err != nil {
 					return err
 				}
@@ -210,7 +230,7 @@ func (p *Problem) referenceWeakComplete(ci *ctable.CInstance, extra int) (bool, 
 					return nil
 				}
 				s.anyExt = true
-				ans, err := p.answers(cur)
+				ans, err := p.answers(ctx, cur)
 				if err != nil {
 					return err
 				}
@@ -232,8 +252,8 @@ func (p *Problem) referenceWeakComplete(ci *ctable.CInstance, extra int) (bool, 
 		return s, nil
 	}
 	var genErr error
-	_, err = search.ForEachOrdered(context.Background(), p.Options.workers(), p.Options.Obs,
-		p.modelCandidates(ci, dom, &genErr), probe,
+	_, err = search.ForEachOrdered(ctx, p.Options.workers(), p.Options.Obs,
+		p.modelCandidates(ctx, ci, dom, &genErr), probe,
 		func(idx int, s modelSweep) (bool, error) {
 			if !s.isModel {
 				return true, nil

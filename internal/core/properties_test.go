@@ -5,6 +5,7 @@ package core
 // input, independently of the specific decider code paths.
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -78,7 +79,7 @@ func TestPropertyCertainAnswersSoundness(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, db := range models {
-			ans, err := rp.p.answers(db)
+			ans, err := rp.p.answers(context.Background(), db)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -192,9 +193,9 @@ func TestPropertyCompleteSurvivesCompleteExtension(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		err = rp.p.forEachSingleTupleExtension(db, d,
+		err = rp.p.forEachSingleTupleExtension(context.Background(), db, d,
 			func(ext *relation.Database, rel string, tup relation.Tuple) (bool, error) {
-				same, err := rp.p.sameAnswers(db, ext)
+				same, err := rp.p.sameAnswers(context.Background(), db, ext)
 				if err != nil {
 					return false, err
 				}

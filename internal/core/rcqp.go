@@ -28,16 +28,16 @@ import (
 //
 // FO and FP are undecidable (Theorem 4.5).
 
-func (p *Problem) rcqpStrongOrViable(m Model) (bool, error) {
+func (p *Problem) rcqpStrongOrViable(ctx context.Context, m Model) (bool, error) {
 	defer p.span("rcqp")()
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, fmt.Errorf("RCQP(%s), %s model: %w", p.Query.Lang(), m, ErrUndecidable)
 	}
 	if p.allProjectionCCs() {
-		return p.rcqpViaBoundedness()
+		return p.rcqpViaBoundedness(ctx)
 	}
-	return p.rcqpBoundedSearch()
+	return p.rcqpBoundedSearch(ctx)
 }
 
 func (p *Problem) allProjectionCCs() bool {
@@ -55,7 +55,8 @@ func (p *Problem) allProjectionCCs() bool {
 // rcqpViaBoundedness decides RCQPs exactly when CCs are INDs:
 // RCQ(Q, Dm, V) is non-empty iff every disjunct of Q is bounded by
 // (Dm, V), or Q has no valid valuation over Adom consistent with V.
-func (p *Problem) rcqpViaBoundedness() (bool, error) {
+func (p *Problem) rcqpViaBoundedness(ctx context.Context) (bool, error) {
+	g := p.beginOp(ctx, "rcqp_boundedness", "")
 	bounded, err := p.QueryBounded()
 	if err != nil {
 		return false, err
@@ -63,9 +64,9 @@ func (p *Problem) rcqpViaBoundedness() (bool, error) {
 	if bounded {
 		return true, nil
 	}
-	sat, err := p.querySatisfiableUnderCCs()
+	sat, err := p.querySatisfiableUnderCCs(ctx)
 	if err != nil {
-		return false, err
+		return false, g.wrap(err)
 	}
 	return !sat, nil
 }
@@ -158,7 +159,7 @@ func (p *Problem) positionCoveredByIND(rel string, pos int) bool {
 // disjunct tableau over Adom yields a non-empty answer with
 // (µ(TQ), Dm) ⊨ V — a "valid valuation" in the terminology of
 // [Fan & Geerts 2009].
-func (p *Problem) querySatisfiableUnderCCs() (bool, error) {
+func (p *Problem) querySatisfiableUnderCCs(ctx context.Context) (bool, error) {
 	tabs, err := p.disjunctTableaux()
 	if err != nil {
 		return false, err
@@ -170,6 +171,9 @@ func (p *Problem) querySatisfiableUnderCCs() (bool, error) {
 	for _, tab := range tabs {
 		found := false
 		err := a.Enumerate(tab.Vars, nil, p.Options.MaxValuations, func(mu ctable.Valuation) (bool, error) {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
 			if !tab.SatisfiedBy(mu) {
 				return true, nil
 			}
@@ -180,7 +184,7 @@ func (p *Problem) querySatisfiableUnderCCs() (bool, error) {
 			if !ok {
 				return true, nil
 			}
-			closed, err := p.satisfiesCCs(db)
+			closed, err := p.satisfiesCCs(ctx, db)
 			if err != nil {
 				return false, err
 			}
@@ -225,7 +229,8 @@ func (p *Problem) factsToDatabase(tab *query.Tableau, mu ctable.Valuation) (*rel
 // most Options.RCQPSizeBound whose values come from Adom extended with
 // a few anonymous fresh constants. Finding one proves RCQ non-empty
 // (Lemma 4.4); exhausting the bound returns ErrInconclusive.
-func (p *Problem) rcqpBoundedSearch() (bool, error) {
+func (p *Problem) rcqpBoundedSearch(ctx context.Context) (bool, error) {
+	g := p.beginOp(ctx, "rcqp_search", "no witness found in %d models")
 	bound := p.Options.rcqpSizeBound()
 	builder := adom.NewBuilder().
 		AddDatabase(p.Master).
@@ -256,12 +261,12 @@ func (p *Problem) rcqpBoundedSearch() (bool, error) {
 	// Materialise the tuple lattice.
 	var lattice []relation.Located
 	for _, r := range p.Schema.Relations() {
-		done, err := p.latticeOver(r, d, func(t relation.Tuple) (bool, error) {
+		done, err := p.latticeOver(ctx, r, d, func(t relation.Tuple) (bool, error) {
 			lattice = append(lattice, relation.Located{Rel: r.Name, Tuple: t})
 			return true, nil
 		})
 		if err != nil {
-			return false, err
+			return false, g.wrap(err)
 		}
 		if !done {
 			return false, p.budgetErr("RCQP lattice over "+r.Name, "MaxValuations",
@@ -275,27 +280,30 @@ func (p *Problem) rcqpBoundedSearch() (bool, error) {
 	// shared atomic so the total work stays capped; at workers=1 the
 	// inline first-hit loop replays the exact sequential DFS pre-order.
 	var tried atomic.Int64
-	check := func(db *relation.Database) (bool, error) {
+	check := func(cctx context.Context, db *relation.Database) (bool, error) {
+		if err := cctx.Err(); err != nil {
+			return false, err
+		}
 		if n := tried.Add(1); p.Options.MaxValuations > 0 && n > int64(p.Options.MaxValuations) {
 			return false, p.budgetErr("RCQP search", "MaxValuations",
 				int64(p.Options.MaxValuations), n)
 		}
-		closed, err := p.satisfiesCCs(db)
+		closed, err := p.satisfiesCCs(ctx, db)
 		if err != nil || !closed {
 			return false, err
 		}
 		// The search's own Adom is a valid bounded-check domain for
 		// every candidate (their constants come from it), so the
 		// single-tuple candidate set is computed once and shared.
-		cex, err := p.boundedCounterexample(db, d)
+		cex, err := p.boundedCounterexample(cctx, db, d)
 		if err != nil {
 			return false, err
 		}
 		return cex == nil, nil
 	}
-	var subtree func(cur *relation.Database, start, remaining int) (bool, error)
-	subtree = func(cur *relation.Database, start, remaining int) (bool, error) {
-		ok, err := check(cur)
+	var subtree func(sctx context.Context, cur *relation.Database, start, remaining int) (bool, error)
+	subtree = func(sctx context.Context, cur *relation.Database, start, remaining int) (bool, error) {
+		ok, err := check(sctx, cur)
 		if err != nil || ok {
 			return ok, err
 		}
@@ -307,7 +315,7 @@ func (p *Problem) rcqpBoundedSearch() (bool, error) {
 			if cur.Relation(loc.Rel).Contains(loc.Tuple) {
 				continue
 			}
-			ok, err := subtree(cur.WithTuple(loc.Rel, loc.Tuple), i+1, remaining-1)
+			ok, err := subtree(sctx, cur.WithTuple(loc.Rel, loc.Tuple), i+1, remaining-1)
 			if err != nil || ok {
 				return ok, err
 			}
@@ -315,9 +323,9 @@ func (p *Problem) rcqpBoundedSearch() (bool, error) {
 		return false, nil
 	}
 	empty := relation.NewDatabase(p.Schema)
-	ok, err := check(empty)
+	ok, err := check(ctx, empty)
 	if err != nil {
-		return false, err
+		return false, g.wrap(err)
 	}
 	found := ok
 	if !found && bound > 0 {
@@ -328,13 +336,13 @@ func (p *Problem) rcqpBoundedSearch() (bool, error) {
 				}
 			}
 		}
-		probe := func(ctx context.Context, idx int, first int) (struct{}, bool, error) {
-			ok, err := subtree(empty.WithTuple(lattice[first].Rel, lattice[first].Tuple), first+1, bound-1)
+		probe := func(pctx context.Context, idx int, first int) (struct{}, bool, error) {
+			ok, err := subtree(pctx, empty.WithTuple(lattice[first].Rel, lattice[first].Tuple), first+1, bound-1)
 			return struct{}{}, ok, err
 		}
-		_, found, err = search.FirstHit(context.Background(), p.Options.workers(), p.Options.Obs, gen, probe)
+		_, found, err = search.FirstHit(ctx, p.Options.workers(), p.Options.Obs, gen, probe)
 		if err != nil {
-			return false, err
+			return false, g.wrap(err)
 		}
 	}
 	if found {

@@ -40,13 +40,24 @@ func (c *Counterexample) String() string {
 // RCDP decides the relatively complete database problem for the given
 // model: is the c-instance T in RCQ(Q, Dm, V)?
 func (p *Problem) RCDP(ci *ctable.CInstance, m Model) (bool, error) {
-	ok, _, err := p.RCDPExplain(ci, m)
+	return p.RCDPCtx(context.Background(), ci, m)
+}
+
+// RCDPCtx is RCDP honoring the context's deadline and cancellation; an
+// abort surfaces as a *DeadlineError.
+func (p *Problem) RCDPCtx(ctx context.Context, ci *ctable.CInstance, m Model) (bool, error) {
+	ok, _, err := p.RCDPExplainCtx(ctx, ci, m)
 	return ok, err
 }
 
 // RCDPExplain is RCDP returning a counterexample on failure (where the
 // model's procedure produces one).
-func (p *Problem) RCDPExplain(ci *ctable.CInstance, m Model) (ok bool, cex *Counterexample, err error) {
+func (p *Problem) RCDPExplain(ci *ctable.CInstance, m Model) (bool, *Counterexample, error) {
+	return p.RCDPExplainCtx(context.Background(), ci, m)
+}
+
+// RCDPExplainCtx is RCDPExplain honoring the context's deadline.
+func (p *Problem) RCDPExplainCtx(ctx context.Context, ci *ctable.CInstance, m Model) (ok bool, cex *Counterexample, err error) {
 	if tr := p.Options.Trace; tr.Enabled() {
 		pop := tr.Push("decide", obs.F("problem", "rcdp"), obs.F("model", m.String()), obs.F("query", p.Query.Name()))
 		defer func() {
@@ -60,12 +71,12 @@ func (p *Problem) RCDPExplain(ci *ctable.CInstance, m Model) (ok bool, cex *Coun
 	}
 	switch m {
 	case Strong:
-		return p.rcdpStrong(ci)
+		return p.rcdpStrong(ctx, ci)
 	case Weak:
-		ok, err := p.rcdpWeak(ci)
+		ok, err := p.rcdpWeak(ctx, ci)
 		return ok, nil, err
 	default:
-		return p.rcdpViable(ci)
+		return p.rcdpViable(ctx, ci)
 	}
 }
 
@@ -75,8 +86,9 @@ func (p *Problem) RCDPExplain(ci *ctable.CInstance, m Model) (ok bool, cex *Coun
 // are independent and fan out over Options.Parallelism workers; the
 // first-hit engine returns the counterexample of the lowest-index
 // failing model, which is exactly the one the sequential scan reports.
-func (p *Problem) rcdpStrong(ci *ctable.CInstance) (bool, *Counterexample, error) {
+func (p *Problem) rcdpStrong(ctx context.Context, ci *ctable.CInstance) (bool, *Counterexample, error) {
 	defer p.span("rcdp_strong")()
+	g := p.beginOp(ctx, "rcdp_strong", "no counterexample found in %d models")
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, nil, fmt.Errorf("RCDP(%s), strong model: %w", p.Query.Lang(), ErrUndecidable)
@@ -88,7 +100,7 @@ func (p *Problem) rcdpStrong(ci *ctable.CInstance) (bool, *Counterexample, error
 	var consistent atomic.Bool
 	var genErr error
 	probe := func(ctx context.Context, idx int, db *relation.Database) (*Counterexample, bool, error) {
-		ok, err := p.checkModel(db)
+		ok, err := p.checkModel(ctx, db)
 		if err != nil {
 			return nil, false, err
 		}
@@ -96,19 +108,19 @@ func (p *Problem) rcdpStrong(ci *ctable.CInstance) (bool, *Counterexample, error
 			return nil, false, nil
 		}
 		consistent.Store(true)
-		c, err := p.boundedCounterexample(db, d)
+		c, err := p.boundedCounterexample(ctx, db, d)
 		if err != nil {
 			return nil, false, err
 		}
 		return c, c != nil, nil
 	}
-	hit, found, err := search.FirstHit(context.Background(), p.Options.workers(), p.Options.Obs,
-		p.modelCandidates(ci, d, &genErr), probe)
+	hit, found, err := search.FirstHit(ctx, p.Options.workers(), p.Options.Obs,
+		p.modelCandidates(ctx, ci, d, &genErr), probe)
 	if err != nil {
-		return false, nil, err
+		return false, nil, g.wrap(err)
 	}
 	if !found && genErr != nil {
-		return false, nil, genErr
+		return false, nil, g.wrap(genErr)
 	}
 	if !consistent.Load() {
 		return false, nil, ErrInconsistent
@@ -133,8 +145,8 @@ func (p *Problem) rcdpStrong(ci *ctable.CInstance) (bool, *Counterexample, error
 // the head do not influence the extension and are skipped. Full
 // closure of the assembled extension is still checked, so multi-tuple
 // CC violations are caught exactly.
-func (p *Problem) boundedCounterexample(db *relation.Database, d *domains) (*Counterexample, error) {
-	baseAnswers, err := p.answers(db)
+func (p *Problem) boundedCounterexample(ctx context.Context, db *relation.Database, d *domains) (*Counterexample, error) {
+	baseAnswers, err := p.answers(ctx, db)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +157,7 @@ func (p *Problem) boundedCounterexample(db *relation.Database, d *domains) (*Cou
 	seenExt := map[string]bool{}
 	sig := p.typingSignature(d.a, d.ty)
 	for _, tab := range tabs {
-		cex, err := p.tableauCounterexample(db, tab, d, sig, baseAnswers, seenExt)
+		cex, err := p.tableauCounterexample(ctx, db, tab, d, sig, baseAnswers, seenExt)
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +172,7 @@ func (p *Problem) boundedCounterexample(db *relation.Database, d *domains) (*Cou
 // atom, memoised per typing signature. Concurrent probes share the
 // cache: the first caller computes under cacheMu, later callers reuse
 // the cached slice (read-only by convention).
-func (p *Problem) atomCandidates(sig string, atom *query.Atom, d *domains) ([]relation.Tuple, error) {
+func (p *Problem) atomCandidates(ctx context.Context, sig string, atom *query.Atom, d *domains) ([]relation.Tuple, error) {
 	p.cacheMu.Lock()
 	defer p.cacheMu.Unlock()
 	if p.atomCandCache == nil {
@@ -170,7 +182,7 @@ func (p *Problem) atomCandidates(sig string, atom *query.Atom, d *domains) ([]re
 	if cached, ok := p.atomCandCache[key]; ok {
 		return cached, nil
 	}
-	cands, err := p.atomClosedCandidates(atom, d)
+	cands, err := p.atomClosedCandidates(ctx, atom, d)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +197,7 @@ func (p *Problem) atomCandidates(sig string, atom *query.Atom, d *domains) ([]re
 // memoised per tuple across atoms. Callers must hold cacheMu (it
 // reads and writes closureCache); the CC evaluation below never
 // touches a Problem cache, so the lock cannot recurse.
-func (p *Problem) atomClosedCandidates(atom *query.Atom, d *domains) ([]relation.Tuple, error) {
+func (p *Problem) atomClosedCandidates(ctx context.Context, atom *query.Atom, d *domains) ([]relation.Tuple, error) {
 	r := p.Schema.Relation(atom.Rel)
 	pins := map[int]relation.Value{}
 	for i, t := range atom.Terms {
@@ -198,12 +210,12 @@ func (p *Problem) atomClosedCandidates(atom *query.Atom, d *domains) ([]relation
 	}
 	probe := relation.NewDatabase(p.Schema)
 	var out []relation.Tuple
-	done, err := p.pinnedLatticeOver(r, d, pins, func(t relation.Tuple) (bool, error) {
+	done, err := p.pinnedLatticeOver(ctx, r, d, pins, func(t relation.Tuple) (bool, error) {
 		ck := atom.Rel + "|" + t.Key()
 		closed, ok := p.closureCache[ck]
 		if !ok {
 			var err error
-			closed, err = p.satisfiesCCs(probe.WithTuple(r.Name, t))
+			closed, err = p.satisfiesCCs(ctx, probe.WithTuple(r.Name, t))
 			if err != nil {
 				return false, err
 			}
@@ -225,8 +237,9 @@ func (p *Problem) atomClosedCandidates(atom *query.Atom, d *domains) ([]relation
 }
 
 // pinnedLatticeOver enumerates the candidate lattice of one relation
-// with some positions pinned to constants.
-func (p *Problem) pinnedLatticeOver(r *relation.Schema, d *domains, pins map[int]relation.Value,
+// with some positions pinned to constants, consulting the context per
+// leaf.
+func (p *Problem) pinnedLatticeOver(ctx context.Context, r *relation.Schema, d *domains, pins map[int]relation.Value,
 	fn func(t relation.Tuple) (bool, error)) (bool, error) {
 	cols := make([][]relation.Value, r.Arity())
 	for i := range cols {
@@ -248,6 +261,9 @@ func (p *Problem) pinnedLatticeOver(r *relation.Schema, d *domains, pins map[int
 	var rec func(i int) (bool, error)
 	rec = func(i int) (bool, error) {
 		if i == r.Arity() {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
 			tried++
 			if p.Options.MaxValuations > 0 && tried > p.Options.MaxValuations {
 				return false, p.budgetErr("pinned tuple lattice over "+r.Name, "MaxValuations",
@@ -277,7 +293,7 @@ func adomSignature(a *adom.Adom) string {
 }
 
 // tableauCounterexample backtracks over one disjunct tableau's atoms.
-func (p *Problem) tableauCounterexample(db *relation.Database, tab *query.Tableau,
+func (p *Problem) tableauCounterexample(ctx context.Context, db *relation.Database, tab *query.Tableau,
 	d *domains, sig string, baseAnswers []relation.Tuple,
 	seenExt map[string]bool) (*Counterexample, error) {
 
@@ -318,7 +334,7 @@ func (p *Problem) tableauCounterexample(db *relation.Database, tab *query.Tablea
 				instCands[i] = append(instCands[i], t)
 			}
 		}
-		cached, err := p.atomCandidates(sig, atom, d)
+		cached, err := p.atomCandidates(ctx, sig, atom, d)
 		if err != nil {
 			return nil, err
 		}
@@ -327,6 +343,9 @@ func (p *Problem) tableauCounterexample(db *relation.Database, tab *query.Tablea
 
 	var process func() error
 	process = func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ext := db
 		grew := false
 		for _, pk := range picks {
@@ -352,18 +371,18 @@ func (p *Problem) tableauCounterexample(db *relation.Database, tab *query.Tablea
 				int64(p.Options.MaxValuations), int64(tried))
 		}
 		p.Options.Obs.Inc(obs.ExtensionsTested)
-		ok, err := p.satisfiesCCs(ext)
+		ok, err := p.satisfiesCCs(ctx, ext)
 		if err != nil {
 			return err
 		}
 		if !ok {
 			if tr := p.Options.Trace; tr.Enabled() {
 				tr.Emit("extension_pruned", obs.F("extension", ext.String()))
-				p.traceCCViolation(ext)
+				p.traceCCViolation(ctx, ext)
 			}
 			return nil // not a partially closed extension
 		}
-		extAnswers, err := p.answers(ext)
+		extAnswers, err := p.answers(ctx, ext)
 		if err != nil {
 			return err
 		}
@@ -453,12 +472,18 @@ func (p *Problem) tableauCounterexample(db *relation.Database, tab *query.Tablea
 // partially closed and is available for CQ, UCQ and ∃FO+ (Πp2 by
 // Theorem 4.1 restricted to ground instances).
 func (p *Problem) GroundComplete(db *relation.Database) (bool, *Counterexample, error) {
+	return p.GroundCompleteCtx(context.Background(), db)
+}
+
+// GroundCompleteCtx is GroundComplete honoring the context's deadline.
+func (p *Problem) GroundCompleteCtx(ctx context.Context, db *relation.Database) (bool, *Counterexample, error) {
 	defer p.span("ground_complete")()
+	g := p.beginOp(ctx, "ground_complete", "no counterexample found in %d models")
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, nil, fmt.Errorf("ground completeness for %s: %w", p.Query.Lang(), ErrUndecidable)
 	}
-	closed, err := p.satisfiesCCs(db)
+	closed, err := p.satisfiesCCs(ctx, db)
 	if err != nil {
 		return false, nil, err
 	}
@@ -469,9 +494,9 @@ func (p *Problem) GroundComplete(db *relation.Database) (bool, *Counterexample, 
 	if err != nil {
 		return false, nil, err
 	}
-	cex, err := p.boundedCounterexample(db, d)
+	cex, err := p.boundedCounterexample(ctx, db, d)
 	if err != nil {
-		return false, nil, err
+		return false, nil, g.wrap(err)
 	}
 	return cex == nil, cex, nil
 }
@@ -479,13 +504,19 @@ func (p *Problem) GroundComplete(db *relation.Database) (bool, *Counterexample, 
 // MINP decides the minimality problem for the given model: is T a
 // minimal c-instance complete for Q relative to (Dm, V)?
 func (p *Problem) MINP(ci *ctable.CInstance, m Model) (bool, error) {
+	return p.MINPCtx(context.Background(), ci, m)
+}
+
+// MINPCtx is MINP honoring the context's deadline and cancellation; an
+// abort surfaces as a *DeadlineError.
+func (p *Problem) MINPCtx(ctx context.Context, ci *ctable.CInstance, m Model) (bool, error) {
 	switch m {
 	case Strong:
-		return p.minpStrong(ci)
+		return p.minpStrong(ctx, ci)
 	case Weak:
-		return p.minpWeak(ci)
+		return p.minpWeak(ctx, ci)
 	default:
-		return p.minpViable(ci)
+		return p.minpViable(ctx, ci)
 	}
 }
 
@@ -493,13 +524,14 @@ func (p *Problem) MINP(ci *ctable.CInstance, m Model) (bool, error) {
 // strongly complete iff T ∈ RCQs and every I ∈ ModAdom(T) is a minimal
 // complete ground instance — by Lemma 4.7(b) it suffices to check that
 // no single-tuple removal of I stays complete.
-func (p *Problem) minpStrong(ci *ctable.CInstance) (bool, error) {
+func (p *Problem) minpStrong(ctx context.Context, ci *ctable.CInstance) (bool, error) {
 	defer p.span("minp_strong")()
+	g := p.beginOp(ctx, "minp_strong", "no non-minimal model found in %d models")
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, fmt.Errorf("MINP(%s), strong model: %w", p.Query.Lang(), ErrUndecidable)
 	}
-	complete, _, err := p.rcdpStrong(ci)
+	complete, _, err := p.rcdpStrong(ctx, ci)
 	if err != nil {
 		return false, err
 	}
@@ -514,30 +546,34 @@ func (p *Problem) minpStrong(ci *ctable.CInstance) (bool, error) {
 	// which refutes minimality; the models fan out over the workers.
 	var genErr error
 	probe := func(ctx context.Context, idx int, db *relation.Database) (struct{}, bool, error) {
-		ok, err := p.checkModel(db)
+		ok, err := p.checkModel(ctx, db)
 		if err != nil || !ok {
 			return struct{}{}, false, err
 		}
-		nonMin, err := p.hasCompleteRemoval(db, d)
+		nonMin, err := p.hasCompleteRemoval(ctx, db, d)
 		return struct{}{}, nonMin, err
 	}
-	_, found, err := search.FirstHit(context.Background(), p.Options.workers(), p.Options.Obs,
-		p.modelCandidates(ci, d, &genErr), probe)
+	_, found, err := search.FirstHit(ctx, p.Options.workers(), p.Options.Obs,
+		p.modelCandidates(ctx, ci, d, &genErr), probe)
 	if err != nil {
-		return false, err
+		return false, g.wrap(err)
 	}
 	if !found && genErr != nil {
-		return false, genErr
+		return false, g.wrap(genErr)
 	}
 	return !found, nil
 }
 
 // hasCompleteRemoval reports whether some I \ {t} is still complete
-// (Lemma 4.7(b): I \ {t} remains partially closed automatically).
-func (p *Problem) hasCompleteRemoval(db *relation.Database, d *domains) (bool, error) {
+// (Lemma 4.7(b): I \ {t} remains partially closed automatically). The
+// context is consulted per removal candidate.
+func (p *Problem) hasCompleteRemoval(ctx context.Context, db *relation.Database, d *domains) (bool, error) {
 	for _, loc := range db.AllTuples() {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		smaller := db.WithoutTuple(loc.Rel, loc.Tuple)
-		cex, err := p.boundedCounterexample(smaller, d)
+		cex, err := p.boundedCounterexample(ctx, smaller, d)
 		if err != nil {
 			return false, err
 		}
@@ -551,7 +587,13 @@ func (p *Problem) hasCompleteRemoval(db *relation.Database, d *domains) (bool, e
 // GroundMinimal decides whether a ground instance is a minimal complete
 // instance (the Dp2 case of Theorem 4.8).
 func (p *Problem) GroundMinimal(db *relation.Database) (bool, error) {
-	complete, _, err := p.GroundComplete(db)
+	return p.GroundMinimalCtx(context.Background(), db)
+}
+
+// GroundMinimalCtx is GroundMinimal honoring the context's deadline.
+func (p *Problem) GroundMinimalCtx(ctx context.Context, db *relation.Database) (bool, error) {
+	g := p.beginOp(ctx, "ground_minimal", "no complete removal found in %d models")
+	complete, _, err := p.GroundCompleteCtx(ctx, db)
 	if err != nil {
 		return false, err
 	}
@@ -562,6 +604,6 @@ func (p *Problem) GroundMinimal(db *relation.Database) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	nonMin, err := p.hasCompleteRemoval(db, d)
-	return !nonMin, err
+	nonMin, err := p.hasCompleteRemoval(ctx, db, d)
+	return !nonMin, g.wrap(err)
 }

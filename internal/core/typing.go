@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -542,8 +543,8 @@ func (p *Problem) enumerateTyped(ci *ctable.CInstance, a *adom.Adom, ty *typing,
 }
 
 // typedTuplesOver enumerates the candidate lattice of one relation
-// under the typing.
-func (p *Problem) typedTuplesOver(r *relation.Schema, a *adom.Adom, ty *typing,
+// under the typing, consulting the context per leaf.
+func (p *Problem) typedTuplesOver(ctx context.Context, r *relation.Schema, a *adom.Adom, ty *typing,
 	fn func(t relation.Tuple) (bool, error)) (bool, error) {
 	cols := make([][]relation.Value, r.Arity())
 	for i := range cols {
@@ -554,6 +555,9 @@ func (p *Problem) typedTuplesOver(r *relation.Schema, a *adom.Adom, ty *typing,
 	var rec func(i int) (bool, error)
 	rec = func(i int) (bool, error) {
 		if i == r.Arity() {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
 			tried++
 			if p.Options.MaxValuations > 0 && tried > p.Options.MaxValuations {
 				return false, p.budgetErr("typed tuple lattice over "+r.Name, "MaxValuations",

@@ -26,8 +26,9 @@ import (
 // the highest-index one is what the sequential scan ends on, and the
 // failure path probes every model in either schedule, so the choice is
 // deterministic).
-func (p *Problem) rcdpViable(ci *ctable.CInstance) (bool, *Counterexample, error) {
+func (p *Problem) rcdpViable(ctx context.Context, ci *ctable.CInstance) (bool, *Counterexample, error) {
 	defer p.span("rcdp_viable")()
+	g := p.beginOp(ctx, "rcdp_viable", "no complete model found in %d models")
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, nil, fmt.Errorf("RCDP(%s), viable model: %w", p.Query.Lang(), ErrUndecidable)
@@ -42,7 +43,7 @@ func (p *Problem) rcdpViable(ci *ctable.CInstance) (bool, *Counterexample, error
 	lastIdx := -1
 	var lastCex *Counterexample
 	probe := func(ctx context.Context, idx int, db *relation.Database) (struct{}, bool, error) {
-		ok, err := p.checkModel(db)
+		ok, err := p.checkModel(ctx, db)
 		if err != nil {
 			return struct{}{}, false, err
 		}
@@ -50,7 +51,7 @@ func (p *Problem) rcdpViable(ci *ctable.CInstance) (bool, *Counterexample, error
 			return struct{}{}, false, nil
 		}
 		consistent.Store(true)
-		cex, err := p.boundedCounterexample(db, d)
+		cex, err := p.boundedCounterexample(ctx, db, d)
 		if err != nil {
 			return struct{}{}, false, err
 		}
@@ -64,13 +65,13 @@ func (p *Problem) rcdpViable(ci *ctable.CInstance) (bool, *Counterexample, error
 		mu.Unlock()
 		return struct{}{}, false, nil
 	}
-	_, viable, err := search.FirstHit(context.Background(), p.Options.workers(), p.Options.Obs,
-		p.modelCandidates(ci, d, &genErr), probe)
+	_, viable, err := search.FirstHit(ctx, p.Options.workers(), p.Options.Obs,
+		p.modelCandidates(ctx, ci, d, &genErr), probe)
 	if err != nil {
-		return false, nil, err
+		return false, nil, g.wrap(err)
 	}
 	if !viable && genErr != nil {
-		return false, nil, genErr
+		return false, nil, g.wrap(genErr)
 	}
 	if !consistent.Load() {
 		return false, nil, ErrInconsistent
@@ -84,8 +85,9 @@ func (p *Problem) rcdpViable(ci *ctable.CInstance) (bool, *Counterexample, error
 // minpViable implements Corollary 6.3: T is a minimal viably complete
 // c-instance iff some I ∈ ModAdom(T) is a minimal complete ground
 // instance.
-func (p *Problem) minpViable(ci *ctable.CInstance) (bool, error) {
+func (p *Problem) minpViable(ctx context.Context, ci *ctable.CInstance) (bool, error) {
 	defer p.span("minp_viable")()
+	g := p.beginOp(ctx, "minp_viable", "no minimal complete model found in %d models")
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, fmt.Errorf("MINP(%s), viable model: %w", p.Query.Lang(), ErrUndecidable)
@@ -97,7 +99,7 @@ func (p *Problem) minpViable(ci *ctable.CInstance) (bool, error) {
 	var consistent atomic.Bool
 	var genErr error
 	probe := func(ctx context.Context, idx int, db *relation.Database) (struct{}, bool, error) {
-		ok, err := p.checkModel(db)
+		ok, err := p.checkModel(ctx, db)
 		if err != nil {
 			return struct{}{}, false, err
 		}
@@ -105,26 +107,26 @@ func (p *Problem) minpViable(ci *ctable.CInstance) (bool, error) {
 			return struct{}{}, false, nil
 		}
 		consistent.Store(true)
-		cex, err := p.boundedCounterexample(db, d)
+		cex, err := p.boundedCounterexample(ctx, db, d)
 		if err != nil {
 			return struct{}{}, false, err
 		}
 		if cex != nil {
 			return struct{}{}, false, nil // this model is not even complete
 		}
-		nonMin, err := p.hasCompleteRemoval(db, d)
+		nonMin, err := p.hasCompleteRemoval(ctx, db, d)
 		if err != nil {
 			return struct{}{}, false, err
 		}
 		return struct{}{}, !nonMin, nil
 	}
-	_, found, err := search.FirstHit(context.Background(), p.Options.workers(), p.Options.Obs,
-		p.modelCandidates(ci, d, &genErr), probe)
+	_, found, err := search.FirstHit(ctx, p.Options.workers(), p.Options.Obs,
+		p.modelCandidates(ctx, ci, d, &genErr), probe)
 	if err != nil {
-		return false, err
+		return false, g.wrap(err)
 	}
 	if !found && genErr != nil {
-		return false, genErr
+		return false, g.wrap(genErr)
 	}
 	if !consistent.Load() {
 		return false, ErrInconsistent

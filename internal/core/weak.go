@@ -21,12 +21,22 @@ import (
 // CertainAnswers computes ∩_{I ∈ ModAdom(T, Dm, V)} Q(I), the certain
 // answers of Q on the c-instance. ErrInconsistent when Mod is empty.
 func (p *Problem) CertainAnswers(ci *ctable.CInstance) ([]relation.Tuple, error) {
+	return p.CertainAnswersCtx(context.Background(), ci)
+}
+
+// CertainAnswersCtx is CertainAnswers honoring the context's deadline
+// and cancellation; an abort surfaces as a *DeadlineError. A partial
+// intersection is a superset of the certain answers, so no partial
+// result is returned.
+func (p *Problem) CertainAnswersCtx(ctx context.Context, ci *ctable.CInstance) ([]relation.Tuple, error) {
 	defer p.span("certain_answers")()
+	g := p.beginOp(ctx, "certain_answers", "intersection over %d models incomplete")
 	d, err := p.domainsFor(ci, false, false)
 	if err != nil {
 		return nil, err
 	}
-	return p.certainAnswers(ci, d)
+	ans, err := p.certainAnswers(ctx, ci, d)
+	return ans, g.wrap(err)
 }
 
 // certainAnswers intersects Q over the models. Query evaluation fans
@@ -35,7 +45,7 @@ func (p *Problem) CertainAnswers(ci *ctable.CInstance) ([]relation.Tuple, error)
 // accumulated slice — its order included — matches the sequential fold
 // bit for bit, and the early stop on an empty intersection fires at
 // the same model.
-func (p *Problem) certainAnswers(ci *ctable.CInstance, d *domains) ([]relation.Tuple, error) {
+func (p *Problem) certainAnswers(ctx context.Context, ci *ctable.CInstance, d *domains) ([]relation.Tuple, error) {
 	type modelAnswers struct {
 		ans     []relation.Tuple
 		isModel bool
@@ -44,14 +54,14 @@ func (p *Problem) certainAnswers(ci *ctable.CInstance, d *domains) ([]relation.T
 	universe := true
 	any := false
 	var genErr error
-	stopped, err := search.ForEachOrdered(context.Background(), p.Options.workers(), p.Options.Obs,
-		p.modelCandidates(ci, d, &genErr),
+	stopped, err := search.ForEachOrdered(ctx, p.Options.workers(), p.Options.Obs,
+		p.modelCandidates(ctx, ci, d, &genErr),
 		func(ctx context.Context, idx int, db *relation.Database) (modelAnswers, error) {
-			ok, err := p.checkModel(db)
+			ok, err := p.checkModel(ctx, db)
 			if err != nil || !ok {
 				return modelAnswers{}, err
 			}
-			ans, err := p.answers(db)
+			ans, err := p.answers(ctx, db)
 			if err != nil {
 				return modelAnswers{}, err
 			}
@@ -92,8 +102,15 @@ func (p *Problem) certainAnswers(ci *ctable.CInstance, d *domains) ([]relation.T
 // when it is false the first value is nil and the paper's definition
 // makes T weakly complete vacuously.
 func (p *Problem) CertainAnswersOfExtensions(ci *ctable.CInstance) ([]relation.Tuple, bool, error) {
-	acc, _, anyExt, err := p.certainExtStream(ci, nil)
-	return acc, anyExt, err
+	return p.CertainAnswersOfExtensionsCtx(context.Background(), ci)
+}
+
+// CertainAnswersOfExtensionsCtx is CertainAnswersOfExtensions honoring
+// the context's deadline.
+func (p *Problem) CertainAnswersOfExtensionsCtx(ctx context.Context, ci *ctable.CInstance) ([]relation.Tuple, bool, error) {
+	g := p.beginOp(ctx, "certain_answers_of_extensions", "intersection over %d models incomplete")
+	acc, _, anyExt, err := p.certainExtStream(ctx, ci, nil)
+	return acc, anyExt, g.wrap(err)
 }
 
 // certainExtStream intersects Q over qualifying (model, single-tuple
@@ -112,7 +129,7 @@ func (p *Problem) CertainAnswersOfExtensions(ci *ctable.CInstance) ([]relation.T
 // its interleaved early stops inspect the global accumulator after
 // every single extension, a schedule the parallel decomposition cannot
 // reproduce pair-for-pair (the verdicts still agree).
-func (p *Problem) certainExtStream(ci *ctable.CInstance, stopWithin map[string]bool) (
+func (p *Problem) certainExtStream(ctx context.Context, ci *ctable.CInstance, stopWithin map[string]bool) (
 	acc []relation.Tuple, contained bool, anyExt bool, err error) {
 	if !p.Query.Monotone() {
 		return nil, false, false, fmt.Errorf("certain answers of extensions for FO: %w", ErrUndecidable)
@@ -122,7 +139,7 @@ func (p *Problem) certainExtStream(ci *ctable.CInstance, stopWithin map[string]b
 		return nil, false, false, err
 	}
 	if p.Options.workers() > 1 {
-		return p.certainExtStreamPar(ci, d, stopWithin)
+		return p.certainExtStreamPar(ctx, ci, d, stopWithin)
 	}
 	universe := true
 	within := func() bool {
@@ -136,16 +153,16 @@ func (p *Problem) certainExtStream(ci *ctable.CInstance, stopWithin map[string]b
 		}
 		return true
 	}
-	err = p.forEachModel(ci, d, func(base *relation.Database, mu ctable.Valuation) (bool, error) {
+	err = p.forEachModel(ctx, ci, d, func(base *relation.Database, mu ctable.Valuation) (bool, error) {
 		for _, r := range p.Schema.Relations() {
 			stop := false
-			done, err := p.latticeOver(r, d, func(t relation.Tuple) (bool, error) {
+			done, err := p.latticeOver(ctx, r, d, func(t relation.Tuple) (bool, error) {
 				if base.Relation(r.Name).Contains(t) {
 					return true, nil
 				}
 				p.Options.Obs.Inc(obs.ExtensionsTested)
 				ext := base.WithTuple(r.Name, t)
-				closed, err := p.satisfiesCCs(ext)
+				closed, err := p.satisfiesCCs(ctx, ext)
 				if err != nil {
 					return false, err
 				}
@@ -153,7 +170,7 @@ func (p *Problem) certainExtStream(ci *ctable.CInstance, stopWithin map[string]b
 					return true, nil
 				}
 				anyExt = true
-				ans, err := p.answers(ext)
+				ans, err := p.answers(ctx, ext)
 				if err != nil {
 					return false, err
 				}
@@ -206,7 +223,7 @@ type modelExtScan struct {
 // order. Every local intersection contains the global one, so a local
 // early stop (local acc ⊆ stopWithin, or a local empty intersection)
 // already decides the global verdict.
-func (p *Problem) certainExtStreamPar(ci *ctable.CInstance, d *domains, stopWithin map[string]bool) (
+func (p *Problem) certainExtStreamPar(ctx context.Context, ci *ctable.CInstance, d *domains, stopWithin map[string]bool) (
 	acc []relation.Tuple, contained bool, anyExt bool, err error) {
 	universe := true
 	within := func() bool {
@@ -222,7 +239,7 @@ func (p *Problem) certainExtStreamPar(ci *ctable.CInstance, d *domains, stopWith
 	}
 	probe := func(ctx context.Context, idx int, base *relation.Database) (modelExtScan, error) {
 		s := modelExtScan{universe: true}
-		ok, err := p.checkModel(base)
+		ok, err := p.checkModel(ctx, base)
 		if err != nil || !ok {
 			return s, err
 		}
@@ -240,13 +257,13 @@ func (p *Problem) certainExtStreamPar(ci *ctable.CInstance, d *domains, stopWith
 		}
 		for _, r := range p.Schema.Relations() {
 			stop := false
-			done, err := p.latticeOver(r, d, func(t relation.Tuple) (bool, error) {
+			done, err := p.latticeOver(ctx, r, d, func(t relation.Tuple) (bool, error) {
 				if base.Relation(r.Name).Contains(t) {
 					return true, nil
 				}
 				p.Options.Obs.Inc(obs.ExtensionsTested)
 				ext := base.WithTuple(r.Name, t)
-				closed, err := p.satisfiesCCs(ext)
+				closed, err := p.satisfiesCCs(ctx, ext)
 				if err != nil {
 					return false, err
 				}
@@ -254,7 +271,7 @@ func (p *Problem) certainExtStreamPar(ci *ctable.CInstance, d *domains, stopWith
 					return true, nil
 				}
 				s.anyExt = true
-				ans, err := p.answers(ext)
+				ans, err := p.answers(ctx, ext)
 				if err != nil {
 					return false, err
 				}
@@ -283,8 +300,8 @@ func (p *Problem) certainExtStreamPar(ci *ctable.CInstance, d *domains, stopWith
 		return s, nil
 	}
 	var genErr error
-	stopped, err := search.ForEachOrdered(context.Background(), p.Options.workers(), p.Options.Obs,
-		p.modelCandidates(ci, d, &genErr), probe,
+	stopped, err := search.ForEachOrdered(ctx, p.Options.workers(), p.Options.Obs,
+		p.modelCandidates(ctx, ci, d, &genErr), probe,
 		func(idx int, s modelExtScan) (bool, error) {
 			if !s.isModel {
 				return true, nil
@@ -322,12 +339,13 @@ func (p *Problem) certainExtStreamPar(ci *ctable.CInstance, d *domains, stopWith
 // (Lemma 5.2), or no extension exists at all. The certain answers over
 // Mod(T) are computed first so the extension stream can stop as soon
 // as containment is established.
-func (p *Problem) rcdpWeak(ci *ctable.CInstance) (bool, error) {
+func (p *Problem) rcdpWeak(ctx context.Context, ci *ctable.CInstance) (bool, error) {
 	defer p.span("rcdp_weak")()
+	g := p.beginOp(ctx, "rcdp_weak", "containment undecided after %d models")
 	if p.Query.Lang() == FO {
 		return false, fmt.Errorf("RCDP(FO), weak model: %w", ErrUndecidable)
 	}
-	certT, err := p.CertainAnswers(ci) // ErrInconsistent when Mod(T) = ∅
+	certT, err := p.CertainAnswersCtx(ctx, ci) // ErrInconsistent when Mod(T) = ∅
 	if err != nil {
 		return false, err
 	}
@@ -335,9 +353,9 @@ func (p *Problem) rcdpWeak(ci *ctable.CInstance) (bool, error) {
 	for _, t := range certT {
 		inT[t.Key()] = true
 	}
-	certExt, contained, anyExt, err := p.certainExtStream(ci, inT)
+	certExt, contained, anyExt, err := p.certainExtStream(ctx, ci, inT)
 	if err != nil {
-		return false, err
+		return false, g.wrap(err)
 	}
 	if !anyExt {
 		// Every model of T is unextendable: weakly complete by
@@ -363,6 +381,12 @@ func (p *Problem) rcdpWeak(ci *ctable.CInstance) (bool, error) {
 // problem (Lemma 4.4 / Corollary 6.2) and are served by the bounded
 // search in rcqp.go; FO and FP are undecidable there.
 func (p *Problem) RCQP(m Model) (bool, error) {
+	return p.RCQPCtx(context.Background(), m)
+}
+
+// RCQPCtx is RCQP honoring the context's deadline and cancellation; an
+// abort surfaces as a *DeadlineError.
+func (p *Problem) RCQPCtx(ctx context.Context, m Model) (bool, error) {
 	switch m {
 	case Weak:
 		if p.Query.Lang() == FO {
@@ -370,7 +394,7 @@ func (p *Problem) RCQP(m Model) (bool, error) {
 		}
 		return true, nil
 	default:
-		return p.rcqpStrongOrViable(m)
+		return p.rcqpStrongOrViable(ctx, m)
 	}
 }
 
@@ -378,6 +402,11 @@ func (p *Problem) RCQP(m Model) (bool, error) {
 // RCQP(FO) is undecidable for ground instances (Theorem 5.4), while
 // the monotone languages remain trivially true.
 func (p *Problem) RCQPGround(m Model) (bool, error) {
+	return p.RCQPGroundCtx(context.Background(), m)
+}
+
+// RCQPGroundCtx is RCQPGround honoring the context's deadline.
+func (p *Problem) RCQPGroundCtx(ctx context.Context, m Model) (bool, error) {
 	switch m {
 	case Weak:
 		if p.Query.Lang() == FO {
@@ -387,7 +416,7 @@ func (p *Problem) RCQPGround(m Model) (bool, error) {
 	default:
 		// Lemma 4.4 / Corollary 6.2: the c-instance and ground problems
 		// coincide in the strong and viable models.
-		return p.rcqpStrongOrViable(m)
+		return p.rcqpStrongOrViable(ctx, m)
 	}
 }
 
@@ -397,6 +426,13 @@ func (p *Problem) RCQPGround(m Model) (bool, error) {
 // active domain. Every FP (hence CQ, UCQ, ∃FO+) query is weakly
 // complete on I0 relative to (Dm, V).
 func (p *Problem) ConstructWeaklyComplete() (*relation.Database, error) {
+	return p.ConstructWeaklyCompleteCtx(context.Background())
+}
+
+// ConstructWeaklyCompleteCtx is ConstructWeaklyComplete honoring the
+// context's deadline.
+func (p *Problem) ConstructWeaklyCompleteCtx(ctx context.Context) (*relation.Database, error) {
+	g := p.beginOp(ctx, "construct_weakly_complete", "")
 	if !p.Query.Monotone() {
 		return nil, fmt.Errorf("weakly complete witness for FO: %w", ErrUndecidable)
 	}
@@ -408,9 +444,9 @@ func (p *Problem) ConstructWeaklyComplete() (*relation.Database, error) {
 	// Greedy maximality: a tuple rejected now stays rejected forever
 	// because CC violation is monotone in the data.
 	for _, r := range p.Schema.Relations() {
-		_, err := p.latticeOver(r, d, func(t relation.Tuple) (bool, error) {
+		_, err := p.latticeOver(ctx, r, d, func(t relation.Tuple) (bool, error) {
 			ext := db.WithTuple(r.Name, t)
-			ok, err := p.satisfiesCCs(ext)
+			ok, err := p.satisfiesCCs(ctx, ext)
 			if err != nil {
 				return false, err
 			}
@@ -420,7 +456,7 @@ func (p *Problem) ConstructWeaklyComplete() (*relation.Database, error) {
 			return true, nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, g.wrap(err)
 		}
 	}
 	return db, nil
@@ -431,23 +467,23 @@ func (p *Problem) ConstructWeaklyComplete() (*relation.Database, error) {
 // back to the generic algorithm (check T weakly complete, then check
 // that no proper row subset is), which matches the Πp4 upper bound for
 // UCQ/∃FO+ and coNEXPTIME for FP.
-func (p *Problem) minpWeak(ci *ctable.CInstance) (bool, error) {
+func (p *Problem) minpWeak(ctx context.Context, ci *ctable.CInstance) (bool, error) {
 	defer p.span("minp_weak")()
 	if p.Query.Lang() == FO {
 		return false, fmt.Errorf("MINP(FO), weak model: %w", ErrUndecidable)
 	}
 	if p.Query.Lang() == CQ && p.Schema.Len() == 1 {
-		return p.minpWeakCQ(ci)
+		return p.minpWeakCQ(ctx, ci)
 	}
-	return p.minpWeakGeneric(ci)
+	return p.minpWeakGeneric(ctx, ci)
 }
 
 // minpWeakCQ is the Lemma 5.7 fast path: T is a minimal weakly complete
 // instance iff either T is empty and ∅ ∈ RCQw, or ∅ ∉ RCQw, |T| = 1 and
 // Mod(T) ≠ ∅.
-func (p *Problem) minpWeakCQ(ci *ctable.CInstance) (bool, error) {
+func (p *Problem) minpWeakCQ(ctx context.Context, ci *ctable.CInstance) (bool, error) {
 	emptyCI := ctable.NewCInstance(p.Schema)
-	emptyComplete, err := p.rcdpWeak(emptyCI)
+	emptyComplete, err := p.rcdpWeak(ctx, emptyCI)
 	if err != nil {
 		return false, err
 	}
@@ -457,13 +493,14 @@ func (p *Problem) minpWeakCQ(ci *ctable.CInstance) (bool, error) {
 	if emptyComplete || ci.Size() != 1 {
 		return false, nil
 	}
-	return p.Consistent(ci)
+	return p.ConsistentCtx(ctx, ci)
 }
 
 // minpWeakGeneric checks T ∈ RCQw and that no proper sub-c-instance
 // (row subset) is weakly complete.
-func (p *Problem) minpWeakGeneric(ci *ctable.CInstance) (bool, error) {
-	complete, err := p.rcdpWeak(ci)
+func (p *Problem) minpWeakGeneric(ctx context.Context, ci *ctable.CInstance) (bool, error) {
+	g := p.beginOp(ctx, "minp_weak", "non-minimality undecided after %d models")
+	complete, err := p.rcdpWeak(ctx, ci)
 	if err != nil {
 		return false, err
 	}
@@ -484,6 +521,9 @@ func (p *Problem) minpWeakGeneric(ci *ctable.CInstance) (bool, error) {
 			int64(p.Options.MaxSubsets), subsets)
 	}
 	for mask := 0; mask < (1 << uint(n)); mask++ {
+		if err := ctx.Err(); err != nil {
+			return false, g.wrap(err)
+		}
 		if mask == (1<<uint(n))-1 {
 			continue // the full set is T itself
 		}
@@ -494,7 +534,7 @@ func (p *Problem) minpWeakGeneric(ci *ctable.CInstance) (bool, error) {
 			}
 		}
 		sub := ci.WithoutRows(drop)
-		subComplete, err := p.rcdpWeak(sub)
+		subComplete, err := p.rcdpWeak(ctx, sub)
 		if errors.Is(err, ErrInconsistent) {
 			// An inconsistent sub-instance represents no database and
 			// cannot witness non-minimality.

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"relcomplete/internal/fault"
 	"relcomplete/internal/obs"
 	"relcomplete/internal/query"
 	"relcomplete/internal/relation"
@@ -61,6 +62,23 @@ type Options struct {
 	// probed/emitted, short circuits, derived FP facts). nil disables
 	// collection at negligible cost.
 	Obs *obs.Metrics
+	// Fault arms the fault-injection harness at the evaluation entry
+	// points (internal/fault) — tests only; nil is inert.
+	Fault *fault.Plan
+	// Interrupt, when non-nil, is polled at evaluation entry and between
+	// FP rule derivations; a non-nil return aborts the evaluation with
+	// that error. The deciders install ctx.Err here so that deadlines
+	// interrupt long fixpoint computations mid-flight instead of waiting
+	// for the evaluation to run to completion.
+	Interrupt func() error
+}
+
+// interrupted polls the Interrupt hook, returning its error if any.
+func (o Options) interrupted() error {
+	if o.Interrupt == nil {
+		return nil
+	}
+	return o.Interrupt()
 }
 
 // ErrBudget is returned when a configured resource cap is exceeded.
@@ -100,6 +118,12 @@ type env struct {
 // asks for the original evaluator; callers that evaluate the same query
 // against many databases should Compile once and reuse the Plan.
 func Answers(db *relation.Database, q *query.Query, opts Options) ([]relation.Tuple, error) {
+	if err := opts.Fault.Visit(fault.SiteEvalAnswers); err != nil {
+		return nil, err
+	}
+	if err := opts.interrupted(); err != nil {
+		return nil, err
+	}
 	if !opts.NaiveJoin && query.IsPositiveExistential(q) {
 		plan, err := Compile(q)
 		if err == nil {
@@ -118,6 +142,9 @@ func Answers(db *relation.Database, q *query.Query, opts Options) ([]relation.Tu
 // still joins level by level but skips materialising, projecting and
 // sorting the answer set.
 func Bool(db *relation.Database, q *query.Query, opts Options) (bool, error) {
+	if err := opts.Fault.Visit(fault.SiteEvalAnswers); err != nil {
+		return false, err
+	}
 	if !q.IsBoolean() {
 		return false, fmt.Errorf("eval: query %s is not Boolean", q.Name)
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"relcomplete/internal/fault"
 	"relcomplete/internal/obs"
 	"relcomplete/internal/query"
 	"relcomplete/internal/relation"
@@ -89,6 +90,9 @@ func (s fpSource) tuples(rel string) ([]relation.Tuple, error) {
 // FPAnswers evaluates the FP program on db, returning the output
 // relation of the inflational fixpoint in deterministic order.
 func FPAnswers(db *relation.Database, p *query.Program, opts Options) ([]relation.Tuple, error) {
+	if err := opts.Fault.Visit(fault.SiteEvalFP); err != nil {
+		return nil, err
+	}
 	if opts.NaiveFP {
 		return fpNaive(db, p, opts)
 	}
@@ -106,6 +110,9 @@ func fpEnv(db *relation.Database, p *query.Program, opts Options, src factSource
 // deriveRule evaluates one rule body and adds the head facts, recording
 // genuinely new facts into delta (when non-nil).
 func deriveRule(e *env, idb *idbStore, delta *idbStore, r *query.Rule, opts Options, progName string) error {
+	if err := opts.interrupted(); err != nil {
+		return err
+	}
 	rows, err := e.ruleBindings(r)
 	if err != nil {
 		return err

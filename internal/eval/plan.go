@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"relcomplete/internal/fault"
 	"relcomplete/internal/obs"
 	"relcomplete/internal/query"
 	"relcomplete/internal/relation"
@@ -1039,6 +1040,12 @@ func (p *Plan) forEach(rt *planRun, fn func(relation.Tuple) error) error {
 // Answers runs the plan on db and returns the answer set in the same
 // deterministic order as Answers.
 func (p *Plan) Answers(db *relation.Database, opts Options) ([]relation.Tuple, error) {
+	if err := opts.Fault.Visit(fault.SiteEvalAnswers); err != nil {
+		return nil, err
+	}
+	if err := opts.interrupted(); err != nil {
+		return nil, err
+	}
 	var out []relation.Tuple
 	err := p.ForEach(db, opts, func(t relation.Tuple) error {
 		out = append(out, t)
@@ -1053,6 +1060,9 @@ func (p *Plan) Answers(db *relation.Database, opts Options) ([]relation.Tuple, e
 
 // Bool evaluates a Boolean query with a first-witness short circuit.
 func (p *Plan) Bool(db *relation.Database, opts Options) (bool, error) {
+	if err := opts.Fault.Visit(fault.SiteEvalAnswers); err != nil {
+		return false, err
+	}
 	if !p.q.IsBoolean() {
 		return false, fmt.Errorf("eval: query %s is not Boolean", p.q.Name)
 	}

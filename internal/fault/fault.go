@@ -1,0 +1,212 @@
+// Package fault is a deterministic fault-injection harness for the
+// robustness test-suite. Production code never arms it: a nil *Plan is
+// the default everywhere and costs one pointer test per instrumented
+// site.
+//
+// The deciders are long-running searches built from many small
+// operations — query evaluations, index probes, per-candidate model
+// checks. Each such operation class is an instrumented *site* (a plain
+// string name, see the Site constants) that calls Plan.Visit before
+// doing its work. A Plan maps sites to rules; when a rule fires, the
+// site returns an injected error, sleeps, or panics — deterministically,
+// keyed on the site's visit count, so a failing chaos seed replays
+// exactly.
+//
+// The harness answers one question: does every decider either return a
+// correct verdict or a typed error (BudgetError, DeadlineError, an
+// injected *Injected, a contained *search.PanicError) — never a
+// deadlock, a goroutine leak or a wrong answer?
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what an armed rule does when it fires.
+type Kind int
+
+const (
+	// KindError makes the site return an *Injected error.
+	KindError Kind = iota
+	// KindDelay makes the site sleep for the rule's Delay.
+	KindDelay
+	// KindPanic makes the site panic with a PanicValue.
+	KindPanic
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindDelay:
+		return "delay"
+	case KindPanic:
+		return "panic"
+	}
+	return "unknown"
+}
+
+// ErrInjected is the sentinel every injected error unwraps to, so
+// tests can separate injected failures from genuine ones with one
+// errors.Is check.
+var ErrInjected = errors.New("fault: injected error")
+
+// Injected is the error an Error-kind rule returns, carrying the site
+// and the visit count it fired on.
+type Injected struct {
+	Site  string
+	Visit int64
+}
+
+func (e *Injected) Error() string {
+	return fmt.Sprintf("fault: injected error at %s (visit %d)", e.Site, e.Visit)
+}
+
+// Unwrap exposes ErrInjected for errors.Is.
+func (e *Injected) Unwrap() error { return ErrInjected }
+
+// PanicValue is the payload of an injected panic. The search engine's
+// panic containment recovers it into a *search.PanicError; the chaos
+// suite asserts the recovered value is exactly this type.
+type PanicValue struct {
+	Site  string
+	Visit int64
+}
+
+func (v PanicValue) String() string {
+	return fmt.Sprintf("fault: injected panic at %s (visit %d)", v.Site, v.Visit)
+}
+
+// Rule arms one fault at one site. The rule fires on visits
+// After+1, After+1+Every, After+1+2·Every, ... (Every <= 1 means every
+// visit past After).
+type Rule struct {
+	Site  string
+	Kind  Kind
+	After int64         // skip this many visits before the first firing
+	Every int64         // then fire every Every-th visit (<= 1: every visit)
+	Delay time.Duration // sleep duration for KindDelay
+}
+
+// armed is one rule with its visit counter. The counter is the only
+// mutable state in a Plan, and it is atomic: sites are visited from
+// worker goroutines.
+type armed struct {
+	rule   Rule
+	visits atomic.Int64
+}
+
+// Plan is an immutable set of armed rules indexed by site. Built once
+// by NewPlan (the map is never written afterwards), visited
+// concurrently. A nil *Plan is inert.
+type Plan struct {
+	sites map[string][]*armed
+}
+
+// NewPlan arms the rules. Multiple rules may share a site; each keeps
+// its own visit counter and all are consulted per visit (the first
+// firing Error rule wins; Delay rules sleep before that decision).
+func NewPlan(rules ...Rule) *Plan {
+	p := &Plan{sites: map[string][]*armed{}}
+	for _, r := range rules {
+		p.sites[r.Site] = append(p.sites[r.Site], &armed{rule: r})
+	}
+	return p
+}
+
+// Visit is called by an instrumented site before its real work. It
+// returns nil when no Error-kind rule fires; Delay rules sleep in
+// place and Panic rules panic with a PanicValue. Nil receivers and
+// unarmed sites return nil immediately.
+func (p *Plan) Visit(site string) error {
+	if p == nil {
+		return nil
+	}
+	for _, a := range p.sites[site] {
+		n := a.visits.Add(1)
+		if n <= a.rule.After {
+			continue
+		}
+		if e := a.rule.Every; e > 1 && (n-a.rule.After-1)%e != 0 {
+			continue
+		}
+		switch a.rule.Kind {
+		case KindDelay:
+			time.Sleep(a.rule.Delay)
+		case KindPanic:
+			panic(PanicValue{Site: site, Visit: n})
+		default:
+			return &Injected{Site: site, Visit: n}
+		}
+	}
+	return nil
+}
+
+// Visits reports how many times site has been visited (the maximum
+// over its rules' counters; 0 for unarmed sites and nil receivers).
+func (p *Plan) Visits(site string) int64 {
+	if p == nil {
+		return 0
+	}
+	var max int64
+	for _, a := range p.sites[site] {
+		if n := a.visits.Load(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// The instrumented sites of this code base (see DESIGN.md §5.10).
+const (
+	// SiteEvalAnswers is every relational-calculus query evaluation:
+	// eval.Answers, eval.Bool and the compiled Plan.Answers/Plan.Bool.
+	SiteEvalAnswers = "eval.answers"
+	// SiteEvalFP is every FP fixpoint evaluation (eval.FPAnswers).
+	SiteEvalFP = "eval.fp"
+	// SiteRelationProbe is every hash-index probe
+	// (relation.Instance.LookupIndexed). An injected error degrades the
+	// probe to "not indexable" — the caller falls back to a scan and the
+	// verdict is unaffected; delays and panics hit the probe directly.
+	SiteRelationProbe = "relation.probe"
+	// SiteSearchWorker is every candidate-model admission check
+	// (core.Problem.checkModel), the per-candidate work unit of the
+	// parallel searches.
+	SiteSearchWorker = "search.worker"
+)
+
+// KnownSites lists every named injection site, in a fixed order so
+// seeded chaos plans are reproducible.
+func KnownSites() []string {
+	return []string{SiteEvalAnswers, SiteEvalFP, SiteRelationProbe, SiteSearchWorker}
+}
+
+// Chaos builds a deterministic pseudo-random plan from a seed: each
+// known site independently stays clean or gets a rule with random
+// kind, warm-up and cadence. The same seed always builds the same
+// plan, so a failing chaos run replays exactly.
+func Chaos(seed int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	var rules []Rule
+	for _, site := range KnownSites() {
+		if rng.Intn(3) == 0 {
+			continue // leave the site clean this round
+		}
+		r := Rule{
+			Site:  site,
+			Kind:  Kind(rng.Intn(3)),
+			After: int64(rng.Intn(20)),
+			Every: int64(1 + rng.Intn(8)),
+		}
+		if r.Kind == KindDelay {
+			r.Delay = time.Duration(1+rng.Intn(200)) * time.Microsecond
+		}
+		rules = append(rules, r)
+	}
+	return NewPlan(rules...)
+}

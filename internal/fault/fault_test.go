@@ -1,0 +1,137 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if err := p.Visit(SiteEvalAnswers); err != nil {
+		t.Fatalf("nil plan injected: %v", err)
+	}
+	if n := p.Visits(SiteEvalAnswers); n != 0 {
+		t.Fatalf("nil plan counted visits: %d", n)
+	}
+}
+
+func TestErrorRuleCadence(t *testing.T) {
+	p := NewPlan(Rule{Site: "s", Kind: KindError, After: 2, Every: 3})
+	var fired []int64
+	for i := int64(1); i <= 12; i++ {
+		if err := p.Visit("s"); err != nil {
+			var inj *Injected
+			if !errors.As(err, &inj) {
+				t.Fatalf("visit %d: not an *Injected: %v", i, err)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("visit %d: does not unwrap to ErrInjected", i)
+			}
+			if inj.Site != "s" || inj.Visit != i {
+				t.Fatalf("visit %d: wrong detail %+v", i, inj)
+			}
+			fired = append(fired, i)
+		}
+	}
+	// After=2, Every=3: fires on visits 3, 6, 9, 12.
+	want := []int64{3, 6, 9, 12}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on %v, want %v", fired, want)
+		}
+	}
+	if p.Visits("s") != 12 {
+		t.Fatalf("Visits = %d, want 12", p.Visits("s"))
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	p := NewPlan(Rule{Site: "s", Kind: KindPanic})
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok {
+			t.Fatalf("recovered %T, want PanicValue", r)
+		}
+		if pv.Site != "s" || pv.Visit != 1 {
+			t.Fatalf("wrong payload %+v", pv)
+		}
+	}()
+	p.Visit("s")
+	t.Fatal("panic rule did not fire")
+}
+
+func TestDelayRuleSleeps(t *testing.T) {
+	p := NewPlan(Rule{Site: "s", Kind: KindDelay, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if err := p.Visit("s"); err != nil {
+		t.Fatalf("delay rule returned error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("slept only %v", elapsed)
+	}
+}
+
+func TestUnarmedSiteClean(t *testing.T) {
+	p := NewPlan(Rule{Site: "other", Kind: KindError})
+	for i := 0; i < 5; i++ {
+		if err := p.Visit("s"); err != nil {
+			t.Fatalf("unarmed site injected: %v", err)
+		}
+	}
+}
+
+func TestVisitConcurrencySafe(t *testing.T) {
+	p := NewPlan(Rule{Site: "s", Kind: KindError, After: 1 << 40}) // counts, never fires
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Visit("s")
+			}
+		}()
+	}
+	wg.Wait()
+	if n := p.Visits("s"); n != 8000 {
+		t.Fatalf("Visits = %d, want 8000", n)
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	// The same seed must drive the same plan: compare firing patterns.
+	pattern := func(seed int64) []string {
+		p := Chaos(seed)
+		var out []string
+		for _, site := range KnownSites() {
+			for i := 0; i < 50; i++ {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							out = append(out, "panic:"+site)
+						}
+					}()
+					if err := p.Visit(site); err != nil {
+						out = append(out, "err:"+site)
+					}
+				}()
+			}
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	if len(a) != len(b) {
+		t.Fatalf("seed 42 non-deterministic: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at event %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

@@ -35,6 +35,10 @@ const (
 	// IndexProbeRows is the fan-out of one index probe: how many rows a
 	// LookupIndexed call returned.
 	IndexProbeRows
+	// CancelLatencyNs is the latency from a context deadline firing to
+	// the decider returning its DeadlineError, in ns (observed only for
+	// deadline-carrying contexts whose deadline has passed).
+	CancelLatencyNs
 
 	numHistos
 )
@@ -92,6 +96,12 @@ var histoDefs = [numHistos]histoDef{
 		help:   "rows returned per hash-index probe",
 		div:    1,
 		bounds: []int64{0, 1, 2, 4, 8, 16, 64, 256},
+	},
+	CancelLatencyNs: {
+		name:   "cancel_latency_seconds",
+		help:   "latency from context deadline to decider return",
+		div:    1e9,
+		bounds: []int64{1e5, 1e6, 1e7, 1e8, 1e9, 1e10}, // 100µs … 10s
 	},
 }
 

@@ -64,6 +64,9 @@ const (
 	SearchCancellations // early-stop signals issued
 	SearchCancelNs      // total ns between stop signal and worker drain
 
+	// robustness: deadline-aware deciders.
+	DeadlineErrors // decisions aborted by context deadline or cancellation
+
 	numCounters
 )
 
@@ -97,6 +100,7 @@ var counterNames = [numCounters]string{
 	SearchRacesResolved:   "search_races_resolved",
 	SearchCancellations:   "search_cancellations",
 	SearchCancelNs:        "search_cancel_ns",
+	DeadlineErrors:        "deadline_errors",
 }
 
 // String returns the counter's canonical snake_case name.

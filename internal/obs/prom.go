@@ -127,6 +127,7 @@ var counterHelp = [numCounters]string{
 	SearchRacesResolved:   "hits discarded for a lower-index winner",
 	SearchCancellations:   "early-stop signals issued",
 	SearchCancelNs:        "total ns between stop signal and worker drain",
+	DeadlineErrors:        "decisions aborted by context deadline or cancellation",
 }
 
 // errWriter latches the first write error so the exposition loop stays

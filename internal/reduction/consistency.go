@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"context"
 	"fmt"
 
 	"relcomplete/internal/cc"
@@ -147,11 +148,21 @@ func satisfactionQuery(b *BoolRels, rx *relation.Schema, q *sat.QBF, prefix stri
 // ConsistencyHolds runs the decider on T. Per Proposition 3.3:
 // the c-instance is consistent iff the QBF is FALSE.
 func (g *ConsistencyGadget) ConsistencyHolds() (bool, error) {
-	return g.Problem.Consistent(g.T)
+	return g.ConsistencyHoldsCtx(context.Background())
+}
+
+// ConsistencyHoldsCtx is ConsistencyHolds honoring ctx.
+func (g *ConsistencyGadget) ConsistencyHoldsCtx(ctx context.Context) (bool, error) {
+	return g.Problem.ConsistentCtx(ctx, g.T)
 }
 
 // ExtensibilityHolds runs the decider on I0. Per Proposition 3.3:
 // I0 is extensible iff the QBF is FALSE.
 func (g *ConsistencyGadget) ExtensibilityHolds() (bool, error) {
-	return g.Problem.Extensible(g.I0)
+	return g.ExtensibilityHoldsCtx(context.Background())
+}
+
+// ExtensibilityHoldsCtx is ExtensibilityHolds honoring ctx.
+func (g *ConsistencyGadget) ExtensibilityHoldsCtx(ctx context.Context) (bool, error) {
+	return g.Problem.ExtensibleCtx(ctx, g.I0)
 }

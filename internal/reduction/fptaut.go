@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"context"
 	"fmt"
 
 	"relcomplete/internal/cc"
@@ -217,5 +218,10 @@ func circuitProgram(circ *sat.Circuit, r *relation.Schema) (*query.Program, erro
 // WeaklyComplete decides RCDPw(I). Per Theorem 5.1(2): true iff the
 // circuit is a tautology.
 func (g *CircuitFPGadget) WeaklyComplete() (bool, error) {
-	return g.Problem.RCDP(g.I, core.Weak)
+	return g.WeaklyCompleteCtx(context.Background())
+}
+
+// WeaklyCompleteCtx is WeaklyComplete honoring ctx.
+func (g *CircuitFPGadget) WeaklyCompleteCtx(ctx context.Context) (bool, error) {
+	return g.Problem.RCDPCtx(ctx, g.I, core.Weak)
 }

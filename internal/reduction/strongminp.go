@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"context"
 	"fmt"
 
 	"relcomplete/internal/cc"
@@ -179,17 +180,32 @@ func allTuplesAtoms(b *BoolRels) []query.Formula {
 // MINPStrongHolds decides MINPs(T). Per Theorem 4.8 (rsBoth = true):
 // true iff the QBF is FALSE.
 func (g *ExistsForallExistsGadget) MINPStrongHolds() (bool, error) {
-	return g.Problem.MINP(g.T, core.Strong)
+	return g.MINPStrongHoldsCtx(context.Background())
+}
+
+// MINPStrongHoldsCtx is MINPStrongHolds honoring ctx.
+func (g *ExistsForallExistsGadget) MINPStrongHoldsCtx(ctx context.Context) (bool, error) {
+	return g.Problem.MINPCtx(ctx, g.T, core.Strong)
 }
 
 // RCDPViableHolds decides RCDPv(T). Per Theorem 6.1 (rsBoth = false):
 // true iff the QBF is TRUE.
 func (g *ExistsForallExistsGadget) RCDPViableHolds() (bool, error) {
-	return g.Problem.RCDP(g.T, core.Viable)
+	return g.RCDPViableHoldsCtx(context.Background())
+}
+
+// RCDPViableHoldsCtx is RCDPViableHolds honoring ctx.
+func (g *ExistsForallExistsGadget) RCDPViableHoldsCtx(ctx context.Context) (bool, error) {
+	return g.Problem.RCDPCtx(ctx, g.T, core.Viable)
 }
 
 // MINPViableHolds decides MINPv(T). Per Corollary 6.3 (rsBoth =
 // false): true iff the QBF is TRUE.
 func (g *ExistsForallExistsGadget) MINPViableHolds() (bool, error) {
-	return g.Problem.MINP(g.T, core.Viable)
+	return g.MINPViableHoldsCtx(context.Background())
+}
+
+// MINPViableHoldsCtx is MINPViableHolds honoring ctx.
+func (g *ExistsForallExistsGadget) MINPViableHoldsCtx(ctx context.Context) (bool, error) {
+	return g.Problem.MINPCtx(ctx, g.T, core.Viable)
 }

@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"context"
 	"fmt"
 
 	"relcomplete/internal/cc"
@@ -150,5 +151,10 @@ func NewWeakMINPGadget(inst sat.SATUNSAT) (*WeakMINPGadget, error) {
 // MinimalWeaklyComplete decides MINPw(∅). Per Theorem 5.6(4): true iff
 // the SAT-UNSAT instance is a NO-instance (ϕ unsat or ϕ' sat).
 func (g *WeakMINPGadget) MinimalWeaklyComplete() (bool, error) {
-	return g.Problem.MINP(g.I, core.Weak)
+	return g.MinimalWeaklyCompleteCtx(context.Background())
+}
+
+// MinimalWeaklyCompleteCtx is MinimalWeaklyComplete honoring ctx.
+func (g *WeakMINPGadget) MinimalWeaklyCompleteCtx(ctx context.Context) (bool, error) {
+	return g.Problem.MINPCtx(ctx, g.I, core.Weak)
 }

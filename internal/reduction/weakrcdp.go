@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"context"
 	"fmt"
 
 	"relcomplete/internal/cc"
@@ -137,5 +138,10 @@ func NewWeakRCDPGadget(q *sat.QBF) (*WeakRCDPGadget, error) {
 // WeaklyComplete decides RCDPw(I). Per Theorem 5.1(3): true iff the
 // QBF is FALSE.
 func (g *WeakRCDPGadget) WeaklyComplete() (bool, error) {
-	return g.Problem.RCDP(g.I, core.Weak)
+	return g.WeaklyCompleteCtx(context.Background())
+}
+
+// WeaklyCompleteCtx is WeaklyComplete honoring ctx.
+func (g *WeakRCDPGadget) WeaklyCompleteCtx(ctx context.Context) (bool, error) {
+	return g.Problem.RCDPCtx(ctx, g.I, core.Weak)
 }

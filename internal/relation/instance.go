@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"relcomplete/internal/fault"
 	"relcomplete/internal/obs"
 )
 
@@ -119,6 +120,12 @@ func (in *Instance) LookupIndexed(positions []int, vals []Value) ([]Tuple, bool)
 		return nil, true // vacuously indexable: no rows match
 	}
 	if len(positions) == 0 || in.schema.Arity() > maxIndexedArity {
+		return nil, false
+	}
+	if err := faultPlan.Load().Visit(fault.SiteRelationProbe); err != nil {
+		// Graceful degradation: an injected probe error demotes the
+		// lookup to "not indexable" and the caller falls back to a scan,
+		// so the verdict is unaffected (delays and panics hit directly).
 		return nil, false
 	}
 	m := metrics.Load()

@@ -3,6 +3,7 @@ package relation
 import (
 	"sync/atomic"
 
+	"relcomplete/internal/fault"
 	"relcomplete/internal/obs"
 )
 
@@ -23,3 +24,18 @@ func SetMetrics(m *obs.Metrics) { metrics.Store(m) }
 
 // Metrics returns the currently installed sink (nil when disabled).
 func Metrics() *obs.Metrics { return metrics.Load() }
+
+// faultPlan is the package-wide fault-injection hook, mirroring the
+// metrics hook for the same reason: instances are created everywhere
+// and the harness is tests-only, so one process-global armed plan
+// beats threading a plan through every constructor. nil (the default,
+// always in production) is inert.
+var faultPlan atomic.Pointer[fault.Plan]
+
+// SetFaultPlan arms p (nil to disarm) at the relation-layer injection
+// sites. Tests that arm it must disarm it again (defer
+// SetFaultPlan(nil)) — the hook is process-global.
+func SetFaultPlan(p *fault.Plan) { faultPlan.Store(p) }
+
+// FaultPlan returns the currently armed plan (nil when disarmed).
+func FaultPlan() *fault.Plan { return faultPlan.Load() }

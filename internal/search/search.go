@@ -26,7 +26,12 @@
 // Probe panics are captured and surface as a *PanicError carrying the
 // candidate index and stack; with several workers in flight, the
 // engine still reports the lowest-index failure only, exactly as the
-// sequential loop would have.
+// sequential loop would have. Generator panics are contained too: they
+// surface as a *PanicError with Index -1 after every dispatched
+// candidate has been probed and drained, so a crashing enumeration
+// never leaks goroutines or deadlocks the pool. A decisive outcome
+// found before the generator crashed still wins — the sequential loop
+// would have exited before reaching the crash point.
 package search
 
 import (
@@ -58,7 +63,10 @@ type Hit[R any] struct {
 	Value R
 }
 
-// PanicError wraps a panic recovered from a probe.
+// PanicError wraps a panic recovered from a probe or from the
+// generator. Index is the candidate the probe was evaluating, or -1
+// when the generator itself panicked (the fault then lies in candidate
+// enumeration, not in any particular candidate).
 type PanicError struct {
 	Index     int
 	Recovered any
@@ -66,6 +74,9 @@ type PanicError struct {
 }
 
 func (e *PanicError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("search: generator panicked: %v\n%s", e.Recovered, e.Stack)
+	}
 	return fmt.Sprintf("search: probe panicked on candidate %d: %v\n%s", e.Index, e.Recovered, e.Stack)
 }
 
@@ -92,6 +103,17 @@ func runProbe[T, R any](ctx context.Context, probe Probe[T, R], idx int, item T)
 	return o
 }
 
+// runGen invokes the generator with panic capture, mirroring runProbe.
+func runGen(gen func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: -1, Recovered: r, Stack: debug.Stack()}
+		}
+	}()
+	gen()
+	return nil
+}
+
 // FirstHit probes the generator's candidates on up to workers
 // goroutines and returns the lowest-index decisive outcome — the same
 // one a sequential loop with early exit would return. found is false
@@ -112,21 +134,26 @@ func FirstHit[T, R any](ctx context.Context, workers int, m *obs.Metrics, gen Ge
 	if workers <= 1 {
 		best := outcome[R]{idx: -1}
 		idx := 0
-		gen(func(item T) bool {
-			if ctx.Err() != nil {
-				best = outcome[R]{idx: idx, err: ctx.Err()}
-				return false
-			}
-			o := runProbe(ctx, probe, idx, item)
-			idx++
-			if o.decisive() {
-				best = o
-				return false
-			}
-			return true
+		genErr := runGen(func() {
+			gen(func(item T) bool {
+				if ctx.Err() != nil {
+					best = outcome[R]{idx: idx, err: ctx.Err()}
+					return false
+				}
+				o := runProbe(ctx, probe, idx, item)
+				idx++
+				if o.decisive() {
+					best = o
+					return false
+				}
+				return true
+			})
 		})
 		m.Add(obs.SearchItems, int64(idx))
 		if best.idx < 0 {
+			if genErr != nil {
+				return zero, false, genErr
+			}
 			return zero, false, nil
 		}
 		if best.err != nil {
@@ -155,20 +182,27 @@ func FirstHit[T, R any](ctx context.Context, workers int, m *obs.Metrics, gen Ge
 
 	// Dispatcher: runs the generator, numbering candidates. It stops
 	// when a decisive outcome halts the search or ctx is cancelled;
-	// candidates already handed to a worker are always probed.
+	// candidates already handed to a worker are always probed. A
+	// generator panic is captured into genErr, which is safe to read
+	// once results has closed: the assignment happens before the
+	// deferred close(dispatch), which happens before the workers exit,
+	// which happens before close(results).
+	var genErr error
 	go func() {
 		defer close(dispatch)
 		idx := 0
-		gen(func(item T) bool {
-			select {
-			case <-stop:
-				return false
-			case <-ctx.Done():
-				return false
-			case dispatch <- task{idx: idx, item: item}:
-				idx++
-				return true
-			}
+		genErr = runGen(func() {
+			gen(func(item T) bool {
+				select {
+				case <-stop:
+					return false
+				case <-ctx.Done():
+					return false
+				case dispatch <- task{idx: idx, item: item}:
+					idx++
+					return true
+				}
+			})
 		})
 	}()
 
@@ -218,6 +252,9 @@ func FirstHit[T, R any](ctx context.Context, workers int, m *obs.Metrics, gen Ge
 		m.Add(obs.SearchCancelNs, time.Since(haltedAt).Nanoseconds())
 	}
 	if best.idx < 0 {
+		if genErr != nil {
+			return zero, false, genErr
+		}
 		if err := ctx.Err(); err != nil {
 			return zero, false, err
 		}
@@ -254,32 +291,37 @@ func ForEachOrdered[T, R any](ctx context.Context, workers int, m *obs.Metrics, 
 		idx := 0
 		var loopErr error
 		stopped := false
-		gen(func(item T) bool {
-			if ctx.Err() != nil {
-				loopErr = ctx.Err()
-				return false
-			}
-			o := runProbe(ctx, func(ctx context.Context, i int, it T) (R, bool, error) {
-				r, err := probe(ctx, i, it)
-				return r, false, err
-			}, idx, item)
-			if o.err != nil {
-				loopErr = o.err
-				return false
-			}
-			cont, err := consume(idx, o.val)
-			idx++
-			if err != nil {
-				loopErr = err
-				return false
-			}
-			if !cont {
-				stopped = true
-				return false
-			}
-			return true
+		genErr := runGen(func() {
+			gen(func(item T) bool {
+				if ctx.Err() != nil {
+					loopErr = ctx.Err()
+					return false
+				}
+				o := runProbe(ctx, func(ctx context.Context, i int, it T) (R, bool, error) {
+					r, err := probe(ctx, i, it)
+					return r, false, err
+				}, idx, item)
+				if o.err != nil {
+					loopErr = o.err
+					return false
+				}
+				cont, err := consume(idx, o.val)
+				idx++
+				if err != nil {
+					loopErr = err
+					return false
+				}
+				if !cont {
+					stopped = true
+					return false
+				}
+				return true
+			})
 		})
 		m.Add(obs.SearchItems, int64(idx))
+		if loopErr == nil && !stopped && genErr != nil {
+			loopErr = genErr
+		}
 		return stopped, loopErr
 	}
 
@@ -304,26 +346,31 @@ func ForEachOrdered[T, R any](ctx context.Context, workers int, m *obs.Metrics, 
 		})
 	}
 
+	// genErr is safe to read once results has closed; see the FirstHit
+	// dispatcher for the happens-before chain.
+	var genErr error
 	go func() {
 		defer close(dispatch)
 		idx := 0
-		gen(func(item T) bool {
-			select {
-			case <-stop:
-				return false
-			case <-ctx.Done():
-				return false
-			case tokens <- struct{}{}:
-			}
-			select {
-			case <-stop:
-				return false
-			case <-ctx.Done():
-				return false
-			case dispatch <- task{idx: idx, item: item}:
-				idx++
-				return true
-			}
+		genErr = runGen(func() {
+			gen(func(item T) bool {
+				select {
+				case <-stop:
+					return false
+				case <-ctx.Done():
+					return false
+				case tokens <- struct{}{}:
+				}
+				select {
+				case <-stop:
+					return false
+				case <-ctx.Done():
+					return false
+				case dispatch <- task{idx: idx, item: item}:
+					idx++
+					return true
+				}
+			})
 		})
 	}()
 
@@ -392,8 +439,13 @@ func ForEachOrdered[T, R any](ctx context.Context, workers int, m *obs.Metrics, 
 	if firstErr != nil {
 		return false, firstErr
 	}
-	if !stopped && ctx.Err() != nil {
-		return false, ctx.Err()
+	if !stopped {
+		if genErr != nil {
+			return false, genErr
+		}
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 	}
 	return stopped, nil
 }

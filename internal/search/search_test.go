@@ -348,3 +348,114 @@ func TestForEachOrderedMetrics(t *testing.T) {
 		t.Errorf("SearchCancellations = %d, want 1", got)
 	}
 }
+
+func TestFirstHitGeneratorPanicContained(t *testing.T) {
+	// A generator that crashes mid-enumeration must surface as a
+	// PanicError with Index -1 after the pool drains — never a deadlock
+	// or an unrecovered panic on an engine goroutine.
+	for _, workers := range []int{1, 4, 8} {
+		gen := Generator[int](func(yield func(int) bool) {
+			for i := 0; i < 5; i++ {
+				if !yield(i) {
+					return
+				}
+			}
+			panic("generator exploded")
+		})
+		probe := func(ctx context.Context, idx int, item int) (int, bool, error) {
+			jitter()
+			return item, false, nil
+		}
+		_, found, err := FirstHit(context.Background(), workers, nil, gen, probe)
+		if found {
+			t.Fatalf("workers=%d: unexpected hit", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want PanicError, got %v", workers, err)
+		}
+		if pe.Index != -1 {
+			t.Fatalf("workers=%d: panic index %d, want -1", workers, pe.Index)
+		}
+	}
+}
+
+func TestFirstHitHitBeatsGeneratorPanic(t *testing.T) {
+	// A decisive hit found before the generator crashed wins: the
+	// sequential loop would have exited before reaching the crash.
+	for _, workers := range []int{1, 4} {
+		gen := Generator[int](func(yield func(int) bool) {
+			for i := 0; i < 3; i++ {
+				if !yield(i) {
+					return
+				}
+			}
+			panic("too far")
+		})
+		probe := func(ctx context.Context, idx int, item int) (int, bool, error) {
+			return item, item == 1, nil
+		}
+		hit, found, err := FirstHit(context.Background(), workers, nil, gen, probe)
+		if err != nil || !found || hit.Index != 1 {
+			t.Fatalf("workers=%d: %+v %v %v", workers, hit, found, err)
+		}
+	}
+}
+
+func TestForEachOrderedGeneratorPanicContained(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		gen := Generator[int](func(yield func(int) bool) {
+			for i := 0; i < 4; i++ {
+				if !yield(i) {
+					return
+				}
+			}
+			panic("enumeration bug")
+		})
+		probe := func(ctx context.Context, idx int, item int) (int, error) {
+			jitter()
+			return item, nil
+		}
+		var got []int
+		stopped, err := ForEachOrdered(context.Background(), workers, nil, gen, probe,
+			func(idx int, r int) (bool, error) {
+				got = append(got, r)
+				return true, nil
+			})
+		if stopped {
+			t.Fatalf("workers=%d: unexpected stop", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Index != -1 {
+			t.Fatalf("workers=%d: want generator PanicError, got %v", workers, err)
+		}
+		// Everything dispatched before the crash is still delivered in
+		// order (the prefix semantics hold even on a crashing generator).
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: out-of-order delivery %v", workers, got)
+			}
+		}
+	}
+}
+
+func TestForEachOrderedConsumerStopBeatsGeneratorPanic(t *testing.T) {
+	// The consumer stopping is the sequential loop's early exit; a
+	// generator crash beyond the stop point is unobservable.
+	for _, workers := range []int{1, 4} {
+		gen := Generator[int](func(yield func(int) bool) {
+			for i := 0; i < 3; i++ {
+				if !yield(i) {
+					return
+				}
+			}
+			panic("past the stop")
+		})
+		probe := func(ctx context.Context, idx int, item int) (int, error) { return item, nil }
+		stopped, err := ForEachOrdered(context.Background(), workers, nil, gen, probe,
+			func(idx int, r int) (bool, error) { return idx < 1, nil })
+		if err != nil || !stopped {
+			t.Fatalf("workers=%d: stopped=%v err=%v, want clean stop", workers, stopped, err)
+		}
+	}
+}

@@ -1,16 +1,20 @@
 package relcomplete_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	relcomplete "relcomplete"
 	"relcomplete/internal/core"
 	"relcomplete/internal/ctable"
 	"relcomplete/internal/paperex"
 	"relcomplete/internal/query"
+	"relcomplete/internal/reduction"
 	"relcomplete/internal/relation"
+	"relcomplete/internal/workload"
 )
 
 // BenchmarkObsOverhead times the same strong-RCDP decision three ways:
@@ -88,6 +92,48 @@ func BenchmarkObsHistogram(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if st := m.Snapshot(); len(st.Histograms) == 0 {
 				b.Fatal("missing histograms")
+			}
+		}
+	})
+}
+
+// BenchmarkCancellationOverhead prices the deadline plumbing the same
+// way BenchmarkObsOverhead prices the metrics: the identical 3SAT
+// consistency decision on the Background fast path (no Done channel,
+// guard and Interrupt hook both skipped) versus under an armed
+// far-future deadline (per-valuation ctx polls plus the evaluator's
+// Interrupt hook, none of which ever fire). The contract is that the
+// armed case stays within a few percent of background — cancellation
+// support must not tax callers who never cancel.
+func BenchmarkCancellationOverhead(b *testing.B) {
+	q := workload.ForallExistsFamily(2, 2, 4, 2)
+	newGadget := func(b *testing.B) *reduction.ConsistencyGadget {
+		g, err := reduction.NewConsistencyGadget(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Problem.Options.NaiveJoin = naiveJoinEnv
+		g.Problem.Options.Parallelism = 1
+		return g
+	}
+	b.Run("background", func(b *testing.B) {
+		g := newGadget(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.ConsistencyHolds(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("armed_deadline", func(b *testing.B) {
+		g := newGadget(b)
+		ctx, cancel := context.WithDeadline(context.Background(),
+			time.Now().Add(24*time.Hour))
+		defer cancel()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.ConsistencyHoldsCtx(ctx); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

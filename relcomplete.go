@@ -121,6 +121,13 @@ type (
 	// of an exhausted search budget; it unwraps to ErrBudget or
 	// ErrInconclusive, so errors.Is checks keep working.
 	BudgetError = core.BudgetError
+	// DeadlineError reports a decider cut short by its context, with the
+	// operation name, elapsed time, a Progress snapshot and a partial
+	// result where the search semantics permit one; it unwraps to
+	// ErrDeadline and the context cause (see DESIGN.md §5.10).
+	DeadlineError = core.DeadlineError
+	// Progress is the work snapshot a DeadlineError carries.
+	Progress = core.Progress
 )
 
 // NewMetrics returns an empty metrics instance for Options.Obs.
@@ -168,6 +175,9 @@ var (
 	ErrBudget = core.ErrBudget
 	// ErrInconclusive reports an exhausted RCQP witness bound.
 	ErrInconclusive = core.ErrInconclusive
+	// ErrDeadline reports a context deadline or cancellation that cut a
+	// decision short; every DeadlineError unwraps to it.
+	ErrDeadline = core.ErrDeadline
 )
 
 // NewProblem validates and builds a decision-problem context from a

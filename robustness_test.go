@@ -1,0 +1,54 @@
+package relcomplete_test
+
+// Cancellation-latency smoke for the deadline-aware deciders: a short
+// deadline on a deliberately large instance must return promptly with
+// the typed deadline error, not run the decision to completion. The
+// latency bound is generous (the CI machines are shared) — the point
+// is the order of magnitude: a 50ms deadline must not take seconds.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"relcomplete"
+	"relcomplete/internal/reduction"
+	"relcomplete/internal/workload"
+)
+
+// TestCancellationLatency asserts that a 50ms deadline stops a 3SAT
+// weak-RCDP instance whose fault-free decision takes multiple seconds
+// in well under 500ms. The deciders consult the context between
+// candidate valuations AND inside each query evaluation (the
+// eval.Options.Interrupt hook), so the residual latency is one rule
+// derivation, not one full fixpoint.
+func TestCancellationLatency(t *testing.T) {
+	// Σ3-SAT family instance measured at >3s fault-free on a dev
+	// machine; the 50ms deadline fires long before the verdict.
+	g, err := reduction.NewWeakRCDPGadget(workload.ExistsForallExistsFamily(3, 18, 3, 10, 1))
+	if err != nil {
+		t.Fatalf("building gadget: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = g.WeaklyCompleteCtx(ctx)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, relcomplete.ErrDeadline) {
+		t.Fatalf("want ErrDeadline after 50ms deadline, got %v (elapsed %v)", err, elapsed)
+	}
+	var de *relcomplete.DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DeadlineError, got %T: %v", err, err)
+	}
+	if de.Op == "" {
+		t.Errorf("DeadlineError.Op is empty: %+v", de)
+	}
+	if elapsed >= 500*time.Millisecond {
+		t.Fatalf("cancellation latency %v, want < 500ms (deadline 50ms)", elapsed)
+	}
+	t.Logf("deadline 50ms, returned after %v: %v", elapsed, err)
+}
