@@ -1,0 +1,45 @@
+// Command promlint validates a Prometheus text-exposition document
+// (file argument or stdin with "-") against the in-repo grammar
+// checker, obs.ValidatePrometheusText. CI's server-smoke job pipes the
+// live /metrics scrape through it so an exposition regression fails
+// the round-trip, not a downstream scraper.
+//
+// Usage:
+//
+//	promlint metrics.prom
+//	curl -s localhost:8080/metrics | promlint -
+//
+// Exit codes: 0 valid, 1 invalid or unreadable.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"relcomplete/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one input file (or - for stdin)")
+	}
+	var data []byte
+	var err error
+	if args[0] == "-" {
+		data, err = io.ReadAll(stdin)
+	} else {
+		data, err = os.ReadFile(args[0])
+	}
+	if err != nil {
+		return err
+	}
+	return obs.ValidatePrometheusText(data)
+}

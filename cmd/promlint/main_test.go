@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relcomplete/internal/obs"
+)
+
+func TestValidDocument(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Inc(obs.ModelsChecked)
+	m.Observe(obs.DeciderWallNs, 1e6)
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	if err := os.WriteFile(path, []byte(m.PrometheusText()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}, nil); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestInvalidDocument(t *testing.T) {
+	if err := run([]string{"-"}, strings.NewReader("this is{not metrics\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestStdin(t *testing.T) {
+	m := obs.NewMetrics()
+	if err := run([]string{"-"}, strings.NewReader(m.PrometheusText())); err != nil {
+		t.Fatalf("stdin path: %v", err)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	if err := run(nil, nil); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	if err := run([]string{"/nonexistent/metrics.prom"}, nil); err == nil {
+		t.Fatal("unreadable file accepted")
+	}
+}

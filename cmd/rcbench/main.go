@@ -24,24 +24,20 @@ package main
 
 import (
 	"context"
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"relcomplete/internal/cc"
 	"relcomplete/internal/core"
 	"relcomplete/internal/ctable"
+	"relcomplete/internal/httpx"
 	"relcomplete/internal/obs"
 	"relcomplete/internal/paperex"
 	"relcomplete/internal/query"
@@ -84,7 +80,6 @@ var (
 	benchMetrics  = obs.NewMetrics()
 	benchRing     = obs.NewRingSink(obs.DefaultRingSize)
 	benchTracer   = obs.NewFlightTracer(benchRing)
-	publishOnce   sync.Once
 
 	// benchCtx bounds every experiment's decider calls; -timeout
 	// replaces it with a deadline context for the whole sweep.
@@ -219,63 +214,14 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// debugServer is the opt-in runtime introspection endpoint with a
-// graceful shutdown path: Close drains in-flight scrapes before the
-// process moves on, so a scrape racing the sweep's end is not cut
-// mid-response.
-type debugServer struct {
-	ln   net.Listener
-	srv  *http.Server
-	done chan struct{} // closed when Serve returns
-}
-
-// serveDebug starts the debug endpoint: the Prometheus exposition
-// under /metrics, the solver counters under /debug/vars (expvar) and
-// the Go profiler under /debug/pprof/. It binds eagerly so a bad
-// address fails the run, then serves in the background until Close.
-func serveDebug(addr string) (*debugServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	// expvar.Publish panics on duplicate names; guard against a second
-	// run() in the same process (tests).
-	publishOnce.Do(func() {
-		expvar.Publish("solver", expvar.Func(func() any { return benchMetrics.Snapshot() }))
-	})
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", obs.ContentTypePrometheus)
-		benchMetrics.WritePrometheus(w)
-	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", httppprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
-	ds := &debugServer{ln: ln, srv: &http.Server{Handler: mux}, done: make(chan struct{})}
-	go func() {
-		ds.srv.Serve(ln)
-		close(ds.done)
-	}()
-	return ds, nil
-}
-
-// Addr returns the bound listen address (useful with ":0").
-func (ds *debugServer) Addr() net.Addr { return ds.ln.Addr() }
-
-// Close gracefully shuts the server down: no new connections, up to a
-// short deadline for in-flight requests to finish, then hard close.
-func (ds *debugServer) Close() error {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	err := ds.srv.Shutdown(ctx)
-	if err != nil {
-		ds.srv.Close()
-	}
-	<-ds.done
-	return err
+// serveDebug starts the opt-in introspection endpoint: the Prometheus
+// exposition under /metrics, the solver counters under /debug/vars
+// (expvar) and the Go profiler under /debug/pprof/. It binds eagerly
+// so a bad address fails the run; Close on the returned server drains
+// in-flight scrapes (internal/httpx) before the process moves on.
+func serveDebug(addr string) (*httpx.Server, error) {
+	httpx.PublishSnapshot("solver", benchMetrics)
+	return httpx.Serve(addr, httpx.NewDebugMux(benchMetrics))
 }
 
 func timed(fn func() (string, string, error)) (row, error) {

@@ -1,0 +1,123 @@
+// Command rcserved is the long-running completeness-decision service:
+// an HTTP/JSON daemon holding named (T, Dm, V) problem instances
+// resident and deciding relative-completeness properties over them
+// under per-request deadlines, budgets and bounded admission.
+//
+// Usage:
+//
+//	rcserved -addr :8080                 # serve the /v1 API (+ /metrics)
+//	rcserved -addr :0                    # random port, printed to stderr
+//	rcserved -workers 4 -max-concurrent 8 -max-queue 128
+//	rcserved -max-resident-mb 64         # registry LRU eviction cap
+//	rcserved -drain-timeout 10s          # SIGTERM drain deadline
+//
+// API:
+//
+//	PUT    /v1/problems/{name}          load a probjson document
+//	GET    /v1/problems[/{name}]        list / inspect loaded problems
+//	DELETE /v1/problems/{name}          unload
+//	POST   /v1/problems/{name}/decide   {"property": "rcdp", "model":
+//	       "strong", "timeout_ms": 500, "budget": {...}, "query": "..."}
+//	GET    /healthz                     200 serving / 503 draining
+//	GET    /metrics                     Prometheus text exposition
+//
+// Status mapping: an expired per-request deadline answers 408 with the
+// DeadlineError detail (op, elapsed, progress snapshot); an exhausted
+// search budget answers 422 with the BudgetError detail; a full
+// admission queue answers 429 with Retry-After. The verdict in all
+// three cases is unknown — never a fabricated "no".
+//
+// On SIGTERM/SIGINT the daemon stops accepting connections, turns
+// /healthz 503, finishes in-flight decisions within -drain-timeout and
+// exits 0 on a clean drain (1 when the deadline cut requests short).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"relcomplete/internal/httpx"
+	"relcomplete/internal/obs"
+	"relcomplete/internal/relation"
+	"relcomplete/internal/server"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	if err := run(os.Args[1:], os.Stderr, sigs, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "rcserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a signal arrives, then drains.
+// ready, when non-nil, receives the bound address once the server is
+// listening (tests use it instead of scraping stderr).
+func run(args []string, stderr io.Writer, sigs <-chan os.Signal, ready chan<- string) error {
+	fs := flag.NewFlagSet("rcserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address for the API and /metrics")
+	workers := fs.Int("workers", 0, "Options.Parallelism for loaded problems (0 = GOMAXPROCS)")
+	maxConcurrent := fs.Int("max-concurrent", 4, "decide calls running at once (admission concurrency cap)")
+	maxQueue := fs.Int("max-queue", 64, "decide calls waiting for a slot before 429s (bounded queue depth)")
+	maxResidentMB := fs.Int64("max-resident-mb", 256, "registry resident-bytes cap in MiB (LRU eviction; -1 = unlimited)")
+	defaultTimeout := fs.Duration("default-timeout", 30*time.Second, "decide deadline when the request sets no timeout_ms")
+	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "upper bound on a request's timeout_ms")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "SIGTERM: how long in-flight decisions may run before hard close")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+
+	metrics := obs.NewMetrics()
+	relation.SetMetrics(metrics) // index counters live behind a process-global hook
+	maxResident := *maxResidentMB
+	if maxResident > 0 {
+		maxResident <<= 20
+	}
+	svc := server.New(server.Config{
+		Workers:          *workers,
+		MaxConcurrent:    *maxConcurrent,
+		MaxQueue:         *maxQueue,
+		MaxResidentBytes: maxResident,
+		DefaultTimeout:   *defaultTimeout,
+		MaxTimeout:       *maxTimeout,
+		Metrics:          metrics,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", svc)
+	httpx.PublishSnapshot("solver", metrics)
+	httpx.RegisterDebug(mux, metrics) // /metrics, /debug/vars, /debug/pprof
+
+	srv, err := httpx.Serve(*addr, mux)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	bound := srv.Addr().String()
+	fmt.Fprintf(stderr, "rcserved: serving /v1 on http://%s (metrics on /metrics)\n", bound)
+	if ready != nil {
+		ready <- bound
+	}
+
+	sig := <-sigs
+	fmt.Fprintf(stderr, "rcserved: %v: draining (deadline %v)\n", sig, *drainTimeout)
+	svc.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(stderr, "rcserved: drained cleanly")
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon in a goroutine and returns its base URL,
+// the signal channel that stands in for the process's, and the channel
+// run's error will land on.
+func startDaemon(t *testing.T, args []string) (baseURL string, sigs chan os.Signal, errs chan error) {
+	t.Helper()
+	sigs = make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	errs = make(chan error, 1)
+	var stderr bytes.Buffer
+	go func() {
+		errs <- run(args, &stderr, sigs, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, sigs, errs
+	case err := <-errs:
+		t.Fatalf("daemon died before ready: %v (stderr: %s)", err, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return "", nil, nil
+}
+
+// The full daemon lifecycle: start on a random port, load a problem,
+// decide it, SIGTERM, clean drain (nil return = process exit 0).
+func TestDaemonLifecycle(t *testing.T) {
+	base, sigs, errs := startDaemon(t, []string{"-addr", "127.0.0.1:0"})
+
+	raw, err := os.ReadFile("../../examples/orders_rcdp.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, base+"/v1/problems/orders", bytes.NewReader(raw))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+
+	dresp, err := http.Post(base+"/v1/problems/orders/decide", "application/json",
+		strings.NewReader(`{"property": "rcdp", "model": "strong"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Verdict *bool `json:"verdict"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || body.Verdict == nil || *body.Verdict {
+		t.Fatalf("decide: status=%d verdict=%v", dresp.StatusCode, body.Verdict)
+	}
+
+	// The debug surface is mounted alongside the API.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", mresp.StatusCode)
+	}
+
+	http.DefaultClient.CloseIdleConnections()
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-errs:
+		if err != nil {
+			t.Fatalf("drain should exit clean, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"positional-arg"},
+		{"-addr", "definitely:not:an:address"},
+	} {
+		if err := run(args, io.Discard, nil, nil); err == nil {
+			t.Fatalf("%q accepted", args)
+		}
+	}
+}
+
+// A second daemon on the same port must fail fast with the bind error,
+// not hang waiting for signals.
+func TestDaemonBindConflict(t *testing.T) {
+	base, sigs, errs := startDaemon(t, []string{"-addr", "127.0.0.1:0"})
+	addr := strings.TrimPrefix(base, "http://")
+	if err := run([]string{"-addr", addr}, io.Discard, nil, nil); err == nil {
+		t.Fatal("conflicting bind accepted")
+	}
+	sigs <- syscall.SIGTERM
+	if err := <-errs; err != nil {
+		t.Fatalf("first daemon drain: %v", err)
+	}
+}

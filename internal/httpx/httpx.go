@@ -1,0 +1,124 @@
+// Package httpx is the HTTP plumbing shared by cmd/rcbench's debug
+// endpoint and the cmd/rcserved daemon: an eagerly-bound server with
+// one graceful-shutdown discipline (context-bounded Shutdown, hard
+// Close on expiry, idempotent under double shutdown) and the standard
+// debug mux (/metrics Prometheus exposition, /debug/vars expvar,
+// /debug/pprof). Keeping the shutdown path in one place means a fix to
+// the drain logic reaches both binaries.
+package httpx
+
+import (
+	"context"
+	"expvar"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+	"time"
+
+	"relcomplete/internal/obs"
+)
+
+// CloseTimeout bounds Close's graceful-drain phase; past it the server
+// hard-closes its connections.
+const CloseTimeout = 2 * time.Second
+
+// Server wraps net.Listener + http.Server with a graceful shutdown
+// path: Drain stops accepting, lets in-flight requests finish within
+// the context's deadline, then hard-closes whatever remains. A scrape
+// or decide racing the process's end is completed, not cut
+// mid-response.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when Serve returns
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// Serve binds addr eagerly — a bad address fails the caller instead of
+// silently serving nothing — and serves h in the background until
+// Drain or Close.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h}, done: make(chan struct{})}
+	go func() {
+		s.srv.Serve(ln)
+		close(s.done)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Drain gracefully shuts the server down: no new connections, in-flight
+// requests run to completion until ctx expires, then hard close. It
+// returns nil on a clean drain and ctx's error when the deadline cut
+// requests short. Drain and Close are idempotent — concurrent or
+// repeated calls share one shutdown and return its result.
+func (s *Server) Drain(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		err := s.srv.Shutdown(ctx)
+		if err != nil {
+			s.srv.Close()
+		}
+		<-s.done
+		s.shutdownErr = err
+	})
+	return s.shutdownErr
+}
+
+// Close is Drain with the default CloseTimeout.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), CloseTimeout)
+	defer cancel()
+	return s.Drain(ctx)
+}
+
+// RegisterDebug mounts the shared debug routes on mux: the Prometheus
+// exposition of m under /metrics, expvar under /debug/vars and the Go
+// profiler under /debug/pprof/.
+func RegisterDebug(mux *http.ServeMux, m *obs.Metrics) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentTypePrometheus)
+		m.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}
+
+// NewDebugMux is RegisterDebug on a fresh mux.
+func NewDebugMux(m *obs.Metrics) *http.ServeMux {
+	mux := http.NewServeMux()
+	RegisterDebug(mux, m)
+	return mux
+}
+
+var (
+	publishMu sync.Mutex
+	published = map[string]bool{}
+)
+
+// PublishSnapshot publishes m's stats snapshot as the expvar variable
+// name. expvar.Publish panics on duplicate names; this wrapper makes
+// republishing (a second run() in the same test process, both binaries'
+// packages under one test run) a no-op — the first metrics instance
+// wins for the life of the process.
+func PublishSnapshot(name string, m *obs.Metrics) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if published[name] {
+		return
+	}
+	published[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

@@ -1,0 +1,186 @@
+package httpx
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"relcomplete/internal/obs"
+)
+
+// The debug mux end to end: /metrics must pass the in-repo Prometheus
+// grammar check, /debug/vars must expose the published snapshot, and
+// /debug/pprof/ must answer.
+func TestDebugMux(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Inc(obs.ModelsChecked)
+	PublishSnapshot("httpx_test_solver", m)
+	s, err := Serve("127.0.0.1:0", NewDebugMux(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr().String()
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Content-Type"); got != obs.ContentTypePrometheus {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidatePrometheusText(body); err != nil {
+		t.Fatalf("/metrics failed the exposition grammar: %v", err)
+	}
+	if !strings.Contains(string(body), "relcomplete_models_checked_total") {
+		t.Fatalf("/metrics missing counter family:\n%s", body)
+	}
+
+	respV, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	err = json.NewDecoder(respV.Body).Decode(&vars)
+	respV.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := vars["httpx_test_solver"]; !ok {
+		t.Fatalf("published snapshot missing from expvar: %v", vars)
+	}
+
+	respP, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	respP.Body.Close()
+	if respP.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", respP.StatusCode)
+	}
+}
+
+// A second bind on a taken address must fail eagerly.
+func TestBindFailure(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", http.NewServeMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := Serve(s.Addr().String(), http.NewServeMux()); err == nil {
+		t.Fatal("bind on a taken address should succeed for exactly one server")
+	}
+}
+
+// Close must be idempotent: a double (and concurrent) shutdown shares
+// one result, and the listener answers nothing afterwards.
+func TestDoubleShutdown(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", http.NewServeMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr().String()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Close #%d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("repeated Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/"); err == nil {
+		t.Fatal("server still answering after Close")
+	}
+}
+
+// Drain must let an in-flight request finish, and report the context
+// error when the deadline cuts one short.
+func TestDrainWaitsForInflight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "done")
+	})
+	s, err := Serve("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr().String() + "/slow")
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- string(body)
+	}()
+	<-entered
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain with room to finish: %v", err)
+	}
+	if body := <-got; body != "done" {
+		t.Fatalf("in-flight request cut short: %q", body)
+	}
+}
+
+func TestDrainDeadlineExpired(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	entered := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stuck", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})
+	s, err := Serve("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go http.Get("http://" + s.Addr().String() + "/stuck")
+	<-entered
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("drain past its deadline should report the context error")
+	}
+}
+
+func TestPublishSnapshotIdempotent(t *testing.T) {
+	m := obs.NewMetrics()
+	PublishSnapshot("httpx_test_dup", m)
+	PublishSnapshot("httpx_test_dup", m) // must not panic
+}

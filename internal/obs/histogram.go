@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strconv"
 	"time"
 )
@@ -39,6 +40,11 @@ const (
 	// the decider returning its DeadlineError, in ns (observed only for
 	// deadline-carrying contexts whose deadline has passed).
 	CancelLatencyNs
+	// QueueWaitNs is the time one decide request spent in the admission
+	// queue before a worker slot freed up, in ns (internal/server). A
+	// growing tail here with a flat DeciderWallNs means the concurrency
+	// cap, not the deciders, is the bottleneck.
+	QueueWaitNs
 
 	numHistos
 )
@@ -102,6 +108,12 @@ var histoDefs = [numHistos]histoDef{
 		help:   "latency from context deadline to decider return",
 		div:    1e9,
 		bounds: []int64{1e5, 1e6, 1e7, 1e8, 1e9, 1e10}, // 100µs … 10s
+	},
+	QueueWaitNs: {
+		name:   "queue_wait_seconds",
+		help:   "time spent in the admission queue before a decide slot",
+		div:    1e9,
+		bounds: []int64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}, // 10µs … 10s
 	},
 }
 
@@ -248,4 +260,30 @@ func (m *Metrics) histoStat(h Histo) (HistogramStat, bool) {
 // shortest float representation.
 func formatBound(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1) of
+// the recorded values, in the exposed unit: the smallest bucket bound
+// whose cumulative count covers q of the observations, math.Inf(1)
+// when only the +Inf bucket does. ok is false on an empty histogram or
+// an out-of-range q. The bound is conservative the way Prometheus'
+// histogram_quantile is: the true quantile lies at or below it.
+func (st HistogramStat) Quantile(q float64) (float64, bool) {
+	if st.Count == 0 || q <= 0 || q > 1 {
+		return 0, false
+	}
+	target := int64(math.Ceil(q * float64(st.Count)))
+	for _, b := range st.Buckets {
+		if b.Count >= target {
+			if b.LE == "+Inf" {
+				return math.Inf(1), true
+			}
+			v, err := strconv.ParseFloat(b.LE, 64)
+			if err != nil {
+				return 0, false
+			}
+			return v, true
+		}
+	}
+	return math.Inf(1), true
 }

@@ -67,6 +67,13 @@ const (
 	// robustness: deadline-aware deciders.
 	DeadlineErrors // decisions aborted by context deadline or cancellation
 
+	// server: the rcserved HTTP daemon (internal/server).
+	ServerRequests       // HTTP API requests received
+	ServerDecides        // decide calls that reached a decider
+	ServerOverloads      // decide requests rejected by admission control (429)
+	ServerProblemsLoaded // problems loaded into the registry
+	ServerEvictions      // problems evicted by the resident-bytes cap
+
 	numCounters
 )
 
@@ -101,6 +108,11 @@ var counterNames = [numCounters]string{
 	SearchCancellations:   "search_cancellations",
 	SearchCancelNs:        "search_cancel_ns",
 	DeadlineErrors:        "deadline_errors",
+	ServerRequests:        "server_requests",
+	ServerDecides:         "server_decides",
+	ServerOverloads:       "server_overloads",
+	ServerProblemsLoaded:  "server_problems_loaded",
+	ServerEvictions:       "server_evictions",
 }
 
 // String returns the counter's canonical snake_case name.

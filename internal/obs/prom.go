@@ -128,6 +128,11 @@ var counterHelp = [numCounters]string{
 	SearchCancellations:   "early-stop signals issued",
 	SearchCancelNs:        "total ns between stop signal and worker drain",
 	DeadlineErrors:        "decisions aborted by context deadline or cancellation",
+	ServerRequests:        "HTTP API requests received",
+	ServerDecides:         "decide calls that reached a decider",
+	ServerOverloads:       "decide requests rejected by admission control",
+	ServerProblemsLoaded:  "problems loaded into the registry",
+	ServerEvictions:       "problems evicted by the resident-bytes cap",
 }
 
 // errWriter latches the first write error so the exposition loop stays

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"relcomplete/internal/obs"
+)
+
+// Admission is the bounded admission controller in front of the
+// deciders: at most Concurrency decide calls run at once — each of
+// which fans out to Options.Parallelism workers, so concurrency ×
+// parallelism is the server's total decider-thread budget — and at
+// most Queue more wait for a slot. A request beyond both caps is
+// rejected immediately with an OverloadError (HTTP 429) instead of
+// piling onto an unbounded queue: under sustained overload the server
+// sheds load at the door and keeps serving the admitted requests at
+// full speed.
+type Admission struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+	metrics  *obs.Metrics
+}
+
+// NewAdmission builds a controller with the given concurrency cap
+// (≥ 1 enforced) and queue depth (≥ 0).
+func NewAdmission(concurrency, queue int, m *obs.Metrics) *Admission {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Admission{
+		slots:    make(chan struct{}, concurrency),
+		maxQueue: int64(queue),
+		metrics:  m,
+	}
+}
+
+// OverloadError reports a request rejected at the door: the queue was
+// already full. RetryAfter is the suggested client back-off.
+type OverloadError struct {
+	Queued, QueueCap int64
+	RetryAfter       time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server overloaded: %d requests already queued (cap %d), retry after %v",
+		e.Queued, e.QueueCap, e.RetryAfter)
+}
+
+// Acquire claims a decide slot, waiting in the bounded queue if all
+// slots are busy. It returns the release function on success; an
+// *OverloadError when the queue is full; ctx.Err() when the caller
+// gave up (client disconnect, deadline) while queued. Queue wait time
+// is recorded in the queue_wait_seconds histogram.
+func (a *Admission) Acquire(ctx context.Context) (func(), error) {
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.metrics.Observe(obs.QueueWaitNs, 0)
+		return a.releaseFunc(), nil
+	default:
+	}
+	// Slow path: join the bounded queue. The increment-then-check keeps
+	// the race window harmless — a burst may momentarily overshoot the
+	// cap by the number of racing requests, every one of which is then
+	// rejected, never silently queued past the cap.
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.metrics.Inc(obs.ServerOverloads)
+		return nil, &OverloadError{
+			Queued:     a.maxQueue,
+			QueueCap:   a.maxQueue,
+			RetryAfter: time.Second,
+		}
+	}
+	start := time.Now()
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.metrics.ObserveDuration(obs.QueueWaitNs, time.Since(start))
+		return a.releaseFunc(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *Admission) releaseFunc() func() {
+	var released atomic.Bool
+	return func() {
+		if released.CompareAndSwap(false, true) {
+			<-a.slots
+		}
+	}
+}
+
+// Queued reports how many requests are currently waiting.
+func (a *Admission) Queued() int64 { return a.queued.Load() }
+
+// InFlight reports how many decide slots are currently held.
+func (a *Admission) InFlight() int { return len(a.slots) }

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"relcomplete/internal/obs"
+)
+
+func TestAdmissionConcurrencyCap(t *testing.T) {
+	m := obs.NewMetrics()
+	a := NewAdmission(2, 0, m)
+
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InFlight() != 2 {
+		t.Fatalf("in flight = %d", a.InFlight())
+	}
+
+	// Queue is zero: the third caller bounces immediately.
+	_, err = a.Acquire(context.Background())
+	var ov *OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("err = %v, want OverloadError", err)
+	}
+	if ov.RetryAfter <= 0 {
+		t.Fatalf("overload must advise a retry delay: %+v", ov)
+	}
+	if got := m.Get(obs.ServerOverloads); got != 1 {
+		t.Fatalf("overloads = %d", got)
+	}
+
+	// Releasing a slot lets the next caller in.
+	r1()
+	r1() // idempotent: double release must not mint an extra slot
+	r3, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InFlight() != 2 {
+		t.Fatalf("in flight after re-acquire = %d", a.InFlight())
+	}
+	r2()
+	r3()
+	if a.InFlight() != 0 {
+		t.Fatalf("in flight after all released = %d", a.InFlight())
+	}
+}
+
+func TestAdmissionQueueing(t *testing.T) {
+	m := obs.NewMetrics()
+	a := NewAdmission(1, 2, m)
+
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two callers fit the queue; they block until the slot frees.
+	var wg sync.WaitGroup
+	acquired := make(chan func(), 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := a.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("queued acquire: %v", err)
+				return
+			}
+			acquired <- release
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Queued() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d, want 2", a.Queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A third queued caller overflows.
+	if _, err := a.Acquire(context.Background()); err == nil {
+		t.Fatal("overflow accepted")
+	}
+
+	r1()
+	release := <-acquired
+	release()
+	(<-acquired)()
+	wg.Wait()
+	if a.InFlight() != 0 || a.Queued() != 0 {
+		t.Fatalf("drained state: inflight=%d queued=%d", a.InFlight(), a.Queued())
+	}
+	if m.HistoCount(obs.QueueWaitNs) < 3 {
+		t.Fatalf("queue wait observations = %d, want >= 3", m.HistoCount(obs.QueueWaitNs))
+	}
+}
+
+func TestAdmissionContextCancel(t *testing.T) {
+	m := obs.NewMetrics()
+	a := NewAdmission(1, 4, m)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx)
+		errs <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("caller never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if a.Queued() != 0 {
+		t.Fatalf("queued after cancel = %d", a.Queued())
+	}
+}

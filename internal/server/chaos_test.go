@@ -1,0 +1,166 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"relcomplete/internal/fault"
+)
+
+// Chaos suite for the service layer: with a deterministic fault plan
+// armed on every loaded problem, concurrent decide requests must answer
+// either the fault-free verdict (200) or a typed 4xx/5xx error body —
+// never a wrong verdict, a torn response or a leaked goroutine. This is
+// the HTTP-shaped restatement of the engine's graceful-degradation
+// contract in internal/core's robustness suite.
+
+// serverChaosSeeds mirrors internal/core's seed policy: a fixed in-repo
+// matrix plus RELCOMPLETE_CHAOS_SEED from the environment (CI's chaos
+// job sets it per matrix leg).
+func serverChaosSeeds(t *testing.T) []int64 {
+	seeds := []int64{11, 29, 53}
+	if s := os.Getenv("RELCOMPLETE_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("RELCOMPLETE_CHAOS_SEED: %v", err)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds
+}
+
+// typedFailureKinds are the error kinds the chaos contract accepts in
+// place of a verdict: injected faults, contained injected panics, and
+// the engine's own resource-pressure errors (a fault-injected delay can
+// legitimately push a decide over its deadline).
+var typedFailureKinds = map[string]bool{
+	KindInjected: true,
+	KindPanic:    true,
+	KindDeadline: true,
+	KindBudget:   true,
+}
+
+func TestChaosServerTypedErrorsNeverWrongVerdicts(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	// Fault-free oracle verdicts for the orders instance (asserted
+	// independently in TestDecideRoundTrip).
+	oracle := map[string]bool{
+		"rcdp/strong": false,
+		"rcdp/weak":   false,
+		"consistency": true,
+		"minp/strong": false,
+	}
+
+	for _, seed := range serverChaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// Deep queue: admission must never bounce a request, so every
+			// one of them reaches a decider under the armed plan.
+			_, ts := newTestServer(t, Config{
+				Workers:       2,
+				MaxConcurrent: 4,
+				MaxQueue:      1024,
+				FaultPlan:     fault.Chaos(seed),
+			})
+			putOrders(t, ts.URL, "orders")
+
+			reqs := []DecideRequest{
+				{Property: "rcdp", Model: "strong"},
+				{Property: "rcdp", Model: "weak"},
+				{Property: "consistency"},
+				{Property: "minp", Model: "strong"},
+				{Property: "certain"},
+			}
+			var wg sync.WaitGroup
+			for c := 0; c < 4; c++ {
+				for _, req := range reqs {
+					wg.Add(1)
+					go func(req DecideRequest) {
+						defer wg.Done()
+						resp, dr := decide(t, ts.URL, "orders", req)
+						key := req.Property
+						if req.Model != "" {
+							key += "/" + req.Model
+						}
+						switch {
+						case resp.StatusCode == http.StatusOK:
+							if req.Property == "certain" {
+								if dr.CertainAnswers == nil || len(dr.CertainAnswers) != 0 {
+									t.Errorf("%s: wrong certain answers %#v", key, dr.CertainAnswers)
+								}
+								return
+							}
+							if dr.Verdict == nil || *dr.Verdict != oracle[key] {
+								t.Errorf("%s: WRONG VERDICT under chaos: got %v want %v",
+									key, dr.Verdict, oracle[key])
+							}
+						default:
+							if !typedFailureKinds[dr.Kind] {
+								t.Errorf("%s: status %d with untyped kind %q (error=%s)",
+									key, resp.StatusCode, dr.Kind, dr.Error)
+							}
+							if dr.Error == "" {
+								t.Errorf("%s: typed failure with empty error", key)
+							}
+							if dr.Verdict != nil {
+								t.Errorf("%s: error answer must not carry a verdict", key)
+							}
+						}
+					}(req)
+				}
+			}
+			wg.Wait()
+			http.DefaultClient.CloseIdleConnections()
+		})
+	}
+
+	http.DefaultClient.CloseIdleConnections()
+	assertServerNoGoroutineLeak(t, base)
+}
+
+// A plan injecting an error at the relation-probe site must degrade to
+// scans — verdicts unaffected, no error surfaced (the engine swallows
+// it by design). This pins the CI chaos matrix's "faults surface as
+// typed errors, never wrong verdicts" at its most subtle point: a
+// fault that is *supposed* to be absorbed.
+func TestChaosRelationProbeFaultAbsorbed(t *testing.T) {
+	plan := fault.NewPlan(fault.Rule{
+		Site: fault.SiteRelationProbe, Kind: fault.KindError, Every: 1,
+	})
+	_, ts := newTestServer(t, Config{FaultPlan: plan})
+	putOrders(t, ts.URL, "orders")
+	resp, dr := decide(t, ts.URL, "orders", DecideRequest{Property: "rcdp", Model: "strong"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe-site faults must degrade, not fail: status=%d error=%s",
+			resp.StatusCode, dr.Error)
+	}
+	if dr.Verdict == nil || *dr.Verdict {
+		t.Fatalf("degraded decide changed the verdict: %+v", dr.Verdict)
+	}
+}
+
+// assertServerNoGoroutineLeak is internal/core's leak assertion,
+// restated here: poll until the goroutine count settles back to the
+// baseline plus runtime slack, else dump all stacks.
+func assertServerNoGoroutineLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d live, baseline %d\n%s", n, base, buf[:m])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

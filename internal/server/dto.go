@@ -1,0 +1,197 @@
+// Request/response DTOs of the /v1 API and the mapping from the
+// engine's typed errors to HTTP statuses. The decide response carries
+// the same verdict + stats shape as rcheck -json, so a client can move
+// between the CLI and the service without re-parsing.
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"relcomplete/internal/adom"
+	"relcomplete/internal/core"
+	"relcomplete/internal/eval"
+	"relcomplete/internal/fault"
+	"relcomplete/internal/obs"
+	"relcomplete/internal/search"
+)
+
+// DecideRequest is the POST /v1/problems/{name}/decide body.
+type DecideRequest struct {
+	// Property selects the decision problem: consistency,
+	// extensibility, rcdp, rcqp, minp or certain.
+	Property string `json:"property"`
+	// Model is the completeness model for rcdp/rcqp/minp:
+	// strong (default), weak or viable.
+	Model string `json:"model,omitempty"`
+	// Query, when set, overrides the loaded document's calculus query
+	// for this request only (the resident problem is untouched). The
+	// decide runs on a freshly built problem, so it pays plan
+	// compilation once per request.
+	Query string `json:"query,omitempty"`
+	// TimeoutMS bounds the decision; expiry answers 408 with a deadline
+	// object. 0 means the server's default timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Budget, when set, overrides the document's enumeration caps for
+	// this request only (also a fresh problem build).
+	Budget *BudgetRequest `json:"budget,omitempty"`
+}
+
+// BudgetRequest mirrors probjson.OptionsDoc's enumeration caps.
+type BudgetRequest struct {
+	MaxValuations int `json:"max_valuations,omitempty"`
+	MaxSubsets    int `json:"max_subsets,omitempty"`
+	RCQPSizeBound int `json:"rcqp_size_bound,omitempty"`
+	MaxDerived    int `json:"max_derived,omitempty"`
+}
+
+// overridden reports whether the request needs a problem rebuilt from
+// the document instead of the shared resident one.
+func (r *DecideRequest) overridden() bool {
+	return r.Query != "" || r.Budget != nil
+}
+
+// DecideResponse is the decide endpoint's JSON body — also used for
+// error answers, where Verdict stays null and Error/Kind carry the
+// typed failure. Stats is the server-cumulative solver snapshot (the
+// same obs.Stats object rcheck -json prints).
+type DecideResponse struct {
+	Problem        string `json:"problem"`
+	Property       string `json:"property"`
+	Model          string `json:"model,omitempty"`
+	Verdict        *bool  `json:"verdict,omitempty"`
+	Counterexample string `json:"counterexample,omitempty"`
+	// CertainAnswers is null unless the property was "certain", in
+	// which case it is a (possibly empty, never null) list.
+	CertainAnswers []string      `json:"certain_answers"`
+	Error          string        `json:"error,omitempty"`
+	Kind           string        `json:"kind,omitempty"`
+	Budget         *BudgetInfo   `json:"budget,omitempty"`
+	Deadline       *DeadlineInfo `json:"deadline,omitempty"`
+	RetryAfterMS   int64         `json:"retry_after_ms,omitempty"`
+	ElapsedMS      float64       `json:"elapsed_ms"`
+	Stats          obs.Stats     `json:"stats"`
+}
+
+// BudgetInfo mirrors core.BudgetError.
+type BudgetInfo struct {
+	Op       string `json:"op"`
+	Cap      string `json:"cap"`
+	Limit    int64  `json:"limit"`
+	Consumed int64  `json:"consumed"`
+}
+
+// DeadlineInfo mirrors core.DeadlineError.
+type DeadlineInfo struct {
+	Op                   string `json:"op"`
+	Elapsed              string `json:"elapsed"`
+	Partial              string `json:"partial,omitempty"`
+	ModelsChecked        int64  `json:"models_checked"`
+	ModelsAdmitted       int64  `json:"models_admitted"`
+	ModelsPruned         int64  `json:"models_pruned"`
+	ValuationsEnumerated int64  `json:"valuations_enumerated"`
+	ExtensionsTested     int64  `json:"extensions_tested"`
+}
+
+// PutResponse answers PUT /v1/problems/{name}.
+type PutResponse struct {
+	Name          string `json:"name"`
+	Bytes         int64  `json:"bytes"`
+	Replaced      bool   `json:"replaced"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	Problems      int    `json:"problems"`
+}
+
+// ListResponse answers GET /v1/problems.
+type ListResponse struct {
+	Problems      []Info `json:"problems"`
+	ResidentBytes int64  `json:"resident_bytes"`
+}
+
+// ErrorResponse is the body of non-decide error answers.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+// Error kinds: every non-2xx answer names which typed failure it is,
+// so clients (and the chaos suite) can distinguish "the engine said
+// no such thing is decidable" from "a fault was injected" without
+// string-matching.
+const (
+	KindBadRequest   = "bad_request"
+	KindNotFound     = "not_found"
+	KindTooLarge     = "too_large"
+	KindOverload     = "overload"
+	KindDeadline     = "deadline"
+	KindBudget       = "budget"
+	KindUndecidable  = "undecidable"
+	KindInconsistent = "inconsistent"
+	KindInjected     = "injected"
+	KindPanic        = "panic"
+	KindDraining     = "draining"
+	KindInternal     = "internal"
+)
+
+// classify maps a decider error to its HTTP status and typed kind.
+// The deadline check precedes the budget check for the same reason
+// rcheck's exit codes do: a cancelled search may trip a budget on the
+// way out, and the deadline is the root cause. Fault-injection
+// errors and contained panics come last so a typed engine error never
+// masquerades as an injected one.
+func classify(err error) (status int, kind string) {
+	var overload *OverloadError
+	var tooLarge *ErrTooLarge
+	var panicErr *search.PanicError
+	var contained *panicError
+	var badReq *badRequestError
+	switch {
+	case errors.As(err, &badReq):
+		return http.StatusBadRequest, KindBadRequest
+	case errors.As(err, &overload):
+		return http.StatusTooManyRequests, KindOverload
+	case errors.As(err, &tooLarge):
+		return http.StatusRequestEntityTooLarge, KindTooLarge
+	case errors.Is(err, core.ErrDeadline):
+		return http.StatusRequestTimeout, KindDeadline
+	case errors.Is(err, core.ErrBudget), errors.Is(err, core.ErrInconclusive),
+		errors.Is(err, adom.ErrBudget), errors.Is(err, eval.ErrBudget):
+		return http.StatusUnprocessableEntity, KindBudget
+	case errors.Is(err, core.ErrUndecidable), errors.Is(err, core.ErrOpen):
+		return http.StatusUnprocessableEntity, KindUndecidable
+	case errors.Is(err, core.ErrInconsistent):
+		return http.StatusConflict, KindInconsistent
+	case errors.Is(err, fault.ErrInjected):
+		return http.StatusInternalServerError, KindInjected
+	case errors.As(err, &panicErr), errors.As(err, &contained):
+		return http.StatusInternalServerError, KindPanic
+	default:
+		return http.StatusInternalServerError, KindInternal
+	}
+}
+
+// decorate fills the typed detail objects of an error response.
+func (resp *DecideResponse) decorate(err error) {
+	resp.Error = err.Error()
+	var be *core.BudgetError
+	if errors.As(err, &be) {
+		resp.Budget = &BudgetInfo{Op: be.Op, Cap: be.Cap, Limit: be.Limit, Consumed: be.Consumed}
+	}
+	var de *core.DeadlineError
+	if errors.As(err, &de) {
+		resp.Deadline = &DeadlineInfo{
+			Op:                   de.Op,
+			Elapsed:              de.Elapsed.String(),
+			Partial:              de.Partial,
+			ModelsChecked:        de.Progress.ModelsChecked,
+			ModelsAdmitted:       de.Progress.ModelsAdmitted,
+			ModelsPruned:         de.Progress.ModelsPruned,
+			ValuationsEnumerated: de.Progress.ValuationsEnumerated,
+			ExtensionsTested:     de.Progress.ExtensionsTested,
+		}
+	}
+	var ov *OverloadError
+	if errors.As(err, &ov) {
+		resp.RetryAfterMS = ov.RetryAfter.Milliseconds()
+	}
+}

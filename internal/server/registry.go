@@ -1,0 +1,220 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"relcomplete/internal/core"
+	"relcomplete/internal/ctable"
+	"relcomplete/internal/obs"
+	"relcomplete/internal/probjson"
+)
+
+// Entry is one resident problem: the decoded probjson document, the
+// built core.Problem (shared by every request that does not override
+// the query or budgets — its plan and lattice caches are what make the
+// hot serving path cheap) and the c-instance. Entries are immutable
+// after load; a PUT on an existing name atomically replaces the entry.
+type Entry struct {
+	Name      string
+	Problem   *core.Problem
+	CInstance *ctable.CInstance
+	Doc       *probjson.Document // retained for per-request rebuilds
+	Bytes     int64              // resident-size charge: the raw document length
+	Loaded    time.Time
+}
+
+// Info is the JSON metadata served for one registry entry.
+type Info struct {
+	Name      string `json:"name"`
+	Bytes     int64  `json:"bytes"`
+	Relations int    `json:"relations"`
+	CRows     int    `json:"cinstance_rows"`
+	Loaded    string `json:"loaded"`
+}
+
+func (e *Entry) info() Info {
+	return Info{
+		Name:      e.Name,
+		Bytes:     e.Bytes,
+		Relations: len(e.Doc.Schema.Relations),
+		CRows:     len(e.Doc.CInstance.Rows),
+		Loaded:    e.Loaded.UTC().Format(time.RFC3339),
+	}
+}
+
+// Registry is the multi-tenant problem store: named probjson instances
+// kept resident under a total byte cap, evicted least-recently-used.
+// Get and Put touch recency; Delete and eviction drop entries. All
+// methods are safe for concurrent use; returned entries stay valid
+// (and decidable) after eviction — eviction only stops the registry
+// from keeping them resident for future requests.
+type Registry struct {
+	maxBytes int64
+	base     func() core.Options // server-wide options overlay for loaded problems
+	metrics  *obs.Metrics
+
+	mu      sync.Mutex
+	bytes   int64
+	entries map[string]*list.Element // value: *Entry
+	lru     *list.List               // front = most recently used
+}
+
+// NewRegistry builds a registry holding at most maxBytes of raw
+// documents (0 = unlimited). base, when non-nil, is applied to every
+// loaded problem's Options after the document's own options — the
+// server owns parallelism and observability, the document owns budgets.
+func NewRegistry(maxBytes int64, base func() core.Options, m *obs.Metrics) *Registry {
+	return &Registry{
+		maxBytes: maxBytes,
+		base:     base,
+		metrics:  m,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+	}
+}
+
+// DecodeDocument parses raw strictly (unknown fields are errors, as in
+// probjson.Decode) but keeps the document so decide-time overrides can
+// rebuild the problem.
+func DecodeDocument(raw []byte) (*probjson.Document, error) {
+	var doc probjson.Document
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("probjson: %w", err)
+	}
+	return &doc, nil
+}
+
+// build assembles doc into a problem carrying the server-wide options
+// overlay.
+func (r *Registry) build(doc *probjson.Document) (*core.Problem, *ctable.CInstance, error) {
+	p, ci, err := probjson.Build(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if r.base != nil {
+		base := r.base()
+		if doc.Options.Parallelism == 0 {
+			p.Options.Parallelism = base.Parallelism
+		}
+		p.Options.Obs = base.Obs
+		p.Options.Trace = base.Trace
+		p.Options.FlightRecorder = base.FlightRecorder
+		p.Options.SlowOpThreshold = base.SlowOpThreshold
+		p.Options.SlowOpSink = base.SlowOpSink
+		p.Options.FaultPlan = base.FaultPlan
+	}
+	return p, ci, nil
+}
+
+// ErrTooLarge reports a document that can never fit under the cap.
+type ErrTooLarge struct {
+	Bytes, Cap int64
+}
+
+func (e *ErrTooLarge) Error() string {
+	return fmt.Sprintf("document of %d bytes exceeds the registry cap of %d", e.Bytes, e.Cap)
+}
+
+// Put loads raw under name, evicting least-recently-used entries until
+// the new total fits the byte cap. It returns the loaded entry and
+// whether an entry of that name was replaced.
+func (r *Registry) Put(name string, raw []byte) (*Entry, bool, error) {
+	doc, err := DecodeDocument(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	p, ci, err := r.build(doc)
+	if err != nil {
+		return nil, false, err
+	}
+	e := &Entry{
+		Name: name, Problem: p, CInstance: ci, Doc: doc,
+		Bytes: int64(len(raw)), Loaded: time.Now(),
+	}
+	if r.maxBytes > 0 && e.Bytes > r.maxBytes {
+		return nil, false, &ErrTooLarge{Bytes: e.Bytes, Cap: r.maxBytes}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	replaced := false
+	if el, ok := r.entries[name]; ok {
+		r.bytes -= el.Value.(*Entry).Bytes
+		r.lru.Remove(el)
+		delete(r.entries, name)
+		replaced = true
+	}
+	// Evict from the cold end until the newcomer fits. The newcomer is
+	// not yet on the list, so it can never evict itself.
+	for r.maxBytes > 0 && r.bytes+e.Bytes > r.maxBytes {
+		oldest := r.lru.Back()
+		victim := oldest.Value.(*Entry)
+		r.bytes -= victim.Bytes
+		r.lru.Remove(oldest)
+		delete(r.entries, victim.Name)
+		r.metrics.Inc(obs.ServerEvictions)
+	}
+	r.entries[name] = r.lru.PushFront(e)
+	r.bytes += e.Bytes
+	r.metrics.Inc(obs.ServerProblemsLoaded)
+	return e, replaced, nil
+}
+
+// Get returns the named entry and marks it most recently used.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.entries[name]
+	if !ok {
+		return nil, false
+	}
+	r.lru.MoveToFront(el)
+	return el.Value.(*Entry), true
+}
+
+// Delete drops the named entry, reporting whether it existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.entries[name]
+	if !ok {
+		return false
+	}
+	r.bytes -= el.Value.(*Entry).Bytes
+	r.lru.Remove(el)
+	delete(r.entries, name)
+	return true
+}
+
+// List returns metadata for every resident entry, most recently used
+// first.
+func (r *Registry) List() []Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Info, 0, r.lru.Len())
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Entry).info())
+	}
+	return out
+}
+
+// Len is the number of resident entries.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// ResidentBytes is the total raw-document bytes currently resident.
+func (r *Registry) ResidentBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
+}

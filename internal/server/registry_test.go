@@ -1,0 +1,151 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"relcomplete/internal/obs"
+)
+
+// paddedDoc returns the orders document inflated to roughly n bytes by
+// widening the catalog (extra rows are semantically harmless and keep
+// the document valid).
+func paddedDoc(t *testing.T, n int) []byte {
+	t.Helper()
+	raw, err := os.ReadFile("../../examples/orders_rcdp.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) >= n {
+		return raw
+	}
+	// Pad with trailing spaces — JSON decoders ignore trailing
+	// whitespace, and the registry charges raw length.
+	pad := make([]byte, n-len(raw))
+	for i := range pad {
+		pad[i] = ' '
+	}
+	return append(raw, pad...)
+}
+
+func newRegistry(cap int64) (*Registry, *obs.Metrics) {
+	m := obs.NewMetrics()
+	return NewRegistry(cap, nil, m), m
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	doc := paddedDoc(t, 1000)
+	r, m := newRegistry(2500) // room for two 1000-byte docs, not three
+
+	for _, name := range []string{"a", "b"} {
+		if _, _, err := r.Put(name, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 2 || r.ResidentBytes() != 2000 {
+		t.Fatalf("len=%d bytes=%d", r.Len(), r.ResidentBytes())
+	}
+
+	// Touch a so b becomes the LRU victim.
+	if _, ok := r.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if _, _, err := r.Put("c", doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := r.Get("a"); !ok {
+		t.Fatal("a (recently used) must survive")
+	}
+	if _, ok := r.Get("c"); !ok {
+		t.Fatal("c (newcomer) must be resident")
+	}
+	if got := m.Get(obs.ServerEvictions); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if got := m.Get(obs.ServerProblemsLoaded); got != 3 {
+		t.Fatalf("loads = %d, want 3", got)
+	}
+	if r.ResidentBytes() != 2000 {
+		t.Fatalf("bytes after eviction = %d", r.ResidentBytes())
+	}
+
+	// The list is MRU-first and accounts every survivor.
+	lst := r.List()
+	if len(lst) != 2 || lst[0].Name != "c" || lst[1].Name != "a" {
+		t.Fatalf("list order: %+v", lst)
+	}
+}
+
+func TestRegistryTooLarge(t *testing.T) {
+	doc := paddedDoc(t, 1000)
+	r, _ := newRegistry(500)
+	_, _, err := r.Put("big", doc)
+	var tooLarge *ErrTooLarge
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	if r.Len() != 0 {
+		t.Fatal("rejected document must not become resident")
+	}
+}
+
+func TestRegistryReplaceAndDelete(t *testing.T) {
+	small := paddedDoc(t, 100)
+	big := paddedDoc(t, 1000)
+	r, _ := newRegistry(0) // unlimited
+
+	if _, replaced, err := r.Put("p", small); err != nil || replaced {
+		t.Fatalf("first put: replaced=%v err=%v", replaced, err)
+	}
+	e, replaced, err := r.Put("p", big)
+	if err != nil || !replaced {
+		t.Fatalf("second put: replaced=%v err=%v", replaced, err)
+	}
+	if r.ResidentBytes() != e.Bytes || r.Len() != 1 {
+		t.Fatalf("replace must swap the byte charge: bytes=%d len=%d", r.ResidentBytes(), r.Len())
+	}
+	if !r.Delete("p") || r.Delete("p") {
+		t.Fatal("delete must succeed once")
+	}
+	if r.ResidentBytes() != 0 || r.Len() != 0 {
+		t.Fatalf("after delete: bytes=%d len=%d", r.ResidentBytes(), r.Len())
+	}
+}
+
+func TestRegistryRejectsGarbage(t *testing.T) {
+	r, _ := newRegistry(0)
+	for _, raw := range []string{"{nope", `{"unknown_top_level": 1}`} {
+		if _, _, err := r.Put("bad", []byte(raw)); err == nil {
+			t.Fatalf("%q accepted", raw)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatal("garbage must not become resident")
+	}
+}
+
+// Eviction can claim several victims when the newcomer is large.
+func TestRegistryMultiEviction(t *testing.T) {
+	small := paddedDoc(t, 300)
+	big := paddedDoc(t, 900)
+	r, m := newRegistry(1000)
+	for i := 0; i < 3; i++ {
+		if _, _, err := r.Put(fmt.Sprintf("s%d", i), small); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := r.Put("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.ResidentBytes() != 900 {
+		t.Fatalf("len=%d bytes=%d", r.Len(), r.ResidentBytes())
+	}
+	if got := m.Get(obs.ServerEvictions); got != 3 {
+		t.Fatalf("evictions = %d, want 3", got)
+	}
+}

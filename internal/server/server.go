@@ -1,0 +1,455 @@
+// Package server implements rcserved's HTTP/JSON service layer: a
+// multi-tenant problem registry (PUT/GET/DELETE /v1/problems/{name}
+// loading probjson documents under a resident-bytes cap), a decide
+// endpoint running the engine's deciders under per-request deadlines
+// and budgets, and a bounded admission controller in front of them.
+// The handlers live behind a plain http.Handler so every path is
+// unit-testable without a socket; cmd/rcserved wires the handler to a
+// listener, the debug mux and the signal-driven drain.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"relcomplete/internal/core"
+	"relcomplete/internal/fault"
+	"relcomplete/internal/obs"
+	"relcomplete/internal/probjson"
+)
+
+// Config tunes one Server.
+type Config struct {
+	// Workers feeds Options.Parallelism of every loaded problem whose
+	// document does not pin its own (0 = GOMAXPROCS). Total decider
+	// threads ≈ MaxConcurrent × Workers; size them together.
+	Workers int
+	// MaxConcurrent is the admission concurrency cap: how many decide
+	// calls run at once (default 4).
+	MaxConcurrent int
+	// MaxQueue is the bounded admission queue depth; a request beyond
+	// MaxConcurrent+MaxQueue is answered 429 (default 64).
+	MaxQueue int
+	// MaxResidentBytes caps the registry's total raw-document bytes,
+	// evicting least-recently-used problems (default 256 MiB; < 0 =
+	// unlimited).
+	MaxResidentBytes int64
+	// MaxBodyBytes caps one PUT body (default 32 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout bounds a decide with no timeout_ms of its own
+	// (default 30s); MaxTimeout caps what a request may ask for
+	// (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Metrics receives the solver and server counters (nil = fresh).
+	Metrics *obs.Metrics
+	// FaultPlan arms the deterministic fault-injection harness on every
+	// loaded problem — chaos tests only, nil always in production.
+	FaultPlan *fault.Plan
+}
+
+func (c *Config) fill() {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxResidentBytes == 0 {
+		c.MaxResidentBytes = 256 << 20
+	} else if c.MaxResidentBytes < 0 {
+		c.MaxResidentBytes = 0 // registry's "unlimited"
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Server is the service layer: registry + admission + handlers.
+type Server struct {
+	cfg       Config
+	metrics   *obs.Metrics
+	registry  *Registry
+	admission *Admission
+	mux       *http.ServeMux
+	draining  chan struct{} // closed when the drain begins
+}
+
+// New builds a server from cfg (zero fields take the documented
+// defaults).
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{cfg: cfg, metrics: cfg.Metrics, draining: make(chan struct{})}
+	base := func() core.Options {
+		return core.Options{
+			Parallelism: cfg.Workers,
+			Obs:         cfg.Metrics,
+			FaultPlan:   cfg.FaultPlan,
+		}
+	}
+	s.registry = NewRegistry(cfg.MaxResidentBytes, base, cfg.Metrics)
+	s.admission = NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.Metrics)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/problems", s.handleList)
+	mux.HandleFunc("PUT /v1/problems/{name}", s.handlePut)
+	mux.HandleFunc("GET /v1/problems/{name}", s.handleGetInfo)
+	mux.HandleFunc("DELETE /v1/problems/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/problems/{name}/decide", s.handleDecide)
+	s.mux = mux
+	return s
+}
+
+// Registry exposes the problem store (tests, introspection).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Admission exposes the admission controller (tests, introspection).
+func (s *Server) Admission() *Admission { return s.admission }
+
+// Metrics exposes the server-wide solver metrics.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// StartDrain flips the server into draining mode: /healthz turns 503
+// so load balancers stop routing here, while in-flight (and already
+// accepted) requests run to completion under httpx.Server.Drain.
+// Idempotent.
+func (s *Server) StartDrain() {
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+}
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// ServeHTTP dispatches to the /v1 handlers, counting every API request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Inc(obs.ServerRequests)
+	s.mux.ServeHTTP(w, r)
+}
+
+// nameRE keeps problem names URL- and log-friendly.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,128}$`)
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, kind, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Kind: kind})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, KindDraining, "draining: not accepting new work")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"problems":       s.registry.Len(),
+		"resident_bytes": s.registry.ResidentBytes(),
+		"in_flight":      s.admission.InFlight(),
+		"queued":         s.admission.Queued(),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ListResponse{
+		Problems:      s.registry.List(),
+		ResidentBytes: s.registry.ResidentBytes(),
+	})
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !nameRE.MatchString(name) {
+		writeError(w, http.StatusBadRequest, KindBadRequest,
+			"problem name must match [A-Za-z0-9._-]{1,128}")
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, KindTooLarge, err.Error())
+		} else {
+			writeError(w, http.StatusBadRequest, KindBadRequest, err.Error())
+		}
+		return
+	}
+	e, replaced, err := s.registry.Put(name, raw)
+	if err != nil {
+		status, kind := http.StatusBadRequest, KindBadRequest
+		var tooLarge *ErrTooLarge
+		if errors.As(err, &tooLarge) {
+			status, kind = http.StatusRequestEntityTooLarge, KindTooLarge
+		}
+		writeError(w, status, kind, err.Error())
+		return
+	}
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, PutResponse{
+		Name:          e.Name,
+		Bytes:         e.Bytes,
+		Replaced:      replaced,
+		ResidentBytes: s.registry.ResidentBytes(),
+		Problems:      s.registry.Len(),
+	})
+}
+
+func (s *Server) handleGetInfo(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.registry.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, KindNotFound, "no such problem")
+		return
+	}
+	writeJSON(w, http.StatusOK, e.info())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.registry.Delete(r.PathValue("name")) {
+		writeError(w, http.StatusNotFound, KindNotFound, "no such problem")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	resp := DecideResponse{Problem: name}
+	fail := func(status int, kind string, err error) {
+		resp.Kind = kind
+		resp.decorate(err)
+		resp.Stats = s.metrics.Snapshot()
+		if resp.RetryAfterMS > 0 {
+			w.Header().Set("Retry-After",
+				fmt.Sprintf("%d", (resp.RetryAfterMS+999)/1000))
+		}
+		writeJSON(w, status, resp)
+	}
+
+	var req DecideRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		fail(http.StatusBadRequest, KindBadRequest, fmt.Errorf("decide request: %w", err))
+		return
+	}
+	resp.Property = req.Property
+	e, ok := s.registry.Get(name)
+	if !ok {
+		fail(http.StatusNotFound, KindNotFound, fmt.Errorf("no such problem %q", name))
+		return
+	}
+
+	// Admission: claim a decide slot (bounded queue, 429 past it). The
+	// request context cancels a queued wait on client disconnect.
+	release, err := s.admission.Acquire(r.Context())
+	if err != nil {
+		status, kind := classify(err)
+		fail(status, kind, err)
+		return
+	}
+	defer release()
+	s.metrics.Inc(obs.ServerDecides)
+
+	start := time.Now()
+	result, err := s.runDecide(r.Context(), e, &req)
+	resp.Model = result.Model
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	if err != nil {
+		status, kind := classify(err)
+		fail(status, kind, err)
+		return
+	}
+	resp.Verdict = result.Verdict
+	resp.Counterexample = result.Counterexample
+	resp.CertainAnswers = result.CertainAnswers
+	resp.Stats = s.metrics.Snapshot()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decideResult is runDecide's payload, separate from the wire DTO so
+// the handler owns status codes and stats.
+type decideResult struct {
+	Model          string
+	Verdict        *bool
+	Counterexample string
+	CertainAnswers []string
+}
+
+// badRequestError marks client-side decide failures (unknown property,
+// bad model, unparsable query override).
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+// panicError is a decide panic contained at the service boundary. The
+// parallel searches already recover probe panics into typed errors
+// (search.PanicError); sequential decider paths let them propagate by
+// design, and here — one layer before the connection — is where a
+// serving process must stop them: the request answers 500 with a typed
+// body instead of an aborted response, and the daemon lives on.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("decide panicked: %v", e.val)
+}
+
+// runDecide resolves the problem (shared resident instance, or a fresh
+// build when the request overrides query/budget), applies the deadline
+// and dispatches the property.
+func (s *Server) runDecide(ctx context.Context, e *Entry, req *DecideRequest) (res decideResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{val: r, stack: debug.Stack()}
+		}
+	}()
+	p, ci := e.Problem, e.CInstance
+	if req.overridden() {
+		doc := *e.Doc
+		if req.Query != "" {
+			doc.Query = probjson.QueryDoc{Calc: req.Query}
+		}
+		if b := req.Budget; b != nil {
+			if b.MaxValuations != 0 {
+				doc.Options.MaxValuations = b.MaxValuations
+			}
+			if b.MaxSubsets != 0 {
+				doc.Options.MaxSubsets = b.MaxSubsets
+			}
+			if b.RCQPSizeBound != 0 {
+				doc.Options.RCQPSizeBound = b.RCQPSizeBound
+			}
+			if b.MaxDerived != 0 {
+				doc.Options.MaxDerived = b.MaxDerived
+			}
+		}
+		var err error
+		p, ci, err = s.registry.build(&doc)
+		if err != nil {
+			return res, &badRequestError{msg: err.Error()}
+		}
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	model := core.Strong
+	switch req.Property {
+	case "rcdp", "rcqp", "minp":
+		switch req.Model {
+		case "", "strong":
+			model = core.Strong
+		case "weak":
+			model = core.Weak
+		case "viable":
+			model = core.Viable
+		default:
+			return res, &badRequestError{msg: fmt.Sprintf("unknown model %q", req.Model)}
+		}
+		res.Model = model.String()
+	}
+
+	verdict := func(v bool) { res.Verdict = &v }
+	switch req.Property {
+	case "consistency":
+		ok, err := p.ConsistentCtx(ctx, ci)
+		if err != nil {
+			return res, err
+		}
+		verdict(ok)
+	case "extensibility":
+		db, err := p.AnyModelCtx(ctx, ci)
+		if err != nil {
+			return res, err
+		}
+		if db == nil {
+			return res, core.ErrInconsistent
+		}
+		ok, err := p.ExtensibleCtx(ctx, db)
+		if err != nil {
+			return res, err
+		}
+		verdict(ok)
+	case "rcdp":
+		ok, cex, err := p.RCDPExplainCtx(ctx, ci, model)
+		if err != nil {
+			return res, err
+		}
+		verdict(ok)
+		if !ok && cex != nil {
+			res.Counterexample = cex.String()
+		}
+	case "rcqp":
+		ok, err := p.RCQPCtx(ctx, model)
+		if err != nil {
+			return res, err
+		}
+		verdict(ok)
+	case "minp":
+		ok, err := p.MINPCtx(ctx, ci, model)
+		if err != nil {
+			return res, err
+		}
+		verdict(ok)
+	case "certain":
+		ans, err := p.CertainAnswersCtx(ctx, ci)
+		if err != nil {
+			return res, err
+		}
+		res.CertainAnswers = []string{}
+		for _, t := range ans {
+			res.CertainAnswers = append(res.CertainAnswers, t.String())
+		}
+	default:
+		return res, &badRequestError{msg: fmt.Sprintf("unknown property %q", req.Property)}
+	}
+	return res, nil
+}
