@@ -34,9 +34,24 @@ import (
 // BENCH_eval.json to report the indexed-engine speedup.
 var naiveJoinEnv = os.Getenv("RELCOMPLETE_NAIVEJOIN") != ""
 
+// boxedEnv mirrors rcbench's -boxed storage ablation the same way:
+// RELCOMPLETE_BOXED=1 re-times the suite on boxed (non-interned)
+// relation storage, folded into BENCH_eval.json as the interned-vs-
+// boxed dimension.
+var boxedEnv = os.Getenv("RELCOMPLETE_BOXED") != ""
+
+func init() {
+	if boxedEnv {
+		// Gadgets and scenario databases are built before any Options
+		// value exists, so the ablation has to flip the process-wide
+		// storage default too.
+		relation.SetDefaultBoxed(true)
+	}
+}
+
 // benchCoreOpts is the Options value benchmarks start from.
 func benchCoreOpts() core.Options {
-	return core.Options{NaiveJoin: naiveJoinEnv}
+	return core.Options{NaiveJoin: naiveJoinEnv, Boxed: boxedEnv}
 }
 
 // ---------------------------------------------------------------------------

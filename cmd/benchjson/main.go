@@ -3,13 +3,23 @@
 // B/op and allocs/op per benchmark, for one or more labelled runs of
 // the same suite. When both an "indexed" and a "naive_join" run are
 // given, each benchmark additionally reports the speedup of the
-// compiled indexed-join engine over the nested-loop baseline.
+// compiled indexed-join engine over the nested-loop baseline; an
+// "indexed" plus "boxed" pair likewise reports the interned-storage
+// speedup over the boxed oracle representation.
 //
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem . > indexed.txt
 //	RELCOMPLETE_NAIVEJOIN=1 go test -run xxx -bench . -benchmem . > naive.txt
-//	go run ./cmd/benchjson -o BENCH_eval.json indexed=indexed.txt naive_join=naive.txt
+//	RELCOMPLETE_BOXED=1 go test -run xxx -bench . -benchmem . > boxed.txt
+//	go run ./cmd/benchjson -o BENCH_eval.json indexed=indexed.txt naive_join=naive.txt boxed=boxed.txt
+//
+// With -warn OLD.json the freshly parsed runs are additionally compared
+// against a committed trajectory artifact: any benchmark whose ns/op or
+// allocs/op regressed by more than 10% against the same label in the
+// old artifact prints a warning line. The comparison never fails the
+// command — absolute numbers are machine-specific, so the step is
+// advisory (warn-only) by design.
 //
 // Absolute numbers are machine-specific; the artifact's claim is the
 // trajectory — the ratios between labelled runs and between commits.
@@ -41,6 +51,10 @@ type entry struct {
 	// Speedup is naive_join ns/op over indexed ns/op, when both runs
 	// are present.
 	Speedup float64 `json:"speedup_naive_over_indexed,omitempty"`
+	// SpeedupBoxed is boxed ns/op over indexed ns/op — the interned
+	// storage layer's win over the boxed oracle — when both runs are
+	// present.
+	SpeedupBoxed float64 `json:"speedup_boxed_over_interned,omitempty"`
 }
 
 type report struct {
@@ -59,6 +73,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("o", "", "output file (default stdout)")
+	warnAgainst := fs.String("warn", "", "committed trajectory artifact to compare against; >10% ns/op or allocs/op regressions print warnings (never fails)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +116,14 @@ func run(args []string, stdout io.Writer) error {
 		if idx != nil && naive != nil && idx.NsPerOp > 0 {
 			e.Speedup = math.Round(naive.NsPerOp/idx.NsPerOp*100) / 100
 		}
+		if boxed := e.Runs["boxed"]; idx != nil && boxed != nil && idx.NsPerOp > 0 {
+			e.SpeedupBoxed = math.Round(boxed.NsPerOp/idx.NsPerOp*100) / 100
+		}
+	}
+	if *warnAgainst != "" {
+		if err := warnRegressions(stdout, *warnAgainst, rep); err != nil {
+			return err
+		}
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -112,6 +135,64 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	return os.WriteFile(*out, buf, 0o644)
+}
+
+// regressionThreshold is the advisory regression bar: fresh runs more
+// than 10% worse than the committed artifact are flagged.
+const regressionThreshold = 1.10
+
+// warnRegressions compares rep against the committed artifact at path
+// and prints one warning line per (benchmark, label, metric) whose
+// ns/op or allocs/op regressed past the threshold. Missing benchmarks
+// or labels are skipped silently — the step is advisory, and suites
+// grow. Only a malformed artifact is an error.
+func warnRegressions(w io.Writer, path string, rep *report) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old report
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	names := make([]string, 0, len(rep.Benchmarks))
+	for name := range rep.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	warned := 0
+	for _, name := range names {
+		oldE := old.Benchmarks[name]
+		if oldE == nil {
+			continue
+		}
+		newE := rep.Benchmarks[name]
+		labels := make([]string, 0, len(newE.Runs))
+		for label := range newE.Runs {
+			labels = append(labels, label)
+		}
+		sort.Strings(labels)
+		for _, label := range labels {
+			oldM, newM := oldE.Runs[label], newE.Runs[label]
+			if oldM == nil {
+				continue
+			}
+			if oldM.NsPerOp > 0 && newM.NsPerOp > oldM.NsPerOp*regressionThreshold {
+				fmt.Fprintf(w, "warn: %s [%s] ns/op regressed %.1f%%: %.0f -> %.0f\n",
+					name, label, (newM.NsPerOp/oldM.NsPerOp-1)*100, oldM.NsPerOp, newM.NsPerOp)
+				warned++
+			}
+			if oldM.AllocsPerOp > 0 && newM.AllocsPerOp > oldM.AllocsPerOp*regressionThreshold {
+				fmt.Fprintf(w, "warn: %s [%s] allocs/op regressed %.1f%%: %.0f -> %.0f\n",
+					name, label, (newM.AllocsPerOp/oldM.AllocsPerOp-1)*100, oldM.AllocsPerOp, newM.AllocsPerOp)
+				warned++
+			}
+		}
+	}
+	if warned == 0 {
+		fmt.Fprintf(w, "benchjson: no >%.0f%% regressions against %s\n", (regressionThreshold-1)*100, path)
+	}
+	return nil
 }
 
 // parseBench extracts benchmark results from `go test -bench` output.

@@ -14,6 +14,7 @@
 //	rcbench -run MINP           # only experiments whose id contains "MINP"
 //	rcbench -workers 8          # worker count for the candidate searches
 //	rcbench -naivejoin          # ablation: nested-loop joins instead of compiled plans
+//	rcbench -boxed              # ablation: boxed relation storage instead of interned ids
 //	rcbench -cpuprofile cpu.pb  # write a pprof CPU profile of the sweep
 //	rcbench -memprofile mem.pb  # write a pprof heap profile at exit
 //	rcbench -trace              # stream the decision trace to stderr
@@ -76,6 +77,7 @@ type experiment struct {
 var (
 	workersFlag   int
 	naiveJoinFlag bool
+	boxedFlag     bool
 	slowOpFlag    time.Duration
 	benchMetrics  = obs.NewMetrics()
 	benchRing     = obs.NewRingSink(obs.DefaultRingSize)
@@ -89,7 +91,7 @@ var (
 // benchOpts is the Options value each experiment starts from.
 func benchOpts() core.Options {
 	return core.Options{
-		Parallelism: workersFlag, NaiveJoin: naiveJoinFlag,
+		Parallelism: workersFlag, NaiveJoin: naiveJoinFlag, Boxed: boxedFlag,
 		Obs: benchMetrics, Trace: benchTracer,
 		FlightRecorder: benchRing, SlowOpThreshold: slowOpFlag,
 	}
@@ -99,6 +101,7 @@ func benchOpts() core.Options {
 func applyBenchOpts(o *core.Options) {
 	o.Parallelism = workersFlag
 	o.NaiveJoin = naiveJoinFlag
+	o.Boxed = boxedFlag
 	o.Obs = benchMetrics
 	o.Trace = benchTracer
 	o.FlightRecorder = benchRing
@@ -111,6 +114,7 @@ func run(args []string, out io.Writer) error {
 	filter := fs.String("run", "", "only experiments whose id contains this substring")
 	workers := fs.Int("workers", 0, "worker count for the parallel candidate searches (0 = GOMAXPROCS, 1 = sequential)")
 	naiveJoin := fs.Bool("naivejoin", false, "ablation: evaluate with the nested-loop evaluator instead of compiled indexed plans")
+	boxed := fs.Bool("boxed", false, "ablation: boxed (non-interned) relation storage instead of interned ids")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	trace := fs.Bool("trace", false, "stream the decision trace of every experiment to stderr")
@@ -123,6 +127,8 @@ func run(args []string, out io.Writer) error {
 	}
 	workersFlag = *workers
 	naiveJoinFlag = *naiveJoin
+	boxedFlag = *boxed
+	relation.SetDefaultBoxed(boxedFlag) // gadget construction happens before Options reach a Problem
 	slowOpFlag = *slowlog
 	benchCtx = context.Background()
 	if *timeout > 0 {

@@ -72,6 +72,7 @@ func run(args []string, stderr io.Writer, sigs <-chan os.Signal, ready chan<- st
 	defaultTimeout := fs.Duration("default-timeout", 30*time.Second, "decide deadline when the request sets no timeout_ms")
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "upper bound on a request's timeout_ms")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "SIGTERM: how long in-flight decisions may run before hard close")
+	boxed := fs.Bool("boxed", false, "ablation: boxed (non-interned) relation storage for loaded problems")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,7 +81,8 @@ func run(args []string, stderr io.Writer, sigs <-chan os.Signal, ready chan<- st
 	}
 
 	metrics := obs.NewMetrics()
-	relation.SetMetrics(metrics) // index counters live behind a process-global hook
+	relation.SetMetrics(metrics)     // index counters live behind a process-global hook
+	relation.SetDefaultBoxed(*boxed) // storage ablation, set before any document builds
 	maxResident := *maxResidentMB
 	if maxResident > 0 {
 		maxResident <<= 20

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// The boxed storage oracle: rebuilding a problem's master data with
+// Options.Boxed must leave every decider verdict unchanged. The
+// randomised problems reuse the reference-oracle corpus; together with
+// eval's TestPlanDifferentialInternedBoxed this is the interned-vs-
+// boxed differential suite.
+func TestRCDPBoxedStorageDifferential(t *testing.T) {
+	for i, rp := range randomProblems(t, 303, 60) {
+		boxedP := MustProblem(rp.p.Schema, rp.p.Query, rp.p.Master, rp.p.CCs, Options{Boxed: true})
+		if !boxedP.Master.Boxed() {
+			t.Fatal("Options.Boxed must rebuild the master data boxed")
+		}
+		if rp.p.Master.Boxed() {
+			t.Fatal("the baseline problem must stay interned")
+		}
+		for _, m := range []Model{Strong, Weak, Viable} {
+			got, errI := rp.p.RCDP(rp.ci, m)
+			want, errB := boxedP.RCDP(rp.ci, m)
+			if errors.Is(errI, ErrInconsistent) || errors.Is(errB, ErrInconsistent) {
+				if !errors.Is(errI, ErrInconsistent) || !errors.Is(errB, ErrInconsistent) {
+					t.Fatalf("case %d model %v: inconsistency disagreement %v vs %v", i, m, errI, errB)
+				}
+				continue
+			}
+			if errI != nil || errB != nil {
+				t.Fatalf("case %d model %v: errors interned=%v boxed=%v", i, m, errI, errB)
+			}
+			if got != want {
+				t.Fatalf("case %d model %v: interned %v vs boxed %v\nquery: %s\nci: %v\nmaster: %v",
+					i, m, got, want, rp.p.Query, rp.ci, rp.p.Master)
+			}
+		}
+	}
+}
+
+// GroundComplete must agree across storage modes too — it exercises the
+// membership (Contains) and index-probe fast paths on candidate models.
+func TestGroundCompleteBoxedStorageDifferential(t *testing.T) {
+	for i, rp := range randomProblems(t, 404, 40) {
+		db, err := rp.p.AnyModel(rp.ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db == nil {
+			continue
+		}
+		boxedP := MustProblem(rp.p.Schema, rp.p.Query, rp.p.Master, rp.p.CCs, Options{Boxed: true})
+		got, _, errI := rp.p.GroundComplete(db)
+		want, _, errB := boxedP.GroundComplete(db.CloneBoxed())
+		if errI != nil || errB != nil {
+			t.Fatalf("case %d: errors interned=%v boxed=%v", i, errI, errB)
+		}
+		if got != want {
+			t.Fatalf("case %d: interned %v vs boxed %v\nquery: %s\ndb: %v", i, got, want, rp.p.Query, db)
+		}
+	}
+}

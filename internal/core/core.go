@@ -201,6 +201,14 @@ type Options struct {
 	// indexed-join plans. It is the differential-testing oracle and the
 	// ablation baseline; verdicts are identical either way.
 	NaiveJoin bool
+	// Boxed rebuilds the master data with boxed (non-interned) relation
+	// storage, so every candidate instance derived from it inherits the
+	// original boxed representation instead of the interned id-based
+	// one. Like NaiveJoin it is a differential-testing oracle and
+	// ablation baseline; verdicts are identical either way. The
+	// process-wide relation.SetDefaultBoxed covers instances built
+	// outside the problem (rcbench -boxed sets both).
+	Boxed bool
 	// Parallelism is the worker count for the candidate searches
 	// (counterexample, witness and certain-answer enumerations). 0
 	// defaults to runtime.GOMAXPROCS(0); 1 forces the exact sequential
@@ -282,6 +290,21 @@ type Problem struct {
 	closureCache  map[string]bool             // single-tuple closure verdicts
 	plan          *eval.Plan                  // compiled query plan (positive existential only)
 	planTried     bool                        // whether plan compilation was attempted
+	domCache      map[domainsKey]*domains     // adom+typing per (c-instance, flags)
+}
+
+// domainsKey fingerprints a domainsFor computation: the c-instance
+// identity and mode flags, plus the row counts of the c-instance and
+// the master data. Row counts are a sound freshness check because both
+// structures are append-only — the same convention the plan and RHS
+// answer-set caches rely on.
+type domainsKey struct {
+	ci           *ctable.CInstance
+	queryVars    bool
+	extRow       bool
+	ciRows       int
+	master       *relation.Database
+	masterTuples int
 }
 
 // NewProblem validates and builds a problem instance.
@@ -312,6 +335,9 @@ func NewProblem(schema *relation.DBSchema, q Qry, master *relation.Database, ccs
 	if master == nil {
 		// An absent master data instance is the fully open-world case.
 		master = relation.NewDatabase(relation.MustDBSchema())
+	}
+	if opts.Boxed && !master.Boxed() {
+		master = master.CloneBoxed()
 	}
 	return &Problem{Schema: schema, Query: q, Master: master, CCs: ccs, Options: opts}, nil
 }
@@ -732,8 +758,35 @@ type domains struct {
 	ty *typing
 }
 
-// domainsFor builds the Adom and its typing for a c-instance.
+// domainsCacheCap bounds the memoised domains computations; the cache
+// is wiped wholesale when full (deciders cycle over a handful of
+// c-instances, so eviction order is irrelevant).
+const domainsCacheCap = 32
+
+// domainsFor builds the Adom and its typing for a c-instance. The
+// result is memoised per (c-instance, flags): deciders are routinely
+// re-run against the same inputs (the reductions call several deciders
+// over one gadget, benchmarks and servers repeat calls), and both the
+// Adom and the typing are read-only after construction, so cached
+// values are shared freely across concurrent runs. Freshness rides on
+// the append-only row counts, as for the plan caches.
 func (p *Problem) domainsFor(ci *ctable.CInstance, withQueryVars, withExtRow bool) (*domains, error) {
+	key := domainsKey{
+		ci:           ci,
+		queryVars:    withQueryVars,
+		extRow:       withExtRow,
+		master:       p.Master,
+		masterTuples: p.Master.Size(),
+	}
+	if ci != nil {
+		key.ciRows = ci.Size()
+	}
+	p.cacheMu.Lock()
+	d, ok := p.domCache[key]
+	p.cacheMu.Unlock()
+	if ok {
+		return d, nil
+	}
 	a, err := p.adomFor(ci, withQueryVars, withExtRow)
 	if err != nil {
 		return nil, err
@@ -742,5 +795,15 @@ func (p *Problem) domainsFor(ci *ctable.CInstance, withQueryVars, withExtRow boo
 	if err != nil {
 		return nil, err
 	}
-	return &domains{a: a, ty: ty}, nil
+	d = &domains{a: a, ty: ty}
+	p.cacheMu.Lock()
+	if len(p.domCache) >= domainsCacheCap {
+		p.domCache = nil
+	}
+	if p.domCache == nil {
+		p.domCache = make(map[domainsKey]*domains, 8)
+	}
+	p.domCache[key] = d
+	p.cacheMu.Unlock()
+	return d, nil
 }

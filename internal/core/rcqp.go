@@ -211,7 +211,7 @@ func (p *Problem) factsToDatabase(tab *query.Tableau, mu ctable.Valuation) (*rel
 	if err != nil {
 		return nil, false, err
 	}
-	db := relation.NewDatabase(p.Schema)
+	db := relation.NewDatabaseWith(p.Schema, p.Master.Interner())
 	for _, f := range facts {
 		rel := p.Schema.Relation(f.Rel)
 		if rel == nil {
@@ -322,7 +322,7 @@ func (p *Problem) rcqpBoundedSearch(ctx context.Context) (bool, error) {
 		}
 		return false, nil
 	}
-	empty := relation.NewDatabase(p.Schema)
+	empty := relation.NewDatabaseWith(p.Schema, p.Master.Interner())
 	ok, err := check(ctx, empty)
 	if err != nil {
 		return false, g.wrap(err)

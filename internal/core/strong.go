@@ -208,7 +208,7 @@ func (p *Problem) atomClosedCandidates(ctx context.Context, atom *query.Atom, d 
 	if p.closureCache == nil {
 		p.closureCache = map[string]bool{}
 	}
-	probe := relation.NewDatabase(p.Schema)
+	probe := relation.NewDatabaseWith(p.Schema, p.Master.Interner())
 	var out []relation.Tuple
 	done, err := p.pinnedLatticeOver(ctx, r, d, pins, func(t relation.Tuple) (bool, error) {
 		ck := atom.Rel + "|" + t.Key()

@@ -440,7 +440,7 @@ func (p *Problem) ConstructWeaklyCompleteCtx(ctx context.Context) (*relation.Dat
 	if err != nil {
 		return nil, err
 	}
-	db := relation.NewDatabase(p.Schema)
+	db := relation.NewDatabaseWith(p.Schema, p.Master.Interner())
 	// Greedy maximality: a tuple rejected now stays rejected forever
 	// because CC violation is monotone in the data.
 	for _, r := range p.Schema.Relations() {

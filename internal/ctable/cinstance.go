@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"relcomplete/internal/relation"
 )
@@ -15,6 +16,27 @@ import (
 type CInstance struct {
 	schema *relation.DBSchema
 	tables map[string]*CTable
+
+	// internOnce/intern lazily create the one interner shared by every
+	// database Apply produces: the deciders call Apply once per
+	// enumerated valuation (possibly from parallel workers), and all
+	// those candidates draw on the same small set of constants, so
+	// re-interning per candidate would dominate the enumeration. nil
+	// after internOnce fires means Apply builds boxed databases (the
+	// storage ablation was the process default at first use).
+	internOnce sync.Once
+	intern     *relation.Interner
+}
+
+// applyInterner returns the shared interner for Apply results, created
+// on first use; nil selects boxed storage.
+func (ci *CInstance) applyInterner() *relation.Interner {
+	ci.internOnce.Do(func() {
+		if !relation.DefaultBoxed() {
+			ci.intern = relation.NewInterner()
+		}
+	})
+	return ci.intern
 }
 
 // NewCInstance returns an empty c-instance of the schema.
@@ -130,11 +152,13 @@ func (ci *CInstance) IsGround() bool {
 	return true
 }
 
-// Apply computes µ(T) as a ground database.
+// Apply computes µ(T) as a ground database. All databases returned by
+// one CInstance share one interner (see applyInterner).
 func (ci *CInstance) Apply(mu Valuation) (*relation.Database, error) {
-	db := relation.NewDatabase(ci.schema)
+	it := ci.applyInterner()
+	db := relation.NewDatabaseWith(ci.schema, it)
 	for _, r := range ci.schema.Relations() {
-		inst, err := ci.tables[r.Name].Apply(mu)
+		inst, err := ci.tables[r.Name].applyWith(mu, it)
 		if err != nil {
 			return nil, err
 		}

@@ -190,7 +190,18 @@ func (t *CTable) IsGround() bool {
 // Apply computes µ(T): rows whose condition holds under µ, with
 // variables substituted. µ must assign every variable it touches.
 func (t *CTable) Apply(mu Valuation) (*relation.Instance, error) {
-	out := relation.NewInstance(t.schema)
+	return t.applyWith(mu, nil)
+}
+
+// applyWith is Apply storing the result in an instance sharing it; a
+// nil interner falls back to the process-default storage mode.
+func (t *CTable) applyWith(mu Valuation, it *relation.Interner) (*relation.Instance, error) {
+	var out *relation.Instance
+	if it != nil {
+		out = relation.NewInternedInstance(t.schema, it)
+	} else {
+		out = relation.NewInstance(t.schema)
+	}
 	for _, r := range t.rows {
 		keep, err := r.Cond.Eval(mu)
 		if err != nil {

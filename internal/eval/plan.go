@@ -404,12 +404,15 @@ type atomNode struct {
 
 // atomStrategy is the per-run join strategy of one atom: which
 // positions carry values known before a row is chosen (constants and
-// bound slots — the index key), and whether every position does (a pure
-// membership test).
+// bound slots — the index key), whether every position does (a pure
+// membership test), and the statistics-fed estimate of how many rows
+// one probe should return (rendered by ExplainRun next to the measured
+// row counts, so mis-estimates are visible).
 type atomStrategy struct {
 	boundPos  []int // ascending positions with entry-known values
 	fullBound bool
 	arity     int
+	estRows   float64 // estimated rows per probe under this strategy
 }
 
 func (rt *planRun) strategyFor(a *atomNode) *atomStrategy {
@@ -437,8 +440,37 @@ func (rt *planRun) strategyFor(a *atomNode) *atomStrategy {
 		}
 	}
 	s.fullBound = full && len(s.boundPos) == len(a.terms)
+	inst := rt.insts[a.relIdx]
+	switch {
+	case s.fullBound:
+		s.estRows = 1
+		if inst.Len() == 0 {
+			s.estRows = 0
+		}
+	default:
+		s.estRows = estimateRows(inst, s.boundPos)
+	}
 	rt.strategies[a] = s
 	return s
+}
+
+// estimateRows is the shared selectivity model of the planner: the
+// instance's cardinality scaled by the per-position selectivity of each
+// entry-known column. Interned instances supply measured distinct
+// counts (a uniform-distribution estimate: binding a column with d
+// distinct values keeps 1/d of the rows); boxed instances have no
+// statistics and fall back to the historical guess of 1/8 per bound
+// column.
+func estimateRows(inst *relation.Instance, boundPos []int) float64 {
+	est := float64(inst.Len())
+	for _, p := range boundPos {
+		if d := inst.DistinctAt(p); d > 0 {
+			est /= float64(d)
+		} else {
+			est /= 8
+		}
+	}
+	return est
 }
 
 func (a *atomNode) exec(rt *planRun, k cont) error {
@@ -568,7 +600,13 @@ func (a *atomNode) explain(b *strings.Builder, indent string, slotNames []string
 			}
 		}
 		if st := rt.stats[a]; st != nil {
-			fmt.Fprintf(b, " [execs=%d rows=%d emits=%d]", st.execs, st.rows, st.emits)
+			if s := rt.strategies[a]; s != nil {
+				// Estimated rows per probe beside the measured totals:
+				// est×execs ≈ rows when the estimate was good.
+				fmt.Fprintf(b, " [est=%.3g execs=%d rows=%d emits=%d]", s.estRows, st.execs, st.rows, st.emits)
+			} else {
+				fmt.Fprintf(b, " [execs=%d rows=%d emits=%d]", st.execs, st.rows, st.emits)
+			}
 		}
 	}
 	b.WriteString("\n")
@@ -722,7 +760,10 @@ func (rt *planRun) orderFor(a *andNode) []int {
 
 // conjCost estimates the fan-out of executing kid under the simulated
 // bound set: 0 for pure filters, cardinality-scaled for atoms, and
-// large penalties for operators that enumerate the active domain.
+// large penalties for operators that enumerate the active domain. Atom
+// estimates come from the storage layer's per-position distinct counts
+// (estimateRows), so the greedy order reacts to the actual data shape
+// rather than a fixed per-bound-column discount.
 func conjCost(rt *planRun, kid planNode, boundSim []bool) float64 {
 	known := func(t planTerm) bool { return t.isConst || boundSim[t.slot] }
 	unboundFree := func(slots []int) int {
@@ -736,20 +777,17 @@ func conjCost(rt *planRun, kid planNode, boundSim []bool) float64 {
 	}
 	switch n := kid.(type) {
 	case *atomNode:
-		b := 0
-		for _, t := range n.terms {
+		var posArr [16]int
+		bound := posArr[:0]
+		for i, t := range n.terms {
 			if known(t) {
-				b++
+				bound = append(bound, i)
 			}
 		}
-		if b == len(n.terms) {
+		if len(bound) == len(n.terms) {
 			return 0 // membership filter
 		}
-		est := float64(rt.insts[n.relIdx].Len())
-		for i := 0; i < b; i++ {
-			est /= 8
-		}
-		return 2 + est
+		return 2 + estimateRows(rt.insts[n.relIdx], bound)
 	case *cmpNode:
 		lb, rb := known(n.l), known(n.r)
 		switch {

@@ -53,6 +53,10 @@ const (
 	IndexProbeHits   // probes that found at least one row
 	IndexProbeMisses // probes that found none
 
+	// relation: the interned value domain.
+	ValuesInterned // distinct values admitted into an interner
+	InternHits     // intern calls answered by an existing id
+
 	// cc: memoised RHS answer sets.
 	RHSCacheHits          // RHS answer-set reuses
 	RHSCacheMisses        // RHS answer sets computed fresh
@@ -100,6 +104,8 @@ var counterNames = [numCounters]string{
 	IndexProbes:           "index_probes",
 	IndexProbeHits:        "index_probe_hits",
 	IndexProbeMisses:      "index_probe_misses",
+	ValuesInterned:        "values_interned",
+	InternHits:            "intern_hits",
 	RHSCacheHits:          "rhs_cache_hits",
 	RHSCacheMisses:        "rhs_cache_misses",
 	RHSCacheInvalidations: "rhs_cache_invalidations",

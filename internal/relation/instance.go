@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"maps"
 	"strings"
 	"sync"
 
@@ -65,10 +66,41 @@ func T(vals ...Value) Tuple { return Tuple(vals) }
 // Instance is a set-semantics instance of a single relation schema.
 // Iteration order is insertion order, which makes every derived
 // computation deterministic.
+//
+// Instances come in two storage modes. The default, interned mode keys
+// its membership set and hash indexes by dense value ids (4 bytes per
+// column, see Interner) and additionally keeps the rows as a flat
+// []uint32 id array plus per-position distinct-value statistics that
+// feed the query planner's cost estimates. Boxed mode is the original
+// representation — variable-width value-encoded keys, no id storage,
+// no statistics — kept behind NewBoxedInstance / SetDefaultBoxed as a
+// differential oracle and ablation baseline, exactly like the
+// NaiveJoin evaluator. Both modes expose identical semantics.
 type Instance struct {
 	schema *Schema
 	rows   []Tuple
 	seen   map[string]int // tuple key -> index in rows
+
+	// Interned storage. intern == nil means boxed mode; otherwise ids
+	// holds the rows flattened as len(rows)×arity interned ids.
+	intern *Interner
+	ids    []uint32
+
+	// Per-position distinct-value statistics, computed lazily from ids
+	// on the first DistinctAt/indexSizeHint call and cached until the
+	// row count changes. Guarded by idxMu (the planner reads statistics
+	// from instances shared across parallel workers).
+	statRows     int
+	statDistinct []int
+
+	// Distinct values in first-occurrence order, computed lazily by
+	// ActiveDomain and cached until the row count changes — the eval
+	// engine recomputes its domain per plan run, so on instances that
+	// are queried repeatedly (every candidate model is checked against
+	// each containment constraint) this turns O(rows×arity) hash inserts
+	// per run into O(distinct). Guarded by idxMu.
+	adomRows int
+	adomVals []Value
 
 	// idxMu guards indexes. Indexes are built lazily by the first query
 	// that joins on a given position set and maintained incrementally on
@@ -82,16 +114,27 @@ type Instance struct {
 
 // posIndex is a hash index of the instance on a fixed set of column
 // positions: the encoded values at those positions map to the rows that
-// carry them, in insertion order.
+// carry them, in insertion order. Interned instances key buckets by
+// fixed-width ids; boxed instances by the value encoding.
 type posIndex struct {
 	positions []int // ascending
 	buckets   map[string][]Tuple
 }
 
-func (ix *posIndex) add(t Tuple) {
-	key := make([]byte, 0, 8*len(ix.positions)+16)
-	for _, p := range ix.positions {
-		key = AppendValueKey(key, t[p])
+// add indexes the row at rowIdx. The instance supplies the id row in
+// interned mode; t is the boxed view either way.
+func (ix *posIndex) add(in *Instance, rowIdx int, t Tuple) {
+	var arr [scratchKeyBytes]byte
+	key := arr[:0]
+	if in.intern != nil {
+		base := rowIdx * in.schema.Arity()
+		for _, p := range ix.positions {
+			key = AppendIDKey(key, in.ids[base+p])
+		}
+	} else {
+		for _, p := range ix.positions {
+			key = AppendValueKey(key, t[p])
+		}
 	}
 	ix.buckets[string(key)] = append(ix.buckets[string(key)], t)
 }
@@ -100,6 +143,11 @@ func (ix *posIndex) add(t Tuple) {
 // the paper never produces) fall back to scans.
 const maxIndexedArity = 64
 
+// scratchKeyBytes sizes the stack scratch buffers of the key-building
+// hot paths: 64 bytes hold 16 id-encoded columns, far beyond any key
+// the paper's reductions build. Longer keys silently spill to the heap.
+const scratchKeyBytes = 64
+
 // posMask folds ascending positions into a bitmask key.
 func posMask(positions []int) uint64 {
 	var m uint64
@@ -107,6 +155,52 @@ func posMask(positions []int) uint64 {
 		m |= 1 << uint(p)
 	}
 	return m
+}
+
+// statsLocked returns the per-position distinct counts, recomputing
+// them from the flat id array when the cache is stale. Callers must
+// hold idxMu; the result is nil in boxed mode.
+func (in *Instance) statsLocked() []int {
+	if in.intern == nil || len(in.rows) == 0 {
+		return nil
+	}
+	arity := in.schema.Arity()
+	if in.statDistinct != nil && in.statRows == len(in.rows) {
+		return in.statDistinct
+	}
+	seen := make(map[uint32]struct{}, len(in.rows))
+	counts := make([]int, arity)
+	for p := 0; p < arity; p++ {
+		clear(seen)
+		for base := p; base < len(in.ids); base += arity {
+			seen[in.ids[base]] = struct{}{}
+		}
+		counts[p] = len(seen)
+	}
+	in.statDistinct, in.statRows = counts, len(in.rows)
+	return counts
+}
+
+// indexSizeHint estimates the bucket count of an index on positions:
+// the product of per-position distinct counts, clamped by the row
+// count. Boxed instances have no statistics and fall back to the row
+// count (one bucket per row is the worst case). Callers hold idxMu.
+func (in *Instance) indexSizeHint(positions []int) int {
+	stats := in.statsLocked()
+	if stats == nil {
+		return len(in.rows)
+	}
+	est := 1
+	for _, p := range positions {
+		if p >= len(stats) || stats[p] == 0 {
+			return len(in.rows)
+		}
+		est *= stats[p]
+		if est >= len(in.rows) {
+			return len(in.rows)
+		}
+	}
+	return est
 }
 
 // LookupIndexed returns the rows whose columns at positions (ascending)
@@ -129,16 +223,39 @@ func (in *Instance) LookupIndexed(positions []int, vals []Value) ([]Tuple, bool)
 		return nil, false
 	}
 	m := metrics.Load()
+	var arr [scratchKeyBytes]byte
+	key := arr[:0]
+	if in.intern != nil {
+		for _, v := range vals {
+			id, ok := in.intern.Lookup(v)
+			if !ok {
+				// v was never interned, so no instance sharing this
+				// interner holds it anywhere: answer the miss without
+				// even building the index.
+				if m != nil {
+					m.Inc(obs.IndexProbes)
+					m.Inc(obs.IndexProbeMisses)
+					m.Observe(obs.IndexProbeRows, 0)
+				}
+				return nil, true
+			}
+			key = AppendIDKey(key, id)
+		}
+	} else {
+		for _, v := range vals {
+			key = AppendValueKey(key, v)
+		}
+	}
 	mask := posMask(positions)
 	in.idxMu.Lock()
 	ix := in.indexes[mask]
 	if ix == nil {
 		ix = &posIndex{
 			positions: append([]int(nil), positions...),
-			buckets:   make(map[string][]Tuple, len(in.rows)),
+			buckets:   make(map[string][]Tuple, in.indexSizeHint(positions)),
 		}
-		for _, t := range in.rows {
-			ix.add(t)
+		for i, t := range in.rows {
+			ix.add(in, i, t)
 		}
 		if in.indexes == nil {
 			in.indexes = make(map[uint64]*posIndex, 4)
@@ -147,10 +264,6 @@ func (in *Instance) LookupIndexed(positions []int, vals []Value) ([]Tuple, bool)
 		m.Inc(obs.IndexBuilds)
 	}
 	in.idxMu.Unlock()
-	key := make([]byte, 0, 8*len(vals)+16)
-	for _, v := range vals {
-		key = AppendValueKey(key, v)
-	}
 	rows := ix.buckets[string(key)]
 	if m != nil {
 		m.Inc(obs.IndexProbes)
@@ -164,9 +277,54 @@ func (in *Instance) LookupIndexed(positions []int, vals []Value) ([]Tuple, bool)
 	return rows, true
 }
 
-// NewInstance returns an empty instance of the given schema.
+// NewInstance returns an empty instance of the given schema, interned
+// (with its own interner) unless SetDefaultBoxed has selected the boxed
+// oracle mode process-wide. Instances that should share a Database's
+// interner are built by NewDatabase or NewInternedInstance.
 func NewInstance(schema *Schema) *Instance {
+	if boxedDefault.Load() {
+		return NewBoxedInstance(schema)
+	}
+	return NewInternedInstance(schema, NewInterner())
+}
+
+// NewInternedInstance returns an empty interned instance storing its
+// values in it, which must not be nil. Instances meant to share storage
+// (the relations of one database, a clone lineage) pass the same
+// interner.
+func NewInternedInstance(schema *Schema, it *Interner) *Instance {
+	if it == nil {
+		panic("relation: NewInternedInstance with nil interner")
+	}
+	return &Instance{schema: schema, seen: make(map[string]int), intern: it}
+}
+
+// NewBoxedInstance returns an empty instance using the boxed (original,
+// non-interned) storage representation. It is the differential oracle
+// and ablation baseline for the interned path; semantics are identical.
+func NewBoxedInstance(schema *Schema) *Instance {
 	return &Instance{schema: schema, seen: make(map[string]int)}
+}
+
+// emptyLike returns an empty instance with in's schema, storage mode
+// and interner.
+func (in *Instance) emptyLike(sizeHint int) *Instance {
+	return &Instance{
+		schema: in.schema,
+		seen:   make(map[string]int, sizeHint),
+		intern: in.intern,
+	}
+}
+
+// Boxed reports whether the instance uses the boxed oracle storage.
+func (in *Instance) Boxed() bool { return in != nil && in.intern == nil }
+
+// Interner returns the instance's interner (nil in boxed mode).
+func (in *Instance) Interner() *Interner {
+	if in == nil {
+		return nil
+	}
+	return in.intern
 }
 
 // InstanceOf builds an instance of schema containing the given tuples;
@@ -221,24 +379,75 @@ func (in *Instance) MustInsert(t Tuple) {
 }
 
 func (in *Instance) insertUnchecked(t Tuple) bool {
+	if in.intern == nil {
+		return in.insertBoxed(t)
+	}
+	arity := len(t)
+	var keyArr [scratchKeyBytes]byte
+	var idArr [scratchKeyBytes / 4]uint32
+	var rowArr [scratchKeyBytes / 4]Value
+	key := keyArr[:0]
+	ids := idArr[:0]
+	canon := rowArr[:0]
+	var hits, fresh int64
+	for _, v := range t {
+		// The canonical value shares the interner's string backing, so
+		// every occurrence of a value deduplicates its storage.
+		id, cv, isNew := in.intern.internCanonical(v)
+		if isNew {
+			fresh++
+		} else {
+			hits++
+		}
+		ids = append(ids, id)
+		canon = append(canon, cv)
+		key = AppendIDKey(key, id)
+	}
+	m := metrics.Load()
+	if m != nil {
+		m.Add(obs.InternHits, hits)
+		m.Add(obs.ValuesInterned, fresh)
+	}
+	if _, ok := in.seen[string(key)]; ok {
+		return false
+	}
+	in.seen[string(key)] = len(in.rows)
+	row := make(Tuple, arity)
+	copy(row, canon)
+	rowIdx := len(in.rows)
+	in.rows = append(in.rows, row)
+	in.ids = append(in.ids, ids...)
+	in.maintainIndexes(m, rowIdx, row)
+	return true
+}
+
+// insertBoxed is the boxed-mode insert: the original value-encoded
+// membership key and no id or statistics maintenance.
+func (in *Instance) insertBoxed(t Tuple) bool {
 	k := t.Key()
 	if _, ok := in.seen[k]; ok {
 		return false
 	}
 	in.seen[k] = len(in.rows)
 	row := t.Clone()
+	rowIdx := len(in.rows)
 	in.rows = append(in.rows, row)
-	// Keep live indexes exact: appending to each bucket is cheaper than
-	// invalidating and re-scanning on the next lookup.
+	in.maintainIndexes(metrics.Load(), rowIdx, row)
+	return true
+}
+
+// maintainIndexes keeps live indexes exact after an insert: appending
+// to each bucket is cheaper than invalidating and re-scanning on the
+// next lookup.
+func (in *Instance) maintainIndexes(m *obs.Metrics, rowIdx int, row Tuple) {
 	in.idxMu.Lock()
 	if len(in.indexes) > 0 {
 		for _, ix := range in.indexes {
-			ix.add(row)
+			ix.add(in, rowIdx, row)
 		}
-		metrics.Load().Add(obs.IndexInserts, int64(len(in.indexes)))
+		m.Add(obs.IndexInserts, int64(len(in.indexes)))
 	}
 	in.idxMu.Unlock()
-	return true
 }
 
 // Contains reports whether the instance holds t.
@@ -246,7 +455,20 @@ func (in *Instance) Contains(t Tuple) bool {
 	if in == nil {
 		return false
 	}
-	_, ok := in.seen[t.Key()]
+	if in.intern == nil {
+		_, ok := in.seen[t.Key()]
+		return ok
+	}
+	var arr [scratchKeyBytes]byte
+	key := arr[:0]
+	for _, v := range t {
+		id, ok := in.intern.Lookup(v)
+		if !ok {
+			return false // never interned ⇒ occurs in no row
+		}
+		key = AppendIDKey(key, id)
+	}
+	_, ok := in.seen[string(key)]
 	return ok
 }
 
@@ -259,11 +481,69 @@ func (in *Instance) Tuples() []Tuple {
 	return in.rows
 }
 
-// Clone returns an independent copy.
+// DistinctAt returns the number of distinct values at position pos, or
+// 0 when statistics are unavailable (boxed mode, nil or empty
+// instance). The planner treats 0 as "no statistics" and falls back to
+// its guessed selectivities. Statistics are computed on demand and
+// cached until the row count changes, so candidate instances that are
+// never planned against pay nothing for them.
+func (in *Instance) DistinctAt(pos int) int {
+	if in == nil || in.intern == nil || pos < 0 || pos >= in.schema.Arity() {
+		return 0
+	}
+	in.idxMu.Lock()
+	stats := in.statsLocked()
+	in.idxMu.Unlock()
+	if stats == nil {
+		return 0
+	}
+	return stats[pos]
+}
+
+// ResidentBytes estimates the heap bytes of the instance's own storage
+// using the fixed platform-independent charges of intern.go: the boxed
+// row view (a slice header per row, a string header per value), the
+// flat id array, and the membership map (key bytes plus the per-entry
+// charge). Interned instances do not charge value bytes — those live in
+// the interner, which is shared and accounted once per database by
+// Database.ResidentBytes. Boxed instances own their value bytes and
+// charge them here.
+func (in *Instance) ResidentBytes() int64 {
+	if in == nil {
+		return 0
+	}
+	arity := int64(in.schema.Arity())
+	rows := int64(len(in.rows))
+	b := rows * (sliceHeaderBytes + arity*stringHeaderBytes)
+	b += int64(len(in.ids)) * 4
+	for k := range in.seen {
+		b += int64(len(k)) + mapEntryBytes
+	}
+	if in.intern == nil {
+		for _, t := range in.rows {
+			for _, v := range t {
+				b += int64(len(v))
+			}
+		}
+	}
+	return b
+}
+
+// Clone returns an independent copy. Rows are immutable after insert,
+// so the clone shares the tuple backing arrays (as index buckets and
+// Tuples() callers already do) and bulk-copies the membership map and
+// ids instead of re-keying every row. Statistics and indexes are not
+// copied; the clone rebuilds them lazily if queried.
 func (in *Instance) Clone() *Instance {
-	c := NewInstance(in.schema)
-	for _, t := range in.rows {
-		c.insertUnchecked(t)
+	c := &Instance{schema: in.schema, intern: in.intern}
+	c.rows = append([]Tuple(nil), in.rows...)
+	if in.seen != nil {
+		c.seen = maps.Clone(in.seen)
+	} else {
+		c.seen = make(map[string]int)
+	}
+	if in.intern != nil {
+		c.ids = append([]uint32(nil), in.ids...)
 	}
 	return c
 }
@@ -288,10 +568,9 @@ func (in *Instance) WithTuple(t Tuple) *Instance {
 
 // WithoutTuple returns a copy of the instance with t removed.
 func (in *Instance) WithoutTuple(t Tuple) *Instance {
-	c := NewInstance(in.schema)
-	k := t.Key()
+	c := in.emptyLike(len(in.rows))
 	for _, u := range in.rows {
-		if u.Key() != k {
+		if !u.Equal(t) {
 			c.insertUnchecked(u)
 		}
 	}
@@ -321,19 +600,54 @@ func (in *Instance) ProperSubsetOf(other *Instance) bool {
 	return in.Len() < other.Len() && in.SubsetOf(other)
 }
 
+// activeValuesLocked returns the distinct values of the instance in
+// first-occurrence order, recomputing the cache when the row count
+// changed. Interned instances deduplicate by id (integer hashing);
+// boxed instances by value. Callers must hold idxMu and must not
+// mutate the result.
+func (in *Instance) activeValuesLocked() []Value {
+	if in.adomVals != nil && in.adomRows == len(in.rows) {
+		return in.adomVals
+	}
+	vals := make([]Value, 0, 16)
+	if in.intern != nil {
+		seen := make(map[uint32]struct{}, 16)
+		arity := in.schema.Arity()
+		for i, id := range in.ids {
+			if _, ok := seen[id]; !ok {
+				seen[id] = struct{}{}
+				vals = append(vals, in.rows[i/arity][i%arity])
+			}
+		}
+	} else {
+		seen := make(map[Value]struct{}, 16)
+		for _, t := range in.rows {
+			for _, v := range t {
+				if _, ok := seen[v]; !ok {
+					seen[v] = struct{}{}
+					vals = append(vals, v)
+				}
+			}
+		}
+	}
+	in.adomVals, in.adomRows = vals, len(in.rows)
+	return vals
+}
+
 // ActiveDomain collects every constant appearing in the instance into dst
 // (allocating it when nil) and returns dst.
 func (in *Instance) ActiveDomain(dst *ValueSet) *ValueSet {
 	if dst == nil {
 		dst = NewValueSet()
 	}
-	if in == nil {
+	if in == nil || len(in.rows) == 0 {
 		return dst
 	}
-	for _, t := range in.rows {
-		for _, v := range t {
-			dst.Add(v)
-		}
+	in.idxMu.Lock()
+	vals := in.activeValuesLocked()
+	in.idxMu.Unlock()
+	for _, v := range vals {
+		dst.Add(v)
 	}
 	return dst
 }

@@ -1,0 +1,135 @@
+package relation
+
+import "sync"
+
+// This file implements the interned value domain: a bijection between
+// Values and dense uint32 ids. Interning buys the storage layer three
+// things at once. First, every occurrence of a value shares one string
+// backing, so a 10M-tuple master instance holds each distinct constant
+// once. Second, tuple identity reduces to fixed-width id sequences —
+// 4 bytes per column instead of a uvarint-length-prefixed copy of the
+// value bytes — which makes membership keys and index bucket keys both
+// smaller and cheaper to hash. Third, a probe for a value the interner
+// has never seen can answer "no rows" without touching any index,
+// because an un-interned value cannot occur in any instance sharing the
+// interner.
+//
+// One interner is shared by all instances of a Database (and every
+// clone derived from it — candidate instances in the decider searches
+// keep their parent's interner). Ids are assigned densely in first-
+// intern order and are never reused, so readers may hold ids across
+// concurrent interns.
+
+// Interner maps Values to dense uint32 ids and back. All methods are
+// safe for concurrent use: the parallel candidate searches intern new
+// values into a shared interner while sibling workers resolve probes
+// against it. Ids are stable — once assigned, an id always names the
+// same value.
+type Interner struct {
+	mu   sync.RWMutex
+	ids  map[Value]uint32
+	vals []Value
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[Value]uint32, 64)}
+}
+
+// Intern returns the id of v, assigning the next dense id on first
+// sight.
+func (it *Interner) Intern(v Value) uint32 {
+	id, _ := it.intern(v)
+	return id
+}
+
+// intern is Intern plus a freshness flag, so the insert hot path can
+// batch hit/size counter updates per tuple instead of per value.
+func (it *Interner) intern(v Value) (uint32, bool) {
+	id, _, fresh := it.internCanonical(v)
+	return id, fresh
+}
+
+// internCanonical interns v and additionally returns the canonical
+// Value sharing the interner's string backing, saving the insert hot
+// path a second lock round-trip through ValueOf.
+func (it *Interner) internCanonical(v Value) (uint32, Value, bool) {
+	it.mu.RLock()
+	id, ok := it.ids[v]
+	var canon Value
+	if ok {
+		canon = it.vals[id]
+	}
+	it.mu.RUnlock()
+	if ok {
+		return id, canon, false
+	}
+	it.mu.Lock()
+	if id, ok = it.ids[v]; ok {
+		canon = it.vals[id]
+		it.mu.Unlock()
+		return id, canon, false
+	}
+	id = uint32(len(it.vals))
+	it.vals = append(it.vals, v)
+	it.ids[v] = id
+	it.mu.Unlock()
+	return id, v, true
+}
+
+// Lookup returns the id of v without interning it; ok is false when v
+// has never been interned — and therefore occurs in no instance sharing
+// this interner.
+func (it *Interner) Lookup(v Value) (uint32, bool) {
+	it.mu.RLock()
+	id, ok := it.ids[v]
+	it.mu.RUnlock()
+	return id, ok
+}
+
+// ValueOf returns the canonical Value for an id previously returned by
+// Intern. The canonical Value shares the interner's string backing, so
+// rows built from it deduplicate their storage. Panics on an id the
+// interner never issued.
+func (it *Interner) ValueOf(id uint32) Value {
+	it.mu.RLock()
+	v := it.vals[id]
+	it.mu.RUnlock()
+	return v
+}
+
+// Len is the number of distinct values interned so far.
+func (it *Interner) Len() int {
+	it.mu.RLock()
+	n := len(it.vals)
+	it.mu.RUnlock()
+	return n
+}
+
+// Resident-size accounting constants. These are deliberately fixed
+// (not unsafe.Sizeof probes) so the byte charges that feed the rcserved
+// registry cap are identical on every platform and can be pinned by
+// tests: a slice header, a string header, and a flat per-map-entry
+// bookkeeping charge covering bucket space and the hash seed share.
+const (
+	sliceHeaderBytes  = 24
+	stringHeaderBytes = 16
+	mapEntryBytes     = 48
+)
+
+// ResidentBytes estimates the heap bytes the interner retains: each
+// distinct value's bytes stored once, plus a string header in the id
+// table, a string header and 4-byte id in the reverse map entry, and
+// the per-entry map bookkeeping charge.
+func (it *Interner) ResidentBytes() int64 {
+	if it == nil {
+		return 0
+	}
+	it.mu.RLock()
+	b := int64(len(it.vals)) * (2*stringHeaderBytes + 4 + mapEntryBytes)
+	for _, v := range it.vals {
+		b += int64(len(v))
+	}
+	it.mu.RUnlock()
+	return b
+}

@@ -24,8 +24,14 @@ type Entry struct {
 	Problem   *core.Problem
 	CInstance *ctable.CInstance
 	Doc       *probjson.Document // retained for per-request rebuilds
-	Bytes     int64              // resident-size charge: the raw document length
-	Loaded    time.Time
+	// Bytes is the resident-size charge: the raw document (retained in
+	// Doc for rebuilds) plus the built master data's interned
+	// representation — value table, flat id rows and membership maps —
+	// as measured by relation.Database.ResidentBytes. The charge is
+	// deterministic and platform-independent, so eviction behaviour
+	// under a byte cap is reproducible.
+	Bytes  int64
+	Loaded time.Time
 }
 
 // Info is the JSON metadata served for one registry entry.
@@ -64,8 +70,9 @@ type Registry struct {
 	lru     *list.List               // front = most recently used
 }
 
-// NewRegistry builds a registry holding at most maxBytes of raw
-// documents (0 = unlimited). base, when non-nil, is applied to every
+// NewRegistry builds a registry holding at most maxBytes of resident
+// problems (raw document plus built master representation, see
+// Entry.Bytes; 0 = unlimited). base, when non-nil, is applied to every
 // loaded problem's Options after the document's own options — the
 // server owns parallelism and observability, the document owns budgets.
 func NewRegistry(maxBytes int64, base func() core.Options, m *obs.Metrics) *Registry {
@@ -136,7 +143,7 @@ func (r *Registry) Put(name string, raw []byte) (*Entry, bool, error) {
 	}
 	e := &Entry{
 		Name: name, Problem: p, CInstance: ci, Doc: doc,
-		Bytes: int64(len(raw)), Loaded: time.Now(),
+		Bytes: int64(len(raw)) + p.Master.ResidentBytes(), Loaded: time.Now(),
 	}
 	if r.maxBytes > 0 && e.Bytes > r.maxBytes {
 		return nil, false, &ErrTooLarge{Bytes: e.Bytes, Cap: r.maxBytes}
@@ -212,7 +219,8 @@ func (r *Registry) Len() int {
 	return len(r.entries)
 }
 
-// ResidentBytes is the total raw-document bytes currently resident.
+// ResidentBytes is the total resident-size charge (see Entry.Bytes)
+// across resident entries.
 func (r *Registry) ResidentBytes() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()

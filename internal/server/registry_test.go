@@ -10,8 +10,8 @@ import (
 )
 
 // paddedDoc returns the orders document inflated to roughly n bytes by
-// widening the catalog (extra rows are semantically harmless and keep
-// the document valid).
+// appending trailing whitespace (JSON decoders ignore it, and the
+// registry charges raw length as part of the resident size).
 func paddedDoc(t *testing.T, n int) []byte {
 	t.Helper()
 	raw, err := os.ReadFile("../../examples/orders_rcdp.json")
@@ -21,8 +21,6 @@ func paddedDoc(t *testing.T, n int) []byte {
 	if len(raw) >= n {
 		return raw
 	}
-	// Pad with trailing spaces — JSON decoders ignore trailing
-	// whitespace, and the registry charges raw length.
 	pad := make([]byte, n-len(raw))
 	for i := range pad {
 		pad[i] = ' '
@@ -35,17 +33,58 @@ func newRegistry(cap int64) (*Registry, *obs.Metrics) {
 	return NewRegistry(cap, nil, m), m
 }
 
+// chargeOf measures the resident-size charge one document costs, by
+// loading it into a throwaway unlimited registry. Tests size their caps
+// in units of this charge so they keep pinning eviction behaviour
+// exactly without hard-coding the accounting formula.
+func chargeOf(t *testing.T, raw []byte) int64 {
+	t.Helper()
+	r, _ := newRegistry(0)
+	e, _, err := r.Put("probe", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Bytes
+}
+
+// The resident charge is the raw document plus the built master data's
+// interned representation — never just the raw length, and identical
+// for identical documents.
+func TestRegistryChargesInternedRepresentation(t *testing.T) {
+	raw := paddedDoc(t, 0)
+	r, _ := newRegistry(0)
+	e, _, err := r.Put("orders", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := e.Problem.Master.ResidentBytes()
+	if master <= 0 {
+		t.Fatalf("master resident bytes = %d, want > 0", master)
+	}
+	if e.Bytes != int64(len(raw))+master {
+		t.Fatalf("charge = %d, want raw %d + master %d", e.Bytes, len(raw), master)
+	}
+	e2, _, err := r.Put("orders2", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Bytes != e.Bytes {
+		t.Fatalf("identical documents must charge identically: %d vs %d", e2.Bytes, e.Bytes)
+	}
+}
+
 func TestRegistryLRUEviction(t *testing.T) {
 	doc := paddedDoc(t, 1000)
-	r, m := newRegistry(2500) // room for two 1000-byte docs, not three
+	unit := chargeOf(t, doc)
+	r, m := newRegistry(2*unit + unit/2) // room for two docs, not three
 
 	for _, name := range []string{"a", "b"} {
 		if _, _, err := r.Put(name, doc); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if r.Len() != 2 || r.ResidentBytes() != 2000 {
-		t.Fatalf("len=%d bytes=%d", r.Len(), r.ResidentBytes())
+	if r.Len() != 2 || r.ResidentBytes() != 2*unit {
+		t.Fatalf("len=%d bytes=%d want bytes=%d", r.Len(), r.ResidentBytes(), 2*unit)
 	}
 
 	// Touch a so b becomes the LRU victim.
@@ -70,8 +109,8 @@ func TestRegistryLRUEviction(t *testing.T) {
 	if got := m.Get(obs.ServerProblemsLoaded); got != 3 {
 		t.Fatalf("loads = %d, want 3", got)
 	}
-	if r.ResidentBytes() != 2000 {
-		t.Fatalf("bytes after eviction = %d", r.ResidentBytes())
+	if r.ResidentBytes() != 2*unit {
+		t.Fatalf("bytes after eviction = %d, want %d", r.ResidentBytes(), 2*unit)
 	}
 
 	// The list is MRU-first and accounts every survivor.
@@ -83,7 +122,7 @@ func TestRegistryLRUEviction(t *testing.T) {
 
 func TestRegistryTooLarge(t *testing.T) {
 	doc := paddedDoc(t, 1000)
-	r, _ := newRegistry(500)
+	r, _ := newRegistry(chargeOf(t, doc) / 2)
 	_, _, err := r.Put("big", doc)
 	var tooLarge *ErrTooLarge
 	if !errors.As(err, &tooLarge) {
@@ -132,18 +171,28 @@ func TestRegistryRejectsGarbage(t *testing.T) {
 // Eviction can claim several victims when the newcomer is large.
 func TestRegistryMultiEviction(t *testing.T) {
 	small := paddedDoc(t, 300)
-	big := paddedDoc(t, 900)
-	r, m := newRegistry(1000)
+	smallUnit := chargeOf(t, small)
+	// Pad the big document until its charge exactly equals the cap for
+	// three small ones: inserting it must evict all three residents.
+	// Padding only moves the raw-length part of the charge, so the
+	// target raw size is solvable from the small document's numbers.
+	cap := 3 * smallUnit
+	big := paddedDoc(t, int(cap-(smallUnit-300)))
+	r, m := newRegistry(cap)
 	for i := 0; i < 3; i++ {
 		if _, _, err := r.Put(fmt.Sprintf("s%d", i), small); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := r.Put("big", big); err != nil {
+	if r.Len() != 3 || r.ResidentBytes() != 3*smallUnit {
+		t.Fatalf("len=%d bytes=%d want bytes=%d", r.Len(), r.ResidentBytes(), 3*smallUnit)
+	}
+	e, _, err := r.Put("big", big)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Len() != 1 || r.ResidentBytes() != 900 {
-		t.Fatalf("len=%d bytes=%d", r.Len(), r.ResidentBytes())
+	if r.Len() != 1 || r.ResidentBytes() != e.Bytes {
+		t.Fatalf("len=%d bytes=%d want bytes=%d", r.Len(), r.ResidentBytes(), e.Bytes)
 	}
 	if got := m.Get(obs.ServerEvictions); got != 3 {
 		t.Fatalf("evictions = %d, want 3", got)
