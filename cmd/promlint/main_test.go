@@ -43,3 +43,33 @@ func TestBadArgs(t *testing.T) {
 		t.Fatal("unreadable file accepted")
 	}
 }
+
+// A document with labelled per-tenant series — the rcserved shape the
+// CI smoke job pipes through promlint — must pass, and the labelled
+// failure modes (duplicate labels, a per-label-set histogram broken in
+// one set only) must fail.
+func TestLabelledDocument(t *testing.T) {
+	m := obs.NewMetrics()
+	cv := m.LabeledCounter(obs.ServerDecides, "problem", "decider", "outcome")
+	cv.Inc("orders", "rcdp_strong", "ok")
+	cv.Inc("orders", "rcdp_strong", "deadline")
+	m.LabeledHisto(obs.DeciderWallNs, "problem").Observe(1e6, "orders")
+	if err := run([]string{"-"}, strings.NewReader(m.PrometheusText())); err != nil {
+		t.Fatalf("labelled exposition rejected: %v", err)
+	}
+
+	if err := run([]string{"-"}, strings.NewReader(`x{a="1",a="2"} 1`+"\n")); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+	broken := strings.Join([]string{
+		"# TYPE h histogram",
+		`h_bucket{tenant="a",le="+Inf"} 1`,
+		`h_count{tenant="a"} 1`,
+		`h_bucket{tenant="b",le="+Inf"} 2`,
+		`h_count{tenant="b"} 5`, // count != +Inf bucket, in set b only
+		"",
+	}, "\n")
+	if err := run([]string{"-"}, strings.NewReader(broken)); err == nil {
+		t.Fatal("per-label-set count mismatch accepted")
+	}
+}

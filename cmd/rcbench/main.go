@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -222,12 +223,15 @@ func run(args []string, out io.Writer) error {
 
 // serveDebug starts the opt-in introspection endpoint: the Prometheus
 // exposition under /metrics, the solver counters under /debug/vars
-// (expvar) and the Go profiler under /debug/pprof/. It binds eagerly
-// so a bad address fails the run; Close on the returned server drains
-// in-flight scrapes (internal/httpx) before the process moves on.
+// (expvar) and the Go profiler under /debug/pprof/. Every request is
+// traced and logged as one JSON line on stderr (httpx.AccessLog), the
+// same schema rcserved emits. It binds eagerly so a bad address fails
+// the run; Close on the returned server drains in-flight scrapes
+// (internal/httpx) before the process moves on.
 func serveDebug(addr string) (*httpx.Server, error) {
 	httpx.PublishSnapshot("solver", benchMetrics)
-	return httpx.Serve(addr, httpx.NewDebugMux(benchMetrics))
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	return httpx.Serve(addr, httpx.AccessLog(logger, httpx.NewDebugMux(benchMetrics)))
 }
 
 func timed(fn func() (string, string, error)) (row, error) {

@@ -365,7 +365,7 @@ func TestRCheckSlowlog(t *testing.T) {
 	}
 	for _, want := range []string{
 		"=== SLOW OP op=rcdp_strong",
-		"threshold=1ns ===",
+		"threshold=1ns trace_id=- ===",
 		"flight recorder:",
 		"event(s) retained",
 		"decide",

@@ -10,6 +10,7 @@
 //	rcserved -workers 4 -max-concurrent 8 -max-queue 128
 //	rcserved -max-resident-mb 64         # registry LRU eviction cap
 //	rcserved -drain-timeout 10s          # SIGTERM drain deadline
+//	rcserved -slowlog 250ms              # slow-op dumps to stderr
 //
 // API:
 //
@@ -18,8 +19,20 @@
 //	DELETE /v1/problems/{name}          unload
 //	POST   /v1/problems/{name}/decide   {"property": "rcdp", "model":
 //	       "strong", "timeout_ms": 500, "budget": {...}, "query": "..."}
+//	       (?trace=1 returns the request's span tree inline)
 //	GET    /healthz                     200 serving / 503 draining
-//	GET    /metrics                     Prometheus text exposition
+//	GET    /metrics                     Prometheus text exposition, with
+//	       per-tenant labelled series and runtime gauges
+//	GET    /debug/requests              recent decide requests, newest
+//	       first: trace id, decider, outcome, timings, span tree
+//
+// Every request runs under a request-scoped trace: a client-sent W3C
+// traceparent header is adopted (and echoed back), otherwise fresh ids
+// are minted. All operational output is structured JSON on stderr via
+// log/slog — an access-log line per request, a decision-log line per
+// decide (trace_id, problem, decider, verdict, outcome, queue-wait and
+// wall times), warn lines on registry eviction and admission overflow,
+// and the -slowlog flight-recorder dumps tagged with the trace id.
 //
 // Status mapping: an expired per-request deadline answers 408 with the
 // DeadlineError detail (op, elapsed, progress snapshot); an exhausted
@@ -37,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -73,6 +87,7 @@ func run(args []string, stderr io.Writer, sigs <-chan os.Signal, ready chan<- st
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "upper bound on a request's timeout_ms")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "SIGTERM: how long in-flight decisions may run before hard close")
 	boxed := fs.Bool("boxed", false, "ablation: boxed (non-interned) relation storage for loaded problems")
+	slowlog := fs.Duration("slowlog", 0, "dump the flight recorder to stderr when one decider call exceeds this (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +95,9 @@ func run(args []string, stderr io.Writer, sigs <-chan os.Signal, ready chan<- st
 		return fmt.Errorf("unexpected arguments %q", fs.Args())
 	}
 
+	// All operational output is structured JSON on stderr: access and
+	// decision logs, eviction/overload warnings, lifecycle messages.
+	logger := slog.New(slog.NewJSONHandler(stderr, nil))
 	metrics := obs.NewMetrics()
 	relation.SetMetrics(metrics)     // index counters live behind a process-global hook
 	relation.SetDefaultBoxed(*boxed) // storage ablation, set before any document builds
@@ -95,6 +113,9 @@ func run(args []string, stderr io.Writer, sigs <-chan os.Signal, ready chan<- st
 		DefaultTimeout:   *defaultTimeout,
 		MaxTimeout:       *maxTimeout,
 		Metrics:          metrics,
+		Logger:           logger,
+		SlowOpThreshold:  *slowlog,
+		SlowOpSink:       stderr,
 	})
 
 	mux := http.NewServeMux()
@@ -102,24 +123,30 @@ func run(args []string, stderr io.Writer, sigs <-chan os.Signal, ready chan<- st
 	httpx.PublishSnapshot("solver", metrics)
 	httpx.RegisterDebug(mux, metrics) // /metrics, /debug/vars, /debug/pprof
 
-	srv, err := httpx.Serve(*addr, mux)
+	// The access-log middleware owns the request root span: it ingests
+	// the client's traceparent, stamps the response header and writes
+	// one JSON line per request — for /v1 and debug routes alike.
+	srv, err := httpx.Serve(*addr, httpx.AccessLog(logger, mux))
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
 	bound := srv.Addr().String()
-	fmt.Fprintf(stderr, "rcserved: serving /v1 on http://%s (metrics on /metrics)\n", bound)
+	logger.LogAttrs(context.Background(), slog.LevelInfo, "rcserved: serving /v1",
+		slog.String("addr", bound))
 	if ready != nil {
 		ready <- bound
 	}
 
 	sig := <-sigs
-	fmt.Fprintf(stderr, "rcserved: %v: draining (deadline %v)\n", sig, *drainTimeout)
+	logger.LogAttrs(context.Background(), slog.LevelInfo, "rcserved: draining",
+		slog.String("signal", sig.String()),
+		slog.Duration("deadline", *drainTimeout))
 	svc.StartDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
-	fmt.Fprintln(stderr, "rcserved: drained cleanly")
+	logger.LogAttrs(context.Background(), slog.LevelInfo, "rcserved: drained cleanly")
 	return nil
 }

@@ -137,7 +137,8 @@ func (p *Problem) Consistent(ci *ctable.CInstance) (bool, error) {
 // ConsistentCtx is Consistent honoring the context's deadline and
 // cancellation; an abort surfaces as a *DeadlineError.
 func (p *Problem) ConsistentCtx(ctx context.Context, ci *ctable.CInstance) (bool, error) {
-	defer p.span("consistency")()
+	ctx, endSpan := p.span(ctx, "consistency")
+	defer endSpan()
 	g := p.beginOp(ctx, "consistency", "no model found among %d candidates checked")
 	d, err := p.domainsFor(ci, false, false)
 	if err != nil {
@@ -210,7 +211,8 @@ func (p *Problem) Extensible(db *relation.Database) (bool, error) {
 
 // ExtensibleCtx is Extensible honoring the context's deadline.
 func (p *Problem) ExtensibleCtx(ctx context.Context, db *relation.Database) (bool, error) {
-	defer p.span("extensibility")()
+	ctx, endSpan := p.span(ctx, "extensibility")
+	defer endSpan()
 	g := p.beginOp(ctx, "extensibility", "no admissible extension among %d candidates checked")
 	d, err := p.domainsFor(ctable.FromDatabase(db), false, true)
 	if err != nil {

@@ -367,6 +367,7 @@ func (p *Problem) evalOptsCtx(ctx context.Context) eval.Options {
 	if ctx != nil && ctx.Done() != nil {
 		o.Interrupt = ctx.Err
 	}
+	o.Span = obs.SpanFromContext(ctx)
 	return o
 }
 
@@ -379,20 +380,30 @@ var nopSpan = func() {}
 // the candidate models it admitted/pruned land in the per-call
 // histograms, and — when Options.SlowOpThreshold is set — a call that
 // exceeds the threshold dumps the flight recorder and the histogram
-// snapshot to Options.SlowOpSink. With Obs nil and no threshold the
-// returned closer is a shared no-op, so the disabled path stays one
+// snapshot to Options.SlowOpSink. When the context carries a request
+// trace (obs.SpanFromContext), the call additionally becomes a child
+// span of it, and the returned context carries that child so eval and
+// search sub-spans nest under the phase; the slow-op dump then carries
+// the request's trace id. With Obs nil, no threshold and no active
+// trace the returned closer is a shared no-op and ctx is returned
+// untouched, so the disabled path stays one context lookup plus one
 // branch (the overhead contract of BenchmarkObsOverhead).
-func (p *Problem) span(name string) func() {
+func (p *Problem) span(ctx context.Context, name string) (context.Context, func()) {
 	o := &p.Options
-	if o.Obs == nil && o.SlowOpThreshold <= 0 {
-		return nopSpan
+	sp := obs.SpanFromContext(ctx)
+	if o.Obs == nil && o.SlowOpThreshold <= 0 && sp == nil {
+		return ctx, nopSpan
+	}
+	child := sp.StartChild(name)
+	if child != nil {
+		ctx = obs.ContextWithSpan(ctx, child)
 	}
 	m := o.Obs
 	start := time.Now()
 	endPhase := m.StartPhase(name)
 	checked0 := m.Get(obs.ModelsChecked)
 	admitted0 := m.Get(obs.ModelsAdmitted)
-	return func() {
+	return ctx, func() {
 		endPhase()
 		elapsed := time.Since(start)
 		m.Observe(obs.DeciderWallNs, elapsed.Nanoseconds())
@@ -400,17 +411,26 @@ func (p *Problem) span(name string) func() {
 		// counters: nested or concurrent decider calls may attribute
 		// each other's models — the histogram is a distribution sketch,
 		// not an exact ledger.
-		if checked := m.Get(obs.ModelsChecked) - checked0; checked > 0 {
+		checked := m.Get(obs.ModelsChecked) - checked0
+		if checked > 0 {
 			admitted := m.Get(obs.ModelsAdmitted) - admitted0
 			m.Observe(obs.ModelsAdmittedPerCall, admitted)
 			m.Observe(obs.ModelsPrunedPerCall, checked-admitted)
+		}
+		if child != nil {
+			child.SetAttr("models_checked", checked)
+			child.End()
 		}
 		if o.SlowOpThreshold > 0 && elapsed >= o.SlowOpThreshold {
 			w := o.SlowOpSink
 			if w == nil {
 				w = os.Stderr
 			}
-			obs.WriteSlowOp(w, name, elapsed, o.SlowOpThreshold, o.FlightRecorder, m)
+			var traceID string
+			if t := child.Trace(); !t.IsZero() {
+				traceID = t.String()
+			}
+			obs.WriteSlowOp(w, name, traceID, elapsed, o.SlowOpThreshold, o.FlightRecorder, m)
 		}
 	}
 }

@@ -29,7 +29,8 @@ import (
 // FO and FP are undecidable (Theorem 4.5).
 
 func (p *Problem) rcqpStrongOrViable(ctx context.Context, m Model) (bool, error) {
-	defer p.span("rcqp")()
+	ctx, endSpan := p.span(ctx, "rcqp")
+	defer endSpan()
 	switch p.Query.Lang() {
 	case FO, FP:
 		return false, fmt.Errorf("RCQP(%s), %s model: %w", p.Query.Lang(), m, ErrUndecidable)

@@ -87,7 +87,8 @@ func (p *Problem) RCDPExplainCtx(ctx context.Context, ci *ctable.CInstance, m Mo
 // first-hit engine returns the counterexample of the lowest-index
 // failing model, which is exactly the one the sequential scan reports.
 func (p *Problem) rcdpStrong(ctx context.Context, ci *ctable.CInstance) (bool, *Counterexample, error) {
-	defer p.span("rcdp_strong")()
+	ctx, endSpan := p.span(ctx, "rcdp_strong")
+	defer endSpan()
 	g := p.beginOp(ctx, "rcdp_strong", "no counterexample found in %d models")
 	switch p.Query.Lang() {
 	case FO, FP:
@@ -477,7 +478,8 @@ func (p *Problem) GroundComplete(db *relation.Database) (bool, *Counterexample, 
 
 // GroundCompleteCtx is GroundComplete honoring the context's deadline.
 func (p *Problem) GroundCompleteCtx(ctx context.Context, db *relation.Database) (bool, *Counterexample, error) {
-	defer p.span("ground_complete")()
+	ctx, endSpan := p.span(ctx, "ground_complete")
+	defer endSpan()
 	g := p.beginOp(ctx, "ground_complete", "no counterexample found in %d models")
 	switch p.Query.Lang() {
 	case FO, FP:
@@ -525,7 +527,8 @@ func (p *Problem) MINPCtx(ctx context.Context, ci *ctable.CInstance, m Model) (b
 // complete ground instance — by Lemma 4.7(b) it suffices to check that
 // no single-tuple removal of I stays complete.
 func (p *Problem) minpStrong(ctx context.Context, ci *ctable.CInstance) (bool, error) {
-	defer p.span("minp_strong")()
+	ctx, endSpan := p.span(ctx, "minp_strong")
+	defer endSpan()
 	g := p.beginOp(ctx, "minp_strong", "no non-minimal model found in %d models")
 	switch p.Query.Lang() {
 	case FO, FP:

@@ -27,7 +27,8 @@ import (
 // failure path probes every model in either schedule, so the choice is
 // deterministic).
 func (p *Problem) rcdpViable(ctx context.Context, ci *ctable.CInstance) (bool, *Counterexample, error) {
-	defer p.span("rcdp_viable")()
+	ctx, endSpan := p.span(ctx, "rcdp_viable")
+	defer endSpan()
 	g := p.beginOp(ctx, "rcdp_viable", "no complete model found in %d models")
 	switch p.Query.Lang() {
 	case FO, FP:
@@ -86,7 +87,8 @@ func (p *Problem) rcdpViable(ctx context.Context, ci *ctable.CInstance) (bool, *
 // c-instance iff some I ∈ ModAdom(T) is a minimal complete ground
 // instance.
 func (p *Problem) minpViable(ctx context.Context, ci *ctable.CInstance) (bool, error) {
-	defer p.span("minp_viable")()
+	ctx, endSpan := p.span(ctx, "minp_viable")
+	defer endSpan()
 	g := p.beginOp(ctx, "minp_viable", "no minimal complete model found in %d models")
 	switch p.Query.Lang() {
 	case FO, FP:

@@ -29,7 +29,8 @@ func (p *Problem) CertainAnswers(ci *ctable.CInstance) ([]relation.Tuple, error)
 // intersection is a superset of the certain answers, so no partial
 // result is returned.
 func (p *Problem) CertainAnswersCtx(ctx context.Context, ci *ctable.CInstance) ([]relation.Tuple, error) {
-	defer p.span("certain_answers")()
+	ctx, endSpan := p.span(ctx, "certain_answers")
+	defer endSpan()
 	g := p.beginOp(ctx, "certain_answers", "intersection over %d models incomplete")
 	d, err := p.domainsFor(ci, false, false)
 	if err != nil {
@@ -340,7 +341,8 @@ func (p *Problem) certainExtStreamPar(ctx context.Context, ci *ctable.CInstance,
 // Mod(T) are computed first so the extension stream can stop as soon
 // as containment is established.
 func (p *Problem) rcdpWeak(ctx context.Context, ci *ctable.CInstance) (bool, error) {
-	defer p.span("rcdp_weak")()
+	ctx, endSpan := p.span(ctx, "rcdp_weak")
+	defer endSpan()
 	g := p.beginOp(ctx, "rcdp_weak", "containment undecided after %d models")
 	if p.Query.Lang() == FO {
 		return false, fmt.Errorf("RCDP(FO), weak model: %w", ErrUndecidable)
@@ -468,7 +470,8 @@ func (p *Problem) ConstructWeaklyCompleteCtx(ctx context.Context) (*relation.Dat
 // that no proper row subset is), which matches the Πp4 upper bound for
 // UCQ/∃FO+ and coNEXPTIME for FP.
 func (p *Problem) minpWeak(ctx context.Context, ci *ctable.CInstance) (bool, error) {
-	defer p.span("minp_weak")()
+	ctx, endSpan := p.span(ctx, "minp_weak")
+	defer endSpan()
 	if p.Query.Lang() == FO {
 		return false, fmt.Errorf("MINP(FO), weak model: %w", ErrUndecidable)
 	}

@@ -71,6 +71,10 @@ type Options struct {
 	// interrupt long fixpoint computations mid-flight instead of waiting
 	// for the evaluation to run to completion.
 	Interrupt func() error
+	// Span is the active request-trace span, if any; the FP fixpoint
+	// hangs an "eval.fp" sub-span off it so a traced decide shows where
+	// evaluation time went. nil (the common case) is inert.
+	Span *obs.Span
 }
 
 // interrupted polls the Interrupt hook, returning its error if any.

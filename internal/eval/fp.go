@@ -93,6 +93,9 @@ func FPAnswers(db *relation.Database, p *query.Program, opts Options) ([]relatio
 	if err := opts.Fault.Visit(fault.SiteEvalFP); err != nil {
 		return nil, err
 	}
+	if sp := opts.Span.StartChild("eval.fp"); sp != nil {
+		defer sp.End()
+	}
 	if opts.NaiveFP {
 		return fpNaive(db, p, opts)
 	}

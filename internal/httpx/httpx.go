@@ -10,6 +10,7 @@ package httpx
 import (
 	"context"
 	"expvar"
+	"log/slog"
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
@@ -101,6 +102,77 @@ func NewDebugMux(m *obs.Metrics) *http.ServeMux {
 	mux := http.NewServeMux()
 	RegisterDebug(mux, m)
 	return mux
+}
+
+// statusWriter captures the response status and byte count for the
+// access log without interposing on the body path.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it streams.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps next with request tracing and a structured access
+// log: each request gets a root span (adopting the client's W3C
+// traceparent header when present, minting fresh ids otherwise)
+// carried on the request context, the response echoes the request's
+// identity in a traceparent header, and one JSON line per request goes
+// to l with the trace id, method, path, status, response bytes and
+// wall time. A request arriving with a span already on its context
+// (nested middleware) is logged against that span instead of opening a
+// second trace. l may be nil, which disables the logging but keeps the
+// tracing.
+func AccessLog(l *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		root := obs.SpanFromContext(r.Context())
+		if root == nil {
+			rec := obs.NewSpanRecorder(0)
+			root = rec.Root(r.Method+" "+r.URL.Path, r.Header.Get("traceparent"))
+			defer root.End()
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), root))
+		}
+		w.Header().Set("traceparent", root.Traceparent())
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if l != nil {
+			l.LogAttrs(r.Context(), slog.LevelInfo, "access",
+				slog.String("trace_id", root.Trace().String()),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Float64("duration_ms", float64(time.Since(start).Nanoseconds())/1e6),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
 }
 
 var (

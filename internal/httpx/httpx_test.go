@@ -1,9 +1,11 @@
 package httpx
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -184,3 +186,102 @@ func TestPublishSnapshotIdempotent(t *testing.T) {
 	PublishSnapshot("httpx_test_dup", m)
 	PublishSnapshot("httpx_test_dup", m) // must not panic
 }
+
+// AccessLog: root-span management (traceparent adoption and echo), the
+// status/byte capture, and the JSON access-log line itself.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}), nil))
+
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if obs.SpanFromContext(r.Context()) == nil {
+			t.Error("no span on the handler context")
+		}
+		w.WriteHeader(http.StatusTeapot)
+		io.WriteString(w, "short and stout")
+	})
+	srv, err := Serve("127.0.0.1:0", AccessLog(logger, inner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const tp = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	req, _ := http.NewRequest(http.MethodGet, "http://"+srv.Addr().String()+"/brew", nil)
+	req.Header.Set("traceparent", tp)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("traceparent"); !strings.HasPrefix(got, "00-0af7651916cd43dd8448eb211c80319c-") {
+		t.Errorf("response traceparent = %q, client trace not adopted", got)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var rec map[string]any
+	for {
+		mu.Lock()
+		raw := buf.String()
+		mu.Unlock()
+		if line := strings.TrimSpace(raw); line != "" {
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("access line not JSON: %v (%q)", err, line)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no access log line")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if rec["msg"] != "access" || rec["trace_id"] != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("access line: %v", rec)
+	}
+	if rec["method"] != "GET" || rec["path"] != "/brew" {
+		t.Errorf("access line: %v", rec)
+	}
+	if st, _ := rec["status"].(float64); int(st) != http.StatusTeapot {
+		t.Errorf("status = %v", rec["status"])
+	}
+	if n, _ := rec["bytes"].(float64); int(n) != len("short and stout") {
+		t.Errorf("bytes = %v", rec["bytes"])
+	}
+	if _, ok := rec["duration_ms"].(float64); !ok {
+		t.Errorf("duration_ms missing: %v", rec)
+	}
+}
+
+// A nil logger keeps the tracing (traceparent echo) without logging;
+// a handler that never calls WriteHeader logs status 200.
+func TestAccessLogNilLogger(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	srv, err := Serve("127.0.0.1:0", AccessLog(nil, inner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if tp := resp.Header.Get("traceparent"); len(tp) != 55 {
+		t.Errorf("traceparent = %q, want a minted 55-char header", tp)
+	}
+}
+
+// writerFunc adapts a function to io.Writer.
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -148,6 +148,13 @@ type Metrics struct {
 
 	phaseMu sync.Mutex
 	phases  map[string]*phaseAgg
+
+	// Labelled extensions of counter/histogram families (labeled.go).
+	// Lazily allocated by LabeledCounter/LabeledHisto so a plain
+	// Metrics (the common case) stays one flat allocation.
+	vecMu       sync.Mutex
+	counterVecs map[Counter]*CounterVec
+	histoVecs   map[Histo]*HistogramVec
 }
 
 // histo is one histogram's storage: per-bucket observation counts

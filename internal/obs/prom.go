@@ -33,6 +33,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "# HELP %s %s\n", name, counterHelp[c])
 		fmt.Fprintf(bw, "# TYPE %s counter\n", name)
 		fmt.Fprintf(bw, "%s %d\n", name, m.Get(c))
+		// Labelled attribution series share the family block: same
+		// TYPE, samples contiguous after the unlabelled total.
+		m.counterVec(c).write(bw, name)
 	}
 
 	// Phase timings: two labelled counter families, mirroring the
@@ -65,7 +68,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		}
 		fmt.Fprintf(bw, "%s_sum %s\n", name, formatBound(st.Sum))
 		fmt.Fprintf(bw, "%s_count %d\n", name, st.Count)
+		m.histoVec(h).write(bw, name)
 	}
+
+	writeRuntimeGauges(bw)
 	return bw.err
 }
 

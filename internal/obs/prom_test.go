@@ -79,6 +79,21 @@ func TestValidatorAcceptsRealWorldShapes(t *testing.T) {
 		"h_count 2",
 		`lab{a="b",c="d e"} 1 1712345678`,
 		"bare_untyped NaN",
+		// A labelled histogram family: one independent bucket sequence
+		// per label-set, all inside one family block. The bound sequence
+		// restarting at le="0.5" for tenant b must not trip the
+		// "not increasing" check that applies within a single set.
+		"# TYPE lh histogram",
+		`lh_bucket{tenant="a",le="1"} 1`,
+		`lh_bucket{tenant="a",le="+Inf"} 2`,
+		`lh_sum{tenant="a"} 2.5`,
+		`lh_count{tenant="a"} 2`,
+		`lh_bucket{tenant="b",le="0.5"} 4`,
+		`lh_bucket{tenant="b",le="+Inf"} 4`,
+		`lh_sum{tenant="b"} 0.9`,
+		`lh_count{tenant="b"} 4`,
+		// Escaped label values round-trip.
+		`esc{v="a\"b\\c\nd"} 1`,
 		"",
 	}, "\n")
 	if err := ValidatePrometheusText([]byte(good)); err != nil {
@@ -105,6 +120,24 @@ func TestValidatorRejectsMalformed(t *testing.T) {
 		{"count mismatch", "# TYPE h histogram\n" + `h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 3\n"},
 		{"bucket without le", "# TYPE h histogram\n" + `h_bucket{x="1"} 1` + "\n"},
 		{"bad timestamp", "x 1 notanint\n"},
+		{"duplicate label", `x{a="1",a="2"} 1` + "\n"},
+		{"bad escape in label value", `x{a="\t"} 1` + "\n"},
+		{"dangling escape", `x{a="y\` + "\n"},
+		{"labelled histogram missing per-set +Inf", "# TYPE h histogram\n" +
+			`h_bucket{tenant="a",le="1"} 1` + "\n" +
+			`h_bucket{tenant="a",le="+Inf"} 1` + "\n" +
+			`h_count{tenant="a"} 1` + "\n" +
+			`h_bucket{tenant="b",le="1"} 2` + "\n" +
+			`h_count{tenant="b"} 2` + "\n"},
+		{"labelled histogram per-set count mismatch", "# TYPE h histogram\n" +
+			`h_bucket{tenant="a",le="+Inf"} 1` + "\n" +
+			`h_count{tenant="a"} 1` + "\n" +
+			`h_bucket{tenant="b",le="+Inf"} 2` + "\n" +
+			`h_count{tenant="b"} 5` + "\n"},
+		{"labelled histogram non-cumulative within one set", "# TYPE h histogram\n" +
+			`h_bucket{tenant="a",le="1"} 5` + "\n" +
+			`h_bucket{tenant="a",le="+Inf"} 3` + "\n" +
+			`h_count{tenant="a"} 3` + "\n"},
 	}
 	for _, c := range cases {
 		if err := ValidatePrometheusText([]byte(c.doc)); err == nil {

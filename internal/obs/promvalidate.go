@@ -4,14 +4,17 @@ package obs
 // exposition format (0.0.4): enough grammar to catch a malformed
 // /metrics document in CI without importing a client library. It
 // checks line syntax (HELP/TYPE comments, sample lines with optional
-// labels and timestamps), metric and label name grammar, float
-// parsability, family grouping (one TYPE per family, declared before
-// its samples, samples not interleaved across families), and the
-// histogram invariants (cumulative non-decreasing buckets, a +Inf
-// bucket, _count equal to the +Inf bucket).
+// labels and timestamps), metric and label name grammar, duplicate
+// label detection, float parsability, family grouping (one TYPE per
+// family, declared before its samples, samples not interleaved across
+// families), and the histogram invariants (cumulative non-decreasing
+// buckets, a +Inf bucket, _count equal to the +Inf bucket) — tracked
+// per label-set, since a labelled histogram family exposes one
+// independent bucket sequence per label combination.
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -34,8 +37,26 @@ func ValidatePrometheusText(data []byte) error {
 }
 
 // histCheck accumulates one histogram family's samples for the final
-// consistency check.
+// consistency check, keyed by label-set (the labels minus le): each
+// label combination of a labelled histogram is its own bucket
+// sequence with its own +Inf and _count.
 type histCheck struct {
+	sets map[string]*histSetCheck
+}
+
+func (hc *histCheck) set(key string) *histSetCheck {
+	if hc.sets == nil {
+		hc.sets = map[string]*histSetCheck{}
+	}
+	s := hc.sets[key]
+	if s == nil {
+		s = &histSetCheck{}
+		hc.sets[key] = s
+	}
+	return s
+}
+
+type histSetCheck struct {
 	prev     float64 // last cumulative bucket value
 	prevLE   float64 // last bucket bound
 	hasInf   bool
@@ -143,22 +164,24 @@ func (v *promValidator) histSample(fam string, hc *histCheck, name string, label
 		if err != nil {
 			return fmt.Errorf("bad le bound %q", le)
 		}
-		if hc.buckets > 0 && bound <= hc.prevLE {
-			return fmt.Errorf("bucket bounds not increasing (%q after %v)", le, hc.prevLE)
+		sc := hc.set(labelSetKey(labels, "le"))
+		if sc.buckets > 0 && bound <= sc.prevLE {
+			return fmt.Errorf("bucket bounds not increasing (%q after %v)", le, sc.prevLE)
 		}
-		if val < hc.prev {
-			return fmt.Errorf("bucket counts not cumulative (%v after %v)", val, hc.prev)
+		if val < sc.prev {
+			return fmt.Errorf("bucket counts not cumulative (%v after %v)", val, sc.prev)
 		}
 		if le == "+Inf" {
-			hc.hasInf = true
-			hc.infCount = val
+			sc.hasInf = true
+			sc.infCount = val
 		}
-		hc.prev, hc.prevLE = val, bound
-		hc.buckets++
+		sc.prev, sc.prevLE = val, bound
+		sc.buckets++
 	case fam + "_sum":
 		// Any float is fine.
 	case fam + "_count":
-		hc.count, hc.hasCount = val, true
+		sc := hc.set(labelSetKey(labels, "le"))
+		sc.count, sc.hasCount = val, true
 	case fam:
 		return fmt.Errorf("histogram family %s exposes a bare sample", fam)
 	}
@@ -167,17 +190,40 @@ func (v *promValidator) histSample(fam string, hc *histCheck, name string, label
 
 func (v *promValidator) finish() error {
 	for fam, hc := range v.hists {
-		if hc.buckets == 0 && !hc.hasCount {
-			continue // declared but never sampled
-		}
-		if !hc.hasInf {
-			return fmt.Errorf("histogram %s has no +Inf bucket", fam)
-		}
-		if hc.hasCount && hc.count != hc.infCount {
-			return fmt.Errorf("histogram %s: count %v != +Inf bucket %v", fam, hc.count, hc.infCount)
+		for key, sc := range hc.sets {
+			if sc.buckets == 0 && !sc.hasCount {
+				continue // declared but never sampled
+			}
+			at := ""
+			if key != "" {
+				at = fmt.Sprintf(" {%s}", key)
+			}
+			if !sc.hasInf {
+				return fmt.Errorf("histogram %s%s has no +Inf bucket", fam, at)
+			}
+			if sc.hasCount && sc.count != sc.infCount {
+				return fmt.Errorf("histogram %s%s: count %v != +Inf bucket %v", fam, at, sc.count, sc.infCount)
+			}
 		}
 	}
 	return nil
+}
+
+// labelSetKey canonicalises a sample's labels (minus the excluded
+// name, the histogram le bound) into a deterministic key.
+func labelSetKey(labels map[string]string, exclude string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	pairs := make([]string, 0, len(labels))
+	for k, val := range labels {
+		if k == exclude {
+			continue
+		}
+		pairs = append(pairs, k+"="+val)
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
 }
 
 // familyOf maps a sample name to its metric family: histogram and
@@ -233,6 +279,9 @@ func splitSample(line string) (name string, labels map[string]string, rest strin
 		val, n, err := scanQuoted(line[pos:])
 		if err != nil {
 			return "", nil, "", err
+		}
+		if _, dup := labels[lname]; dup {
+			return "", nil, "", fmt.Errorf("duplicate label %q", lname)
 		}
 		labels[lname] = val
 		pos += n

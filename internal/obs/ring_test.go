@@ -115,10 +115,10 @@ func TestCollectSinkCap(t *testing.T) {
 
 func TestWriteSlowOpDisabled(t *testing.T) {
 	var b strings.Builder
-	WriteSlowOp(&b, "rcdp_strong", 2*time.Second, time.Second, nil, nil)
+	WriteSlowOp(&b, "rcdp_strong", "", 2*time.Second, time.Second, nil, nil)
 	out := b.String()
 	for _, want := range []string{
-		"=== SLOW OP op=rcdp_strong elapsed=2s threshold=1s ===",
+		"=== SLOW OP op=rcdp_strong elapsed=2s threshold=1s trace_id=- ===",
 		"flight recorder: disabled",
 		"histograms: disabled",
 		"=== END SLOW OP op=rcdp_strong ===",

@@ -1,0 +1,115 @@
+package obs
+
+// Runtime gauges for the exposition: goroutine count, live heap bytes
+// and total GC pause time, read from runtime/metrics at scrape time.
+// They let a load test assert leak-freedom from /metrics ("goroutines
+// back to baseline after the burst") instead of poking runtime
+// internals from inside the process, and they give an operator the
+// three "is the process itself healthy?" numbers next to the solver
+// counters.
+
+import (
+	"fmt"
+	"math"
+	"runtime/metrics"
+)
+
+// The runtime/metrics sample names the exposition reads. Kinds as of
+// go1.22: goroutines and heap bytes are KindUint64; the GC pause total
+// is a KindFloat64Histogram, reduced below.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmGCPauses   = "/sched/pauses/total/gc:seconds"
+)
+
+// runtimeGauge is one exposed gauge: name suffix (MetricPrefix is
+// prepended), help text, and the reducer from its sample.
+type runtimeGauge struct {
+	name   string
+	help   string
+	render func(metrics.Sample) (string, bool)
+}
+
+var runtimeGauges = []runtimeGauge{
+	{
+		name: "go_goroutines",
+		help: "current number of live goroutines",
+		render: func(s metrics.Sample) (string, bool) {
+			if s.Value.Kind() != metrics.KindUint64 {
+				return "", false
+			}
+			return fmt.Sprintf("%d", s.Value.Uint64()), true
+		},
+	},
+	{
+		name: "go_heap_objects_bytes",
+		help: "bytes of live heap memory occupied by objects",
+		render: func(s metrics.Sample) (string, bool) {
+			if s.Value.Kind() != metrics.KindUint64 {
+				return "", false
+			}
+			return fmt.Sprintf("%d", s.Value.Uint64()), true
+		},
+	},
+	{
+		name: "go_gc_pause_seconds_total",
+		help: "approximate total stop-the-world GC pause time",
+		render: func(s metrics.Sample) (string, bool) {
+			if s.Value.Kind() != metrics.KindFloat64Histogram {
+				return "", false
+			}
+			return formatBound(histogramSum(s.Value.Float64Histogram())), true
+		},
+	},
+}
+
+// histogramSum reduces a runtime/metrics float64 histogram to an
+// approximate total: count-weighted bucket midpoints. The runtime only
+// publishes pause *distributions*, so the scalar total is approximate
+// by construction; the error is bounded by half a bucket width per
+// pause, which is far below operator-visible resolution. Unbounded
+// edge buckets fall back to their finite boundary.
+func histogramSum(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	var total float64
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := (lo + hi) / 2
+		if math.IsInf(lo, -1) {
+			mid = hi
+		} else if math.IsInf(hi, 1) {
+			mid = lo
+		}
+		total += float64(count) * mid
+	}
+	return total
+}
+
+// writeRuntimeGauges appends the runtime gauge families to the
+// exposition. A sample whose kind differs from the expectation (a
+// future Go runtime reshaping a metric) is skipped rather than
+// mis-rendered, keeping the document valid either way.
+func writeRuntimeGauges(w *errWriter) {
+	samples := []metrics.Sample{
+		{Name: rmGoroutines},
+		{Name: rmHeapBytes},
+		{Name: rmGCPauses},
+	}
+	metrics.Read(samples)
+	for i, g := range runtimeGauges {
+		v, ok := g.render(samples[i])
+		if !ok {
+			continue
+		}
+		name := MetricPrefix + g.name
+		fmt.Fprintf(w, "# HELP %s %s\n", name, g.help)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(w, "%s %s\n", name, v)
+	}
+}

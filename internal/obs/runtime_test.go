@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"runtime/metrics"
+)
+
+// histogramSum must handle the runtime's unbounded edge buckets: -Inf
+// lower bounds fall back to the finite upper boundary, +Inf upper
+// bounds to the finite lower one, and empty buckets cost nothing.
+func TestHistogramSum(t *testing.T) {
+	if got := histogramSum(nil); got != 0 {
+		t.Errorf("nil histogram sum = %v", got)
+	}
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{2, 0, 3, 1},
+		Buckets: []float64{math.Inf(-1), 1, 2, 4, math.Inf(1)},
+	}
+	// 2 pauses in (-Inf,1] → 2×1; 0 in (1,2]; 3 in (2,4] → 3×3;
+	// 1 in (4,+Inf) → 1×4.
+	want := 2.0*1 + 3*3 + 1*4
+	if got := histogramSum(h); got != want {
+		t.Errorf("histogramSum = %v, want %v", got, want)
+	}
+}

@@ -14,13 +14,18 @@ import (
 )
 
 // WriteSlowOp writes the incident dump for one slow decider call: a
-// header naming the operation, its elapsed time and the threshold it
-// crossed; the flight-recorder contents (oldest first, TextSink
-// format); and the non-empty histogram snapshots of m. ring and m may
-// each be nil (rendered as "disabled"). The dump is bracketed by
-// grep-able "=== SLOW OP" / "=== END SLOW OP" markers.
-func WriteSlowOp(w io.Writer, op string, elapsed, threshold time.Duration, ring *RingSink, m *Metrics) {
-	fmt.Fprintf(w, "=== SLOW OP op=%s elapsed=%v threshold=%v ===\n", op, elapsed, threshold)
+// header naming the operation, its elapsed time, the threshold it
+// crossed and the request trace id (traceID; "-" when the call was
+// untraced, so log-correlation greps always find the field); the
+// flight-recorder contents (oldest first, TextSink format); and the
+// non-empty histogram snapshots of m. ring and m may each be nil
+// (rendered as "disabled"). The dump is bracketed by grep-able
+// "=== SLOW OP" / "=== END SLOW OP" markers.
+func WriteSlowOp(w io.Writer, op, traceID string, elapsed, threshold time.Duration, ring *RingSink, m *Metrics) {
+	if traceID == "" {
+		traceID = "-"
+	}
+	fmt.Fprintf(w, "=== SLOW OP op=%s elapsed=%v threshold=%v trace_id=%s ===\n", op, elapsed, threshold, traceID)
 	if ring == nil {
 		fmt.Fprintln(w, "flight recorder: disabled")
 	} else {

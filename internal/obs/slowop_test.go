@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -27,7 +28,7 @@ func TestWriteSlowOpGolden(t *testing.T) {
 	m.Observe(ModelsAdmittedPerCall, 3)
 
 	var b strings.Builder
-	WriteSlowOp(&b, "rcdp_strong", 2*time.Second, 100*time.Millisecond, ring, m)
+	WriteSlowOp(&b, "rcdp_strong", "4bf92f3577b34da6a3ce929d0e0e4736", 2*time.Second, 100*time.Millisecond, ring, m)
 	got := b.String()
 
 	path := filepath.Join("testdata", "slowop.golden")
@@ -43,4 +44,66 @@ func TestWriteSlowOpGolden(t *testing.T) {
 	if got != string(want) {
 		t.Fatalf("slow-op dump drifted from golden (rerun with -update):\ngot:\n%s\nwant:\n%s", got, want)
 	}
+}
+
+// The trace id in the header is what lets an operator jump from a
+// slow-op dump to the access/decision log lines of the same request:
+// the exact id must round-trip, and an untraced call must still render
+// the field (as "-") so greps for "trace_id=" always hit.
+func TestWriteSlowOpTraceID(t *testing.T) {
+	const id = "4bf92f3577b34da6a3ce929d0e0e4736"
+	var b strings.Builder
+	WriteSlowOp(&b, "rcqp", id, time.Second, time.Millisecond, nil, nil)
+	if !strings.Contains(b.String(), " trace_id="+id+" ===") {
+		t.Errorf("trace id did not round-trip:\n%s", b.String())
+	}
+	b.Reset()
+	WriteSlowOp(&b, "rcqp", "", time.Second, time.Millisecond, nil, nil)
+	if !strings.Contains(b.String(), " trace_id=- ===") {
+		t.Errorf("untraced dump lost the trace_id field:\n%s", b.String())
+	}
+}
+
+// A dump over an empty ring (enabled but nothing recorded yet) must
+// render a zero-event flight-recorder section, not panic or pretend
+// the recorder is disabled.
+func TestWriteSlowOpEmptyRing(t *testing.T) {
+	var b strings.Builder
+	WriteSlowOp(&b, "rcdp_weak", "", time.Second, time.Millisecond, NewRingSink(4), NewMetrics())
+	out := b.String()
+	if !strings.Contains(out, "flight recorder: 0 event(s) retained, 0 overwritten") {
+		t.Errorf("empty ring not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "histograms: 0 with observations") {
+		t.Errorf("empty metrics not rendered:\n%s", out)
+	}
+	if strings.Contains(out, "disabled") {
+		t.Errorf("enabled-but-empty instruments rendered as disabled:\n%s", out)
+	}
+}
+
+// Concurrent dumps into one shared sink (the rcserved stderr case:
+// several decide calls crossing the threshold at once) must not race
+// on the ring or the metrics. Interleaving between writers is
+// acceptable; data races are not (this test runs under -race in CI).
+func TestWriteSlowOpConcurrent(t *testing.T) {
+	ring := NewRingSink(8)
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				ring.Emit(Event{Kind: "model", Fields: []Field{F("idx", j)}})
+				m.ObserveDuration(DeciderWallNs, time.Millisecond)
+				var b strings.Builder
+				WriteSlowOp(&b, "rcdp_strong", "", time.Second, time.Millisecond, ring, m)
+				if !strings.HasPrefix(b.String(), "=== SLOW OP op=rcdp_strong ") {
+					t.Errorf("writer %d: malformed dump header", i)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
 }

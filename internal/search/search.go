@@ -130,6 +130,11 @@ func runGen(gen func()) (err error) {
 // signals, decisive-outcome races resolved by the lowest-index rule
 // and the latency between the stop signal and full worker drain.
 func FirstHit[T, R any](ctx context.Context, workers int, m *obs.Metrics, gen Generator[T], probe Probe[T, R]) (Hit[R], bool, error) {
+	if sp := obs.SpanFromContext(ctx).StartChild("search.first_hit"); sp != nil {
+		sp.SetAttr("workers", workers)
+		ctx = obs.ContextWithSpan(ctx, sp)
+		defer sp.End()
+	}
 	var zero Hit[R]
 	if workers <= 1 {
 		best := outcome[R]{idx: -1}
@@ -287,6 +292,11 @@ type Consumer[R any] func(idx int, r R) (bool, error)
 // opposed to the generator running dry), so callers can distinguish
 // "early verdict" from "exhausted" — the sequential loop's two exits.
 func ForEachOrdered[T, R any](ctx context.Context, workers int, m *obs.Metrics, gen Generator[T], probe ReduceProbe[T, R], consume Consumer[R]) (stopped bool, err error) {
+	if sp := obs.SpanFromContext(ctx).StartChild("search.for_each"); sp != nil {
+		sp.SetAttr("workers", workers)
+		ctx = obs.ContextWithSpan(ctx, sp)
+		defer sp.End()
+	}
 	if workers <= 1 {
 		idx := 0
 		var loopErr error

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
@@ -23,7 +24,12 @@ type Admission struct {
 	queued   atomic.Int64
 	maxQueue int64
 	metrics  *obs.Metrics
+	logger   *slog.Logger
 }
+
+// SetLogger installs the structured logger overflow warnings go to
+// (nil disables them). Call before serving.
+func (a *Admission) SetLogger(l *slog.Logger) { a.logger = l }
 
 // NewAdmission builds a controller with the given concurrency cap
 // (≥ 1 enforced) and queue depth (≥ 0).
@@ -73,6 +79,17 @@ func (a *Admission) Acquire(ctx context.Context) (func(), error) {
 	if a.queued.Add(1) > a.maxQueue {
 		a.queued.Add(-1)
 		a.metrics.Inc(obs.ServerOverloads)
+		if a.logger != nil {
+			var traceID string
+			if t := obs.SpanFromContext(ctx).Trace(); !t.IsZero() {
+				traceID = t.String()
+			}
+			a.logger.LogAttrs(ctx, slog.LevelWarn, "admission queue full",
+				slog.String("trace_id", traceID),
+				slog.Int64("queue_cap", a.maxQueue),
+				slog.Int("in_flight", len(a.slots)),
+			)
+		}
 		return nil, &OverloadError{
 			Queued:     a.maxQueue,
 			QueueCap:   a.maxQueue,

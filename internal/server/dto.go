@@ -70,7 +70,26 @@ type DecideResponse struct {
 	Deadline       *DeadlineInfo `json:"deadline,omitempty"`
 	RetryAfterMS   int64         `json:"retry_after_ms,omitempty"`
 	ElapsedMS      float64       `json:"elapsed_ms"`
-	Stats          obs.Stats     `json:"stats"`
+	// QueueWaitMS is the time the request spent in the admission queue
+	// before claiming a decide slot.
+	QueueWaitMS float64   `json:"queue_wait_ms"`
+	Stats       obs.Stats `json:"stats"`
+	// TraceID is the request's W3C trace id (the one from the client's
+	// traceparent header when it sent one), present on every decide
+	// answer so any response correlates with the logs.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the bounded span tree of this decide, present only when
+	// the request asked for it with ?trace=1.
+	Trace *TraceInfo `json:"trace,omitempty"`
+}
+
+// TraceInfo is the ?trace=1 payload: the request's finished spans
+// (decider phases, eval/search sub-steps) with per-phase timings.
+// Dropped counts spans discarded over the recorder's cap.
+type TraceInfo struct {
+	TraceID string         `json:"trace_id"`
+	Spans   []obs.SpanData `json:"spans"`
+	Dropped int64          `json:"dropped,omitempty"`
 }
 
 // BudgetInfo mirrors core.BudgetError.

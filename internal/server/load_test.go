@@ -8,8 +8,11 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"relcomplete/internal/httpx"
 	"relcomplete/internal/obs"
@@ -60,6 +63,13 @@ func TestLoadEndToEnd(t *testing.T) {
 	putResp.Body.Close()
 	if putResp.StatusCode != http.StatusCreated {
 		t.Fatalf("PUT status = %d", putResp.StatusCode)
+	}
+
+	// Pre-burst goroutine level, read the way an operator would: from
+	// the relcomplete_go_goroutines gauge on /metrics.
+	gaugeBase, ok := scrapeGauge(t, client, baseURL, obs.MetricPrefix+"go_goroutines")
+	if !ok {
+		t.Fatal("/metrics exposes no goroutine gauge")
 	}
 
 	// The request mix and its fault-free oracle (verdict pointer nil
@@ -177,13 +187,55 @@ func TestLoadEndToEnd(t *testing.T) {
 		t.Fatalf("load run must not shed: overloads = %d", got)
 	}
 
-	// Clean drain — client keep-alives closed first, so every server
-	// conn is genuinely idle — then no goroutine may outlive the server.
+	// Leak-freedom from the outside: once the burst drains and the
+	// client keep-alives are gone, the goroutine gauge on /metrics must
+	// settle back to its pre-burst level plus scheduler slack (the
+	// scrape's own connection and a GC worker or two).
 	client.CloseIdleConnections()
+	settleDeadline := time.Now().Add(3 * time.Second)
+	for {
+		g, ok := scrapeGauge(t, client, baseURL, obs.MetricPrefix+"go_goroutines")
+		if ok && g <= gaugeBase+8 {
+			break
+		}
+		if time.Now().After(settleDeadline) {
+			t.Fatalf("goroutine gauge stuck at %v after burst, baseline %v", g, gaugeBase)
+		}
+		time.Sleep(10 * time.Millisecond)
+		client.CloseIdleConnections() // each scrape opens a fresh conn
+	}
+
+	// Clean drain — every server conn is genuinely idle now — then no
+	// goroutine may outlive the server (in-process backstop; /metrics is
+	// gone once the listener closes).
 	if err := srv.Close(); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
 	assertServerNoGoroutineLeak(t, base)
+}
+
+// scrapeGauge fetches /metrics and returns the value of the named
+// unlabelled sample.
+func scrapeGauge(t *testing.T, client *http.Client, baseURL, name string) (float64, bool) {
+	t.Helper()
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(body), "\n") {
+		val, found := strings.CutPrefix(line, name+" ")
+		if !found {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			t.Fatalf("gauge %s has unparsable value %q", name, val)
+		}
+		return f, true
+	}
+	return 0, false
 }
 
 // Queue-wait visibility: a load spike beyond the concurrency cap must

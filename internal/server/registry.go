@@ -2,8 +2,10 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
@@ -63,12 +65,18 @@ type Registry struct {
 	maxBytes int64
 	base     func() core.Options // server-wide options overlay for loaded problems
 	metrics  *obs.Metrics
+	logger   *slog.Logger
 
 	mu      sync.Mutex
 	bytes   int64
 	entries map[string]*list.Element // value: *Entry
 	lru     *list.List               // front = most recently used
 }
+
+// SetLogger installs the structured logger eviction warnings go to
+// (nil disables them). Call before serving; not synchronised with
+// concurrent Puts.
+func (r *Registry) SetLogger(l *slog.Logger) { r.logger = l }
 
 // NewRegistry builds a registry holding at most maxBytes of resident
 // problems (raw document plus built master representation, see
@@ -167,6 +175,15 @@ func (r *Registry) Put(name string, raw []byte) (*Entry, bool, error) {
 		r.lru.Remove(oldest)
 		delete(r.entries, victim.Name)
 		r.metrics.Inc(obs.ServerEvictions)
+		if r.logger != nil {
+			r.logger.LogAttrs(context.Background(), slog.LevelWarn, "problem evicted",
+				slog.String("problem", victim.Name),
+				slog.Int64("bytes", victim.Bytes),
+				slog.String("evicted_for", name),
+				slog.Int64("resident_bytes", r.bytes),
+				slog.Int64("max_bytes", r.maxBytes),
+			)
+		}
 	}
 	r.entries[name] = r.lru.PushFront(e)
 	r.bytes += e.Bytes

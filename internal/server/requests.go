@@ -1,0 +1,120 @@
+// The recent-request ring behind GET /debug/requests: a bounded,
+// concurrency-safe record of the last N decide requests — trace id,
+// tenant, outcome, queue-wait/wall durations and the finished span
+// tree — so a 429 or a slow decide is explicable minutes later
+// without having run the request with tracing enabled.
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"relcomplete/internal/obs"
+)
+
+// DefaultRequestRing is the request-ring depth when Config leaves
+// RequestRingSize zero.
+const DefaultRequestRing = 128
+
+// RequestRecord is one completed decide request as kept in the ring
+// and served by /debug/requests.
+type RequestRecord struct {
+	Time         time.Time      `json:"time"`
+	TraceID      string         `json:"trace_id,omitempty"`
+	Problem      string         `json:"problem"`
+	Property     string         `json:"property,omitempty"`
+	Decider      string         `json:"decider,omitempty"`
+	Status       int            `json:"status"`
+	Kind         string         `json:"kind,omitempty"`
+	Verdict      *bool          `json:"verdict,omitempty"`
+	QueueWaitMS  float64        `json:"queue_wait_ms"`
+	WallMS       float64        `json:"wall_ms"`
+	Spans        []obs.SpanData `json:"spans,omitempty"`
+	SpansDropped int64          `json:"spans_dropped,omitempty"`
+}
+
+// RequestRing retains the most recent capN request records. All
+// methods are safe for concurrent use; a nil *RequestRing is inert.
+type RequestRing struct {
+	mu    sync.Mutex
+	recs  []RequestRecord
+	next  int
+	total int64
+	capN  int
+}
+
+// NewRequestRing builds a ring keeping capN records (capN <= 0 →
+// DefaultRequestRing).
+func NewRequestRing(capN int) *RequestRing {
+	if capN <= 0 {
+		capN = DefaultRequestRing
+	}
+	return &RequestRing{capN: capN}
+}
+
+// Add records one completed request, overwriting the oldest past the
+// cap.
+func (r *RequestRing) Add(rec RequestRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.recs) < r.capN {
+		r.recs = append(r.recs, rec)
+	} else {
+		r.recs[r.next] = rec
+	}
+	r.next = (r.next + 1) % r.capN
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained records, most recent first.
+func (r *RequestRing) Snapshot() []RequestRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RequestRecord, 0, len(r.recs))
+	// Walk backwards from the slot before next, wrapping once.
+	for i := 0; i < len(r.recs); i++ {
+		idx := (r.next - 1 - i + len(r.recs)) % len(r.recs)
+		out = append(out, r.recs[idx])
+	}
+	return out
+}
+
+// Len is the number of retained records; Total counts every record
+// ever added.
+func (r *RequestRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}
+
+func (r *RequestRing) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// DebugRequestsResponse is the GET /debug/requests body.
+type DebugRequestsResponse struct {
+	Total    int64           `json:"total"`
+	Requests []RequestRecord `json:"requests"`
+}
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, DebugRequestsResponse{
+		Total:    s.requests.Total(),
+		Requests: s.requests.Snapshot(),
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"regexp"
 	"runtime"
@@ -54,6 +55,20 @@ type Config struct {
 	// FaultPlan arms the deterministic fault-injection harness on every
 	// loaded problem — chaos tests only, nil always in production.
 	FaultPlan *fault.Plan
+	// Logger receives the structured decision log (one JSON line per
+	// decide: trace_id, problem, decider, verdict, queue wait, wall,
+	// outcome kind) and the warn-level operational events (registry
+	// eviction, admission overflow). nil disables logging.
+	Logger *slog.Logger
+	// SlowOpThreshold arms the slow-op dump on every loaded problem: a
+	// decider call exceeding it writes the flight-recorder/histogram
+	// incident record (tagged with the request's trace id) to
+	// SlowOpSink (default os.Stderr). 0 disables.
+	SlowOpThreshold time.Duration
+	SlowOpSink      io.Writer
+	// RequestRingSize bounds the /debug/requests recent-request ring
+	// (0 = DefaultRequestRing).
+	RequestRingSize int
 }
 
 func (c *Config) fill() {
@@ -89,26 +104,49 @@ func (c *Config) fill() {
 type Server struct {
 	cfg       Config
 	metrics   *obs.Metrics
+	logger    *slog.Logger
 	registry  *Registry
 	admission *Admission
+	requests  *RequestRing
 	mux       *http.ServeMux
 	draining  chan struct{} // closed when the drain begins
+
+	// Per-tenant attribution families on the server-wide metrics:
+	// unlike the unlabelled samples (which keep their PR-6 semantics),
+	// these count every terminal decide outcome after decode — an
+	// overloaded or timed-out request is attributed to its problem and
+	// decider too, which is what makes 429s and 408s explicable per
+	// tenant from /metrics alone.
+	decideVec *obs.CounterVec
+	wallVec   *obs.HistogramVec
 }
 
 // New builds a server from cfg (zero fields take the documented
 // defaults).
 func New(cfg Config) *Server {
 	cfg.fill()
-	s := &Server{cfg: cfg, metrics: cfg.Metrics, draining: make(chan struct{})}
+	s := &Server{
+		cfg:      cfg,
+		metrics:  cfg.Metrics,
+		logger:   cfg.Logger,
+		requests: NewRequestRing(cfg.RequestRingSize),
+		draining: make(chan struct{}),
+	}
+	s.decideVec = cfg.Metrics.LabeledCounter(obs.ServerDecides, "problem", "decider", "outcome")
+	s.wallVec = cfg.Metrics.LabeledHisto(obs.DeciderWallNs, "problem")
 	base := func() core.Options {
 		return core.Options{
-			Parallelism: cfg.Workers,
-			Obs:         cfg.Metrics,
-			FaultPlan:   cfg.FaultPlan,
+			Parallelism:     cfg.Workers,
+			Obs:             cfg.Metrics,
+			SlowOpThreshold: cfg.SlowOpThreshold,
+			SlowOpSink:      cfg.SlowOpSink,
+			FaultPlan:       cfg.FaultPlan,
 		}
 	}
 	s.registry = NewRegistry(cfg.MaxResidentBytes, base, cfg.Metrics)
+	s.registry.SetLogger(cfg.Logger)
 	s.admission = NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.Metrics)
+	s.admission.SetLogger(cfg.Logger)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/problems", s.handleList)
@@ -116,9 +154,13 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/problems/{name}", s.handleGetInfo)
 	mux.HandleFunc("DELETE /v1/problems/{name}", s.handleDelete)
 	mux.HandleFunc("POST /v1/problems/{name}/decide", s.handleDecide)
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	s.mux = mux
 	return s
 }
+
+// Requests exposes the recent-request ring (tests, introspection).
+func (s *Server) Requests() *RequestRing { return s.requests }
 
 // Registry exposes the problem store (tests, introspection).
 func (s *Server) Registry() *Registry { return s.registry }
@@ -152,8 +194,20 @@ func (s *Server) Draining() bool {
 }
 
 // ServeHTTP dispatches to the /v1 handlers, counting every API request.
+// Each request runs under a root span: one already on the context
+// (httpx.AccessLog upstream) is reused, otherwise the server opens its
+// own, adopting the client's traceparent header and echoing the
+// request identity back in a traceparent response header — so a bare
+// Server (no middleware) still yields correlated traces.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Inc(obs.ServerRequests)
+	if obs.SpanFromContext(r.Context()) == nil {
+		rec := obs.NewSpanRecorder(0)
+		root := rec.Root(r.Method+" "+r.URL.Path, r.Header.Get("traceparent"))
+		defer root.End()
+		w.Header().Set("traceparent", root.Traceparent())
+		r = r.WithContext(obs.ContextWithSpan(r.Context(), root))
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -252,19 +306,90 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	resp := DecideResponse{Problem: name}
-	fail := func(status int, kind string, err error) {
-		resp.Kind = kind
-		resp.decorate(err)
-		resp.Stats = s.metrics.Snapshot()
+	began := time.Now()
+	root := obs.SpanFromContext(r.Context())
+	var traceID string
+	if t := root.Trace(); !t.IsZero() {
+		traceID = t.String()
+	}
+	wantTrace := r.URL.Query().Get("trace") == "1"
+
+	resp := DecideResponse{Problem: name, TraceID: traceID}
+	var req DecideRequest
+	var queueWait, wall time.Duration
+	ran := false // a decider actually executed (wall is meaningful)
+
+	// finish is the single exit: per-tenant labelled metrics, the
+	// structured decision log, the /debug/requests ring record, the
+	// optional ?trace=1 span tree, and the response itself.
+	finish := func(status int) {
+		decider := req.Property
+		if resp.Model != "" {
+			decider += "_" + resp.Model
+		}
+		outcome := resp.Kind
+		if outcome == "" {
+			outcome = "ok"
+		}
+		if req.Property != "" {
+			s.decideVec.Inc(name, decider, outcome)
+		}
+		if ran {
+			s.wallVec.Observe(wall.Nanoseconds(), name)
+		}
+		var spans []obs.SpanData
+		var spansDropped int64
+		if rec := root.Recorder(); rec != nil {
+			spans = rec.Spans()
+			spansDropped = rec.Dropped()
+		}
+		if wantTrace {
+			resp.Trace = &TraceInfo{TraceID: traceID, Spans: spans, Dropped: spansDropped}
+		}
+		resp.QueueWaitMS = float64(queueWait.Nanoseconds()) / 1e6
+		s.requests.Add(RequestRecord{
+			Time:         began,
+			TraceID:      traceID,
+			Problem:      name,
+			Property:     req.Property,
+			Decider:      decider,
+			Status:       status,
+			Kind:         resp.Kind,
+			Verdict:      resp.Verdict,
+			QueueWaitMS:  resp.QueueWaitMS,
+			WallMS:       float64(wall.Nanoseconds()) / 1e6,
+			Spans:        spans,
+			SpansDropped: spansDropped,
+		})
+		if s.logger != nil {
+			verdict := "unknown"
+			if resp.Verdict != nil {
+				verdict = fmt.Sprintf("%t", *resp.Verdict)
+			}
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "decide",
+				slog.String("trace_id", traceID),
+				slog.String("problem", name),
+				slog.String("decider", decider),
+				slog.String("verdict", verdict),
+				slog.String("outcome", outcome),
+				slog.Int("status", status),
+				slog.Float64("queue_wait_ms", resp.QueueWaitMS),
+				slog.Float64("wall_ms", float64(wall.Nanoseconds())/1e6),
+			)
+		}
 		if resp.RetryAfterMS > 0 {
 			w.Header().Set("Retry-After",
 				fmt.Sprintf("%d", (resp.RetryAfterMS+999)/1000))
 		}
 		writeJSON(w, status, resp)
 	}
+	fail := func(status int, kind string, err error) {
+		resp.Kind = kind
+		resp.decorate(err)
+		resp.Stats = s.metrics.Snapshot()
+		finish(status)
+	}
 
-	var req DecideRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -280,7 +405,9 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 
 	// Admission: claim a decide slot (bounded queue, 429 past it). The
 	// request context cancels a queued wait on client disconnect.
+	qStart := time.Now()
 	release, err := s.admission.Acquire(r.Context())
+	queueWait = time.Since(qStart)
 	if err != nil {
 		status, kind := classify(err)
 		fail(status, kind, err)
@@ -291,8 +418,10 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	result, err := s.runDecide(r.Context(), e, &req)
+	wall = time.Since(start)
+	ran = true
 	resp.Model = result.Model
-	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	resp.ElapsedMS = float64(wall.Microseconds()) / 1000
 	if err != nil {
 		status, kind := classify(err)
 		fail(status, kind, err)
@@ -302,7 +431,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	resp.Counterexample = result.Counterexample
 	resp.CertainAnswers = result.CertainAnswers
 	resp.Stats = s.metrics.Snapshot()
-	writeJSON(w, http.StatusOK, resp)
+	finish(http.StatusOK)
 }
 
 // decideResult is runDecide's payload, separate from the wire DTO so
@@ -369,6 +498,14 @@ func (s *Server) runDecide(ctx context.Context, e *Entry, req *DecideRequest) (r
 		if err != nil {
 			return res, &badRequestError{msg: err.Error()}
 		}
+		// The rebuilt problem is private to this request, so it can
+		// carry a per-request metrics instance; the counters it gathers
+		// are folded into the server-wide set when the decide returns.
+		// (The shared resident path keeps writing the server-wide
+		// metrics directly — its Options must not be touched.)
+		reqM := obs.NewMetrics()
+		p.Options.Obs = reqM
+		defer s.metrics.Merge(reqM)
 	}
 
 	timeout := s.cfg.DefaultTimeout

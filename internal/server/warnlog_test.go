@@ -1,0 +1,95 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"relcomplete/internal/obs"
+)
+
+// warnRecords decodes every warn-level JSON line in raw.
+func warnRecords(t *testing.T, raw string) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(raw, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if rec["level"] == "WARN" {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Registry eviction emits a structured warn event naming the victim,
+// its size and the problem it made room for — the after-the-fact
+// explanation for "where did my problem go".
+func TestRegistryEvictionLogged(t *testing.T) {
+	doc := paddedDoc(t, 1000)
+	unit := chargeOf(t, doc)
+	r, _ := newRegistry(unit + unit/2) // room for one doc only
+	var logs syncBuffer
+	r.SetLogger(slog.New(slog.NewJSONHandler(&logs, nil)))
+
+	if _, _, err := r.Put("first", doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Put("second", doc); err != nil {
+		t.Fatal(err)
+	}
+
+	warns := warnRecords(t, logs.String())
+	if len(warns) != 1 {
+		t.Fatalf("warn lines = %d, want 1:\n%s", len(warns), logs.String())
+	}
+	ev := warns[0]
+	if ev["msg"] != "problem evicted" || ev["problem"] != "first" || ev["evicted_for"] != "second" {
+		t.Errorf("eviction event: %v", ev)
+	}
+	if b, _ := ev["bytes"].(float64); int64(b) != unit {
+		t.Errorf("eviction event bytes = %v, want %d", ev["bytes"], unit)
+	}
+}
+
+// Admission overflow emits a structured warn event with the request's
+// trace id and the queue shape, so a 429 is explicable from the log
+// stream alone.
+func TestAdmissionOverflowLogged(t *testing.T) {
+	var logs syncBuffer
+	a := NewAdmission(1, 0, obs.NewMetrics())
+	a.SetLogger(slog.New(slog.NewJSONHandler(&logs, nil)))
+
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	rec := obs.NewSpanRecorder(0)
+	root := rec.Root("decide", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	defer root.End()
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	if _, err := a.Acquire(ctx); err == nil {
+		t.Fatal("second acquire must overflow")
+	}
+
+	warns := warnRecords(t, logs.String())
+	if len(warns) != 1 {
+		t.Fatalf("warn lines = %d, want 1:\n%s", len(warns), logs.String())
+	}
+	ov := warns[0]
+	if ov["msg"] != "admission queue full" || ov["trace_id"] != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("overflow event: %v", ov)
+	}
+	if q, _ := ov["queue_cap"].(float64); int(q) != 0 {
+		t.Errorf("overflow event queue_cap = %v", ov["queue_cap"])
+	}
+}

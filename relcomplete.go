@@ -23,6 +23,7 @@
 package relcomplete
 
 import (
+	"context"
 	"io"
 
 	"relcomplete/internal/cc"
@@ -128,7 +129,29 @@ type (
 	DeadlineError = core.DeadlineError
 	// Progress is the work snapshot a DeadlineError carries.
 	Progress = core.Progress
+	// Span is one operation of a request-scoped trace; carry it on a
+	// context (ContextWithSpan) and the deciders hang their phase spans
+	// off it. A nil *Span is inert.
+	Span = obs.Span
+	// SpanRecorder collects the finished spans of one trace.
+	SpanRecorder = obs.SpanRecorder
+	// SpanData is one finished span, JSON-ready.
+	SpanData = obs.SpanData
 )
+
+// NewSpanRecorder returns a bounded recorder for one request trace
+// (n <= 0 uses the package default cap). Start the trace with Root,
+// carry the root span via ContextWithSpan, and pass that context to
+// the *Ctx deciders to collect a span tree with per-phase timings.
+func NewSpanRecorder(n int) *SpanRecorder { return obs.NewSpanRecorder(n) }
+
+// ContextWithSpan returns ctx carrying sp as the active trace span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return obs.ContextWithSpan(ctx, sp)
+}
+
+// SpanFromContext returns ctx's active trace span, or nil.
+func SpanFromContext(ctx context.Context) *Span { return obs.SpanFromContext(ctx) }
 
 // NewMetrics returns an empty metrics instance for Options.Obs.
 func NewMetrics() *Metrics { return obs.NewMetrics() }
