@@ -73,3 +73,31 @@ func TestLabelledDocument(t *testing.T) {
 		t.Fatal("per-label-set count mismatch accepted")
 	}
 }
+
+// The OpenMetrics exposition (exemplars, _total samples, # EOF) is
+// auto-detected by the EOF terminator and checkable explicitly via
+// -format; forcing the wrong grammar must fail.
+func TestOpenMetricsDocument(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Inc(obs.ModelsChecked)
+	m.ObserveExemplar(obs.DeciderWallNs, 1e6, "aaaabbbbccccddddaaaabbbbccccdddd")
+	om := m.OpenMetricsText()
+
+	if err := run([]string{"-"}, strings.NewReader(om)); err != nil {
+		t.Fatalf("auto-detection rejected OpenMetrics: %v", err)
+	}
+	if err := run([]string{"-format", "openmetrics", "-"}, strings.NewReader(om)); err != nil {
+		t.Fatalf("-format openmetrics rejected own exposition: %v", err)
+	}
+	// The classic grammar has no exemplars and no # EOF: forcing it on
+	// an OpenMetrics document must fail, and vice versa.
+	if err := run([]string{"-format", "prometheus", "-"}, strings.NewReader(om)); err == nil {
+		t.Fatal("-format prometheus accepted an OpenMetrics document")
+	}
+	if err := run([]string{"-format", "openmetrics", "-"}, strings.NewReader(m.PrometheusText())); err == nil {
+		t.Fatal("-format openmetrics accepted a document without # EOF")
+	}
+	if err := run([]string{"-format", "martian", "-"}, strings.NewReader(om)); err == nil {
+		t.Fatal("unknown -format accepted")
+	}
+}

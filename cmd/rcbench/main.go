@@ -19,7 +19,7 @@
 //	rcbench -memprofile mem.pb  # write a pprof heap profile at exit
 //	rcbench -trace              # stream the decision trace to stderr
 //	rcbench -stats              # print aggregated solver counters after the sweep
-//	rcbench -http :8080         # /metrics (Prometheus), expvar + net/http/pprof while running
+//	rcbench -http :8080         # /metrics, /debug/plans, expvar + net/http/pprof while running
 //	rcbench -slowlog 250ms      # dump the flight recorder when a decider call stalls
 package main
 
@@ -39,6 +39,7 @@ import (
 	"relcomplete/internal/cc"
 	"relcomplete/internal/core"
 	"relcomplete/internal/ctable"
+	"relcomplete/internal/eval"
 	"relcomplete/internal/httpx"
 	"relcomplete/internal/obs"
 	"relcomplete/internal/paperex"
@@ -83,6 +84,11 @@ var (
 	benchMetrics  = obs.NewMetrics()
 	benchRing     = obs.NewRingSink(obs.DefaultRingSize)
 	benchTracer   = obs.NewFlightTracer(benchRing)
+	// benchProfiles is the sweep-wide plan-profile registry: experiments
+	// build transient problems, so the shared registry (via
+	// Options.Profiles) is what lets -http's /debug/plans rank plans
+	// across the whole sweep.
+	benchProfiles = &eval.ProfileRegistry{}
 
 	// benchCtx bounds every experiment's decider calls; -timeout
 	// replaces it with a deadline context for the whole sweep.
@@ -93,7 +99,7 @@ var (
 func benchOpts() core.Options {
 	return core.Options{
 		Parallelism: workersFlag, NaiveJoin: naiveJoinFlag, Boxed: boxedFlag,
-		Obs: benchMetrics, Trace: benchTracer,
+		Obs: benchMetrics, Trace: benchTracer, Profiles: benchProfiles,
 		FlightRecorder: benchRing, SlowOpThreshold: slowOpFlag,
 	}
 }
@@ -105,6 +111,7 @@ func applyBenchOpts(o *core.Options) {
 	o.Boxed = boxedFlag
 	o.Obs = benchMetrics
 	o.Trace = benchTracer
+	o.Profiles = benchProfiles
 	o.FlightRecorder = benchRing
 	o.SlowOpThreshold = slowOpFlag
 }
@@ -150,7 +157,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("http: %w", err)
 		}
 		defer ds.Close()
-		fmt.Fprintf(os.Stderr, "rcbench: debug endpoint on http://%s/metrics, /debug/vars and /debug/pprof/\n", ds.Addr())
+		fmt.Fprintf(os.Stderr, "rcbench: debug endpoint on http://%s/metrics, /debug/plans, /debug/vars and /debug/pprof/\n", ds.Addr())
 	}
 	if *statsOut {
 		defer func() {
@@ -221,17 +228,21 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// serveDebug starts the opt-in introspection endpoint: the Prometheus
-// exposition under /metrics, the solver counters under /debug/vars
-// (expvar) and the Go profiler under /debug/pprof/. Every request is
-// traced and logged as one JSON line on stderr (httpx.AccessLog), the
-// same schema rcserved emits. It binds eagerly so a bad address fails
-// the run; Close on the returned server drains in-flight scrapes
-// (internal/httpx) before the process moves on.
+// serveDebug starts the opt-in introspection endpoint: the metrics
+// exposition under /metrics (Prometheus, or OpenMetrics with exemplars
+// on request), the solver counters under /debug/vars (expvar), the Go
+// profiler under /debug/pprof/ and the sweep-wide top-K slowest plans
+// under /debug/plans. Every request is traced and logged as one JSON
+// line on stderr (httpx.AccessLog), the same schema rcserved emits. It
+// binds eagerly so a bad address fails the run; Close on the returned
+// server drains in-flight scrapes (internal/httpx) before the process
+// moves on.
 func serveDebug(addr string) (*httpx.Server, error) {
 	httpx.PublishSnapshot("solver", benchMetrics)
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	return httpx.Serve(addr, httpx.AccessLog(logger, httpx.NewDebugMux(benchMetrics)))
+	mux := httpx.NewDebugMux(benchMetrics)
+	httpx.RegisterPlans(mux, func(k int) any { return benchProfiles.Top(k) })
+	return httpx.Serve(addr, httpx.AccessLog(logger, mux))
 }
 
 func timed(fn func() (string, string, error)) (row, error) {

@@ -17,7 +17,9 @@
 // -metrics-out <file> dumps the final counters and histograms in
 // Prometheus text exposition format ("-" for stdout); -slowlog <dur>
 // dumps the flight recorder and histogram snapshot to stderr whenever
-// one decider call exceeds the duration.
+// one decider call exceeds the duration; -trace-out <file> runs the
+// decision under a root span and writes the finished span tree as
+// JSONL, one span per line, through the async export pipeline.
 //
 // Deadlines: -timeout <dur> bounds the whole decision with a context
 // deadline. An expired deadline exits 3 and, with -json, reports the
@@ -115,6 +117,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	maxModels := fs.Int("max-models", 10, "cap for -problem models")
 	workers := fs.Int("workers", 0, "worker count for the parallel searches (0 = keep the document's options.parallelism, or GOMAXPROCS; -trace defaults to 1)")
 	metricsOut := fs.String("metrics-out", "", "write the final metrics in Prometheus text format to this file (- for stdout)")
+	traceOut := fs.String("trace-out", "", "write the decision's finished span tree to this file as JSONL (one span per line)")
 	slowlog := fs.Duration("slowlog", 0, "dump the flight recorder and histograms to stderr when a decider call exceeds this duration (0 disables)")
 	timeout := fs.Duration("timeout", 0, "abort the decision after this duration (exit 3; 0 disables)")
 	if err := fs.Parse(args); err != nil {
@@ -149,6 +152,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// -trace-out runs the whole decision under a root span and writes
+	// the finished tree through the span export pipeline — the same
+	// JSONL shape rcserved -trace-export produces, so one jq recipe
+	// reads both.
+	if *traceOut != "" {
+		sink, err := obs.OpenJSONLFile(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		exporter := obs.NewSpanExporter(sink, obs.ExporterConfig{})
+		rec := obs.NewSpanRecorder(0)
+		root := rec.Root("rcheck "+*problem, "")
+		ctx = obs.ContextWithSpan(ctx, root)
+		defer func() {
+			root.End()
+			exporter.Enqueue(rec.Spans())
+			if cerr := exporter.Close(); cerr != nil {
+				fmt.Fprintln(stderr, "rcheck: trace-out:", cerr)
+			}
+		}()
 	}
 
 	metrics := obs.NewMetrics()

@@ -430,3 +430,45 @@ func TestRCheckTimeoutGenerous(t *testing.T) {
 		t.Fatalf("want verdict true, got %v", res.Verdict)
 	}
 }
+
+func TestRCheckTraceOut(t *testing.T) {
+	path := writeSample(t)
+	traceFile := filepath.Join(t.TempDir(), "spans.jsonl")
+	out, err := runCheck(t, "-problem", "rcdp", "-model", "weak", "-trace-out", traceFile, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "YES") {
+		t.Fatalf("output = %q", out)
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("trace-out wrote no file: %v", err)
+	}
+	var spans []obs.SpanData
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var sp obs.SpanData
+		if jerr := json.Unmarshal([]byte(line), &sp); jerr != nil {
+			t.Fatalf("trace-out line is not a JSON span: %v\n%s", jerr, line)
+		}
+		spans = append(spans, sp)
+	}
+	if len(spans) < 2 {
+		t.Fatalf("trace-out holds %d spans, want the root plus decider phases", len(spans))
+	}
+	// One trace throughout, ending with the root span.
+	trace := spans[0].TraceID
+	if trace == "" {
+		t.Fatal("exported span has no trace id")
+	}
+	var names []string
+	for _, sp := range spans {
+		if sp.TraceID != trace {
+			t.Fatalf("span %q carries trace %q, want %q", sp.Name, sp.TraceID, trace)
+		}
+		names = append(names, sp.Name)
+	}
+	if names[len(names)-1] != "rcheck rcdp" {
+		t.Fatalf("last exported span = %q, want the root 'rcheck rcdp' (all names: %v)", names[len(names)-1], names)
+	}
+}

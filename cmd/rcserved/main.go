@@ -22,9 +22,13 @@
 //	       (?trace=1 returns the request's span tree inline)
 //	GET    /healthz                     200 serving / 503 draining
 //	GET    /metrics                     Prometheus text exposition, with
-//	       per-tenant labelled series and runtime gauges
+//	       per-tenant labelled series and runtime gauges; OpenMetrics
+//	       with trace-id exemplars via Accept: application/openmetrics-text
+//	       or ?format=openmetrics
 //	GET    /debug/requests              recent decide requests, newest
 //	       first: trace id, decider, outcome, timings, span tree
+//	GET    /debug/plans                 top-K slowest plans across
+//	       resident problems (?k=, default 10), with per-node timings
 //
 // Every request runs under a request-scoped trace: a client-sent W3C
 // traceparent header is adopted (and echoed back), otherwise fresh ids
@@ -54,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -88,6 +93,7 @@ func run(args []string, stderr io.Writer, sigs <-chan os.Signal, ready chan<- st
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "SIGTERM: how long in-flight decisions may run before hard close")
 	boxed := fs.Bool("boxed", false, "ablation: boxed (non-interned) relation storage for loaded problems")
 	slowlog := fs.Duration("slowlog", 0, "dump the flight recorder to stderr when one decider call exceeds this (0 = off)")
+	traceExport := fs.String("trace-export", "", "export finished request spans: a file path gets one JSON span per line, an http(s):// URL POSTs OTLP/HTTP JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,6 +111,26 @@ func run(args []string, stderr io.Writer, sigs <-chan os.Signal, ready chan<- st
 	if maxResident > 0 {
 		maxResident <<= 20
 	}
+	// The span export pipeline is optional: finished request traces go
+	// to a JSONL file or an OTLP/HTTP collector on a background worker,
+	// never blocking a decide. Closed after the drain so in-flight
+	// request spans still flush.
+	var exporter *obs.SpanExporter
+	if *traceExport != "" {
+		var sink obs.SpanSink
+		if strings.HasPrefix(*traceExport, "http://") || strings.HasPrefix(*traceExport, "https://") {
+			sink = obs.NewOTLPSink(*traceExport, "rcserved", nil)
+		} else {
+			s, err := obs.OpenJSONLFile(*traceExport)
+			if err != nil {
+				return fmt.Errorf("trace-export: %w", err)
+			}
+			sink = s
+		}
+		exporter = obs.NewSpanExporter(sink, obs.ExporterConfig{})
+		defer exporter.Close()
+	}
+
 	svc := server.New(server.Config{
 		Workers:          *workers,
 		MaxConcurrent:    *maxConcurrent,
@@ -116,6 +142,7 @@ func run(args []string, stderr io.Writer, sigs <-chan os.Signal, ready chan<- st
 		Logger:           logger,
 		SlowOpThreshold:  *slowlog,
 		SlowOpSink:       stderr,
+		TraceExporter:    exporter,
 	})
 
 	mux := http.NewServeMux()
@@ -124,9 +151,10 @@ func run(args []string, stderr io.Writer, sigs <-chan os.Signal, ready chan<- st
 	httpx.RegisterDebug(mux, metrics) // /metrics, /debug/vars, /debug/pprof
 
 	// The access-log middleware owns the request root span: it ingests
-	// the client's traceparent, stamps the response header and writes
-	// one JSON line per request — for /v1 and debug routes alike.
-	srv, err := httpx.Serve(*addr, httpx.AccessLog(logger, mux))
+	// the client's traceparent, stamps the response header, writes one
+	// JSON line per request — for /v1 and debug routes alike — and, when
+	// -trace-export is set, hands the finished span tree to the exporter.
+	srv, err := httpx.Serve(*addr, httpx.AccessLogExport(logger, exporter, mux))
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}

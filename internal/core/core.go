@@ -247,6 +247,12 @@ type Options struct {
 	// (the default, always in production) is inert and costs one nil
 	// test per site.
 	FaultPlan *fault.Plan
+	// Profiles overrides the per-problem plan-profile registry with a
+	// shared one, aggregating sampled plan-node timings across problems
+	// that come and go (rcbench builds a fresh problem per experiment
+	// but serves one /debug/plans). nil (the default) keeps profiles
+	// per-problem; either way profiling is armed only while Obs is set.
+	Profiles *eval.ProfileRegistry
 }
 
 func (o Options) workers() int {
@@ -291,6 +297,13 @@ type Problem struct {
 	plan          *eval.Plan                  // compiled query plan (positive existential only)
 	planTried     bool                        // whether plan compilation was attempted
 	domCache      map[domainsKey]*domains     // adom+typing per (c-instance, flags)
+
+	// profiles aggregates sampled per-node wall-time profiles of the
+	// plans this problem executes (eval/profile.go). Profiling rides the
+	// observability switch: it is armed only while Options.Obs is set,
+	// so the uninstrumented path never touches it. The zero value is
+	// ready; read through PlanProfiles.
+	profiles eval.ProfileRegistry
 }
 
 // domainsKey fingerprints a domainsFor computation: the c-instance
@@ -353,8 +366,27 @@ func MustProblem(schema *relation.DBSchema, q Qry, master *relation.Database, cc
 
 // evalOpts builds the evaluation options used throughout.
 func (p *Problem) evalOpts() eval.Options {
-	return eval.Options{MaxDerived: p.Options.MaxDerived, NaiveJoin: p.Options.NaiveJoin,
+	o := eval.Options{MaxDerived: p.Options.MaxDerived, NaiveJoin: p.Options.NaiveJoin,
 		Obs: p.Options.Obs, Fault: p.Options.FaultPlan}
+	if p.Options.Obs != nil {
+		if p.Options.Profiles != nil {
+			o.Profiles = p.Options.Profiles
+		} else {
+			o.Profiles = &p.profiles
+		}
+	}
+	return o
+}
+
+// PlanProfiles exposes the problem's sampled plan-profile registry for
+// the /debug/plans endpoints — the Options.Profiles override when set,
+// the problem's own otherwise. Never nil; it only accumulates data
+// while Options.Obs is set (profiling rides the observability switch).
+func (p *Problem) PlanProfiles() *eval.ProfileRegistry {
+	if p.Options.Profiles != nil {
+		return p.Options.Profiles
+	}
+	return &p.profiles
 }
 
 // evalOptsCtx is evalOpts with the context's cancellation wired into
@@ -406,7 +438,14 @@ func (p *Problem) span(ctx context.Context, name string) (context.Context, func(
 	return ctx, func() {
 		endPhase()
 		elapsed := time.Since(start)
-		m.Observe(obs.DeciderWallNs, elapsed.Nanoseconds())
+		var traceID string
+		if t := child.Trace(); !t.IsZero() {
+			traceID = t.String()
+		}
+		// Traced calls stamp the wall-time bucket with their trace id,
+		// so a tail-bucket spike in the OpenMetrics exposition carries
+		// an exemplar pointing at a request that caused it.
+		m.ObserveExemplar(obs.DeciderWallNs, elapsed.Nanoseconds(), traceID)
 		// Per-call admission distribution. Deltas over the shared
 		// counters: nested or concurrent decider calls may attribute
 		// each other's models — the histogram is a distribution sketch,
@@ -425,10 +464,6 @@ func (p *Problem) span(ctx context.Context, name string) (context.Context, func(
 			w := o.SlowOpSink
 			if w == nil {
 				w = os.Stderr
-			}
-			var traceID string
-			if t := child.Trace(); !t.IsZero() {
-				traceID = t.String()
 			}
 			obs.WriteSlowOp(w, name, traceID, elapsed, o.SlowOpThreshold, o.FlightRecorder, m)
 		}

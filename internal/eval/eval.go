@@ -75,6 +75,11 @@ type Options struct {
 	// hangs an "eval.fp" sub-span off it so a traced decide shows where
 	// evaluation time went. nil (the common case) is inert.
 	Span *obs.Span
+	// Profiles, when non-nil, enables sampled per-node plan profiling
+	// (profile.go): one in every ProfileRegistry.Sample plan executions
+	// runs timed and folds its node tallies into the registry. nil (the
+	// common case) keeps plan execution free of it.
+	Profiles *ProfileRegistry
 }
 
 // interrupted polls the Interrupt hook, returning its error if any.

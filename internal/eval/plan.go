@@ -311,15 +311,25 @@ type planRun struct {
 	shortCircuits int64
 
 	// stats, when non-nil, collects per-node runtime statistics for the
-	// annotated rendering of ExplainRun. nil on ordinary runs.
+	// annotated rendering of ExplainRun and for sampled profiling. nil
+	// on ordinary runs.
 	stats map[planNode]*nodeStat
+	// timed adds per-node wall-time collection to stats: every exec
+	// call pays one boolean test, timed ones a clock pair. Set by
+	// ExplainRun and by sampled profiling runs.
+	timed bool
+	// profile, when non-nil, receives this run's tallies at finish
+	// (the run was selected by PlanProfile.sampleNow).
+	profile *PlanProfile
 }
 
-// nodeStat is one operator's runtime tally in an ExplainRun execution.
+// nodeStat is one operator's runtime tally in an ExplainRun or
+// profiled execution.
 type nodeStat struct {
-	execs int64 // times the operator was entered
-	rows  int64 // candidate rows probed (atoms only)
-	emits int64 // satisfying extensions passed to the continuation
+	execs  int64 // times the operator was entered
+	rows   int64 // candidate rows probed (atoms only)
+	emits  int64 // satisfying extensions passed to the continuation
+	wallNs int64 // inclusive wall time inside exec (timed runs only)
 }
 
 func (rt *planRun) statFor(n planNode) *nodeStat {
@@ -331,8 +341,23 @@ func (rt *planRun) statFor(n planNode) *nodeStat {
 	return st
 }
 
-// finish flushes the run-local counters to the metrics sink.
+// timeNode starts an inclusive wall-time measurement of one exec call;
+// the returned stop adds the elapsed time to the node's tally.
+// "Inclusive" covers everything the call frames: children and the
+// continuation downstream of the node. Only called on timed runs, so
+// ordinary runs pay a single boolean test per operator call.
+func (rt *planRun) timeNode(n planNode) func() {
+	st := rt.statFor(n)
+	start := time.Now()
+	return func() { st.wallNs += time.Since(start).Nanoseconds() }
+}
+
+// finish flushes the run-local counters to the metrics sink and folds
+// sampled-profiling runs into their plan's profile.
 func (rt *planRun) finish() {
+	if rt.profile != nil {
+		rt.profile.fold(rt, time.Since(rt.started).Nanoseconds())
+	}
 	if rt.m == nil {
 		return
 	}
@@ -363,7 +388,14 @@ func (p *Plan) newRun(db *relation.Database, opts Options) (*planRun, error) {
 		keyBuf:     make([]byte, 0, 64),
 		m:          opts.Obs,
 	}
-	if rt.m != nil {
+	if opts.Profiles != nil {
+		if prof := opts.Profiles.profileFor(p); prof.sampleNow() {
+			rt.profile = prof
+			rt.timed = true
+			rt.stats = make(map[planNode]*nodeStat, 8)
+		}
+	}
+	if rt.m != nil || rt.profile != nil {
 		rt.started = time.Now() // clock read only on instrumented runs
 	}
 	return rt, nil
@@ -474,6 +506,9 @@ func estimateRows(inst *relation.Instance, boundPos []int) float64 {
 }
 
 func (a *atomNode) exec(rt *planRun, k cont) error {
+	if rt.timed {
+		defer rt.timeNode(a)()
+	}
 	inst := rt.insts[a.relIdx]
 	if inst.Schema().Arity() != len(a.terms) {
 		return nil // arity mismatch matches nothing, as in the naive path
@@ -603,9 +638,9 @@ func (a *atomNode) explain(b *strings.Builder, indent string, slotNames []string
 			if s := rt.strategies[a]; s != nil {
 				// Estimated rows per probe beside the measured totals:
 				// est×execs ≈ rows when the estimate was good.
-				fmt.Fprintf(b, " [est=%.3g execs=%d rows=%d emits=%d]", s.estRows, st.execs, st.rows, st.emits)
+				fmt.Fprintf(b, " [est=%.3g execs=%d rows=%d emits=%d%s]", s.estRows, st.execs, st.rows, st.emits, nodeTime(st))
 			} else {
-				fmt.Fprintf(b, " [execs=%d rows=%d emits=%d]", st.execs, st.rows, st.emits)
+				fmt.Fprintf(b, " [execs=%d rows=%d emits=%d%s]", st.execs, st.rows, st.emits, nodeTime(st))
 			}
 		}
 	}
@@ -641,6 +676,9 @@ func (c *cmpNode) resolve(rt *planRun, t planTerm) (relation.Value, bool) {
 }
 
 func (c *cmpNode) exec(rt *planRun, k cont) error {
+	if rt.timed {
+		defer rt.timeNode(c)()
+	}
 	k = countEmits(rt, c, k)
 	lv, lok := c.resolve(rt, c.l)
 	rv, rok := c.resolve(rt, c.r)
@@ -711,7 +749,7 @@ func writeStat(b *strings.Builder, rt *planRun, n planNode) {
 		return
 	}
 	if st := rt.stats[n]; st != nil {
-		fmt.Fprintf(b, " [execs=%d emits=%d]", st.execs, st.emits)
+		fmt.Fprintf(b, " [execs=%d emits=%d%s]", st.execs, st.emits, nodeTime(st))
 	}
 }
 
@@ -821,6 +859,9 @@ func conjCost(rt *planRun, kid planNode, boundSim []bool) float64 {
 }
 
 func (a *andNode) exec(rt *planRun, k cont) error {
+	if rt.timed {
+		defer rt.timeNode(a)()
+	}
 	k = countEmits(rt, a, k)
 	order := rt.orderFor(a)
 	var step func(i int) error
@@ -869,6 +910,9 @@ type orNode struct {
 }
 
 func (o *orNode) exec(rt *planRun, k cont) error {
+	if rt.timed {
+		defer rt.timeNode(o)()
+	}
 	k = countEmits(rt, o, k)
 	targets := rt.targetsFor(o)
 	if len(targets) == 0 {
@@ -910,6 +954,9 @@ type existsNode struct {
 }
 
 func (e *existsNode) exec(rt *planRun, k cont) error {
+	if rt.timed {
+		defer rt.timeNode(e)()
+	}
 	k = countEmits(rt, e, k)
 	targets := rt.targetsFor(e)
 	if len(targets) == 0 {
@@ -1130,6 +1177,7 @@ func (p *Plan) ExplainRun(db *relation.Database, opts Options) (string, error) {
 		return "", err
 	}
 	rt.stats = map[planNode]*nodeStat{}
+	rt.timed = true
 	answers := 0
 	if err := p.forEach(rt, func(relation.Tuple) error { answers++; return nil }); err != nil {
 		return "", err

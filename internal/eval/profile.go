@@ -1,0 +1,168 @@
+package eval
+
+// This file is the sampled plan profiler: the runtime counterpart of
+// ExplainRun that stays cheap enough to leave on in production. One in
+// every DefaultProfileSample executions of a plan runs with per-node
+// wall-time collection (planRun.timed) and folds its tallies into a
+// PlanProfile; the untimed majority pays one boolean test per operator
+// call and one atomic increment per run. A ProfileRegistry aggregates
+// the profiles of every plan executed under one owner — core.Problem
+// keeps one per problem — and answers "which plans are the wall-clock
+// cost of this tenant, and which conjunct inside them" as a ranked
+// JSON snapshot for the /debug/plans endpoints of rcserved and
+// rcbench -http.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultProfileSample is the profiling sample period: one in every N
+// executions of a plan is timed per node. The first execution is
+// always timed so a profile exists as soon as a plan has run at all.
+const DefaultProfileSample = 16
+
+// ProfileRegistry aggregates sampled plan profiles. The zero value is
+// ready to use and all methods are safe for concurrent use; wire one
+// into Options.Profiles to enable profiling, leave it nil to keep the
+// disabled path free of it entirely.
+type ProfileRegistry struct {
+	// Sample overrides the sampling period (≤0 = DefaultProfileSample).
+	// Read on each plan's first registration; set it before running.
+	Sample int
+
+	plans sync.Map // *Plan → *PlanProfile
+}
+
+// profileFor returns (creating on first use) the profile of p. The
+// fast path is one lock-free map read per plan execution.
+func (r *ProfileRegistry) profileFor(p *Plan) *PlanProfile {
+	if v, ok := r.plans.Load(p); ok {
+		return v.(*PlanProfile)
+	}
+	sample := int64(r.Sample)
+	if sample <= 0 {
+		sample = DefaultProfileSample
+	}
+	v, _ := r.plans.LoadOrStore(p, &PlanProfile{plan: p, sample: sample})
+	return v.(*PlanProfile)
+}
+
+// PlanProfile accumulates one plan's sampled execution profile.
+type PlanProfile struct {
+	plan   *Plan
+	sample int64
+	runs   atomic.Int64 // every execution, sampled or not
+
+	mu      sync.Mutex
+	sampled int64
+	wallNs  int64 // whole-run wall time across sampled runs
+	nodes   map[planNode]*nodeStat
+	// Derived decisions of the latest sampled run, so the rendered
+	// profile carries the via=/order= annotations ExplainRun shows.
+	// They belong to a finished run and are never written again.
+	orders     map[*andNode][]int
+	strategies map[*atomNode]*atomStrategy
+}
+
+// sampleNow counts one execution and reports whether it should run
+// timed: the plan's first execution, then every sample-th one.
+func (p *PlanProfile) sampleNow() bool {
+	n := p.runs.Add(1)
+	return n == 1 || n%p.sample == 0
+}
+
+// fold merges a finished timed run into the profile.
+func (p *PlanProfile) fold(rt *planRun, wallNs int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sampled++
+	p.wallNs += wallNs
+	if p.nodes == nil {
+		p.nodes = make(map[planNode]*nodeStat, len(rt.stats))
+	}
+	for n, st := range rt.stats {
+		dst := p.nodes[n]
+		if dst == nil {
+			dst = &nodeStat{}
+			p.nodes[n] = dst
+		}
+		dst.execs += st.execs
+		dst.rows += st.rows
+		dst.emits += st.emits
+		dst.wallNs += st.wallNs
+	}
+	p.orders = rt.orders
+	p.strategies = rt.strategies
+}
+
+// PlanProfileStat is one plan's profile snapshot, shaped for the
+// /debug/plans JSON endpoints.
+type PlanProfileStat struct {
+	// Problem is filled by aggregators that merge the registries of
+	// several problems (the rcserved endpoint); empty from Top.
+	Problem string `json:"problem,omitempty"`
+	Query   string `json:"query"`
+	Runs    int64  `json:"runs"`
+	Sampled int64  `json:"sampled"`
+	// WallMS is the wall time measured across the sampled runs;
+	// EstWallMS scales it to all runs, the ranking key across plans.
+	WallMS    float64 `json:"wall_ms"`
+	EstWallMS float64 `json:"est_wall_ms"`
+	// Explain is the plan rendering annotated with the accumulated
+	// per-node statistics and inclusive wall times.
+	Explain string `json:"explain,omitempty"`
+}
+
+func (p *PlanProfile) stat() PlanProfileStat {
+	runs := p.runs.Load()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PlanProfileStat{
+		Query:   p.plan.q.Name,
+		Runs:    runs,
+		Sampled: p.sampled,
+		WallMS:  float64(p.wallNs) / 1e6,
+	}
+	if p.sampled > 0 {
+		st.EstWallMS = st.WallMS * float64(runs) / float64(p.sampled)
+		st.Explain = p.plan.render(&planRun{
+			stats:      p.nodes,
+			orders:     p.orders,
+			strategies: p.strategies,
+		})
+	}
+	return st
+}
+
+// Top returns the k slowest plans by estimated total wall time,
+// descending (ties break on query name; k ≤ 0 returns all). Safe to
+// call while plans are executing.
+func (r *ProfileRegistry) Top(k int) []PlanProfileStat {
+	var out []PlanProfileStat
+	r.plans.Range(func(_, v any) bool {
+		out = append(out, v.(*PlanProfile).stat())
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EstWallMS != out[j].EstWallMS {
+			return out[i].EstWallMS > out[j].EstWallMS
+		}
+		return out[i].Query < out[j].Query
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// nodeTime renders a node's accumulated inclusive wall time as a
+// " t=…" stat suffix, empty on untimed runs.
+func nodeTime(st *nodeStat) string {
+	if st.wallNs <= 0 {
+		return ""
+	}
+	return " t=" + time.Duration(st.wallNs).Round(time.Microsecond).String()
+}

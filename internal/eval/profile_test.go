@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"relcomplete/internal/query"
+	"relcomplete/internal/relation"
+)
+
+func profileDB(t testing.TB) *relation.Database {
+	t.Helper()
+	schema := relation.MustDBSchema(
+		relation.MustSchema("R", relation.Attr("A", nil), relation.Attr("B", nil)),
+		relation.MustSchema("S", relation.Attr("B", nil)),
+	)
+	db := relation.NewDatabase(schema)
+	db.MustInsert("R", relation.T("1", "2"))
+	db.MustInsert("R", relation.T("3", "2"))
+	db.MustInsert("S", relation.T("2"))
+	return db
+}
+
+func TestProfileSamplingAndStat(t *testing.T) {
+	db := profileDB(t)
+	plan := MustCompile(query.MustParseQuery("Q(x) := R(x, y) & S(y)"))
+	reg := &ProfileRegistry{Sample: 4}
+	opts := Options{Profiles: reg}
+	for i := 0; i < 8; i++ {
+		if _, err := plan.Answers(db, opts); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	top := reg.Top(0)
+	if len(top) != 1 {
+		t.Fatalf("registry holds %d profiles, want 1", len(top))
+	}
+	st := top[0]
+	if st.Query != "Q" {
+		t.Fatalf("profile query = %q", st.Query)
+	}
+	if st.Runs != 8 {
+		t.Fatalf("Runs = %d, want every execution counted (8)", st.Runs)
+	}
+	// Sampled runs: the first, then every 4th (4 and 8).
+	if st.Sampled != 3 {
+		t.Fatalf("Sampled = %d, want 3 (first + every 4th of 8)", st.Sampled)
+	}
+	if st.WallMS <= 0 {
+		t.Fatalf("WallMS = %v, want > 0 after sampled runs", st.WallMS)
+	}
+	if st.EstWallMS < st.WallMS {
+		t.Fatalf("EstWallMS %v < WallMS %v: estimate must scale up to all runs", st.EstWallMS, st.WallMS)
+	}
+	// The rendered profile carries the per-node stats of the sampled
+	// runs, including the t= inclusive wall-time annotation.
+	for _, want := range []string{"atom R", "execs=", " t="} {
+		if !strings.Contains(st.Explain, want) {
+			t.Errorf("profile Explain missing %q:\n%s", want, st.Explain)
+		}
+	}
+}
+
+func TestProfileDisabledPathUntouched(t *testing.T) {
+	db := profileDB(t)
+	plan := MustCompile(query.MustParseQuery("Q(x) := R(x, y) & S(y)"))
+	if _, err := plan.Answers(db, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	reg := &ProfileRegistry{}
+	if got := reg.Top(0); len(got) != 0 {
+		t.Fatalf("unwired registry collected %d profiles", len(got))
+	}
+}
+
+func TestProfileTopRanking(t *testing.T) {
+	db := profileDB(t)
+	reg := &ProfileRegistry{Sample: 1} // every run sampled: deterministic counts
+	opts := Options{Profiles: reg}
+	cheap := MustCompile(query.MustParseQuery("QA(x) := S(x)"))
+	costly := MustCompile(query.MustParseQuery("QB(x) := R(x, y) & S(y)"))
+	if _, err := cheap.Answers(db, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Run the join plan many more times so its estimated total wall time
+	// dominates regardless of scheduling noise.
+	for i := 0; i < 200; i++ {
+		if _, err := costly.Answers(db, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top := reg.Top(0)
+	if len(top) != 2 {
+		t.Fatalf("Top(0) returned %d profiles, want 2", len(top))
+	}
+	if top[0].Query != "QB" {
+		t.Fatalf("Top ranks %q first, want the 200-run join plan QB", top[0].Query)
+	}
+	if got := reg.Top(1); len(got) != 1 || got[0].Query != "QB" {
+		t.Fatalf("Top(1) = %+v, want just QB", got)
+	}
+}
+
+func TestProfileConcurrentRuns(t *testing.T) {
+	db := profileDB(t)
+	plan := MustCompile(query.MustParseQuery("Q(x) := R(x, y) & S(y)"))
+	reg := &ProfileRegistry{Sample: 2}
+	opts := Options{Profiles: reg}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := plan.Answers(db, opts); err != nil {
+					t.Error(err)
+					return
+				}
+				reg.Top(1) // concurrent snapshots must not race the folds
+			}
+		}()
+	}
+	wg.Wait()
+	top := reg.Top(0)
+	if len(top) != 1 || top[0].Runs != 200 {
+		t.Fatalf("profile after concurrent runs = %+v, want one plan with 200 runs", top)
+	}
+	if top[0].Sampled < 100 {
+		t.Fatalf("Sampled = %d, want ≥ half of 200 runs at Sample=2", top[0].Sampled)
+	}
+}
+
+func TestExplainRunRendersNodeTimes(t *testing.T) {
+	db := profileDB(t)
+	plan := MustCompile(query.MustParseQuery("Q(x) := R(x, y) & S(y)"))
+	out, err := plan.ExplainRun(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, " t=") {
+		t.Errorf("ExplainRun missing per-node t= wall times:\n%s", out)
+	}
+	// The static Explain never shows timings: there is no run to time.
+	if strings.Contains(plan.Explain(), " t=") {
+		t.Error("static Explain rendered a t= annotation")
+	}
+}

@@ -9,11 +9,13 @@ package httpx
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"log/slog"
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -81,11 +83,18 @@ func (s *Server) Close() error {
 	return s.Drain(ctx)
 }
 
-// RegisterDebug mounts the shared debug routes on mux: the Prometheus
-// exposition of m under /metrics, expvar under /debug/vars and the Go
+// RegisterDebug mounts the shared debug routes on mux: the metrics
+// exposition of m under /metrics (Prometheus text by default,
+// OpenMetrics with exemplars when the client asks via an Accept header
+// or ?format=openmetrics), expvar under /debug/vars and the Go
 // profiler under /debug/pprof/.
 func RegisterDebug(mux *http.ServeMux, m *obs.Metrics) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if obs.WantsOpenMetrics(r.Header.Get("Accept"), r.URL.Query().Get("format")) {
+			w.Header().Set("Content-Type", obs.ContentTypeOpenMetrics)
+			m.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", obs.ContentTypePrometheus)
 		m.WritePrometheus(w)
 	})
@@ -102,6 +111,28 @@ func NewDebugMux(m *obs.Metrics) *http.ServeMux {
 	mux := http.NewServeMux()
 	RegisterDebug(mux, m)
 	return mux
+}
+
+// RegisterPlans mounts a GET /debug/plans endpoint serving top(k) as
+// {"plans": ...} JSON. top is called with the requested k (query
+// parameter ?k=, default 10) and returns a JSON-marshalable slice of
+// plan-profile stats; keeping it a callback lets callers hand in
+// eval.ProfileRegistry.Top without this package depending on the
+// evaluator.
+func RegisterPlans(mux *http.ServeMux, top func(k int) any) {
+	mux.HandleFunc("GET /debug/plans", func(w http.ResponseWriter, r *http.Request) {
+		k := 10
+		if s := r.URL.Query().Get("k"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				http.Error(w, "bad k", http.StatusBadRequest)
+				return
+			}
+			k = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"plans": top(k)})
+	})
 }
 
 // statusWriter captures the response status and byte count for the
@@ -146,13 +177,26 @@ func (w *statusWriter) Flush() {
 // second trace. l may be nil, which disables the logging but keeps the
 // tracing.
 func AccessLog(l *slog.Logger, next http.Handler) http.Handler {
+	return AccessLogExport(l, nil, next)
+}
+
+// AccessLogExport is AccessLog with an optional span export pipeline:
+// when exporter is non-nil and this middleware opened the request's
+// root span, the finished span tree is enqueued on the exporter after
+// the root ends. Enqueue never blocks, so a slow or wedged sink costs
+// dropped spans, not request latency. A nil exporter makes this
+// exactly AccessLog.
+func AccessLogExport(l *slog.Logger, exporter *obs.SpanExporter, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		root := obs.SpanFromContext(r.Context())
 		if root == nil {
 			rec := obs.NewSpanRecorder(0)
 			root = rec.Root(r.Method+" "+r.URL.Path, r.Header.Get("traceparent"))
-			defer root.End()
+			defer func() {
+				root.End()
+				exporter.Enqueue(rec.Spans())
+			}()
 			r = r.WithContext(obs.ContextWithSpan(r.Context(), root))
 		}
 		w.Header().Set("traceparent", root.Traceparent())

@@ -143,14 +143,7 @@ func (m *Metrics) Observe(h Histo, v int64) {
 	if m == nil {
 		return
 	}
-	d := &histoDefs[h]
-	i := 0
-	for i < len(d.bounds) && v > d.bounds[i] {
-		i++
-	}
-	hg := &m.histos[h]
-	hg.counts[i].Add(1)
-	hg.sum.Add(v)
+	m.histos[h].observe(&histoDefs[h], v, "")
 }
 
 // ObserveDuration records d into duration histogram h (recorded in ns).
@@ -190,6 +183,9 @@ func (m *Metrics) Merge(src *Metrics) {
 		for i := 0; i <= len(histoDefs[h].bounds); i++ {
 			if v := s.counts[i].Load(); v != 0 {
 				dst.counts[i].Add(v)
+			}
+			if ex := s.exemplars[i].Load(); ex != nil {
+				dst.exemplars[i].Store(ex)
 			}
 		}
 		if v := s.sum.Load(); v != 0 {

@@ -238,13 +238,7 @@ func (v *HistogramVec) Observe(value int64, labelValues ...string) {
 	if v == nil {
 		return
 	}
-	s := v.seriesFor(labelValues)
-	i := 0
-	for i < len(v.def.bounds) && value > v.def.bounds[i] {
-		i++
-	}
-	s.h.counts[i].Add(1)
-	s.h.sum.Add(value)
+	v.seriesFor(labelValues).h.observe(v.def, value, "")
 }
 
 // SeriesCount returns the observation count of the series identified
@@ -302,6 +296,16 @@ func (v *HistogramVec) seriesFor(labelValues []string) *histoSeries {
 // write emits every series' _bucket/_sum/_count samples for family
 // name, series sorted by label key.
 func (v *HistogramVec) write(w *errWriter, name string) {
+	v.writeSeries(w, name, false)
+}
+
+// writeExemplars is write for the OpenMetrics exposition: bucket
+// samples trail their recorded exemplar, when one exists.
+func (v *HistogramVec) writeExemplars(w *errWriter, name string) {
+	v.writeSeries(w, name, true)
+}
+
+func (v *HistogramVec) writeSeries(w *errWriter, name string, exemplars bool) {
 	if v == nil {
 		return
 	}
@@ -314,16 +318,24 @@ func (v *HistogramVec) write(w *errWriter, name string) {
 	type row struct {
 		values []string
 		counts []int64
+		exs    []*Exemplar
 		sum    int64
 	}
 	rows := make([]row, 0, len(keys))
 	for _, k := range keys {
 		s := v.series[k]
 		counts := make([]int64, len(v.def.bounds)+1)
+		var exs []*Exemplar
+		if exemplars {
+			exs = make([]*Exemplar, len(counts))
+		}
 		for i := range counts {
 			counts[i] = s.h.counts[i].Load()
+			if exemplars {
+				exs[i] = s.h.exemplars[i].Load()
+			}
 		}
-		rows = append(rows, row{values: s.values, counts: counts, sum: s.h.sum.Load()})
+		rows = append(rows, row{values: s.values, counts: counts, exs: exs, sum: s.h.sum.Load()})
 	}
 	v.mu.Unlock()
 	for _, r := range rows {
@@ -334,7 +346,11 @@ func (v *HistogramVec) write(w *errWriter, name string) {
 			if i < len(v.def.bounds) {
 				le = formatBound(float64(v.def.bounds[i]) / v.def.div)
 			}
-			fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelPairs(v.labels, r.values, "le", le), cum)
+			fmt.Fprintf(w, "%s_bucket%s %d", name, labelPairs(v.labels, r.values, "le", le), cum)
+			if r.exs != nil && r.exs[i] != nil {
+				writeExemplar(w, *r.exs[i])
+			}
+			fmt.Fprint(w, "\n")
 		}
 		fmt.Fprintf(w, "%s_sum%s %s\n", name, labelPairs(v.labels, r.values), formatBound(float64(r.sum)/v.def.div))
 		fmt.Fprintf(w, "%s_count%s %d\n", name, labelPairs(v.labels, r.values), cum)

@@ -159,11 +159,14 @@ type Metrics struct {
 
 // histo is one histogram's storage: per-bucket observation counts
 // (bucket i counts values ≤ bounds[i]; the bucket after the last bound
-// is +Inf) and the running sum of observed values. Bounds live in
-// histoDefs, so the storage is a flat array of atomics.
+// is +Inf), the running sum of observed values, and an optional
+// per-bucket exemplar — the most recent traced observation that landed
+// in the bucket (exemplar.go). Bounds live in histoDefs, so the
+// storage is a flat array of atomics.
 type histo struct {
-	counts [maxHistoBuckets]atomic.Int64
-	sum    atomic.Int64
+	counts    [maxHistoBuckets]atomic.Int64
+	sum       atomic.Int64
+	exemplars [maxHistoBuckets]atomic.Pointer[Exemplar]
 }
 
 type phaseAgg struct {

@@ -11,6 +11,14 @@ package obs
 // buckets, a +Inf bucket, _count equal to the +Inf bucket) — tracked
 // per label-set, since a labelled histogram family exposes one
 // independent bucket sequence per label combination.
+//
+// ValidateOpenMetricsText runs the same validator in OpenMetrics 1.0
+// mode, which additionally requires the `# EOF` terminator (and
+// nothing after it), requires counter samples to carry the _total (or
+// _created) suffix on a bare-named family, accepts float timestamps,
+// and accepts-and-checks `# {labels} value [ts]` exemplars — only on
+// histogram _bucket and counter _total samples, with a valid label
+// set within the 128-rune budget.
 
 import (
 	"fmt"
@@ -23,7 +31,20 @@ import (
 // exposition grammar and the histogram consistency rules. It returns
 // nil when the document would be accepted by a Prometheus scraper.
 func ValidatePrometheusText(data []byte) error {
+	return validateExposition(data, false)
+}
+
+// ValidateOpenMetricsText checks data against the OpenMetrics 1.0 text
+// exposition grammar: the shared Prometheus rules plus the OpenMetrics
+// deltas documented on the package comment above (EOF terminator,
+// counter sample suffixes, exemplar syntax).
+func ValidateOpenMetricsText(data []byte) error {
+	return validateExposition(data, true)
+}
+
+func validateExposition(data []byte, om bool) error {
 	v := &promValidator{
+		om:       om,
 		types:    map[string]string{},
 		finished: map[string]bool{},
 		hists:    map[string]*histCheck{},
@@ -67,6 +88,8 @@ type histSetCheck struct {
 }
 
 type promValidator struct {
+	om       bool              // OpenMetrics mode
+	sawEOF   bool              // the # EOF terminator has been seen
 	types    map[string]string // family → declared TYPE
 	finished map[string]bool   // families whose sample block has ended
 	current  string            // family currently emitting samples
@@ -75,6 +98,13 @@ type promValidator struct {
 
 func (v *promValidator) line(line string) error {
 	if strings.TrimSpace(line) == "" {
+		return nil
+	}
+	if v.om && v.sawEOF {
+		return fmt.Errorf("content after # EOF")
+	}
+	if v.om && strings.TrimSpace(line) == "# EOF" {
+		v.sawEOF = true
 		return nil
 	}
 	if strings.HasPrefix(line, "#") {
@@ -125,19 +155,46 @@ func (v *promValidator) sample(line string) error {
 	if err != nil {
 		return err
 	}
-	valStr, _, hasTS := strings.Cut(strings.TrimSpace(rest), " ")
+	rest = strings.TrimSpace(rest)
+	exemplar := ""
+	hasExemplar := false
+	if v.om {
+		// An OpenMetrics sample may trail ` # {labels} value [ts]`.
+		// The value/timestamp part cannot contain '#', so the first
+		// " # " begins the exemplar.
+		if i := strings.Index(rest, " # "); i >= 0 {
+			exemplar, hasExemplar = strings.TrimSpace(rest[i+3:]), true
+			rest = strings.TrimSpace(rest[:i])
+		}
+	}
+	valStr, _, hasTS := strings.Cut(rest, " ")
 	val, err := parsePromFloat(valStr)
 	if err != nil {
 		return fmt.Errorf("bad sample value %q", valStr)
 	}
 	if hasTS {
 		ts := strings.TrimSpace(rest[len(valStr):])
-		if _, err := strconv.ParseInt(strings.TrimSpace(ts), 10, 64); err != nil {
+		if v.om {
+			// OpenMetrics timestamps are seconds, possibly fractional.
+			if _, err := strconv.ParseFloat(ts, 64); err != nil {
+				return fmt.Errorf("bad timestamp %q", ts)
+			}
+		} else if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
 			return fmt.Errorf("bad timestamp %q", ts)
 		}
 	}
 
 	fam := v.familyOf(name)
+	if v.om {
+		if t := v.types[fam]; t == "counter" && name != fam+"_total" && name != fam+"_created" {
+			return fmt.Errorf("counter %s sample %s lacks the _total suffix", fam, name)
+		}
+	}
+	if hasExemplar {
+		if err := v.checkExemplar(fam, name, exemplar); err != nil {
+			return err
+		}
+	}
 	if v.finished[fam] {
 		return fmt.Errorf("samples of family %s are not contiguous", fam)
 	}
@@ -149,6 +206,46 @@ func (v *promValidator) sample(line string) error {
 	}
 	if hc := v.hists[fam]; hc != nil {
 		return v.histSample(fam, hc, name, labels, val)
+	}
+	return nil
+}
+
+// checkExemplar validates one ` # {labels} value [ts]` exemplar
+// suffix: allowed only on histogram _bucket and counter _total
+// samples, with a well-formed label set within OpenMetrics' 128-rune
+// budget and a parseable value (and optional float timestamp).
+func (v *promValidator) checkExemplar(fam, name, ex string) error {
+	typ := v.types[fam]
+	allowed := (typ == "histogram" && name == fam+"_bucket") ||
+		(typ == "counter" && name == fam+"_total")
+	if !allowed {
+		return fmt.Errorf("exemplar on %s (only histogram buckets and counter totals may carry one)", name)
+	}
+	if ex == "" || ex[0] != '{' {
+		return fmt.Errorf("exemplar must start with a label set")
+	}
+	labels, n, err := scanLabels(ex)
+	if err != nil {
+		return fmt.Errorf("exemplar labels: %w", err)
+	}
+	var runes int
+	for k, val := range labels {
+		runes += len([]rune(k)) + len([]rune(val))
+	}
+	if runes > 128 {
+		return fmt.Errorf("exemplar label set exceeds 128 runes")
+	}
+	fields := strings.Fields(ex[n:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("exemplar needs a value and at most a timestamp")
+	}
+	if _, err := parsePromFloat(fields[0]); err != nil {
+		return fmt.Errorf("bad exemplar value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("bad exemplar timestamp %q", fields[1])
+		}
 	}
 	return nil
 }
@@ -189,6 +286,9 @@ func (v *promValidator) histSample(fam string, hc *histCheck, name string, label
 }
 
 func (v *promValidator) finish() error {
+	if v.om && !v.sawEOF {
+		return fmt.Errorf("openmetrics document missing the # EOF terminator")
+	}
 	for fam, hc := range v.hists {
 		for key, sc := range hc.sets {
 			if sc.buckets == 0 && !sc.hasCount {
@@ -227,12 +327,22 @@ func labelSetKey(labels map[string]string, exclude string) string {
 }
 
 // familyOf maps a sample name to its metric family: histogram and
-// summary component suffixes fold into the declared family name.
+// summary component suffixes fold into the declared family name, and
+// in OpenMetrics mode the counter sample suffixes fold too (the
+// family is declared bare, the samples carry _total).
 func (v *promValidator) familyOf(name string) string {
 	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
 		base := strings.TrimSuffix(name, suffix)
 		if base != name {
 			if t := v.types[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	if v.om {
+		for _, suffix := range []string{"_total", "_created"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && v.types[base] == "counter" {
 				return base
 			}
 		}
@@ -254,42 +364,57 @@ func splitSample(line string) (name string, labels map[string]string, rest strin
 	if line[i] == ' ' {
 		return name, nil, line[i+1:], nil
 	}
-	labels = map[string]string{}
-	pos := i + 1
-	for {
-		for pos < len(line) && (line[pos] == ' ' || line[pos] == ',') {
-			pos++
-		}
-		if pos < len(line) && line[pos] == '}' {
-			pos++
-			break
-		}
-		eq := strings.Index(line[pos:], "=")
-		if eq < 0 {
-			return "", nil, "", fmt.Errorf("label without =")
-		}
-		lname := strings.TrimSpace(line[pos : pos+eq])
-		if !validLabelName(lname) {
-			return "", nil, "", fmt.Errorf("invalid label name %q", lname)
-		}
-		pos += eq + 1
-		if pos >= len(line) || line[pos] != '"' {
-			return "", nil, "", fmt.Errorf("label value not quoted")
-		}
-		val, n, err := scanQuoted(line[pos:])
-		if err != nil {
-			return "", nil, "", err
-		}
-		if _, dup := labels[lname]; dup {
-			return "", nil, "", fmt.Errorf("duplicate label %q", lname)
-		}
-		labels[lname] = val
-		pos += n
+	labels, n, err := scanLabels(line[i:])
+	if err != nil {
+		return "", nil, "", err
 	}
+	pos := i + n
 	if pos >= len(line) || line[pos] != ' ' {
 		return "", nil, "", fmt.Errorf("missing value after labels")
 	}
 	return name, labels, line[pos+1:], nil
+}
+
+// scanLabels parses a {name="value",...} label set starting at
+// s[0] == '{'; n is the number of bytes consumed including braces.
+// Shared by sample parsing and exemplar validation.
+func scanLabels(s string) (labels map[string]string, n int, err error) {
+	labels = map[string]string{}
+	pos := 1
+	for {
+		for pos < len(s) && (s[pos] == ' ' || s[pos] == ',') {
+			pos++
+		}
+		if pos >= len(s) {
+			return nil, 0, fmt.Errorf("unterminated label set")
+		}
+		if s[pos] == '}' {
+			pos++
+			break
+		}
+		eq := strings.Index(s[pos:], "=")
+		if eq < 0 {
+			return nil, 0, fmt.Errorf("label without =")
+		}
+		lname := strings.TrimSpace(s[pos : pos+eq])
+		if !validLabelName(lname) {
+			return nil, 0, fmt.Errorf("invalid label name %q", lname)
+		}
+		pos += eq + 1
+		if pos >= len(s) || s[pos] != '"' {
+			return nil, 0, fmt.Errorf("label value not quoted")
+		}
+		val, m, err := scanQuoted(s[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, dup := labels[lname]; dup {
+			return nil, 0, fmt.Errorf("duplicate label %q", lname)
+		}
+		labels[lname] = val
+		pos += m
+	}
+	return labels, pos, nil
 }
 
 // scanQuoted reads a double-quoted, backslash-escaped string starting

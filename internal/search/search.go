@@ -38,6 +38,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -216,6 +217,10 @@ func FirstHit[T, R any](ctx context.Context, workers int, m *obs.Metrics, gen Ge
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Adopt the caller's pprof labels (problem/decider/trace_id
+			// under a served decide), so CPU profiles attribute worker
+			// time to the tenant that spawned the search.
+			pprof.SetGoroutineLabels(ctx)
 			for t := range dispatch {
 				o := runProbe(ctx, probe, t.idx, t.item)
 				if o.decisive() {
@@ -389,6 +394,7 @@ func ForEachOrdered[T, R any](ctx context.Context, workers int, m *obs.Metrics, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			pprof.SetGoroutineLabels(ctx) // see the FirstHit worker pool
 			for t := range dispatch {
 				results <- runProbe(ctx, func(ctx context.Context, i int, it T) (R, bool, error) {
 					r, err := probe(ctx, i, it)

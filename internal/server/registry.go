@@ -229,6 +229,19 @@ func (r *Registry) List() []Info {
 	return out
 }
 
+// Entries returns every resident entry, most recently used first,
+// without touching the LRU order (introspection endpoints: a debug
+// scrape must not perturb eviction).
+func (r *Registry) Entries() []*Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Entry, 0, r.lru.Len())
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Entry))
+	}
+	return out
+}
+
 // Len is the number of resident entries.
 func (r *Registry) Len() int {
 	r.mu.Lock()

@@ -19,9 +19,13 @@ import (
 	"regexp"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"sort"
+	"strconv"
 	"time"
 
 	"relcomplete/internal/core"
+	"relcomplete/internal/eval"
 	"relcomplete/internal/fault"
 	"relcomplete/internal/obs"
 	"relcomplete/internal/probjson"
@@ -69,6 +73,11 @@ type Config struct {
 	// RequestRingSize bounds the /debug/requests recent-request ring
 	// (0 = DefaultRequestRing).
 	RequestRingSize int
+	// TraceExporter, when non-nil, receives every finished request span
+	// tree (rcserved -trace-export). The server only uses it on the
+	// bare-Server path where it owns the root span itself; under
+	// httpx.AccessLog the middleware owns the root and the export.
+	TraceExporter *obs.SpanExporter
 }
 
 func (c *Config) fill() {
@@ -155,8 +164,39 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/problems/{name}", s.handleDelete)
 	mux.HandleFunc("POST /v1/problems/{name}/decide", s.handleDecide)
 	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /debug/plans", s.handleDebugPlans)
 	s.mux = mux
 	return s
+}
+
+// handleDebugPlans serves the top-K-slowest-plans profile across every
+// resident problem: each problem's sampled plan-profile registry
+// (eval.ProfileRegistry, fed by the plan executor whenever metrics are
+// on) is snapshotted, tagged with the problem name and merged into one
+// ranking by estimated total wall time. ?k= bounds the result
+// (default 10).
+func (s *Server) handleDebugPlans(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if q := r.URL.Query().Get("k"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, KindBadRequest, "k must be a positive integer")
+			return
+		}
+		k = n
+	}
+	plans := []eval.PlanProfileStat{} // non-nil: the endpoint always serves an array
+	for _, e := range s.registry.Entries() {
+		for _, st := range e.Problem.PlanProfiles().Top(k) {
+			st.Problem = e.Name
+			plans = append(plans, st)
+		}
+	}
+	sort.SliceStable(plans, func(i, j int) bool { return plans[i].EstWallMS > plans[j].EstWallMS })
+	if len(plans) > k {
+		plans = plans[:k]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"plans": plans})
 }
 
 // Requests exposes the recent-request ring (tests, introspection).
@@ -204,7 +244,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if obs.SpanFromContext(r.Context()) == nil {
 		rec := obs.NewSpanRecorder(0)
 		root := rec.Root(r.Method+" "+r.URL.Path, r.Header.Get("traceparent"))
-		defer root.End()
+		defer func() {
+			root.End()
+			s.cfg.TraceExporter.Enqueue(rec.Spans()) // nil exporter is inert
+		}()
 		w.Header().Set("traceparent", root.Traceparent())
 		r = r.WithContext(obs.ContextWithSpan(r.Context(), root))
 	}
@@ -335,7 +378,9 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 			s.decideVec.Inc(name, decider, outcome)
 		}
 		if ran {
-			s.wallVec.Observe(wall.Nanoseconds(), name)
+			// The per-tenant wall series carries the request's trace id
+			// as its bucket exemplar in the OpenMetrics exposition.
+			s.wallVec.ObserveExemplar(wall.Nanoseconds(), traceID, name)
 		}
 		var spans []obs.SpanData
 		var spansDropped int64
@@ -375,6 +420,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 				slog.Int("status", status),
 				slog.Float64("queue_wait_ms", resp.QueueWaitMS),
 				slog.Float64("wall_ms", float64(wall.Nanoseconds())/1e6),
+				slog.Int64("spans_dropped", spansDropped),
 			)
 		}
 		if resp.RetryAfterMS > 0 {
@@ -416,8 +462,19 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	s.metrics.Inc(obs.ServerDecides)
 
+	// The decide executes under pprof labels, so a CPU (or goroutine)
+	// profile taken from /debug/pprof segments samples by tenant,
+	// decider and request trace — goroutines the deciders spawn inherit
+	// the label set.
 	start := time.Now()
-	result, err := s.runDecide(r.Context(), e, &req)
+	var result decideResult
+	pprof.Do(r.Context(), pprof.Labels(
+		"problem", name,
+		"decider", req.Property,
+		"trace_id", traceID,
+	), func(ctx context.Context) {
+		result, err = s.runDecide(ctx, e, &req)
+	})
 	wall = time.Since(start)
 	ran = true
 	resp.Model = result.Model
