@@ -119,3 +119,95 @@ func TestDaemonBindConflict(t *testing.T) {
 		t.Fatalf("first daemon drain: %v", err)
 	}
 }
+
+// The daemon-level crash-recovery round trip: load problems with
+// -data-dir, decide, drain (writing the final snapshot), then boot a
+// second daemon on the same directory and find everything restored —
+// same problems, same verdict — with /readyz green.
+func TestDaemonRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	raw, err := os.ReadFile("../../examples/orders_rcdp.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	putProblem := func(base, name string) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPut, base+"/v1/problems/"+name, bytes.NewReader(raw))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("PUT %s status = %d", name, resp.StatusCode)
+		}
+	}
+	decideVerdict := func(base string) bool {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/problems/orders/decide", "application/json",
+			strings.NewReader(`{"property": "rcdp", "model": "strong"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Verdict *bool `json:"verdict"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || body.Verdict == nil {
+			t.Fatalf("decide: status=%d verdict=%v", resp.StatusCode, body.Verdict)
+		}
+		return *body.Verdict
+	}
+
+	// First life.
+	base, sigs, errs := startDaemon(t, []string{"-addr", "127.0.0.1:0", "-data-dir", dir})
+	putProblem(base, "orders")
+	putProblem(base, "spare")
+	v1 := decideVerdict(base)
+	http.DefaultClient.CloseIdleConnections()
+	sigs <- syscall.SIGTERM
+	if err := <-errs; err != nil {
+		t.Fatalf("first drain: %v", err)
+	}
+
+	// Second life on the same data dir.
+	base2, sigs2, errs2 := startDaemon(t, []string{"-addr", "127.0.0.1:0", "-data-dir", dir})
+	rresp, err := http.Get(base2 + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after restart = %d", rresp.StatusCode)
+	}
+	lresp, err := http.Get(base2 + "/v1/problems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Problems []struct {
+			Name string `json:"name"`
+		} `json:"problems"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if len(list.Problems) != 2 {
+		t.Fatalf("restored %d problems, want 2: %+v", len(list.Problems), list)
+	}
+	if v2 := decideVerdict(base2); v2 != v1 {
+		t.Fatalf("verdict changed across restart: %v != %v", v2, v1)
+	}
+
+	http.DefaultClient.CloseIdleConnections()
+	sigs2 <- syscall.SIGTERM
+	if err := <-errs2; err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}

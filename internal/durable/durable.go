@@ -1,0 +1,223 @@
+// Package durable makes rcserved's problem registry crash-safe: a
+// write-ahead log of registry mutations plus periodic snapshots, both
+// stored in one data directory and replayed on boot.
+//
+// Layout of the data directory:
+//
+//	wal.log        append-only mutation log (PUT/DELETE records)
+//	snapshot.json  latest registry snapshot (atomic temp-file + rename)
+//	snapshot.tmp   in-progress snapshot (abandoned on crash, harmless)
+//
+// The WAL starts with an 8-byte magic+version header. Each record is
+// length-prefixed and checksummed:
+//
+//	[4-byte big-endian payload length]
+//	[4-byte big-endian CRC32 (IEEE) of the payload]
+//	[payload: one JSON-encoded Record]
+//
+// Append fsyncs before returning, so a mutation is acknowledged only
+// once it is on disk — "committed" below always means "Append
+// returned nil". Recovery (Open) replays snapshot then WAL in order.
+// A torn or CRC-corrupt tail — the residue of a crash mid-write — is
+// discarded with a warn log and the file is truncated back to its
+// longest valid prefix; everything before the tear is returned intact.
+// Replaying snapshot+WAL is idempotent (PUT is an upsert, DELETE of a
+// missing name is a no-op), so a crash between the snapshot rename and
+// the WAL truncation only double-applies records, never corrupts.
+//
+// Failure discipline: a short write, a corrupt write or a failed fsync
+// leaves the on-disk tail in an unknown state, so the log marks itself
+// broken (Healthy reports false, further appends fail fast with
+// ErrBroken) and the caller must restart to recover — acknowledging a
+// mutation after a failed commit is the one unforgivable lie. A clean
+// error *before* any byte hit the disk leaves the log usable.
+//
+// All filesystem faults of internal/fault's FS sites (wal.append,
+// wal.fsync, wal.read, snapshot.write, snapshot.read) are honoured in
+// these paths, which is how the crash-recovery chaos suite drives
+// torn tails, fsync errors and silent corruption deterministically.
+package durable
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"relcomplete/internal/fault"
+	"relcomplete/internal/obs"
+)
+
+const (
+	walFile      = "wal.log"
+	snapshotFile = "snapshot.json"
+	snapshotTmp  = "snapshot.tmp"
+
+	// walVersion is byte 6 of the WAL header; bump on any framing
+	// change so recovery refuses to misparse an old log.
+	walVersion = 1
+	// snapshotVersion is the "version" field of snapshot.json.
+	snapshotVersion = 1
+)
+
+// walMagic is the 8-byte WAL file header: magic, version, newline (the
+// newline keeps `head -c8 wal.log` readable).
+var walMagic = []byte{'r', 'c', 'w', 'a', 'l', '0' + walVersion, '\n', 0}
+
+// Op is the kind of one logged registry mutation.
+type Op string
+
+const (
+	// OpPut loads (or replaces) a named problem document.
+	OpPut Op = "put"
+	// OpDelete unloads a named problem.
+	OpDelete Op = "delete"
+)
+
+// Record is one registry mutation, the unit of WAL append and of
+// recovery replay. Raw is the exact acknowledged document bytes for
+// OpPut (empty for OpDelete) — stored base64 in the JSON payload so
+// recovery restores byte-identical documents.
+type Record struct {
+	Op   Op     `json:"op"`
+	Name string `json:"name"`
+	Raw  []byte `json:"raw,omitempty"`
+}
+
+// Options tunes one Log.
+type Options struct {
+	// NoFsync skips the per-commit fsync (and its fault site). Tests
+	// only: without fsync the "committed means on disk" contract holds
+	// only until the OS page cache is lost.
+	NoFsync bool
+	// Logger receives recovery and truncation warnings (nil disables).
+	Logger *slog.Logger
+	// Metrics receives wal_appends, wal_fsync_seconds, snapshots_written,
+	// recoveries, recovery_discards and wal_replayed (nil is inert).
+	Metrics *obs.Metrics
+	// Faults arms the filesystem fault-injection sites — chaos tests
+	// only, nil always in production.
+	Faults *fault.Plan
+}
+
+// ErrIO is the sentinel every storage-layer failure wraps, so callers
+// can map "the durability layer failed" to one HTTP status with a
+// single errors.Is.
+var ErrIO = errors.New("durable: storage failure")
+
+// ErrBroken reports an append refused because an earlier write or
+// fsync failed and the on-disk tail is in an unknown state; the
+// process must restart (re-running recovery) before accepting new
+// mutations. Unwraps to ErrIO.
+var ErrBroken = fmt.Errorf("%w: write-ahead log broken by an earlier failed commit; restart to recover", ErrIO)
+
+// ErrClosed reports an operation on a closed log. Unwraps to ErrIO.
+var ErrClosed = fmt.Errorf("%w: log closed", ErrIO)
+
+// VersionError reports a snapshot or WAL written by an incompatible
+// format version. Recovery refuses to guess: the operator must migrate
+// or discard the data directory explicitly.
+type VersionError struct {
+	What      string // "wal" or "snapshot"
+	Got, Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("durable: %s format version %d, this binary reads version %d",
+		e.What, e.Got, e.Want)
+}
+
+// Unwrap exposes ErrIO for errors.Is.
+func (e *VersionError) Unwrap() error { return ErrIO }
+
+// Log is the durable registry store: one WAL handle plus the snapshot
+// machinery. Safe for concurrent use; Append serialises internally.
+// Snapshot additionally requires the caller to guarantee that the
+// record set it is handed is consistent with the WAL at call time — in
+// rcserved the registry holds its own mutex across collect+Snapshot,
+// so no Append can interleave (see Registry.SnapshotNow).
+type Log struct {
+	dir string
+	opt Options
+
+	mu     sync.Mutex
+	f      *os.File
+	off    int64 // current append offset (end of last good record)
+	broken bool
+	closed bool
+}
+
+// Open opens (creating if needed) the data directory, runs recovery —
+// snapshot first, then the WAL's longest valid prefix — and returns
+// the log positioned for appends plus the recovered records in apply
+// order. A torn or corrupt WAL tail is discarded with a warning and
+// truncated away; a version mismatch or unreadable snapshot is a hard
+// error (never guess at durable state).
+func Open(dir string, opt Options) (*Log, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("%w: %w", ErrIO, err)
+	}
+	l := &Log{dir: dir, opt: opt}
+
+	recs, err := l.loadSnapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: open wal: %w", ErrIO, err)
+	}
+	l.f = f
+	walRecs, err := l.recoverWAL()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	recs = append(recs, walRecs...)
+	opt.Metrics.Inc(obs.Recoveries)
+	opt.Metrics.Add(obs.WALReplayed, int64(len(walRecs)))
+	return l, recs, nil
+}
+
+// Dir returns the data directory this log lives in.
+func (l *Log) Dir() string { return l.dir }
+
+// Healthy reports whether the log can accept appends: open, and no
+// commit has failed since recovery. rcserved's /readyz gates on this —
+// a daemon whose WAL cannot commit must stop advertising readiness.
+func (l *Log) Healthy() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return !l.broken && !l.closed
+}
+
+// Close syncs and closes the WAL handle. Further appends fail with
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if !l.opt.NoFsync && !l.broken {
+		l.f.Sync()
+	}
+	return l.f.Close()
+}
+
+func (l *Log) warn(msg string, attrs ...slog.Attr) {
+	if l.opt.Logger != nil {
+		l.opt.Logger.LogAttrs(context.Background(), slog.LevelWarn, msg, attrs...)
+	}
+}
+
+func (l *Log) info(msg string, attrs ...slog.Attr) {
+	if l.opt.Logger != nil {
+		l.opt.Logger.LogAttrs(context.Background(), slog.LevelInfo, msg, attrs...)
+	}
+}

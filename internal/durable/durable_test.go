@@ -1,0 +1,330 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"relcomplete/internal/fault"
+	"relcomplete/internal/obs"
+)
+
+// openT opens dir, failing the test on error.
+func openT(t *testing.T, dir string, opt Options) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, recs
+}
+
+func doc(i int) []byte {
+	return []byte(fmt.Sprintf(`{"problem": %d}`, i))
+}
+
+func wantRecords(t *testing.T, got []Record, want ...Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i].Op != want[i].Op || got[i].Name != want[i].Name || !bytes.Equal(got[i].Raw, want[i].Raw) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// An empty data directory is a valid cold start: no records, appends
+// accepted, and the directory is created on demand.
+func TestEmptyDataDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "does", "not", "exist", "yet")
+	l, recs := openT(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("cold start recovered %d records", len(recs))
+	}
+	if !l.Healthy() {
+		t.Fatal("fresh log not healthy")
+	}
+	if err := l.AppendPut("a", doc(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Committed records survive close + reopen byte-identically and in
+// order; a second recovery replays the identical sequence (replay is
+// read-only and idempotent).
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.NewMetrics()
+	l, _ := openT(t, dir, Options{Metrics: m})
+	if err := l.AppendPut("a", doc(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPut("b", doc(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPut("a", doc(3)); err != nil { // replace
+		t.Fatal(err)
+	}
+	if err := l.AppendDelete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Get(obs.WALAppends); got != 4 {
+		t.Fatalf("wal_appends = %d, want 4", got)
+	}
+	if m.HistoCount(obs.WALFsyncNs) != 4 {
+		t.Fatalf("wal_fsync_seconds count = %d, want 4", m.HistoCount(obs.WALFsyncNs))
+	}
+	l.Close()
+
+	want := []Record{
+		{Op: OpPut, Name: "a", Raw: doc(1)},
+		{Op: OpPut, Name: "b", Raw: doc(2)},
+		{Op: OpPut, Name: "a", Raw: doc(3)},
+		{Op: OpDelete, Name: "b"},
+	}
+	m2 := obs.NewMetrics()
+	l2, recs := openT(t, dir, Options{Metrics: m2})
+	wantRecords(t, recs, want...)
+	if m2.Get(obs.Recoveries) != 1 || m2.Get(obs.WALReplayed) != 4 {
+		t.Fatalf("recovery counters: recoveries=%d wal_replayed=%d",
+			m2.Get(obs.Recoveries), m2.Get(obs.WALReplayed))
+	}
+	l2.Close()
+
+	// Double replay: recovering again yields the identical sequence.
+	l3, recs2 := openT(t, dir, Options{})
+	wantRecords(t, recs2, want...)
+	l3.Close()
+}
+
+// A snapshot folds the WAL into snapshot.json, truncates the log, and
+// recovery replays snapshot-then-WAL in order.
+func TestSnapshotThenAppend(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.NewMetrics()
+	l, _ := openT(t, dir, Options{Metrics: m})
+	if err := l.AppendPut("a", doc(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPut("b", doc(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot([]Record{
+		{Op: OpPut, Name: "a", Raw: doc(1)},
+		{Op: OpPut, Name: "b", Raw: doc(2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(obs.SnapshotsWritten) != 1 {
+		t.Fatalf("snapshots_written = %d", m.Get(obs.SnapshotsWritten))
+	}
+	// The WAL is back to its bare header.
+	fi, err := os.Stat(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != int64(len(walMagic)) {
+		t.Fatalf("wal size after snapshot = %d, want %d", fi.Size(), len(walMagic))
+	}
+	// Mutations after the snapshot land in the (fresh) WAL.
+	if err := l.AppendDelete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPut("c", doc(3)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, recs := openT(t, dir, Options{})
+	wantRecords(t, recs,
+		Record{Op: OpPut, Name: "a", Raw: doc(1)},
+		Record{Op: OpPut, Name: "b", Raw: doc(2)},
+		Record{Op: OpDelete, Name: "a"},
+		Record{Op: OpPut, Name: "c", Raw: doc(3)},
+	)
+}
+
+// A crash between the snapshot rename and the WAL truncation leaves
+// both the new snapshot and the full WAL: recovery double-applies,
+// which must be observationally idempotent (PUT upserts, DELETE of a
+// missing name no-ops) — asserted here at the record level by checking
+// the replay yields snapshot records followed by every WAL record.
+func TestSnapshotWithoutTruncationDoubleReplays(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	if err := l.AppendPut("a", doc(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPut("b", doc(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot, then resurrect the pre-snapshot WAL bytes to simulate
+	// the crash-before-truncate window.
+	walPath := filepath.Join(dir, walFile)
+	pre, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot([]Record{
+		{Op: OpPut, Name: "a", Raw: doc(1)},
+		{Op: OpPut, Name: "b", Raw: doc(2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := os.WriteFile(walPath, pre, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs := openT(t, dir, Options{})
+	wantRecords(t, recs,
+		Record{Op: OpPut, Name: "a", Raw: doc(1)},
+		Record{Op: OpPut, Name: "b", Raw: doc(2)},
+		Record{Op: OpPut, Name: "a", Raw: doc(1)},
+		Record{Op: OpPut, Name: "b", Raw: doc(2)},
+	)
+}
+
+// An injected fsync failure refuses the commit and breaks the log:
+// the un-acknowledged record may or may not be on disk, every further
+// append fails fast with ErrBroken, and Healthy reports false (the
+// /readyz signal). After restart, recovery accepts whichever prefix
+// is intact — committed records are all present.
+func TestFsyncFaultBreaksLog(t *testing.T) {
+	dir := t.TempDir()
+	plan := fault.NewPlan(fault.Rule{Site: fault.SiteWALFsync, Kind: fault.KindError, After: 1, Every: 1})
+	l, _ := openT(t, dir, Options{Faults: plan})
+	if err := l.AppendPut("a", doc(1)); err != nil {
+		t.Fatal(err)
+	}
+	err := l.AppendPut("b", doc(2))
+	if err == nil {
+		t.Fatal("fsync fault not surfaced")
+	}
+	if !errors.Is(err, ErrIO) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want ErrIO wrapping the injected fault", err)
+	}
+	if l.Healthy() {
+		t.Fatal("log still healthy after failed fsync")
+	}
+	if err := l.AppendPut("c", doc(3)); !errors.Is(err, ErrBroken) {
+		t.Fatalf("append on broken log = %v, want ErrBroken", err)
+	}
+	l.Close()
+
+	_, recs := openT(t, dir, Options{})
+	if len(recs) < 1 || recs[0].Name != "a" {
+		t.Fatalf("committed record lost: %+v", recs)
+	}
+	for _, r := range recs {
+		if r.Name == "c" {
+			t.Fatal("never-written record resurrected")
+		}
+	}
+}
+
+// An injected short write leaves a torn tail: the failed record was
+// never acknowledged, and recovery truncates it away while keeping
+// every committed record.
+func TestShortWriteFaultTornTail(t *testing.T) {
+	dir := t.TempDir()
+	logBuf := &bytes.Buffer{}
+	plan := fault.NewPlan(fault.Rule{Site: fault.SiteWALAppend, Kind: fault.KindShortWrite, After: 1, Every: 1})
+	l, _ := openT(t, dir, Options{Faults: plan})
+	if err := l.AppendPut("a", doc(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPut("b", doc(2)); err == nil {
+		t.Fatal("short write not surfaced")
+	}
+	if l.Healthy() {
+		t.Fatal("log still healthy after torn write")
+	}
+	l.Close()
+
+	m := obs.NewMetrics()
+	_, recs := openT(t, dir, Options{
+		Logger:  slog.New(slog.NewJSONHandler(logBuf, nil)),
+		Metrics: m,
+	})
+	wantRecords(t, recs, Record{Op: OpPut, Name: "a", Raw: doc(1)})
+	if !bytes.Contains(logBuf.Bytes(), []byte("discarding torn/corrupt tail")) {
+		t.Fatalf("no torn-tail warning logged: %s", logBuf)
+	}
+	if m.Get(obs.RecoveryDiscards) != 1 {
+		t.Fatalf("recovery_discards = %d", m.Get(obs.RecoveryDiscards))
+	}
+}
+
+// An injected corrupt write (bit rot between CRC computation and the
+// platter) also refuses the ack; the CRC scan drops the record on
+// recovery.
+func TestCorruptWriteFaultDetectedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	plan := fault.NewPlan(fault.Rule{Site: fault.SiteWALAppend, Kind: fault.KindCorrupt, After: 1, Every: 1})
+	l, _ := openT(t, dir, Options{Faults: plan})
+	if err := l.AppendPut("a", doc(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPut("b", doc(2)); err == nil {
+		t.Fatal("corrupt write not surfaced")
+	}
+	l.Close()
+
+	_, recs := openT(t, dir, Options{})
+	wantRecords(t, recs, Record{Op: OpPut, Name: "a", Raw: doc(1)})
+}
+
+// A clean injected error at the append site (ENOSPC-style, nothing
+// written) fails the one commit but leaves the log usable.
+func TestCleanAppendErrorKeepsLogUsable(t *testing.T) {
+	dir := t.TempDir()
+	plan := fault.NewPlan(fault.Rule{Site: fault.SiteWALAppend, Kind: fault.KindError, After: 1, Every: 1 << 30})
+	l, _ := openT(t, dir, Options{Faults: plan})
+	if err := l.AppendPut("a", doc(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPut("b", doc(2)); err == nil {
+		t.Fatal("injected error not surfaced")
+	}
+	if !l.Healthy() {
+		t.Fatal("clean error must not break the log")
+	}
+	if err := l.AppendPut("c", doc(3)); err != nil {
+		t.Fatalf("append after clean error: %v", err)
+	}
+	l.Close()
+
+	_, recs := openT(t, dir, Options{})
+	wantRecords(t, recs,
+		Record{Op: OpPut, Name: "a", Raw: doc(1)},
+		Record{Op: OpPut, Name: "c", Raw: doc(3)},
+	)
+}
+
+// Close fences every later operation with ErrClosed.
+func TestClosedLog(t *testing.T) {
+	l, _ := openT(t, t.TempDir(), Options{})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := l.AppendPut("a", doc(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v", err)
+	}
+	if err := l.Snapshot(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("snapshot after close = %v", err)
+	}
+	if l.Healthy() {
+		t.Fatal("closed log reports healthy")
+	}
+}

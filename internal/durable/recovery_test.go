@@ -1,0 +1,276 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeWAL builds a data dir whose WAL holds recs, committed through
+// the real append path, then closes the log and returns the WAL path.
+func writeWAL(t *testing.T, recs ...Record) (dir, walPath string) {
+	t.Helper()
+	dir = t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	return dir, filepath.Join(dir, walFile)
+}
+
+// Truncating the WAL at every possible byte offset — inside the
+// header of a frame, inside its payload, mid-CRC — must always recover
+// the longest valid record prefix, never error, and never yield a
+// mangled record. This is the exhaustive torn-tail sweep.
+func TestTornTailEveryOffset(t *testing.T) {
+	all := []Record{
+		{Op: OpPut, Name: "a", Raw: doc(1)},
+		{Op: OpPut, Name: "b", Raw: doc(2)},
+		{Op: OpDelete, Name: "a"},
+	}
+	dir, walPath := writeWAL(t, all...)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record boundaries: header, then each frame end.
+	bounds := []int{len(walMagic)}
+	off := len(walMagic)
+	for range all {
+		plen := int(uint32(full[off])<<24 | uint32(full[off+1])<<16 | uint32(full[off+2])<<8 | uint32(full[off+3]))
+		off += frameHeaderLen + plen
+		bounds = append(bounds, off)
+	}
+	if off != len(full) {
+		t.Fatalf("frame walk ended at %d, file is %d bytes", off, len(full))
+	}
+
+	for cut := len(walMagic); cut < len(full); cut++ {
+		cdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cdir, walFile), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, recs, err := Open(cdir, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		// Number of whole records below the cut.
+		want := 0
+		for want < len(all) && bounds[want+1] <= cut {
+			want++
+		}
+		wantRecords(t, recs, all[:want]...)
+		// The tail was truncated away and the log accepts new commits.
+		if err := l.AppendPut("post", doc(99)); err != nil {
+			t.Fatalf("cut=%d append after recovery: %v", cut, err)
+		}
+		l.Close()
+		_ = dir
+	}
+}
+
+// A CRC-corrupt record in the middle of the log poisons everything
+// from that record on: prefix-consistency means records after the
+// corruption cannot be trusted to be the ones that were committed.
+func TestCRCCorruptMidLog(t *testing.T) {
+	all := []Record{
+		{Op: OpPut, Name: "a", Raw: doc(1)},
+		{Op: OpPut, Name: "b", Raw: doc(2)},
+		{Op: OpPut, Name: "c", Raw: doc(3)},
+	}
+	dir, walPath := writeWAL(t, all...)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside record b's payload (second frame).
+	off := len(walMagic)
+	plen0 := int(uint32(full[off])<<24 | uint32(full[off+1])<<16 | uint32(full[off+2])<<8 | uint32(full[off+3]))
+	frame1 := off + frameHeaderLen + plen0
+	full[frame1+frameHeaderLen+2] ^= 0xff
+	if err := os.WriteFile(walPath, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs := openT(t, dir, Options{})
+	wantRecords(t, recs, all[0])
+}
+
+// A WAL written by a future format version is refused outright with a
+// typed VersionError — recovery never guesses at unknown framing.
+func TestWALVersionSkew(t *testing.T) {
+	dir, walPath := writeWAL(t, Record{Op: OpPut, Name: "a", Raw: doc(1)})
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full[5] = '9' // version byte
+	if err := os.WriteFile(walPath, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = Open(dir, Options{})
+	var ve *VersionError
+	if !errors.As(err, &ve) || ve.What != "wal" || ve.Got != 9 || ve.Want != walVersion {
+		t.Fatalf("err = %v, want wal VersionError got=9", err)
+	}
+	if !errors.Is(err, ErrIO) {
+		t.Fatal("VersionError must unwrap to ErrIO")
+	}
+}
+
+// A file that is not an rcwal log at all (someone pointed -data-dir at
+// the wrong directory) is refused, not silently truncated to nothing.
+func TestWALForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walFile), []byte("#!/bin/sh\necho not a wal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(dir, Options{})
+	if err == nil || !errors.Is(err, ErrIO) {
+		t.Fatalf("foreign wal accepted: %v", err)
+	}
+}
+
+// A snapshot with a future version field is refused the same way.
+func TestSnapshotVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	snap, err := json.Marshal(map[string]any{"version": snapshotVersion + 1, "problems": []any{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(dir, Options{})
+	var ve *VersionError
+	if !errors.As(err, &ve) || ve.What != "snapshot" || ve.Got != snapshotVersion+1 {
+		t.Fatalf("err = %v, want snapshot VersionError", err)
+	}
+}
+
+// A snapshot that does not parse as JSON is a hard error, not an empty
+// start: pretending a corrupt snapshot is absent would resurrect
+// deleted problems and drop committed ones.
+func TestSnapshotCorruptIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte(`{"version": 1, "problems": [truncated`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(dir, Options{})
+	if err == nil || !errors.Is(err, ErrIO) {
+		t.Fatalf("corrupt snapshot accepted: %v", err)
+	}
+}
+
+// An abandoned snapshot.tmp (crash mid-snapshot, before the rename) is
+// ignored by recovery: the old snapshot + WAL remain authoritative.
+func TestAbandonedSnapshotTmpIgnored(t *testing.T) {
+	dir, _ := writeWAL(t, Record{Op: OpPut, Name: "a", Raw: doc(1)})
+	if err := os.WriteFile(filepath.Join(dir, snapshotTmp), []byte("torn snapsho"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := openT(t, dir, Options{})
+	wantRecords(t, recs, Record{Op: OpPut, Name: "a", Raw: doc(1)})
+}
+
+// Implausible length prefixes (a corrupt frame header pointing past
+// any sane record size) stop the scan at that point instead of
+// attempting a giant allocation.
+func TestImplausibleLengthPrefix(t *testing.T) {
+	dir, walPath := writeWAL(t, Record{Op: OpPut, Name: "a", Raw: doc(1)})
+	bad := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, recs := openT(t, dir, Options{})
+	wantRecords(t, recs, Record{Op: OpPut, Name: "a", Raw: doc(1)})
+}
+
+// doc payloads with embedded newlines, non-UTF8 bytes and nested JSON
+// survive the round trip byte-identically — the framing is binary-safe
+// and Raw is never re-encoded.
+func TestBinarySafePayloads(t *testing.T) {
+	raw := append([]byte(`{"x":"`), 0x00, 0xff, '\n', '"', '}')
+	dir, _ := writeWAL(t, Record{Op: OpPut, Name: "bin\nname", Raw: raw})
+	_, recs := openT(t, dir, Options{})
+	if len(recs) != 1 || recs[0].Name != "bin\nname" || !bytes.Equal(recs[0].Raw, raw) {
+		t.Fatalf("binary payload mangled: %+v", recs)
+	}
+}
+
+// Many records across several snapshot cycles: the final recovered
+// sequence must reproduce exactly the post-snapshot state plus tail.
+func TestSnapshotCycles(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := map[string][]byte{}
+	order := []string{}
+	for i := 0; i < 30; i++ {
+		name := fmt.Sprintf("p%d", i%7)
+		if i%5 == 4 {
+			if err := l.AppendDelete(name); err != nil {
+				t.Fatal(err)
+			}
+			delete(state, name)
+		} else {
+			if err := l.AppendPut(name, doc(i)); err != nil {
+				t.Fatal(err)
+			}
+			state[name] = doc(i)
+		}
+		if i%10 == 9 {
+			order = order[:0]
+			for n := range state {
+				order = append(order, n)
+			}
+			var recs []Record
+			for _, n := range order {
+				recs = append(recs, Record{Op: OpPut, Name: n, Raw: state[n]})
+			}
+			if err := l.Snapshot(recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	l.Close()
+
+	_, recs := openT(t, dir, Options{})
+	got := map[string][]byte{}
+	for _, r := range recs {
+		switch r.Op {
+		case OpPut:
+			got[r.Name] = r.Raw
+		case OpDelete:
+			delete(got, r.Name)
+		}
+	}
+	if len(got) != len(state) {
+		t.Fatalf("recovered %d problems, want %d", len(got), len(state))
+	}
+	for n, raw := range state {
+		if !bytes.Equal(got[n], raw) {
+			t.Fatalf("problem %s: recovered %q, want %q", n, got[n], raw)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"time"
+
+	"relcomplete/internal/fault"
+	"relcomplete/internal/obs"
+)
+
+// snapshotDoc is the on-disk snapshot format: a version fence and the
+// resident problems oldest-first, so replaying the PUTs reproduces the
+// registry's LRU recency order.
+type snapshotDoc struct {
+	Version  int           `json:"version"`
+	Written  time.Time     `json:"written"`
+	Problems []snapshotRow `json:"problems"`
+}
+
+type snapshotRow struct {
+	Name string `json:"name"`
+	Raw  []byte `json:"raw"`
+}
+
+// Snapshot atomically replaces the on-disk snapshot with recs (the
+// full resident state, oldest-first) and truncates the WAL: temp file,
+// fsync, rename, directory fsync, then WAL truncation back to its
+// header. A crash at any point is safe — before the rename the old
+// snapshot+WAL still recover everything; between the rename and the
+// truncation, recovery double-applies the WAL over the new snapshot,
+// which replay idempotence absorbs.
+//
+// The caller must guarantee no Append runs between collecting recs and
+// this call returning (rcserved's registry holds its mutex across
+// both); otherwise the truncation could drop a record committed after
+// the collection.
+func (l *Log) Snapshot(recs []Record) error {
+	doc := snapshotDoc{Version: snapshotVersion, Written: time.Now().UTC()}
+	for _, r := range recs {
+		if r.Op != OpPut {
+			return fmt.Errorf("%w: snapshot records must be puts, got %q", ErrIO, r.Op)
+		}
+		doc.Problems = append(doc.Problems, snapshotRow{Name: r.Name, Raw: r.Raw})
+	}
+	buf, err := json.Marshal(&doc)
+	if err != nil {
+		return fmt.Errorf("%w: encode snapshot: %w", ErrIO, err)
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+
+	if err := l.opt.Faults.Visit(fault.SiteSnapshotWrite); err != nil {
+		var inj *fault.Injected
+		if errors.As(err, &inj) {
+			switch inj.Kind {
+			case fault.KindShortWrite:
+				// Crash mid-snapshot: a torn temp file is left behind and
+				// simply never renamed — the old snapshot stays authoritative.
+				os.WriteFile(filepath.Join(l.dir, snapshotTmp), buf[:len(buf)/2], 0o644)
+			case fault.KindCorrupt:
+				bad := bytes.Clone(buf)
+				bad[len(bad)/2] ^= 0xff
+				os.WriteFile(filepath.Join(l.dir, snapshotTmp), bad, 0o644)
+			}
+		}
+		return fmt.Errorf("%w: snapshot write: %w", ErrIO, err)
+	}
+
+	tmp := filepath.Join(l.dir, snapshotTmp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("%w: snapshot temp: %w", ErrIO, err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: snapshot write: %w", ErrIO, err)
+	}
+	if !l.opt.NoFsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("%w: snapshot fsync: %w", ErrIO, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("%w: snapshot close: %w", ErrIO, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("%w: snapshot rename: %w", ErrIO, err)
+	}
+	if !l.opt.NoFsync {
+		fsyncDir(l.dir)
+	}
+
+	// The snapshot now owns the state; the WAL records it folds in are
+	// dead weight. A failed truncation is only a warning: recovery
+	// replays snapshot + stale WAL, and replay idempotence makes that
+	// correct (just slower).
+	if l.broken {
+		// After a failed commit the append offset is untrustworthy; the
+		// snapshot itself is still good, so leave the WAL for recovery.
+		l.warn("wal: skipping truncation on broken log (snapshot still valid)")
+	} else if err := l.f.Truncate(int64(len(walMagic))); err != nil {
+		l.warn("wal: truncation after snapshot failed; recovery will double-replay",
+			slog.String("error", err.Error()))
+	} else {
+		l.off = int64(len(walMagic))
+		if !l.opt.NoFsync {
+			l.f.Sync()
+		}
+	}
+	l.opt.Metrics.Inc(obs.SnapshotsWritten)
+	l.info("snapshot written",
+		slog.Int("problems", len(doc.Problems)),
+		slog.Int("bytes", len(buf)))
+	return nil
+}
+
+// loadSnapshot reads snapshot.json into replay records (all OpPut,
+// oldest-first). A missing snapshot is an empty start; an unreadable,
+// corrupt or version-skewed one is a hard error — durable state is
+// never guessed at.
+func (l *Log) loadSnapshot() ([]Record, error) {
+	path := filepath.Join(l.dir, snapshotFile)
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: read snapshot: %w", ErrIO, err)
+	}
+	if err := l.opt.Faults.Visit(fault.SiteSnapshotRead); err != nil {
+		var inj *fault.Injected
+		if errors.As(err, &inj) && inj.Kind == fault.KindCorrupt && len(buf) > 0 {
+			buf = bytes.Clone(buf)
+			buf[len(buf)/2] ^= 0xff
+		} else {
+			return nil, fmt.Errorf("%w: snapshot read: %w", ErrIO, err)
+		}
+	}
+	var doc snapshotDoc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%w: snapshot corrupt: %w", ErrIO, err)
+	}
+	if doc.Version != snapshotVersion {
+		return nil, &VersionError{What: "snapshot", Got: doc.Version, Want: snapshotVersion}
+	}
+	recs := make([]Record, 0, len(doc.Problems))
+	for _, p := range doc.Problems {
+		recs = append(recs, Record{Op: OpPut, Name: p.Name, Raw: p.Raw})
+	}
+	return recs, nil
+}

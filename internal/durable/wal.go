@@ -1,0 +1,228 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"os"
+	"time"
+
+	"relcomplete/internal/fault"
+	"relcomplete/internal/obs"
+)
+
+// frameHeaderLen is the per-record framing overhead: 4-byte length +
+// 4-byte CRC32.
+const frameHeaderLen = 8
+
+// maxRecordLen bounds one record's payload so a corrupt length prefix
+// cannot make recovery allocate gigabytes. Registry documents are
+// already capped well below this by the server's MaxBodyBytes.
+const maxRecordLen = 1 << 28 // 256 MiB
+
+// Append commits one mutation: frame, write, fsync, acknowledge. The
+// record is durable when Append returns nil. On a short or corrupt
+// write, or a failed fsync, the on-disk tail is in an unknown state:
+// the log marks itself broken and every later Append fails fast with
+// ErrBroken until the process restarts and recovery truncates the
+// tear. A clean failure before any byte was written leaves the log
+// usable.
+func (l *Log) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("%w: encode record: %w", ErrIO, err)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderLen:], payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return ErrClosed
+	case l.broken:
+		return ErrBroken
+	}
+
+	// Injected filesystem faults: a clean error refuses the commit
+	// before any byte lands; a short write persists a torn prefix; a
+	// corrupt write flips a payload byte after the CRC was computed.
+	// Both of the latter leave an unknown tail, so they break the log —
+	// exactly like their real-world counterparts.
+	if err := l.opt.Faults.Visit(fault.SiteWALAppend); err != nil {
+		var inj *fault.Injected
+		if errors.As(err, &inj) {
+			switch inj.Kind {
+			case fault.KindShortWrite:
+				l.f.WriteAt(frame[:len(frame)/2], l.off)
+				l.broken = true
+				return fmt.Errorf("%w: wal append: %w", ErrIO, err)
+			case fault.KindCorrupt:
+				bad := bytes.Clone(frame)
+				bad[frameHeaderLen+len(payload)/2] ^= 0xff
+				l.f.WriteAt(bad, l.off)
+				l.broken = true
+				return fmt.Errorf("%w: wal append: %w", ErrIO, err)
+			}
+		}
+		return fmt.Errorf("%w: wal append: %w", ErrIO, err)
+	}
+
+	if _, err := l.f.WriteAt(frame, l.off); err != nil {
+		// A real (possibly partial) write failure: try to cut the torn
+		// tail back off. If even that fails the tail is unknown — broken.
+		if terr := l.f.Truncate(l.off); terr != nil {
+			l.broken = true
+		}
+		return fmt.Errorf("%w: wal write: %w", ErrIO, err)
+	}
+
+	if !l.opt.NoFsync {
+		if err := l.opt.Faults.Visit(fault.SiteWALFsync); err != nil {
+			l.broken = true
+			return fmt.Errorf("%w: wal fsync: %w", ErrIO, err)
+		}
+		start := time.Now()
+		if err := l.f.Sync(); err != nil {
+			// fsyncgate discipline: after a failed fsync the kernel may
+			// have dropped the dirty pages; nothing short of restart +
+			// recovery re-establishes what is on disk.
+			l.broken = true
+			return fmt.Errorf("%w: wal fsync: %w", ErrIO, err)
+		}
+		l.opt.Metrics.ObserveDuration(obs.WALFsyncNs, time.Since(start))
+	}
+
+	l.off += int64(len(frame))
+	l.opt.Metrics.Inc(obs.WALAppends)
+	return nil
+}
+
+// AppendPut commits a PUT of raw under name.
+func (l *Log) AppendPut(name string, raw []byte) error {
+	return l.Append(Record{Op: OpPut, Name: name, Raw: raw})
+}
+
+// AppendDelete commits a DELETE of name.
+func (l *Log) AppendDelete(name string) error {
+	return l.Append(Record{Op: OpDelete, Name: name})
+}
+
+// recoverWAL scans the WAL from the start, validates the header,
+// parses records up to the first torn or corrupt frame, truncates the
+// file back to that longest valid prefix and positions the append
+// offset there. Called once from Open with the handle private.
+func (l *Log) recoverWAL() ([]Record, error) {
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return nil, fmt.Errorf("%w: read wal: %w", ErrIO, err)
+	}
+	if err := l.opt.Faults.Visit(fault.SiteWALRead); err != nil {
+		var inj *fault.Injected
+		if errors.As(err, &inj) && inj.Kind == fault.KindCorrupt && len(data) > len(walMagic) {
+			// Silent media corruption: flip a byte somewhere past the
+			// header. The CRC scan below must catch it and stop there.
+			data = bytes.Clone(data)
+			data[len(walMagic)+(len(data)-len(walMagic))/2] ^= 0xff
+		} else {
+			return nil, fmt.Errorf("%w: wal read: %w", ErrIO, err)
+		}
+	}
+
+	if len(data) == 0 {
+		// Fresh log: write the header so torn-header detection below
+		// stays unambiguous for every later open.
+		if _, err := l.f.WriteAt(walMagic, 0); err != nil {
+			return nil, fmt.Errorf("%w: write wal header: %w", ErrIO, err)
+		}
+		if !l.opt.NoFsync {
+			if err := l.f.Sync(); err != nil {
+				return nil, fmt.Errorf("%w: sync wal header: %w", ErrIO, err)
+			}
+		}
+		l.off = int64(len(walMagic))
+		return nil, nil
+	}
+	if len(data) < len(walMagic) || !bytes.Equal(data[:5], walMagic[:5]) {
+		return nil, fmt.Errorf("%w: wal header is not an rcwal file", ErrIO)
+	}
+	if !bytes.Equal(data[:len(walMagic)], walMagic) {
+		return nil, &VersionError{What: "wal", Got: int(data[5] - '0'), Want: walVersion}
+	}
+
+	var recs []Record
+	off := len(walMagic)
+	valid := off
+	discarded := 0
+	var reason string
+	for off < len(data) {
+		if off+frameHeaderLen > len(data) {
+			reason, discarded = "torn frame header", len(data)-off
+			break
+		}
+		plen := int(binary.BigEndian.Uint32(data[off : off+4]))
+		if plen > maxRecordLen {
+			reason, discarded = "implausible record length (corrupt prefix)", len(data)-off
+			break
+		}
+		if off+frameHeaderLen+plen > len(data) {
+			reason, discarded = "torn record payload", len(data)-off
+			break
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+plen]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(data[off+4:off+8]) {
+			reason, discarded = "CRC mismatch", len(data)-off
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			reason, discarded = "unparsable record payload", len(data)-off
+			break
+		}
+		recs = append(recs, rec)
+		off += frameHeaderLen + plen
+		valid = off
+	}
+	if discarded > 0 {
+		// The residue of a crash mid-commit (or of silent corruption):
+		// nothing past this point was ever acknowledged as committed —
+		// or, if corrupted in place, can no longer be trusted — so the
+		// only sound move is to drop it, loudly.
+		l.warn("wal: discarding torn/corrupt tail",
+			slog.String("reason", reason),
+			slog.Int("bytes_discarded", discarded),
+			slog.Int("records_recovered", len(recs)),
+			slog.Int64("valid_prefix_bytes", int64(valid)),
+		)
+		l.opt.Metrics.Inc(obs.RecoveryDiscards)
+		if err := l.f.Truncate(int64(valid)); err != nil {
+			return nil, fmt.Errorf("%w: truncate torn wal tail: %w", ErrIO, err)
+		}
+		if !l.opt.NoFsync {
+			if err := l.f.Sync(); err != nil {
+				return nil, fmt.Errorf("%w: sync truncated wal: %w", ErrIO, err)
+			}
+		}
+	}
+	l.off = int64(valid)
+	return recs, nil
+}
+
+// fsyncDir syncs a directory so a just-renamed file's directory entry
+// is durable. Best effort on platforms where directories cannot be
+// fsynced.
+func fsyncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

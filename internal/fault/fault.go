@@ -36,6 +36,16 @@ const (
 	KindDelay
 	// KindPanic makes the site panic with a PanicValue.
 	KindPanic
+	// KindShortWrite makes a filesystem write site persist only a
+	// prefix of its buffer before failing — the injected analogue of a
+	// crash (or full disk) mid-write, leaving a torn record on disk.
+	// Non-filesystem sites treat it as KindError.
+	KindShortWrite
+	// KindCorrupt makes a filesystem read site flip a byte in the data
+	// it just read — the injected analogue of silent media corruption,
+	// which the WAL's CRCs must catch. Non-filesystem sites treat it as
+	// KindError.
+	KindCorrupt
 )
 
 // String names the kind.
@@ -47,6 +57,10 @@ func (k Kind) String() string {
 		return "delay"
 	case KindPanic:
 		return "panic"
+	case KindShortWrite:
+		return "short_write"
+	case KindCorrupt:
+		return "corrupt"
 	}
 	return "unknown"
 }
@@ -56,15 +70,19 @@ func (k Kind) String() string {
 // errors.Is check.
 var ErrInjected = errors.New("fault: injected error")
 
-// Injected is the error an Error-kind rule returns, carrying the site
-// and the visit count it fired on.
+// Injected is the error an Error-kind (or filesystem-kind) rule
+// returns, carrying the site, the visit count it fired on and the
+// rule's kind. Filesystem sites inspect Kind to act out the fault —
+// KindShortWrite persists a prefix before failing, KindCorrupt flips a
+// byte in read data — while plain sites only propagate the error.
 type Injected struct {
 	Site  string
 	Visit int64
+	Kind  Kind
 }
 
 func (e *Injected) Error() string {
-	return fmt.Sprintf("fault: injected error at %s (visit %d)", e.Site, e.Visit)
+	return fmt.Sprintf("fault: injected %s at %s (visit %d)", e.Kind, e.Site, e.Visit)
 }
 
 // Unwrap exposes ErrInjected for errors.Is.
@@ -141,7 +159,7 @@ func (p *Plan) Visit(site string) error {
 		case KindPanic:
 			panic(PanicValue{Site: site, Visit: n})
 		default:
-			return &Injected{Site: site, Visit: n}
+			return &Injected{Site: site, Visit: n, Kind: a.rule.Kind}
 		}
 	}
 	return nil
@@ -178,12 +196,31 @@ const (
 	// (core.Problem.checkModel), the per-candidate work unit of the
 	// parallel searches.
 	SiteSearchWorker = "search.worker"
+
+	// The filesystem sites of internal/durable's write-ahead log and
+	// snapshot paths. Error-kind rules model I/O errors (a failed fsync
+	// at SiteWALFsync is the classic "fsyncgate" fault), KindShortWrite
+	// models a crash mid-write, KindCorrupt models silent media
+	// corruption surfacing on read.
+	SiteWALAppend     = "wal.append"
+	SiteWALFsync      = "wal.fsync"
+	SiteWALRead       = "wal.read"
+	SiteSnapshotWrite = "snapshot.write"
+	SiteSnapshotRead  = "snapshot.read"
 )
 
-// KnownSites lists every named injection site, in a fixed order so
-// seeded chaos plans are reproducible.
+// KnownSites lists every named engine injection site, in a fixed order
+// so seeded chaos plans are reproducible. The filesystem sites are
+// listed separately (FSSites): engine chaos plans must not perturb
+// durability, and vice versa.
 func KnownSites() []string {
 	return []string{SiteEvalAnswers, SiteEvalFP, SiteRelationProbe, SiteSearchWorker}
+}
+
+// FSSites lists the filesystem injection sites of the durable layer,
+// in a fixed order so seeded chaos plans are reproducible.
+func FSSites() []string {
+	return []string{SiteWALAppend, SiteWALFsync, SiteWALRead, SiteSnapshotWrite, SiteSnapshotRead}
 }
 
 // Chaos builds a deterministic pseudo-random plan from a seed: each
@@ -202,6 +239,35 @@ func Chaos(seed int64) *Plan {
 			Kind:  Kind(rng.Intn(3)),
 			After: int64(rng.Intn(20)),
 			Every: int64(1 + rng.Intn(8)),
+		}
+		if r.Kind == KindDelay {
+			r.Delay = time.Duration(1+rng.Intn(200)) * time.Microsecond
+		}
+		rules = append(rules, r)
+	}
+	return NewPlan(rules...)
+}
+
+// ChaosFS builds a deterministic pseudo-random plan over the
+// filesystem sites: each independently stays clean or gets an I/O
+// error, a short write, a read corruption or a delay (panics are
+// excluded — the durable layer's contract is typed errors, and a panic
+// mid-write says nothing a short write does not). The same seed always
+// builds the same plan, so a failing crash-recovery run replays
+// exactly.
+func ChaosFS(seed int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []Kind{KindError, KindDelay, KindShortWrite, KindCorrupt}
+	var rules []Rule
+	for _, site := range FSSites() {
+		if rng.Intn(3) == 0 {
+			continue // leave the site clean this round
+		}
+		r := Rule{
+			Site:  site,
+			Kind:  kinds[rng.Intn(len(kinds))],
+			After: int64(rng.Intn(8)),
+			Every: int64(1 + rng.Intn(6)),
 		}
 		if r.Kind == KindDelay {
 			r.Delay = time.Duration(1+rng.Intn(200)) * time.Microsecond

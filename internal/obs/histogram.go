@@ -45,6 +45,11 @@ const (
 	// growing tail here with a flat DeciderWallNs means the concurrency
 	// cap, not the deciders, is the bottleneck.
 	QueueWaitNs
+	// WALFsyncNs is the latency of one write-ahead-log fsync, in ns
+	// (internal/durable). Every acknowledged PUT/DELETE pays exactly one
+	// of these, so this histogram is the durability tax on the registry
+	// mutation path.
+	WALFsyncNs
 
 	numHistos
 )
@@ -114,6 +119,12 @@ var histoDefs = [numHistos]histoDef{
 		help:   "time spent in the admission queue before a decide slot",
 		div:    1e9,
 		bounds: []int64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}, // 10µs … 10s
+	},
+	WALFsyncNs: {
+		name:   "wal_fsync_seconds",
+		help:   "write-ahead-log fsync latency per committed registry mutation",
+		div:    1e9,
+		bounds: []int64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9}, // 10µs … 1s
 	},
 }
 

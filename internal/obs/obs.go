@@ -78,6 +78,18 @@ const (
 	ServerProblemsLoaded // problems loaded into the registry
 	ServerEvictions      // problems evicted by the resident-bytes cap
 
+	// durability & isolation: the crash-safe registry and per-tenant
+	// overload control (internal/durable, internal/server).
+	WALAppends           // registry mutations committed to the write-ahead log
+	WALReplayed          // WAL records applied during recovery replay
+	SnapshotsWritten     // registry snapshots written (periodic + drain)
+	Recoveries           // successful snapshot+WAL recovery replays
+	RecoveryDiscards     // torn/corrupt WAL tail records discarded at recovery
+	BreakerOpens         // per-tenant circuit breakers tripped open
+	BreakerShortCircuits // decide requests answered 503 by an open breaker
+	RateLimited          // decide requests rejected by a per-tenant token bucket
+	ShedTotal            // decide requests shed by queue-delay overload control
+
 	numCounters
 )
 
@@ -119,6 +131,15 @@ var counterNames = [numCounters]string{
 	ServerOverloads:       "server_overloads",
 	ServerProblemsLoaded:  "server_problems_loaded",
 	ServerEvictions:       "server_evictions",
+	WALAppends:            "wal_appends",
+	WALReplayed:           "wal_replayed",
+	SnapshotsWritten:      "snapshots_written",
+	Recoveries:            "recoveries",
+	RecoveryDiscards:      "recovery_discards",
+	BreakerOpens:          "breaker_opens",
+	BreakerShortCircuits:  "breaker_short_circuits",
+	RateLimited:           "rate_limited",
+	ShedTotal:             "shed_total",
 }
 
 // String returns the counter's canonical snake_case name.

@@ -141,6 +141,15 @@ var counterHelp = [numCounters]string{
 	ServerOverloads:       "decide requests rejected by admission control",
 	ServerProblemsLoaded:  "problems loaded into the registry",
 	ServerEvictions:       "problems evicted by the resident-bytes cap",
+	WALAppends:            "registry mutations committed to the write-ahead log",
+	WALReplayed:           "WAL records applied during recovery replay",
+	SnapshotsWritten:      "registry snapshots written",
+	Recoveries:            "successful snapshot+WAL recovery replays",
+	RecoveryDiscards:      "torn or corrupt WAL tail records discarded at recovery",
+	BreakerOpens:          "per-tenant circuit breakers tripped open",
+	BreakerShortCircuits:  "decide requests answered 503 by an open breaker",
+	RateLimited:           "decide requests rejected by a per-tenant token bucket",
+	ShedTotal:             "decide requests shed by queue-delay overload control",
 }
 
 // errWriter latches the first write error so the exposition loop stays

@@ -4,35 +4,75 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"math/rand"
+	"sort"
 	"sync/atomic"
 	"time"
 
 	"relcomplete/internal/obs"
 )
 
-// Admission is the bounded admission controller in front of the
-// deciders: at most Concurrency decide calls run at once — each of
-// which fans out to Options.Parallelism workers, so concurrency ×
-// parallelism is the server's total decider-thread budget — and at
-// most Queue more wait for a slot. A request beyond both caps is
-// rejected immediately with an OverloadError (HTTP 429) instead of
-// piling onto an unbounded queue: under sustained overload the server
-// sheds load at the door and keeps serving the admitted requests at
-// full speed.
+const (
+	// waitRingSize is how many recent queue waits feed the p50 estimate
+	// behind delay-based shedding.
+	waitRingSize = 64
+	// drainRingSize is how many recent slot releases feed the drain-rate
+	// estimate behind Retry-After.
+	drainRingSize = 32
+	// retryAfterMin/Max clamp the computed client back-off.
+	retryAfterMin = 250 * time.Millisecond
+	retryAfterMax = 30 * time.Second
+)
+
+// Admission is the admission controller in front of the deciders: at
+// most Concurrency decide calls run at once — each of which fans out
+// to Options.Parallelism workers, so concurrency × parallelism is the
+// server's total decider-thread budget — and at most Queue more wait
+// for a slot. Beyond the hard queue cap, a CoDel-style delay gate
+// sheds newcomers earlier: when the median of recent queue waits
+// exceeds the target (SetTarget), the queue is by definition backed up
+// past what the deciders can drain, and admitting more requests only
+// grows everyone's latency. Rejected requests get an OverloadError
+// (HTTP 429) whose Retry-After is computed from the live queue depth
+// and the observed drain rate, with jitter so a synchronized client
+// herd doesn't return as a synchronized retry herd.
 type Admission struct {
 	slots    chan struct{}
 	queued   atomic.Int64
 	maxQueue int64
 	metrics  *obs.Metrics
 	logger   *slog.Logger
+
+	// target is the queue-delay shedding threshold in ns; 0 disables
+	// the delay gate and leaves only the hard queue cap.
+	target atomic.Int64
+
+	// waits is a ring of recent queue waits (ns). Fast-path admissions
+	// record 0, so an idle server's median decays back to nothing and
+	// the gate reopens — the ring is self-healing.
+	waitIdx   atomic.Int64
+	waitCount atomic.Int64
+	waits     [waitRingSize]atomic.Int64
+
+	// releases is a ring of recent slot-release times (unix ns), the
+	// drain-rate observation window.
+	relIdx   atomic.Int64
+	relCount atomic.Int64
+	releases [drainRingSize]atomic.Int64
 }
 
 // SetLogger installs the structured logger overflow warnings go to
 // (nil disables them). Call before serving.
 func (a *Admission) SetLogger(l *slog.Logger) { a.logger = l }
 
+// SetTarget arms queue-delay shedding: reject newcomers while the
+// median recent queue wait exceeds d. Zero disables the gate. Call
+// before serving.
+func (a *Admission) SetTarget(d time.Duration) { a.target.Store(int64(d)) }
+
 // NewAdmission builds a controller with the given concurrency cap
-// (≥ 1 enforced) and queue depth (≥ 0).
+// (≥ 1 enforced) and queue depth (≥ 0). Delay-based shedding is off
+// until SetTarget arms it.
 func NewAdmission(concurrency, queue int, m *obs.Metrics) *Admission {
 	if concurrency < 1 {
 		concurrency = 1
@@ -47,63 +87,99 @@ func NewAdmission(concurrency, queue int, m *obs.Metrics) *Admission {
 	}
 }
 
-// OverloadError reports a request rejected at the door: the queue was
-// already full. RetryAfter is the suggested client back-off.
+// OverloadError reports a request rejected at the door, either because
+// the queue hit its hard cap ("queue_full") or because the delay gate
+// judged the queue unhealthy ("queue_delay"). RetryAfter is the
+// suggested client back-off, derived from queue depth and drain rate.
 type OverloadError struct {
 	Queued, QueueCap int64
+	Reason           string
 	RetryAfter       time.Duration
 }
 
 func (e *OverloadError) Error() string {
+	if e.Reason == "queue_delay" {
+		return fmt.Sprintf("server overloaded: queue delay over target (%d queued, cap %d), retry after %v",
+			e.Queued, e.QueueCap, e.RetryAfter)
+	}
 	return fmt.Sprintf("server overloaded: %d requests already queued (cap %d), retry after %v",
 		e.Queued, e.QueueCap, e.RetryAfter)
 }
 
 // Acquire claims a decide slot, waiting in the bounded queue if all
 // slots are busy. It returns the release function on success; an
-// *OverloadError when the queue is full; ctx.Err() when the caller
-// gave up (client disconnect, deadline) while queued. Queue wait time
-// is recorded in the queue_wait_seconds histogram.
+// *OverloadError when the queue is full or its delay is over target;
+// ctx.Err() when the caller gave up (client disconnect, deadline)
+// while queued. Queue wait time is recorded in the queue_wait_seconds
+// histogram and in the shedding gate's observation ring.
 func (a *Admission) Acquire(ctx context.Context) (func(), error) {
 	// Fast path: a free slot, no queueing.
 	select {
 	case a.slots <- struct{}{}:
 		a.metrics.Observe(obs.QueueWaitNs, 0)
+		a.recordWait(0)
 		return a.releaseFunc(), nil
 	default:
 	}
-	// Slow path: join the bounded queue. The increment-then-check keeps
-	// the race window harmless — a burst may momentarily overshoot the
-	// cap by the number of racing requests, every one of which is then
-	// rejected, never silently queued past the cap.
+	// Delay gate: if recent arrivals sat in the queue longer than the
+	// target, the backlog exceeds drain capacity — shed before joining.
+	if target := a.target.Load(); target > 0 {
+		if p50 := a.waitP50(); p50 > target {
+			a.metrics.Inc(obs.ShedTotal)
+			return nil, a.reject(ctx, "queue_delay", p50)
+		}
+	}
+	// Hard cap: the increment-then-check keeps the race window harmless
+	// — a burst may momentarily overshoot the cap by the number of
+	// racing requests, every one of which is then rejected, never
+	// silently queued past the cap.
 	if a.queued.Add(1) > a.maxQueue {
 		a.queued.Add(-1)
-		a.metrics.Inc(obs.ServerOverloads)
-		if a.logger != nil {
-			var traceID string
-			if t := obs.SpanFromContext(ctx).Trace(); !t.IsZero() {
-				traceID = t.String()
-			}
-			a.logger.LogAttrs(ctx, slog.LevelWarn, "admission queue full",
-				slog.String("trace_id", traceID),
-				slog.Int64("queue_cap", a.maxQueue),
-				slog.Int("in_flight", len(a.slots)),
-			)
-		}
-		return nil, &OverloadError{
-			Queued:     a.maxQueue,
-			QueueCap:   a.maxQueue,
-			RetryAfter: time.Second,
-		}
+		return nil, a.reject(ctx, "queue_full", 0)
 	}
 	start := time.Now()
 	defer a.queued.Add(-1)
 	select {
 	case a.slots <- struct{}{}:
-		a.metrics.ObserveDuration(obs.QueueWaitNs, time.Since(start))
+		wait := time.Since(start)
+		a.metrics.ObserveDuration(obs.QueueWaitNs, wait)
+		a.recordWait(int64(wait))
 		return a.releaseFunc(), nil
 	case <-ctx.Done():
+		a.recordWait(int64(time.Since(start)))
 		return nil, ctx.Err()
+	}
+}
+
+// reject builds the 429, logging it with the reason and live queue
+// shape.
+func (a *Admission) reject(ctx context.Context, reason string, p50 int64) *OverloadError {
+	a.metrics.Inc(obs.ServerOverloads)
+	retry := a.retryAfter()
+	if a.logger != nil {
+		var traceID string
+		if t := obs.SpanFromContext(ctx).Trace(); !t.IsZero() {
+			traceID = t.String()
+		}
+		msg := "admission queue full"
+		if reason == "queue_delay" {
+			msg = "admission queue delay over target"
+		}
+		a.logger.LogAttrs(ctx, slog.LevelWarn, msg,
+			slog.String("reason", reason),
+			slog.String("trace_id", traceID),
+			slog.Int64("queued", a.queued.Load()),
+			slog.Int64("queue_cap", a.maxQueue),
+			slog.Int("in_flight", len(a.slots)),
+			slog.Int64("queue_wait_p50_ms", p50/1e6),
+			slog.Int64("retry_after_ms", retry.Milliseconds()),
+		)
+	}
+	return &OverloadError{
+		Queued:     a.queued.Load(),
+		QueueCap:   a.maxQueue,
+		Reason:     reason,
+		RetryAfter: retry,
 	}
 }
 
@@ -112,8 +188,74 @@ func (a *Admission) releaseFunc() func() {
 	return func() {
 		if released.CompareAndSwap(false, true) {
 			<-a.slots
+			i := a.relIdx.Add(1) - 1
+			a.releases[i%drainRingSize].Store(time.Now().UnixNano())
+			a.relCount.Add(1)
 		}
 	}
+}
+
+func (a *Admission) recordWait(ns int64) {
+	i := a.waitIdx.Add(1) - 1
+	a.waits[i%waitRingSize].Store(ns)
+	a.waitCount.Add(1)
+}
+
+// waitP50 is the median of the recorded queue waits (0 until anything
+// was recorded).
+func (a *Admission) waitP50() int64 {
+	n := a.waitCount.Load()
+	if n > waitRingSize {
+		n = waitRingSize
+	}
+	if n == 0 {
+		return 0
+	}
+	buf := make([]int64, n)
+	for i := int64(0); i < n; i++ {
+		buf[i] = a.waits[i].Load()
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[n/2]
+}
+
+// retryAfter estimates when a retry is likely to be admitted: the
+// time to drain the current queue at the observed release rate,
+// jittered ±20% and clamped to [250ms, 30s]. With no drain history
+// (cold server) it falls back to one second.
+func (a *Admission) retryAfter() time.Duration {
+	retry := time.Second
+	n := a.relCount.Load()
+	if n > drainRingSize {
+		n = drainRingSize
+	}
+	if n >= 2 {
+		oldest := int64(1<<63 - 1)
+		newest := int64(0)
+		for i := int64(0); i < n; i++ {
+			ts := a.releases[i].Load()
+			if ts < oldest {
+				oldest = ts
+			}
+			if ts > newest {
+				newest = ts
+			}
+		}
+		if span := newest - oldest; span > 0 {
+			perSlot := span / (n - 1) // mean ns between releases
+			retry = time.Duration(perSlot * (a.queued.Load() + 1))
+		}
+	}
+	// ±20% jitter de-synchronizes retry herds.
+	jitter := 0.8 + 0.4*rand.Float64()
+	retry = time.Duration(float64(retry) * jitter)
+	if retry < retryAfterMin {
+		retry = retryAfterMin
+	}
+	if retry > retryAfterMax {
+		retry = retryAfterMax
+	}
+	return retry
 }
 
 // Queued reports how many requests are currently waiting.

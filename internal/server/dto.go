@@ -7,9 +7,11 @@ package server
 import (
 	"errors"
 	"net/http"
+	"time"
 
 	"relcomplete/internal/adom"
 	"relcomplete/internal/core"
+	"relcomplete/internal/durable"
 	"relcomplete/internal/eval"
 	"relcomplete/internal/fault"
 	"relcomplete/internal/obs"
@@ -142,6 +144,8 @@ const (
 	KindNotFound     = "not_found"
 	KindTooLarge     = "too_large"
 	KindOverload     = "overload"
+	KindRateLimited  = "rate_limited"
+	KindBreakerOpen  = "breaker_open"
 	KindDeadline     = "deadline"
 	KindBudget       = "budget"
 	KindUndecidable  = "undecidable"
@@ -149,6 +153,8 @@ const (
 	KindInjected     = "injected"
 	KindPanic        = "panic"
 	KindDraining     = "draining"
+	KindNotReady     = "not_ready"
+	KindStorage      = "storage"
 	KindInternal     = "internal"
 )
 
@@ -160,6 +166,8 @@ const (
 // masquerades as an injected one.
 func classify(err error) (status int, kind string) {
 	var overload *OverloadError
+	var rateLimited *RateLimitError
+	var breakerOpen *BreakerOpenError
 	var tooLarge *ErrTooLarge
 	var panicErr *search.PanicError
 	var contained *panicError
@@ -169,8 +177,14 @@ func classify(err error) (status int, kind string) {
 		return http.StatusBadRequest, KindBadRequest
 	case errors.As(err, &overload):
 		return http.StatusTooManyRequests, KindOverload
+	case errors.As(err, &rateLimited):
+		return http.StatusTooManyRequests, KindRateLimited
+	case errors.As(err, &breakerOpen):
+		return http.StatusServiceUnavailable, KindBreakerOpen
 	case errors.As(err, &tooLarge):
 		return http.StatusRequestEntityTooLarge, KindTooLarge
+	case errors.Is(err, durable.ErrIO):
+		return http.StatusServiceUnavailable, KindStorage
 	case errors.Is(err, core.ErrDeadline):
 		return http.StatusRequestTimeout, KindDeadline
 	case errors.Is(err, core.ErrBudget), errors.Is(err, core.ErrInconclusive),
@@ -213,4 +227,22 @@ func (resp *DecideResponse) decorate(err error) {
 	if errors.As(err, &ov) {
 		resp.RetryAfterMS = ov.RetryAfter.Milliseconds()
 	}
+	var rl *RateLimitError
+	if errors.As(err, &rl) {
+		resp.RetryAfterMS = ceilMS(rl.RetryAfter)
+	}
+	var bo *BreakerOpenError
+	if errors.As(err, &bo) {
+		resp.RetryAfterMS = ceilMS(bo.RetryAfter)
+	}
+}
+
+// ceilMS rounds a duration up to whole milliseconds so a sub-ms
+// Retry-After never truncates to "retry immediately".
+func ceilMS(d time.Duration) int64 {
+	ms := d.Milliseconds()
+	if d > time.Duration(ms)*time.Millisecond {
+		ms++
+	}
+	return ms
 }

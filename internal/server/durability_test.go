@@ -1,0 +1,207 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"relcomplete/internal/durable"
+	"relcomplete/internal/fault"
+	"relcomplete/internal/obs"
+)
+
+// openDurable opens a data dir for a test server, failing on error.
+func openDurable(t *testing.T, dir string, opt durable.Options) (*durable.Log, []durable.Record) {
+	t.Helper()
+	l, recs, err := durable.Open(dir, opt)
+	if err != nil {
+		t.Fatalf("durable.Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, recs
+}
+
+// The whole point of the durable registry: stop the process after
+// acknowledged mutations, start a fresh server on the same data dir,
+// and everything is back — same problems, same verdicts, byte-identical
+// documents.
+func TestDurableRestartRestoresProblemsAndVerdicts(t *testing.T) {
+	dir := t.TempDir()
+
+	// First life: load two problems, take a verdict, delete one.
+	log1, recs := openDurable(t, dir, durable.Options{})
+	s1, ts1 := newTestServer(t, Config{Durable: log1})
+	if a, sk := s1.Restore(recs); a != 0 || sk != 0 {
+		t.Fatalf("cold restore: applied=%d skipped=%d", a, sk)
+	}
+	putOrders(t, ts1.URL, "orders")
+	putOrders(t, ts1.URL, "doomed")
+	resp, dr := decide(t, ts1.URL, "orders", DecideRequest{Property: "rcdp", Model: "strong"})
+	if resp.StatusCode != http.StatusOK || dr.Verdict == nil {
+		t.Fatalf("first-life decide: status=%d %+v", resp.StatusCode, dr)
+	}
+	firstVerdict := *dr.Verdict
+	firstCex := dr.Counterexample
+	if resp := doJSON(t, http.MethodDelete, ts1.URL+"/v1/problems/doomed", nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	ts1.Close()
+	log1.Close() // crash stand-in; recovery tolerates dirtier exits (see internal/durable)
+
+	// Second life: same dir, fresh process state.
+	log2, recs2 := openDurable(t, dir, durable.Options{})
+	s2, ts2 := newTestServer(t, Config{Durable: log2})
+	applied, skipped := s2.Restore(recs2)
+	if skipped != 0 {
+		t.Fatalf("restore skipped %d records", skipped)
+	}
+	if applied == 0 {
+		t.Fatal("restore applied nothing")
+	}
+	if s2.Registry().Len() != 1 {
+		t.Fatalf("restored %d problems, want 1 (orders; doomed was deleted)", s2.Registry().Len())
+	}
+	e, ok := s2.Registry().Get("orders")
+	if !ok {
+		t.Fatal("orders lost across restart")
+	}
+	if string(e.Raw) != string(ordersDoc(t)) {
+		t.Fatal("restored document is not byte-identical")
+	}
+	resp, dr = decide(t, ts2.URL, "orders", DecideRequest{Property: "rcdp", Model: "strong"})
+	if resp.StatusCode != http.StatusOK || dr.Verdict == nil {
+		t.Fatalf("second-life decide: status=%d error=%s", resp.StatusCode, dr.Error)
+	}
+	if *dr.Verdict != firstVerdict || dr.Counterexample != firstCex {
+		t.Fatalf("verdict changed across restart: %v/%q != %v/%q",
+			*dr.Verdict, dr.Counterexample, firstVerdict, firstCex)
+	}
+}
+
+// /readyz is the full lifecycle gate: 503 not_ready before recovery
+// replay, 200 after Restore, 503 draining once the drain begins.
+// /healthz (liveness) stays 200 while not ready — the process is alive,
+// just not routable.
+func TestReadyzLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	log1, recs := openDurable(t, dir, durable.Options{})
+	s, ts := newTestServer(t, Config{Durable: log1})
+
+	var er ErrorResponse
+	resp := doJSON(t, http.MethodGet, ts.URL+"/readyz", nil, &er)
+	if resp.StatusCode != http.StatusServiceUnavailable || er.Kind != KindNotReady {
+		t.Fatalf("pre-restore readyz: status=%d kind=%q", resp.StatusCode, er.Kind)
+	}
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while not ready: %d", resp.StatusCode)
+	}
+
+	s.Restore(recs)
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/readyz", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restore readyz: %d", resp.StatusCode)
+	}
+
+	s.StartDrain()
+	resp = doJSON(t, http.MethodGet, ts.URL+"/readyz", nil, &er)
+	if resp.StatusCode != http.StatusServiceUnavailable || er.Kind != KindDraining {
+		t.Fatalf("draining readyz: status=%d kind=%q", resp.StatusCode, er.Kind)
+	}
+}
+
+// A server without durability is ready the moment it is up.
+func TestReadyzWithoutDurability(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/readyz", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %d", resp.StatusCode)
+	}
+}
+
+// A failed WAL commit refuses the PUT with a typed 503 storage error,
+// leaves the registry untouched, and flips /readyz to 503 — the
+// fsyncgate discipline surfaced at the HTTP layer.
+func TestPutStorageFailure503(t *testing.T) {
+	dir := t.TempDir()
+	// First append commits, every later one hits an fsync fault.
+	plan := fault.NewPlan(fault.Rule{Site: fault.SiteWALFsync, Kind: fault.KindError, After: 1, Every: 1})
+	m := obs.NewMetrics()
+	log1, recs := openDurable(t, dir, durable.Options{Faults: plan, Metrics: m})
+	s, ts := newTestServer(t, Config{Durable: log1, Metrics: m})
+	s.Restore(recs)
+
+	putOrders(t, ts.URL, "orders") // append 1: committed
+
+	var er ErrorResponse
+	resp := doJSON(t, http.MethodPut, ts.URL+"/v1/problems/victim", ordersDoc(t), &er)
+	if resp.StatusCode != http.StatusServiceUnavailable || er.Kind != KindStorage {
+		t.Fatalf("storage-failure put: status=%d kind=%q err=%s", resp.StatusCode, er.Kind, er.Error)
+	}
+	if s.Registry().Len() != 1 {
+		t.Fatalf("failed put mutated the registry: %d problems", s.Registry().Len())
+	}
+	resp = doJSON(t, http.MethodGet, ts.URL+"/readyz", nil, &er)
+	if resp.StatusCode != http.StatusServiceUnavailable || er.Kind != KindStorage {
+		t.Fatalf("readyz on broken wal: status=%d kind=%q", resp.StatusCode, er.Kind)
+	}
+	// The resident problem still serves decides: readiness is for the
+	// balancer; admitted work and reads keep flowing.
+	if resp, dr := decide(t, ts.URL, "orders", DecideRequest{Property: "consistency"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("decide on broken wal: status=%d error=%s", resp.StatusCode, dr.Error)
+	}
+}
+
+// Deletes are as durable as puts: a deleted problem must not
+// resurrect on restart (regression guard for replay ordering).
+func TestDurableDeleteSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	log1, recs := openDurable(t, dir, durable.Options{})
+	s1, ts1 := newTestServer(t, Config{Durable: log1})
+	s1.Restore(recs)
+	putOrders(t, ts1.URL, "a")
+	if resp := doJSON(t, http.MethodDelete, ts1.URL+"/v1/problems/a", nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	putOrders(t, ts1.URL, "a") // reload after delete: latest PUT wins
+	ts1.Close()
+	log1.Close()
+
+	log2, recs2 := openDurable(t, dir, durable.Options{})
+	s2, _ := newTestServer(t, Config{Durable: log2})
+	s2.Restore(recs2)
+	if s2.Registry().Len() != 1 {
+		t.Fatalf("restored %d problems, want 1", s2.Registry().Len())
+	}
+	if _, ok := s2.Registry().Get("a"); !ok {
+		t.Fatal("reloaded problem lost")
+	}
+}
+
+// SnapshotNow folds state into the snapshot; a restart replays from it
+// (plus the emptied WAL) with nothing lost.
+func TestServerSnapshotNow(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.NewMetrics()
+	log1, recs := openDurable(t, dir, durable.Options{Metrics: m})
+	s1, ts1 := newTestServer(t, Config{Durable: log1, Metrics: m})
+	s1.Restore(recs)
+	putOrders(t, ts1.URL, "a")
+	putOrders(t, ts1.URL, "b")
+	if err := s1.SnapshotNow(); err != nil {
+		t.Fatalf("SnapshotNow: %v", err)
+	}
+	if m.Get(obs.SnapshotsWritten) != 1 {
+		t.Fatalf("snapshots_written = %d", m.Get(obs.SnapshotsWritten))
+	}
+	putOrders(t, ts1.URL, "c") // post-snapshot WAL tail
+	ts1.Close()
+	log1.Close()
+
+	log2, recs2 := openDurable(t, dir, durable.Options{})
+	s2, _ := newTestServer(t, Config{Durable: log2})
+	if applied, skipped := s2.Restore(recs2); skipped != 0 || applied != 3 {
+		t.Fatalf("restore applied=%d skipped=%d, want 3/0", applied, skipped)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if _, ok := s2.Registry().Get(name); !ok {
+			t.Fatalf("problem %s lost across snapshot+restart", name)
+		}
+	}
+}

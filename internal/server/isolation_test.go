@@ -1,0 +1,234 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"relcomplete/internal/fault"
+	"relcomplete/internal/obs"
+)
+
+// A tenant over its token bucket answers 429 rate_limited with a
+// Retry-After — and only that tenant: the bucket is per problem name.
+func TestDecideRateLimited429(t *testing.T) {
+	m := obs.NewMetrics()
+	_, ts := newTestServer(t, Config{
+		Metrics: m,
+		Tenant:  TenantLimits{Rate: 0.001, Burst: 1}, // one decide, then a very slow refill
+	})
+	putOrders(t, ts.URL, "greedy")
+	putOrders(t, ts.URL, "modest")
+
+	if resp, dr := decide(t, ts.URL, "greedy", DecideRequest{Property: "consistency"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first decide: status=%d error=%s", resp.StatusCode, dr.Error)
+	}
+	resp, dr := decide(t, ts.URL, "greedy", DecideRequest{Property: "consistency"})
+	if resp.StatusCode != http.StatusTooManyRequests || dr.Kind != KindRateLimited {
+		t.Fatalf("over-rate decide: status=%d kind=%q", resp.StatusCode, dr.Kind)
+	}
+	if dr.RetryAfterMS <= 0 || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("rate-limited answer must carry a back-off: retry_after_ms=%d header=%q",
+			dr.RetryAfterMS, resp.Header.Get("Retry-After"))
+	}
+	if m.Get(obs.RateLimited) != 1 {
+		t.Fatalf("rate_limited counter = %d", m.Get(obs.RateLimited))
+	}
+	// The other tenant's bucket is untouched.
+	if resp, dr := decide(t, ts.URL, "modest", DecideRequest{Property: "consistency"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant rate-limited too: status=%d error=%s", resp.StatusCode, dr.Error)
+	}
+}
+
+// A tenant whose decides keep dying server-side trips its breaker:
+// later requests answer 503 breaker_open without reaching a decider,
+// while other tenants keep deciding. An injected search-worker fault
+// makes every decide on the armed plan fail as 500 injected — a
+// server-side failure in the breaker's book.
+func TestBreakerOpensAndIsolates(t *testing.T) {
+	m := obs.NewMetrics()
+	plan := fault.NewPlan(fault.Rule{Site: fault.SiteSearchWorker, Kind: fault.KindError, Every: 1})
+	_, ts := newTestServer(t, Config{
+		Metrics:   m,
+		FaultPlan: plan,
+		Tenant:    TenantLimits{BreakerThreshold: 2, BreakerCooldown: time.Hour},
+	})
+	putOrders(t, ts.URL, "poison")
+	putOrders(t, ts.URL, "bystander")
+
+	// Two consecutive 500s on "poison" trip its breaker.
+	for i := 0; i < 2; i++ {
+		resp, dr := decide(t, ts.URL, "poison", DecideRequest{Property: "consistency"})
+		if resp.StatusCode != http.StatusInternalServerError || dr.Kind != KindInjected {
+			t.Fatalf("decide %d: status=%d kind=%q", i, resp.StatusCode, dr.Kind)
+		}
+	}
+	if m.Get(obs.BreakerOpens) != 1 {
+		t.Fatalf("breaker_opens = %d", m.Get(obs.BreakerOpens))
+	}
+
+	decides := m.Get(obs.ServerDecides)
+	resp, dr := decide(t, ts.URL, "poison", DecideRequest{Property: "consistency"})
+	if resp.StatusCode != http.StatusServiceUnavailable || dr.Kind != KindBreakerOpen {
+		t.Fatalf("tripped tenant: status=%d kind=%q", resp.StatusCode, dr.Kind)
+	}
+	if dr.RetryAfterMS <= 0 {
+		t.Fatal("breaker answer must carry a back-off")
+	}
+	if m.Get(obs.ServerDecides) != decides {
+		t.Fatal("short-circuited request consumed a decide slot")
+	}
+	if m.Get(obs.BreakerShortCircuits) != 1 {
+		t.Fatalf("breaker_short_circuits = %d", m.Get(obs.BreakerShortCircuits))
+	}
+
+	// The bystander still reaches its decider (it fails 500 under the
+	// same global fault plan, but it is admitted — its own breaker has
+	// only begun counting).
+	resp, dr = decide(t, ts.URL, "bystander", DecideRequest{Property: "consistency"})
+	if resp.StatusCode != http.StatusInternalServerError || dr.Kind != KindInjected {
+		t.Fatalf("bystander gated by poison's breaker: status=%d kind=%q", resp.StatusCode, dr.Kind)
+	}
+}
+
+// Breaker state machine at the unit level: open → half-open probe
+// after cooldown (exactly one) → closed on success, re-open on failure.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tn := NewTenants(TenantLimits{BreakerThreshold: 2, BreakerCooldown: time.Minute}, nil, nil)
+	tn.now = func() time.Time { return now }
+
+	fail := func() {
+		if err := tn.Admit("p"); err != nil {
+			t.Fatalf("admit before trip: %v", err)
+		}
+		tn.Observe("p", true)
+	}
+	fail()
+	fail() // trips
+
+	if err := tn.Admit("p"); err == nil {
+		t.Fatal("open breaker admitted a request")
+	}
+
+	// Cooldown elapses: exactly one probe goes through.
+	now = now.Add(2 * time.Minute)
+	if err := tn.Admit("p"); err != nil {
+		t.Fatalf("half-open probe refused: %v", err)
+	}
+	if err := tn.Admit("p"); err == nil {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Probe fails: re-open for another cooldown.
+	tn.Observe("p", true)
+	if err := tn.Admit("p"); err == nil {
+		t.Fatal("breaker closed after failed probe")
+	}
+
+	// Next probe succeeds: breaker closes fully.
+	now = now.Add(2 * time.Minute)
+	if err := tn.Admit("p"); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	tn.Observe("p", false)
+	if err := tn.Admit("p"); err != nil {
+		t.Fatalf("closed breaker refused: %v", err)
+	}
+	if err := tn.Admit("p"); err != nil {
+		t.Fatalf("closed breaker refused again: %v", err)
+	}
+}
+
+// The delay gate: once recent queue waits sit over the target, new
+// arrivals are shed with reason queue_delay even though the hard queue
+// cap has room — and the fast path's zero-wait samples heal the gate
+// once the queue drains.
+func TestAdmissionDelayShedding(t *testing.T) {
+	m := obs.NewMetrics()
+	a := NewAdmission(1, 64, m)
+	a.SetTarget(time.Millisecond)
+
+	// Saturate the slot, then simulate a history of slow queue waits.
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < waitRingSize; i++ {
+		a.recordWait(int64(50 * time.Millisecond))
+	}
+
+	_, err = a.Acquire(context.Background())
+	var ov *OverloadError
+	if !errors.As(err, &ov) || ov.Reason != "queue_delay" {
+		t.Fatalf("err = %v, want queue_delay OverloadError", err)
+	}
+	if ov.RetryAfter <= 0 {
+		t.Fatal("shed answer must carry a back-off")
+	}
+	if m.Get(obs.ShedTotal) != 1 || m.Get(obs.ServerOverloads) != 1 {
+		t.Fatalf("counters: shed=%d overloads=%d", m.Get(obs.ShedTotal), m.Get(obs.ServerOverloads))
+	}
+
+	// Drain and let fast-path zero-wait samples pull the median down.
+	release()
+	for i := 0; i < waitRingSize/2+1; i++ {
+		rel, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("healing acquire %d: %v", i, err)
+		}
+		rel()
+	}
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("gate failed to heal: %v", err)
+	}
+	rel()
+}
+
+// Retry-After derives from drain history and stays inside its clamp.
+func TestRetryAfterBounds(t *testing.T) {
+	a := NewAdmission(1, 4, obs.NewMetrics())
+	// No history: the cold fallback, jittered around one second.
+	if ra := a.retryAfter(); ra < retryAfterMin || ra > retryAfterMax {
+		t.Fatalf("cold retry-after %v out of bounds", ra)
+	}
+	// Build drain history with quick acquire/release cycles.
+	for i := 0; i < 8; i++ {
+		rel, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+		rel()
+	}
+	for i := 0; i < 32; i++ {
+		if ra := a.retryAfter(); ra < retryAfterMin || ra > retryAfterMax {
+			t.Fatalf("retry-after %v out of bounds", ra)
+		}
+	}
+}
+
+// Decide bodies are bounded like PUT bodies: an oversized request dies
+// 413 too_large at the transport.
+func TestDecideBodyTooLarge413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 2048})
+	putOrders(t, ts.URL, "orders")
+
+	body, err := json.Marshal(DecideRequest{
+		Property: "rcdp",
+		Query:    strings.Repeat("x", 4096),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr DecideResponse
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/problems/orders/decide", body, &dr)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || dr.Kind != KindTooLarge {
+		t.Fatalf("oversized decide: status=%d kind=%q", resp.StatusCode, dr.Kind)
+	}
+}

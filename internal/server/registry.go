@@ -12,6 +12,7 @@ import (
 
 	"relcomplete/internal/core"
 	"relcomplete/internal/ctable"
+	"relcomplete/internal/durable"
 	"relcomplete/internal/obs"
 	"relcomplete/internal/probjson"
 )
@@ -34,6 +35,9 @@ type Entry struct {
 	// under a byte cap is reproducible.
 	Bytes  int64
 	Loaded time.Time
+	// Raw is the exact acknowledged document — the bytes the WAL and
+	// snapshots carry, so recovery restores documents byte-identically.
+	Raw []byte
 }
 
 // Info is the JSON metadata served for one registry entry.
@@ -71,6 +75,12 @@ type Registry struct {
 	bytes   int64
 	entries map[string]*list.Element // value: *Entry
 	lru     *list.List               // front = most recently used
+
+	// durable, when set, write-ahead-logs every Put/Delete before the
+	// in-memory mutation: a mutation is acknowledged only once committed.
+	// Guarded by mu for ordering (the lock order is r.mu → log.mu,
+	// both here and in SnapshotNow).
+	durable *durable.Log
 }
 
 // SetLogger installs the structured logger eviction warnings go to
@@ -137,10 +147,27 @@ func (e *ErrTooLarge) Error() string {
 	return fmt.Sprintf("document of %d bytes exceeds the registry cap of %d", e.Bytes, e.Cap)
 }
 
+// AttachDurable arms write-ahead logging: every later Put/Delete is
+// committed to l before it mutates the in-memory state. Call before
+// serving (and before Restore).
+func (r *Registry) AttachDurable(l *durable.Log) {
+	r.mu.Lock()
+	r.durable = l
+	r.mu.Unlock()
+}
+
 // Put loads raw under name, evicting least-recently-used entries until
-// the new total fits the byte cap. It returns the loaded entry and
-// whether an entry of that name was replaced.
+// the new total fits the byte cap. With durability attached the
+// mutation is WAL-committed first — a storage failure leaves the
+// in-memory registry untouched and surfaces as a typed 503. It returns
+// the loaded entry and whether an entry of that name was replaced.
 func (r *Registry) Put(name string, raw []byte) (*Entry, bool, error) {
+	return r.put(name, raw, true)
+}
+
+// put is Put with the WAL append optional: recovery replay (Restore)
+// re-applies already-committed records and must not re-log them.
+func (r *Registry) put(name string, raw []byte, persist bool) (*Entry, bool, error) {
 	doc, err := DecodeDocument(raw)
 	if err != nil {
 		return nil, false, err
@@ -152,6 +179,7 @@ func (r *Registry) Put(name string, raw []byte) (*Entry, bool, error) {
 	e := &Entry{
 		Name: name, Problem: p, CInstance: ci, Doc: doc,
 		Bytes: int64(len(raw)) + p.Master.ResidentBytes(), Loaded: time.Now(),
+		Raw: raw,
 	}
 	if r.maxBytes > 0 && e.Bytes > r.maxBytes {
 		return nil, false, &ErrTooLarge{Bytes: e.Bytes, Cap: r.maxBytes}
@@ -159,6 +187,14 @@ func (r *Registry) Put(name string, raw []byte) (*Entry, bool, error) {
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if persist && r.durable != nil {
+		// Commit before mutate: if the WAL refuses, the PUT never
+		// happened — the caller gets a storage error and the previous
+		// entry (if any) stays resident and authoritative.
+		if err := r.durable.AppendPut(name, raw); err != nil {
+			return nil, false, err
+		}
+	}
 	replaced := false
 	if el, ok := r.entries[name]; ok {
 		r.bytes -= el.Value.(*Entry).Bytes
@@ -203,18 +239,85 @@ func (r *Registry) Get(name string) (*Entry, bool) {
 	return el.Value.(*Entry), true
 }
 
-// Delete drops the named entry, reporting whether it existed.
-func (r *Registry) Delete(name string) bool {
+// Delete drops the named entry, reporting whether it existed. With
+// durability attached the delete is WAL-committed first; a storage
+// failure leaves the entry resident and surfaces as a typed 503.
+func (r *Registry) Delete(name string) (bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	el, ok := r.entries[name]
 	if !ok {
-		return false
+		return false, nil
+	}
+	if r.durable != nil {
+		if err := r.durable.AppendDelete(name); err != nil {
+			return false, err
+		}
 	}
 	r.bytes -= el.Value.(*Entry).Bytes
 	r.lru.Remove(el)
 	delete(r.entries, name)
-	return true
+	return true, nil
+}
+
+// Restore replays recovered records into the registry without logging
+// them again (they are already durable). A record whose document no
+// longer builds — a schema change across versions, say — is skipped
+// with a warning rather than failing the boot: serving the restorable
+// problems beats serving none. Returns how many records were applied
+// and how many skipped.
+func (r *Registry) Restore(recs []durable.Record) (applied, skipped int) {
+	for _, rec := range recs {
+		switch rec.Op {
+		case durable.OpPut:
+			if _, _, err := r.put(rec.Name, rec.Raw, false); err != nil {
+				skipped++
+				if r.logger != nil {
+					r.logger.LogAttrs(context.Background(), slog.LevelWarn,
+						"recovery: skipping unrestorable problem",
+						slog.String("problem", rec.Name),
+						slog.String("error", err.Error()),
+					)
+				}
+				continue
+			}
+			applied++
+		case durable.OpDelete:
+			r.mu.Lock()
+			if el, ok := r.entries[rec.Name]; ok {
+				r.bytes -= el.Value.(*Entry).Bytes
+				r.lru.Remove(el)
+				delete(r.entries, rec.Name)
+			}
+			r.mu.Unlock()
+			applied++
+		}
+	}
+	return applied, skipped
+}
+
+// SnapshotNow folds the current resident state into a durable
+// snapshot, truncating the WAL. The registry mutex is held across
+// collecting the records and writing the snapshot, so no Put/Delete
+// can commit in the window between them (lock order r.mu → log.mu,
+// same as Put). No-op without durability attached.
+//
+// Note eviction is not a durable delete: an entry evicted by the byte
+// cap is still in the WAL and comes back on restart (then gets
+// re-evicted). Snapshots garbage-collect that dead weight — the
+// snapshot holds only the resident set.
+func (r *Registry) SnapshotNow() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.durable == nil {
+		return nil
+	}
+	recs := make([]durable.Record, 0, r.lru.Len())
+	for el := r.lru.Back(); el != nil; el = el.Prev() { // oldest first
+		e := el.Value.(*Entry)
+		recs = append(recs, durable.Record{Op: durable.OpPut, Name: e.Name, Raw: e.Raw})
+	}
+	return r.durable.Snapshot(recs)
 }
 
 // List returns metadata for every resident entry, most recently used

@@ -148,8 +148,11 @@ func TestRegistryReplaceAndDelete(t *testing.T) {
 	if r.ResidentBytes() != e.Bytes || r.Len() != 1 {
 		t.Fatalf("replace must swap the byte charge: bytes=%d len=%d", r.ResidentBytes(), r.Len())
 	}
-	if !r.Delete("p") || r.Delete("p") {
-		t.Fatal("delete must succeed once")
+	if ok, err := r.Delete("p"); !ok || err != nil {
+		t.Fatalf("delete must succeed once: ok=%v err=%v", ok, err)
+	}
+	if ok, err := r.Delete("p"); ok || err != nil {
+		t.Fatalf("second delete must miss: ok=%v err=%v", ok, err)
 	}
 	if r.ResidentBytes() != 0 || r.Len() != 0 {
 		t.Fatalf("after delete: bytes=%d len=%d", r.ResidentBytes(), r.Len())

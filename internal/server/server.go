@@ -22,9 +22,11 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"relcomplete/internal/core"
+	"relcomplete/internal/durable"
 	"relcomplete/internal/eval"
 	"relcomplete/internal/fault"
 	"relcomplete/internal/obs"
@@ -73,6 +75,18 @@ type Config struct {
 	// RequestRingSize bounds the /debug/requests recent-request ring
 	// (0 = DefaultRequestRing).
 	RequestRingSize int
+	// Durable, when non-nil, write-ahead-logs every registry mutation
+	// and gates /readyz on the log's health. The server starts not
+	// ready; the caller replays recovered records with Restore, which
+	// flips readiness (rcserved does this between Open and serving).
+	Durable *durable.Log
+	// QueueTarget arms delay-based admission shedding: new decide
+	// requests are rejected 429 while the median recent queue wait
+	// exceeds it. 0 leaves only the hard queue cap.
+	QueueTarget time.Duration
+	// Tenant configures per-problem rate limiting and circuit breaking
+	// (zero value: both off).
+	Tenant TenantLimits
 	// TraceExporter, when non-nil, receives every finished request span
 	// tree (rcserved -trace-export). The server only uses it on the
 	// bare-Server path where it owns the root span itself; under
@@ -116,9 +130,14 @@ type Server struct {
 	logger    *slog.Logger
 	registry  *Registry
 	admission *Admission
+	tenants   *Tenants // nil: per-tenant governance off
 	requests  *RequestRing
 	mux       *http.ServeMux
 	draining  chan struct{} // closed when the drain begins
+	// ready flips once recovery replay (Restore) has completed — or
+	// immediately, when the server has no durability. /readyz gates on
+	// it so a load balancer never routes to a half-recovered registry.
+	ready atomic.Bool
 
 	// Per-tenant attribution families on the server-wide metrics:
 	// unlike the unlabelled samples (which keep their PR-6 semantics),
@@ -156,8 +175,17 @@ func New(cfg Config) *Server {
 	s.registry.SetLogger(cfg.Logger)
 	s.admission = NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.Metrics)
 	s.admission.SetLogger(cfg.Logger)
+	s.admission.SetTarget(cfg.QueueTarget)
+	s.tenants = NewTenants(cfg.Tenant, cfg.Metrics, cfg.Logger)
+	if cfg.Durable != nil {
+		s.registry.AttachDurable(cfg.Durable)
+		// Not ready until the caller replays recovery with Restore.
+	} else {
+		s.ready.Store(true)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/problems", s.handleList)
 	mux.HandleFunc("PUT /v1/problems/{name}", s.handlePut)
 	mux.HandleFunc("GET /v1/problems/{name}", s.handleGetInfo)
@@ -207,6 +235,20 @@ func (s *Server) Registry() *Registry { return s.registry }
 
 // Admission exposes the admission controller (tests, introspection).
 func (s *Server) Admission() *Admission { return s.admission }
+
+// Restore replays recovered durable records into the registry (no
+// re-logging) and flips the server ready. rcserved calls it between
+// durable.Open and serving; harmless with an empty record set.
+func (s *Server) Restore(recs []durable.Record) (applied, skipped int) {
+	applied, skipped = s.registry.Restore(recs)
+	s.ready.Store(true)
+	return applied, skipped
+}
+
+// SnapshotNow folds the resident registry state into a durable
+// snapshot (no-op without durability). rcserved calls it on a timer
+// and once at drain.
+func (s *Server) SnapshotNow() error { return s.registry.SnapshotNow() }
 
 // Metrics exposes the server-wide solver metrics.
 func (s *Server) Metrics() *obs.Metrics { return s.metrics }
@@ -283,6 +325,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is the readiness probe, distinct from /healthz's
+// liveness: not ready until recovery replay has completed, not ready
+// once draining has begun, and not ready while the write-ahead log
+// cannot commit (a registry that cannot durably acknowledge mutations
+// must stop advertising itself). Load balancers route on this;
+// /healthz only says the process is alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.Draining():
+		writeError(w, http.StatusServiceUnavailable, KindDraining, "draining: not accepting new work")
+	case !s.ready.Load():
+		writeError(w, http.StatusServiceUnavailable, KindNotReady, "recovery replay not yet complete")
+	case s.cfg.Durable != nil && !s.cfg.Durable.Healthy():
+		writeError(w, http.StatusServiceUnavailable, KindStorage,
+			"write-ahead log cannot commit; restart to recover")
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ready",
+			"problems": s.registry.Len(),
+			"durable":  s.cfg.Durable != nil,
+		})
+	}
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ListResponse{
 		Problems:      s.registry.List(),
@@ -311,8 +377,14 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		status, kind := http.StatusBadRequest, KindBadRequest
 		var tooLarge *ErrTooLarge
-		if errors.As(err, &tooLarge) {
+		switch {
+		case errors.As(err, &tooLarge):
 			status, kind = http.StatusRequestEntityTooLarge, KindTooLarge
+		case errors.Is(err, durable.ErrIO):
+			// The WAL refused the commit: the mutation did not happen and
+			// was not acknowledged. 503 tells the client to retry
+			// elsewhere (or after a restart), not that its document is bad.
+			status, kind = http.StatusServiceUnavailable, KindStorage
 		}
 		writeError(w, status, kind, err.Error())
 		return
@@ -340,10 +412,17 @@ func (s *Server) handleGetInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.registry.Delete(r.PathValue("name")) {
+	name := r.PathValue("name")
+	ok, err := s.registry.Delete(name)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, KindStorage, err.Error())
+		return
+	}
+	if !ok {
 		writeError(w, http.StatusNotFound, KindNotFound, "no such problem")
 		return
 	}
+	s.tenants.Forget(name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -436,9 +515,17 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		finish(status)
 	}
 
-	dec := json.NewDecoder(r.Body)
+	// Decide bodies are bounded like PUT bodies: a decide carrying a
+	// multi-gigabyte query override must die at the transport, not in
+	// the JSON decoder's allocator.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			fail(http.StatusRequestEntityTooLarge, KindTooLarge, fmt.Errorf("decide request: %w", err))
+			return
+		}
 		fail(http.StatusBadRequest, KindBadRequest, fmt.Errorf("decide request: %w", err))
 		return
 	}
@@ -446,6 +533,15 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.registry.Get(name)
 	if !ok {
 		fail(http.StatusNotFound, KindNotFound, fmt.Errorf("no such problem %q", name))
+		return
+	}
+
+	// Per-tenant gate: this problem's circuit breaker and token bucket.
+	// Checked before admission so a rate-limited or broken tenant never
+	// consumes a queue position other tenants could use.
+	if err := s.tenants.Admit(name); err != nil {
+		status, kind := classify(err)
+		fail(status, kind, err)
 		return
 	}
 
@@ -481,9 +577,15 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	resp.ElapsedMS = float64(wall.Microseconds()) / 1000
 	if err != nil {
 		status, kind := classify(err)
+		// The breaker counts only failures the server blames on itself:
+		// panics, injected faults and internal errors. Deadlines, budget
+		// expiries and undecidable fragments are the tenant asking hard
+		// questions, not the tenant breaking the server.
+		s.tenants.Observe(name, kind == KindPanic || kind == KindInjected || kind == KindInternal)
 		fail(status, kind, err)
 		return
 	}
+	s.tenants.Observe(name, false)
 	resp.Verdict = result.Verdict
 	resp.Counterexample = result.Counterexample
 	resp.CertainAnswers = result.CertainAnswers

@@ -1,0 +1,239 @@
+// Per-tenant isolation for the decide path. Each loaded problem is a
+// tenant: one tenant's traffic burst or poisonous document must not
+// starve or crash-loop the others. Two mechanisms, both scoped to the
+// problem name:
+//
+//   - a token bucket caps each tenant's decide rate; over-rate
+//     requests answer 429 rate_limited with a Retry-After telling the
+//     client when the next token lands, and
+//   - a circuit breaker watches for consecutive server-side failures
+//     (contained panics, injected faults, internal errors) on one
+//     problem and, once tripped, answers 503 breaker_open immediately
+//     instead of burning a decide slot on a request that history says
+//     will die. After a cooldown one probe request is let through
+//     (half-open); success closes the breaker, failure re-opens it.
+//
+// Client-caused failures (bad requests, budget/deadline expiries,
+// undecidable fragments) never count against the breaker — a tenant
+// sending hard problems is healthy, a tenant whose decides keep
+// panicking is not.
+package server
+
+import (
+	"fmt"
+	"log/slog"
+	"math"
+	"sync"
+	"time"
+
+	"relcomplete/internal/obs"
+)
+
+// TenantLimits configures the per-problem governor. The zero value
+// disables both mechanisms.
+type TenantLimits struct {
+	// Rate is the sustained decide-per-second budget per problem;
+	// 0 disables rate limiting.
+	Rate float64
+	// Burst is the bucket depth (instantaneous burst allowance),
+	// defaulted to max(1, Rate) when unset.
+	Burst float64
+	// BreakerThreshold is how many consecutive server-side failures
+	// trip the breaker; 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before
+	// letting one probe through.
+	BreakerCooldown time.Duration
+}
+
+// RateLimitError reports a decide rejected by a tenant's token bucket.
+type RateLimitError struct {
+	Problem    string
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("problem %q over its decide rate limit, retry after %v", e.Problem, e.RetryAfter)
+}
+
+// BreakerOpenError reports a decide short-circuited by a tenant's open
+// circuit breaker.
+type BreakerOpenError struct {
+	Problem    string
+	Failures   int
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("problem %q circuit breaker open after %d consecutive failures, retry after %v",
+		e.Problem, e.Failures, e.RetryAfter)
+}
+
+// tenantState is one problem's bucket + breaker. Guarded by
+// Tenants.mu — the critical sections are a handful of float ops, far
+// cheaper than sharding the map would be worth at the registry's size.
+type tenantState struct {
+	tokens   float64   // current bucket fill
+	lastFill time.Time // last refill instant
+
+	failures  int       // consecutive server-side failures
+	openUntil time.Time // breaker open until (zero: closed)
+	probing   bool      // half-open probe in flight
+	lastSeen  time.Time // for idle pruning
+}
+
+// Tenants is the per-problem governor. Safe for concurrent use. A nil
+// *Tenants admits everything.
+type Tenants struct {
+	cfg     TenantLimits
+	metrics *obs.Metrics
+	logger  *slog.Logger
+	now     func() time.Time
+
+	mu    sync.Mutex
+	state map[string]*tenantState
+}
+
+// NewTenants builds a governor; returns nil (admit-everything) when
+// both mechanisms are disabled.
+func NewTenants(cfg TenantLimits, m *obs.Metrics, logger *slog.Logger) *Tenants {
+	if cfg.Rate <= 0 && cfg.BreakerThreshold <= 0 {
+		return nil
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = math.Max(1, cfg.Rate)
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	return &Tenants{
+		cfg:     cfg,
+		metrics: m,
+		logger:  logger,
+		now:     time.Now,
+		state:   map[string]*tenantState{},
+	}
+}
+
+// Admit gates one decide on problem name: breaker first (a tripped
+// tenant shouldn't spend its rate budget on guaranteed failures), then
+// the token bucket. A nil error admits the request; the caller must
+// report the outcome with Observe so the breaker sees it.
+func (t *Tenants) Admit(name string) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	ts := t.lookup(name, now)
+
+	if t.cfg.BreakerThreshold > 0 && !ts.openUntil.IsZero() {
+		if now.Before(ts.openUntil) {
+			t.metrics.Inc(obs.BreakerShortCircuits)
+			return &BreakerOpenError{
+				Problem:    name,
+				Failures:   ts.failures,
+				RetryAfter: ts.openUntil.Sub(now),
+			}
+		}
+		// Cooldown over: half-open. Exactly one probe goes through; the
+		// rest keep getting 503 until the probe reports back.
+		if ts.probing {
+			t.metrics.Inc(obs.BreakerShortCircuits)
+			return &BreakerOpenError{
+				Problem:    name,
+				Failures:   ts.failures,
+				RetryAfter: t.cfg.BreakerCooldown,
+			}
+		}
+		ts.probing = true
+		return nil
+	}
+
+	if t.cfg.Rate > 0 {
+		// Lazy refill: tokens accrued since the last look.
+		ts.tokens = math.Min(t.cfg.Burst, ts.tokens+now.Sub(ts.lastFill).Seconds()*t.cfg.Rate)
+		ts.lastFill = now
+		if ts.tokens < 1 {
+			t.metrics.Inc(obs.RateLimited)
+			wait := time.Duration((1 - ts.tokens) / t.cfg.Rate * float64(time.Second))
+			return &RateLimitError{Problem: name, RetryAfter: wait}
+		}
+		ts.tokens--
+	}
+	return nil
+}
+
+// Observe reports one admitted decide's outcome. serverFailure is true
+// for 5xx-class answers the server blames on itself (panic, injected
+// fault, internal error) — those advance the breaker; everything else
+// resets it.
+func (t *Tenants) Observe(name string, serverFailure bool) {
+	if t == nil || t.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	ts := t.lookup(name, now)
+
+	if !serverFailure {
+		ts.failures = 0
+		ts.openUntil = time.Time{}
+		ts.probing = false
+		return
+	}
+	ts.failures++
+	ts.probing = false
+	if ts.failures >= t.cfg.BreakerThreshold {
+		wasOpen := !ts.openUntil.IsZero()
+		ts.openUntil = now.Add(t.cfg.BreakerCooldown)
+		if !wasOpen {
+			t.metrics.Inc(obs.BreakerOpens)
+			if t.logger != nil {
+				t.logger.Warn("tenant circuit breaker opened",
+					slog.String("problem", name),
+					slog.Int("consecutive_failures", ts.failures),
+					slog.Duration("cooldown", t.cfg.BreakerCooldown),
+				)
+			}
+		}
+	}
+}
+
+// Forget drops a tenant's state (called when its problem is deleted,
+// so a reloaded problem starts with a clean record).
+func (t *Tenants) Forget(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	delete(t.state, name)
+	t.mu.Unlock()
+}
+
+// lookup returns (creating if needed) name's state, opportunistically
+// pruning tenants idle long enough that their bucket is full and their
+// breaker expired — the map stays proportional to the active set, not
+// to everything ever decided. Caller holds t.mu.
+func (t *Tenants) lookup(name string, now time.Time) *tenantState {
+	if len(t.state) > 64 {
+		idle := 10 * time.Minute
+		if t.cfg.BreakerCooldown > idle {
+			idle = t.cfg.BreakerCooldown
+		}
+		for n, s := range t.state {
+			if n != name && now.Sub(s.lastSeen) > idle {
+				delete(t.state, n)
+			}
+		}
+	}
+	ts := t.state[name]
+	if ts == nil {
+		ts = &tenantState{tokens: t.cfg.Burst, lastFill: now}
+		t.state[name] = ts
+	}
+	ts.lastSeen = now
+	return ts
+}
